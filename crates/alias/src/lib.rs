@@ -1,0 +1,23 @@
+//! # specframe-alias
+//!
+//! Compile-time alias information for the speculative SSA construction:
+//!
+//! * [`loc`] — **abstract memory locations** (LOCs): globals, stack slots
+//!   and heap objects named by allocation site, exactly the naming scheme
+//!   the paper's alias profiling uses (§3.2.1, citing Ghiya et al.);
+//! * [`unionfind`] — the union-find substrate;
+//! * [`steens`] — Steensgaard's equivalence-class alias analysis
+//!   (*"Points-to analysis in almost linear time"*, POPL '96), the analysis
+//!   the paper's Figure 4 names as the class generator for virtual-variable
+//!   assignment, plus interprocedural mod/ref summaries for call χ/μ lists.
+//!
+//! Type-based alias analysis lives on [`specframe_ir::Ty::tbaa_may_alias`];
+//! the χ/μ construction in `specframe-hssa` composes both filters.
+
+pub mod loc;
+pub mod steens;
+pub mod unionfind;
+
+pub use loc::{Loc, LocSet};
+pub use steens::{AliasAnalysis, ClassId};
+pub use unionfind::UnionFind;

@@ -1,0 +1,104 @@
+//! Abstract memory locations.
+
+use specframe_ir::{AllocSiteId, FuncSlot, GlobalId, Module, Ty};
+use std::collections::BTreeSet;
+
+/// An abstract memory location (the paper's "LOC", §3.2.1): a storage
+/// object distinguishable by the compiler and the profiler.
+///
+/// Heap objects have no source names, so — following the paper — each is
+/// named by its allocation site: every object allocated by the same
+/// `alloc` instruction is the same LOC (one of the granularity choices
+/// studied in the authors' LCPC '02 companion paper).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Loc {
+    /// A module global.
+    Global(GlobalId),
+    /// A stack slot of a particular function.
+    Slot(FuncSlot),
+    /// All heap objects allocated at one site.
+    Heap(AllocSiteId),
+}
+
+impl Loc {
+    /// The declared element type of the location, if statically known.
+    /// Heap objects are untyped (they alias every access type).
+    pub fn ty(self, m: &Module) -> Option<Ty> {
+        match self {
+            Loc::Global(g) => Some(m.globals[g.index()].ty),
+            Loc::Slot(fs) => Some(m.funcs[fs.func.index()].slots[fs.slot.index()].ty),
+            Loc::Heap(_) => None,
+        }
+    }
+
+    /// Whether an access of type `access_ty` may touch this location under
+    /// type-based alias analysis.
+    pub fn tbaa_may_alias(self, m: &Module, access_ty: Ty) -> bool {
+        match self.ty(m) {
+            Some(t) => t.tbaa_may_alias(access_ty),
+            None => true,
+        }
+    }
+}
+
+impl core::fmt::Display for Loc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Loc::Global(g) => write!(f, "G{}", g.0),
+            Loc::Slot(fs) => write!(f, "S{}.{}", fs.func.0, fs.slot.0),
+            Loc::Heap(h) => write!(f, "H{}", h.0),
+        }
+    }
+}
+
+/// An ordered set of LOCs — the value type of alias profiles ("for each
+/// indirect memory reference, there is a LOC set to represent the
+/// collection of memory locations accessed by the reference at runtime").
+pub type LocSet = BTreeSet<Loc>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specframe_ir::{ModuleBuilder, SlotId};
+
+    #[test]
+    fn loc_types_resolve() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g", 1, Ty::F64);
+        let f = mb.declare_func("f", &[], None);
+        {
+            let mut fb = mb.define(f);
+            fb.slot("s", 4, Ty::I64);
+            fb.ret(None);
+        }
+        let m = mb.finish();
+        assert_eq!(Loc::Global(g).ty(&m), Some(Ty::F64));
+        let slot = Loc::Slot(FuncSlot {
+            func: f,
+            slot: SlotId(0),
+        });
+        assert_eq!(slot.ty(&m), Some(Ty::I64));
+        assert_eq!(Loc::Heap(specframe_ir::AllocSiteId(0)).ty(&m), None);
+    }
+
+    #[test]
+    fn tbaa_filters_typed_locs_but_not_heap() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g", 1, Ty::F64);
+        let m = mb.finish();
+        assert!(!Loc::Global(g).tbaa_may_alias(&m, Ty::I64));
+        assert!(Loc::Global(g).tbaa_may_alias(&m, Ty::F64));
+        assert!(Loc::Heap(specframe_ir::AllocSiteId(3)).tbaa_may_alias(&m, Ty::I64));
+    }
+
+    #[test]
+    fn locs_order_deterministically() {
+        let mut s = LocSet::new();
+        s.insert(Loc::Heap(specframe_ir::AllocSiteId(0)));
+        s.insert(Loc::Global(GlobalId(1)));
+        s.insert(Loc::Global(GlobalId(0)));
+        let v: Vec<_> = s.into_iter().collect();
+        assert_eq!(v[0], Loc::Global(GlobalId(0)));
+        assert_eq!(v[1], Loc::Global(GlobalId(1)));
+    }
+}

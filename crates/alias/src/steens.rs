@@ -1,0 +1,724 @@
+//! Steensgaard equivalence-class alias analysis and mod/ref summaries.
+//!
+//! This is the analysis the paper's Figure 4 starts from: *"we can use the
+//! equivalence class based alias analysis proposed by Steensgaard to
+//! generate the alias equivalence classes for the memory references within a
+//! procedure. Each alias class represents a set of real program variables.
+//! Next, we assign a unique virtual variable for each alias class."*
+//!
+//! ## Model
+//!
+//! Every IR register and every [`Loc`] gets a union-find node. A node plays
+//! two roles at once (the classic Steensgaard conflation): as the *value*
+//! held by a register or stored in a location, and as the *location* itself.
+//! Each class carries one optional `pointee` class:
+//!
+//! * `x = y`            → `join(x, y)`
+//! * `x = &loc`         → `join(pointee(x), loc)`
+//! * `x = *p` (load)    → `join(x, pointee(p))`
+//! * `*p = v` (store)   → `join(pointee(p), v)`
+//! * `x = alloc@h`      → `join(pointee(x), loc(h))`
+//! * `x = a ⊕ b`        → `join(x, a)`, `join(x, b)` (pointer arithmetic
+//!   stays within the pointed-to object class)
+//! * `r = call f(a…)`   → args joined with params, `r` joined with `f`'s
+//!   return node
+//!
+//! The set of LOCs an indirect reference `*p` may access is then the set of
+//! location nodes in `class(pointee(p))` — and that class id is exactly what
+//! `specframe-hssa` uses to assign virtual variables.
+//!
+//! ## Mod/ref
+//!
+//! For call-site χ/μ lists the analysis also computes, per function, the
+//! classes it may store to (`mod`) and load from (`ref`), closed over the
+//! call graph.
+
+use crate::loc::Loc;
+use crate::unionfind::UnionFind;
+use specframe_ir::{FuncId, FuncSlot, Inst, Module, Operand, Terminator, Ty, VarId};
+use std::collections::{BTreeSet, HashMap};
+
+/// A final alias class: the canonical union-find representative after
+/// solving. Two references with the same class may alias; references with
+/// different classes provably never alias (under Steensgaard's assumptions).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ClassId(pub u32);
+
+/// Solved module-wide alias information.
+#[derive(Debug)]
+pub struct AliasAnalysis {
+    /// Final representative per node.
+    rep: Vec<u32>,
+    /// Final pointee class per representative (dense, u32::MAX = none).
+    pointee: Vec<u32>,
+    /// First node id of each function's register block.
+    var_base: Vec<u32>,
+    /// Node id per Loc, in enumeration order.
+    loc_node: HashMap<Loc, u32>,
+    /// LOC members per final class.
+    members: HashMap<ClassId, Vec<Loc>>,
+    /// Per function: classes possibly stored to (transitively).
+    mods: Vec<BTreeSet<ClassId>>,
+    /// Per function: classes possibly loaded from (transitively).
+    refs: Vec<BTreeSet<ClassId>>,
+}
+
+struct Solver {
+    uf: UnionFind,
+    pointee: HashMap<u32, u32>, // keyed by current rep
+}
+
+impl Solver {
+    fn push(&mut self) -> u32 {
+        self.uf.push()
+    }
+
+    fn pointee_of(&mut self, n: u32) -> u32 {
+        let r = self.uf.find(n);
+        if let Some(&p) = self.pointee.get(&r) {
+            self.uf.find(p)
+        } else {
+            let fresh = self.uf.push();
+            self.pointee.insert(r, fresh);
+            fresh
+        }
+    }
+
+    fn join(&mut self, a: u32, b: u32) {
+        let mut work = vec![(a, b)];
+        while let Some((a, b)) = work.pop() {
+            let ra = self.uf.find(a);
+            let rb = self.uf.find(b);
+            if ra == rb {
+                continue;
+            }
+            let pa = self.pointee.remove(&ra);
+            let pb = self.pointee.remove(&rb);
+            let r = self.uf.union(ra, rb);
+            match (pa, pb) {
+                (Some(x), Some(y)) => {
+                    self.pointee.insert(r, x);
+                    work.push((x, y));
+                }
+                (Some(x), None) | (None, Some(x)) => {
+                    self.pointee.insert(r, x);
+                }
+                (None, None) => {}
+            }
+        }
+    }
+}
+
+impl AliasAnalysis {
+    /// Runs the analysis over a whole module.
+    pub fn analyze(m: &Module) -> AliasAnalysis {
+        let mut s = Solver {
+            uf: UnionFind::new(),
+            pointee: HashMap::new(),
+        };
+
+        // register nodes, function by function
+        let mut var_base = Vec::with_capacity(m.funcs.len());
+        for f in &m.funcs {
+            var_base.push(s.uf.len() as u32);
+            for _ in &f.vars {
+                s.push();
+            }
+        }
+        // return-value node per function
+        let ret_base = s.uf.len() as u32;
+        for _ in &m.funcs {
+            s.push();
+        }
+        // LOC nodes
+        let mut loc_node: HashMap<Loc, u32> = HashMap::new();
+        for (gi, _) in m.globals.iter().enumerate() {
+            let n = s.push();
+            loc_node.insert(Loc::Global(specframe_ir::GlobalId::from_index(gi)), n);
+        }
+        for (fi, f) in m.funcs.iter().enumerate() {
+            for (si, _) in f.slots.iter().enumerate() {
+                let n = s.push();
+                loc_node.insert(
+                    Loc::Slot(FuncSlot {
+                        func: FuncId::from_index(fi),
+                        slot: specframe_ir::SlotId::from_index(si),
+                    }),
+                    n,
+                );
+            }
+        }
+        for h in 0..m.next_alloc_site {
+            let n = s.push();
+            loc_node.insert(Loc::Heap(specframe_ir::AllocSiteId(h)), n);
+        }
+
+        let var_node = |fid: usize, v: VarId| var_base[fid] + v.0;
+
+        // one pass over every instruction generates all constraints;
+        // union-find makes the analysis flow-insensitive so one pass suffices
+        for (fi, f) in m.funcs.iter().enumerate() {
+            // `flow(dst, operand)`: dst may receive operand's value
+            let flow = |s: &mut Solver, dst: u32, op: Operand| match op {
+                Operand::Var(v) => s.join(dst, var_node(fi, v)),
+                Operand::GlobalAddr(g) => {
+                    let l = loc_node[&Loc::Global(g)];
+                    let p = s.pointee_of(dst);
+                    s.join(p, l);
+                }
+                Operand::SlotAddr(sl) => {
+                    let l = loc_node[&Loc::Slot(FuncSlot {
+                        func: FuncId::from_index(fi),
+                        slot: sl,
+                    })];
+                    let p = s.pointee_of(dst);
+                    s.join(p, l);
+                }
+                Operand::ConstI(_) | Operand::ConstF(_) => {}
+            };
+
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    match inst {
+                        Inst::Copy { dst, src } => flow(&mut s, var_node(fi, *dst), *src),
+                        Inst::Bin { dst, a, b, .. } => {
+                            flow(&mut s, var_node(fi, *dst), *a);
+                            flow(&mut s, var_node(fi, *dst), *b);
+                        }
+                        Inst::Un { dst, a, .. } => flow(&mut s, var_node(fi, *dst), *a),
+                        Inst::Load { dst, base, .. } | Inst::CheckLoad { dst, base, .. } => {
+                            match base {
+                                Operand::Var(p) => {
+                                    let pt = s.pointee_of(var_node(fi, *p));
+                                    s.join(var_node(fi, *dst), pt);
+                                }
+                                Operand::GlobalAddr(g) => {
+                                    let l = loc_node[&Loc::Global(*g)];
+                                    let contents = s.pointee_of(l);
+                                    s.join(var_node(fi, *dst), contents);
+                                }
+                                Operand::SlotAddr(sl) => {
+                                    let l = loc_node[&Loc::Slot(FuncSlot {
+                                        func: FuncId::from_index(fi),
+                                        slot: *sl,
+                                    })];
+                                    let contents = s.pointee_of(l);
+                                    s.join(var_node(fi, *dst), contents);
+                                }
+                                _ => {}
+                            }
+                        }
+                        Inst::Store { base, val, .. } => match base {
+                            Operand::Var(p) => {
+                                let pt = s.pointee_of(var_node(fi, *p));
+                                match val {
+                                    Operand::Var(v) => s.join(pt, var_node(fi, *v)),
+                                    Operand::GlobalAddr(g) => {
+                                        let l = loc_node[&Loc::Global(*g)];
+                                        let pp = s.pointee_of(pt);
+                                        s.join(pp, l);
+                                    }
+                                    Operand::SlotAddr(sl) => {
+                                        let l = loc_node[&Loc::Slot(FuncSlot {
+                                            func: FuncId::from_index(fi),
+                                            slot: *sl,
+                                        })];
+                                        let pp = s.pointee_of(pt);
+                                        s.join(pp, l);
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            Operand::GlobalAddr(g) => {
+                                let l = loc_node[&Loc::Global(*g)];
+                                let contents = s.pointee_of(l);
+                                match val {
+                                    Operand::Var(v) => s.join(contents, var_node(fi, *v)),
+                                    Operand::GlobalAddr(g2) => {
+                                        let l2 = loc_node[&Loc::Global(*g2)];
+                                        let pp = s.pointee_of(contents);
+                                        s.join(pp, l2);
+                                    }
+                                    Operand::SlotAddr(sl) => {
+                                        let l2 = loc_node[&Loc::Slot(FuncSlot {
+                                            func: FuncId::from_index(fi),
+                                            slot: *sl,
+                                        })];
+                                        let pp = s.pointee_of(contents);
+                                        s.join(pp, l2);
+                                    }
+                                    _ => {}
+                                }
+                            }
+                            Operand::SlotAddr(sl) => {
+                                let l = loc_node[&Loc::Slot(FuncSlot {
+                                    func: FuncId::from_index(fi),
+                                    slot: *sl,
+                                })];
+                                let contents = s.pointee_of(l);
+                                if let Operand::Var(v) = val {
+                                    s.join(contents, var_node(fi, *v));
+                                }
+                            }
+                            _ => {}
+                        },
+                        Inst::Call {
+                            dst, callee, args, ..
+                        } => {
+                            let cf = callee.index();
+                            for (k, a) in args.iter().enumerate() {
+                                let pnode = var_base[cf] + k as u32;
+                                flow(&mut s, pnode, *a);
+                            }
+                            if let Some(d) = dst {
+                                s.join(var_node(fi, *d), ret_base + cf as u32);
+                            }
+                        }
+                        Inst::Alloc { dst, site, .. } => {
+                            let l = loc_node[&Loc::Heap(*site)];
+                            let p = s.pointee_of(var_node(fi, *dst));
+                            s.join(p, l);
+                        }
+                    }
+                }
+                if let Terminator::Ret(Some(v)) = &b.term {
+                    flow(&mut s, ret_base + fi as u32, *v);
+                }
+            }
+        }
+
+        // freeze
+        let n = s.uf.len();
+        let mut rep = vec![0u32; n];
+        for i in 0..n as u32 {
+            rep[i as usize] = s.uf.find(i);
+        }
+        let mut pointee = vec![u32::MAX; n];
+        for (&k, &v) in &s.pointee {
+            let rk = rep[k as usize];
+            pointee[rk as usize] = rep[v as usize];
+        }
+        let mut members: HashMap<ClassId, Vec<Loc>> = HashMap::new();
+        for (&loc, &node) in &loc_node {
+            members
+                .entry(ClassId(rep[node as usize]))
+                .or_default()
+                .push(loc);
+        }
+        for v in members.values_mut() {
+            v.sort();
+        }
+
+        let mut aa = AliasAnalysis {
+            rep,
+            pointee,
+            var_base,
+            loc_node,
+            members,
+            mods: vec![BTreeSet::new(); m.funcs.len()],
+            refs: vec![BTreeSet::new(); m.funcs.len()],
+        };
+        aa.compute_modref(m);
+        aa
+    }
+
+    fn compute_modref(&mut self, m: &Module) {
+        // local sets
+        for (fi, f) in m.funcs.iter().enumerate() {
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    match inst {
+                        Inst::Load { base, .. } | Inst::CheckLoad { base, .. } => {
+                            if let Some(c) = self.access_class(FuncId::from_index(fi), *base) {
+                                self.refs[fi].insert(c);
+                            }
+                        }
+                        Inst::Store { base, .. } => {
+                            if let Some(c) = self.access_class(FuncId::from_index(fi), *base) {
+                                self.mods[fi].insert(c);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        // close over the call graph
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fi, f) in m.funcs.iter().enumerate() {
+                for b in &f.blocks {
+                    for inst in &b.insts {
+                        if let Inst::Call { callee, .. } = inst {
+                            let ci = callee.index();
+                            if ci == fi {
+                                continue;
+                            }
+                            let callee_mods: Vec<_> = self.mods[ci].iter().copied().collect();
+                            for c in callee_mods {
+                                changed |= self.mods[fi].insert(c);
+                            }
+                            let callee_refs: Vec<_> = self.refs[ci].iter().copied().collect();
+                            for c in callee_refs {
+                                changed |= self.refs[fi].insert(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn node_of_var(&self, f: FuncId, v: VarId) -> u32 {
+        self.var_base[f.index()] + v.0
+    }
+
+    /// The final class of one register's *value*.
+    pub fn var_class(&self, f: FuncId, v: VarId) -> ClassId {
+        ClassId(self.rep[self.node_of_var(f, v) as usize])
+    }
+
+    /// The final class of a LOC.
+    pub fn loc_class(&self, loc: Loc) -> ClassId {
+        ClassId(self.rep[self.loc_node[&loc] as usize])
+    }
+
+    /// The alias class a memory access with base operand `base` touches:
+    /// the pointee class for register bases, the location's own class for
+    /// direct global/slot bases. `None` for constant bases (unknown raw
+    /// addresses never arise in well-formed programs).
+    pub fn access_class(&self, f: FuncId, base: Operand) -> Option<ClassId> {
+        match base {
+            Operand::Var(p) => {
+                let n = self.rep[self.node_of_var(f, p) as usize];
+                let pt = self.pointee[n as usize];
+                if pt == u32::MAX {
+                    None
+                } else {
+                    Some(ClassId(self.rep[pt as usize]))
+                }
+            }
+            Operand::GlobalAddr(g) => Some(self.loc_class(Loc::Global(g))),
+            Operand::SlotAddr(s) => Some(self.loc_class(Loc::Slot(FuncSlot { func: f, slot: s }))),
+            _ => None,
+        }
+    }
+
+    /// LOC members of a class (empty slice if the class holds no named
+    /// location — e.g. a class of pure scalars).
+    pub fn locs_in_class(&self, c: ClassId) -> &[Loc] {
+        self.members.get(&c).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The LOCs an access may touch, filtered by type-based alias analysis
+    /// for accesses of type `ty`. For a direct access this is the single
+    /// accessed location; for an indirect one, every TBAA-compatible LOC in
+    /// the pointee class.
+    pub fn may_access(&self, m: &Module, f: FuncId, base: Operand, ty: Ty) -> Vec<Loc> {
+        match base {
+            Operand::GlobalAddr(g) => vec![Loc::Global(g)],
+            Operand::SlotAddr(s) => vec![Loc::Slot(FuncSlot { func: f, slot: s })],
+            _ => match self.access_class(f, base) {
+                Some(c) => self
+                    .locs_in_class(c)
+                    .iter()
+                    .copied()
+                    .filter(|l| l.tbaa_may_alias(m, ty))
+                    .collect(),
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Whether two accesses may alias: their classes are equal and at least
+    /// one type is TBAA-compatible with the other.
+    pub fn may_alias(
+        &self,
+        f1: FuncId,
+        base1: Operand,
+        ty1: Ty,
+        f2: FuncId,
+        base2: Operand,
+        ty2: Ty,
+    ) -> bool {
+        if !ty1.tbaa_may_alias(ty2) {
+            return false;
+        }
+        match (self.access_class(f1, base1), self.access_class(f2, base2)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Classes function `f` may store to, including everything its callees
+    /// may store to.
+    pub fn func_mod(&self, f: FuncId) -> &BTreeSet<ClassId> {
+        &self.mods[f.index()]
+    }
+
+    /// Classes function `f` may load from, including callees.
+    pub fn func_ref(&self, f: FuncId) -> &BTreeSet<ClassId> {
+        &self.refs[f.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specframe_ir::{BinOp, ModuleBuilder};
+
+    #[test]
+    fn distinct_globals_without_pointers_stay_separate() {
+        let mut mb = ModuleBuilder::new();
+        let ga = mb.global("a", 1, Ty::I64);
+        let gb = mb.global("b", 1, Ty::I64);
+        let f = mb.declare_func("f", &[], None);
+        {
+            let mut fb = mb.define(f);
+            let x = fb.load(Operand::GlobalAddr(ga), 0, Ty::I64);
+            fb.store(Operand::GlobalAddr(gb), 0, x.into(), Ty::I64);
+            fb.ret(None);
+        }
+        let m = mb.finish();
+        let aa = AliasAnalysis::analyze(&m);
+        assert_ne!(aa.loc_class(Loc::Global(ga)), aa.loc_class(Loc::Global(gb)));
+    }
+
+    #[test]
+    fn address_taken_global_aliases_pointer_deref() {
+        // p = &a; load *p   =>  *p may access {a}, and may_alias(a, *p)
+        let mut mb = ModuleBuilder::new();
+        let ga = mb.global("a", 1, Ty::I64);
+        let _gb = mb.global("b", 1, Ty::I64);
+        let f = mb.declare_func("f", &[], Some(Ty::I64));
+        let (p, m) = {
+            let mut fb = mb.define(f);
+            let p = fb.var("p", Ty::Ptr);
+            fb.copy_to(p, Operand::GlobalAddr(ga));
+            let x = fb.load(p.into(), 0, Ty::I64);
+            fb.ret(Some(x.into()));
+            (p, mb.finish())
+        };
+        let aa = AliasAnalysis::analyze(&m);
+        let locs = aa.may_access(&m, FuncId(0), Operand::Var(p), Ty::I64);
+        assert_eq!(locs, vec![Loc::Global(ga)]);
+        assert!(aa.may_alias(
+            FuncId(0),
+            Operand::GlobalAddr(ga),
+            Ty::I64,
+            FuncId(0),
+            Operand::Var(p),
+            Ty::I64
+        ));
+    }
+
+    #[test]
+    fn two_pointers_to_same_object_share_class() {
+        let mut mb = ModuleBuilder::new();
+        let ga = mb.global("a", 4, Ty::I64);
+        let f = mb.declare_func("f", &[], None);
+        let (p, q, m) = {
+            let mut fb = mb.define(f);
+            let p = fb.var("p", Ty::Ptr);
+            let q = fb.var("q", Ty::Ptr);
+            fb.copy_to(p, Operand::GlobalAddr(ga));
+            // q = p + 2 — pointer arithmetic keeps the class
+            fb.bin_to(q, BinOp::Add, p.into(), 2.into());
+            fb.store(q.into(), 0, 1.into(), Ty::I64);
+            fb.ret(None);
+            (p, q, mb.finish())
+        };
+        let aa = AliasAnalysis::analyze(&m);
+        assert_eq!(
+            aa.access_class(FuncId(0), Operand::Var(p)),
+            aa.access_class(FuncId(0), Operand::Var(q))
+        );
+    }
+
+    #[test]
+    fn unrelated_heap_allocations_differ() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("f", &[], None);
+        let (p, q, m) = {
+            let mut fb = mb.define(f);
+            let p = fb.alloc(8.into());
+            let q = fb.alloc(8.into());
+            fb.store(p.into(), 0, 1.into(), Ty::I64);
+            fb.store(q.into(), 0, 2.into(), Ty::I64);
+            fb.ret(None);
+            (p, q, mb.finish())
+        };
+        let aa = AliasAnalysis::analyze(&m);
+        assert_ne!(
+            aa.access_class(FuncId(0), Operand::Var(p)),
+            aa.access_class(FuncId(0), Operand::Var(q))
+        );
+    }
+
+    #[test]
+    fn store_through_pointer_merges_pointees() {
+        // tbl holds pointers: *t = &a; later r = *t; *r touches a's class
+        let mut mb = ModuleBuilder::new();
+        let ga = mb.global("a", 1, Ty::I64);
+        let tbl = mb.global("tbl", 1, Ty::Ptr);
+        let f = mb.declare_func("f", &[], None);
+        let (r, m) = {
+            let mut fb = mb.define(f);
+            fb.store(
+                Operand::GlobalAddr(tbl),
+                0,
+                Operand::GlobalAddr(ga),
+                Ty::Ptr,
+            );
+            let r = fb.load(Operand::GlobalAddr(tbl), 0, Ty::Ptr);
+            fb.store(r.into(), 0, 7.into(), Ty::I64);
+            fb.ret(None);
+            (r, mb.finish())
+        };
+        let aa = AliasAnalysis::analyze(&m);
+        let locs = aa.may_access(&m, FuncId(0), Operand::Var(r), Ty::I64);
+        assert!(locs.contains(&Loc::Global(ga)), "{locs:?}");
+    }
+
+    #[test]
+    fn tbaa_filters_may_access() {
+        let mut mb = ModuleBuilder::new();
+        let gi = mb.global("ints", 4, Ty::I64);
+        let gf = mb.global("floats", 4, Ty::F64);
+        let f = mb.declare_func("f", &[("sel", Ty::I64)], None);
+        let (p, m) = {
+            let mut fb = mb.define(f);
+            let sel = fb.param(0);
+            let p = fb.var("p", Ty::Ptr);
+            let t = fb.block("t");
+            let e = fb.block("e");
+            let j = fb.block("j");
+            fb.br(sel.into(), t, e);
+            fb.switch_to(t);
+            fb.copy_to(p, Operand::GlobalAddr(gi));
+            fb.jmp(j);
+            fb.switch_to(e);
+            fb.copy_to(p, Operand::GlobalAddr(gf));
+            fb.jmp(j);
+            fb.switch_to(j);
+            fb.load(p.into(), 0, Ty::F64);
+            fb.ret(None);
+            (p, mb.finish())
+        };
+        let aa = AliasAnalysis::analyze(&m);
+        // class contains both, but an f64 access filters out the i64 global
+        let locs = aa.may_access(&m, FuncId(0), Operand::Var(p), Ty::F64);
+        assert_eq!(locs, vec![Loc::Global(gf)]);
+        let locs_i = aa.may_access(&m, FuncId(0), Operand::Var(p), Ty::I64);
+        assert_eq!(locs_i, vec![Loc::Global(gi)]);
+    }
+
+    #[test]
+    fn callee_stores_show_in_caller_mod() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g", 1, Ty::I64);
+        let leaf = mb.declare_func("leaf", &[], None);
+        {
+            let mut fb = mb.define(leaf);
+            fb.store(Operand::GlobalAddr(g), 0, 1.into(), Ty::I64);
+            fb.ret(None);
+        }
+        let mid = mb.declare_func("mid", &[], None);
+        {
+            let mut fb = mb.define(mid);
+            fb.call(leaf, &[]);
+            fb.ret(None);
+        }
+        let top = mb.declare_func("top", &[], None);
+        {
+            let mut fb = mb.define(top);
+            fb.call(mid, &[]);
+            fb.ret(None);
+        }
+        let m = mb.finish();
+        let aa = AliasAnalysis::analyze(&m);
+        let gc = aa.loc_class(Loc::Global(g));
+        assert!(aa.func_mod(leaf).contains(&gc));
+        assert!(aa.func_mod(mid).contains(&gc));
+        assert!(aa.func_mod(top).contains(&gc));
+        assert!(aa.func_ref(top).is_empty());
+    }
+
+    #[test]
+    fn param_passing_links_caller_arg_to_callee_deref() {
+        // caller passes &g; callee stores through the param.
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g", 1, Ty::I64);
+        let callee = mb.declare_func("set", &[("p", Ty::Ptr)], None);
+        {
+            let mut fb = mb.define(callee);
+            let p = fb.param(0);
+            fb.store(p.into(), 0, 9.into(), Ty::I64);
+            fb.ret(None);
+        }
+        let caller = mb.declare_func("main", &[], None);
+        {
+            let mut fb = mb.define(caller);
+            fb.call(callee, &[Operand::GlobalAddr(g)]);
+            fb.ret(None);
+        }
+        let m = mb.finish();
+        let aa = AliasAnalysis::analyze(&m);
+        let locs = aa.may_access(&m, callee, Operand::Var(VarId(0)), Ty::I64);
+        assert_eq!(locs, vec![Loc::Global(g)]);
+        // and the mod summary of main includes g's class
+        assert!(aa.func_mod(caller).contains(&aa.loc_class(Loc::Global(g))));
+    }
+
+    #[test]
+    fn return_value_propagates_points_to() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g", 1, Ty::I64);
+        let getp = mb.declare_func("getp", &[], Some(Ty::Ptr));
+        {
+            let mut fb = mb.define(getp);
+            fb.ret(Some(Operand::GlobalAddr(g)));
+        }
+        let caller = mb.declare_func("main", &[], None);
+        let (r, m) = {
+            let mut fb = mb.define(caller);
+            let r = fb.call(getp, &[]).unwrap();
+            fb.store(r.into(), 0, 3.into(), Ty::I64);
+            fb.ret(None);
+            (r, mb.finish())
+        };
+        let aa = AliasAnalysis::analyze(&m);
+        let locs = aa.may_access(&m, caller, Operand::Var(r), Ty::I64);
+        assert_eq!(locs, vec![Loc::Global(g)]);
+    }
+
+    #[test]
+    fn slot_address_taken_aliases() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("f", &[], Some(Ty::I64));
+        let (sl, p, m) = {
+            let mut fb = mb.define(f);
+            let sl = fb.slot("x", 1, Ty::I64);
+            let p = fb.var("p", Ty::Ptr);
+            fb.copy_to(p, Operand::SlotAddr(sl));
+            fb.store(p.into(), 0, 5.into(), Ty::I64);
+            let v = fb.load(Operand::SlotAddr(sl), 0, Ty::I64);
+            fb.ret(Some(v.into()));
+            (sl, p, mb.finish())
+        };
+        let aa = AliasAnalysis::analyze(&m);
+        let loc = Loc::Slot(FuncSlot { func: f, slot: sl });
+        assert!(aa
+            .may_access(&m, f, Operand::Var(p), Ty::I64)
+            .contains(&loc));
+        assert!(aa.may_alias(
+            f,
+            Operand::SlotAddr(sl),
+            Ty::I64,
+            f,
+            Operand::Var(p),
+            Ty::I64
+        ));
+    }
+}

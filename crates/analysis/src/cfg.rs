@@ -1,0 +1,190 @@
+//! CFG traversal orders and edge utilities.
+
+use specframe_ir::{Block, BlockId, Function, Terminator};
+
+/// Blocks reachable from the entry, as a membership vector indexed by block.
+pub fn reachable_blocks(f: &Function) -> Vec<bool> {
+    let mut seen = vec![false; f.blocks.len()];
+    let mut stack = vec![f.entry()];
+    seen[f.entry().index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.block(b).term.successors() {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+/// Reverse postorder over reachable blocks, starting at the entry.
+///
+/// This is the iteration order for forward dataflow and the block order the
+/// dominator computation requires.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let mut post = Vec::with_capacity(f.blocks.len());
+    let mut state = vec![0u8; f.blocks.len()]; // 0 unvisited, 1 open, 2 done
+                                               // iterative DFS with explicit successor cursor
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry(), 0)];
+    state[f.entry().index()] = 1;
+    while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {
+        let succs = f.block(b).term.successors();
+        if *cursor < succs.len() {
+            let s = succs[*cursor];
+            *cursor += 1;
+            if state[s.index()] == 0 {
+                state[s.index()] = 1;
+                stack.push((s, 0));
+            }
+        } else {
+            state[b.index()] = 2;
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Splits every critical edge (edge from a block with multiple successors to
+/// a block with multiple predecessors) by inserting an empty forwarding
+/// block. Returns the number of edges split.
+///
+/// SSAPRE inserts computations *on edges* (at Φ operands); splitting makes
+/// every insertion point a block of its own, and out-of-SSA φ lowering needs
+/// it for the same reason.
+pub fn split_critical_edges(f: &mut Function) -> usize {
+    let preds = f.predecessors();
+    let mut to_split: Vec<(BlockId, BlockId)> = Vec::new();
+    for b in f.block_ids() {
+        let succs = f.block(b).term.successors();
+        if succs.len() <= 1 {
+            continue;
+        }
+        for s in succs {
+            if preds[s.index()].len() > 1 {
+                to_split.push((b, s));
+            }
+        }
+    }
+    for &(from, to) in &to_split {
+        let mid = BlockId::from_index(f.blocks.len());
+        f.blocks.push(Block {
+            name: format!(
+                "crit_{}_{}",
+                f.blocks[from.index()].name,
+                f.blocks[to.index()].name
+            ),
+            insts: Vec::new(),
+            term: Terminator::Jump(to),
+        });
+        f.block_mut(from).term.map_successors(|t| {
+            if *t == to {
+                *t = mid;
+            }
+        });
+    }
+    to_split.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specframe_ir::{ModuleBuilder, Operand, Ty};
+
+    /// entry -> (a | b); a -> c; b -> c; c -> ret
+    fn diamond() -> specframe_ir::Module {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("d", &[("x", Ty::I64)], None);
+        {
+            let mut fb = mb.define(f);
+            let x = fb.param(0);
+            let a = fb.block("a");
+            let b = fb.block("b");
+            let c = fb.block("c");
+            fb.br(x.into(), a, b);
+            fb.switch_to(a);
+            fb.jmp(c);
+            fb.switch_to(b);
+            fb.jmp(c);
+            fb.switch_to(c);
+            fb.ret(None);
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let m = diamond();
+        let rpo = reverse_postorder(&m.funcs[0]);
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], m.funcs[0].entry());
+        // c must come after both a and b
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn unreachable_blocks_excluded() {
+        let mut m = diamond();
+        let dead = m.funcs[0].new_block("dead");
+        m.funcs[0].block_mut(dead).term = Terminator::Ret(None);
+        let rpo = reverse_postorder(&m.funcs[0]);
+        assert_eq!(rpo.len(), 4);
+        let reach = reachable_blocks(&m.funcs[0]);
+        assert!(!reach[dead.index()]);
+    }
+
+    #[test]
+    fn critical_edge_split() {
+        // entry -br-> (merge | side); side -> merge: edge entry->merge is critical
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("t", &[("x", Ty::I64)], None);
+        {
+            let mut fb = mb.define(f);
+            let x = fb.param(0);
+            let merge = fb.block("merge");
+            let side = fb.block("side");
+            fb.br(x.into(), merge, side);
+            fb.switch_to(side);
+            fb.jmp(merge);
+            fb.switch_to(merge);
+            fb.ret(None);
+        }
+        let mut m = mb.finish();
+        let n = split_critical_edges(&mut m.funcs[0]);
+        assert_eq!(n, 1);
+        // the branch no longer targets merge directly
+        let Terminator::Br { then_, .. } = m.funcs[0].blocks[0].term.clone() else {
+            panic!()
+        };
+        assert_ne!(then_, BlockId(1));
+        assert!(matches!(
+            m.funcs[0].block(then_).term,
+            Terminator::Jump(b) if b == BlockId(1)
+        ));
+        // splitting again is a no-op
+        assert_eq!(split_critical_edges(&mut m.funcs[0]), 0);
+        specframe_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn branch_with_const_cond_still_splits() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("t", &[], None);
+        {
+            let mut fb = mb.define(f);
+            let a = fb.block("a");
+            let b = fb.block("b");
+            fb.br(Operand::ConstI(1), a, b);
+            fb.switch_to(a);
+            fb.jmp(b);
+            fb.switch_to(b);
+            fb.ret(None);
+        }
+        let mut m = mb.finish();
+        assert_eq!(split_critical_edges(&mut m.funcs[0]), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property tests for the dominator computation: the CHK iterative
+//! algorithm must agree with a naive path-based oracle on random CFGs.
+
+use proptest::prelude::*;
+use specframe_analysis::{DomFrontiers, DomTree};
+use specframe_ir::{BlockId, ModuleBuilder, Operand, Terminator, Ty};
+
+/// Builds a function with `n` blocks and the given edge list (pairs of
+/// block indices). Each block gets a terminator covering its out-edges:
+/// 0 succs = ret, 1 = jmp, 2 = br, >2 edges are truncated to 2.
+fn build_cfg(n: usize, edges: &[(usize, usize)]) -> specframe_ir::Module {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.declare_func("t", &[("x", Ty::I64)], None);
+    {
+        let mut fb = mb.define(f);
+        for i in 1..n {
+            fb.block(format!("b{i}"));
+        }
+        fb.ret(None); // seal entry temporarily; fixed below
+    }
+    let mut m = mb.finish();
+    let func = &mut m.funcs[0];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(a, b) in edges {
+        let (a, b) = (a % n, b % n);
+        if succs[a].len() < 2 && !succs[a].contains(&b) {
+            succs[a].push(b);
+        }
+    }
+    for i in 0..n {
+        func.blocks[i].term = match succs[i].len() {
+            0 => Terminator::Ret(None),
+            1 => Terminator::Jump(BlockId(succs[i][0] as u32)),
+            _ => Terminator::Br {
+                cond: Operand::Var(specframe_ir::VarId(0)),
+                then_: BlockId(succs[i][0] as u32),
+                else_: BlockId(succs[i][1] as u32),
+            },
+        };
+    }
+    m
+}
+
+/// Naive dominance: `a` dominates `b` iff removing `a` makes `b`
+/// unreachable from the entry (or a == b).
+fn naive_dominates(f: &specframe_ir::Function, a: BlockId, b: BlockId) -> bool {
+    if a == b {
+        return true;
+    }
+    // reachability avoiding `a`
+    let mut seen = vec![false; f.blocks.len()];
+    let entry = f.entry();
+    if entry == a {
+        return entry != b; // entry dominates everything except... it IS entry
+    }
+    let mut stack = vec![entry];
+    seen[entry.index()] = true;
+    while let Some(x) = stack.pop() {
+        for s in f.block(x).term.successors() {
+            if s != a && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    !seen[b.index()]
+}
+
+fn reachable(f: &specframe_ir::Function) -> Vec<bool> {
+    let mut seen = vec![false; f.blocks.len()];
+    let mut stack = vec![f.entry()];
+    seen[0] = true;
+    while let Some(x) = stack.pop() {
+        for s in f.block(x).term.successors() {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn chk_matches_naive_oracle(
+        n in 2usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 1..25)
+    ) {
+        let m = build_cfg(n, &edges);
+        let f = &m.funcs[0];
+        let dt = DomTree::compute(f);
+        let reach = reachable(f);
+        for a in 0..n {
+            for b in 0..n {
+                let (ba, bb) = (BlockId(a as u32), BlockId(b as u32));
+                if !reach[a] || !reach[b] {
+                    continue;
+                }
+                prop_assert_eq!(
+                    dt.dominates(ba, bb),
+                    naive_dominates(f, ba, bb),
+                    "dominates({}, {}) mismatch", a, b
+                );
+            }
+        }
+        // idom really is the closest strict dominator
+        for b in 1..n {
+            if !reach[b] {
+                continue;
+            }
+            let bb = BlockId(b as u32);
+            if let Some(id) = dt.idom(bb) {
+                prop_assert!(naive_dominates(f, id, bb));
+                // no other strict dominator sits between idom and b
+                for c in 0..n {
+                    let bc = BlockId(c as u32);
+                    if reach[c] && bc != bb && bc != id && naive_dominates(f, bc, bb) {
+                        prop_assert!(
+                            naive_dominates(f, bc, id),
+                            "{} strictly dominates {} but not idom {}", c, b, id.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_frontier_definition_holds(
+        n in 2usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 1..25)
+    ) {
+        let m = build_cfg(n, &edges);
+        let f = &m.funcs[0];
+        let dt = DomTree::compute(f);
+        let df = DomFrontiers::compute(f, &dt);
+        let reach = reachable(f);
+        let preds = f.predecessors();
+        // y in DF(x) iff x dominates a predecessor of y but not strictly y
+        for x in 0..n {
+            if !reach[x] { continue; }
+            let bx = BlockId(x as u32);
+            for y in 0..n {
+                if !reach[y] { continue; }
+                let by = BlockId(y as u32);
+                // the implementation records only join blocks (>= 2
+                // predecessors): single-pred blocks never need a phi, so
+                // they are omitted from frontiers by construction
+                let expected = preds[y].len() >= 2
+                    && preds[y]
+                        .iter()
+                        .filter(|p| reach[p.index()])
+                        .any(|&p| dt.dominates(bx, p))
+                    && !dt.strictly_dominates(bx, by);
+                prop_assert_eq!(
+                    df.of(bx).contains(&by),
+                    expected,
+                    "DF({}) membership of {} wrong", x, y
+                );
+            }
+        }
+    }
+}

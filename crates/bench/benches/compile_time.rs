@@ -1,0 +1,125 @@
+//! Criterion benches: compile-time cost of the speculative pipeline.
+//!
+//! The paper's framework claim is that data speculation drops into the
+//! existing SSAPRE at modest compiler cost (the changes are confined to
+//! Φ-Insertion, Rename and CodeMotion). These benches measure that cost:
+//! per-pass and per-configuration wall time over the eight workloads, plus
+//! the analysis substrate (alias analysis, HSSA construction, profiling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use specframe_alias::AliasAnalysis;
+use specframe_core::{optimize, prepare_module, ControlSpec, OptOptions, SpecSource};
+use specframe_hssa::{build_hssa, SpecMode};
+use specframe_ir::FuncId;
+use specframe_profile::{run_with, AliasProfiler};
+use specframe_workloads::{all_workloads, Scale};
+
+fn bench_optimize_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize");
+    for w in all_workloads(Scale::Test) {
+        let mut prepared = w.module.clone();
+        prepare_module(&mut prepared);
+        let mut ap = AliasProfiler::new();
+        run_with(&prepared, w.entry, &w.train_args, w.fuel, &mut ap).unwrap();
+        let aprof = ap.finish();
+
+        group.bench_with_input(BenchmarkId::new("baseline", w.name), &prepared, |b, m| {
+            b.iter(|| {
+                let mut m = m.clone();
+                optimize(
+                    &mut m,
+                    &OptOptions {
+                        data: SpecSource::None,
+                        control: ControlSpec::Static,
+                        strength_reduction: true,
+                        store_sinking: false,
+                    },
+                )
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("speculative", w.name),
+            &prepared,
+            |b, m| {
+                b.iter(|| {
+                    let mut m = m.clone();
+                    optimize(
+                        &mut m,
+                        &OptOptions {
+                            data: SpecSource::Profile(&aprof),
+                            control: ControlSpec::Static,
+                            strength_reduction: true,
+                            store_sinking: false,
+                        },
+                    )
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("heuristic", w.name), &prepared, |b, m| {
+            b.iter(|| {
+                let mut m = m.clone();
+                optimize(
+                    &mut m,
+                    &OptOptions {
+                        data: SpecSource::Heuristic,
+                        control: ControlSpec::Static,
+                        strength_reduction: true,
+                        store_sinking: false,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    for w in all_workloads(Scale::Test) {
+        let mut prepared = w.module.clone();
+        prepare_module(&mut prepared);
+
+        group.bench_with_input(
+            BenchmarkId::new("alias_analysis", w.name),
+            &prepared,
+            |b, m| b.iter(|| AliasAnalysis::analyze(m)),
+        );
+        let aa = AliasAnalysis::analyze(&prepared);
+        group.bench_with_input(BenchmarkId::new("hssa_build", w.name), &prepared, |b, m| {
+            b.iter(|| {
+                for fi in 0..m.funcs.len() {
+                    build_hssa(m, FuncId::from_index(fi), &aa, SpecMode::NoSpeculation);
+                }
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("alias_profiling", w.name),
+            &prepared,
+            |b, m| {
+                b.iter(|| {
+                    let mut ap = AliasProfiler::new();
+                    run_with(m, w.entry, &w.train_args, w.fuel, &mut ap).unwrap();
+                    ap.finish()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn configured() -> Criterion {
+    // keep `cargo bench --workspace` under a few minutes: each measurement
+    // is microseconds-to-milliseconds, so short windows are plenty
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_optimize_configs, bench_substrate
+}
+criterion_main!(benches);

@@ -1,0 +1,458 @@
+//! # specframe-codegen
+//!
+//! Code generation: lowering `specframe-ir` modules onto the EPIC target of
+//! `specframe-machine`. This is the stage where the paper's speculation
+//! annotations become real instructions:
+//!
+//! | IR | EPIC |
+//! |----|------|
+//! | `load`            | `ld`   |
+//! | `load.a`          | `ld.a` (allocates an ALAT entry) |
+//! | `load.s`          | `ld.sa` (deferred faults + ALAT entry) |
+//! | `ldc` (checkload) | `ld.c` (free on ALAT hit) |
+//! | `chks`            | NaT check with inline reload (chk.s + recovery) |
+//!
+//! Registers stay virtual (no allocator); global addresses are resolved to
+//! link-time constants using the same layout the reference interpreter
+//! uses, so the two execution engines are address-compatible and can be
+//! co-simulated in tests.
+
+use specframe_ir::{CheckKind, Function, Inst, LoadSpec, Module, Operand, Terminator, Value};
+use specframe_machine::isa::{ChkKind, LdKind, MFunc, MInst, MOperand, MProgram, Reg};
+
+/// Lowers a whole module to a machine program.
+pub fn lower_module(m: &Module) -> MProgram {
+    let layout = m.global_layout();
+    let globals_end = layout
+        .last()
+        .map(|&b| b + i64::from(m.globals.last().unwrap().words))
+        .unwrap_or(Module::GLOBAL_BASE);
+
+    let mut global_image = Vec::new();
+    for (gi, g) in m.globals.iter().enumerate() {
+        for (w, v) in g.init.iter().enumerate() {
+            global_image.push((layout[gi] + w as i64, *v));
+        }
+        // typed zero fill so f64 cells read back as floats even when only
+        // partially initialized
+        for w in g.init.len()..g.words as usize {
+            global_image.push((layout[gi] + w as i64, Value::zero(g.ty)));
+        }
+    }
+
+    let funcs = m
+        .funcs
+        .iter()
+        .map(|f| lower_function(m, f, &layout))
+        .collect();
+
+    MProgram {
+        funcs,
+        global_image,
+        globals_end,
+    }
+}
+
+fn operand(o: Operand, layout: &[i64]) -> MOperand {
+    match o {
+        Operand::Var(v) => MOperand::R(Reg(v.0)),
+        Operand::ConstI(c) => MOperand::I(c),
+        Operand::ConstF(c) => MOperand::F(c),
+        Operand::GlobalAddr(g) => MOperand::I(layout[g.index()]),
+        Operand::SlotAddr(s) => MOperand::SlotAddr(s.0),
+    }
+}
+
+fn lower_function(m: &Module, f: &Function, layout: &[i64]) -> MFunc {
+    let _ = m;
+    // first pass: block start offsets
+    let mut starts = Vec::with_capacity(f.blocks.len());
+    let mut off = 0usize;
+    for b in &f.blocks {
+        starts.push(off);
+        off += b.insts.len() + 1; // + terminator
+    }
+
+    let mut code = Vec::with_capacity(off);
+    let mut promoted: Vec<Reg> = Vec::new();
+    for b in &f.blocks {
+        for inst in &b.insts {
+            let mi = match inst {
+                Inst::Bin { dst, op, a, b } => MInst::Alu {
+                    d: Reg(dst.0),
+                    op: *op,
+                    a: operand(*a, layout),
+                    b: operand(*b, layout),
+                },
+                Inst::Un { dst, op, a } => MInst::Un {
+                    d: Reg(dst.0),
+                    op: *op,
+                    a: operand(*a, layout),
+                },
+                Inst::Copy { dst, src } => MInst::Mov {
+                    d: Reg(dst.0),
+                    s: operand(*src, layout),
+                },
+                Inst::Load {
+                    dst,
+                    base,
+                    offset,
+                    ty,
+                    spec,
+                    ..
+                } => {
+                    let kind = match spec {
+                        LoadSpec::Normal => LdKind::Normal,
+                        LoadSpec::Advanced => LdKind::Advanced,
+                        LoadSpec::Speculative => LdKind::SpecAdvanced,
+                    };
+                    if *kind_is_advanced(&kind) && !promoted.contains(&Reg(dst.0)) {
+                        promoted.push(Reg(dst.0));
+                    }
+                    MInst::Ld {
+                        d: Reg(dst.0),
+                        base: operand(*base, layout),
+                        off: *offset,
+                        ty: *ty,
+                        kind,
+                    }
+                }
+                Inst::CheckLoad {
+                    dst,
+                    base,
+                    offset,
+                    ty,
+                    kind,
+                    ..
+                } => {
+                    if !promoted.contains(&Reg(dst.0)) {
+                        promoted.push(Reg(dst.0));
+                    }
+                    MInst::Chk {
+                        d: Reg(dst.0),
+                        base: operand(*base, layout),
+                        off: *offset,
+                        ty: *ty,
+                        kind: match kind {
+                            CheckKind::Alat => ChkKind::Alat,
+                            CheckKind::Nat => ChkKind::Nat,
+                        },
+                    }
+                }
+                Inst::Store {
+                    base,
+                    offset,
+                    val,
+                    ty,
+                    ..
+                } => MInst::St {
+                    base: operand(*base, layout),
+                    off: *offset,
+                    val: operand(*val, layout),
+                    ty: *ty,
+                },
+                Inst::Call {
+                    dst, callee, args, ..
+                } => MInst::Call {
+                    d: dst.map(|d| Reg(d.0)),
+                    func: callee.index(),
+                    args: args.iter().map(|&a| operand(a, layout)).collect(),
+                },
+                Inst::Alloc { dst, words, .. } => MInst::Alloc {
+                    d: Reg(dst.0),
+                    words: operand(*words, layout),
+                },
+            };
+            code.push(mi);
+        }
+        let term = match &b.term {
+            Terminator::Jump(t) => MInst::Jmp(starts[t.index()]),
+            Terminator::Br { cond, then_, else_ } => MInst::Br {
+                cond: operand(*cond, layout),
+                then_: starts[then_.index()],
+                else_: starts[else_.index()],
+            },
+            Terminator::Ret(v) => MInst::Ret(v.map(|v| operand(v, layout))),
+        };
+        code.push(term);
+    }
+
+    MFunc {
+        name: f.name.clone(),
+        params: f.params,
+        regs: f.vars.len() as u32,
+        slot_words: f.slots.iter().map(|s| s.words).collect(),
+        code,
+        promoted_regs: promoted,
+    }
+}
+
+fn kind_is_advanced(k: &LdKind) -> &bool {
+    match k {
+        LdKind::Normal => &false,
+        _ => &true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specframe_core::{optimize, ControlSpec, OptOptions, SpecSource};
+    use specframe_ir::parse_module;
+    use specframe_machine::run_machine;
+    use specframe_profile::{run, run_with, AliasProfiler};
+
+    /// Interpreter and machine must agree (co-simulation).
+    fn cosim(src: &str, entry: &str, args: &[Value]) -> specframe_machine::Counters {
+        let m = parse_module(src).unwrap();
+        let (want, istats) = run(&m, entry, args, 10_000_000).unwrap();
+        let p = lower_module(&m);
+        let (got, c) = run_machine(&p, entry, args, 10_000_000).unwrap();
+        assert_eq!(got, want, "machine result diverged from interpreter");
+        assert_eq!(
+            c.loads_retired, istats.loads,
+            "retired loads must match interpreter loads"
+        );
+        assert_eq!(c.stores, istats.stores);
+        c
+    }
+
+    #[test]
+    fn cosim_loop() {
+        let c = cosim(
+            r#"
+global g: i64[1] = [5]
+
+func f(n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@g]
+  acc = add acc, v
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+"#,
+            "f",
+            &[Value::I(10)],
+        );
+        assert_eq!(c.loads_retired, 10);
+    }
+
+    #[test]
+    fn cosim_heap_and_calls() {
+        cosim(
+            r#"
+func fill(p: ptr, n: i64) {
+  var i: i64
+  var c: i64
+  var q: ptr
+entry:
+  i = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  q = add p, i
+  store.i64 [q], i
+  i = add i, 1
+  jmp head
+exit:
+  ret
+}
+
+func main(n: i64) -> i64 {
+  var p: ptr
+  var i: i64
+  var c: i64
+  var acc: i64
+  var q: ptr
+  var v: i64
+entry:
+  p = alloc n
+  call fill(p, n)
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  q = add p, i
+  v = load.i64 [q]
+  acc = add acc, v
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+"#,
+            "main",
+            &[Value::I(20)],
+        );
+    }
+
+    #[test]
+    fn cosim_floats_and_slots() {
+        cosim(
+            r#"
+global t: f64[4] = [1.5, 2.5, 3.5, 4.5]
+
+func f() -> f64 {
+  var i: i64
+  var c: i64
+  var acc: f64
+  var v: f64
+  var q: ptr
+  slot tmp: f64[1]
+entry:
+  i = 0
+  acc = 0.0
+  jmp head
+head:
+  c = lt i, 4
+  br c, body, exit
+body:
+  q = add i, @t
+  v = load.f64 [q]
+  acc = fadd acc, v
+  store.f64 [&tmp], acc
+  i = add i, 1
+  jmp head
+exit:
+  v = load.f64 [&tmp]
+  ret v
+}
+"#,
+            "f",
+            &[],
+        );
+    }
+
+    /// The full paper pipeline on the machine: optimize speculatively, then
+    /// measure the load reduction, the check ratio and a zero
+    /// mis-speculation ratio when the profile holds.
+    #[test]
+    fn speculative_pipeline_on_machine() {
+        let src = r#"
+global a: i64[1] = [7]
+global b: i64[1]
+
+func kern(p: ptr, n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@a]
+  acc = add acc, v
+  store.i64 [p], acc
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+
+func main(sel: i64, n: i64) -> i64 {
+  var r: i64
+  var p: ptr
+entry:
+  br sel, ua, ub
+ua:
+  p = @a
+  jmp go
+ub:
+  p = @b
+  jmp go
+go:
+  r = call kern(p, n)
+  ret r
+}
+"#;
+        let m0 = parse_module(src).unwrap();
+        let mut prepared = m0.clone();
+        specframe_core::prepare_module(&mut prepared);
+        let args = [Value::I(0), Value::I(100)];
+        let (want, _) = run(&prepared, "main", &args, 10_000_000).unwrap();
+
+        let mut ap = AliasProfiler::new();
+        run_with(&prepared, "main", &args, 10_000_000, &mut ap).unwrap();
+        let aprof = ap.finish();
+
+        // baseline: control speculation only (ORC O3)
+        let mut base = prepared.clone();
+        optimize(
+            &mut base,
+            &OptOptions {
+                control: ControlSpec::Static,
+                ..Default::default()
+            },
+        );
+        let pb = lower_module(&base);
+        let (rb, cb) = run_machine(&pb, "main", &args, 10_000_000).unwrap();
+        assert_eq!(rb, want);
+
+        // speculative: data + control
+        let mut spec = prepared.clone();
+        optimize(
+            &mut spec,
+            &OptOptions {
+                data: SpecSource::Profile(&aprof),
+                control: ControlSpec::Static,
+                strength_reduction: false,
+                store_sinking: false,
+            },
+        );
+        let ps = lower_module(&spec);
+        let (rs, cs) = run_machine(&ps, "main", &args, 10_000_000).unwrap();
+        assert_eq!(rs, want);
+
+        assert!(
+            cs.loads_retired < cb.loads_retired,
+            "speculation must reduce retired loads: {} -> {}",
+            cb.loads_retired,
+            cs.loads_retired
+        );
+        assert!(cs.check_loads > 0, "checks must appear");
+        assert_eq!(
+            cs.failed_checks, 0,
+            "profile holds at run time: no mis-speculation"
+        );
+        assert!(
+            cs.cycles < cb.cycles,
+            "fewer loads must mean fewer cycles: {} -> {}",
+            cb.cycles,
+            cs.cycles
+        );
+
+        // deploy on the aliasing input: correctness via failed checks
+        let alias_args = [Value::I(1), Value::I(100)];
+        let (want2, _) = run(&prepared, "main", &alias_args, 10_000_000).unwrap();
+        let (rs2, cs2) = run_machine(&ps, "main", &alias_args, 10_000_000).unwrap();
+        assert_eq!(rs2, want2, "mis-speculated run must stay correct");
+        assert!(
+            cs2.failed_checks > 0,
+            "aliasing input must fail checks: {cs2:?}"
+        );
+        assert!(cs2.mis_speculation_ratio() > 0.5);
+    }
+}

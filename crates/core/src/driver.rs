@@ -1,0 +1,470 @@
+//! The whole-module optimization pipeline.
+//!
+//! `prepare_module` → (profiling, outside) → [`optimize`]:
+//!
+//! 1. split critical edges (so SSAPRE insertions and φ lowering have a
+//!    block per edge);
+//! 2. Steensgaard alias analysis;
+//! 3. per function: build the speculative SSA form, run the speculative
+//!    SSAPRE worklist (PRE + register promotion), run strength reduction /
+//!    LFTR, verify, lower out of SSA;
+//! 4. verify the module.
+//!
+//! The `SpecSource`/`ControlSpec` pair selects the paper's configurations:
+//!
+//! | paper configuration | `SpecSource`  | `ControlSpec` |
+//! |---------------------|---------------|----------------|
+//! | O3 baseline         | `None`        | `Off`          |
+//! | profile-guided      | `Profile`     | `Profile`      |
+//! | heuristic rules     | `Heuristic`   | `Static`       |
+//! | potential estimate  | `Aggressive`  | `Off`          |
+
+use crate::ssapre::{ssapre_function, SpecPolicy};
+use crate::stats::OptStats;
+use crate::strength::strength_reduce_hssa;
+use specframe_alias::AliasAnalysis;
+use specframe_analysis::{estimate_profile, split_critical_edges, EdgeProfile};
+use specframe_hssa::{build_hssa, lower_hssa, verify_hssa, SpecMode};
+use specframe_ir::{FuncId, Module};
+use specframe_profile::AliasProfile;
+
+/// Where data-speculation likeliness comes from (Figure 3's "alias profile
+/// / heuristic rules" box).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum SpecSource<'a> {
+    /// No data speculation: the O3 baseline.
+    #[default]
+    None,
+    /// Alias-profile guided (§3.2.1).
+    Profile(&'a AliasProfile),
+    /// Heuristic rules (§3.2.2).
+    Heuristic,
+    /// Ignore all may-aliases — the §5.3 upper-bound estimator.
+    Aggressive,
+}
+
+/// Where control-speculation likeliness comes from (Figure 3's "edge/path
+/// profile / heuristic rules" box).
+#[derive(Debug, Clone, Copy, Default)]
+pub enum ControlSpec<'a> {
+    /// No control speculation.
+    #[default]
+    Off,
+    /// Edge-profile guided.
+    Profile(&'a EdgeProfile),
+    /// Ball–Larus-style static heuristics.
+    Static,
+}
+
+/// Pipeline options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptOptions<'a> {
+    /// Data speculation source.
+    pub data: SpecSource<'a>,
+    /// Control speculation source.
+    pub control: ControlSpec<'a>,
+    /// Run strength reduction + linear-function test replacement.
+    pub strength_reduction: bool,
+    /// Run store promotion (sinking loop-invariant direct stores).
+    pub store_sinking: bool,
+}
+
+/// Splits critical edges in every function. Run this **before** collecting
+/// edge profiles so profile block ids match what [`optimize`] sees
+/// (idempotent).
+pub fn prepare_module(m: &mut Module) {
+    for f in &mut m.funcs {
+        split_critical_edges(f);
+    }
+}
+
+/// Runs the full speculative optimization pipeline over `m`.
+///
+/// # Panics
+/// Panics if an internal invariant breaks (the SSA verifier or the module
+/// verifier rejects the result) — optimizer bugs are made loud.
+pub fn optimize(m: &mut Module, opts: &OptOptions<'_>) -> OptStats {
+    prepare_module(m);
+    let aa = AliasAnalysis::analyze(m);
+    let estimated;
+    let control_profile: Option<&EdgeProfile> = match opts.control {
+        ControlSpec::Off => None,
+        ControlSpec::Profile(p) => Some(p),
+        ControlSpec::Static => {
+            estimated = estimate_profile(m);
+            Some(&estimated)
+        }
+    };
+
+    let mut stats = OptStats::default();
+    for fi in 0..m.funcs.len() {
+        let fid = FuncId::from_index(fi);
+        let mode = match opts.data {
+            SpecSource::None => SpecMode::NoSpeculation,
+            SpecSource::Profile(p) => SpecMode::Profile(p),
+            SpecSource::Heuristic => SpecMode::Heuristic,
+            SpecSource::Aggressive => SpecMode::Aggressive,
+        };
+        // flow-sensitive refinement (Figure 4's last box): fold pointer
+        // bases that provably hold one static address into direct
+        // references, then build the SSA form the optimizer sees
+        specframe_hssa::refine_function(m, fid, &aa);
+        let mut hf = build_hssa(m, fid, &aa, mode);
+        let policy = SpecPolicy {
+            data: mode.speculative(),
+            heuristic: matches!(opts.data, SpecSource::Heuristic),
+            profile: match opts.data {
+                SpecSource::Profile(p) => Some(p),
+                _ => None,
+            },
+            control: control_profile.map(|p| (p, fid)),
+        };
+        let f_snapshot = m.func(fid).clone();
+        ssapre_function(m, &f_snapshot, &mut hf, &policy, &mut stats);
+        if opts.strength_reduction {
+            strength_reduce_hssa(&f_snapshot, &mut hf, &mut stats);
+            crate::ssapre::cleanup_hssa(&mut hf);
+        }
+        if opts.store_sinking {
+            crate::storeprom::sink_stores_hssa(&f_snapshot, &mut hf, &mut stats);
+            crate::ssapre::cleanup_hssa(&mut hf);
+        }
+        if let Err(e) = verify_hssa(&hf) {
+            panic!("SSA verification failed for `{}`: {e}", f_snapshot.name);
+        }
+        lower_hssa(m, &hf);
+    }
+    if let Err(e) = specframe_ir::verify_module(m) {
+        panic!("module verification failed after optimize: {e}");
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specframe_ir::{parse_module, Value};
+    use specframe_profile::{run, run_with, AliasProfiler, EdgeProfiler};
+
+    /// End-to-end semantic preservation: every configuration must compute
+    /// what the unoptimized interpreter computes.
+    fn check_all_modes(src: &str, entry: &str, args: &[Value]) {
+        let m0 = parse_module(src).unwrap();
+        let (expect, base_stats) = run(&m0, entry, args, 10_000_000).unwrap();
+
+        // collect profiles on the prepared module
+        let mut prepared = m0.clone();
+        prepare_module(&mut prepared);
+        let mut ap = AliasProfiler::new();
+        let mut ep = EdgeProfiler::new();
+        {
+            let mut both = specframe_profile::observer::Compose(vec![&mut ap, &mut ep]);
+            run_with(&prepared, entry, args, 10_000_000, &mut both).unwrap();
+        }
+        let aprof = ap.finish();
+        let eprof = ep.finish();
+
+        let configs: Vec<(&str, OptOptions)> = vec![
+            ("baseline", OptOptions::default()),
+            (
+                "profile",
+                OptOptions {
+                    data: SpecSource::Profile(&aprof),
+                    control: ControlSpec::Profile(&eprof),
+                    strength_reduction: true,
+                    store_sinking: false,
+                },
+            ),
+            (
+                "heuristic",
+                OptOptions {
+                    data: SpecSource::Heuristic,
+                    control: ControlSpec::Static,
+                    strength_reduction: true,
+                    store_sinking: false,
+                },
+            ),
+            (
+                "aggressive",
+                OptOptions {
+                    data: SpecSource::Aggressive,
+                    control: ControlSpec::Off,
+                    strength_reduction: false,
+                    store_sinking: false,
+                },
+            ),
+        ];
+        for (name, opts) in configs {
+            let mut m = prepared.clone();
+            let stats = optimize(&mut m, &opts);
+            let (got, opt_stats) = run(&m, entry, args, 10_000_000)
+                .unwrap_or_else(|e| panic!("{name}: optimized program failed: {e}"));
+            assert_eq!(got, expect, "{name}: wrong result");
+            let _ = (stats, opt_stats, base_stats);
+        }
+    }
+
+    #[test]
+    fn loop_with_global_promotes() {
+        let src = r#"
+global g: i64[1] = [5]
+
+func f(n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@g]
+  acc = add acc, v
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+"#;
+        check_all_modes(src, "f", &[Value::I(25)]);
+        // promotion effect: optimized baseline should do fewer dynamic loads
+        let m0 = parse_module(src).unwrap();
+        let (_, s0) = run(&m0, "f", &[Value::I(25)], 1_000_000).unwrap();
+        let mut m = m0.clone();
+        // loop-invariant promotion out of a while loop needs control
+        // speculation (the paper's O3 ORC baseline has it: "the existing
+        // SSAPRE in ORC already supports control speculation")
+        optimize(
+            &mut m,
+            &OptOptions {
+                control: ControlSpec::Static,
+                ..Default::default()
+            },
+        );
+        let (_, s1) = run(&m, "f", &[Value::I(25)], 1_000_000).unwrap();
+        assert!(
+            s1.loads < s0.loads,
+            "promotion must cut loads: {} -> {}",
+            s0.loads,
+            s1.loads
+        );
+    }
+
+    #[test]
+    fn may_aliased_loop_needs_speculation() {
+        // the paper's core scenario: a loop-invariant load may-aliased with
+        // a store through a pointer that never actually aliases at run time
+        // p may point at a or b (Steensgaard unifies them), but at run
+        // time it only ever points at b — the paper's exact scenario
+        let src = r#"
+global a: i64[1] = [7]
+global b: i64[1]
+
+func smvp_like(p: ptr, n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@a]
+  acc = add acc, v
+  store.i64 [p], acc
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+
+func main(n: i64) -> i64 {
+  var r: i64
+  var p: ptr
+entry:
+  br n, ub, ua
+ua:
+  p = @a
+  jmp go
+ub:
+  p = @b
+  jmp go
+go:
+  r = call smvp_like(p, n)
+  ret r
+}
+"#;
+        check_all_modes(src, "main", &[Value::I(30)]);
+
+        // baseline cannot promote (store *p may alias a); profile mode can
+        let m0 = parse_module(src).unwrap();
+        let mut prepared = m0.clone();
+        prepare_module(&mut prepared);
+        let mut ap = AliasProfiler::new();
+        run_with(&prepared, "main", &[Value::I(30)], 1_000_000, &mut ap).unwrap();
+        let aprof = ap.finish();
+
+        let mut base = prepared.clone();
+        optimize(
+            &mut base,
+            &OptOptions {
+                control: ControlSpec::Static,
+                ..Default::default()
+            },
+        );
+        let (_, sb) = run(&base, "main", &[Value::I(30)], 1_000_000).unwrap();
+
+        let mut spec = prepared.clone();
+        let st = optimize(
+            &mut spec,
+            &OptOptions {
+                data: SpecSource::Profile(&aprof),
+                control: ControlSpec::Static,
+                strength_reduction: false,
+                store_sinking: false,
+            },
+        );
+        let (_, ss) = run(&spec, "main", &[Value::I(30)], 1_000_000).unwrap();
+        assert!(st.data_spec_reloads > 0, "speculation must fire: {st:?}");
+        assert!(
+            ss.loads < sb.loads,
+            "speculative promotion must cut loads: baseline {} spec {}",
+            sb.loads,
+            ss.loads
+        );
+    }
+
+    #[test]
+    fn redundant_expressions_eliminated() {
+        let src = r#"
+func f(a: i64, b: i64) -> i64 {
+  var x: i64
+  var y: i64
+  var z: i64
+entry:
+  x = add a, b
+  y = add a, b
+  z = add x, y
+  ret z
+}
+"#;
+        check_all_modes(src, "f", &[Value::I(3), Value::I(4)]);
+        let m0 = parse_module(src).unwrap();
+        let mut m = m0.clone();
+        let stats = optimize(&mut m, &OptOptions::default());
+        assert!(stats.reloads >= 1, "a+b must be reloaded: {stats:?}");
+    }
+
+    #[test]
+    fn diamond_partial_redundancy() {
+        // classic PRE: a+b computed in one arm and after the merge
+        let src = r#"
+func f(a: i64, b: i64, sel: i64) -> i64 {
+  var x: i64
+  var y: i64
+entry:
+  br sel, have, nothave
+have:
+  x = add a, b
+  jmp merge
+nothave:
+  x = 0
+  jmp merge
+merge:
+  y = add a, b
+  x = add x, y
+  ret x
+}
+"#;
+        check_all_modes(src, "f", &[Value::I(3), Value::I(4), Value::I(1)]);
+        check_all_modes(src, "f", &[Value::I(3), Value::I(4), Value::I(0)]);
+        let m0 = parse_module(src).unwrap();
+        let mut m = m0.clone();
+        let stats = optimize(&mut m, &OptOptions::default());
+        // PRE must insert a+b on the nothave edge and reload at merge
+        assert!(stats.insertions >= 1, "{stats:?}");
+        assert!(stats.reloads >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn mis_speculation_still_correct() {
+        // profile lies: train with p = &b, run with p = &a (input
+        // sensitivity, §1) — the check loads must keep the result correct
+        let src = r#"
+global a: i64[1] = [7]
+global b: i64[1]
+
+func kern(p: ptr, n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@a]
+  acc = add acc, v
+  store.i64 [p], i
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+
+func main(sel: i64, n: i64) -> i64 {
+  var r: i64
+  var p: ptr
+entry:
+  br sel, ua, ub
+ua:
+  p = @a
+  jmp go
+ub:
+  p = @b
+  jmp go
+go:
+  r = call kern(p, n)
+  ret r
+}
+"#;
+        let m0 = parse_module(src).unwrap();
+        let mut prepared = m0.clone();
+        prepare_module(&mut prepared);
+        // train on sel=0 (p=&b, no aliasing)
+        let mut ap = AliasProfiler::new();
+        run_with(
+            &prepared,
+            "main",
+            &[Value::I(0), Value::I(10)],
+            1_000_000,
+            &mut ap,
+        )
+        .unwrap();
+        let aprof = ap.finish();
+        let mut spec = prepared.clone();
+        optimize(
+            &mut spec,
+            &OptOptions {
+                data: SpecSource::Profile(&aprof),
+                ..Default::default()
+            },
+        );
+        // deploy on sel=1 (p=&a: the weak update actually happens!)
+        let (expect, _) = run(&prepared, "main", &[Value::I(1), Value::I(10)], 1_000_000).unwrap();
+        let (got, _) = run(&spec, "main", &[Value::I(1), Value::I(10)], 1_000_000).unwrap();
+        assert_eq!(got, expect, "mis-speculated run must still be correct");
+    }
+}

@@ -1,0 +1,41 @@
+//! # specframe-core
+//!
+//! **Speculative SSAPRE** — the paper's §4: the six-step SSAPRE framework
+//! (Kennedy et al., TOPLAS '99) extended with
+//!
+//! * **data speculation**: speculative weak updates (unflagged χ operators
+//!   in the speculative SSA form) are ignored during Φ-Insertion and
+//!   Rename, exposing *speculative redundancy*; CodeMotion then emits
+//!   advanced loads (`ld.a`) and check loads (`ld.c`) so the hardware ALAT
+//!   re-validates every speculated value (Appendices A and B);
+//! * **control speculation**: computations may be inserted at non-down-safe
+//!   merge points when the edge profile says the speculated path is hot
+//!   (Lo et al., PLDI '98) — inserted loads become `ld.s` and their reloads
+//!   NaT-check loads.
+//!
+//! Clients implemented on top of the engine:
+//!
+//! * expression PRE ([`ssapre`] over arithmetic candidates);
+//! * **speculative register promotion** ([`ssapre`] over direct and
+//!   indirect load candidates — the optimization evaluated in §5);
+//! * strength reduction and linear-function test replacement
+//!   ([`strength`]).
+//!
+//! The top-level entry point is [`driver::optimize`], which runs the whole
+//! pipeline (critical-edge split → speculative SSA → SSAPRE worklist →
+//! strength reduction → out-of-SSA) over a module and reports
+//! [`stats::OptStats`].
+
+pub mod driver;
+pub mod expr;
+pub mod ssapre;
+pub mod stats;
+pub mod storeprom;
+pub mod strength;
+
+pub use driver::{optimize, prepare_module, ControlSpec, OptOptions, SpecSource};
+pub use expr::ExprKey;
+pub use ssapre::{ssapre_function, SpecPolicy};
+pub use stats::OptStats;
+pub use storeprom::sink_stores_hssa;
+pub use strength::strength_reduce_function;

@@ -1,0 +1,88 @@
+//! Optimization statistics.
+
+/// Counters reported by one [`crate::driver::optimize`] run.
+///
+/// These are *static* counts (program text); the dynamic effect — retired
+/// loads, check ratio, cycles — is measured by `specframe-machine` after
+/// code generation, matching the paper's split between compile-time
+/// transformation and `pfmon` run-time measurement.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OptStats {
+    /// Candidate expressions scanned.
+    pub candidates: u64,
+    /// Expressions that changed the program.
+    pub transformed: u64,
+    /// PRE temporaries introduced.
+    pub temps: u64,
+    /// Defining occurrences saved into a temporary.
+    pub saves: u64,
+    /// Redundant occurrences replaced by reloads.
+    pub reloads: u64,
+    /// Static loads eliminated (reloads of load expressions).
+    pub loads_removed: u64,
+    /// Check instructions (ld.c / NaT checks) emitted.
+    pub checks: u64,
+    /// Reloads that required an ALAT check (data speculation).
+    pub data_spec_reloads: u64,
+    /// Loads flagged as advanced loads (`ld.a`).
+    pub advanced_loads: u64,
+    /// Computations inserted on incoming paths.
+    pub insertions: u64,
+    /// Inserted loads that are control-speculative (`ld.s`).
+    pub control_spec_loads: u64,
+    /// Expressions where data speculation fired.
+    pub data_speculated_exprs: u64,
+    /// Expressions where control speculation fired.
+    pub control_speculated_exprs: u64,
+    /// Strength-reduction rewrites applied.
+    pub strength_reduced: u64,
+    /// Linear-function test replacements applied.
+    pub lftr_applied: u64,
+    /// Loop stores sunk to loop exits (store promotion).
+    pub stores_sunk: u64,
+}
+
+impl OptStats {
+    /// Merges another stats block into this one.
+    pub fn absorb(&mut self, other: &OptStats) {
+        self.candidates += other.candidates;
+        self.transformed += other.transformed;
+        self.temps += other.temps;
+        self.saves += other.saves;
+        self.reloads += other.reloads;
+        self.loads_removed += other.loads_removed;
+        self.checks += other.checks;
+        self.data_spec_reloads += other.data_spec_reloads;
+        self.advanced_loads += other.advanced_loads;
+        self.insertions += other.insertions;
+        self.control_spec_loads += other.control_spec_loads;
+        self.data_speculated_exprs += other.data_speculated_exprs;
+        self.control_speculated_exprs += other.control_speculated_exprs;
+        self.strength_reduced += other.strength_reduced;
+        self.lftr_applied += other.lftr_applied;
+        self.stores_sunk += other.stores_sunk;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = OptStats {
+            saves: 2,
+            reloads: 3,
+            ..Default::default()
+        };
+        let b = OptStats {
+            saves: 1,
+            checks: 5,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.saves, 3);
+        assert_eq!(a.reloads, 3);
+        assert_eq!(a.checks, 5);
+    }
+}

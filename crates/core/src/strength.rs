@@ -1,0 +1,486 @@
+//! Strength reduction and linear-function test replacement.
+//!
+//! The paper lists both as members of the SSAPRE optimization set (§4.1,
+//! after Kennedy et al., CC '98) and notes that *"the speculative weak
+//! update concept … corresponds to the injuring definition and the
+//! generation of speculative check instructions corresponds to the repair
+//! code"* in that work. This client shares the engine's machinery: it
+//! introduces a collapsed PRE-style temporary `s ≡ i*c` per induction
+//! expression, keeps it up to date with *repair* additions at each
+//! injuring definition (`i = i + k` → `s = s + k*c`), replaces the
+//! multiplications with copies, and finally rewrites the loop-exit test
+//! `i < N` into `s < N*c` (linear-function test replacement).
+
+use crate::stats::OptStats;
+use specframe_analysis::{DomTree, LoopInfo};
+use specframe_hssa::{HOperand, HStmt, HStmtKind, HTerm, HVarKind, HssaFunc, Phi as HPhi};
+use specframe_ir::{BinOp, BlockId, Function, Ty, VarId};
+
+/// One recognized basic induction variable.
+#[derive(Debug, Clone, Copy)]
+struct BasicIv {
+    /// The register.
+    var: VarId,
+    /// Version defined by the header φ.
+    phi_dest: u32,
+    /// Version flowing in from the preheader.
+    pre_ver: u32,
+    /// Version produced by the increment (flows around the back edge).
+    latch_ver: u32,
+    /// Increment constant `k`.
+    k: i64,
+    /// Location of the increment statement.
+    inc_at: (BlockId, usize),
+    /// φ argument index of the preheader / latch.
+    pre_idx: usize,
+    latch_idx: usize,
+}
+
+/// Runs strength reduction + LFTR over every loop of `hf`.
+/// Returns the number of multiplications rewritten.
+pub fn strength_reduce_hssa(f_base: &Function, hf: &mut HssaFunc, stats: &mut OptStats) -> usize {
+    let dt = DomTree::compute(f_base);
+    let li = LoopInfo::compute(f_base, &dt);
+    let mut rewritten_total = 0;
+
+    for l in li.loops.clone() {
+        if l.latches.len() != 1 {
+            continue;
+        }
+        let header = l.header;
+        let latch = l.latches[0];
+        let preds = hf.preds[header.index()].clone();
+        let latch_idx = match preds.iter().position(|&p| p == latch) {
+            Some(i) => i,
+            None => continue,
+        };
+        // unique entry predecessor with a single successor (insertable)
+        let entries: Vec<usize> = (0..preds.len()).filter(|&i| i != latch_idx).collect();
+        if entries.len() != 1 {
+            continue;
+        }
+        let pre_idx = entries[0];
+        let preheader = preds[pre_idx];
+        if hf.blocks[preheader.index()]
+            .term
+            .as_ref()
+            .map(|t| t.successors().len())
+            != Some(1)
+        {
+            continue;
+        }
+
+        // recognize basic induction variables from header φs
+        let mut ivs: Vec<BasicIv> = Vec::new();
+        for phi in hf.blocks[header.index()].phis.clone() {
+            let HVarKind::Reg(var) = hf.catalog.kind(phi.var) else {
+                continue;
+            };
+            let pre_ver = phi.args[pre_idx];
+            let latch_ver = phi.args[latch_idx];
+            // find `var.latch_ver = add var.phi_dest, k` in the loop body
+            let mut found = None;
+            'search: for &b in &l.body {
+                for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
+                    if let HStmtKind::Bin { dst, op, a, b: bb } = &stmt.kind {
+                        if *dst != (var, latch_ver) {
+                            continue;
+                        }
+                        let k = match (op, a, bb) {
+                            (BinOp::Add, HOperand::Reg(v, ver), HOperand::ConstI(k))
+                                if *v == var && *ver == phi.dest =>
+                            {
+                                Some(*k)
+                            }
+                            (BinOp::Add, HOperand::ConstI(k), HOperand::Reg(v, ver))
+                                if *v == var && *ver == phi.dest =>
+                            {
+                                Some(*k)
+                            }
+                            (BinOp::Sub, HOperand::Reg(v, ver), HOperand::ConstI(k))
+                                if *v == var && *ver == phi.dest =>
+                            {
+                                Some(-*k)
+                            }
+                            _ => None,
+                        };
+                        if let Some(k) = k {
+                            found = Some(BasicIv {
+                                var,
+                                phi_dest: phi.dest,
+                                pre_ver,
+                                latch_ver,
+                                k,
+                                inc_at: (b, si),
+                                pre_idx,
+                                latch_idx,
+                            });
+                            break 'search;
+                        }
+                    }
+                }
+            }
+            if let Some(iv) = found {
+                ivs.push(iv);
+            }
+        }
+
+        for iv in ivs {
+            rewritten_total += reduce_one_iv(hf, &l.body, header, preheader, latch, iv, stats);
+        }
+    }
+    rewritten_total
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reduce_one_iv(
+    hf: &mut HssaFunc,
+    body: &[BlockId],
+    header: BlockId,
+    preheader: BlockId,
+    _latch: BlockId,
+    iv: BasicIv,
+    stats: &mut OptStats,
+) -> usize {
+    // collect candidate multiplications grouped by the constant factor
+    // (block, stmt, dest, which version of i, factor)
+    let mut cands: Vec<(BlockId, usize, (VarId, u32), u32, i64)> = Vec::new();
+    for &b in body {
+        for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
+            let HStmtKind::Bin {
+                dst,
+                op: BinOp::Mul,
+                a,
+                b: bb,
+            } = &stmt.kind
+            else {
+                continue;
+            };
+            let m = match (a, bb) {
+                (HOperand::Reg(v, ver), HOperand::ConstI(c)) if *v == iv.var => Some((*ver, *c)),
+                (HOperand::ConstI(c), HOperand::Reg(v, ver)) if *v == iv.var => Some((*ver, *c)),
+                _ => None,
+            };
+            let Some((ver, c)) = m else { continue };
+            let usable = ver == iv.phi_dest
+                || (ver == iv.latch_ver
+                    && (b, si) > (iv.inc_at.0, iv.inc_at.1)
+                    && b == iv.inc_at.0);
+            if usable && c != 0 {
+                cands.push((b, si, *dst, ver, c));
+            }
+        }
+    }
+    if cands.is_empty() {
+        return 0;
+    }
+
+    let mut factors: Vec<i64> = cands.iter().map(|c| c.4).collect();
+    factors.sort_unstable();
+    factors.dedup();
+
+    let mut rewritten = 0;
+    for c in factors {
+        // s tracks i * c
+        // SR temporaries are proper SSA (their header φ is constructed
+        // explicitly), so they need no collapsing and their copies fully
+        // propagate away
+        let s = hf.add_temp(format!("sr{}", stats.temps), Ty::I64);
+        stats.temps += 1;
+
+        // preheader: s = i.pre * c
+        let v_init = hf.fresh_ver_of_reg(s);
+        hf.blocks[preheader.index()]
+            .stmts
+            .push(HStmt::new(HStmtKind::Bin {
+                dst: (s, v_init),
+                op: BinOp::Mul,
+                a: HOperand::Reg(iv.var, iv.pre_ver),
+                b: HOperand::ConstI(c),
+            }));
+
+        // header φ: s.h = φ(s.init, s.step)
+        let v_phi = hf.fresh_ver_of_reg(s);
+        let v_step = hf.fresh_ver_of_reg(s);
+        let s_hvar = hf.catalog.get(HVarKind::Reg(s)).expect("temp interned");
+        let npreds = hf.preds[header.index()].len();
+        let mut args = vec![v_init; npreds];
+        args[iv.pre_idx] = v_init;
+        args[iv.latch_idx] = v_step;
+        hf.blocks[header.index()].phis.push(HPhi {
+            var: s_hvar,
+            dest: v_phi,
+            args,
+        });
+
+        // repair after the injuring definition: s.step = s.h + k*c
+        let (ib, isi) = iv.inc_at;
+        hf.blocks[ib.index()].stmts.insert(
+            isi + 1,
+            HStmt::new(HStmtKind::Bin {
+                dst: (s, v_step),
+                op: BinOp::Add,
+                a: HOperand::Reg(s, v_phi),
+                b: HOperand::ConstI(iv.k.wrapping_mul(c)),
+            }),
+        );
+
+        // rewrite candidates of this factor (indices after the repair
+        // insertion shift by one within the increment block)
+        for &(b, si, dst, ver, cc) in &cands {
+            if cc != c {
+                continue;
+            }
+            let si_adj = if b == ib && si > isi { si + 1 } else { si };
+            let src_ver = if ver == iv.phi_dest { v_phi } else { v_step };
+            hf.blocks[b.index()].stmts[si_adj] = HStmt::new(HStmtKind::Copy {
+                dst,
+                src: HOperand::Reg(s, src_ver),
+            });
+            rewritten += 1;
+            stats.strength_reduced += 1;
+        }
+
+        // LFTR: rewrite the loop-exit comparison `i <op> N` into
+        // `s <op> N*c` when c > 0 and the comparison drives a branch only
+        if c > 0 {
+            lftr(hf, body, iv, s, v_phi, v_step, c, stats);
+        }
+    }
+    rewritten
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lftr(
+    hf: &mut HssaFunc,
+    body: &[BlockId],
+    iv: BasicIv,
+    s: VarId,
+    v_phi: u32,
+    v_step: u32,
+    c: i64,
+    stats: &mut OptStats,
+) {
+    for &b in body {
+        // the block must end in a branch whose condition is a comparison of i
+        let Some(HTerm::Br {
+            cond: HOperand::Reg(cv, cver),
+            ..
+        }) = hf.blocks[b.index()].term.clone()
+        else {
+            continue;
+        };
+        // find the defining comparison in this block
+        let Some(ci) = hf.blocks[b.index()]
+            .stmts
+            .iter()
+            .position(|st| st.def_reg() == Some((cv, cver)))
+        else {
+            continue;
+        };
+        let HStmtKind::Bin { dst, op, a, b: bb } = hf.blocks[b.index()].stmts[ci].kind.clone()
+        else {
+            continue;
+        };
+        if !matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+            continue;
+        }
+        // require the condition register to feed only the branch
+        let uses_elsewhere = hf.blocks.iter().any(|blk| {
+            blk.stmts
+                .iter()
+                .any(|st| st.reg_uses().contains(&(cv, cver)) && st.def_reg() != Some(dst))
+        });
+        if uses_elsewhere {
+            continue;
+        }
+        let rewrite = match (a, bb) {
+            (HOperand::Reg(v, ver), HOperand::ConstI(n)) if v == iv.var => {
+                let s_ver = if ver == iv.phi_dest {
+                    Some(v_phi)
+                } else if ver == iv.latch_ver {
+                    Some(v_step)
+                } else {
+                    None
+                };
+                s_ver.and_then(|sv| {
+                    n.checked_mul(c)
+                        .map(|nc| (HOperand::Reg(s, sv), HOperand::ConstI(nc)))
+                })
+            }
+            (HOperand::ConstI(n), HOperand::Reg(v, ver)) if v == iv.var => {
+                let s_ver = if ver == iv.phi_dest {
+                    Some(v_phi)
+                } else if ver == iv.latch_ver {
+                    Some(v_step)
+                } else {
+                    None
+                };
+                s_ver.and_then(|sv| {
+                    n.checked_mul(c)
+                        .map(|nc| (HOperand::ConstI(nc), HOperand::Reg(s, sv)))
+                })
+            }
+            _ => None,
+        };
+        if let Some((na, nb)) = rewrite {
+            hf.blocks[b.index()].stmts[ci] = HStmt::new(HStmtKind::Bin {
+                dst,
+                op,
+                a: na,
+                b: nb,
+            });
+            stats.lftr_applied += 1;
+        }
+    }
+}
+
+/// Convenience wrapper running strength reduction on a whole module
+/// outside the main driver (used by ablation benches).
+pub fn strength_reduce_function(
+    m: &mut specframe_ir::Module,
+    fid: specframe_ir::FuncId,
+    stats: &mut OptStats,
+) -> usize {
+    let aa = specframe_alias::AliasAnalysis::analyze(m);
+    let mut hf = specframe_hssa::build_hssa(m, fid, &aa, specframe_hssa::SpecMode::NoSpeculation);
+    let f_snapshot = m.func(fid).clone();
+    let n = strength_reduce_hssa(&f_snapshot, &mut hf, stats);
+    specframe_hssa::lower_hssa(m, &hf);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specframe_ir::{parse_module, Value};
+    use specframe_profile::run;
+
+    const MUL_LOOP: &str = r#"
+global out: i64[64]
+
+func f(n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var x: i64
+  var q: ptr
+entry:
+  i = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  x = mul i, 8
+  q = add x, @out
+  store.i64 [q], x
+  i = add i, 1
+  jmp head
+exit:
+  x = mul i, 8
+  ret x
+}
+"#;
+
+    #[test]
+    fn reduces_multiplication_in_loop() {
+        let m0 = parse_module(MUL_LOOP).unwrap();
+        // verify semantics against the unoptimized run (note: array is 64
+        // words; n*8 must stay in range -> n <= 8)
+        let (expect, _) = run(&m0, "f", &[Value::I(8)], 1_000_000).unwrap();
+        let mut m = m0.clone();
+        let mut stats = OptStats::default();
+        crate::driver::prepare_module(&mut m);
+        let n = strength_reduce_function(&mut m, specframe_ir::FuncId(0), &mut stats);
+        assert!(n >= 1, "one mul in the loop must be reduced");
+        assert!(stats.strength_reduced >= 1);
+        assert!(stats.lftr_applied == 0, "test is not on i so no lftr here");
+        specframe_ir::verify_module(&m).unwrap();
+        let (got, _) = run(&m, "f", &[Value::I(8)], 1_000_000).unwrap();
+        assert_eq!(got, expect);
+        // the loop body must no longer contain the multiplication
+        let f = &m.funcs[0];
+        let body_muls = f.blocks[2]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, specframe_ir::Inst::Bin { op: BinOp::Mul, .. }))
+            .count();
+        assert_eq!(body_muls, 0, "mul i,8 must be strength-reduced away");
+    }
+
+    const LFTR_LOOP: &str = r#"
+func f(n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var x: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, 100
+  br c, body, exit
+body:
+  x = mul i, 4
+  acc = add acc, x
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+"#;
+
+    #[test]
+    fn lftr_rewrites_loop_test() {
+        let m0 = parse_module(LFTR_LOOP).unwrap();
+        let (expect, _) = run(&m0, "f", &[Value::I(0)], 1_000_000).unwrap();
+        let mut m = m0.clone();
+        let mut stats = OptStats::default();
+        crate::driver::prepare_module(&mut m);
+        strength_reduce_function(&mut m, specframe_ir::FuncId(0), &mut stats);
+        assert!(stats.strength_reduced >= 1, "{stats:?}");
+        assert!(stats.lftr_applied >= 1, "{stats:?}");
+        specframe_ir::verify_module(&m).unwrap();
+        let (got, _) = run(&m, "f", &[Value::I(0)], 1_000_000).unwrap();
+        assert_eq!(got, expect);
+        // the comparison now tests the reduced variable against 400
+        let printed = specframe_ir::display::print_module(&m);
+        assert!(printed.contains("400"), "{printed}");
+    }
+
+    #[test]
+    fn non_constant_step_is_left_alone() {
+        let src = r#"
+func f(n: i64, step: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var x: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  x = mul i, 4
+  acc = add acc, x
+  i = add i, step
+  jmp head
+exit:
+  ret acc
+}
+"#;
+        let m0 = parse_module(src).unwrap();
+        let mut m = m0.clone();
+        let mut stats = OptStats::default();
+        crate::driver::prepare_module(&mut m);
+        let n = strength_reduce_function(&mut m, specframe_ir::FuncId(0), &mut stats);
+        assert_eq!(n, 0, "variable step must not be reduced");
+        let (a, _) = run(&m0, "f", &[Value::I(5), Value::I(2)], 1_000_000).unwrap();
+        let (b, _) = run(&m, "f", &[Value::I(5), Value::I(2)], 1_000_000).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! The HSSA variable space.
+
+use specframe_alias::ClassId;
+use specframe_ir::{GlobalId, SlotId, VarId};
+use std::collections::HashMap;
+
+/// Index of an HSSA variable within one function's [`VarCatalog`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HVarId(pub u32);
+
+impl HVarId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Debug for HVarId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "hv{}", self.0)
+    }
+}
+
+/// The base object of a direct-memory variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum MemBase {
+    /// A module global.
+    Global(GlobalId),
+    /// A slot of the current function.
+    Slot(SlotId),
+}
+
+/// A direct-memory "real variable": one statically named cell
+/// (`base + off`). This is what the paper calls a real program variable
+/// `a` that may be aliased by `*p`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MemVar {
+    /// The named object.
+    pub base: MemBase,
+    /// Constant word offset within it.
+    pub off: i64,
+}
+
+/// What an HSSA variable denotes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum HVarKind {
+    /// An IR register (never aliased).
+    Reg(VarId),
+    /// A direct-memory real variable (aliased by indirect references of its
+    /// alias class).
+    Mem(MemVar),
+    /// The *virtual variable* of one alias class — the paper's rule: "all
+    /// indirect memory references that have similar alias behaviors in the
+    /// program are assigned a unique virtual variable".
+    Virt(ClassId),
+}
+
+/// Per-function catalog mapping [`HVarKind`]s to dense [`HVarId`]s.
+#[derive(Debug, Default, Clone)]
+pub struct VarCatalog {
+    kinds: Vec<HVarKind>,
+    index: HashMap<HVarKind, HVarId>,
+}
+
+impl VarCatalog {
+    /// An empty catalog.
+    pub fn new() -> VarCatalog {
+        VarCatalog::default()
+    }
+
+    /// Interns a kind, returning its stable id.
+    pub fn intern(&mut self, kind: HVarKind) -> HVarId {
+        if let Some(&id) = self.index.get(&kind) {
+            return id;
+        }
+        let id = HVarId(self.kinds.len() as u32);
+        self.kinds.push(kind);
+        self.index.insert(kind, id);
+        id
+    }
+
+    /// Looks a kind up without interning.
+    pub fn get(&self, kind: HVarKind) -> Option<HVarId> {
+        self.index.get(&kind).copied()
+    }
+
+    /// The kind of an id.
+    #[inline]
+    pub fn kind(&self, id: HVarId) -> HVarKind {
+        self.kinds[id.index()]
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Iterates over `(id, kind)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (HVarId, HVarKind)> + '_ {
+        self.kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (HVarId(i as u32), k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut c = VarCatalog::new();
+        let a = c.intern(HVarKind::Reg(VarId(0)));
+        let b = c.intern(HVarKind::Reg(VarId(0)));
+        assert_eq!(a, b);
+        assert_eq!(c.len(), 1);
+        let d = c.intern(HVarKind::Reg(VarId(1)));
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        let mut c = VarCatalog::new();
+        let mv = MemVar {
+            base: MemBase::Global(GlobalId(2)),
+            off: 3,
+        };
+        let id = c.intern(HVarKind::Mem(mv));
+        assert_eq!(c.kind(id), HVarKind::Mem(mv));
+        assert_eq!(c.get(HVarKind::Mem(mv)), Some(id));
+        assert_eq!(c.get(HVarKind::Virt(ClassId(9))), None);
+    }
+
+    #[test]
+    fn distinct_offsets_distinct_vars() {
+        let mut c = VarCatalog::new();
+        let a = c.intern(HVarKind::Mem(MemVar {
+            base: MemBase::Global(GlobalId(0)),
+            off: 0,
+        }));
+        let b = c.intern(HVarKind::Mem(MemVar {
+            base: MemBase::Global(GlobalId(0)),
+            off: 1,
+        }));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,275 @@
+//! Pretty printer.
+//!
+//! Output round-trips through [`crate::parse::parse_module`] up to site-id
+//! renumbering: `print(parse(print(m))) == print(m)`.
+
+use crate::function::{Function, Module};
+use crate::ids::FuncId;
+use crate::inst::{Inst, Operand, Terminator};
+use crate::types::Value;
+use core::fmt::Write;
+
+/// Renders a whole module in the textual IR syntax.
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        write!(out, "global {}: {}[{}]", g.name, g.ty, g.words).unwrap();
+        if !g.init.is_empty() {
+            out.push_str(" = [");
+            for (i, v) in g.init.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_value(&mut out, *v);
+            }
+            out.push(']');
+        }
+        out.push('\n');
+    }
+    if !m.globals.is_empty() {
+        out.push('\n');
+    }
+    for f in &m.funcs {
+        print_function(&mut out, m, f);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_value(out: &mut String, v: Value) {
+    match v {
+        Value::I(x) => write!(out, "{x}").unwrap(),
+        Value::F(x) => {
+            if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                write!(out, "{x:.1}").unwrap()
+            } else {
+                write!(out, "{x}").unwrap()
+            }
+        }
+        Value::Nat => out.push_str("NaT"),
+    }
+}
+
+/// Renders one function.
+pub fn print_function(out: &mut String, m: &Module, f: &Function) {
+    write!(out, "func {}(", f.name).unwrap();
+    for i in 0..f.params {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let d = &f.vars[i as usize];
+        write!(out, "{}: {}", d.name, d.ty).unwrap();
+    }
+    out.push(')');
+    if let Some(t) = f.ret_ty {
+        write!(out, " -> {t}").unwrap();
+    }
+    out.push_str(" {\n");
+    for d in f.vars.iter().skip(f.params as usize) {
+        writeln!(out, "  var {}: {}", d.name, d.ty).unwrap();
+    }
+    for s in &f.slots {
+        writeln!(out, "  slot {}: {}[{}]", s.name, s.ty, s.words).unwrap();
+    }
+    for b in &f.blocks {
+        writeln!(out, "{}:", b.name).unwrap();
+        for inst in &b.insts {
+            out.push_str("  ");
+            print_inst(out, m, f, inst);
+            out.push('\n');
+        }
+        out.push_str("  ");
+        print_term(out, f, &b.term);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+}
+
+fn opnd(m: &Module, f: &Function, o: Operand) -> String {
+    match o {
+        Operand::Var(v) => f.vars[v.index()].name.clone(),
+        Operand::ConstI(c) => format!("{c}"),
+        Operand::ConstF(c) => {
+            if c.fract() == 0.0 && c.is_finite() && c.abs() < 1e15 {
+                format!("{c:.1}")
+            } else {
+                format!("{c}")
+            }
+        }
+        Operand::GlobalAddr(g) => format!("@{}", m.globals[g.index()].name),
+        Operand::SlotAddr(s) => format!("&{}", f.slots[s.index()].name),
+    }
+}
+
+fn addr(m: &Module, f: &Function, base: Operand, offset: i64) -> String {
+    let b = opnd(m, f, base);
+    if offset == 0 {
+        format!("[{b}]")
+    } else if offset > 0 {
+        format!("[{b} + {offset}]")
+    } else {
+        format!("[{b} - {}]", -offset)
+    }
+}
+
+fn print_inst(out: &mut String, m: &Module, f: &Function, inst: &Inst) {
+    let vname = |v: crate::ids::VarId| f.vars[v.index()].name.clone();
+    match inst {
+        Inst::Bin { dst, op, a, b } => write!(
+            out,
+            "{} = {} {}, {}",
+            vname(*dst),
+            op,
+            opnd(m, f, *a),
+            opnd(m, f, *b)
+        )
+        .unwrap(),
+        Inst::Un { dst, op, a } => {
+            write!(out, "{} = {} {}", vname(*dst), op, opnd(m, f, *a)).unwrap()
+        }
+        Inst::Copy { dst, src } => write!(out, "{} = {}", vname(*dst), opnd(m, f, *src)).unwrap(),
+        Inst::Load {
+            dst,
+            base,
+            offset,
+            ty,
+            spec,
+            ..
+        } => write!(
+            out,
+            "{} = load{}.{} {}",
+            vname(*dst),
+            spec.suffix(),
+            ty,
+            addr(m, f, *base, *offset)
+        )
+        .unwrap(),
+        Inst::Store {
+            base,
+            offset,
+            val,
+            ty,
+            ..
+        } => write!(
+            out,
+            "store.{} {}, {}",
+            ty,
+            addr(m, f, *base, *offset),
+            opnd(m, f, *val)
+        )
+        .unwrap(),
+        Inst::CheckLoad {
+            dst,
+            base,
+            offset,
+            ty,
+            kind,
+            ..
+        } => write!(
+            out,
+            "{} = {}.{} {}",
+            vname(*dst),
+            kind.mnemonic(),
+            ty,
+            addr(m, f, *base, *offset)
+        )
+        .unwrap(),
+        Inst::Call {
+            dst, callee, args, ..
+        } => {
+            if let Some(d) = dst {
+                write!(out, "{} = ", vname(*d)).unwrap();
+            }
+            write!(out, "call {}(", callee_name(m, *callee)).unwrap();
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&opnd(m, f, *a));
+            }
+            out.push(')');
+        }
+        Inst::Alloc { dst, words, .. } => {
+            write!(out, "{} = alloc {}", vname(*dst), opnd(m, f, *words)).unwrap()
+        }
+    }
+}
+
+fn callee_name(m: &Module, f: FuncId) -> &str {
+    &m.funcs[f.index()].name
+}
+
+fn print_term(out: &mut String, f: &Function, t: &Terminator) {
+    match t {
+        Terminator::Jump(b) => write!(out, "jmp {}", f.blocks[b.index()].name).unwrap(),
+        Terminator::Br { cond, then_, else_ } => {
+            let c = match cond {
+                Operand::Var(v) => f.vars[v.index()].name.clone(),
+                Operand::ConstI(c) => format!("{c}"),
+                _ => unreachable!("br condition must be var or int const"),
+            };
+            write!(
+                out,
+                "br {}, {}, {}",
+                c,
+                f.blocks[then_.index()].name,
+                f.blocks[else_.index()].name
+            )
+            .unwrap()
+        }
+        Terminator::Ret(None) => out.push_str("ret"),
+        Terminator::Ret(Some(v)) => {
+            let s = match v {
+                Operand::Var(x) => f.vars[x.index()].name.clone(),
+                Operand::ConstI(c) => format!("{c}"),
+                Operand::ConstF(c) => format!("{c:?}"),
+                _ => unreachable!("ret value must be var or const"),
+            };
+            write!(out, "ret {s}").unwrap()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::BinOp;
+    use crate::types::Ty;
+
+    #[test]
+    fn prints_simple_function() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.global("g", 2, Ty::F64);
+        let f = mb.declare_func("f", &[("x", Ty::I64)], Some(Ty::F64));
+        {
+            let mut fb = mb.define(f);
+            let v = fb.load(Operand::GlobalAddr(g), 1, Ty::F64);
+            let w = fb.bin(BinOp::FAdd, v.into(), 1.5.into());
+            fb.ret(Some(w.into()));
+        }
+        let m = mb.finish();
+        let s = print_module(&m);
+        assert!(s.contains("global g: f64[2]"));
+        assert!(s.contains("func f(x: i64) -> f64 {"));
+        assert!(s.contains("t0 = load.f64 [@g + 1]"));
+        assert!(s.contains("t1 = fadd t0, 1.5"));
+        assert!(s.contains("ret t1"));
+    }
+
+    use crate::inst::Operand;
+
+    #[test]
+    fn negative_offset_prints_minus() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("f", &[("p", Ty::Ptr)], None);
+        {
+            let mut fb = mb.define(f);
+            let p = fb.param(0);
+            fb.load(Operand::Var(p), -2, Ty::I64);
+            fb.ret(None);
+        }
+        let s = print_module(&mb.finish());
+        assert!(s.contains("[p - 2]"), "{s}");
+    }
+}

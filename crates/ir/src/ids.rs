@@ -1,0 +1,119 @@
+//! Index newtypes for IR entities.
+//!
+//! All IR containers are flat `Vec`s indexed by these `u32` newtypes; the IR
+//! never uses interior mutability or reference counting. The `*SiteId`
+//! families are **module-wide stable identities** for profiling: the alias
+//! profiler of the paper (§3.2.1) records, per static memory-reference site,
+//! the set of abstract memory locations the site touched at run time, and the
+//! speculative SSA construction later looks those sets up again. Sites must
+//! therefore survive instruction motion, which vector positions do not —
+//! hence explicit ids stamped at construction time.
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index for use with `Vec` storage.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw `Vec` index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                Self(u32::try_from(i).expect("id overflow"))
+            }
+        }
+
+        impl core::fmt::Debug for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl core::fmt::Display for $name {
+            fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A virtual register local to one function.
+    ///
+    /// Registers are *never aliased*: the address of a register cannot be
+    /// taken. A source variable whose address is taken must be given a stack
+    /// slot ([`SlotId`]) instead, which makes it a "real variable" in the
+    /// HSSA sense — subject to χ/μ aliasing.
+    VarId, "v"
+);
+id_type!(
+    /// A basic block within one function.
+    BlockId, "b"
+);
+id_type!(
+    /// A module-level global memory object.
+    GlobalId, "g"
+);
+id_type!(
+    /// A stack slot (addressable local memory) within one function.
+    SlotId, "s"
+);
+id_type!(
+    /// A function within a module.
+    FuncId, "f"
+);
+id_type!(
+    /// A module-wide stable identity for one static memory-reference site
+    /// (a `load`, `store` or `checkload`). Alias profiles are keyed by this.
+    MemSiteId, "m"
+);
+id_type!(
+    /// A module-wide stable identity for one heap-allocation site. The
+    /// paper's heap-object naming scheme (§3.2.1) names every heap object
+    /// after the site that allocated it.
+    AllocSiteId, "h"
+);
+id_type!(
+    /// A module-wide stable identity for one call site, keying the profiled
+    /// mod/ref LOC sets for the call.
+    CallSiteId, "c"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        let v = VarId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v, VarId(42));
+    }
+
+    #[test]
+    fn display_prefixes() {
+        assert_eq!(VarId(3).to_string(), "v3");
+        assert_eq!(BlockId(0).to_string(), "b0");
+        assert_eq!(GlobalId(1).to_string(), "g1");
+        assert_eq!(SlotId(2).to_string(), "s2");
+        assert_eq!(FuncId(9).to_string(), "f9");
+        assert_eq!(MemSiteId(7).to_string(), "m7");
+        assert_eq!(AllocSiteId(5).to_string(), "h5");
+        assert_eq!(CallSiteId(4).to_string(), "c4");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(VarId(1) < VarId(2));
+        assert!(BlockId(0) < BlockId(10));
+    }
+}

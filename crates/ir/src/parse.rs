@@ -1,0 +1,997 @@
+//! Textual IR parser.
+//!
+//! The grammar mirrors the printer in [`crate::display`]:
+//!
+//! ```text
+//! module   := (global | func)*
+//! global   := "global" NAME ":" ty "[" INT "]" ("=" "[" value,* "]")?
+//! func     := "func" NAME "(" (NAME ":" ty),* ")" ("->" ty)? "{" decl* block+ "}"
+//! decl     := "var" NAME ":" ty | "slot" NAME ":" ty "[" INT "]"
+//! block    := NAME ":" stmt*
+//! stmt     := NAME "=" rhs | "store" "." ty addr "," operand
+//!           | "call" NAME "(" operand,* ")"
+//!           | "jmp" NAME | "br" operand "," NAME "," NAME | "ret" operand?
+//! rhs      := binop operand "," operand | unop operand
+//!           | ("load"|"load.a"|"load.s"|"ldc"|"chks") "." ty addr
+//!           | "call" NAME "(" operand,* ")" | "alloc" operand | operand
+//! addr     := "[" operand (("+"|"-") INT)? "]"
+//! operand  := NAME | "@" NAME | "&" NAME | INT | FLOAT
+//! ```
+//!
+//! Comments run from `#` to end of line. Site ids are assigned fresh in
+//! textual order.
+
+use crate::function::{Function, Global, Module, SlotDecl, VarDecl};
+use crate::ids::{BlockId, FuncId, VarId};
+use crate::inst::{BinOp, CheckKind, Inst, LoadSpec, Operand, Terminator, UnOp};
+use crate::types::{Ty, Value};
+use std::collections::HashMap;
+
+/// A parse failure, with a 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending token.
+    pub line: u32,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Punct(char),
+    Arrow,
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    line: u32,
+}
+
+fn lex(src: &str) -> Result<Vec<SpannedTok>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line = 1u32;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Arrow,
+                    line,
+                });
+                i += 2;
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ',' | ':' | '@' | '&' | '=' | '+' | '-' => {
+                toks.push(SpannedTok {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.'
+                        && i + 1 < bytes.len()
+                        && (bytes[i + 1] as char).is_ascii_digit()
+                    {
+                        is_float = true;
+                        i += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && i + 1 < bytes.len()
+                        && ((bytes[i + 1] as char).is_ascii_digit()
+                            || bytes[i + 1] == b'-'
+                            || bytes[i + 1] == b'+')
+                    {
+                        is_float = true;
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &src[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| ParseError {
+                        line,
+                        msg: format!("bad float literal `{text}`"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| ParseError {
+                        line,
+                        msg: format!("bad int literal `{text}`"),
+                    })?)
+                };
+                toks.push(SpannedTok { tok, line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '.' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |t| t.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn ty(&mut self) -> Result<Ty, ParseError> {
+        let s = self.ident()?;
+        match s.as_str() {
+            "i64" => Ok(Ty::I64),
+            "f64" => Ok(Ty::F64),
+            "ptr" => Ok(Ty::Ptr),
+            _ => Err(self.err(format!("unknown type `{s}`"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, ParseError> {
+        let neg = self.eat_punct('-');
+        match self.next() {
+            Some(Tok::Int(v)) => Ok(if neg { -v } else { v }),
+            other => Err(self.err(format!("expected integer, found {other:?}"))),
+        }
+    }
+}
+
+struct FuncCtx {
+    vars: HashMap<String, VarId>,
+    slots: HashMap<String, crate::ids::SlotId>,
+    blocks: HashMap<String, BlockId>,
+}
+
+/// Parses a whole module from its textual form.
+///
+/// # Errors
+/// Returns a [`ParseError`] with the offending line on malformed input or
+/// unresolved names.
+pub fn parse_module(src: &str) -> Result<Module, ParseError> {
+    let toks = lex(src)?;
+    let mut module = Module::new();
+
+    // Pass 1: collect global declarations and function signatures so that
+    // forward references (calls, @globals) resolve.
+    {
+        let mut p = Parser {
+            toks: toks.clone(),
+            pos: 0,
+        };
+        while let Some(t) = p.peek() {
+            match t {
+                Tok::Ident(k) if k == "global" => {
+                    p.next();
+                    let name = p.ident()?;
+                    p.expect_punct(':')?;
+                    let ty = p.ty()?;
+                    p.expect_punct('[')?;
+                    let words = p.int()?;
+                    if words < 0 {
+                        return Err(p.err("negative global size"));
+                    }
+                    p.expect_punct(']')?;
+                    let mut init = Vec::new();
+                    if p.eat_punct('=') {
+                        p.expect_punct('[')?;
+                        if !p.eat_punct(']') {
+                            loop {
+                                let neg = p.eat_punct('-');
+                                let v = match p.next() {
+                                    Some(Tok::Int(v)) => {
+                                        if ty == Ty::F64 {
+                                            Value::F(if neg { -(v as f64) } else { v as f64 })
+                                        } else {
+                                            Value::I(if neg { -v } else { v })
+                                        }
+                                    }
+                                    Some(Tok::Float(v)) => Value::F(if neg { -v } else { v }),
+                                    other => {
+                                        return Err(
+                                            p.err(format!("expected value, found {other:?}"))
+                                        )
+                                    }
+                                };
+                                init.push(v);
+                                if !p.eat_punct(',') {
+                                    break;
+                                }
+                            }
+                            p.expect_punct(']')?;
+                        }
+                    }
+                    if init.len() > words as usize {
+                        return Err(p.err("initializer longer than global"));
+                    }
+                    if module.global_by_name(&name).is_some() {
+                        return Err(p.err(format!("duplicate global `{name}`")));
+                    }
+                    module.globals.push(Global {
+                        name,
+                        words: words as u32,
+                        ty,
+                        init,
+                    });
+                }
+                Tok::Ident(k) if k == "func" => {
+                    p.next();
+                    let name = p.ident()?;
+                    p.expect_punct('(')?;
+                    let mut params = Vec::new();
+                    if !p.eat_punct(')') {
+                        loop {
+                            let pn = p.ident()?;
+                            p.expect_punct(':')?;
+                            let pt = p.ty()?;
+                            params.push((pn, pt));
+                            if !p.eat_punct(',') {
+                                break;
+                            }
+                        }
+                        p.expect_punct(')')?;
+                    }
+                    let ret_ty = if p.peek() == Some(&Tok::Arrow) {
+                        p.next();
+                        Some(p.ty()?)
+                    } else {
+                        None
+                    };
+                    p.expect_punct('{')?;
+                    let mut depth = 1;
+                    while depth > 0 {
+                        match p.next() {
+                            Some(Tok::Punct('{')) => depth += 1,
+                            Some(Tok::Punct('}')) => depth -= 1,
+                            Some(_) => {}
+                            None => return Err(p.err("unterminated function body")),
+                        }
+                    }
+                    if module.func_by_name(&name).is_some() {
+                        return Err(p.err(format!("duplicate function `{name}`")));
+                    }
+                    let vars = params
+                        .iter()
+                        .map(|(n, t)| VarDecl {
+                            name: n.clone(),
+                            ty: *t,
+                        })
+                        .collect();
+                    module.funcs.push(Function {
+                        name,
+                        params: params.len() as u32,
+                        ret_ty,
+                        vars,
+                        slots: Vec::new(),
+                        blocks: Vec::new(),
+                    });
+                }
+                _ => return Err(p.err("expected `global` or `func` at top level")),
+            }
+        }
+    }
+
+    // Pass 2: parse function bodies.
+    let mut p = Parser { toks, pos: 0 };
+    let mut fidx = 0usize;
+    while let Some(t) = p.peek() {
+        match t.clone() {
+            Tok::Ident(k) if k == "global" => {
+                skip_global_decl(&mut p)?;
+            }
+            Tok::Ident(k) if k == "func" => {
+                parse_func_body(&mut p, &mut module, FuncId::from_index(fidx))?;
+                fidx += 1;
+            }
+            _ => return Err(p.err("expected `global` or `func` at top level")),
+        }
+    }
+
+    Ok(module)
+}
+
+/// Skips one `global` declaration (pass 2 re-walk; pass 1 already parsed it).
+fn skip_global_decl(p: &mut Parser) -> Result<(), ParseError> {
+    p.next(); // `global`
+    p.ident()?;
+    p.expect_punct(':')?;
+    p.ty()?;
+    p.expect_punct('[')?;
+    p.int()?;
+    p.expect_punct(']')?;
+    if p.eat_punct('=') {
+        p.expect_punct('[')?;
+        while !p.eat_punct(']') {
+            if p.next().is_none() {
+                return Err(p.err("unterminated global initializer"));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_func_body(p: &mut Parser, module: &mut Module, fid: FuncId) -> Result<(), ParseError> {
+    // re-parse the header quickly
+    let kw = p.ident()?;
+    debug_assert_eq!(kw, "func");
+    let _name = p.ident()?;
+    p.expect_punct('(')?;
+    if !p.eat_punct(')') {
+        loop {
+            p.ident()?;
+            p.expect_punct(':')?;
+            p.ty()?;
+            if !p.eat_punct(',') {
+                break;
+            }
+        }
+        p.expect_punct(')')?;
+    }
+    if p.peek() == Some(&Tok::Arrow) {
+        p.next();
+        p.ty()?;
+    }
+    p.expect_punct('{')?;
+
+    let mut ctx = FuncCtx {
+        vars: HashMap::new(),
+        slots: HashMap::new(),
+        blocks: HashMap::new(),
+    };
+    for (i, d) in module.funcs[fid.index()].vars.iter().enumerate() {
+        ctx.vars.insert(d.name.clone(), VarId::from_index(i));
+    }
+
+    // declarations
+    loop {
+        match p.peek() {
+            Some(Tok::Ident(k)) if k == "var" => {
+                p.next();
+                let name = p.ident()?;
+                p.expect_punct(':')?;
+                let ty = p.ty()?;
+                if ctx.vars.contains_key(&name) {
+                    return Err(p.err(format!("duplicate var `{name}`")));
+                }
+                let id = module.funcs[fid.index()].new_var(name.clone(), ty);
+                ctx.vars.insert(name, id);
+            }
+            Some(Tok::Ident(k)) if k == "slot" => {
+                p.next();
+                let name = p.ident()?;
+                p.expect_punct(':')?;
+                let ty = p.ty()?;
+                p.expect_punct('[')?;
+                let words = p.int()?;
+                p.expect_punct(']')?;
+                if ctx.slots.contains_key(&name) {
+                    return Err(p.err(format!("duplicate slot `{name}`")));
+                }
+                let f = &mut module.funcs[fid.index()];
+                let id = crate::ids::SlotId::from_index(f.slots.len());
+                f.slots.push(SlotDecl {
+                    name: name.clone(),
+                    words: words as u32,
+                    ty,
+                });
+                ctx.slots.insert(name, id);
+            }
+            _ => break,
+        }
+    }
+
+    // blocks; branch targets resolved afterwards via names
+    let mut pending_terms: Vec<(BlockId, PendingTerm)> = Vec::new();
+    let mut cur: Option<BlockId> = None;
+    let mut cur_terminated = false;
+
+    loop {
+        match p.peek().cloned() {
+            Some(Tok::Punct('}')) => {
+                p.next();
+                break;
+            }
+            Some(Tok::Ident(name))
+                if p.toks.get(p.pos + 1).map(|t| &t.tok) == Some(&Tok::Punct(':')) =>
+            {
+                // new block label
+                if let Some(_b) = cur {
+                    if !cur_terminated {
+                        return Err(p.err("block falls through without terminator"));
+                    }
+                }
+                p.next();
+                p.next();
+                if ctx.blocks.contains_key(&name) {
+                    return Err(p.err(format!("duplicate block `{name}`")));
+                }
+                let b = module.funcs[fid.index()].new_block(name.clone());
+                ctx.blocks.insert(name, b);
+                cur = Some(b);
+                cur_terminated = false;
+            }
+            Some(_) => {
+                let b = cur.ok_or_else(|| p.err("statement before first block label"))?;
+                if cur_terminated {
+                    return Err(p.err("statement after block terminator"));
+                }
+                if let Some(pending) = parse_stmt(p, module, fid, &mut ctx, b)? {
+                    pending_terms.push((b, pending));
+                    cur_terminated = true;
+                }
+            }
+            None => return Err(p.err("unterminated function body")),
+        }
+    }
+    if let Some(_b) = cur {
+        if !cur_terminated {
+            return Err(p.err("last block lacks a terminator"));
+        }
+    }
+    if module.funcs[fid.index()].blocks.is_empty() {
+        return Err(p.err("function has no blocks"));
+    }
+
+    // resolve branch targets
+    for (b, pending) in pending_terms {
+        let term = pending.resolve(&ctx, p)?;
+        module.funcs[fid.index()].block_mut(b).term = term;
+    }
+    Ok(())
+}
+
+enum PendingTerm {
+    Jump(String),
+    Br(Operand, String, String),
+    Ret(Option<Operand>),
+}
+
+impl PendingTerm {
+    fn resolve(self, ctx: &FuncCtx, p: &Parser) -> Result<Terminator, ParseError> {
+        let look = |n: &str| {
+            ctx.blocks
+                .get(n)
+                .copied()
+                .ok_or_else(|| p.err(format!("unknown block `{n}`")))
+        };
+        Ok(match self {
+            PendingTerm::Jump(t) => Terminator::Jump(look(&t)?),
+            PendingTerm::Br(c, t, e) => Terminator::Br {
+                cond: c,
+                then_: look(&t)?,
+                else_: look(&e)?,
+            },
+            PendingTerm::Ret(v) => Terminator::Ret(v),
+        })
+    }
+}
+
+fn parse_operand(p: &mut Parser, module: &Module, ctx: &FuncCtx) -> Result<Operand, ParseError> {
+    match p.next() {
+        Some(Tok::Ident(n)) => ctx
+            .vars
+            .get(&n)
+            .copied()
+            .map(Operand::Var)
+            .ok_or_else(|| p.err(format!("unknown var `{n}`"))),
+        Some(Tok::Int(v)) => Ok(Operand::ConstI(v)),
+        Some(Tok::Float(v)) => Ok(Operand::ConstF(v)),
+        Some(Tok::Punct('-')) => match p.next() {
+            Some(Tok::Int(v)) => Ok(Operand::ConstI(-v)),
+            Some(Tok::Float(v)) => Ok(Operand::ConstF(-v)),
+            other => Err(p.err(format!("expected literal after `-`, found {other:?}"))),
+        },
+        Some(Tok::Punct('@')) => {
+            let n = p.ident()?;
+            module
+                .global_by_name(&n)
+                .map(Operand::GlobalAddr)
+                .ok_or_else(|| p.err(format!("unknown global `{n}`")))
+        }
+        Some(Tok::Punct('&')) => {
+            let n = p.ident()?;
+            ctx.slots
+                .get(&n)
+                .copied()
+                .map(Operand::SlotAddr)
+                .ok_or_else(|| p.err(format!("unknown slot `{n}`")))
+        }
+        other => Err(p.err(format!("expected operand, found {other:?}"))),
+    }
+}
+
+fn parse_addr(
+    p: &mut Parser,
+    module: &Module,
+    ctx: &FuncCtx,
+) -> Result<(Operand, i64), ParseError> {
+    p.expect_punct('[')?;
+    let base = parse_operand(p, module, ctx)?;
+    let mut off = 0i64;
+    if p.eat_punct('+') {
+        off = p.int()?;
+    } else if p.eat_punct('-') {
+        off = -p.int()?;
+    }
+    p.expect_punct(']')?;
+    Ok((base, off))
+}
+
+fn binop_by_name(s: &str) -> Option<BinOp> {
+    BinOp::ALL.iter().copied().find(|o| o.mnemonic() == s)
+}
+
+fn unop_by_name(s: &str) -> Option<UnOp> {
+    UnOp::ALL.iter().copied().find(|o| o.mnemonic() == s)
+}
+
+/// Parses one statement into block `b`; returns `Some` if it terminated the
+/// block.
+fn parse_stmt(
+    p: &mut Parser,
+    module: &mut Module,
+    fid: FuncId,
+    ctx: &mut FuncCtx,
+    b: BlockId,
+) -> Result<Option<PendingTerm>, ParseError> {
+    let first = p.ident()?;
+    match first.as_str() {
+        "jmp" => {
+            let t = p.ident()?;
+            return Ok(Some(PendingTerm::Jump(t)));
+        }
+        "br" => {
+            let c = parse_operand(p, module, ctx)?;
+            p.expect_punct(',')?;
+            let t = p.ident()?;
+            p.expect_punct(',')?;
+            let e = p.ident()?;
+            return Ok(Some(PendingTerm::Br(c, t, e)));
+        }
+        "ret" => {
+            // `ret` may or may not carry a value; a value continues on the
+            // same conceptual line, so peek for something operand-like that
+            // is not a label/keyword start.
+            let v = match p.peek() {
+                Some(Tok::Int(_)) | Some(Tok::Float(_)) => Some(parse_operand(p, module, ctx)?),
+                Some(Tok::Punct('-')) | Some(Tok::Punct('@')) | Some(Tok::Punct('&')) => {
+                    Some(parse_operand(p, module, ctx)?)
+                }
+                Some(Tok::Ident(n)) if ctx.vars.contains_key(n.as_str()) => {
+                    // could also be a following label `n:` — disambiguate
+                    if p.toks.get(p.pos + 1).map(|t| &t.tok) == Some(&Tok::Punct(':')) {
+                        None
+                    } else {
+                        Some(parse_operand(p, module, ctx)?)
+                    }
+                }
+                _ => None,
+            };
+            return Ok(Some(PendingTerm::Ret(v)));
+        }
+        "store" => {
+            return Err(p.err("`store` needs a type suffix, e.g. `store.i64`"));
+        }
+        _ => {}
+    }
+
+    if let Some(rest) = first.strip_prefix("store.") {
+        let ty = ty_by_name(rest).ok_or_else(|| p.err(format!("bad store type `{rest}`")))?;
+        let (base, offset) = parse_addr(p, module, ctx)?;
+        p.expect_punct(',')?;
+        let val = parse_operand(p, module, ctx)?;
+        let site = module.fresh_mem_site();
+        module.funcs[fid.index()]
+            .block_mut(b)
+            .insts
+            .push(Inst::Store {
+                base,
+                offset,
+                val,
+                ty,
+                site,
+            });
+        return Ok(None);
+    }
+
+    if first == "call" {
+        let (callee, args) = parse_call_tail(p, module, ctx)?;
+        let site = module.fresh_call_site();
+        module.funcs[fid.index()]
+            .block_mut(b)
+            .insts
+            .push(Inst::Call {
+                dst: None,
+                callee,
+                args,
+                site,
+            });
+        return Ok(None);
+    }
+
+    // otherwise: `dst = rhs`
+    let dst = ctx
+        .vars
+        .get(&first)
+        .copied()
+        .ok_or_else(|| p.err(format!("unknown var `{first}`")))?;
+    p.expect_punct('=')?;
+
+    let rhs_start = p.peek().cloned();
+    let inst = match rhs_start {
+        Some(Tok::Ident(k)) => {
+            let k2 = k.clone();
+            if let Some(rest) = k2.strip_prefix("load.a.") {
+                p.next();
+                let ty = ty_by_name(rest).ok_or_else(|| p.err("bad load type"))?;
+                let (base, offset) = parse_addr(p, module, ctx)?;
+                let site = module.fresh_mem_site();
+                Inst::Load {
+                    dst,
+                    base,
+                    offset,
+                    ty,
+                    spec: LoadSpec::Advanced,
+                    site,
+                }
+            } else if let Some(rest) = k2.strip_prefix("load.s.") {
+                p.next();
+                let ty = ty_by_name(rest).ok_or_else(|| p.err("bad load type"))?;
+                let (base, offset) = parse_addr(p, module, ctx)?;
+                let site = module.fresh_mem_site();
+                Inst::Load {
+                    dst,
+                    base,
+                    offset,
+                    ty,
+                    spec: LoadSpec::Speculative,
+                    site,
+                }
+            } else if let Some(rest) = k2.strip_prefix("load.") {
+                p.next();
+                let ty = ty_by_name(rest).ok_or_else(|| p.err("bad load type"))?;
+                let (base, offset) = parse_addr(p, module, ctx)?;
+                let site = module.fresh_mem_site();
+                Inst::Load {
+                    dst,
+                    base,
+                    offset,
+                    ty,
+                    spec: LoadSpec::Normal,
+                    site,
+                }
+            } else if let Some(rest) = k2.strip_prefix("ldc.") {
+                p.next();
+                let ty = ty_by_name(rest).ok_or_else(|| p.err("bad check type"))?;
+                let (base, offset) = parse_addr(p, module, ctx)?;
+                let site = module.fresh_mem_site();
+                Inst::CheckLoad {
+                    dst,
+                    base,
+                    offset,
+                    ty,
+                    kind: CheckKind::Alat,
+                    site,
+                }
+            } else if let Some(rest) = k2.strip_prefix("chks.") {
+                p.next();
+                let ty = ty_by_name(rest).ok_or_else(|| p.err("bad check type"))?;
+                let (base, offset) = parse_addr(p, module, ctx)?;
+                let site = module.fresh_mem_site();
+                Inst::CheckLoad {
+                    dst,
+                    base,
+                    offset,
+                    ty,
+                    kind: CheckKind::Nat,
+                    site,
+                }
+            } else if k2 == "call" {
+                p.next();
+                let (callee, args) = parse_call_tail(p, module, ctx)?;
+                let site = module.fresh_call_site();
+                Inst::Call {
+                    dst: Some(dst),
+                    callee,
+                    args,
+                    site,
+                }
+            } else if k2 == "alloc" {
+                p.next();
+                let words = parse_operand(p, module, ctx)?;
+                let site = module.fresh_alloc_site();
+                Inst::Alloc { dst, words, site }
+            } else if let Some(op) = binop_by_name(&k2) {
+                p.next();
+                let a = parse_operand(p, module, ctx)?;
+                p.expect_punct(',')?;
+                let bb = parse_operand(p, module, ctx)?;
+                Inst::Bin { dst, op, a, b: bb }
+            } else if let Some(op) = unop_by_name(&k2) {
+                p.next();
+                let a = parse_operand(p, module, ctx)?;
+                Inst::Un { dst, op, a }
+            } else {
+                // copy from a var
+                let src = parse_operand(p, module, ctx)?;
+                Inst::Copy { dst, src }
+            }
+        }
+        _ => {
+            let src = parse_operand(p, module, ctx)?;
+            Inst::Copy { dst, src }
+        }
+    };
+    module.funcs[fid.index()].block_mut(b).insts.push(inst);
+    Ok(None)
+}
+
+fn parse_call_tail(
+    p: &mut Parser,
+    module: &Module,
+    ctx: &FuncCtx,
+) -> Result<(FuncId, Vec<Operand>), ParseError> {
+    let name = p.ident()?;
+    let callee = module
+        .func_by_name(&name)
+        .ok_or_else(|| p.err(format!("unknown function `{name}`")))?;
+    p.expect_punct('(')?;
+    let mut args = Vec::new();
+    if !p.eat_punct(')') {
+        loop {
+            args.push(parse_operand(p, module, ctx)?);
+            if !p.eat_punct(',') {
+                break;
+            }
+        }
+        p.expect_punct(')')?;
+    }
+    Ok((callee, args))
+}
+
+fn ty_by_name(s: &str) -> Option<Ty> {
+    match s {
+        "i64" => Some(Ty::I64),
+        "f64" => Some(Ty::F64),
+        "ptr" => Some(Ty::Ptr),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::display::print_module;
+
+    const LOOPY: &str = r#"
+global sum: i64[1]
+global tab: f64[4] = [1.0, 2.5, -3.0, 0.0]
+
+func count(n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var s: i64
+  var s2: i64
+  var r: i64
+entry:
+  i = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  s = load.i64 [@sum]
+  s2 = add s, 1
+  store.i64 [@sum], s2
+  i = add i, 1
+  jmp head
+exit:
+  r = load.i64 [@sum]
+  ret r
+}
+"#;
+
+    #[test]
+    fn parses_loop() {
+        let m = parse_module(LOOPY).unwrap();
+        assert_eq!(m.globals.len(), 2);
+        assert_eq!(m.globals[1].init.len(), 4);
+        assert_eq!(m.funcs.len(), 1);
+        assert_eq!(m.funcs[0].blocks.len(), 4);
+        crate::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn print_parse_print_fixpoint() {
+        let m = parse_module(LOOPY).unwrap();
+        let s1 = print_module(&m);
+        let m2 = parse_module(&s1).unwrap();
+        let s2 = print_module(&m2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn parses_speculative_forms() {
+        let src = r#"
+func f(p: ptr) -> i64 {
+  var a: i64
+  var b: i64
+entry:
+  a = load.a.i64 [p + 2]
+  store.i64 [p], 5
+  b = ldc.i64 [p + 2]
+  ret b
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = &m.funcs[0];
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Load {
+                spec: LoadSpec::Advanced,
+                offset: 2,
+                ..
+            }
+        ));
+        assert!(matches!(
+            f.blocks[0].insts[2],
+            Inst::CheckLoad {
+                kind: CheckKind::Alat,
+                ..
+            }
+        ));
+        let s1 = print_module(&m);
+        let m2 = parse_module(&s1).unwrap();
+        assert_eq!(s1, print_module(&m2));
+    }
+
+    #[test]
+    fn forward_calls_resolve() {
+        let src = r#"
+func main() -> i64 {
+  var r: i64
+entry:
+  r = call helper(3)
+  ret r
+}
+
+func helper(x: i64) -> i64 {
+entry:
+  ret x
+}
+"#;
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.funcs.len(), 2);
+        crate::verify::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let e = parse_module("func f() {\nentry:\n  x = bogus y\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn unknown_block_target_is_error() {
+        let e = parse_module("func f() {\nentry:\n  jmp nowhere\n}").unwrap_err();
+        assert!(e.msg.contains("unknown block"));
+    }
+
+    #[test]
+    fn fallthrough_is_error() {
+        let src = "func f() {\nentry:\n  jmp b\nb:\nc:\n  ret\n}";
+        // block b has no terminator before label c
+        let e = parse_module(src).unwrap_err();
+        assert!(e.msg.contains("terminator"), "{e}");
+    }
+
+    #[test]
+    fn slots_parse_and_print() {
+        let src = r#"
+func f() -> i64 {
+  var x: i64
+  slot buf: i64[8]
+entry:
+  store.i64 [&buf + 3], 9
+  x = load.i64 [&buf + 3]
+  ret x
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let s1 = print_module(&m);
+        assert!(s1.contains("slot buf: i64[8]"));
+        assert!(s1.contains("[&buf + 3]"));
+        let m2 = parse_module(&s1).unwrap();
+        assert_eq!(s1, print_module(&m2));
+    }
+}

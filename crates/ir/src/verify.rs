@@ -1,0 +1,419 @@
+//! Structural verifier.
+//!
+//! Checks the invariants every later pass relies on. Run after construction
+//! and after every transformation in tests; optimizations that break any of
+//! these would silently corrupt downstream analyses.
+
+use crate::function::{Function, Module};
+use crate::ids::FuncId;
+use crate::inst::{Inst, Operand, Terminator};
+use crate::types::Ty;
+use std::collections::HashSet;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function in which the failure occurred, if function-local.
+    pub func: Option<String>,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl core::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match &self.func {
+            Some(name) => write!(f, "verify error in `{name}`: {}", self.msg),
+            None => write!(f, "verify error: {}", self.msg),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies a whole module.
+///
+/// Checked invariants:
+/// * name uniqueness (globals, functions; vars/slots/blocks per function);
+/// * every id (var, slot, global, block, func) is in range;
+/// * every block's terminator targets exist; the entry block exists;
+/// * call arity matches callee parameter count; call `dst` presence matches
+///   the callee's return type;
+/// * memory/call/alloc site ids are unique module-wide and below the
+///   module's site counters;
+/// * operand types are consistent (float operators get float-typed vars,
+///   branch conditions are `i64`, stores match the declared cell type).
+///
+/// # Errors
+/// Returns the first violated invariant.
+pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
+    let mut names = HashSet::new();
+    for g in &m.globals {
+        if !names.insert(&g.name) {
+            return Err(VerifyError {
+                func: None,
+                msg: format!("duplicate global name `{}`", g.name),
+            });
+        }
+        if g.init.len() > g.words as usize {
+            return Err(VerifyError {
+                func: None,
+                msg: format!("global `{}` initializer exceeds size", g.name),
+            });
+        }
+    }
+    let mut fnames = HashSet::new();
+    for f in &m.funcs {
+        if !fnames.insert(&f.name) {
+            return Err(VerifyError {
+                func: None,
+                msg: format!("duplicate function name `{}`", f.name),
+            });
+        }
+    }
+
+    let mut mem_sites = HashSet::new();
+    let mut call_sites = HashSet::new();
+    let mut alloc_sites = HashSet::new();
+
+    for (i, f) in m.funcs.iter().enumerate() {
+        verify_function(m, FuncId::from_index(i), f).map_err(|msg| VerifyError {
+            func: Some(f.name.clone()),
+            msg,
+        })?;
+        for b in &f.blocks {
+            for inst in &b.insts {
+                match inst {
+                    Inst::Load { site, .. }
+                    | Inst::Store { site, .. }
+                    | Inst::CheckLoad { site, .. } => {
+                        if site.0 >= m.next_mem_site {
+                            return Err(VerifyError {
+                                func: Some(f.name.clone()),
+                                msg: format!("mem site {site} beyond module counter"),
+                            });
+                        }
+                        if !mem_sites.insert(*site) {
+                            return Err(VerifyError {
+                                func: Some(f.name.clone()),
+                                msg: format!("duplicate mem site {site}"),
+                            });
+                        }
+                    }
+                    Inst::Call { site, .. } => {
+                        if site.0 >= m.next_call_site || !call_sites.insert(*site) {
+                            return Err(VerifyError {
+                                func: Some(f.name.clone()),
+                                msg: format!("bad call site {site}"),
+                            });
+                        }
+                    }
+                    Inst::Alloc { site, .. } => {
+                        if site.0 >= m.next_alloc_site || !alloc_sites.insert(*site) {
+                            return Err(VerifyError {
+                                func: Some(f.name.clone()),
+                                msg: format!("bad alloc site {site}"),
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn verify_function(m: &Module, _fid: FuncId, f: &Function) -> Result<(), String> {
+    if f.blocks.is_empty() {
+        return Err("function has no blocks".into());
+    }
+    if (f.params as usize) > f.vars.len() {
+        return Err("more params than vars".into());
+    }
+
+    let mut vnames = HashSet::new();
+    for v in &f.vars {
+        if !vnames.insert(&v.name) {
+            return Err(format!("duplicate var name `{}`", v.name));
+        }
+    }
+    let mut snames = HashSet::new();
+    for s in &f.slots {
+        if !snames.insert(&s.name) {
+            return Err(format!("duplicate slot name `{}`", s.name));
+        }
+    }
+    let mut bnames = HashSet::new();
+    for b in &f.blocks {
+        if !bnames.insert(&b.name) {
+            return Err(format!("duplicate block name `{}`", b.name));
+        }
+    }
+
+    let check_opnd = |o: Operand| -> Result<(), String> {
+        match o {
+            Operand::Var(v) => {
+                if v.index() >= f.vars.len() {
+                    return Err(format!("var {v} out of range"));
+                }
+            }
+            Operand::GlobalAddr(g) => {
+                if g.index() >= m.globals.len() {
+                    return Err(format!("global {g} out of range"));
+                }
+            }
+            Operand::SlotAddr(s) => {
+                if s.index() >= f.slots.len() {
+                    return Err(format!("slot {s} out of range"));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    };
+
+    let var_ty = |o: Operand| -> Option<Ty> {
+        match o {
+            Operand::Var(v) => Some(f.vars[v.index()].ty),
+            Operand::ConstI(_) => Some(Ty::I64),
+            Operand::ConstF(_) => Some(Ty::F64),
+            Operand::GlobalAddr(_) | Operand::SlotAddr(_) => Some(Ty::Ptr),
+        }
+    };
+    let num_compat = |t: Ty, want_float: bool| -> bool {
+        if want_float {
+            t == Ty::F64
+        } else {
+            t != Ty::F64
+        }
+    };
+
+    for b in &f.blocks {
+        for inst in &b.insts {
+            for u in inst.uses() {
+                check_opnd(u)?;
+            }
+            if let Some(d) = inst.def() {
+                if d.index() >= f.vars.len() {
+                    return Err(format!("def var {d} out of range"));
+                }
+            }
+            match inst {
+                Inst::Bin { op, a, b: bb, dst } => {
+                    let wf = op.takes_float();
+                    for o in [*a, *bb] {
+                        if let Some(t) = var_ty(o) {
+                            if !num_compat(t, wf) {
+                                return Err(format!(
+                                    "operand type {t} incompatible with `{}`",
+                                    op.mnemonic()
+                                ));
+                            }
+                        }
+                    }
+                    if f.vars[dst.index()].ty != op.result_ty()
+                        && !(op.result_ty() == Ty::I64 && f.vars[dst.index()].ty == Ty::Ptr)
+                    {
+                        return Err(format!(
+                            "dst of `{}` has type {}, expected {}",
+                            op.mnemonic(),
+                            f.vars[dst.index()].ty,
+                            op.result_ty()
+                        ));
+                    }
+                }
+                Inst::Load { dst, ty, base, .. } | Inst::CheckLoad { dst, ty, base, .. } => {
+                    if let Some(bt) = var_ty(*base) {
+                        if bt == Ty::F64 {
+                            return Err("load base must be integral".into());
+                        }
+                    }
+                    let dt = f.vars[dst.index()].ty;
+                    let compat = match ty {
+                        Ty::F64 => dt == Ty::F64,
+                        _ => dt != Ty::F64,
+                    };
+                    if !compat {
+                        return Err(format!("load of {ty} into {dt} register"));
+                    }
+                }
+                Inst::Store { base, val, ty, .. } => {
+                    if let Some(bt) = var_ty(*base) {
+                        if bt == Ty::F64 {
+                            return Err("store base must be integral".into());
+                        }
+                    }
+                    if let Some(vt) = var_ty(*val) {
+                        let compat = match ty {
+                            Ty::F64 => vt == Ty::F64,
+                            _ => vt != Ty::F64,
+                        };
+                        if !compat {
+                            return Err(format!("store of {vt} value as {ty}"));
+                        }
+                    }
+                }
+                Inst::Call {
+                    dst, callee, args, ..
+                } => {
+                    if callee.index() >= m.funcs.len() {
+                        return Err(format!("callee {callee} out of range"));
+                    }
+                    let cf = &m.funcs[callee.index()];
+                    if args.len() != cf.params as usize {
+                        return Err(format!(
+                            "call to `{}` passes {} args, expects {}",
+                            cf.name,
+                            args.len(),
+                            cf.params
+                        ));
+                    }
+                    if dst.is_some() && cf.ret_ty.is_none() {
+                        return Err(format!("call to void `{}` has a destination", cf.name));
+                    }
+                }
+                _ => {}
+            }
+        }
+        match &b.term {
+            Terminator::Jump(t) => {
+                if t.index() >= f.blocks.len() {
+                    return Err(format!("jump target {t} out of range"));
+                }
+            }
+            Terminator::Br { cond, then_, else_ } => {
+                check_opnd(*cond)?;
+                if let Some(t) = var_ty(*cond) {
+                    if t == Ty::F64 {
+                        return Err("branch condition must be integral".into());
+                    }
+                }
+                for t in [then_, else_] {
+                    if t.index() >= f.blocks.len() {
+                        return Err(format!("branch target {t} out of range"));
+                    }
+                }
+            }
+            Terminator::Ret(v) => {
+                if let Some(v) = v {
+                    check_opnd(*v)?;
+                    if f.ret_ty.is_none() {
+                        return Err("void function returns a value".into());
+                    }
+                } else if f.ret_ty.is_some() {
+                    return Err("non-void function returns nothing".into());
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::ids::{BlockId, MemSiteId, VarId};
+    use crate::inst::BinOp;
+
+    #[test]
+    fn accepts_well_formed() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("ok", &[("x", Ty::I64)], Some(Ty::I64));
+        {
+            let mut fb = mb.define(f);
+            let x = fb.param(0);
+            let y = fb.bin(BinOp::Add, x.into(), 1.into());
+            fb.ret(Some(y.into()));
+        }
+        verify_module(&mb.finish()).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_branch_target() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("bad", &[], None);
+        {
+            let mut fb = mb.define(f);
+            fb.jmp(BlockId(7));
+        }
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert!(e.msg.contains("jump target"));
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("bad", &[("x", Ty::F64)], None);
+        {
+            let mut fb = mb.define(f);
+            let x = fb.param(0);
+            fb.bin(BinOp::Add, x.into(), 1.into()); // int add on f64
+            fb.ret(None);
+        }
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert!(e.msg.contains("incompatible"));
+    }
+
+    #[test]
+    fn rejects_duplicate_mem_site() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("bad", &[("p", Ty::Ptr)], None);
+        {
+            let mut fb = mb.define(f);
+            let p = fb.param(0);
+            fb.load(p.into(), 0, Ty::I64);
+            fb.load(p.into(), 1, Ty::I64);
+            fb.ret(None);
+        }
+        let mut m = mb.finish();
+        // forge a duplicate site
+        if let Inst::Load { site, .. } = &mut m.funcs[0].blocks[0].insts[1] {
+            *site = MemSiteId(0);
+        }
+        let e = verify_module(&m).unwrap_err();
+        assert!(e.msg.contains("duplicate mem site"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut mb = ModuleBuilder::new();
+        let callee = mb.declare_func("two", &[("a", Ty::I64), ("b", Ty::I64)], None);
+        let f = mb.declare_func("bad", &[], None);
+        {
+            let mut fb = mb.define(f);
+            fb.call(callee, &[1.into()]);
+            fb.ret(None);
+        }
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert!(e.msg.contains("args"));
+    }
+
+    #[test]
+    fn rejects_out_of_range_var() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("bad", &[], None);
+        {
+            let mut fb = mb.define(f);
+            fb.ret(None);
+        }
+        let mut m = mb.finish();
+        m.funcs[0].blocks[0].insts.push(Inst::Copy {
+            dst: VarId(9),
+            src: Operand::ConstI(0),
+        });
+        assert!(verify_module(&m).is_err());
+    }
+
+    #[test]
+    fn rejects_void_return_mismatch() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_func("bad", &[], Some(Ty::I64));
+        {
+            let mut fb = mb.define(f);
+            fb.ret(None);
+        }
+        let e = verify_module(&mb.finish()).unwrap_err();
+        assert!(e.msg.contains("returns nothing"));
+    }
+}

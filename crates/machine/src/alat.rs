@@ -1,0 +1,261 @@
+//! The Advanced Load Address Table.
+//!
+//! Itanium's ALAT tracks advanced loads so later check loads can tell
+//! whether an intervening store touched the loaded address. We model the
+//! documented structure: **32 entries, 2-way set-associative, indexed by
+//! the target register number**. Each entry records the register, the word
+//! address and the access width (one word here — the IR is word-oriented).
+//!
+//! Semantics:
+//! * `insert(reg, addr)` — executed by `ld.a`/`ld.sa`; evicts the other way
+//!   of the set if both are occupied (LRU within the 2-way set);
+//! * `invalidate(addr)` — executed by every store; removes all entries
+//!   whose address matches (any register);
+//! * `check(reg, addr)` — executed by `ld.c`: hit iff an entry for this
+//!   register with this address is present; on miss the simulator re-loads
+//!   and re-inserts.
+
+use crate::isa::Reg;
+
+/// Number of entries.
+pub const ALAT_ENTRIES: usize = 32;
+/// Associativity.
+pub const ALAT_WAYS: usize = 2;
+/// Number of sets.
+pub const ALAT_SETS: usize = ALAT_ENTRIES / ALAT_WAYS;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Entry {
+    reg: Reg,
+    addr: i64,
+    lru: u64,
+}
+
+/// The ALAT model.
+#[derive(Debug, Clone)]
+pub struct Alat {
+    sets: Vec<[Option<Entry>; ALAT_WAYS]>,
+    tick: u64,
+    /// Entries inserted over the run.
+    pub inserts: u64,
+    /// Entries invalidated by stores.
+    pub store_invalidations: u64,
+    /// Entries lost to capacity/conflict eviction.
+    pub evictions: u64,
+}
+
+impl Default for Alat {
+    fn default() -> Self {
+        Alat::new()
+    }
+}
+
+impl Alat {
+    /// An empty ALAT.
+    pub fn new() -> Alat {
+        Alat {
+            sets: vec![[None; ALAT_WAYS]; ALAT_SETS],
+            tick: 0,
+            inserts: 0,
+            store_invalidations: 0,
+            evictions: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(reg: Reg) -> usize {
+        (reg.0 as usize) % ALAT_SETS
+    }
+
+    /// Allocates (or refreshes) the entry for `reg` covering `addr`.
+    pub fn insert(&mut self, reg: Reg, addr: i64) {
+        self.tick += 1;
+        self.inserts += 1;
+        let set = &mut self.sets[Self::set_of(reg)];
+        // same register: overwrite in place
+        if let Some(e) = set.iter_mut().flatten().find(|e| e.reg == reg) {
+            e.addr = addr;
+            e.lru = self.tick;
+            return;
+        }
+        // free way?
+        if let Some(slot) = set.iter_mut().find(|s| s.is_none()) {
+            *slot = Some(Entry {
+                reg,
+                addr,
+                lru: self.tick,
+            });
+            return;
+        }
+        // evict LRU way
+        self.evictions += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|s| s.as_ref().map(|e| e.lru).unwrap_or(0))
+            .expect("nonempty set");
+        *victim = Some(Entry {
+            reg,
+            addr,
+            lru: self.tick,
+        });
+    }
+
+    /// A store to `addr` invalidates every matching entry.
+    pub fn invalidate(&mut self, addr: i64) {
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                if let Some(e) = slot {
+                    if e.addr == addr {
+                        *slot = None;
+                        self.store_invalidations += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `ld.c` lookup: does `reg` still cover `addr`?
+    pub fn check(&mut self, reg: Reg, addr: i64) -> bool {
+        self.tick += 1;
+        let set = &mut self.sets[Self::set_of(reg)];
+        match set
+            .iter_mut()
+            .flatten()
+            .find(|e| e.reg == reg && e.addr == addr)
+        {
+            Some(e) => {
+                e.lru = self.tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops everything (context switch / call boundary is *not* modeled —
+    /// IA-64 preserves the ALAT across calls, and so do we; this is for
+    /// tests).
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            *set = [None; ALAT_WAYS];
+        }
+    }
+
+    /// Number of live entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_check_hits() {
+        let mut a = Alat::new();
+        a.insert(Reg(3), 100);
+        assert!(a.check(Reg(3), 100));
+        assert!(!a.check(Reg(3), 101), "different address misses");
+        assert!(!a.check(Reg(4), 100), "different register misses");
+    }
+
+    #[test]
+    fn store_invalidates_matching_address() {
+        let mut a = Alat::new();
+        a.insert(Reg(1), 50);
+        a.insert(Reg(2), 60);
+        a.invalidate(50);
+        assert!(!a.check(Reg(1), 50));
+        assert!(a.check(Reg(2), 60));
+        assert_eq!(a.store_invalidations, 1);
+    }
+
+    #[test]
+    fn non_aliasing_store_leaves_entry() {
+        let mut a = Alat::new();
+        a.insert(Reg(1), 50);
+        a.invalidate(51);
+        assert!(a.check(Reg(1), 50));
+    }
+
+    #[test]
+    fn set_conflict_evicts_lru() {
+        let mut a = Alat::new();
+        // three registers in the same set (stride = ALAT_SETS)
+        let r1 = Reg(1);
+        let r2 = Reg(1 + ALAT_SETS as u32);
+        let r3 = Reg(1 + 2 * ALAT_SETS as u32);
+        a.insert(r1, 10);
+        a.insert(r2, 20);
+        a.insert(r3, 30); // evicts r1 (LRU)
+        assert_eq!(a.evictions, 1);
+        assert!(!a.check(r1, 10));
+        assert!(a.check(r2, 20));
+        assert!(a.check(r3, 30));
+    }
+
+    #[test]
+    fn reinsert_same_register_updates_address() {
+        let mut a = Alat::new();
+        a.insert(Reg(7), 10);
+        a.insert(Reg(7), 20);
+        assert!(!a.check(Reg(7), 10));
+        assert!(a.check(Reg(7), 20));
+        assert_eq!(a.occupancy(), 1);
+    }
+
+    #[test]
+    fn check_refreshes_lru() {
+        let mut a = Alat::new();
+        let r1 = Reg(2);
+        let r2 = Reg(2 + ALAT_SETS as u32);
+        let r3 = Reg(2 + 2 * ALAT_SETS as u32);
+        a.insert(r1, 10);
+        a.insert(r2, 20);
+        a.check(r1, 10); // refresh r1; r2 becomes LRU
+        a.insert(r3, 30);
+        assert!(a.check(r1, 10), "r1 refreshed, must survive");
+        assert!(!a.check(r2, 20), "r2 was LRU, evicted");
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// After any operation sequence, occupancy never exceeds the
+            /// capacity and a check hit implies a preceding insert of the
+            /// same (reg, addr) with no intervening invalidation.
+            #[test]
+            fn capacity_and_soundness(ops in proptest::collection::vec(
+                (0u8..3, 0u32..8, 0i64..8), 0..200)) {
+                let mut a = Alat::new();
+                // model: map (reg) -> addr of live entry, ignoring capacity
+                let mut model: std::collections::HashMap<u32, i64> =
+                    Default::default();
+                for (kind, reg, addr) in ops {
+                    match kind {
+                        0 => {
+                            a.insert(Reg(reg), addr);
+                            model.insert(reg, addr);
+                        }
+                        1 => {
+                            a.invalidate(addr);
+                            model.retain(|_, &mut v| v != addr);
+                        }
+                        _ => {
+                            let hit = a.check(Reg(reg), addr);
+                            // the real ALAT may miss due to capacity, but a
+                            // hit must be justified by the model
+                            if hit {
+                                prop_assert_eq!(model.get(&reg), Some(&addr));
+                            }
+                        }
+                    }
+                    prop_assert!(a.occupancy() <= ALAT_ENTRIES);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The EPIC target instruction set.
+//!
+//! A machine function is a flat instruction vector; branch targets are
+//! resolved instruction indices ([`Label`]). Registers are virtual and
+//! per-function (the framework does not run a register allocator; the
+//! paper's register-pressure discussion is tracked by counting live
+//! promoted temporaries instead — see `Counters::max_promoted_live`).
+
+use specframe_ir::{BinOp, Ty, UnOp};
+
+/// A virtual machine register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u32);
+
+impl core::fmt::Debug for Reg {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A resolved instruction index within one function.
+pub type Label = usize;
+
+/// A machine operand.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum MOperand {
+    /// Register.
+    R(Reg),
+    /// Integer immediate (also used for resolved global addresses).
+    I(i64),
+    /// Float immediate.
+    F(f64),
+    /// Address of stack slot `slot` of the current frame (resolved to a
+    /// word address at run time).
+    SlotAddr(u32),
+}
+
+/// Load flavour, mirroring IA-64.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LdKind {
+    /// Plain `ld`.
+    Normal,
+    /// `ld.a`: load + allocate an ALAT entry keyed by the destination
+    /// register.
+    Advanced,
+    /// `ld.sa`: control-speculative advanced load — a faulting address
+    /// yields NaT instead of trapping, and a successful load allocates an
+    /// ALAT entry.
+    SpecAdvanced,
+}
+
+/// Check flavour.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ChkKind {
+    /// `ld.c`: if the destination register's ALAT entry survived, done in 0
+    /// cycles; otherwise re-load (and re-allocate the entry).
+    Alat,
+    /// NaT check with inline recovery: if the register holds NaT, re-load.
+    Nat,
+}
+
+/// One machine instruction.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MInst {
+    /// `d = s`
+    Mov { d: Reg, s: MOperand },
+    /// `d = op a, b`
+    Alu {
+        d: Reg,
+        op: BinOp,
+        a: MOperand,
+        b: MOperand,
+    },
+    /// `d = op a`
+    Un { d: Reg, op: UnOp, a: MOperand },
+    /// Load (`ld` / `ld.a` / `ld.sa`).
+    Ld {
+        d: Reg,
+        base: MOperand,
+        off: i64,
+        ty: Ty,
+        kind: LdKind,
+    },
+    /// Check load (`ld.c` / NaT check).
+    Chk {
+        d: Reg,
+        base: MOperand,
+        off: i64,
+        ty: Ty,
+        kind: ChkKind,
+    },
+    /// Store.
+    St {
+        base: MOperand,
+        off: i64,
+        val: MOperand,
+        ty: Ty,
+    },
+    /// Call a machine function by index.
+    Call {
+        d: Option<Reg>,
+        func: usize,
+        args: Vec<MOperand>,
+    },
+    /// Heap allocation (runtime service; stands in for `malloc`).
+    Alloc { d: Reg, words: MOperand },
+    /// Unconditional jump.
+    Jmp(Label),
+    /// Conditional branch (taken when `cond != 0`).
+    Br {
+        cond: MOperand,
+        then_: Label,
+        else_: Label,
+    },
+    /// Return.
+    Ret(Option<MOperand>),
+}
+
+/// One machine function.
+#[derive(Clone, Debug)]
+pub struct MFunc {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Number of parameters; arguments arrive in `r0..rN`.
+    pub params: u32,
+    /// Number of virtual registers used.
+    pub regs: u32,
+    /// Stack slot sizes, in words.
+    pub slot_words: Vec<u32>,
+    /// Flat instruction stream.
+    pub code: Vec<MInst>,
+    /// Registers that hold promoted expression temporaries (for the
+    /// register-pressure proxy counter).
+    pub promoted_regs: Vec<Reg>,
+}
+
+/// A lowered program.
+#[derive(Clone, Debug, Default)]
+pub struct MProgram {
+    /// Functions; indices are call targets.
+    pub funcs: Vec<MFunc>,
+    /// Initial memory image for globals: `(address, value)` pairs.
+    pub global_image: Vec<(i64, specframe_ir::Value)>,
+    /// First address past the globals (stack region starts here).
+    pub globals_end: i64,
+}
+
+impl MProgram {
+    /// Looks a function up by name.
+    pub fn func_by_name(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}

@@ -1,0 +1,37 @@
+//! # specframe-machine
+//!
+//! The EPIC-like execution target: the stand-in for the paper's 733 MHz
+//! Itanium (HP i2000). It provides
+//!
+//! * [`isa`] — a flat, label-resolved instruction set with the IA-64
+//!   speculation primitives: `ld.a` (advanced load, allocates an ALAT
+//!   entry), `ld.s`/`ld.sa` (control-speculative load, deferring faults to
+//!   NaT), `ld.c` (ALAT check load) and NaT checks;
+//! * [`alat`] — the **Advanced Load Address Table**: 32 entries, 2-way
+//!   set-associative, indexed by register number, invalidated by
+//!   overlapping stores — the hardware structure the paper's data
+//!   speculation relies on;
+//! * [`costs`] — the latency model, using the numbers the paper quotes: an
+//!   integer load hits L1 in 2 cycles, a floating-point load hits L2 in 9
+//!   cycles (Itanium FP loads bypass L1), a successful check costs 0;
+//! * [`sim`] — a cycle-approximate simulator with `pfmon`-style counters
+//!   (retired loads, check loads, failed checks, CPU cycles, data-access
+//!   cycles).
+//!
+//! The simulator is *cycle-approximate*: it exposes every load's full
+//! latency (single-issue, no overlap). Absolute numbers therefore differ
+//! from real Itanium bundles, but the quantities the paper's figures
+//! compare — dynamic loads removed, check ratio, mis-speculation ratio,
+//! relative cycle reduction — are preserved, because all configurations
+//! run under the same model.
+
+pub mod alat;
+pub mod costs;
+pub mod isa;
+pub mod sim;
+
+pub use alat::Alat;
+pub use costs::CostModel;
+pub use isa::{ChkKind, LdKind};
+pub use isa::{Label, MFunc, MInst, MOperand, MProgram, Reg};
+pub use sim::{run_machine, Counters, SimError, Simulator};

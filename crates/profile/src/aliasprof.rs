@@ -1,0 +1,272 @@
+//! The alias profiler (§3.2.1 of the paper).
+//!
+//! For every static memory-reference site, the profiler records the set of
+//! abstract memory locations (LOCs) the site actually touched during the
+//! run; for every call site it records the modified and referenced LOC
+//! sets. `specframe-hssa` later compares these dynamic sets against the
+//! compile-time χ/μ lists to place speculation flags: a may-alias that
+//! *never happened* in the profile becomes a speculative weak update that
+//! optimizations may ignore.
+//!
+//! The paper contrasts this scheme with Wu–Lee invalidation profiling,
+//! which monitors every reference pair-wise and "could slow down the
+//! program execution by an order of magnitude"; recording per-site LOC sets
+//! is the cheaper alternative the authors advocate.
+
+use crate::observer::{MemAccess, Observer};
+use specframe_alias::{Loc, LocSet};
+use specframe_ir::{CallSiteId, FuncId, MemSiteId};
+use std::collections::HashMap;
+
+/// The collected alias profile.
+#[derive(Debug, Default, Clone)]
+pub struct AliasProfile {
+    /// Per memory site: LOCs it touched.
+    pub mem: HashMap<MemSiteId, LocSet>,
+    /// Per memory site: how many times it executed.
+    pub mem_count: HashMap<MemSiteId, u64>,
+    /// Per call site: LOCs modified during the call (transitively).
+    pub call_mod: HashMap<CallSiteId, LocSet>,
+    /// Per call site: LOCs referenced during the call (transitively).
+    pub call_ref: HashMap<CallSiteId, LocSet>,
+}
+
+impl AliasProfile {
+    /// The profiled LOC set of a memory site (empty if never executed).
+    pub fn locs(&self, site: MemSiteId) -> Option<&LocSet> {
+        self.mem.get(&site)
+    }
+
+    /// Whether `site` ever touched `loc` in the profile.
+    pub fn touched(&self, site: MemSiteId, loc: Loc) -> bool {
+        self.mem.get(&site).is_some_and(|s| s.contains(&loc))
+    }
+
+    /// Whether the profile saw `site` execute at all. Sites that never
+    /// executed carry no evidence — the speculative SSA construction treats
+    /// their aliases conservatively.
+    pub fn site_executed(&self, site: MemSiteId) -> bool {
+        self.mem_count.get(&site).copied().unwrap_or(0) > 0
+    }
+
+    /// Merges another profile (e.g. from a second training input) into
+    /// this one.
+    pub fn merge(&mut self, other: &AliasProfile) {
+        for (s, locs) in &other.mem {
+            self.mem.entry(*s).or_default().extend(locs.iter().copied());
+        }
+        for (s, n) in &other.mem_count {
+            *self.mem_count.entry(*s).or_insert(0) += n;
+        }
+        for (s, locs) in &other.call_mod {
+            self.call_mod
+                .entry(*s)
+                .or_default()
+                .extend(locs.iter().copied());
+        }
+        for (s, locs) in &other.call_ref {
+            self.call_ref
+                .entry(*s)
+                .or_default()
+                .extend(locs.iter().copied());
+        }
+    }
+}
+
+/// Observer that builds an [`AliasProfile`].
+#[derive(Debug, Default)]
+pub struct AliasProfiler {
+    profile: AliasProfile,
+    /// Call sites currently on the dynamic call stack; every access inside
+    /// the callee is charged to each enclosing site's mod/ref set.
+    active_calls: Vec<CallSiteId>,
+}
+
+impl AliasProfiler {
+    /// A fresh profiler.
+    pub fn new() -> AliasProfiler {
+        AliasProfiler::default()
+    }
+
+    /// Consumes the profiler and yields the profile.
+    pub fn finish(self) -> AliasProfile {
+        self.profile
+    }
+
+    /// Borrow the profile mid-run.
+    pub fn profile(&self) -> &AliasProfile {
+        &self.profile
+    }
+}
+
+impl Observer for AliasProfiler {
+    fn on_mem(&mut self, a: &MemAccess) {
+        *self.profile.mem_count.entry(a.site).or_insert(0) += 1;
+        if let Some(loc) = a.loc {
+            self.profile.mem.entry(a.site).or_default().insert(loc);
+            for &cs in &self.active_calls {
+                if a.is_load {
+                    self.profile.call_ref.entry(cs).or_default().insert(loc);
+                } else {
+                    self.profile.call_mod.entry(cs).or_default().insert(loc);
+                }
+            }
+        } else {
+            self.profile.mem.entry(a.site).or_default();
+        }
+    }
+
+    fn on_call(&mut self, site: CallSiteId, _caller: FuncId, _callee: FuncId) {
+        self.active_calls.push(site);
+        self.profile.call_mod.entry(site).or_default();
+        self.profile.call_ref.entry(site).or_default();
+    }
+
+    fn on_return(&mut self, site: CallSiteId) {
+        let popped = self.active_calls.pop();
+        debug_assert_eq!(popped, Some(site));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::run_with;
+    use specframe_ir::{parse_module, Value};
+
+    #[test]
+    fn records_loc_sets_per_site() {
+        let src = r#"
+global a: i64[1]
+global b: i64[1]
+
+func f(sel: i64) -> i64 {
+  var p: ptr
+  var v: i64
+entry:
+  br sel, yes, no
+yes:
+  p = @a
+  jmp go
+no:
+  p = @b
+  jmp go
+go:
+  v = load.i64 [p]
+  ret v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut prof = AliasProfiler::new();
+        run_with(&m, "f", &[Value::I(1)], 1000, &mut prof).unwrap();
+        run_with(&m, "f", &[Value::I(0)], 1000, &mut prof).unwrap();
+        let p = prof.finish();
+        // the single load site saw both globals
+        let site = p.mem.keys().next().copied().unwrap();
+        assert_eq!(p.locs(site).unwrap().len(), 2);
+        assert_eq!(p.mem_count[&site], 2);
+    }
+
+    #[test]
+    fn profile_reflects_input_sensitivity() {
+        let src = r#"
+global a: i64[1]
+global b: i64[1]
+
+func f(sel: i64) -> i64 {
+  var p: ptr
+  var v: i64
+entry:
+  br sel, yes, no
+yes:
+  p = @a
+  jmp go
+no:
+  p = @b
+  jmp go
+go:
+  v = load.i64 [p]
+  ret v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut prof = AliasProfiler::new();
+        run_with(&m, "f", &[Value::I(1)], 1000, &mut prof).unwrap();
+        let p = prof.finish();
+        let site = p.mem.keys().next().copied().unwrap();
+        // only @a observed — this is exactly the imperfect information the
+        // paper says requires data-speculation support
+        assert_eq!(p.locs(site).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn call_sites_accumulate_mod_ref() {
+        let src = r#"
+global g: i64[1]
+
+func set() {
+entry:
+  store.i64 [@g], 1
+  ret
+}
+
+func get() -> i64 {
+  var v: i64
+entry:
+  v = load.i64 [@g]
+  ret v
+}
+
+func main() -> i64 {
+  var v: i64
+entry:
+  call set()
+  v = call get()
+  ret v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut prof = AliasProfiler::new();
+        run_with(&m, "main", &[], 1000, &mut prof).unwrap();
+        let p = prof.finish();
+        // two call sites: set (mods g) and get (refs g)
+        let mods: Vec<_> = p.call_mod.values().filter(|s| !s.is_empty()).collect();
+        let refs: Vec<_> = p.call_ref.values().filter(|s| !s.is_empty()).collect();
+        assert_eq!(mods.len(), 1);
+        assert_eq!(refs.len(), 1);
+    }
+
+    #[test]
+    fn merge_unions_loc_sets() {
+        let src = r#"
+global a: i64[1]
+global b: i64[1]
+
+func f(sel: i64) -> i64 {
+  var p: ptr
+  var v: i64
+entry:
+  br sel, yes, no
+yes:
+  p = @a
+  jmp go
+no:
+  p = @b
+  jmp go
+go:
+  v = load.i64 [p]
+  ret v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let mut p1 = AliasProfiler::new();
+        run_with(&m, "f", &[Value::I(1)], 1000, &mut p1).unwrap();
+        let mut p2 = AliasProfiler::new();
+        run_with(&m, "f", &[Value::I(0)], 1000, &mut p2).unwrap();
+        let mut a = p1.finish();
+        a.merge(&p2.finish());
+        let site = a.mem.keys().next().copied().unwrap();
+        assert_eq!(a.locs(site).unwrap().len(), 2);
+        assert_eq!(a.mem_count[&site], 2);
+    }
+}

@@ -1,0 +1,220 @@
+//! `ammp` — 188.ammp, molecular dynamics.
+//!
+//! ammp's force loops read atom positions while accumulating into force
+//! fields of the same atom set; the stores can alias the loads as far as
+//! the compiler knows (everything hangs off `ATOM*` pointers), but
+//! positions and forces are distinct fields. Modeled as structure-of-
+//! arrays (positions and forces in separate allocations, reached through
+//! one pointer table — the finer heap granularity the authors' companion
+//! LCPC'02 study advocates), so the alias profile can prove the force
+//! stores never touch the position loads:
+//!
+//! * the central atom's position (3 f64 loads) is invariant across the
+//!   neighbor loop and re-read after force stores — speculative hoist +
+//!   `ld.c`;
+//! * neighbor positions stay plain loads (they vary every iteration).
+
+use super::{parse, Scale, Workload};
+use specframe_ir::Value;
+
+fn source(n: i64, nbr: i64, steps: i64) -> String {
+    format!(
+        r#"
+global ptrs: ptr[3]
+
+func setup(n: i64, nbr: i64) {{
+  var n3: i64
+  var nn: i64
+  var ppos: ptr
+  var pfrc: ptr
+  var pnb: ptr
+  var i: i64
+  var c: i64
+  var q: ptr
+  var t: i64
+  var f: f64
+entry:
+  n3 = mul n, 3
+  ppos = alloc n3
+  store.ptr [@ptrs], ppos
+  pfrc = alloc n3
+  store.ptr [@ptrs + 1], pfrc
+  nn = mul n, nbr
+  pnb = alloc nn
+  store.ptr [@ptrs + 2], pnb
+  i = 0
+  jmp fp
+fp:
+  c = lt i, n3
+  br c, fpb, fn0
+fpb:
+  q = add ppos, i
+  t = mod i, 23
+  f = i2f t
+  f = fmul f, 0.375
+  store.f64 [q], f
+  q = add pfrc, i
+  store.f64 [q], 0.0
+  i = add i, 1
+  jmp fp
+fn0:
+  i = 0
+  jmp fnl
+fnl:
+  c = lt i, nn
+  br c, fnb, done
+fnb:
+  q = add pnb, i
+  t = mul i, 11
+  t = add t, 5
+  t = mod t, n
+  store.i64 [q], t
+  i = add i, 1
+  jmp fnl
+done:
+  ret
+}}
+
+func forces(n: i64, nbr: i64) -> f64 {{
+  var ppos: ptr
+  var pfrc: ptr
+  var pnb: ptr
+  var i: i64
+  var k: i64
+  var c: i64
+  var c2: i64
+  var xb: i64
+  var yb: i64
+  var fb: i64
+  var nq: i64
+  var j: i64
+  var x0: f64
+  var x1: f64
+  var x2: f64
+  var x0r: f64
+  var x1r: f64
+  var x2r: f64
+  var y0: f64
+  var y1: f64
+  var y2: f64
+  var d0: f64
+  var d1: f64
+  var d2: f64
+  var dd: f64
+  var f0: f64
+  var f1: f64
+  var f2: f64
+  var chk: f64
+  var i3: i64
+  var j3: i64
+  var idx: i64
+entry:
+  ppos = load.ptr [@ptrs]
+  pfrc = load.ptr [@ptrs + 1]
+  pnb = load.ptr [@ptrs + 2]
+  chk = 0.0
+  i = 0
+  jmp oh
+oh:
+  c = lt i, n
+  br c, ob, oexit
+ob:
+  i3 = mul i, 3
+  xb = add ppos, i3
+  fb = add pfrc, i3
+  x0 = load.f64 [xb]
+  x1 = load.f64 [xb + 1]
+  x2 = load.f64 [xb + 2]
+  chk = fadd chk, x0
+  k = 0
+  jmp ih
+ih:
+  c2 = lt k, nbr
+  br c2, ib, ie
+ib:
+  idx = mul i, nbr
+  idx = add idx, k
+  nq = add pnb, idx
+  j = load.i64 [nq]
+  j3 = mul j, 3
+  yb = add ppos, j3
+  y0 = load.f64 [yb]
+  y1 = load.f64 [yb + 1]
+  y2 = load.f64 [yb + 2]
+  x0r = load.f64 [xb]
+  x1r = load.f64 [xb + 1]
+  x2r = load.f64 [xb + 2]
+  d0 = fsub x0r, y0
+  d1 = fsub x1r, y1
+  d2 = fsub x2r, y2
+  d0 = fmul d0, d0
+  d1 = fmul d1, d1
+  d2 = fmul d2, d2
+  dd = fadd d0, d1
+  dd = fadd dd, d2
+  f0 = load.f64 [fb]
+  f0 = fadd f0, dd
+  store.f64 [fb], f0
+  f1 = load.f64 [fb + 1]
+  f1 = fadd f1, d1
+  store.f64 [fb + 1], f1
+  f2 = load.f64 [fb + 2]
+  f2 = fadd f2, d2
+  store.f64 [fb + 2], f2
+  k = add k, 1
+  jmp ih
+ie:
+  f0 = load.f64 [fb]
+  chk = fadd chk, f0
+  i = add i, 1
+  jmp oh
+oexit:
+  ret chk
+}}
+
+func main(mode: i64) -> i64 {{
+  var r: i64
+  var s: f64
+  var acc: f64
+  var k: i64
+  var c: i64
+entry:
+  call setup({n}, {nbr})
+  acc = 0.0
+  k = 0
+  jmp rh
+rh:
+  c = lt k, {steps}
+  br c, rb, rex
+rb:
+  s = call forces({n}, {nbr})
+  acc = fadd acc, s
+  k = add k, 1
+  jmp rh
+rex:
+  r = f2i acc
+  r = add r, mode
+  ret r
+}}
+"#
+    )
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (n, nbr, steps, fuel) = match scale {
+        Scale::Test => (12, 4, 3, 2_000_000),
+        Scale::Reference => (64, 8, 16, 200_000_000),
+    };
+    Workload {
+        name: "ammp",
+        description: "188.ammp force loop: central-atom position reloads \
+                      across force-field stores (SoA layout, shared pointer \
+                      class, disjoint at run time)",
+        module: parse("ammp", &source(n, nbr, steps)),
+        entry: "main",
+        train_args: vec![Value::I(0)],
+        ref_args: vec![Value::I(0)],
+        fuel,
+    }
+}

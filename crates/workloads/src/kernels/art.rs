@@ -1,0 +1,215 @@
+//! `art` — 179.art, the ART neural-network image recognizer.
+//!
+//! art's hot loops scan an f64 weight matrix against an input vector while
+//! updating per-neuron match values; the weight/input loads are
+//! may-aliased with the match stores (all reached through pointers in the
+//! net structure) but never actually alias. The paper's Figure 10 shows
+//! art with the largest load reduction of the eight. Reproduced here:
+//!
+//! * `W[i][j]` re-loaded across a `match[j]` store — speculative
+//!   redundancy, becomes `ld.c`;
+//! * four bias/threshold parameters loaded per neuron, loop-invariant —
+//!   speculatively hoisted across the match/out stores;
+//! * everything is f64, so each removed load saves the 9-cycle FP latency.
+
+use super::{parse, Scale, Workload};
+use specframe_ir::Value;
+
+fn source(n: i64, m: i64, trains: i64) -> String {
+    format!(
+        r#"
+global ptrs: ptr[5]
+
+func setup(n: i64, m: i64) {{
+  var nm: i64
+  var pW: ptr
+  var pin: ptr
+  var pmatch: ptr
+  var pout: ptr
+  var pbias: ptr
+  var i: i64
+  var c: i64
+  var q: ptr
+  var t: i64
+  var f: f64
+entry:
+  nm = mul n, m
+  pW = alloc nm
+  store.ptr [@ptrs], pW
+  pin = alloc m
+  store.ptr [@ptrs + 1], pin
+  pmatch = alloc m
+  store.ptr [@ptrs + 2], pmatch
+  pout = alloc n
+  store.ptr [@ptrs + 3], pout
+  pbias = alloc 4
+  store.ptr [@ptrs + 4], pbias
+  i = 0
+  jmp fw
+fw:
+  c = lt i, nm
+  br c, fwb, fi0
+fwb:
+  q = add pW, i
+  t = mod i, 13
+  t = add t, 1
+  f = i2f t
+  f = fmul f, 0.125
+  store.f64 [q], f
+  i = add i, 1
+  jmp fw
+fi0:
+  i = 0
+  jmp fil
+fil:
+  c = lt i, m
+  br c, fib, fb0
+fib:
+  q = add pin, i
+  t = mod i, 7
+  f = i2f t
+  f = fmul f, 0.25
+  store.f64 [q], f
+  q = add pmatch, i
+  store.f64 [q], 0.0
+  i = add i, 1
+  jmp fil
+fb0:
+  q = add pbias, 0
+  store.f64 [q], 0.5
+  q = add pbias, 1
+  store.f64 [q], 1.25
+  q = add pbias, 2
+  store.f64 [q], 0.75
+  q = add pbias, 3
+  store.f64 [q], 2.0
+  ret
+}}
+
+func scan(n: i64, m: i64) -> f64 {{
+  var pW: ptr
+  var pin: ptr
+  var pmatch: ptr
+  var pout: ptr
+  var pbias: ptr
+  var i: i64
+  var j: i64
+  var c: i64
+  var c2: i64
+  var acc: f64
+  var norm: f64
+  var chk: f64
+  var idx: i64
+  var wq: i64
+  var iq: i64
+  var mq: i64
+  var oq: i64
+  var w1: f64
+  var w2: f64
+  var inj: f64
+  var p0: f64
+  var b0: f64
+  var b1: f64
+  var b2: f64
+  var b3: f64
+  var outv: f64
+entry:
+  pW = load.ptr [@ptrs]
+  pin = load.ptr [@ptrs + 1]
+  pmatch = load.ptr [@ptrs + 2]
+  pout = load.ptr [@ptrs + 3]
+  pbias = load.ptr [@ptrs + 4]
+  chk = 0.0
+  i = 0
+  jmp oh
+oh:
+  c = lt i, n
+  br c, ob, oexit
+ob:
+  acc = 0.0
+  norm = 0.0
+  j = 0
+  jmp ih
+ih:
+  c2 = lt j, m
+  br c2, ib, ie
+ib:
+  idx = mul i, m
+  idx = add idx, j
+  wq = add pW, idx
+  w1 = load.f64 [wq]
+  iq = add pin, j
+  inj = load.f64 [iq]
+  p0 = fmul w1, inj
+  acc = fadd acc, p0
+  mq = add pmatch, j
+  store.f64 [mq], acc
+  w2 = load.f64 [wq]
+  norm = fadd norm, w2
+  j = add j, 1
+  jmp ih
+ie:
+  b0 = load.f64 [pbias]
+  b1 = load.f64 [pbias + 1]
+  b2 = load.f64 [pbias + 2]
+  b3 = load.f64 [pbias + 3]
+  outv = fmul acc, b0
+  norm = fmul norm, b1
+  outv = fadd outv, norm
+  outv = fadd outv, b2
+  outv = fdiv outv, b3
+  oq = add pout, i
+  store.f64 [oq], outv
+  chk = fadd chk, outv
+  i = add i, 1
+  jmp oh
+oexit:
+  ret chk
+}}
+
+func main(mode: i64) -> i64 {{
+  var r: i64
+  var s: f64
+  var acc: f64
+  var k: i64
+  var c: i64
+entry:
+  call setup({n}, {m})
+  acc = 0.0
+  k = 0
+  jmp rh
+rh:
+  c = lt k, {trains}
+  br c, rb, rex
+rb:
+  s = call scan({n}, {m})
+  acc = fadd acc, s
+  k = add k, 1
+  jmp rh
+rex:
+  r = f2i acc
+  r = add r, mode
+  ret r
+}}
+"#
+    )
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (n, m, trains, fuel) = match scale {
+        Scale::Test => (10, 8, 3, 2_000_000),
+        Scale::Reference => (48, 24, 20, 200_000_000),
+    };
+    Workload {
+        name: "art",
+        description: "179.art neural-net scan: f64 weight reloads across \
+                      match-array stores and loop-invariant bias parameters, \
+                      may-aliased through the net's pointer structure",
+        module: parse("art", &source(n, m, trains)),
+        entry: "main",
+        train_args: vec![Value::I(0)],
+        ref_args: vec![Value::I(0)],
+        fuel,
+    }
+}

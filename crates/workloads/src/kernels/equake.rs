@@ -1,0 +1,259 @@
+//! `equake_smvp` — the paper's §5.1 case study.
+//!
+//! 183.equake spends ~60% of its time in `smvp`, the sparse matrix-vector
+//! product of Figure 9. The performance story there: the loads of
+//! `A[Anext][i][i]` and `v[i][j]` cannot be register-promoted because the
+//! `w[col][j] +=` stores may alias them (the three arrays arrive through
+//! pointers the compiler cannot disambiguate), yet at run time they never
+//! do. Speculative promotion turns the repeated loads into `ld.c` checks
+//! and hoists the loop-invariant `v[i][*]` out of the inner loop.
+//!
+//! The kernel below is that exact access pattern: a row-compressed matrix
+//! with three values per entry, `sum{0,1,2}` accumulation followed by the
+//! three `w` updates which *re-load* the `A` and `v` values across the `w`
+//! stores — the speculative redundancy of Figure 5(c).
+
+use super::{parse, Scale, Workload};
+use specframe_ir::Value;
+
+fn source(nodes: i64, epr: i64, reps: i64) -> String {
+    format!(
+        r#"
+global ptrs: ptr[4]
+
+func setup(nodes: i64, epr: i64) {{
+  var total: i64
+  var t0: i64
+  var t1: i64
+  var n3: i64
+  var pA: ptr
+  var pc: ptr
+  var pv: ptr
+  var pw: ptr
+  var i: i64
+  var c: i64
+  var q: ptr
+  var f0: f64
+entry:
+  total = mul nodes, epr
+  t0 = mul total, 3
+  pA = alloc t0
+  store.ptr [@ptrs], pA
+  pc = alloc total
+  store.ptr [@ptrs + 1], pc
+  n3 = mul nodes, 3
+  pv = alloc n3
+  store.ptr [@ptrs + 2], pv
+  pw = alloc n3
+  store.ptr [@ptrs + 3], pw
+  i = 0
+  jmp fa
+fa:
+  c = lt i, t0
+  br c, fab, fc0
+fab:
+  q = add pA, i
+  t1 = mod i, 17
+  t1 = add t1, 1
+  f0 = i2f t1
+  store.f64 [q], f0
+  i = add i, 1
+  jmp fa
+fc0:
+  i = 0
+  jmp fcl
+fcl:
+  c = lt i, total
+  br c, fcb, fv0
+fcb:
+  q = add pc, i
+  t1 = mul i, 7
+  t1 = add t1, 3
+  t1 = mod t1, nodes
+  store.i64 [q], t1
+  i = add i, 1
+  jmp fcl
+fv0:
+  i = 0
+  jmp fvl
+fvl:
+  c = lt i, n3
+  br c, fvb, done
+fvb:
+  q = add pv, i
+  t1 = mod i, 9
+  f0 = i2f t1
+  f0 = fmul f0, 0.5
+  store.f64 [q], f0
+  q = add pw, i
+  store.f64 [q], 0.0
+  i = add i, 1
+  jmp fvl
+done:
+  ret
+}}
+
+func smvp(nodes: i64, epr: i64) -> f64 {{
+  var pA: ptr
+  var pc: ptr
+  var pv: ptr
+  var pw: ptr
+  var chk: f64
+  var i: i64
+  var j: i64
+  var c: i64
+  var c2: i64
+  var i3: i64
+  var vb: i64
+  var idx: i64
+  var cq: i64
+  var col: i64
+  var ab: i64
+  var col3: i64
+  var wb: i64
+  var sum0: f64
+  var sum1: f64
+  var sum2: f64
+  var a0: f64
+  var a1: f64
+  var a2: f64
+  var v0: f64
+  var v1: f64
+  var v2: f64
+  var m0: f64
+  var m1: f64
+  var m2: f64
+  var w0: f64
+  var w1: f64
+  var w2: f64
+  var a0r: f64
+  var a1r: f64
+  var a2r: f64
+  var v0r: f64
+  var v1r: f64
+  var v2r: f64
+  var m0r: f64
+  var m1r: f64
+  var m2r: f64
+  var w0n: f64
+  var w1n: f64
+  var w2n: f64
+entry:
+  pA = load.ptr [@ptrs]
+  pc = load.ptr [@ptrs + 1]
+  pv = load.ptr [@ptrs + 2]
+  pw = load.ptr [@ptrs + 3]
+  chk = 0.0
+  i = 0
+  jmp oh
+oh:
+  c = lt i, nodes
+  br c, ob, oexit
+ob:
+  i3 = mul i, 3
+  vb = add pv, i3
+  sum0 = 0.0
+  sum1 = 0.0
+  sum2 = 0.0
+  j = 0
+  jmp ih
+ih:
+  c2 = lt j, epr
+  br c2, ib, ie
+ib:
+  idx = mul i, epr
+  idx = add idx, j
+  cq = add pc, idx
+  col = load.i64 [cq]
+  ab = mul idx, 3
+  ab = add ab, pA
+  a0 = load.f64 [ab]
+  v0 = load.f64 [vb]
+  m0 = fmul a0, v0
+  sum0 = fadd sum0, m0
+  a1 = load.f64 [ab + 1]
+  v1 = load.f64 [vb + 1]
+  m1 = fmul a1, v1
+  sum1 = fadd sum1, m1
+  a2 = load.f64 [ab + 2]
+  v2 = load.f64 [vb + 2]
+  m2 = fmul a2, v2
+  sum2 = fadd sum2, m2
+  col3 = mul col, 3
+  wb = add pw, col3
+  w0 = load.f64 [wb]
+  a0r = load.f64 [ab]
+  v0r = load.f64 [vb]
+  m0r = fmul a0r, v0r
+  w0n = fadd w0, m0r
+  store.f64 [wb], w0n
+  w1 = load.f64 [wb + 1]
+  a1r = load.f64 [ab + 1]
+  v1r = load.f64 [vb + 1]
+  m1r = fmul a1r, v1r
+  w1n = fadd w1, m1r
+  store.f64 [wb + 1], w1n
+  w2 = load.f64 [wb + 2]
+  a2r = load.f64 [ab + 2]
+  v2r = load.f64 [vb + 2]
+  m2r = fmul a2r, v2r
+  w2n = fadd w2, m2r
+  store.f64 [wb + 2], w2n
+  j = add j, 1
+  jmp ih
+ie:
+  chk = fadd chk, sum0
+  chk = fadd chk, sum1
+  chk = fadd chk, sum2
+  i = add i, 1
+  jmp oh
+oexit:
+  ret chk
+}}
+
+func main(mode: i64) -> i64 {{
+  var r: i64
+  var s: f64
+  var acc: f64
+  var k: i64
+  var c: i64
+entry:
+  call setup({nodes}, {epr})
+  acc = 0.0
+  k = 0
+  jmp rh
+rh:
+  c = lt k, {reps}
+  br c, rb, rex
+rb:
+  s = call smvp({nodes}, {epr})
+  acc = fadd acc, s
+  k = add k, 1
+  jmp rh
+rex:
+  r = f2i acc
+  r = add r, mode
+  ret r
+}}
+"#
+    )
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (nodes, epr, reps, fuel) = match scale {
+        Scale::Test => (24, 4, 3, 2_000_000),
+        Scale::Reference => (120, 8, 12, 200_000_000),
+    };
+    Workload {
+        name: "equake_smvp",
+        description: "183.equake smvp sparse mat-vec (Fig. 9): A/v loads \
+                      may-aliased by w stores through shared pointers, never \
+                      aliasing at run time; v is inner-loop invariant",
+        module: parse("equake_smvp", &source(nodes, epr, reps)),
+        entry: "main",
+        train_args: vec![Value::I(0)],
+        ref_args: vec![Value::I(0)],
+        fuel,
+    }
+}

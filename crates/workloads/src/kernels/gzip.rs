@@ -1,0 +1,158 @@
+//! `gzip` — 164.gzip, LZ77 compression.
+//!
+//! gzip offers the framework almost nothing: its hot loops stream bytes
+//! through hash chains with little cross-store redundancy. The paper
+//! observes (i) a near-zero share of check loads among retired loads and
+//! (ii) the *highest mis-speculation ratio* of the suite (~6%) — yet "the
+//! total number of check instructions is nearly negligible ... therefore
+//! there is little performance impact from the high mis-speculation
+//! ratio."
+//!
+//! Reproduced: a window-scanning loop (bulk non-reducible loads) plus a
+//! promoted hash-head cache cell whose promoted load is *occasionally*
+//! truly aliased — the hash index hits the cached slot for 1/16 of the
+//! reference input's iterations, and never for the training input. The
+//! alias profile (trained on `mode = 0`) therefore flags the alias as
+//! unlikely, and the reference run (`mode = 1`) pays real ALAT misses —
+//! the paper's input-sensitivity story (§1) end to end.
+
+use super::{parse, Scale, Workload};
+use specframe_ir::Value;
+
+fn source(n: i64, winwords: i64) -> String {
+    format!(
+        r#"
+global ptrs: ptr[2]
+global pwin: ptr[1]
+
+func setup(winwords: i64) {{
+  var pcache: ptr
+  var ptab: ptr
+  var pw: ptr
+  var i: i64
+  var c: i64
+  var q: ptr
+  var t: i64
+entry:
+  pcache = alloc 2
+  store.ptr [@ptrs], pcache
+  ptab = alloc 16
+  store.ptr [@ptrs + 1], ptab
+  store.i64 [pcache], 7777
+  pw = alloc winwords
+  store.ptr [@pwin], pw
+  i = 0
+  jmp fl
+fl:
+  c = lt i, winwords
+  br c, fb, done
+fb:
+  q = add pw, i
+  t = mul i, 251
+  t = mod t, 256
+  store.i64 [q], t
+  i = add i, 1
+  jmp fl
+done:
+  ret
+}}
+
+func deflate(n: i64, winwords: i64, mode: i64) -> i64 {{
+  var pcache: ptr
+  var ptab: ptr
+  var pw: ptr
+  var i: i64
+  var j: i64
+  var c: i64
+  var c2: i64
+  var c0: i64
+  var q: i64
+  var widx: i64
+  var wv: i64
+  var hsum: i64
+  var x: i64
+  var h: i64
+  var hbit: i64
+  var train: i64
+  var chk: i64
+entry:
+  pcache = load.ptr [@ptrs]
+  ptab = load.ptr [@ptrs + 1]
+  pw = load.ptr [@pwin]
+  train = eq mode, 0
+  chk = 0
+  i = 0
+  jmp oh
+oh:
+  c = lt i, n
+  br c, ob, oexit
+ob:
+  hsum = 0
+  j = 0
+  jmp wh
+wh:
+  c2 = lt j, 8
+  br c2, wb, we
+wb:
+  widx = mul i, 3
+  widx = add widx, j
+  widx = mod widx, winwords
+  q = add pw, widx
+  wv = load.i64 [q]
+  hsum = mul hsum, 31
+  hsum = add hsum, wv
+  j = add j, 1
+  jmp wh
+we:
+  x = load.i64 [pcache]
+  h = mul i, 13
+  h = mod h, 16
+  h = or h, train
+  c0 = eq h, 0
+  br c0, hit, miss
+hit:
+  store.i64 [pcache], hsum
+  jmp join
+miss:
+  q = add ptab, h
+  store.i64 [q], hsum
+  jmp join
+join:
+  chk = add chk, x
+  chk = add chk, hsum
+  i = add i, 1
+  jmp oh
+oexit:
+  ret chk
+}}
+
+func main(mode: i64) -> i64 {{
+  var r: i64
+entry:
+  call setup({winwords})
+  r = call deflate({n}, {winwords}, mode)
+  ret r
+}}
+"#
+    )
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (n, winwords, fuel) = match scale {
+        Scale::Test => (256, 64, 2_000_000),
+        Scale::Reference => (20_000, 512, 200_000_000),
+    };
+    Workload {
+        name: "gzip",
+        description: "164.gzip hash loop: bulk window loads with one \
+                      promoted hash-head cell that truly aliases for 1/16 \
+                      of reference iterations (trains clean) — tiny check \
+                      share, ~6% mis-speculation",
+        module: parse("gzip", &source(n, winwords)),
+        entry: "main",
+        train_args: vec![Value::I(0)],
+        ref_args: vec![Value::I(1)],
+        fuel,
+    }
+}

@@ -1,0 +1,218 @@
+//! `mcf` — 181.mcf, network simplex minimum-cost flow.
+//!
+//! mcf chases pointers through node/arc records and updates flow fields
+//! while reading potentials and costs. Loads are integer (2-cycle), so the
+//! paper reports a solid load reduction (~6%) but only ~2% speedup — the
+//! removed loads are cheap and mcf is cache-bound. Modeled as
+//! structure-of-arrays node records (`next/potential/cost/flow/depth`),
+//! all reached through one pointer table (one alias class); the flow
+//! stores never touch the potential array at run time:
+//!
+//! * `potential[cur]` re-loaded across the `flow[cur]` store — `ld.c`;
+//! * a second pure pointer-chasing pass with no redundancy dilutes the
+//!   reduction to mcf's single-digit profile.
+
+use super::{parse, Scale, Workload};
+use specframe_ir::Value;
+
+fn source(n: i64, reps: i64) -> String {
+    format!(
+        r#"
+global ptrs: ptr[5]
+
+func setup(n: i64) {{
+  var pnext: ptr
+  var ppot: ptr
+  var pcost: ptr
+  var pflow: ptr
+  var pdep: ptr
+  var i: i64
+  var c: i64
+  var q: ptr
+  var t: i64
+entry:
+  pnext = alloc n
+  store.ptr [@ptrs], pnext
+  ppot = alloc n
+  store.ptr [@ptrs + 1], ppot
+  pcost = alloc n
+  store.ptr [@ptrs + 2], pcost
+  pflow = alloc n
+  store.ptr [@ptrs + 3], pflow
+  pdep = alloc n
+  store.ptr [@ptrs + 4], pdep
+  i = 0
+  jmp fl
+fl:
+  c = lt i, n
+  br c, fb, done
+fb:
+  q = add pnext, i
+  t = mul i, 17
+  t = add t, 7
+  t = mod t, n
+  store.i64 [q], t
+  q = add ppot, i
+  t = mul i, 5
+  t = add t, 100
+  store.i64 [q], t
+  q = add pcost, i
+  t = mod i, 29
+  store.i64 [q], t
+  q = add pflow, i
+  store.i64 [q], 0
+  q = add pdep, i
+  t = mod i, 11
+  store.i64 [q], t
+  i = add i, 1
+  jmp fl
+done:
+  ret
+}}
+
+func simplex(n: i64, steps: i64) -> i64 {{
+  var pnext: ptr
+  var ppot: ptr
+  var pcost: ptr
+  var pflow: ptr
+  var pdep: ptr
+  var cur: i64
+  var s: i64
+  var c: i64
+  var nq: i64
+  var pq: i64
+  var cq: i64
+  var fq: i64
+  var dq: i64
+  var nx: i64
+  var pot: i64
+  var cost: i64
+  var dep: i64
+  var pot2: i64
+  var fl: i64
+  var chk: i64
+entry:
+  pnext = load.ptr [@ptrs]
+  ppot = load.ptr [@ptrs + 1]
+  pcost = load.ptr [@ptrs + 2]
+  pflow = load.ptr [@ptrs + 3]
+  pdep = load.ptr [@ptrs + 4]
+  chk = 0
+  cur = 0
+  s = 0
+  jmp head
+head:
+  c = lt s, steps
+  br c, body, exit
+body:
+  nq = add pnext, cur
+  nx = load.i64 [nq]
+  pq = add ppot, cur
+  pot = load.i64 [pq]
+  cq = add pcost, cur
+  cost = load.i64 [cq]
+  dq = add pdep, cur
+  dep = load.i64 [dq]
+  fq = add pflow, cur
+  fl = load.i64 [fq]
+  fl = add fl, cost
+  fl = add fl, dep
+  store.i64 [fq], fl
+  pot2 = load.i64 [pq]
+  chk = add chk, pot2
+  cur = nx
+  s = add s, 1
+  jmp head
+exit:
+  ret chk
+}}
+
+func chase(n: i64, steps: i64) -> i64 {{
+  var pnext: ptr
+  var pcost: ptr
+  var pdep: ptr
+  var cur: i64
+  var s: i64
+  var c: i64
+  var nq: i64
+  var cq: i64
+  var dq: i64
+  var cost: i64
+  var dep: i64
+  var chk: i64
+entry:
+  pnext = load.ptr [@ptrs]
+  pcost = load.ptr [@ptrs + 2]
+  pdep = load.ptr [@ptrs + 4]
+  chk = 0
+  cur = 1
+  s = 0
+  jmp head
+head:
+  c = lt s, steps
+  br c, body, exit
+body:
+  nq = add pnext, cur
+  cur = load.i64 [nq]
+  cq = add pcost, cur
+  cost = load.i64 [cq]
+  dq = add pdep, cur
+  dep = load.i64 [dq]
+  chk = add chk, cost
+  chk = add chk, dep
+  s = add s, 1
+  jmp head
+exit:
+  ret chk
+}}
+
+func main(mode: i64) -> i64 {{
+  var r: i64
+  var t: i64
+  var k: i64
+  var c: i64
+  var steps: i64
+entry:
+  call setup({n})
+  steps = mul {n}, 2
+  r = 0
+  k = 0
+  jmp rh
+rh:
+  c = lt k, {reps}
+  br c, rb, rex
+rb:
+  t = call simplex({n}, steps)
+  r = add r, t
+  t = call chase({n}, steps)
+  r = add r, t
+  t = call chase({n}, steps)
+  r = add r, t
+  k = add k, 1
+  jmp rh
+rex:
+  r = add r, mode
+  ret r
+}}
+"#
+    )
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (n, reps, fuel) = match scale {
+        Scale::Test => (48, 3, 2_000_000),
+        Scale::Reference => (512, 20, 200_000_000),
+    };
+    Workload {
+        name: "mcf",
+        description: "181.mcf network walk: potential reloads across flow \
+                      stores (SoA records, one pointer class), diluted by \
+                      pure pointer chasing — integer loads, modest speedup",
+        module: parse("mcf", &source(n, reps)),
+        entry: "main",
+        train_args: vec![Value::I(0)],
+        ref_args: vec![Value::I(0)],
+        fuel,
+    }
+}

@@ -1,0 +1,75 @@
+//! The eight benchmark kernels.
+//!
+//! Each submodule documents which SPEC2000 program it stands in for and
+//! which memory-aliasing property of that program it reproduces. All
+//! kernels share two conventions:
+//!
+//! * the entry point is `main(mode: i64) -> i64` returning a checksum —
+//!   `mode` selects the *training* (0) vs *reference* (1) input where the
+//!   two differ (only `gzip` uses it, to reproduce the paper's §5.2
+//!   mis-speculation discussion);
+//! * data arrays are reached through pointers kept in a global pointer
+//!   table, which places them in one Steensgaard alias class — the honest
+//!   equivalent of what C pointer passing does to ORC's analysis.
+
+mod ammp;
+mod art;
+mod equake;
+mod gzip;
+mod mcf;
+mod parser_bench;
+mod twolf;
+mod vpr;
+
+use specframe_ir::{Module, Value};
+
+/// Problem size selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small inputs for unit/integration tests (sub-second in debug).
+    Test,
+    /// "Reference"-style inputs for figure regeneration (run in release).
+    Reference,
+}
+
+/// One benchmark: an IR module plus how to run it.
+pub struct Workload {
+    /// Benchmark name (matches the paper's benchmark where applicable).
+    pub name: &'static str,
+    /// What it models and why the substitution is faithful.
+    pub description: &'static str,
+    /// The program.
+    pub module: Module,
+    /// Entry function name.
+    pub entry: &'static str,
+    /// Arguments for the profiling (training) run.
+    pub train_args: Vec<Value>,
+    /// Arguments for the measurement (reference) run.
+    pub ref_args: Vec<Value>,
+    /// Interpreter/simulator fuel budget.
+    pub fuel: u64,
+}
+
+/// All eight benchmarks, alphabetically.
+pub fn all_workloads(scale: Scale) -> Vec<Workload> {
+    vec![
+        ammp::build(scale),
+        art::build(scale),
+        equake::build(scale),
+        gzip::build(scale),
+        mcf::build(scale),
+        parser_bench::build(scale),
+        twolf::build(scale),
+        vpr::build(scale),
+    ]
+}
+
+/// Looks a benchmark up by name.
+pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
+    all_workloads(scale).into_iter().find(|w| w.name == name)
+}
+
+pub(crate) fn parse(name: &str, src: &str) -> Module {
+    specframe_ir::parse_module(src)
+        .unwrap_or_else(|e| panic!("workload `{name}` failed to parse: {e}"))
+}

@@ -1,0 +1,152 @@
+//! `parser` — 197.parser, the link-grammar parser.
+//!
+//! parser spends its time walking dictionary hash chains and linkage
+//! lists, marking visited entries as it goes. Chain-node key loads are
+//! may-aliased with the visited-mark stores (both hang off `Dict_node*`
+//! pointers); the marks live in a separate table at run time. Mostly
+//! irreducible pointer chasing with a thin layer of speculative reloads —
+//! near the bottom of the paper's Figure 10.
+
+use super::{parse, Scale, Workload};
+use specframe_ir::Value;
+
+fn source(words: i64, lookups: i64) -> String {
+    format!(
+        r#"
+global ptrs: ptr[3]
+
+func setup(words: i64) {{
+  var pkey: ptr
+  var pnxt: ptr
+  var pseen: ptr
+  var i: i64
+  var c: i64
+  var q: ptr
+  var t: i64
+entry:
+  pkey = alloc words
+  store.ptr [@ptrs], pkey
+  pnxt = alloc words
+  store.ptr [@ptrs + 1], pnxt
+  pseen = alloc words
+  store.ptr [@ptrs + 2], pseen
+  i = 0
+  jmp fl
+fl:
+  c = lt i, words
+  br c, fb, done
+fb:
+  q = add pkey, i
+  t = mul i, 131
+  t = mod t, 257
+  store.i64 [q], t
+  q = add pnxt, i
+  t = mul i, 31
+  t = add t, 1
+  t = mod t, words
+  store.i64 [q], t
+  q = add pseen, i
+  store.i64 [q], 0
+  i = add i, 1
+  jmp fl
+done:
+  ret
+}}
+
+func lookup(words: i64, lookups: i64) -> i64 {{
+  var pkey: ptr
+  var pnxt: ptr
+  var pseen: ptr
+  var l: i64
+  var c: i64
+  var c2: i64
+  var cur: i64
+  var depth: i64
+  var qk: i64
+  var qs: i64
+  var qn: i64
+  var key: i64
+  var key2: i64
+  var nxt: i64
+  var want: i64
+  var hitc: i64
+  var chk: i64
+entry:
+  pkey = load.ptr [@ptrs]
+  pnxt = load.ptr [@ptrs + 1]
+  pseen = load.ptr [@ptrs + 2]
+  chk = 0
+  l = 0
+  jmp oh
+oh:
+  c = lt l, lookups
+  br c, ob, oexit
+ob:
+  cur = mul l, 7
+  cur = mod cur, words
+  want = mul l, 131
+  want = mod want, 257
+  depth = 0
+  jmp wh
+wh:
+  c2 = lt depth, 6
+  br c2, wb, we
+wb:
+  qk = add pkey, cur
+  key = load.i64 [qk]
+  qs = add pseen, cur
+  hitc = load.i64 [qs]
+  hitc = add hitc, 1
+  qs = add pseen, cur
+  store.i64 [qs], hitc
+  qk = add pkey, cur
+  key2 = load.i64 [qk]
+  chk = add chk, key2
+  c2 = eq key, want
+  br c2, found, step
+step:
+  qn = add pnxt, cur
+  nxt = load.i64 [qn]
+  cur = nxt
+  depth = add depth, 1
+  jmp wh
+found:
+  chk = add chk, 1000
+  jmp we
+we:
+  l = add l, 1
+  jmp oh
+oexit:
+  ret chk
+}}
+
+func main(mode: i64) -> i64 {{
+  var r: i64
+entry:
+  call setup({words})
+  r = call lookup({words}, {lookups})
+  r = add r, mode
+  ret r
+}}
+"#
+    )
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (words, lookups, fuel) = match scale {
+        Scale::Test => (64, 60, 2_000_000),
+        Scale::Reference => (2048, 8_000, 200_000_000),
+    };
+    Workload {
+        name: "parser",
+        description: "197.parser dictionary chains: key reloads across \
+                      visited-mark stores; dominated by irreducible chain \
+                      walking",
+        module: parse("parser", &source(words, lookups)),
+        entry: "main",
+        train_args: vec![Value::I(0)],
+        ref_args: vec![Value::I(0)],
+        fuel,
+    }
+}

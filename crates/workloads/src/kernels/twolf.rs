@@ -1,0 +1,168 @@
+//! `twolf` — 300.twolf, standard-cell placement.
+//!
+//! twolf's inner loops evaluate cell-swap costs: they read coordinates of
+//! two candidate cells, write the updated cost of one, and read the first
+//! cell's coordinates again for the reverse direction. The coordinate
+//! loads and the cost stores sit behind `CELLBOX*` pointers the compiler
+//! cannot separate; at run time coordinates and costs are distinct arrays.
+//! Integer loads, mid-pack reduction in the paper's Figure 10.
+
+use super::{parse, Scale, Workload};
+use specframe_ir::Value;
+
+fn source(cells: i64, iters: i64) -> String {
+    format!(
+        r#"
+global ptrs: ptr[4]
+
+func setup(cells: i64) {{
+  var px: ptr
+  var py: ptr
+  var pcost: ptr
+  var pnet: ptr
+  var i: i64
+  var c: i64
+  var q: ptr
+  var t: i64
+entry:
+  px = alloc cells
+  store.ptr [@ptrs], px
+  py = alloc cells
+  store.ptr [@ptrs + 1], py
+  pcost = alloc cells
+  store.ptr [@ptrs + 2], pcost
+  pnet = alloc cells
+  store.ptr [@ptrs + 3], pnet
+  i = 0
+  jmp fl
+fl:
+  c = lt i, cells
+  br c, fb, done
+fb:
+  q = add px, i
+  t = mul i, 37
+  t = mod t, 1024
+  store.i64 [q], t
+  q = add py, i
+  t = mul i, 53
+  t = mod t, 1024
+  store.i64 [q], t
+  q = add pcost, i
+  store.i64 [q], 0
+  q = add pnet, i
+  t = mul i, 19
+  t = add t, 3
+  t = mod t, cells
+  store.i64 [q], t
+  i = add i, 1
+  jmp fl
+done:
+  ret
+}}
+
+func place(cells: i64, iters: i64) -> i64 {{
+  var px: ptr
+  var py: ptr
+  var pcost: ptr
+  var pnet: ptr
+  var s: i64
+  var c: i64
+  var a: i64
+  var b: i64
+  var xa: i64
+  var ya: i64
+  var xb: i64
+  var yb: i64
+  var xa2: i64
+  var ya2: i64
+  var na: i64
+  var dx: i64
+  var dy: i64
+  var cost: i64
+  var rev: i64
+  var qxa: i64
+  var qya: i64
+  var qxb: i64
+  var qyb: i64
+  var qna: i64
+  var qca: i64
+  var chk: i64
+entry:
+  px = load.ptr [@ptrs]
+  py = load.ptr [@ptrs + 1]
+  pcost = load.ptr [@ptrs + 2]
+  pnet = load.ptr [@ptrs + 3]
+  chk = 0
+  s = 0
+  jmp head
+head:
+  c = lt s, iters
+  br c, body, exit
+body:
+  a = mul s, 7
+  a = mod a, cells
+  b = mul s, 13
+  b = add b, 5
+  b = mod b, cells
+  qxa = add px, a
+  xa = load.i64 [qxa]
+  qya = add py, a
+  ya = load.i64 [qya]
+  qxb = add px, b
+  xb = load.i64 [qxb]
+  qyb = add py, b
+  yb = load.i64 [qyb]
+  qna = add pnet, a
+  na = load.i64 [qna]
+  dx = sub xa, xb
+  dy = sub ya, yb
+  cost = mul dx, dx
+  dy = mul dy, dy
+  cost = add cost, dy
+  cost = add cost, na
+  qca = add pcost, a
+  store.i64 [qca], cost
+  qxa = add px, a
+  xa2 = load.i64 [qxa]
+  qya = add py, a
+  ya2 = load.i64 [qya]
+  rev = sub xb, xa2
+  rev = mul rev, rev
+  chk = add chk, cost
+  chk = add chk, rev
+  chk = add chk, ya2
+  s = add s, 1
+  jmp head
+exit:
+  ret chk
+}}
+
+func main(mode: i64) -> i64 {{
+  var r: i64
+entry:
+  call setup({cells})
+  r = call place({cells}, {iters})
+  r = add r, mode
+  ret r
+}}
+"#
+    )
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (cells, iters, fuel) = match scale {
+        Scale::Test => (32, 300, 2_000_000),
+        Scale::Reference => (1024, 40_000, 200_000_000),
+    };
+    Workload {
+        name: "twolf",
+        description: "300.twolf swap-cost loop: coordinate reloads across \
+                      cost stores behind shared cell pointers; integer loads",
+        module: parse("twolf", &source(cells, iters)),
+        entry: "main",
+        train_args: vec![Value::I(0)],
+        ref_args: vec![Value::I(0)],
+        fuel,
+    }
+}

@@ -1,0 +1,153 @@
+//! `vpr` — 175.vpr, FPGA place-and-route.
+//!
+//! vpr's router walks a cost grid, expanding neighbors and updating
+//! occupancy; the grid-cost loads and the occupancy stores live behind
+//! `rr_node` pointers. Most loads vary per expansion (no redundancy);
+//! a per-expansion base-cost parameter is invariant, and the source cost
+//! is re-read after the occupancy store. Small-to-mid reduction.
+
+use super::{parse, Scale, Workload};
+use specframe_ir::Value;
+
+fn source(nodes: i64, iters: i64) -> String {
+    format!(
+        r#"
+global ptrs: ptr[3]
+
+func setup(nodes: i64) {{
+  var pcost: ptr
+  var pocc: ptr
+  var pbase: ptr
+  var i: i64
+  var c: i64
+  var q: ptr
+  var t: i64
+entry:
+  pcost = alloc nodes
+  store.ptr [@ptrs], pcost
+  pocc = alloc nodes
+  store.ptr [@ptrs + 1], pocc
+  pbase = alloc 4
+  store.ptr [@ptrs + 2], pbase
+  store.i64 [pbase], 11
+  i = 0
+  jmp fl
+fl:
+  c = lt i, nodes
+  br c, fb, done
+fb:
+  q = add pcost, i
+  t = mul i, 41
+  t = mod t, 97
+  store.i64 [q], t
+  q = add pocc, i
+  store.i64 [q], 0
+  i = add i, 1
+  jmp fl
+done:
+  ret
+}}
+
+func route(nodes: i64, iters: i64) -> i64 {{
+  var pcost: ptr
+  var pocc: ptr
+  var pbase: ptr
+  var s: i64
+  var c: i64
+  var src: i64
+  var n1: i64
+  var n2: i64
+  var n3: i64
+  var qsrc: i64
+  var q1: i64
+  var q2: i64
+  var q3: i64
+  var qo: i64
+  var qw: i64
+  var cs: i64
+  var cs2: i64
+  var c1: i64
+  var c2v: i64
+  var c3v: i64
+  var bc: i64
+  var o1: i64
+  var total: i64
+  var chk: i64
+entry:
+  pcost = load.ptr [@ptrs]
+  pocc = load.ptr [@ptrs + 1]
+  pbase = load.ptr [@ptrs + 2]
+  chk = 0
+  s = 0
+  jmp head
+head:
+  c = lt s, iters
+  br c, body, exit
+body:
+  src = mul s, 3
+  src = mod src, nodes
+  n1 = add src, 1
+  n1 = mod n1, nodes
+  n2 = mul s, 11
+  n2 = mod n2, nodes
+  n3 = mul s, 23
+  n3 = add n3, 2
+  n3 = mod n3, nodes
+  qsrc = add pcost, src
+  cs = load.i64 [qsrc]
+  q1 = add pcost, n1
+  c1 = load.i64 [q1]
+  q2 = add pcost, n2
+  c2v = load.i64 [q2]
+  q3 = add pcost, n3
+  c3v = load.i64 [q3]
+  qo = add pocc, n2
+  o1 = load.i64 [qo]
+  bc = load.i64 [pbase]
+  total = add cs, c1
+  total = add total, c2v
+  total = add total, c3v
+  total = add total, bc
+  total = add total, o1
+  qw = add pocc, n1
+  store.i64 [qw], total
+  qsrc = add pcost, src
+  cs2 = load.i64 [qsrc]
+  chk = add chk, total
+  chk = add chk, cs2
+  s = add s, 1
+  jmp head
+exit:
+  ret chk
+}}
+
+func main(mode: i64) -> i64 {{
+  var r: i64
+entry:
+  call setup({nodes})
+  r = call route({nodes}, {iters})
+  r = add r, mode
+  ret r
+}}
+"#
+    )
+}
+
+/// Builds the workload.
+pub fn build(scale: Scale) -> Workload {
+    let (nodes, iters, fuel) = match scale {
+        Scale::Test => (64, 300, 2_000_000),
+        Scale::Reference => (2048, 40_000, 200_000_000),
+    };
+    Workload {
+        name: "vpr",
+        description: "175.vpr router expansion: many per-expansion cost \
+                      loads (irreducible), one invariant base-cost and one \
+                      source-cost reload across the occupancy store",
+        module: parse("vpr", &source(nodes, iters)),
+        entry: "main",
+        train_args: vec![Value::I(0)],
+        ref_args: vec![Value::I(0)],
+        fuel,
+    }
+}

@@ -1,0 +1,85 @@
+//! # specframe-workloads
+//!
+//! Synthetic kernels with the *memory-aliasing personalities* of the eight
+//! SPEC2000 benchmarks the paper evaluates (§5.2: ammp, art, equake, gzip,
+//! mcf, twolf, plus vpr and parser). The paper ran the real benchmarks on
+//! real Itanium hardware; those inputs and that hardware are unavailable
+//! here, so each kernel is built to reproduce the property that actually
+//! drives the paper's numbers: **which fraction of its dynamic loads sit
+//! behind a may-alias that almost never (or sometimes!) materializes at
+//! run time**.
+//!
+//! Two structural devices create honest may-aliases for the Steensgaard
+//! analysis, mirroring what C does to ORC's analysis:
+//!
+//! * **pointer tables** — data arrays are reached through pointers stored
+//!   in a common global table, which puts all of them into one alias class
+//!   (like C pointers loaded from a shared struct);
+//! * **selected pointers** — a pointer that runtime-selects between
+//!   targets, only one of which is hot.
+//!
+//! Every workload is a self-contained IR module with a `main(scale)` that
+//! builds its data and runs the kernel; all are deterministic.
+
+pub mod kernels;
+
+pub use kernels::{all_workloads, workload_by_name, Scale, Workload};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specframe_ir::verify_module;
+    use specframe_profile::run;
+
+    #[test]
+    fn all_workloads_build_verify_and_run() {
+        for w in all_workloads(Scale::Test) {
+            verify_module(&w.module).unwrap_or_else(|e| panic!("{}: verify failed: {e}", w.name));
+            let (r, stats) = run(&w.module, w.entry, &w.ref_args, w.fuel)
+                .unwrap_or_else(|e| panic!("{}: run failed: {e}", w.name));
+            assert!(r.is_some(), "{}: kernel must return a checksum", w.name);
+            assert!(
+                stats.loads > 100,
+                "{}: kernel must actually do memory work ({} loads)",
+                w.name,
+                stats.loads
+            );
+        }
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for w in all_workloads(Scale::Test) {
+            let (a, _) = run(&w.module, w.entry, &w.ref_args, w.fuel).unwrap();
+            let (b, _) = run(&w.module, w.entry, &w.ref_args, w.fuel).unwrap();
+            assert_eq!(a, b, "{} must be deterministic", w.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("equake_smvp", Scale::Test).is_some());
+        assert!(workload_by_name("nonesuch", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn eight_benchmarks_present() {
+        let names: Vec<_> = all_workloads(Scale::Test)
+            .into_iter()
+            .map(|w| w.name)
+            .collect();
+        for expected in [
+            "ammp",
+            "art",
+            "equake_smvp",
+            "gzip",
+            "mcf",
+            "parser",
+            "twolf",
+            "vpr",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}: {names:?}");
+        }
+        assert_eq!(names.len(), 8);
+    }
+}

@@ -1,0 +1,268 @@
+//! `specc` — the specframe compiler driver.
+//!
+//! ```text
+//! specc INPUT.ir [options]
+//!
+//!   --entry NAME          entry function (default: main)
+//!   --args N,N,...        arguments for --run / --sim / profiling
+//!   --train-args N,N,...  profiling-run arguments (default: --args)
+//!   --spec MODE           data speculation: none|profile|heuristic|aggressive
+//!                         (default: profile)
+//!   --control MODE        control speculation: off|profile|static
+//!                         (default: profile)
+//!   --no-sr               disable strength reduction / LFTR
+//!   --store-sinking       enable store promotion
+//!   --emit WHAT           ir (optimized IR, default) | hssa (speculative
+//!                         SSA dump of every function before optimization)
+//!   -o FILE               write the optimized IR to FILE (default: stdout)
+//!   --run                 interpret the optimized program and print result
+//!   --sim                 run it on the EPIC simulator and print counters
+//!   --stats               print optimizer statistics
+//! ```
+//!
+//! Example:
+//!
+//! ```text
+//! specc kernel.ir --args 0,100 --spec profile --control static --sim
+//! ```
+
+use specframe::prelude::*;
+use std::process::ExitCode;
+
+struct Cli {
+    input: String,
+    entry: String,
+    args: Vec<Value>,
+    train_args: Vec<Value>,
+    spec: String,
+    control: String,
+    sr: bool,
+    store_sinking: bool,
+    emit: String,
+    out: Option<String>,
+    run: bool,
+    sim: bool,
+    stats: bool,
+    fuel: u64,
+}
+
+fn parse_values(s: &str) -> Result<Vec<Value>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|t| {
+            let t = t.trim();
+            if t.contains('.') {
+                t.parse::<f64>()
+                    .map(Value::F)
+                    .map_err(|e| format!("bad float `{t}`: {e}"))
+            } else {
+                t.parse::<i64>()
+                    .map(Value::I)
+                    .map_err(|e| format!("bad int `{t}`: {e}"))
+            }
+        })
+        .collect()
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let mut cli = Cli {
+        input: String::new(),
+        entry: "main".into(),
+        args: Vec::new(),
+        train_args: Vec::new(),
+        spec: "profile".into(),
+        control: "profile".into(),
+        sr: true,
+        store_sinking: false,
+        emit: "ir".into(),
+        out: None,
+        run: false,
+        sim: false,
+        stats: false,
+        fuel: 100_000_000,
+    };
+    let mut train_set = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--entry" => cli.entry = args.next().ok_or("--entry needs a value")?,
+            "--args" => cli.args = parse_values(&args.next().ok_or("--args needs a value")?)?,
+            "--train-args" => {
+                cli.train_args = parse_values(&args.next().ok_or("--train-args needs a value")?)?;
+                train_set = true;
+            }
+            "--spec" => cli.spec = args.next().ok_or("--spec needs a value")?,
+            "--control" => cli.control = args.next().ok_or("--control needs a value")?,
+            "--no-sr" => cli.sr = false,
+            "--store-sinking" => cli.store_sinking = true,
+            "--emit" => cli.emit = args.next().ok_or("--emit needs a value")?,
+            "-o" => cli.out = Some(args.next().ok_or("-o needs a value")?),
+            "--run" => cli.run = true,
+            "--sim" => cli.sim = true,
+            "--stats" => cli.stats = true,
+            "--fuel" => {
+                cli.fuel = args
+                    .next()
+                    .ok_or("--fuel needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad fuel: {e}"))?
+            }
+            "--help" | "-h" => {
+                return Err("usage: specc INPUT.ir [--entry NAME] [--args N,..] \
+                            [--spec none|profile|heuristic|aggressive] \
+                            [--control off|profile|static] [--no-sr] \
+                            [--store-sinking] [--emit ir|hssa] [-o FILE] \
+                            [--run] [--sim] [--stats]"
+                    .into())
+            }
+            other if !other.starts_with('-') && cli.input.is_empty() => {
+                cli.input = other.to_string()
+            }
+            other => return Err(format!("unknown option `{other}` (try --help)")),
+        }
+    }
+    if cli.input.is_empty() {
+        return Err("no input file (try --help)".into());
+    }
+    if !train_set {
+        cli.train_args = cli.args.clone();
+    }
+    Ok(cli)
+}
+
+fn real_main() -> Result<(), String> {
+    let cli = parse_cli()?;
+    let src = std::fs::read_to_string(&cli.input)
+        .map_err(|e| format!("cannot read {}: {e}", cli.input))?;
+    let mut m = parse_module(&src).map_err(|e| format!("{}: {e}", cli.input))?;
+    verify_module(&m).map_err(|e| format!("{}: {e}", cli.input))?;
+    prepare_module(&mut m);
+
+    if m.func_by_name(&cli.entry).is_none() {
+        return Err(format!("no function `{}` in {}", cli.entry, cli.input));
+    }
+    let (expect, _) = run(&m, &cli.entry, &cli.args, cli.fuel)
+        .map_err(|e| format!("reference run failed: {e}"))?;
+
+    // profiling run, when any profile-guided mode is requested
+    let needs_profile = cli.spec == "profile" || cli.control == "profile";
+    let mut aprof = None;
+    let mut eprof = None;
+    if needs_profile {
+        let mut ap = AliasProfiler::new();
+        let mut ep = EdgeProfiler::new();
+        {
+            let mut obs = specframe::profile::observer::Compose(vec![&mut ap, &mut ep]);
+            run_with(&m, &cli.entry, &cli.train_args, cli.fuel, &mut obs)
+                .map_err(|e| format!("profiling run failed: {e}"))?;
+        }
+        aprof = Some(ap.finish());
+        eprof = Some(ep.finish());
+    }
+
+    if cli.emit == "hssa" {
+        let aa = AliasAnalysis::analyze(&m);
+        let mut out = String::new();
+        for fi in 0..m.funcs.len() {
+            let fid = specframe::ir::FuncId::from_index(fi);
+            let mode = match (cli.spec.as_str(), &aprof) {
+                ("profile", Some(p)) => SpecMode::Profile(p),
+                ("heuristic", _) => SpecMode::Heuristic,
+                ("aggressive", _) => SpecMode::Aggressive,
+                _ => SpecMode::NoSpeculation,
+            };
+            let hf = build_hssa(&m, fid, &aa, mode);
+            out.push_str(&print_hssa(&m, &hf));
+            out.push('\n');
+        }
+        emit(&cli, &out)?;
+        return Ok(());
+    }
+
+    let data = match cli.spec.as_str() {
+        "none" => SpecSource::None,
+        "profile" => SpecSource::Profile(aprof.as_ref().unwrap()),
+        "heuristic" => SpecSource::Heuristic,
+        "aggressive" => SpecSource::Aggressive,
+        other => return Err(format!("unknown --spec `{other}`")),
+    };
+    let control = match cli.control.as_str() {
+        "off" => ControlSpec::Off,
+        "profile" => ControlSpec::Profile(eprof.as_ref().unwrap()),
+        "static" => ControlSpec::Static,
+        other => return Err(format!("unknown --control `{other}`")),
+    };
+    let stats = specframe::core::optimize(
+        &mut m,
+        &OptOptions {
+            data,
+            control,
+            strength_reduction: cli.sr,
+            store_sinking: cli.store_sinking,
+        },
+    );
+    if cli.stats {
+        eprintln!("optimizer: {stats:?}");
+    }
+
+    if cli.run {
+        let (got, rs) = run(&m, &cli.entry, &cli.args, cli.fuel)
+            .map_err(|e| format!("optimized run failed: {e}"))?;
+        if got != expect {
+            return Err(format!(
+                "MISCOMPILE: optimized result {got:?} != reference {expect:?}"
+            ));
+        }
+        eprintln!(
+            "result = {:?}  (loads {} checks {} stores {})",
+            got, rs.loads, rs.check_loads, rs.stores
+        );
+    }
+    if cli.sim {
+        let prog = lower_module(&m);
+        let (got, c) = run_machine(&prog, &cli.entry, &cli.args, cli.fuel)
+            .map_err(|e| format!("simulation failed: {e}"))?;
+        if got != expect {
+            return Err(format!(
+                "MISCOMPILE (machine): {got:?} != reference {expect:?}"
+            ));
+        }
+        eprintln!("result               = {got:?}");
+        eprintln!("cycles               = {}", c.cycles);
+        eprintln!("loads retired        = {}", c.loads_retired);
+        eprintln!("check loads          = {}", c.check_loads);
+        eprintln!("failed checks        = {}", c.failed_checks);
+        eprintln!("check ratio          = {:.2}%", c.check_ratio() * 100.0);
+        eprintln!(
+            "mis-speculation      = {:.2}%",
+            c.mis_speculation_ratio() * 100.0
+        );
+    }
+
+    if !cli.run && !cli.sim || cli.out.is_some() {
+        emit(&cli, &specframe::ir::display::print_module(&m))?;
+    }
+    Ok(())
+}
+
+fn emit(cli: &Cli, text: &str) -> Result<(), String> {
+    match &cli.out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("specc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

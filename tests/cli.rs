@@ -1,0 +1,231 @@
+//! End-to-end tests of the `specc` compiler driver.
+
+use std::io::Write;
+use std::process::Command;
+
+const KERNEL: &str = r#"
+global a: i64[1] = [7]
+global b: i64[1]
+
+func kern(p: ptr, n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@a]
+  acc = add acc, v
+  store.i64 [p], acc
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+
+func main(sel: i64, n: i64) -> i64 {
+  var r: i64
+  var p: ptr
+entry:
+  br sel, ua, ub
+ua:
+  p = @a
+  jmp go
+ub:
+  p = @b
+  jmp go
+go:
+  r = call kern(p, n)
+  ret r
+}
+"#;
+
+fn write_kernel() -> tempfile_path::TempPath {
+    tempfile_path::TempPath::new("specc_kernel", ".ir", KERNEL)
+}
+
+/// Minimal self-contained temp-file helper (no extra dependencies).
+mod tempfile_path {
+    pub struct TempPath(pub std::path::PathBuf);
+
+    impl TempPath {
+        pub fn new(stem: &str, ext: &str, content: &str) -> TempPath {
+            let mut p = std::env::temp_dir();
+            let unique = format!(
+                "{stem}_{}_{}{ext}",
+                std::process::id(),
+                std::thread::current()
+                    .name()
+                    .unwrap_or("t")
+                    .replace("::", "_")
+            );
+            p.push(unique);
+            let mut f = std::fs::File::create(&p).expect("create temp file");
+            use std::io::Write;
+            f.write_all(content.as_bytes()).expect("write temp file");
+            TempPath(p)
+        }
+
+        pub fn as_str(&self) -> &str {
+            self.0.to_str().unwrap()
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+fn specc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_specc"))
+}
+
+#[test]
+fn compiles_and_simulates_speculatively() {
+    let input = write_kernel();
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,100",
+            "--spec",
+            "profile",
+            "--control",
+            "static",
+            "--sim",
+        ])
+        .output()
+        .expect("spawn specc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("result               = Some(I(700))"), "{err}");
+    assert!(err.contains("failed checks        = 0"), "{err}");
+}
+
+#[test]
+fn emits_optimized_ir_with_checks() {
+    let input = write_kernel();
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,50",
+            "--spec",
+            "profile",
+            "--control",
+            "static",
+        ])
+        .output()
+        .expect("spawn specc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ir = String::from_utf8_lossy(&out.stdout);
+    assert!(ir.contains("ldc.i64") || ir.contains("chks.i64"), "{ir}");
+    // the emitted IR must re-parse
+    specframe::ir::parse_module(&ir).expect("emitted IR re-parses");
+}
+
+#[test]
+fn emits_speculative_ssa_dump() {
+    let input = write_kernel();
+    let out = specc()
+        .args([input.as_str(), "--args", "0,10", "--emit", "hssa"])
+        .output()
+        .expect("spawn specc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let dump = String::from_utf8_lossy(&out.stdout);
+    assert!(dump.contains("hssa func kern"), "{dump}");
+    assert!(dump.contains("chi"), "{dump}");
+}
+
+#[test]
+fn run_detects_results() {
+    let input = write_kernel();
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "1,10",
+            "--spec",
+            "heuristic",
+            "--control",
+            "static",
+            "--run",
+        ])
+        .output()
+        .expect("spawn specc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    // sel=1: p really aliases a, so acc doubles each iteration (7 * 2^9)
+    assert!(err.contains("result = Some(I(3584))"), "{err}");
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let input = tempfile_path::TempPath::new("specc_bad", ".ir", "func oops {");
+    let out = specc().arg(input.as_str()).output().expect("spawn specc");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("specc:"), "{err}");
+}
+
+#[test]
+fn unknown_flag_reports_usage() {
+    let out = specc().arg("--frobnicate").output().expect("spawn specc");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
+fn write_to_output_file() {
+    let input = write_kernel();
+    let mut outpath = std::env::temp_dir();
+    outpath.push(format!("specc_out_{}.ir", std::process::id()));
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,10",
+            "--spec",
+            "none",
+            "--control",
+            "off",
+            "-o",
+            outpath.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn specc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let written = std::fs::read_to_string(&outpath).expect("output written");
+    assert!(written.contains("func kern"));
+    let _ = std::fs::remove_file(&outpath);
+    // keep the borrow checker quiet about the Write import used in the helper
+    let _ = std::io::sink().write(b"");
+}

@@ -1,0 +1,159 @@
+//! Cross-benchmark invariants over the `pfmon`-style counters.
+//!
+//! These assert the *structure* of the paper's evaluation rather than any
+//! particular number: speculation removes loads but never correctness,
+//! checks appear exactly where speculation fired, failures only where the
+//! training input lied, and both potential estimators of §5.3 dominate (or
+//! track) the achieved reduction.
+
+use specframe_bench::{run_all, BenchResult};
+use specframe_workloads::Scale;
+
+fn results() -> Vec<BenchResult> {
+    run_all(Scale::Test)
+}
+
+#[test]
+fn speculation_never_increases_loads() {
+    for r in results() {
+        assert!(
+            r.profile.counters.loads_retired <= r.baseline.counters.loads_retired,
+            "{}: {} -> {}",
+            r.name,
+            r.baseline.counters.loads_retired,
+            r.profile.counters.loads_retired
+        );
+        assert!(
+            r.heuristic.counters.loads_retired <= r.baseline.counters.loads_retired,
+            "{}: heuristic grew loads",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn checks_appear_iff_data_speculation_fired() {
+    for r in results() {
+        let fired = r.profile.opt.checks > 0 || r.profile.opt.control_spec_loads > 0;
+        if fired {
+            assert!(
+                r.profile.counters.check_loads > 0,
+                "{}: static checks but none retired",
+                r.name
+            );
+        } else {
+            assert_eq!(
+                r.profile.counters.check_loads, 0,
+                "{}: dynamic checks without static ones",
+                r.name
+            );
+        }
+        // the baseline never emits data-speculative checks
+        assert_eq!(r.baseline.opt.data_spec_reloads, 0, "{}", r.name);
+    }
+}
+
+#[test]
+fn failed_checks_only_under_input_sensitivity() {
+    for r in results() {
+        // only gzip trains on a different input than it measures
+        if r.name == "gzip" {
+            assert!(
+                r.profile.counters.failed_checks > 0,
+                "gzip must mis-speculate on the reference input"
+            );
+        } else {
+            assert_eq!(
+                r.profile.counters.failed_checks, 0,
+                "{}: profile holds, checks must not fail",
+                r.name
+            );
+        }
+        assert!(
+            r.profile.counters.failed_checks <= r.profile.counters.check_loads,
+            "{}: more failures than checks",
+            r.name
+        );
+    }
+}
+
+#[test]
+fn counter_arithmetic_is_consistent() {
+    for r in results() {
+        for (cfg, c) in [
+            ("baseline", r.baseline.counters),
+            ("profile", r.profile.counters),
+            ("heuristic", r.heuristic.counters),
+            ("aggressive", r.aggressive.counters),
+        ] {
+            assert_eq!(
+                c.int_loads + c.fp_loads,
+                c.loads_retired,
+                "{}/{cfg}: load split",
+                r.name
+            );
+            assert!(
+                c.data_access_cycles <= c.cycles,
+                "{}/{cfg}: data cycles exceed total",
+                r.name
+            );
+            assert!(c.check_ratio() >= 0.0 && c.check_ratio() <= 1.0);
+            assert!(c.insts > 0 && c.cycles >= c.insts / 2);
+        }
+    }
+}
+
+#[test]
+fn aggressive_removes_at_least_as_much_as_profile() {
+    for r in results() {
+        assert!(
+            r.potential_aggressive() + 1e-9 >= r.load_reduction(),
+            "{}: aggressive {:.2}% < achieved {:.2}%",
+            r.name,
+            r.potential_aggressive(),
+            r.load_reduction()
+        );
+    }
+}
+
+#[test]
+fn fp_benchmarks_speed_up_most() {
+    let rs = results();
+    let get = |n: &str| rs.iter().find(|r| r.name == n).unwrap();
+    // the paper's shape: the f64 benchmarks (equake, art, ammp) gain more
+    // than the integer ones (mcf, gzip) because fp loads cost 9 cycles
+    let fp_min = ["equake_smvp", "art", "ammp"]
+        .iter()
+        .map(|n| get(n).speedup())
+        .fold(f64::INFINITY, f64::min);
+    let int_max = ["mcf", "gzip"]
+        .iter()
+        .map(|n| get(n).speedup())
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        fp_min > int_max,
+        "fp benchmarks ({fp_min:.1}%) must beat int benchmarks ({int_max:.1}%)"
+    );
+}
+
+#[test]
+fn alat_counters_track_activity() {
+    for r in results() {
+        let c = r.profile.counters;
+        if c.check_loads > 0 {
+            assert!(
+                c.alat_inserts > 0,
+                "{}: checks without ALAT inserts",
+                r.name
+            );
+        }
+        // every failed check implies an invalidation or eviction happened
+        if c.failed_checks > 0 {
+            assert!(
+                c.alat_store_invalidations + c.alat_evictions > 0,
+                "{}: failures without invalidations",
+                r.name
+            );
+        }
+    }
+}
