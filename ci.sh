@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, test, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

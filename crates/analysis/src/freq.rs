@@ -119,28 +119,44 @@ pub const STATIC_LOOP_TRIPS: u64 = 10;
 pub fn estimate_profile(m: &Module) -> EdgeProfile {
     let mut p = EdgeProfile::new();
     for (i, f) in m.funcs.iter().enumerate() {
-        let fid = FuncId::from_index(i);
         let dt = DomTree::compute(f);
         let li = LoopInfo::compute(f, &dt);
-        p.set_entry(fid, STATIC_ENTRY);
-        for b in f.block_ids() {
-            if !dt.is_reachable(b) {
-                continue;
-            }
-            let freq = STATIC_ENTRY * STATIC_LOOP_TRIPS.pow(li.depth(b));
-            match &f.block(b).term {
-                Terminator::Jump(t) => p.add_edge(fid, b, *t, freq),
-                Terminator::Br { then_, else_, .. } => {
-                    let prob_then = branch_prob(&li, b, *then_, *else_);
-                    let t_count = (freq as f64 * prob_then) as u64;
-                    p.add_edge(fid, b, *then_, t_count);
-                    p.add_edge(fid, b, *else_, freq - t_count);
-                }
-                Terminator::Ret(_) => {}
-            }
-        }
+        estimate_function(&mut p, FuncId::from_index(i), f, &dt, &li);
     }
     p
+}
+
+/// [`estimate_profile`] over pre-computed per-function analyses (one entry
+/// per function, in index order). Used by the optimization driver so the
+/// static estimator shares the pipeline's analysis cache instead of
+/// rebuilding dominators and loops per function.
+pub fn estimate_profile_with(m: &Module, fas: &[crate::cache::FuncAnalyses]) -> EdgeProfile {
+    assert_eq!(m.funcs.len(), fas.len(), "one FuncAnalyses per function");
+    let mut p = EdgeProfile::new();
+    for (i, (f, fa)) in m.funcs.iter().zip(fas).enumerate() {
+        estimate_function(&mut p, FuncId::from_index(i), f, &fa.dt, &fa.loops);
+    }
+    p
+}
+
+fn estimate_function(p: &mut EdgeProfile, fid: FuncId, f: &Function, dt: &DomTree, li: &LoopInfo) {
+    p.set_entry(fid, STATIC_ENTRY);
+    for b in f.block_ids() {
+        if !dt.is_reachable(b) {
+            continue;
+        }
+        let freq = STATIC_ENTRY * STATIC_LOOP_TRIPS.pow(li.depth(b));
+        match &f.block(b).term {
+            Terminator::Jump(t) => p.add_edge(fid, b, *t, freq),
+            Terminator::Br { then_, else_, .. } => {
+                let prob_then = branch_prob(li, b, *then_, *else_);
+                let t_count = (freq as f64 * prob_then) as u64;
+                p.add_edge(fid, b, *then_, t_count);
+                p.add_edge(fid, b, *else_, freq - t_count);
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
 }
 
 fn branch_prob(li: &LoopInfo, from: BlockId, then_: BlockId, else_: BlockId) -> f64 {

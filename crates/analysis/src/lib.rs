@@ -11,14 +11,16 @@
 //!   (Ball–Larus style), the *control speculation* information source of the
 //!   paper's Figure 3.
 
+pub mod cache;
 pub mod cfg;
 pub mod df;
 pub mod dom;
 pub mod freq;
 pub mod loops;
 
+pub use cache::FuncAnalyses;
 pub use cfg::{reachable_blocks, reverse_postorder, split_critical_edges};
 pub use df::{iterated_df, DomFrontiers};
-pub use dom::DomTree;
-pub use freq::{estimate_profile, EdgeProfile};
+pub use dom::{dom_compute_count, DomTree};
+pub use freq::{estimate_profile, estimate_profile_with, EdgeProfile};
 pub use loops::LoopInfo;

@@ -27,14 +27,14 @@ fn build_cfg(n: usize, edges: &[(usize, usize)]) -> specframe_ir::Module {
             succs[a].push(b);
         }
     }
-    for i in 0..n {
-        func.blocks[i].term = match succs[i].len() {
+    for (i, s) in succs.iter().enumerate() {
+        func.blocks[i].term = match s.len() {
             0 => Terminator::Ret(None),
-            1 => Terminator::Jump(BlockId(succs[i][0] as u32)),
+            1 => Terminator::Jump(BlockId(s[0] as u32)),
             _ => Terminator::Br {
                 cond: Operand::Var(specframe_ir::VarId(0)),
-                then_: BlockId(succs[i][0] as u32),
-                else_: BlockId(succs[i][1] as u32),
+                then_: BlockId(s[0] as u32),
+                else_: BlockId(s[1] as u32),
             },
         };
     }
@@ -115,9 +115,9 @@ proptest! {
             if let Some(id) = dt.idom(bb) {
                 prop_assert!(naive_dominates(f, id, bb));
                 // no other strict dominator sits between idom and b
-                for c in 0..n {
+                for (c, &rc) in reach.iter().enumerate().take(n) {
                     let bc = BlockId(c as u32);
-                    if reach[c] && bc != bb && bc != id && naive_dominates(f, bc, bb) {
+                    if rc && bc != bb && bc != id && naive_dominates(f, bc, bb) {
                         prop_assert!(
                             naive_dominates(f, bc, id),
                             "{} strictly dominates {} but not idom {}", c, b, id.0

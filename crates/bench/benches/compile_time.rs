@@ -9,11 +9,13 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use specframe_alias::AliasAnalysis;
-use specframe_core::{optimize, prepare_module, ControlSpec, OptOptions, SpecSource};
+use specframe_core::{
+    optimize, optimize_with, prepare_module, ControlSpec, OptOptions, PipelineConfig, SpecSource,
+};
 use specframe_hssa::{build_hssa, SpecMode};
 use specframe_ir::FuncId;
 use specframe_profile::{run_with, AliasProfiler};
-use specframe_workloads::{all_workloads, Scale};
+use specframe_workloads::{all_workloads, workload_by_name, Scale};
 
 fn bench_optimize_configs(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimize");
@@ -108,6 +110,40 @@ fn bench_substrate(c: &mut Criterion) {
     group.finish();
 }
 
+/// Driver-parallelism scaling: the full speculative pipeline over the
+/// `many_funcs` workload (32 independent functions) with a serial worker
+/// pool vs one worker per hardware thread. Same work, same output (see
+/// `tests/parallel_determinism.rs`) — only the fan-out width changes.
+fn bench_parallel_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_driver");
+    let w = workload_by_name("many_funcs", Scale::Test).expect("many_funcs workload");
+    let mut prepared = w.module.clone();
+    prepare_module(&mut prepared);
+
+    let opts = OptOptions {
+        data: SpecSource::Heuristic,
+        control: ControlSpec::Static,
+        strength_reduction: true,
+        store_sinking: true,
+    };
+    // On a single-core host jobs=N can at best tie jobs=1; still measure
+    // the threaded pool (≥ 4 workers) so its overhead stays visible.
+    let nproc = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for jobs in [1, nproc.max(4)] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("many_funcs/jobs={jobs}"), "optimize"),
+            &prepared,
+            |b, m| {
+                b.iter(|| {
+                    let mut m = m.clone();
+                    optimize_with(&mut m, &opts, &PipelineConfig { jobs })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 fn configured() -> Criterion {
     // keep `cargo bench --workspace` under a few minutes: each measurement
     // is microseconds-to-milliseconds, so short windows are plenty
@@ -120,6 +156,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_optimize_configs, bench_substrate
+    targets = bench_optimize_configs, bench_substrate, bench_parallel_driver
 }
 criterion_main!(benches);

@@ -20,13 +20,20 @@
 //! | potential estimate  | `Aggressive`  | `Off`          |
 
 use crate::ssapre::{ssapre_function, SpecPolicy};
-use crate::stats::OptStats;
+use crate::stats::{OptStats, PassTimings};
 use crate::strength::strength_reduce_hssa;
 use specframe_alias::AliasAnalysis;
-use specframe_analysis::{estimate_profile, split_critical_edges, EdgeProfile};
-use specframe_hssa::{build_hssa, lower_hssa, verify_hssa, SpecMode};
-use specframe_ir::{FuncId, Module};
+use specframe_analysis::{
+    dom_compute_count, estimate_profile_with, split_critical_edges, EdgeProfile, FuncAnalyses,
+};
+use specframe_hssa::{
+    build_hssa_in, lower_function, refine_function_in, resolve_fresh_sites, verify_hssa, SpecMode,
+};
+use specframe_ir::{FuncId, Function, Global, MemSiteId, Module};
 use specframe_profile::AliasProfile;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Where data-speculation likeliness comes from (Figure 3's "alias profile
 /// / heuristic rules" box).
@@ -78,66 +85,252 @@ pub fn prepare_module(m: &mut Module) {
     }
 }
 
-/// Runs the full speculative optimization pipeline over `m`.
+/// Execution configuration of the pipeline (how to run, not what to run —
+/// that is [`OptOptions`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineConfig {
+    /// Worker threads for the per-function fan-out. `0` means auto: the
+    /// `SPECFRAME_JOBS` environment variable if set to a positive integer,
+    /// otherwise the machine's available parallelism.
+    pub jobs: usize,
+}
+
+impl PipelineConfig {
+    /// The effective worker count after env/auto resolution (always ≥ 1).
+    pub fn resolved_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            return self.jobs;
+        }
+        if let Some(n) = std::env::var("SPECFRAME_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            return n;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Everything one [`optimize_with`] call reports: transformation counters
+/// plus per-pass wall times.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OptReport {
+    /// Deterministic transformation counters (identical for any job count).
+    pub stats: OptStats,
+    /// Per-pass wall clock (varies run to run).
+    pub timings: PassTimings,
+}
+
+/// Runs the full speculative optimization pipeline over `m` with the
+/// default execution configuration (parallel fan-out, auto worker count).
 ///
 /// # Panics
 /// Panics if an internal invariant breaks (the SSA verifier or the module
 /// verifier rejects the result) — optimizer bugs are made loud.
 pub fn optimize(m: &mut Module, opts: &OptOptions<'_>) -> OptStats {
+    optimize_with(m, opts, &PipelineConfig::default()).stats
+}
+
+/// [`optimize`] with an explicit execution configuration, reporting per-pass
+/// timings.
+///
+/// The per-function stages — refine → build HSSA → SSAPRE → strength
+/// reduction / store sinking → verify → lower — are embarrassingly
+/// parallel: each worker owns exactly one [`Function`] (moved out of the
+/// module) plus read-only shared state (globals, alias analysis, profiles,
+/// the per-function analysis cache). The module is only touched at two
+/// deterministic points: the fan-out (functions moved out in index order)
+/// and the join (lowered functions spliced back in index order, with
+/// optimizer-synthesized memory sites renumbered serially there). Output is
+/// therefore bit-identical for every job count, including 1.
+pub fn optimize_with(m: &mut Module, opts: &OptOptions<'_>, cfg: &PipelineConfig) -> OptReport {
+    let total0 = Instant::now();
+    let dom0 = dom_compute_count();
     prepare_module(m);
+
+    let mut timings = PassTimings::default();
+    let t0 = Instant::now();
     let aa = AliasAnalysis::analyze(m);
+    timings.alias = t0.elapsed();
+
+    // CFG analyses once per function, up front: every later pass only
+    // rewrites instructions (never the CFG — critical edges were split
+    // above), so the cache stays valid through the whole fan-out.
+    let t0 = Instant::now();
+    let fas: Vec<FuncAnalyses> = m.funcs.iter().map(FuncAnalyses::compute).collect();
+    timings.analyses = t0.elapsed();
+
     let estimated;
     let control_profile: Option<&EdgeProfile> = match opts.control {
         ControlSpec::Off => None,
         ControlSpec::Profile(p) => Some(p),
         ControlSpec::Static => {
-            estimated = estimate_profile(m);
+            estimated = estimate_profile_with(m, &fas);
             Some(&estimated)
         }
     };
 
+    let jobs = cfg.resolved_jobs().min(m.funcs.len().max(1));
+    let funcs = std::mem::take(&mut m.funcs);
+    let globals: &[Global] = &m.globals;
+
+    let mut results: Vec<Option<FuncResult>> = if jobs <= 1 {
+        funcs
+            .into_iter()
+            .enumerate()
+            .map(|(fi, f)| {
+                Some(process_function(
+                    globals,
+                    f,
+                    fi,
+                    &aa,
+                    &fas[fi],
+                    opts,
+                    control_profile,
+                ))
+            })
+            .collect()
+    } else {
+        let queue: Mutex<VecDeque<(usize, Function)>> =
+            Mutex::new(funcs.into_iter().enumerate().collect());
+        let out: Mutex<Vec<Option<FuncResult>>> = {
+            let mut slots = Vec::new();
+            slots.resize_with(fas.len(), || None);
+            Mutex::new(slots)
+        };
+        // a worker panic (verifier failure) propagates through scope join
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let job = queue.lock().unwrap().pop_front();
+                    let Some((fi, f)) = job else { break };
+                    let r = process_function(
+                        globals,
+                        f,
+                        fi,
+                        &aa,
+                        &fas[fi],
+                        opts,
+                        control_profile,
+                    );
+                    out.lock().unwrap()[fi] = Some(r);
+                });
+            }
+        });
+        out.into_inner().unwrap()
+    };
+
+    // deterministic join: splice lowered functions back in index order and
+    // renumber fresh memory sites serially, reproducing serial numbering
     let mut stats = OptStats::default();
-    for fi in 0..m.funcs.len() {
-        let fid = FuncId::from_index(fi);
-        let mode = match opts.data {
-            SpecSource::None => SpecMode::NoSpeculation,
-            SpecSource::Profile(p) => SpecMode::Profile(p),
-            SpecSource::Heuristic => SpecMode::Heuristic,
-            SpecSource::Aggressive => SpecMode::Aggressive,
-        };
-        // flow-sensitive refinement (Figure 4's last box): fold pointer
-        // bases that provably hold one static address into direct
-        // references, then build the SSA form the optimizer sees
-        specframe_hssa::refine_function(m, fid, &aa);
-        let mut hf = build_hssa(m, fid, &aa, mode);
-        let policy = SpecPolicy {
-            data: mode.speculative(),
-            heuristic: matches!(opts.data, SpecSource::Heuristic),
-            profile: match opts.data {
-                SpecSource::Profile(p) => Some(p),
-                _ => None,
-            },
-            control: control_profile.map(|p| (p, fid)),
-        };
-        let f_snapshot = m.func(fid).clone();
-        ssapre_function(m, &f_snapshot, &mut hf, &policy, &mut stats);
-        if opts.strength_reduction {
-            strength_reduce_hssa(&f_snapshot, &mut hf, &mut stats);
-            crate::ssapre::cleanup_hssa(&mut hf);
-        }
-        if opts.store_sinking {
-            crate::storeprom::sink_stores_hssa(&f_snapshot, &mut hf, &mut stats);
-            crate::ssapre::cleanup_hssa(&mut hf);
-        }
-        if let Err(e) = verify_hssa(&hf) {
-            panic!("SSA verification failed for `{}`: {e}", f_snapshot.name);
-        }
-        lower_hssa(m, &hf);
+    m.funcs = Vec::with_capacity(results.len());
+    for slot in results.iter_mut() {
+        let mut r = slot.take().expect("every function processed");
+        let first = MemSiteId(m.next_mem_site);
+        m.next_mem_site += r.fresh_sites;
+        resolve_fresh_sites(&mut r.f, first);
+        stats.absorb(&r.stats);
+        timings.absorb(&r.timings);
+        m.funcs.push(r.f);
     }
+
+    let t0 = Instant::now();
     if let Err(e) = specframe_ir::verify_module(m) {
         panic!("module verification failed after optimize: {e}");
     }
-    stats
+    timings.module_verify = t0.elapsed();
+    timings.total = total0.elapsed();
+    timings.dom_computes = dom_compute_count() - dom0;
+    OptReport { stats, timings }
+}
+
+/// One worker's output for one function.
+struct FuncResult {
+    /// The lowered function (fresh sites still local placeholders).
+    f: Function,
+    stats: OptStats,
+    timings: PassTimings,
+    /// Placeholder count for [`resolve_fresh_sites`] at the join.
+    fresh_sites: u32,
+}
+
+/// The per-function pipeline. Owns `f`; everything else is shared
+/// read-only.
+fn process_function(
+    globals: &[Global],
+    mut f: Function,
+    fi: usize,
+    aa: &AliasAnalysis,
+    fa: &FuncAnalyses,
+    opts: &OptOptions<'_>,
+    control_profile: Option<&EdgeProfile>,
+) -> FuncResult {
+    let fid = FuncId::from_index(fi);
+    let mut stats = OptStats::default();
+    let mut t = PassTimings::default();
+    let mode = match opts.data {
+        SpecSource::None => SpecMode::NoSpeculation,
+        SpecSource::Profile(p) => SpecMode::Profile(p),
+        SpecSource::Heuristic => SpecMode::Heuristic,
+        SpecSource::Aggressive => SpecMode::Aggressive,
+    };
+
+    // flow-sensitive refinement (Figure 4's last box): fold pointer bases
+    // that provably hold one static address into direct references, then
+    // build the SSA form the optimizer sees
+    let t0 = Instant::now();
+    refine_function_in(globals, &mut f, fid, aa, fa);
+    t.refine = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut hf = build_hssa_in(globals, &f, fid, aa, mode, fa);
+    t.hssa_build = t0.elapsed();
+
+    let policy = SpecPolicy {
+        data: mode.speculative(),
+        heuristic: matches!(opts.data, SpecSource::Heuristic),
+        profile: match opts.data {
+            SpecSource::Profile(p) => Some(p),
+            _ => None,
+        },
+        control: control_profile.map(|p| (p, fid)),
+    };
+    let t0 = Instant::now();
+    ssapre_function(&f, &mut hf, &policy, &mut stats, fa);
+    t.ssapre = t0.elapsed();
+
+    if opts.strength_reduction {
+        let t0 = Instant::now();
+        strength_reduce_hssa(&mut hf, &mut stats, fa);
+        crate::ssapre::cleanup_hssa(&mut hf);
+        t.strength = t0.elapsed();
+    }
+    if opts.store_sinking {
+        let t0 = Instant::now();
+        crate::storeprom::sink_stores_hssa(&mut hf, &mut stats, fa);
+        crate::ssapre::cleanup_hssa(&mut hf);
+        t.storeprom = t0.elapsed();
+    }
+
+    let t0 = Instant::now();
+    if let Err(e) = verify_hssa(&hf) {
+        panic!("SSA verification failed for `{}`: {e}", f.name);
+    }
+    t.verify = t0.elapsed();
+
+    let t0 = Instant::now();
+    let (lowered, fresh_sites) = lower_function(&f, &hf);
+    t.lower = t0.elapsed();
+
+    FuncResult {
+        f: lowered,
+        stats,
+        timings: t,
+        fresh_sites,
+    }
 }
 
 #[cfg(test)]

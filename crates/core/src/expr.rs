@@ -278,8 +278,8 @@ pub fn collect_candidates(hf: &HssaFunc) -> Vec<ExprKey> {
                     dvar,
                     ..
                 } => match base {
-                    HOperand::GlobalAddr(g) => {
-                        if dvar.is_some() {
+                    HOperand::GlobalAddr(g)
+                        if dvar.is_some() => {
                             push_unique(
                                 &mut directs,
                                 ExprKey::DirectLoad(
@@ -291,9 +291,8 @@ pub fn collect_candidates(hf: &HssaFunc) -> Vec<ExprKey> {
                                 ),
                             );
                         }
-                    }
-                    HOperand::SlotAddr(s) => {
-                        if dvar.is_some() {
+                    HOperand::SlotAddr(s)
+                        if dvar.is_some() => {
                             push_unique(
                                 &mut directs,
                                 ExprKey::DirectLoad(
@@ -305,7 +304,6 @@ pub fn collect_candidates(hf: &HssaFunc) -> Vec<ExprKey> {
                                 ),
                             );
                         }
-                    }
                     HOperand::Reg(r, _) => {
                         if let Some(mu) = stmt.mu.first() {
                             // the first mu is always the vvar (build order)

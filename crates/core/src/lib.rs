@@ -33,9 +33,12 @@ pub mod stats;
 pub mod storeprom;
 pub mod strength;
 
-pub use driver::{optimize, prepare_module, ControlSpec, OptOptions, SpecSource};
+pub use driver::{
+    optimize, optimize_with, prepare_module, ControlSpec, OptOptions, OptReport, PipelineConfig,
+    SpecSource,
+};
 pub use expr::ExprKey;
 pub use ssapre::{ssapre_function, SpecPolicy};
-pub use stats::OptStats;
+pub use stats::{OptStats, PassTimings};
 pub use storeprom::sink_stores_hssa;
 pub use strength::strength_reduce_function;

@@ -35,11 +35,11 @@
 
 use crate::expr::{collect_candidates, kills, occurrence_versions, ExprKey, OccVersions};
 use crate::stats::OptStats;
-use specframe_analysis::{iterated_df, DomFrontiers, DomTree, EdgeProfile};
+use specframe_analysis::{iterated_df, DomFrontiers, DomTree, EdgeProfile, FuncAnalyses};
 use specframe_hssa::{
     HOperand, HStmt, HStmtKind, HVarId, HVarKind, HssaFunc, MemBase, Phi as HPhi,
 };
-use specframe_ir::{BlockId, CheckKind, FuncId, LoadSpec, Module, Ty, VarId};
+use specframe_ir::{BlockId, CheckKind, FuncId, Function, LoadSpec, Ty, VarId};
 use specframe_profile::AliasProfile;
 use std::collections::{HashMap, HashSet};
 
@@ -151,21 +151,23 @@ enum MemDef {
 
 /// Runs speculative SSAPRE for every candidate expression of `hf`.
 /// Returns the number of expressions that were transformed.
+///
+/// `f_base` is the function the SSA form was built from (pre-SSAPRE view;
+/// SSAPRE itself never mutates it) and `fa` its cached CFG analyses.
 pub fn ssapre_function(
-    m: &Module,
     f_base: &specframe_ir::Function,
     hf: &mut HssaFunc,
     policy: &SpecPolicy<'_>,
     stats: &mut OptStats,
+    fa: &FuncAnalyses,
 ) -> usize {
-    let dt = DomTree::compute(f_base);
-    let df = DomFrontiers::compute(f_base, &dt);
+    let (dt, df) = (&fa.dt, &fa.df);
     let mut changed = 0;
     // phase 1: arithmetic expressions (address computations among them)
     let candidates = collect_candidates(hf);
     stats.candidates += candidates.len() as u64;
     for key in candidates.iter().filter(|k| !k.is_load()) {
-        if ssapre_expression(m, hf, key, &dt, &df, policy, stats) {
+        if ssapre_expression(f_base, hf, key, dt, df, policy, stats) {
             changed += 1;
         }
     }
@@ -181,7 +183,7 @@ pub fn ssapre_function(
         .iter()
         .filter(|k| matches!(k, ExprKey::DirectLoad(..)))
     {
-        if ssapre_expression(m, hf, key, &dt, &df, policy, stats) {
+        if ssapre_expression(f_base, hf, key, dt, df, policy, stats) {
             changed += 1;
         }
     }
@@ -195,7 +197,7 @@ pub fn ssapre_function(
         .iter()
         .filter(|k| matches!(k, ExprKey::IndirectLoad { .. }))
     {
-        if ssapre_expression(m, hf, key, &dt, &df, policy, stats) {
+        if ssapre_expression(f_base, hf, key, dt, df, policy, stats) {
             changed += 1;
         }
     }
@@ -384,10 +386,11 @@ pub fn eliminate_dead_copies(hf: &mut HssaFunc) -> usize {
                 }
             }
             match &blk.term {
-                Some(specframe_hssa::HTerm::Br { cond, .. }) => {
-                    if let HOperand::Reg(v, ver) = cond {
-                        used.insert((*v, *ver));
-                    }
+                Some(specframe_hssa::HTerm::Br {
+                    cond: HOperand::Reg(v, ver),
+                    ..
+                }) => {
+                    used.insert((*v, *ver));
                 }
                 Some(specframe_hssa::HTerm::Ret(Some(HOperand::Reg(v, ver)))) => {
                     used.insert((*v, *ver));
@@ -483,7 +486,7 @@ pub fn copy_propagate(hf: &mut HssaFunc) {
 /// changed.
 #[allow(clippy::too_many_arguments)]
 pub fn ssapre_expression(
-    m: &Module,
+    f_base: &Function,
     hf: &mut HssaFunc,
     key: &ExprKey,
     dt: &DomTree,
@@ -924,8 +927,7 @@ pub fn ssapre_expression(
     // control speculation: profitable non-down-safe Phis become "down-safe"
     if let Some((ep, fid)) = policy.control {
         if key.control_speculatable() {
-            let f = m.func(fid);
-            let freqs = ep.block_freqs(fid, f);
+            let freqs = ep.block_freqs(fid, f_base);
             for p in phis.iter_mut() {
                 if p.down_safe {
                     continue;
@@ -958,23 +960,23 @@ pub fn ssapre_expression(
         }
     }
     while let Some(dead) = queue.pop() {
-        for i in 0..phis.len() {
-            if !phis[i].can_be_avail {
+        for (i, p) in phis.iter_mut().enumerate() {
+            if !p.can_be_avail {
                 continue;
             }
-            let affected = phis[i]
+            let affected = p
                 .opnds
                 .iter()
                 .any(|o| o.def == OpndDef::Phi(dead) && !o.has_real_use);
-            if affected && !(phis[i].down_safe || phis[i].cspec) {
-                phis[i].can_be_avail = false;
+            if affected && !(p.down_safe || p.cspec) {
+                p.can_be_avail = false;
                 queue.push(i);
             }
         }
     }
     // later
-    for i in 0..phis.len() {
-        phis[i].later = phis[i].can_be_avail;
+    for p in phis.iter_mut() {
+        p.later = p.can_be_avail;
     }
     let mut queue: Vec<usize> = Vec::new();
     for (i, p) in phis.iter_mut().enumerate() {
@@ -990,9 +992,9 @@ pub fn ssapre_expression(
         }
     }
     while let Some(early) = queue.pop() {
-        for i in 0..phis.len() {
-            if phis[i].later && phis[i].opnds.iter().any(|o| o.def == OpndDef::Phi(early)) {
-                phis[i].later = false;
+        for (i, p) in phis.iter_mut().enumerate() {
+            if p.later && p.opnds.iter().any(|o| o.def == OpndDef::Phi(early)) {
+                p.later = false;
                 queue.push(i);
             }
         }
@@ -1468,7 +1470,7 @@ fn kills_with_policy(
             }
         }
     }
-    if policy.profile.is_some() {
+    if let Some(p) = policy.profile {
         // profile mode with the per-expression LOC refinement: a likely chi
         // over a *virtual* variable only kills when the killing site's
         // observed LOCs overlap the expression's observed LOCs
@@ -1485,7 +1487,6 @@ fn kills_with_policy(
         if matches!(key, ExprKey::DirectLoad(..)) {
             return true; // per-loc flags are already exact
         }
-        let p = policy.profile.unwrap();
         match &stmt.kind {
             HStmtKind::Store { site, .. } => match p.locs(*site) {
                 Some(locs) => locs.iter().any(|l| expr_locs.contains(l)),
@@ -1524,14 +1525,13 @@ fn kills_mem_part(
     let Some(chi) = stmt.chi_of(mv) else {
         return false;
     };
-    if policy.profile.is_some() {
+    if let Some(p) = policy.profile {
         if !chi.likely {
             return false;
         }
         if matches!(key, ExprKey::DirectLoad(..)) {
             return true;
         }
-        let p = policy.profile.unwrap();
         match &stmt.kind {
             HStmtKind::Store { site, .. } => match p.locs(*site) {
                 Some(locs) => locs.iter().any(|l| expr_locs.contains(l)),

@@ -64,9 +64,117 @@ impl OptStats {
     }
 }
 
+/// Per-pass wall-clock time of one [`crate::driver::optimize`] run, plus
+/// the dominator-build counter backing the analysis-cache invariant.
+///
+/// Kept separate from [`OptStats`] on purpose: `OptStats` is `Eq`-compared
+/// across serial and parallel runs by the determinism tests, while wall
+/// times necessarily differ from run to run. Per-function timings are
+/// merged (summed) at the driver's join point in function-index order, so
+/// the *set* of samples is deterministic even though the values are not.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PassTimings {
+    /// Module-level Steensgaard alias analysis.
+    pub alias: std::time::Duration,
+    /// FuncAnalyses construction (dominators, frontiers, loops) — all
+    /// functions.
+    pub analyses: std::time::Duration,
+    /// Flow-sensitive refinement (`refine_function`).
+    pub refine: std::time::Duration,
+    /// Speculative SSA construction (`build_hssa`).
+    pub hssa_build: std::time::Duration,
+    /// The SSAPRE engine.
+    pub ssapre: std::time::Duration,
+    /// Strength reduction + LFTR.
+    pub strength: std::time::Duration,
+    /// Store sinking.
+    pub storeprom: std::time::Duration,
+    /// HSSA verification.
+    pub verify: std::time::Duration,
+    /// Out-of-SSA lowering.
+    pub lower: std::time::Duration,
+    /// Final whole-module IR verification.
+    pub module_verify: std::time::Duration,
+    /// Whole `optimize` call, wall clock.
+    pub total: std::time::Duration,
+    /// `DomTree::compute` invocations attributed to this run.
+    pub dom_computes: u64,
+}
+
+impl PassTimings {
+    /// Merges another timing block into this one (sums every field).
+    pub fn absorb(&mut self, other: &PassTimings) {
+        self.alias += other.alias;
+        self.analyses += other.analyses;
+        self.refine += other.refine;
+        self.hssa_build += other.hssa_build;
+        self.ssapre += other.ssapre;
+        self.strength += other.strength;
+        self.storeprom += other.storeprom;
+        self.verify += other.verify;
+        self.lower += other.lower;
+        self.module_verify += other.module_verify;
+        self.total += other.total;
+        self.dom_computes += other.dom_computes;
+    }
+
+    /// Human-readable multi-line report (the `specc --time-passes` output).
+    pub fn report(&self) -> String {
+        fn ms(d: std::time::Duration) -> String {
+            format!("{:9.3} ms", d.as_secs_f64() * 1e3)
+        }
+        let mut s = String::new();
+        s.push_str("=== pass timings ===\n");
+        s.push_str(&format!("  alias          {}\n", ms(self.alias)));
+        s.push_str(&format!("  analyses       {}\n", ms(self.analyses)));
+        s.push_str(&format!("  refine         {}\n", ms(self.refine)));
+        s.push_str(&format!("  hssa-build     {}\n", ms(self.hssa_build)));
+        s.push_str(&format!("  ssapre         {}\n", ms(self.ssapre)));
+        s.push_str(&format!("  strength       {}\n", ms(self.strength)));
+        s.push_str(&format!("  storeprom      {}\n", ms(self.storeprom)));
+        s.push_str(&format!("  verify         {}\n", ms(self.verify)));
+        s.push_str(&format!("  lower          {}\n", ms(self.lower)));
+        s.push_str(&format!("  module-verify  {}\n", ms(self.module_verify)));
+        s.push_str(&format!("  total          {}\n", ms(self.total)));
+        s.push_str(&format!("  dom computes   {:>9}\n", self.dom_computes));
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn timings_absorb_sums() {
+        let mut a = PassTimings {
+            ssapre: std::time::Duration::from_millis(2),
+            dom_computes: 3,
+            ..Default::default()
+        };
+        let b = PassTimings {
+            ssapre: std::time::Duration::from_millis(5),
+            lower: std::time::Duration::from_millis(1),
+            dom_computes: 4,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.ssapre, std::time::Duration::from_millis(7));
+        assert_eq!(a.lower, std::time::Duration::from_millis(1));
+        assert_eq!(a.dom_computes, 7);
+    }
+
+    #[test]
+    fn report_mentions_every_pass() {
+        let t = PassTimings::default();
+        let r = t.report();
+        for name in [
+            "alias", "analyses", "refine", "hssa-build", "ssapre", "strength", "storeprom",
+            "verify", "lower", "module-verify", "total", "dom computes",
+        ] {
+            assert!(r.contains(name), "missing {name} in report");
+        }
+    }
 
     #[test]
     fn absorb_sums_fields() {

@@ -31,16 +31,15 @@
 //! body never runs, the exit stores write back the original value.
 
 use crate::stats::OptStats;
-use specframe_analysis::{DomTree, LoopInfo};
+use specframe_analysis::FuncAnalyses;
 use specframe_hssa::{HOperand, HStmt, HStmtKind, HVarId, HVarKind, HssaFunc, MemBase};
-use specframe_ir::{BlockId, Function, LoadSpec, Ty};
+use specframe_ir::{BlockId, LoadSpec, Ty};
 use std::collections::HashSet;
 
-/// Runs store sinking over every loop of `hf`. Returns the number of
-/// in-loop stores removed.
-pub fn sink_stores_hssa(f_base: &Function, hf: &mut HssaFunc, stats: &mut OptStats) -> usize {
-    let dt = DomTree::compute(f_base);
-    let li = LoopInfo::compute(f_base, &dt);
+/// Runs store sinking over every loop of `hf`, using the function's cached
+/// CFG analyses. Returns the number of in-loop stores removed.
+pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalyses) -> usize {
+    let li = &fa.loops;
     let mut sunk_total = 0;
 
     for l in li.loops.clone() {
@@ -244,7 +243,6 @@ pub fn sink_stores_hssa(f_base: &Function, hf: &mut HssaFunc, stats: &mut OptSta
             }
         }
     }
-    let _ = dt;
     sunk_total
 }
 
@@ -276,8 +274,8 @@ mod tests {
         for fi in 0..m.funcs.len() {
             let fid = specframe_ir::FuncId::from_index(fi);
             let mut hf = build_hssa(&m, fid, &aa, SpecMode::NoSpeculation);
-            let snapshot = m.func(fid).clone();
-            sink_stores_hssa(&snapshot, &mut hf, &mut stats);
+            let fa = FuncAnalyses::compute(m.func(fid));
+            sink_stores_hssa(&mut hf, &mut stats, &fa);
             specframe_hssa::verify_hssa(&hf).unwrap();
             lower_hssa(&mut m, &hf);
         }

@@ -12,9 +12,9 @@
 //! `i < N` into `s < N*c` (linear-function test replacement).
 
 use crate::stats::OptStats;
-use specframe_analysis::{DomTree, LoopInfo};
+use specframe_analysis::FuncAnalyses;
 use specframe_hssa::{HOperand, HStmt, HStmtKind, HTerm, HVarKind, HssaFunc, Phi as HPhi};
-use specframe_ir::{BinOp, BlockId, Function, Ty, VarId};
+use specframe_ir::{BinOp, BlockId, Ty, VarId};
 
 /// One recognized basic induction variable.
 #[derive(Debug, Clone, Copy)]
@@ -36,11 +36,11 @@ struct BasicIv {
     latch_idx: usize,
 }
 
-/// Runs strength reduction + LFTR over every loop of `hf`.
+/// Runs strength reduction + LFTR over every loop of `hf`, using the
+/// function's cached CFG analyses.
 /// Returns the number of multiplications rewritten.
-pub fn strength_reduce_hssa(f_base: &Function, hf: &mut HssaFunc, stats: &mut OptStats) -> usize {
-    let dt = DomTree::compute(f_base);
-    let li = LoopInfo::compute(f_base, &dt);
+pub fn strength_reduce_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalyses) -> usize {
+    let li = &fa.loops;
     let mut rewritten_total = 0;
 
     for l in li.loops.clone() {
@@ -144,7 +144,8 @@ fn reduce_one_iv(
 ) -> usize {
     // collect candidate multiplications grouped by the constant factor
     // (block, stmt, dest, which version of i, factor)
-    let mut cands: Vec<(BlockId, usize, (VarId, u32), u32, i64)> = Vec::new();
+    type MulCand = (BlockId, usize, (VarId, u32), u32, i64);
+    let mut cands: Vec<MulCand> = Vec::new();
     for &b in body {
         for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
             let HStmtKind::Bin {
@@ -343,9 +344,16 @@ pub fn strength_reduce_function(
     stats: &mut OptStats,
 ) -> usize {
     let aa = specframe_alias::AliasAnalysis::analyze(m);
-    let mut hf = specframe_hssa::build_hssa(m, fid, &aa, specframe_hssa::SpecMode::NoSpeculation);
-    let f_snapshot = m.func(fid).clone();
-    let n = strength_reduce_hssa(&f_snapshot, &mut hf, stats);
+    let fa = FuncAnalyses::compute(m.func(fid));
+    let mut hf = specframe_hssa::build_hssa_in(
+        &m.globals,
+        m.func(fid),
+        fid,
+        &aa,
+        specframe_hssa::SpecMode::NoSpeculation,
+        &fa,
+    );
+    let n = strength_reduce_hssa(&mut hf, stats, &fa);
     specframe_hssa::lower_hssa(m, &hf);
     n
 }

@@ -1,0 +1,268 @@
+//! A dependency-free subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! ships the slice of criterion it uses as a local crate with the same
+//! name: `Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Statistics are deliberately simple: after a warm-up window, `iter`
+//! closures run until the measurement window elapses (at least
+//! `sample_size` times) and the harness reports min / mean / max
+//! per-iteration wall time on stdout in a stable, greppable format:
+//!
+//! ```text
+//! bench group/id ... mean 12.345 µs (min 11.8 µs, max 14.1 µs, 240 iters)
+//! ```
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `function_id/parameter`.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Builds a parameterless id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 50,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(900),
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum number of measured iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up window before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Registers a group-less benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self, &id.to_string(), &mut f);
+        println!("{report}");
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` against a shared input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let report = run_bench(self.criterion, &label, &mut |b: &mut Bencher| b_input(b, input, &mut f));
+        println!("{report}");
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let report = run_bench(self.criterion, &label, &mut f);
+        println!("{report}");
+        self
+    }
+
+    /// Ends the group (formatting no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+fn b_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(b: &mut Bencher, input: &I, f: &mut F) {
+    f(b, input)
+}
+
+/// Passed to the benchmarked closure; collects per-iteration timings.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples_ns: Vec<u64>,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly: warm-up first, then measure until the window
+    /// elapses and at least `sample_size` iterations ran.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_end = Instant::now() + self.warm_up;
+        while Instant::now() < warm_end {
+            std_black_box(f());
+        }
+        let measure_start = Instant::now();
+        while self.samples_ns.len() < self.sample_size
+            || measure_start.elapsed() < self.measurement
+        {
+            let t = Instant::now();
+            std_black_box(f());
+            self.samples_ns.push(t.elapsed().as_nanos() as u64);
+            // hard cap so pathologically fast bodies cannot grow unbounded
+            if self.samples_ns.len() >= 1_000_000 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench(c: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) -> String {
+    let mut b = Bencher {
+        warm_up: c.warm_up,
+        measurement: c.measurement,
+        sample_size: c.sample_size,
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples_ns.is_empty() {
+        return format!("bench {label} ... no samples (iter was never called)");
+    }
+    let n = b.samples_ns.len() as u64;
+    let sum: u64 = b.samples_ns.iter().sum();
+    let min = *b.samples_ns.iter().min().unwrap();
+    let max = *b.samples_ns.iter().max().unwrap();
+    format!(
+        "bench {label} ... mean {} (min {}, max {}, {} iters)",
+        fmt_ns(sum / n),
+        fmt_ns(min),
+        fmt_ns(max),
+        n
+    )
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares the benchmark entry function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` from one or more group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_mean() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        // runs without panicking and records at least sample_size samples
+        g.bench_with_input(BenchmarkId::new("id", "param"), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats_as_path() {
+        assert_eq!(BenchmarkId::new("jobs", 8).to_string(), "jobs/8");
+    }
+}

@@ -10,9 +10,9 @@
 use crate::hvar::{HVarId, HVarKind, MemBase, MemVar, VarCatalog};
 use crate::stmt::{ChiOp, HBlock, HOperand, HStmt, HStmtKind, HTerm, HssaFunc, MuOp, Phi};
 use specframe_alias::{AliasAnalysis, ClassId, Loc};
-use specframe_analysis::{iterated_df, DomFrontiers, DomTree};
+use specframe_analysis::{iterated_df, DomTree, FuncAnalyses};
 use specframe_ir::{
-    BlockId, FuncId, FuncSlot, Function, Inst, Module, Operand, Terminator, Ty, VarId,
+    BlockId, FuncId, FuncSlot, Function, Global, Inst, Module, Operand, Terminator, Ty, VarId,
 };
 use specframe_profile::AliasProfile;
 use std::collections::HashMap;
@@ -45,13 +45,30 @@ impl SpecMode<'_> {
     }
 }
 
-/// Builds the speculative SSA form of one function.
+/// Builds the speculative SSA form of one function, computing the CFG
+/// analyses it needs on the spot.
 ///
 /// The CFG should have critical edges pre-split (see
 /// `specframe_analysis::split_critical_edges`) if the form will be
 /// optimized and lowered; construction itself does not require it.
 pub fn build_hssa(m: &Module, fid: FuncId, aa: &AliasAnalysis, mode: SpecMode<'_>) -> HssaFunc {
     let f = m.func(fid);
+    let fa = FuncAnalyses::compute(f);
+    build_hssa_in(&m.globals, f, fid, aa, mode, &fa)
+}
+
+/// [`build_hssa`] over a pre-computed analysis cache, without touching the
+/// rest of the module. The parallel driver calls this with each worker
+/// owning exactly one function; `globals` is the only shared module state
+/// and is read-only.
+pub fn build_hssa_in(
+    globals: &[Global],
+    f: &Function,
+    fid: FuncId,
+    aa: &AliasAnalysis,
+    mode: SpecMode<'_>,
+    fa: &FuncAnalyses,
+) -> HssaFunc {
     let mut catalog = VarCatalog::new();
     for (i, _) in f.vars.iter().enumerate() {
         catalog.intern(HVarKind::Reg(VarId::from_index(i)));
@@ -113,7 +130,7 @@ pub fn build_hssa(m: &Module, fid: FuncId, aa: &AliasAnalysis, mode: SpecMode<'_
 
     let mem_ty = |mv: MemVar| -> Ty {
         match mv.base {
-            MemBase::Global(g) => m.globals[g.index()].ty,
+            MemBase::Global(g) => globals[g.index()].ty,
             MemBase::Slot(s) => f.slots[s.index()].ty,
         }
     };
@@ -179,7 +196,8 @@ pub fn build_hssa(m: &Module, fid: FuncId, aa: &AliasAnalysis, mode: SpecMode<'_
                     });
                     attach_load_lists(
                         &mut stmt,
-                        m,
+                        globals,
+                        f,
                         fid,
                         aa,
                         &mode,
@@ -214,7 +232,8 @@ pub fn build_hssa(m: &Module, fid: FuncId, aa: &AliasAnalysis, mode: SpecMode<'_
                     });
                     attach_load_lists(
                         &mut stmt,
-                        m,
+                        globals,
+                        f,
                         fid,
                         aa,
                         &mode,
@@ -399,8 +418,7 @@ pub fn build_hssa(m: &Module, fid: FuncId, aa: &AliasAnalysis, mode: SpecMode<'_
     }
 
     // ---- phi insertion ----
-    let dt = DomTree::compute(f);
-    let df = DomFrontiers::compute(f, &dt);
+    let (dt, df) = (&fa.dt, &fa.df);
     let mut def_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); catalog.len()];
     for (bi, hb) in blocks.iter().enumerate() {
         let bid = BlockId::from_index(bi);
@@ -427,7 +445,7 @@ pub fn build_hssa(m: &Module, fid: FuncId, aa: &AliasAnalysis, mode: SpecMode<'_
             continue;
         }
         let var = HVarId(vi as u32);
-        for join in iterated_df(&df, defs.iter().copied()) {
+        for join in iterated_df(df, defs.iter().copied()) {
             if !dt.is_reachable(join) {
                 continue;
             }
@@ -451,7 +469,7 @@ pub fn build_hssa(m: &Module, fid: FuncId, aa: &AliasAnalysis, mode: SpecMode<'_
         first_new_var: f.vars.len() as u32,
         collapsed_vars: Vec::new(),
     };
-    rename(f, &dt, &mut hf);
+    rename(f, dt, &mut hf);
     hf
 }
 
@@ -482,7 +500,8 @@ fn unversioned(o: Operand) -> HOperand {
 #[allow(clippy::too_many_arguments)]
 fn attach_load_lists(
     stmt: &mut HStmt,
-    m: &Module,
+    globals: &[Global],
+    f: &Function,
     fid: FuncId,
     aa: &AliasAnalysis,
     mode: &SpecMode<'_>,
@@ -495,8 +514,7 @@ fn attach_load_lists(
     likely_mem: &dyn Fn(&SpecMode<'_>, specframe_ir::MemSiteId, Loc) -> bool,
     likely_virt: &dyn Fn(&SpecMode<'_>, specframe_ir::MemSiteId) -> bool,
     mem_loc: impl Fn(MemVar) -> Loc,
-) -> () {
-    let _ = m;
+) {
     match base {
         Operand::GlobalAddr(_) | Operand::SlotAddr(_) => {
             let mv = direct_memvar(base, offset);
@@ -523,8 +541,8 @@ fn attach_load_lists(
             for &(id, mv, mc) in mem_vars {
                 let loc = mem_loc(mv);
                 let mvt = match mv.base {
-                    MemBase::Global(g) => m.globals[g.index()].ty,
-                    MemBase::Slot(s) => m.func(fid).slots[s.index()].ty,
+                    MemBase::Global(g) => globals[g.index()].ty,
+                    MemBase::Slot(s) => f.slots[s.index()].ty,
                 };
                 if mc == c && mvt.tbaa_may_alias(ty) {
                     stmt.mu.push(MuOp {
@@ -721,7 +739,7 @@ pub fn verify_hssa(hf: &HssaFunc) -> Result<(), String> {
             if phi.args.len() != hf.preds[bi].len() {
                 return Err(format!("phi arg count mismatch in block {bi}"));
             }
-            if phi.args.iter().any(|&a| a == u32::MAX) {
+            if phi.args.contains(&u32::MAX) {
                 return Err(format!("unrenamed phi arg in block {bi}"));
             }
         }

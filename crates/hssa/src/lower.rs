@@ -13,13 +13,53 @@
 
 use crate::hvar::HVarKind;
 use crate::stmt::{HOperand, HStmtKind, HTerm, HssaFunc, FRESH_SITE};
-use specframe_ir::{Block, Function, Inst, Module, Operand, Terminator, Ty, VarDecl, VarId};
+use specframe_ir::{
+    Block, Function, Inst, MemSiteId, Module, Operand, Terminator, Ty, VarDecl, VarId,
+};
 use std::collections::HashMap;
+
+/// First placeholder id handed out by [`lower_function`] for statements the
+/// optimizer synthesized (site [`FRESH_SITE`]). Placeholders are function
+/// local — the k-th fresh statement in instruction-encounter order gets
+/// `LOCAL_FRESH_BASE + k` — and must be rewritten to module-unique sites via
+/// [`resolve_fresh_sites`] before the function is spliced back into a
+/// module. The band below `FRESH_SITE` is far above any real site id.
+pub const LOCAL_FRESH_BASE: u32 = u32::MAX - (1 << 24);
 
 /// Lowers `hf` back into `m`, replacing the body of `hf.func`.
 pub fn lower_hssa(m: &mut Module, hf: &HssaFunc) {
-    let fid = hf.func;
-    let base = m.func(fid);
+    let (mut new_f, fresh) = lower_function(m.func(hf.func), hf);
+    let first = MemSiteId(m.next_mem_site);
+    m.next_mem_site += fresh;
+    resolve_fresh_sites(&mut new_f, first);
+    m.funcs[hf.func.index()] = new_f;
+}
+
+/// Rewrites the local fresh-site placeholders of a [`lower_function`] result
+/// to module-unique ids starting at `first`, preserving encounter order.
+pub fn resolve_fresh_sites(f: &mut Function, first: MemSiteId) {
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            if let Inst::Load { site, .. }
+            | Inst::CheckLoad { site, .. }
+            | Inst::Store { site, .. } = inst
+            {
+                if site.0 >= LOCAL_FRESH_BASE {
+                    *site = MemSiteId(first.0 + (site.0 - LOCAL_FRESH_BASE));
+                }
+            }
+        }
+    }
+}
+
+/// Lowers `hf` into a standalone [`Function`] without touching any module
+/// state, so the parallel driver can run it with each worker owning exactly
+/// one function. Optimizer-synthesized statements receive deterministic
+/// local placeholder sites (`LOCAL_FRESH_BASE + k`, in instruction-encounter
+/// order); the second return is the placeholder count. The caller splices
+/// the function back in index order and calls [`resolve_fresh_sites`] with a
+/// module-unique base, which reproduces the serial numbering bit for bit.
+pub fn lower_function(base: &Function, hf: &HssaFunc) -> (Function, u32) {
 
     // variable table: original registers (version 0 keeps its id), optimizer
     // temps, then fresh ids for higher versions on demand
@@ -71,26 +111,10 @@ pub fn lower_hssa(m: &mut Module, hf: &HssaFunc) {
     let ret_ty = base.ret_ty;
     let name = base.name.clone();
 
-    // fresh sites must come from the module counter
-    let mut fresh_sites_needed = 0usize;
-    for b in &hf.blocks {
-        for s in &b.stmts {
-            match &s.kind {
-                HStmtKind::Load { site, .. }
-                | HStmtKind::Store { site, .. }
-                | HStmtKind::CheckLoad { site, .. }
-                    if *site == FRESH_SITE =>
-                {
-                    fresh_sites_needed += 1
-                }
-                _ => {}
-            }
-        }
-    }
-    let mut next_fresh: Vec<specframe_ir::MemSiteId> = (0..fresh_sites_needed)
-        .map(|_| m.fresh_mem_site())
-        .collect();
-    next_fresh.reverse();
+    // optimizer-synthesized statements get local placeholder sites in
+    // instruction-encounter order; resolve_fresh_sites maps them to
+    // module-unique ids at the driver's deterministic join point
+    let mut fresh_count: u32 = 0;
 
     let mut blocks: Vec<Block> = Vec::with_capacity(hf.blocks.len());
     for (bi, hb) in hf.blocks.iter().enumerate() {
@@ -127,7 +151,8 @@ pub fn lower_hssa(m: &mut Module, hf: &HssaFunc) {
                     ty: *ty,
                     spec: *spec,
                     site: if *site == FRESH_SITE {
-                        next_fresh.pop().expect("fresh site budget")
+                        fresh_count += 1;
+                        MemSiteId(LOCAL_FRESH_BASE + (fresh_count - 1))
                     } else {
                         *site
                     },
@@ -147,7 +172,8 @@ pub fn lower_hssa(m: &mut Module, hf: &HssaFunc) {
                     ty: *ty,
                     kind: *kind,
                     site: if *site == FRESH_SITE {
-                        next_fresh.pop().expect("fresh site budget")
+                        fresh_count += 1;
+                        MemSiteId(LOCAL_FRESH_BASE + (fresh_count - 1))
                     } else {
                         *site
                     },
@@ -165,7 +191,8 @@ pub fn lower_hssa(m: &mut Module, hf: &HssaFunc) {
                     val: lower_opnd(*val, &mut vars, &mut resolve),
                     ty: *ty,
                     site: if *site == FRESH_SITE {
-                        next_fresh.pop().expect("fresh site budget")
+                        fresh_count += 1;
+                        MemSiteId(LOCAL_FRESH_BASE + (fresh_count - 1))
                     } else {
                         *site
                     },
@@ -253,7 +280,7 @@ pub fn lower_hssa(m: &mut Module, hf: &HssaFunc) {
         slots,
         blocks,
     };
-    m.funcs[fid.index()] = new_f;
+    (new_f, fresh_count)
 }
 
 /// Emits a parallel copy group as a sequence of [`Inst::Copy`]s, breaking

@@ -15,7 +15,8 @@
 //! non-speculative PRE like any scalar variable.
 
 use crate::stmt::{HOperand, HStmtKind, HssaFunc};
-use specframe_ir::{FuncId, Inst, MemSiteId, Module, Operand, VarId};
+use specframe_analysis::FuncAnalyses;
+use specframe_ir::{FuncId, Function, Global, Inst, MemSiteId, Module, Operand, VarId};
 use std::collections::HashMap;
 
 /// Analyzes `hf` (an already-built SSA form of `m.func(fid)`) and rewrites
@@ -27,6 +28,13 @@ use std::collections::HashMap;
 /// SSA form afterwards (the paper's "update the SSA form if the lists have
 /// any change").
 pub fn fold_known_addresses(m: &mut Module, fid: FuncId, hf: &HssaFunc) -> usize {
+    fold_known_addresses_in(m.func_mut(fid), hf)
+}
+
+/// [`fold_known_addresses`] operating on the function alone — the rewrite
+/// never touches any other part of the module, so the parallel driver can
+/// run it with each worker owning exactly one `&mut Function`.
+pub fn fold_known_addresses_in(f: &mut Function, hf: &HssaFunc) -> usize {
     // copy chains: (reg, version) -> source operand
     let mut copy_src: HashMap<(VarId, u32), HOperand> = HashMap::new();
     for b in hf.block_ids() {
@@ -78,7 +86,6 @@ pub fn fold_known_addresses(m: &mut Module, fid: FuncId, hf: &HssaFunc) -> usize
     }
 
     // rewrite the base function
-    let f = m.func_mut(fid);
     let mut folded = 0;
     for b in &mut f.blocks {
         for inst in &mut b.insts {
@@ -103,8 +110,23 @@ pub fn fold_known_addresses(m: &mut Module, fid: FuncId, hf: &HssaFunc) -> usize
 /// Convenience for callers without a pre-built SSA form: builds a throwaway
 /// non-speculative HSSA, folds, and reports the count.
 pub fn refine_function(m: &mut Module, fid: FuncId, aa: &specframe_alias::AliasAnalysis) -> usize {
-    let hf = crate::build::build_hssa(m, fid, aa, crate::build::SpecMode::NoSpeculation);
-    fold_known_addresses(m, fid, &hf)
+    let fa = FuncAnalyses::compute(m.func(fid));
+    let globals = m.globals.clone();
+    refine_function_in(&globals, m.func_mut(fid), fid, aa, &fa)
+}
+
+/// [`refine_function`] over a pre-computed analysis cache and a worker-owned
+/// `&mut Function`. Folding only rewrites instruction operands — the CFG is
+/// untouched, so `fa` stays valid afterwards.
+pub fn refine_function_in(
+    globals: &[Global],
+    f: &mut Function,
+    fid: FuncId,
+    aa: &specframe_alias::AliasAnalysis,
+    fa: &FuncAnalyses,
+) -> usize {
+    let hf = crate::build::build_hssa_in(globals, f, fid, aa, crate::build::SpecMode::NoSpeculation, fa);
+    fold_known_addresses_in(f, &hf)
 }
 
 /// Identifies whether an HSSA statement is a direct memory access (used by

@@ -16,6 +16,7 @@ mod ammp;
 mod art;
 mod equake;
 mod gzip;
+mod many_funcs;
 mod mcf;
 mod parser_bench;
 mod twolf;
@@ -50,13 +51,15 @@ pub struct Workload {
     pub fuel: u64,
 }
 
-/// All eight benchmarks, alphabetically.
+/// All workloads, alphabetically: the eight benchmark kernels plus the
+/// `many_funcs` compiler-parallelism stressor.
 pub fn all_workloads(scale: Scale) -> Vec<Workload> {
     vec![
         ammp::build(scale),
         art::build(scale),
         equake::build(scale),
         gzip::build(scale),
+        many_funcs::build(scale),
         mcf::build(scale),
         parser_bench::build(scale),
         twolf::build(scale),

@@ -63,7 +63,7 @@ mod tests {
     }
 
     #[test]
-    fn eight_benchmarks_present() {
+    fn expected_workloads_present() {
         let names: Vec<_> = all_workloads(Scale::Test)
             .into_iter()
             .map(|w| w.name)
@@ -73,6 +73,7 @@ mod tests {
             "art",
             "equake_smvp",
             "gzip",
+            "many_funcs",
             "mcf",
             "parser",
             "twolf",
@@ -80,6 +81,6 @@ mod tests {
         ] {
             assert!(names.contains(&expected), "missing {expected}: {names:?}");
         }
-        assert_eq!(names.len(), 8);
+        assert_eq!(names.len(), 9);
     }
 }

@@ -18,6 +18,9 @@
 //!   --run                 interpret the optimized program and print result
 //!   --sim                 run it on the EPIC simulator and print counters
 //!   --stats               print optimizer statistics
+//!   --jobs N              worker threads for the per-function pipeline
+//!                         (0 = auto: $SPECFRAME_JOBS, else all cores)
+//!   --time-passes         print per-pass wall times to stderr
 //! ```
 //!
 //! Example:
@@ -43,6 +46,8 @@ struct Cli {
     run: bool,
     sim: bool,
     stats: bool,
+    jobs: usize,
+    time_passes: bool,
     fuel: u64,
 }
 
@@ -82,6 +87,8 @@ fn parse_cli() -> Result<Cli, String> {
         run: false,
         sim: false,
         stats: false,
+        jobs: 0,
+        time_passes: false,
         fuel: 100_000_000,
     };
     let mut train_set = false;
@@ -102,6 +109,14 @@ fn parse_cli() -> Result<Cli, String> {
             "--run" => cli.run = true,
             "--sim" => cli.sim = true,
             "--stats" => cli.stats = true,
+            "--jobs" => {
+                cli.jobs = args
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?
+            }
+            "--time-passes" => cli.time_passes = true,
             "--fuel" => {
                 cli.fuel = args
                     .next()
@@ -114,7 +129,10 @@ fn parse_cli() -> Result<Cli, String> {
                             [--spec none|profile|heuristic|aggressive] \
                             [--control off|profile|static] [--no-sr] \
                             [--store-sinking] [--emit ir|hssa] [-o FILE] \
-                            [--run] [--sim] [--stats]"
+                            [--run] [--sim] [--stats] [--jobs N] [--time-passes]\n\
+                            --jobs 0 (the default) auto-detects: the \
+                            SPECFRAME_JOBS environment variable if set to a \
+                            positive integer, otherwise all available cores"
                     .into())
             }
             other if !other.starts_with('-') && cli.input.is_empty() => {
@@ -194,7 +212,7 @@ fn real_main() -> Result<(), String> {
         "static" => ControlSpec::Static,
         other => return Err(format!("unknown --control `{other}`")),
     };
-    let stats = specframe::core::optimize(
+    let report = specframe::core::optimize_with(
         &mut m,
         &OptOptions {
             data,
@@ -202,9 +220,13 @@ fn real_main() -> Result<(), String> {
             strength_reduction: cli.sr,
             store_sinking: cli.store_sinking,
         },
+        &PipelineConfig { jobs: cli.jobs },
     );
     if cli.stats {
-        eprintln!("optimizer: {stats:?}");
+        eprintln!("optimizer: {:?}", report.stats);
+    }
+    if cli.time_passes {
+        eprint!("{}", report.timings.report());
     }
 
     if cli.run {

@@ -108,7 +108,8 @@ pub mod prelude {
     pub use specframe_alias::{AliasAnalysis, Loc};
     pub use specframe_codegen::lower_module;
     pub use specframe_core::{
-        optimize, prepare_module, ControlSpec, OptOptions, OptStats, SpecSource,
+        optimize, optimize_with, prepare_module, ControlSpec, OptOptions, OptReport, OptStats,
+        PassTimings, PipelineConfig, SpecSource,
     };
     pub use specframe_hssa::{build_hssa, print_hssa, SpecMode};
     pub use specframe_ir::{parse_module, verify_module, Module, ModuleBuilder, Ty, Value};

@@ -1,0 +1,32 @@
+//! Acceptance check for the per-function analysis cache: one `optimize`
+//! call computes the dominator tree **at most once per function** on the
+//! no-CFG-edit path (every pass after `prepare_module` only rewrites
+//! instructions).
+//!
+//! The backing counter (`specframe_analysis::dom_compute_count`) is
+//! process-global, so this file deliberately contains a single `#[test]` —
+//! its own test binary — to keep other tests' dominator builds out of the
+//! delta. `PassTimings::dom_computes` is that delta, measured inside
+//! `optimize_with` itself.
+
+use specframe::prelude::*;
+
+#[test]
+fn dominators_computed_once_per_function() {
+    for w in all_workloads(Scale::Test) {
+        let nf = w.module.funcs.len() as u64;
+        let opts = OptOptions {
+            data: SpecSource::Heuristic,
+            control: ControlSpec::Static,
+            strength_reduction: true,
+            store_sinking: true,
+        };
+        let mut m = w.module.clone();
+        let report = optimize_with(&mut m, &opts, &PipelineConfig { jobs: 1 });
+        assert_eq!(
+            report.timings.dom_computes, nf,
+            "{}: expected exactly one DomTree::compute per function ({nf}), got {}",
+            w.name, report.timings.dom_computes
+        );
+    }
+}

@@ -184,6 +184,79 @@ fn run_detects_results() {
 }
 
 #[test]
+fn jobs_and_time_passes() {
+    let input = write_kernel();
+    // jobs=1 and jobs=4 must emit byte-identical IR
+    let run_with_jobs = |jobs: &str| {
+        let out = specc()
+            .args([
+                input.as_str(),
+                "--args",
+                "0,50",
+                "--spec",
+                "heuristic",
+                "--control",
+                "static",
+                "--jobs",
+                jobs,
+                "--time-passes",
+            ])
+            .output()
+            .expect("spawn specc");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (ir1, err1) = run_with_jobs("1");
+    let (ir4, err4) = run_with_jobs("4");
+    assert_eq!(ir1, ir4, "--jobs must not change the emitted IR");
+    for err in [&err1, &err4] {
+        assert!(err.contains("=== pass timings ==="), "{err}");
+        assert!(err.contains("ssapre"), "{err}");
+        assert!(err.contains("dom computes"), "{err}");
+    }
+}
+
+#[test]
+fn jobs_env_override_accepted() {
+    let input = write_kernel();
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,10",
+            "--spec",
+            "none",
+            "--control",
+            "off",
+        ])
+        .env("SPECFRAME_JOBS", "3")
+        .output()
+        .expect("spawn specc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("func kern"));
+}
+
+#[test]
+fn help_documents_jobs_env() {
+    let out = specc().arg("--help").output().expect("spawn specc");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs"), "{err}");
+    assert!(err.contains("--time-passes"), "{err}");
+    assert!(err.contains("SPECFRAME_JOBS"), "{err}");
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let input = tempfile_path::TempPath::new("specc_bad", ".ir", "func oops {");
     let out = specc().arg(input.as_str()).output().expect("spawn specc");
