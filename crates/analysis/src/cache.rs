@@ -95,6 +95,9 @@ mod tests {
         let mut fa = FuncAnalyses::compute(&m.funcs[0]);
         fa.recompute(&m.funcs[0]);
         let fresh = FuncAnalyses::compute(&m.funcs[0]);
-        assert_eq!(fa.dt.idom(specframe_ir::BlockId(3)), fresh.dt.idom(specframe_ir::BlockId(3)));
+        assert_eq!(
+            fa.dt.idom(specframe_ir::BlockId(3)),
+            fresh.dt.idom(specframe_ir::BlockId(3))
+        );
     }
 }

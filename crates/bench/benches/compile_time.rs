@@ -7,7 +7,6 @@
 //! the analysis substrate (alias analysis, HSSA construction, profiling).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
 use specframe_alias::AliasAnalysis;
 use specframe_core::{
     optimize, optimize_with, prepare_module, ControlSpec, OptOptions, PipelineConfig, SpecSource,
@@ -16,6 +15,7 @@ use specframe_hssa::{build_hssa, SpecMode};
 use specframe_ir::FuncId;
 use specframe_profile::{run_with, AliasProfiler};
 use specframe_workloads::{all_workloads, workload_by_name, Scale};
+use std::time::Duration;
 
 fn bench_optimize_configs(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimize");

@@ -1,0 +1,45 @@
+//! Quick compile-time smoke bench for CI.
+//!
+//! Measures the mean wall-clock cost of the full speculative pipeline
+//! (heuristic data speculation + static control speculation + strength
+//! reduction) per test-scale workload and writes `BENCH_ci.json` in the
+//! current directory. This is a trend indicator, not a benchmark — the
+//! Criterion suite in `benches/compile_time.rs` is the real measurement.
+
+use specframe_core::{optimize, ControlSpec, OptOptions, SpecSource};
+use specframe_workloads::{all_workloads, Scale};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ITERS: u32 = 3;
+
+fn main() {
+    let opts = OptOptions {
+        data: SpecSource::Heuristic,
+        control: ControlSpec::Static,
+        strength_reduction: true,
+        store_sinking: true,
+    };
+    let mut rows = Vec::new();
+    for w in all_workloads(Scale::Test) {
+        // one warm-up to take cold caches out of the mean
+        optimize(&mut w.module.clone(), &opts);
+        let t0 = Instant::now();
+        for _ in 0..ITERS {
+            optimize(&mut w.module.clone(), &opts);
+        }
+        let mean_ms = t0.elapsed().as_secs_f64() * 1e3 / f64::from(ITERS);
+        println!("{:<16} {mean_ms:8.2} ms", w.name);
+        rows.push((w.name.to_string(), mean_ms));
+    }
+
+    let mut json = String::from("{\n  \"config\": \"heuristic+static+sr+sink\",\n  \"iters\": ");
+    let _ = write!(json, "{ITERS},\n  \"mean_ms\": {{\n");
+    for (i, (name, ms)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(json, "    \"{name}\": {ms:.3}{sep}");
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_ci.json", json).expect("write BENCH_ci.json");
+    println!("wrote BENCH_ci.json");
+}

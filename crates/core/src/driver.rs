@@ -19,6 +19,7 @@
 //! | heuristic rules     | `Heuristic`   | `Static`       |
 //! | potential estimate  | `Aggressive`  | `Off`          |
 
+use crate::passes::{Pass, PassDump, PipelineHooks};
 use crate::ssapre::{ssapre_function, SpecPolicy};
 use crate::stats::{OptStats, PassTimings};
 use crate::strength::strength_reduce_hssa;
@@ -27,8 +28,10 @@ use specframe_analysis::{
     dom_compute_count, estimate_profile_with, split_critical_edges, EdgeProfile, FuncAnalyses,
 };
 use specframe_hssa::{
-    build_hssa_in, lower_function, refine_function_in, resolve_fresh_sites, verify_hssa, SpecMode,
+    build_hssa_in, lower_function, print_hssa_in, refine_function_in, resolve_fresh_sites,
+    verify_hssa, HssaFunc, SpecMode,
 };
+use specframe_ir::display::{func_name_table, print_function_in};
 use specframe_ir::{FuncId, Function, Global, MemSiteId, Module};
 use specframe_profile::AliasProfile;
 use std::collections::VecDeque;
@@ -147,6 +150,26 @@ pub fn optimize(m: &mut Module, opts: &OptOptions<'_>) -> OptStats {
 /// optimizer-synthesized memory sites renumbered serially there). Output is
 /// therefore bit-identical for every job count, including 1.
 pub fn optimize_with(m: &mut Module, opts: &OptOptions<'_>, cfg: &PipelineConfig) -> OptReport {
+    optimize_with_hooks(m, opts, cfg, &PipelineHooks::default()).0
+}
+
+/// [`optimize_with`] plus the pass-manager seam: snapshot the textual form
+/// of any function after any named stage ([`PipelineHooks::dump_after`]),
+/// or run the pipeline only through a stage
+/// ([`PipelineHooks::stop_after`]).
+///
+/// Snapshots are taken inside the per-function workers (each one depends
+/// only on that worker's function) and assembled at the deterministic
+/// join, functions in module order and stages in pipeline order, so the
+/// returned dump list — like the module itself — is bit-identical for
+/// every job count. `lower` snapshots are taken at the join, after fresh
+/// memory sites have been renumbered to their module-unique ids.
+pub fn optimize_with_hooks(
+    m: &mut Module,
+    opts: &OptOptions<'_>,
+    cfg: &PipelineConfig,
+    hooks: &PipelineHooks,
+) -> (OptReport, Vec<PassDump>) {
     let total0 = Instant::now();
     let dom0 = dom_compute_count();
     prepare_module(m);
@@ -173,25 +196,23 @@ pub fn optimize_with(m: &mut Module, opts: &OptOptions<'_>, cfg: &PipelineConfig
         }
     };
 
+    let func_names = func_name_table(m);
     let jobs = cfg.resolved_jobs().min(m.funcs.len().max(1));
     let funcs = std::mem::take(&mut m.funcs);
-    let globals: &[Global] = &m.globals;
+    let shared = Shared {
+        globals: &m.globals,
+        func_names: &func_names,
+        aa: &aa,
+        opts,
+        control_profile,
+        hooks,
+    };
 
     let mut results: Vec<Option<FuncResult>> = if jobs <= 1 {
         funcs
             .into_iter()
             .enumerate()
-            .map(|(fi, f)| {
-                Some(process_function(
-                    globals,
-                    f,
-                    fi,
-                    &aa,
-                    &fas[fi],
-                    opts,
-                    control_profile,
-                ))
-            })
+            .map(|(fi, f)| Some(process_function(&shared, f, fi, &fas[fi])))
             .collect()
     } else {
         let queue: Mutex<VecDeque<(usize, Function)>> =
@@ -207,15 +228,7 @@ pub fn optimize_with(m: &mut Module, opts: &OptOptions<'_>, cfg: &PipelineConfig
                 s.spawn(|| loop {
                     let job = queue.lock().unwrap().pop_front();
                     let Some((fi, f)) = job else { break };
-                    let r = process_function(
-                        globals,
-                        f,
-                        fi,
-                        &aa,
-                        &fas[fi],
-                        opts,
-                        control_profile,
-                    );
+                    let r = process_function(&shared, f, fi, &fas[fi]);
                     out.lock().unwrap()[fi] = Some(r);
                 });
             }
@@ -224,8 +237,10 @@ pub fn optimize_with(m: &mut Module, opts: &OptOptions<'_>, cfg: &PipelineConfig
     };
 
     // deterministic join: splice lowered functions back in index order and
-    // renumber fresh memory sites serially, reproducing serial numbering
+    // renumber fresh memory sites serially, reproducing serial numbering;
+    // per-function dumps are concatenated in the same order
     let mut stats = OptStats::default();
+    let mut dumps: Vec<PassDump> = Vec::new();
     m.funcs = Vec::with_capacity(results.len());
     for slot in results.iter_mut() {
         let mut r = slot.take().expect("every function processed");
@@ -234,6 +249,16 @@ pub fn optimize_with(m: &mut Module, opts: &OptOptions<'_>, cfg: &PipelineConfig
         resolve_fresh_sites(&mut r.f, first);
         stats.absorb(&r.stats);
         timings.absorb(&r.timings);
+        dumps.append(&mut r.dumps);
+        if hooks.dump_after.contains(Pass::Lower) {
+            let mut text = String::new();
+            print_function_in(&mut text, &m.globals, &func_names, &r.f);
+            dumps.push(PassDump {
+                pass: Pass::Lower,
+                func: r.f.name.clone(),
+                text,
+            });
+        }
         m.funcs.push(r.f);
     }
 
@@ -244,7 +269,7 @@ pub fn optimize_with(m: &mut Module, opts: &OptOptions<'_>, cfg: &PipelineConfig
     timings.module_verify = t0.elapsed();
     timings.total = total0.elapsed();
     timings.dom_computes = dom_compute_count() - dom0;
-    OptReport { stats, timings }
+    (OptReport { stats, timings }, dumps)
 }
 
 /// One worker's output for one function.
@@ -255,23 +280,50 @@ struct FuncResult {
     timings: PassTimings,
     /// Placeholder count for [`resolve_fresh_sites`] at the join.
     fresh_sites: u32,
+    /// Snapshots this worker took, in pipeline order.
+    dumps: Vec<PassDump>,
+}
+
+/// Read-only state shared by every per-function worker.
+struct Shared<'a, 'p> {
+    globals: &'a [Global],
+    func_names: &'a [String],
+    aa: &'a AliasAnalysis,
+    opts: &'a OptOptions<'p>,
+    control_profile: Option<&'a EdgeProfile>,
+    hooks: &'a PipelineHooks,
 }
 
 /// The per-function pipeline. Owns `f`; everything else is shared
 /// read-only.
 fn process_function(
-    globals: &[Global],
+    sh: &Shared<'_, '_>,
     mut f: Function,
     fi: usize,
-    aa: &AliasAnalysis,
     fa: &FuncAnalyses,
-    opts: &OptOptions<'_>,
-    control_profile: Option<&EdgeProfile>,
 ) -> FuncResult {
     let fid = FuncId::from_index(fi);
     let mut stats = OptStats::default();
     let mut t = PassTimings::default();
-    let mode = match opts.data {
+    let mut dumps: Vec<PassDump> = Vec::new();
+    let hooks = sh.hooks;
+    let dump_ir = |dumps: &mut Vec<PassDump>, pass: Pass, f: &Function| {
+        let mut text = String::new();
+        print_function_in(&mut text, sh.globals, sh.func_names, f);
+        dumps.push(PassDump {
+            pass,
+            func: f.name.clone(),
+            text,
+        });
+    };
+    let dump_hssa = |dumps: &mut Vec<PassDump>, pass: Pass, f: &Function, hf: &HssaFunc| {
+        dumps.push(PassDump {
+            pass,
+            func: f.name.clone(),
+            text: print_hssa_in(sh.globals, sh.func_names, f, hf),
+        });
+    };
+    let mode = match sh.opts.data {
         SpecSource::None => SpecMode::NoSpeculation,
         SpecSource::Profile(p) => SpecMode::Profile(p),
         SpecSource::Heuristic => SpecMode::Heuristic,
@@ -282,37 +334,64 @@ fn process_function(
     // that provably hold one static address into direct references, then
     // build the SSA form the optimizer sees
     let t0 = Instant::now();
-    refine_function_in(globals, &mut f, fid, aa, fa);
+    refine_function_in(sh.globals, &mut f, fid, sh.aa, fa);
     t.refine = t0.elapsed();
+    if hooks.dump_after.contains(Pass::Refine) {
+        dump_ir(&mut dumps, Pass::Refine, &f);
+    }
+    if !hooks.runs(Pass::Hssa) {
+        // stopped after refine: the function is already executable IR
+        return FuncResult {
+            f,
+            stats,
+            timings: t,
+            fresh_sites: 0,
+            dumps,
+        };
+    }
 
     let t0 = Instant::now();
-    let mut hf = build_hssa_in(globals, &f, fid, aa, mode, fa);
+    let mut hf = build_hssa_in(sh.globals, &f, fid, sh.aa, mode, fa);
     t.hssa_build = t0.elapsed();
+    if hooks.dump_after.contains(Pass::Hssa) {
+        dump_hssa(&mut dumps, Pass::Hssa, &f, &hf);
+    }
 
-    let policy = SpecPolicy {
-        data: mode.speculative(),
-        heuristic: matches!(opts.data, SpecSource::Heuristic),
-        profile: match opts.data {
-            SpecSource::Profile(p) => Some(p),
-            _ => None,
-        },
-        control: control_profile.map(|p| (p, fid)),
-    };
-    let t0 = Instant::now();
-    ssapre_function(&f, &mut hf, &policy, &mut stats, fa);
-    t.ssapre = t0.elapsed();
+    if hooks.runs(Pass::Ssapre) {
+        let policy = SpecPolicy {
+            data: mode.speculative(),
+            heuristic: matches!(sh.opts.data, SpecSource::Heuristic),
+            profile: match sh.opts.data {
+                SpecSource::Profile(p) => Some(p),
+                _ => None,
+            },
+            control: sh.control_profile.map(|p| (p, fid)),
+        };
+        let t0 = Instant::now();
+        ssapre_function(&f, &mut hf, &policy, &mut stats, fa);
+        t.ssapre = t0.elapsed();
+        if hooks.dump_after.contains(Pass::Ssapre) {
+            dump_hssa(&mut dumps, Pass::Ssapre, &f, &hf);
+        }
+    }
 
-    if opts.strength_reduction {
+    if sh.opts.strength_reduction && hooks.runs(Pass::Strength) {
         let t0 = Instant::now();
         strength_reduce_hssa(&mut hf, &mut stats, fa);
         crate::ssapre::cleanup_hssa(&mut hf);
         t.strength = t0.elapsed();
+        if hooks.dump_after.contains(Pass::Strength) {
+            dump_hssa(&mut dumps, Pass::Strength, &f, &hf);
+        }
     }
-    if opts.store_sinking {
+    if sh.opts.store_sinking && hooks.runs(Pass::Storeprom) {
         let t0 = Instant::now();
         crate::storeprom::sink_stores_hssa(&mut hf, &mut stats, fa);
         crate::ssapre::cleanup_hssa(&mut hf);
         t.storeprom = t0.elapsed();
+        if hooks.dump_after.contains(Pass::Storeprom) {
+            dump_hssa(&mut dumps, Pass::Storeprom, &f, &hf);
+        }
     }
 
     let t0 = Instant::now();
@@ -330,6 +409,7 @@ fn process_function(
         stats,
         timings: t,
         fresh_sites,
+        dumps,
     }
 }
 

@@ -278,32 +278,30 @@ pub fn collect_candidates(hf: &HssaFunc) -> Vec<ExprKey> {
                     dvar,
                     ..
                 } => match base {
-                    HOperand::GlobalAddr(g)
-                        if dvar.is_some() => {
-                            push_unique(
-                                &mut directs,
-                                ExprKey::DirectLoad(
-                                    MemVar {
-                                        base: MemBase::Global(*g),
-                                        off: *offset,
-                                    },
-                                    *ty,
-                                ),
-                            );
-                        }
-                    HOperand::SlotAddr(s)
-                        if dvar.is_some() => {
-                            push_unique(
-                                &mut directs,
-                                ExprKey::DirectLoad(
-                                    MemVar {
-                                        base: MemBase::Slot(*s),
-                                        off: *offset,
-                                    },
-                                    *ty,
-                                ),
-                            );
-                        }
+                    HOperand::GlobalAddr(g) if dvar.is_some() => {
+                        push_unique(
+                            &mut directs,
+                            ExprKey::DirectLoad(
+                                MemVar {
+                                    base: MemBase::Global(*g),
+                                    off: *offset,
+                                },
+                                *ty,
+                            ),
+                        );
+                    }
+                    HOperand::SlotAddr(s) if dvar.is_some() => {
+                        push_unique(
+                            &mut directs,
+                            ExprKey::DirectLoad(
+                                MemVar {
+                                    base: MemBase::Slot(*s),
+                                    off: *offset,
+                                },
+                                *ty,
+                            ),
+                        );
+                    }
                     HOperand::Reg(r, _) => {
                         if let Some(mu) = stmt.mu.first() {
                             // the first mu is always the vvar (build order)

@@ -28,16 +28,18 @@
 
 pub mod driver;
 pub mod expr;
+pub mod passes;
 pub mod ssapre;
 pub mod stats;
 pub mod storeprom;
 pub mod strength;
 
 pub use driver::{
-    optimize, optimize_with, prepare_module, ControlSpec, OptOptions, OptReport, PipelineConfig,
-    SpecSource,
+    optimize, optimize_with, optimize_with_hooks, prepare_module, ControlSpec, OptOptions,
+    OptReport, PipelineConfig, SpecSource,
 };
 pub use expr::ExprKey;
+pub use passes::{render_dumps, Pass, PassDump, PassSet, PipelineHooks};
 pub use ssapre::{ssapre_function, SpecPolicy};
 pub use stats::{OptStats, PassTimings};
 pub use storeprom::sink_stores_hssa;

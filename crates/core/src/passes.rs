@@ -1,0 +1,236 @@
+//! The pass-manager seam: named pipeline stages, per-stage snapshot
+//! requests, and early stopping.
+//!
+//! The per-function pipeline of [`crate::driver`] runs a fixed sequence of
+//! stages. Each stage has a stable public name so tools can address it:
+//!
+//! | name        | stage                                                  |
+//! |-------------|--------------------------------------------------------|
+//! | `refine`    | flow-sensitive pointer refinement (Figure 4, last box) |
+//! | `hssa`      | speculative SSA construction with χ/μ flags (§3)       |
+//! | `ssapre`    | speculative SSAPRE: Φ-Insertion, Rename, CodeMotion (§4) |
+//! | `strength`  | strength reduction + LFTR                              |
+//! | `storeprom` | store promotion (loop-invariant store sinking)         |
+//! | `lower`     | out-of-SSA lowering back to executable IR              |
+//!
+//! A [`PipelineHooks`] value says which stages to snapshot
+//! (`--dump-after`) and where to stop (`--stop-after`). Snapshots are
+//! taken per function inside the parallel workers and joined in function
+//! index order, so the rendered output is byte-identical for every job
+//! count — this is what the `spectest` golden suite matches against.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A named stage of the per-function pipeline, in execution order.
+///
+/// `Ord` follows pipeline order, so `a <= b` means "`a` runs no later
+/// than `b`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pass {
+    /// Flow-sensitive pointer refinement on the input IR.
+    Refine,
+    /// Speculative SSA construction (χ/μ lists + speculation flags).
+    Hssa,
+    /// The speculative SSAPRE worklist (PRE + register promotion).
+    Ssapre,
+    /// Strength reduction and linear-function test replacement.
+    Strength,
+    /// Store promotion (sinking loop-invariant direct stores).
+    Storeprom,
+    /// Out-of-SSA lowering.
+    Lower,
+}
+
+impl Pass {
+    /// Every pass, in pipeline order.
+    pub const ALL: [Pass; 6] = [
+        Pass::Refine,
+        Pass::Hssa,
+        Pass::Ssapre,
+        Pass::Strength,
+        Pass::Storeprom,
+        Pass::Lower,
+    ];
+
+    /// The stable public name (the `--dump-after` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Refine => "refine",
+            Pass::Hssa => "hssa",
+            Pass::Ssapre => "ssapre",
+            Pass::Strength => "strength",
+            Pass::Storeprom => "storeprom",
+            Pass::Lower => "lower",
+        }
+    }
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Pass {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Pass::ALL
+            .into_iter()
+            .find(|p| p.name() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown pass `{s}` (expected one of: {})",
+                    Pass::ALL.map(|p| p.name()).join(", ")
+                )
+            })
+    }
+}
+
+/// A small set of [`Pass`]es (bitmask over the six stages).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassSet(u8);
+
+impl PassSet {
+    /// The empty set.
+    pub const EMPTY: PassSet = PassSet(0);
+
+    /// Every pass.
+    pub fn all() -> PassSet {
+        Pass::ALL.into_iter().collect()
+    }
+
+    /// Adds `p`.
+    pub fn insert(&mut self, p: Pass) {
+        self.0 |= 1 << p as u8;
+    }
+
+    /// Membership test.
+    pub fn contains(self, p: Pass) -> bool {
+        self.0 & (1 << p as u8) != 0
+    }
+
+    /// True when no pass is selected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Members in pipeline order.
+    pub fn iter(self) -> impl Iterator<Item = Pass> {
+        Pass::ALL.into_iter().filter(move |&p| self.contains(p))
+    }
+
+    /// Parses a comma-separated pass list (the `--dump-after` argument).
+    pub fn parse_list(s: &str) -> Result<PassSet, String> {
+        let mut set = PassSet::EMPTY;
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            set.insert(part.parse()?);
+        }
+        Ok(set)
+    }
+}
+
+impl FromIterator<Pass> for PassSet {
+    fn from_iter<I: IntoIterator<Item = Pass>>(iter: I) -> Self {
+        let mut s = PassSet::EMPTY;
+        for p in iter {
+            s.insert(p);
+        }
+        s
+    }
+}
+
+/// Snapshot/stop requests threaded through
+/// [`crate::driver::optimize_with_hooks`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineHooks {
+    /// Stages to snapshot (textual dump after the stage runs).
+    pub dump_after: PassSet,
+    /// Run the pipeline only through this stage; later *optimization*
+    /// stages are skipped. Lowering back to executable IR always happens,
+    /// so the resulting module stays runnable and verifiable.
+    pub stop_after: Option<Pass>,
+}
+
+impl PipelineHooks {
+    /// Whether stage `p` runs under this configuration.
+    pub fn runs(&self, p: Pass) -> bool {
+        self.stop_after.is_none_or(|s| p <= s)
+    }
+}
+
+/// One per-function snapshot taken after a stage ran.
+#[derive(Debug, Clone)]
+pub struct PassDump {
+    /// The stage the snapshot was taken after.
+    pub pass: Pass,
+    /// Name of the function the snapshot is of.
+    pub func: String,
+    /// The textual form: IR syntax for `refine`/`lower`, the paper-style
+    /// speculative SSA dump for the HSSA-level stages.
+    pub text: String,
+}
+
+/// Renders a dump collection in the stable `specc --dump-after` format:
+/// one `; === dump-after <pass>: func <name> ===` header per snapshot,
+/// functions in module order, stages in pipeline order within a function.
+pub fn render_dumps(dumps: &[PassDump]) -> String {
+    let mut out = String::new();
+    for d in dumps {
+        out.push_str(&format!(
+            "; === dump-after {}: func {} ===\n",
+            d.pass, d.func
+        ));
+        out.push_str(&d.text);
+        if !d.text.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pass_names_roundtrip() {
+        for p in Pass::ALL {
+            assert_eq!(p.name().parse::<Pass>().unwrap(), p);
+        }
+        assert!("nope".parse::<Pass>().is_err());
+    }
+
+    #[test]
+    fn pass_order_matches_pipeline() {
+        assert!(Pass::Refine < Pass::Hssa);
+        assert!(Pass::Hssa < Pass::Ssapre);
+        assert!(Pass::Ssapre < Pass::Strength);
+        assert!(Pass::Strength < Pass::Storeprom);
+        assert!(Pass::Storeprom < Pass::Lower);
+    }
+
+    #[test]
+    fn parse_list_accepts_commas_and_rejects_junk() {
+        let s = PassSet::parse_list("hssa,ssapre").unwrap();
+        assert!(s.contains(Pass::Hssa) && s.contains(Pass::Ssapre));
+        assert!(!s.contains(Pass::Refine));
+        assert_eq!(s.iter().count(), 2);
+        assert!(PassSet::parse_list("hssa,bogus").is_err());
+    }
+
+    #[test]
+    fn hooks_stop_after_gates_later_passes() {
+        let h = PipelineHooks {
+            stop_after: Some(Pass::Ssapre),
+            ..Default::default()
+        };
+        assert!(h.runs(Pass::Refine) && h.runs(Pass::Hssa) && h.runs(Pass::Ssapre));
+        assert!(!h.runs(Pass::Strength) && !h.runs(Pass::Lower));
+        assert!(PipelineHooks::default().runs(Pass::Lower));
+    }
+}

@@ -1300,6 +1300,10 @@ pub fn ssapre_expression(
     }
 
     let is_load_expr = key.is_load();
+    // apply in block-index order: edit application allocates temp versions,
+    // so hash-order iteration would leak into the printed SSA form
+    let mut per_block: Vec<(BlockId, Vec<Edit>)> = per_block.into_iter().collect();
+    per_block.sort_by_key(|(b, _)| b.index());
     for (b, mut edits) in per_block {
         edits.sort_by_key(|e| match e {
             Edit::Save { stmt, .. } | Edit::Reload { stmt, .. } => *stmt,

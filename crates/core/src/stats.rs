@@ -169,8 +169,18 @@ mod tests {
         let t = PassTimings::default();
         let r = t.report();
         for name in [
-            "alias", "analyses", "refine", "hssa-build", "ssapre", "strength", "storeprom",
-            "verify", "lower", "module-verify", "total", "dom computes",
+            "alias",
+            "analyses",
+            "refine",
+            "hssa-build",
+            "ssapre",
+            "strength",
+            "storeprom",
+            "verify",
+            "lower",
+            "module-verify",
+            "total",
+            "dom computes",
         ] {
             assert!(r.contains(name), "missing {name} in report");
         }

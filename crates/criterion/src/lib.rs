@@ -124,7 +124,9 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id);
-        let report = run_bench(self.criterion, &label, &mut |b: &mut Bencher| b_input(b, input, &mut f));
+        let report = run_bench(self.criterion, &label, &mut |b: &mut Bencher| {
+            b_input(b, input, &mut f)
+        });
         println!("{report}");
         self
     }
@@ -165,8 +167,7 @@ impl Bencher {
             std_black_box(f());
         }
         let measure_start = Instant::now();
-        while self.samples_ns.len() < self.sample_size
-            || measure_start.elapsed() < self.measurement
+        while self.samples_ns.len() < self.sample_size || measure_start.elapsed() < self.measurement
         {
             let t = Instant::now();
             std_black_box(f());

@@ -37,6 +37,8 @@ pub mod stmt;
 pub use build::{build_hssa, build_hssa_in, verify_hssa, SpecMode};
 pub use hvar::{HVarId, HVarKind, MemBase, MemVar, VarCatalog};
 pub use lower::{lower_function, lower_hssa, resolve_fresh_sites, LOCAL_FRESH_BASE};
-pub use print::print_hssa;
-pub use refine::{fold_known_addresses, fold_known_addresses_in, refine_function, refine_function_in};
+pub use print::{print_hssa, print_hssa_in};
+pub use refine::{
+    fold_known_addresses, fold_known_addresses_in, refine_function, refine_function_in,
+};
 pub use stmt::{ChiOp, HBlock, HOperand, HStmt, HStmtKind, HTerm, HssaFunc, MuOp, Phi, FRESH_SITE};

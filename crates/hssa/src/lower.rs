@@ -60,7 +60,6 @@ pub fn resolve_fresh_sites(f: &mut Function, first: MemSiteId) {
 /// the function back in index order and calls [`resolve_fresh_sites`] with a
 /// module-unique base, which reproduces the serial numbering bit for bit.
 pub fn lower_function(base: &Function, hf: &HssaFunc) -> (Function, u32) {
-
     // variable table: original registers (version 0 keeps its id), optimizer
     // temps, then fresh ids for higher versions on demand
     let mut vars: Vec<VarDecl> = base.vars.clone();

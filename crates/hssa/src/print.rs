@@ -6,12 +6,26 @@
 
 use crate::hvar::{HVarId, HVarKind, MemBase};
 use crate::stmt::{HOperand, HStmtKind, HTerm, HssaFunc};
-use specframe_ir::Module;
+use specframe_ir::{Function, Global, Module};
 use std::fmt::Write;
 
 /// Renders `hf` as human-readable text.
 pub fn print_hssa(m: &Module, hf: &HssaFunc) -> String {
-    let f = m.func(hf.func);
+    let names = specframe_ir::display::func_name_table(m);
+    print_hssa_in(&m.globals, &names, m.func(hf.func), hf)
+}
+
+/// [`print_hssa`] over the pieces of module state a parallel pipeline
+/// worker actually owns: the global table, the function-name table
+/// (indexed by `FuncId`, see `specframe_ir::display::func_name_table`),
+/// and the function the form was built from. Byte-for-byte identical to
+/// printing through the module.
+pub fn print_hssa_in(
+    globals: &[Global],
+    func_names: &[String],
+    f: &Function,
+    hf: &HssaFunc,
+) -> String {
     let mut out = String::new();
     let vname = |id: HVarId| -> String {
         match hf.catalog.kind(id) {
@@ -28,7 +42,7 @@ pub fn print_hssa(m: &Module, hf: &HssaFunc) -> String {
             }
             HVarKind::Mem(mv) => {
                 let base = match mv.base {
-                    MemBase::Global(g) => m.globals[g.index()].name.clone(),
+                    MemBase::Global(g) => globals[g.index()].name.clone(),
                     MemBase::Slot(s) => f.slots[s.index()].name.clone(),
                 };
                 if mv.off == 0 {
@@ -56,7 +70,7 @@ pub fn print_hssa(m: &Module, hf: &HssaFunc) -> String {
             HOperand::Reg(v, ver) => format!("{}{}", reg_name(*v), ver),
             HOperand::ConstI(c) => format!("{c}"),
             HOperand::ConstF(c) => format!("{c}"),
-            HOperand::GlobalAddr(g) => format!("@{}", m.globals[g.index()].name),
+            HOperand::GlobalAddr(g) => format!("@{}", globals[g.index()].name),
             HOperand::SlotAddr(s) => format!("&{}", f.slots[s.index()].name),
         }
     };
@@ -175,7 +189,7 @@ pub fn print_hssa(m: &Module, hf: &HssaFunc) -> String {
                     write!(
                         line,
                         "call {}({})",
-                        m.funcs[callee.index()].name,
+                        func_names[callee.index()],
                         a.join(", ")
                     )
                     .unwrap();

@@ -125,7 +125,14 @@ pub fn refine_function_in(
     aa: &specframe_alias::AliasAnalysis,
     fa: &FuncAnalyses,
 ) -> usize {
-    let hf = crate::build::build_hssa_in(globals, f, fid, aa, crate::build::SpecMode::NoSpeculation, fa);
+    let hf = crate::build::build_hssa_in(
+        globals,
+        f,
+        fid,
+        aa,
+        crate::build::SpecMode::NoSpeculation,
+        fa,
+    );
     fold_known_addresses_in(f, &hf)
 }
 

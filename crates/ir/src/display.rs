@@ -3,8 +3,7 @@
 //! Output round-trips through [`crate::parse::parse_module`] up to site-id
 //! renumbering: `print(parse(print(m))) == print(m)`.
 
-use crate::function::{Function, Module};
-use crate::ids::FuncId;
+use crate::function::{Function, Global, Module};
 use crate::inst::{Inst, Operand, Terminator};
 use crate::types::Value;
 use core::fmt::Write;
@@ -29,11 +28,20 @@ pub fn print_module(m: &Module) -> String {
     if !m.globals.is_empty() {
         out.push('\n');
     }
+    let names = func_name_table(m);
     for f in &m.funcs {
-        print_function(&mut out, m, f);
+        print_function_in(&mut out, &m.globals, &names, f);
         out.push('\n');
     }
     out
+}
+
+/// The function-name table (indexed by `FuncId`) that
+/// [`print_function_in`] resolves call targets against. Cloned out of the
+/// module once so printing can proceed on a bare [`Function`] — e.g. in a
+/// parallel pipeline worker that owns no module.
+pub fn func_name_table(m: &Module) -> Vec<String> {
+    m.funcs.iter().map(|f| f.name.clone()).collect()
 }
 
 fn print_value(out: &mut String, v: Value) {
@@ -52,6 +60,18 @@ fn print_value(out: &mut String, v: Value) {
 
 /// Renders one function.
 pub fn print_function(out: &mut String, m: &Module, f: &Function) {
+    print_function_in(out, &m.globals, &func_name_table(m), f);
+}
+
+/// [`print_function`] over the pieces of module state a parallel worker
+/// actually owns: the global table and the [`func_name_table`]. Byte-for-
+/// byte identical to printing through the module.
+pub fn print_function_in(
+    out: &mut String,
+    globals: &[Global],
+    func_names: &[String],
+    f: &Function,
+) {
     write!(out, "func {}(", f.name).unwrap();
     for i in 0..f.params {
         if i > 0 {
@@ -75,7 +95,7 @@ pub fn print_function(out: &mut String, m: &Module, f: &Function) {
         writeln!(out, "{}:", b.name).unwrap();
         for inst in &b.insts {
             out.push_str("  ");
-            print_inst(out, m, f, inst);
+            print_inst(out, globals, func_names, f, inst);
             out.push('\n');
         }
         out.push_str("  ");
@@ -85,7 +105,7 @@ pub fn print_function(out: &mut String, m: &Module, f: &Function) {
     out.push_str("}\n");
 }
 
-fn opnd(m: &Module, f: &Function, o: Operand) -> String {
+fn opnd(globals: &[Global], f: &Function, o: Operand) -> String {
     match o {
         Operand::Var(v) => f.vars[v.index()].name.clone(),
         Operand::ConstI(c) => format!("{c}"),
@@ -96,13 +116,13 @@ fn opnd(m: &Module, f: &Function, o: Operand) -> String {
                 format!("{c}")
             }
         }
-        Operand::GlobalAddr(g) => format!("@{}", m.globals[g.index()].name),
+        Operand::GlobalAddr(g) => format!("@{}", globals[g.index()].name),
         Operand::SlotAddr(s) => format!("&{}", f.slots[s.index()].name),
     }
 }
 
-fn addr(m: &Module, f: &Function, base: Operand, offset: i64) -> String {
-    let b = opnd(m, f, base);
+fn addr(globals: &[Global], f: &Function, base: Operand, offset: i64) -> String {
+    let b = opnd(globals, f, base);
     if offset == 0 {
         format!("[{b}]")
     } else if offset > 0 {
@@ -112,7 +132,13 @@ fn addr(m: &Module, f: &Function, base: Operand, offset: i64) -> String {
     }
 }
 
-fn print_inst(out: &mut String, m: &Module, f: &Function, inst: &Inst) {
+fn print_inst(
+    out: &mut String,
+    globals: &[Global],
+    func_names: &[String],
+    f: &Function,
+    inst: &Inst,
+) {
     let vname = |v: crate::ids::VarId| f.vars[v.index()].name.clone();
     match inst {
         Inst::Bin { dst, op, a, b } => write!(
@@ -120,14 +146,16 @@ fn print_inst(out: &mut String, m: &Module, f: &Function, inst: &Inst) {
             "{} = {} {}, {}",
             vname(*dst),
             op,
-            opnd(m, f, *a),
-            opnd(m, f, *b)
+            opnd(globals, f, *a),
+            opnd(globals, f, *b)
         )
         .unwrap(),
         Inst::Un { dst, op, a } => {
-            write!(out, "{} = {} {}", vname(*dst), op, opnd(m, f, *a)).unwrap()
+            write!(out, "{} = {} {}", vname(*dst), op, opnd(globals, f, *a)).unwrap()
         }
-        Inst::Copy { dst, src } => write!(out, "{} = {}", vname(*dst), opnd(m, f, *src)).unwrap(),
+        Inst::Copy { dst, src } => {
+            write!(out, "{} = {}", vname(*dst), opnd(globals, f, *src)).unwrap()
+        }
         Inst::Load {
             dst,
             base,
@@ -141,7 +169,7 @@ fn print_inst(out: &mut String, m: &Module, f: &Function, inst: &Inst) {
             vname(*dst),
             spec.suffix(),
             ty,
-            addr(m, f, *base, *offset)
+            addr(globals, f, *base, *offset)
         )
         .unwrap(),
         Inst::Store {
@@ -154,8 +182,8 @@ fn print_inst(out: &mut String, m: &Module, f: &Function, inst: &Inst) {
             out,
             "store.{} {}, {}",
             ty,
-            addr(m, f, *base, *offset),
-            opnd(m, f, *val)
+            addr(globals, f, *base, *offset),
+            opnd(globals, f, *val)
         )
         .unwrap(),
         Inst::CheckLoad {
@@ -171,7 +199,7 @@ fn print_inst(out: &mut String, m: &Module, f: &Function, inst: &Inst) {
             vname(*dst),
             kind.mnemonic(),
             ty,
-            addr(m, f, *base, *offset)
+            addr(globals, f, *base, *offset)
         )
         .unwrap(),
         Inst::Call {
@@ -180,23 +208,19 @@ fn print_inst(out: &mut String, m: &Module, f: &Function, inst: &Inst) {
             if let Some(d) = dst {
                 write!(out, "{} = ", vname(*d)).unwrap();
             }
-            write!(out, "call {}(", callee_name(m, *callee)).unwrap();
+            write!(out, "call {}(", func_names[callee.index()]).unwrap();
             for (i, a) in args.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                out.push_str(&opnd(m, f, *a));
+                out.push_str(&opnd(globals, f, *a));
             }
             out.push(')');
         }
         Inst::Alloc { dst, words, .. } => {
-            write!(out, "{} = alloc {}", vname(*dst), opnd(m, f, *words)).unwrap()
+            write!(out, "{} = alloc {}", vname(*dst), opnd(globals, f, *words)).unwrap()
         }
     }
-}
-
-fn callee_name(m: &Module, f: FuncId) -> &str {
-    &m.funcs[f.index()].name
 }
 
 fn print_term(out: &mut String, f: &Function, t: &Terminator) {

@@ -100,19 +100,21 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
                         }
                     }
                     Inst::Call { site, .. }
-                        if (site.0 >= m.next_call_site || !call_sites.insert(*site)) => {
-                            return Err(VerifyError {
-                                func: Some(f.name.clone()),
-                                msg: format!("bad call site {site}"),
-                            });
-                        }
+                        if (site.0 >= m.next_call_site || !call_sites.insert(*site)) =>
+                    {
+                        return Err(VerifyError {
+                            func: Some(f.name.clone()),
+                            msg: format!("bad call site {site}"),
+                        });
+                    }
                     Inst::Alloc { site, .. }
-                        if (site.0 >= m.next_alloc_site || !alloc_sites.insert(*site)) => {
-                            return Err(VerifyError {
-                                func: Some(f.name.clone()),
-                                msg: format!("bad alloc site {site}"),
-                            });
-                        }
+                        if (site.0 >= m.next_alloc_site || !alloc_sites.insert(*site)) =>
+                    {
+                        return Err(VerifyError {
+                            func: Some(f.name.clone()),
+                            msg: format!("bad alloc site {site}"),
+                        });
+                    }
                     _ => {}
                 }
             }
@@ -150,18 +152,15 @@ fn verify_function(m: &Module, _fid: FuncId, f: &Function) -> Result<(), String>
 
     let check_opnd = |o: Operand| -> Result<(), String> {
         match o {
-            Operand::Var(v)
-                if v.index() >= f.vars.len() => {
-                    return Err(format!("var {v} out of range"));
-                }
-            Operand::GlobalAddr(g)
-                if g.index() >= m.globals.len() => {
-                    return Err(format!("global {g} out of range"));
-                }
-            Operand::SlotAddr(s)
-                if s.index() >= f.slots.len() => {
-                    return Err(format!("slot {s} out of range"));
-                }
+            Operand::Var(v) if v.index() >= f.vars.len() => {
+                return Err(format!("var {v} out of range"));
+            }
+            Operand::GlobalAddr(g) if g.index() >= m.globals.len() => {
+                return Err(format!("global {g} out of range"));
+            }
+            Operand::SlotAddr(s) if s.index() >= f.slots.len() => {
+                return Err(format!("slot {s} out of range"));
+            }
             _ => {}
         }
         Ok(())

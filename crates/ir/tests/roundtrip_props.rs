@@ -169,3 +169,30 @@ proptest! {
         prop_assert_eq!(s1, s2);
     }
 }
+
+/// The same fixed point over every real workload kernel: the hand-written
+/// programs exercise syntax corners (float globals, slots, calls, pointer
+/// arithmetic) the generator above may under-sample.
+#[test]
+fn workload_kernels_roundtrip_to_fixed_point() {
+    use specframe_workloads::{all_workloads, Scale};
+    for w in all_workloads(Scale::Test) {
+        let s1 = print_module(&w.module);
+        let m2 = parse_module(&s1).unwrap_or_else(|e| panic!("{}: re-parse failed: {e}", w.name));
+        verify_module(&m2).unwrap_or_else(|e| panic!("{}: verify failed: {e}", w.name));
+        let s2 = print_module(&m2);
+        assert_eq!(
+            s1, s2,
+            "{}: print->parse->print is not a fixed point",
+            w.name
+        );
+        // and once more: the second print must already be stable
+        let m3 = parse_module(&s2).unwrap();
+        assert_eq!(
+            s2,
+            print_module(&m3),
+            "{}: second roundtrip drifted",
+            w.name
+        );
+    }
+}

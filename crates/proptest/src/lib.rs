@@ -430,7 +430,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             a != b,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($a), stringify!($b), a
+            stringify!($a),
+            stringify!($b),
+            a
         );
     }};
 }

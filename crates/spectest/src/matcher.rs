@@ -1,0 +1,396 @@
+//! The FileCheck-lite matching engine.
+//!
+//! Works on plain text, knows nothing about IR or RUN lines: directives
+//! in, verdict out. Both the pattern and the subject line are normalized
+//! before comparison — leading/trailing blanks dropped, interior runs of
+//! blanks collapsed to one space — so golden tests do not break on
+//! indentation changes. `{{…}}` in a pattern is a wildcard for any
+//! (possibly empty) run of characters; everything else is literal.
+
+use std::fmt;
+
+/// The four directive flavors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckKind {
+    /// `CHECK:` — match at or after the current position.
+    Check,
+    /// `CHECK-NEXT:` — match exactly the line after the previous match.
+    Next,
+    /// `CHECK-NOT:` — must not match before the next positive match.
+    Not,
+    /// `CHECK-DAG:` — consecutive group matches in any order.
+    Dag,
+}
+
+impl CheckKind {
+    /// The directive spelling (without the trailing colon).
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckKind::Check => "CHECK",
+            CheckKind::Next => "CHECK-NEXT",
+            CheckKind::Not => "CHECK-NOT",
+            CheckKind::Dag => "CHECK-DAG",
+        }
+    }
+}
+
+/// One parsed check directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Directive flavor.
+    pub kind: CheckKind,
+    /// The raw pattern text (unnormalized, as written).
+    pub pattern: String,
+    /// 1-based line in the `.spec` file, for error reporting.
+    pub line: usize,
+    /// Literal segments separated by `{{…}}` wildcards.
+    segments: Vec<String>,
+}
+
+impl Directive {
+    /// Parses the pattern, rejecting an unterminated `{{`.
+    pub fn new(kind: CheckKind, pattern: &str, line: usize) -> Result<Directive, String> {
+        let mut segments = Vec::new();
+        let norm = normalize(pattern);
+        let mut rest: &str = &norm;
+        loop {
+            match rest.find("{{") {
+                None => {
+                    segments.push(rest.to_string());
+                    break;
+                }
+                Some(i) => {
+                    segments.push(rest[..i].to_string());
+                    let after = &rest[i + 2..];
+                    match after.find("}}") {
+                        None => {
+                            return Err(format!(
+                                "line {line}: unterminated `{{{{` in {} pattern `{pattern}`",
+                                kind.name()
+                            ))
+                        }
+                        Some(j) => rest = &after[j + 2..],
+                    }
+                }
+            }
+        }
+        if segments.iter().all(|s| s.is_empty()) {
+            return Err(format!(
+                "line {line}: empty {} pattern matches everything",
+                kind.name()
+            ));
+        }
+        Ok(Directive {
+            kind,
+            pattern: pattern.to_string(),
+            line,
+            segments,
+        })
+    }
+
+    /// Whether the (already normalized) line matches this pattern: the
+    /// literal segments must appear in order, with anything in between.
+    fn matches(&self, line: &str) -> bool {
+        let mut pos = 0;
+        for seg in &self.segments {
+            if seg.is_empty() {
+                continue;
+            }
+            match line[pos..].find(seg.as_str()) {
+                Some(k) => pos += k + seg.len(),
+                None => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Collapses every run of blanks to one space and trims the ends.
+pub fn normalize(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// A check failure: which directive, why, and the output region searched.
+#[derive(Debug, Clone)]
+pub struct MatchFailure {
+    /// Spec-file line of the failing directive.
+    pub line: usize,
+    /// Flavor of the failing directive.
+    pub kind: CheckKind,
+    /// Its pattern, as written.
+    pub pattern: String,
+    /// What went wrong.
+    pub reason: String,
+    /// The searched region of the output, pre-rendered with line numbers.
+    pub context: String,
+}
+
+impl fmt::Display for MatchFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} on line {}: `{}`\n  {}",
+            self.kind.name(),
+            self.line,
+            self.pattern,
+            self.reason
+        )?;
+        write!(f, "{}", self.context)
+    }
+}
+
+/// Renders output lines `[from, to)` with 1-based line numbers, capped.
+fn context(raw: &[&str], from: usize, to: usize) -> String {
+    const MAX: usize = 16;
+    let to = to.min(raw.len());
+    let mut out = String::new();
+    if from >= to {
+        out.push_str("  (searched region is empty)\n");
+        return out;
+    }
+    out.push_str(&format!("  searched output lines {}..{}:\n", from + 1, to));
+    for (i, l) in raw[from..to].iter().enumerate().take(MAX) {
+        out.push_str(&format!("  {:>4} | {}\n", from + i + 1, l));
+    }
+    if to - from > MAX {
+        out.push_str(&format!("  ... ({} more lines)\n", to - from - MAX));
+    }
+    out
+}
+
+/// Runs a directive sequence against `output`. Returns the first failure.
+pub fn run_checks(output: &str, directives: &[Directive]) -> Result<(), MatchFailure> {
+    let raw: Vec<&str> = output.lines().collect();
+    let lines: Vec<String> = raw.iter().map(|l| normalize(l)).collect();
+    let n = lines.len();
+
+    let fail = |d: &Directive, reason: String, from: usize, to: usize| MatchFailure {
+        line: d.line,
+        kind: d.kind,
+        pattern: d.pattern.clone(),
+        reason,
+        context: context(&raw, from, to),
+    };
+
+    // `cursor` is the first output line still eligible; `last` the line of
+    // the previous positive match (for CHECK-NEXT).
+    let mut cursor = 0usize;
+    let mut last: Option<usize> = None;
+    let mut nots: Vec<&Directive> = Vec::new();
+
+    // each buffered CHECK-NOT must miss every line of [from, to) that is
+    // not consumed by a positive match
+    let check_nots = |nots: &[&Directive], from: usize, to: usize, taken: &[usize]| {
+        for d in nots {
+            for (j, line) in lines.iter().enumerate().take(to.min(n)).skip(from) {
+                if !taken.contains(&j) && d.matches(line) {
+                    return Err(fail(
+                        d,
+                        format!("forbidden pattern matched output line {}", j + 1),
+                        j,
+                        j + 1,
+                    ));
+                }
+            }
+        }
+        Ok(())
+    };
+
+    let mut i = 0;
+    while i < directives.len() {
+        let d = &directives[i];
+        match d.kind {
+            CheckKind::Not => {
+                nots.push(d);
+                i += 1;
+            }
+            CheckKind::Check => {
+                let found = (cursor..n).find(|&j| d.matches(&lines[j]));
+                let Some(j) = found else {
+                    return Err(fail(d, "no matching line found".into(), cursor, n));
+                };
+                check_nots(&nots, cursor, j, &[])?;
+                nots.clear();
+                last = Some(j);
+                cursor = j + 1;
+                i += 1;
+            }
+            CheckKind::Next => {
+                if !nots.is_empty() {
+                    return Err(fail(
+                        d,
+                        "CHECK-NOT directly before CHECK-NEXT is not supported".into(),
+                        cursor,
+                        cursor,
+                    ));
+                }
+                let Some(prev) = last else {
+                    return Err(fail(
+                        d,
+                        "CHECK-NEXT needs a previous positive match".into(),
+                        0,
+                        0,
+                    ));
+                };
+                let j = prev + 1;
+                if j >= n {
+                    return Err(fail(d, "output ended before the next line".into(), prev, n));
+                }
+                if !d.matches(&lines[j]) {
+                    return Err(fail(
+                        d,
+                        format!("next line (output line {}) does not match", j + 1),
+                        j,
+                        j + 1,
+                    ));
+                }
+                last = Some(j);
+                cursor = j + 1;
+                i += 1;
+            }
+            CheckKind::Dag => {
+                let group_end = (i..directives.len())
+                    .take_while(|&k| directives[k].kind == CheckKind::Dag)
+                    .last()
+                    .unwrap()
+                    + 1;
+                let start = cursor;
+                let mut taken: Vec<usize> = Vec::new();
+                for d in &directives[i..group_end] {
+                    let found = (start..n).find(|&j| !taken.contains(&j) && d.matches(&lines[j]));
+                    let Some(j) = found else {
+                        return Err(fail(
+                            d,
+                            "no matching line found for CHECK-DAG group member".into(),
+                            start,
+                            n,
+                        ));
+                    };
+                    taken.push(j);
+                }
+                let maxj = *taken.iter().max().unwrap();
+                check_nots(&nots, start, maxj, &taken)?;
+                nots.clear();
+                last = Some(maxj);
+                cursor = maxj + 1;
+                i = group_end;
+            }
+        }
+    }
+    check_nots(&nots, cursor, n, &[])?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(kind: CheckKind, pat: &str, line: usize) -> Directive {
+        Directive::new(kind, pat, line).unwrap()
+    }
+
+    #[test]
+    fn plain_check_scans_forward_in_order() {
+        let out = "alpha\nbeta\ngamma\n";
+        let ds = [
+            d(CheckKind::Check, "alpha", 1),
+            d(CheckKind::Check, "gamma", 2),
+        ];
+        assert!(run_checks(out, &ds).is_ok());
+        let ds = [
+            d(CheckKind::Check, "gamma", 1),
+            d(CheckKind::Check, "alpha", 2),
+        ];
+        let e = run_checks(out, &ds).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn whitespace_is_normalized_both_sides() {
+        let ds = [d(CheckKind::Check, "x   =  add a,   b", 1)];
+        assert!(run_checks("   x = add   a, b  \n", &ds).is_ok());
+    }
+
+    #[test]
+    fn wildcards_match_any_run() {
+        let ds = [d(CheckKind::Check, "pre{{.*}} = add a0, b0", 1)];
+        assert!(run_checks("pre01 = add a0, b0", &ds).is_ok());
+        assert!(run_checks("pre01 = add a0, c0", &ds).is_err());
+        // wildcard may be empty
+        let ds = [d(CheckKind::Check, "a{{x}}b", 1)];
+        assert!(run_checks("ab", &ds).is_ok());
+    }
+
+    #[test]
+    fn unterminated_wildcard_is_a_parse_error() {
+        assert!(Directive::new(CheckKind::Check, "oops {{", 3).is_err());
+        assert!(Directive::new(CheckKind::Check, "", 3).is_err());
+    }
+
+    #[test]
+    fn check_next_requires_adjacency() {
+        let out = "one\ntwo\nthree\n";
+        let ds = [d(CheckKind::Check, "one", 1), d(CheckKind::Next, "two", 2)];
+        assert!(run_checks(out, &ds).is_ok());
+        let ds = [
+            d(CheckKind::Check, "one", 1),
+            d(CheckKind::Next, "three", 2),
+        ];
+        let e = run_checks(out, &ds).unwrap_err();
+        assert!(e.reason.contains("does not match"), "{e}");
+    }
+
+    #[test]
+    fn check_not_guards_region_between_matches() {
+        let out = "alpha\nbad\nbeta\n";
+        let ds = [
+            d(CheckKind::Check, "alpha", 1),
+            d(CheckKind::Not, "bad", 2),
+            d(CheckKind::Check, "beta", 3),
+        ];
+        assert!(run_checks(out, &ds).is_err());
+        let out = "alpha\nbeta\nbad\n";
+        // `bad` is after the closing match: region check passes
+        assert!(run_checks(out, &ds).is_ok());
+    }
+
+    #[test]
+    fn trailing_check_not_covers_rest_of_output() {
+        let out = "a\nbad\n";
+        let ds = [d(CheckKind::Check, "a", 1), d(CheckKind::Not, "bad", 2)];
+        assert!(run_checks(out, &ds).is_err());
+    }
+
+    #[test]
+    fn check_dag_matches_any_order() {
+        let out = "head\ny = 2\nx = 1\ntail\n";
+        let ds = [
+            d(CheckKind::Check, "head", 1),
+            d(CheckKind::Dag, "x = 1", 2),
+            d(CheckKind::Dag, "y = 2", 3),
+            d(CheckKind::Check, "tail", 4),
+        ];
+        assert!(run_checks(out, &ds).is_ok());
+        // one member missing → the group fails
+        let ds = [d(CheckKind::Dag, "x = 1", 1), d(CheckKind::Dag, "z = 9", 2)];
+        assert!(run_checks(out, &ds).is_err());
+    }
+
+    #[test]
+    fn dag_members_consume_distinct_lines() {
+        let out = "x = 1\n";
+        let ds = [d(CheckKind::Dag, "x = 1", 1), d(CheckKind::Dag, "x = 1", 2)];
+        assert!(run_checks(out, &ds).is_err());
+    }
+
+    #[test]
+    fn failure_context_names_lines() {
+        let out = "one\ntwo\n";
+        let ds = [d(CheckKind::Check, "missing", 7)];
+        let e = run_checks(out, &ds).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("line 7"), "{msg}");
+        assert!(msg.contains("missing"), "{msg}");
+        assert!(msg.contains("1 | one"), "{msg}");
+    }
+}

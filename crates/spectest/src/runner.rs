@@ -1,0 +1,322 @@
+//! `.spec` file parsing, in-process RUN execution and case discovery.
+
+use crate::matcher::{run_checks, CheckKind, Directive};
+use specframe::prelude::*;
+use std::path::{Path, PathBuf};
+
+/// One parsed golden test.
+#[derive(Debug)]
+pub struct SpecCase {
+    /// The RUN pipelines, in file order (at least one).
+    pub runs: Vec<CompileRequest>,
+    /// The raw RUN command strings (for reporting).
+    pub run_lines: Vec<String>,
+    /// The check directives, in file order.
+    pub directives: Vec<Directive>,
+    /// The IR program: the file with every `;` line removed.
+    pub input: String,
+}
+
+/// Parses the text of a `.spec` file.
+///
+/// Lines whose first non-blank character is `;` are harness lines: either
+/// a directive (`RUN:`, `CHECK:`, `CHECK-NEXT:`, `CHECK-NOT:`,
+/// `CHECK-DAG:` after the `;`) or a free-form comment. Everything else is
+/// the IR program handed to the compiler (so `#` comments stay IR-side).
+/// A `;` comment that *mentions* `CHECK` or `RUN:` but parses as neither
+/// is rejected — it is almost certainly a typo that would silently turn a
+/// directive into a comment.
+pub fn parse_spec(text: &str) -> Result<SpecCase, String> {
+    let mut runs = Vec::new();
+    let mut run_lines = Vec::new();
+    let mut directives = Vec::new();
+    let mut input = String::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let trimmed = line.trim_start();
+        let Some(body) = trimmed.strip_prefix(';') else {
+            input.push_str(line);
+            input.push('\n');
+            continue;
+        };
+        let body = body.trim_start();
+        if let Some(cmd) = body.strip_prefix("RUN:") {
+            let cmd = cmd.trim();
+            runs.push(
+                parse_run_command(cmd).map_err(|e| format!("line {lineno}: bad RUN line: {e}"))?,
+            );
+            run_lines.push(cmd.to_string());
+            continue;
+        }
+        let kinds = [
+            ("CHECK-NEXT:", CheckKind::Next),
+            ("CHECK-NOT:", CheckKind::Not),
+            ("CHECK-DAG:", CheckKind::Dag),
+            ("CHECK:", CheckKind::Check),
+        ];
+        if let Some((pat, kind)) = kinds
+            .iter()
+            .find_map(|(p, k)| body.strip_prefix(p).map(|rest| (rest.trim(), *k)))
+        {
+            directives.push(Directive::new(kind, pat, lineno)?);
+            continue;
+        }
+        if body.contains("CHECK") || body.contains("RUN:") {
+            return Err(format!(
+                "line {lineno}: `{}` looks like a directive but is not one of \
+                 RUN: / CHECK: / CHECK-NEXT: / CHECK-NOT: / CHECK-DAG:",
+                body.trim_end()
+            ));
+        }
+        // plain harness comment: dropped
+    }
+
+    if runs.is_empty() {
+        return Err("no `; RUN:` line".into());
+    }
+    if directives.first().map(|d| d.kind) == Some(CheckKind::Next) {
+        return Err(format!(
+            "line {}: CHECK-NEXT cannot be the first directive",
+            directives[0].line
+        ));
+    }
+    Ok(SpecCase {
+        runs,
+        run_lines,
+        directives,
+        input,
+    })
+}
+
+/// Parses a value list of the `--args 0,100` form.
+fn parse_values(s: &str) -> Result<Vec<Value>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|t| {
+            let t = t.trim();
+            if t.contains('.') {
+                t.parse::<f64>()
+                    .map(Value::F)
+                    .map_err(|e| format!("bad float `{t}`: {e}"))
+            } else {
+                t.parse::<i64>()
+                    .map(Value::I)
+                    .map_err(|e| format!("bad int `{t}`: {e}"))
+            }
+        })
+        .collect()
+}
+
+/// Parses a `specc %s …` command into a [`CompileRequest`].
+///
+/// The vocabulary is the subset of the real `specc` CLI that makes sense
+/// in a hermetic run: `--entry`, `--args`, `--train-args`, `--spec`,
+/// `--control`, `--no-sr`, `--store-sinking`, `--jobs`, `--fuel`,
+/// `--dump-after`, `--stop-after`. Anything else (e.g. `--sim`, `-o`) is
+/// rejected so a `.spec` file cannot silently diverge from what the
+/// harness actually executes.
+pub fn parse_run_command(cmd: &str) -> Result<CompileRequest, String> {
+    let mut toks = cmd.split_whitespace();
+    if toks.next() != Some("specc") {
+        return Err("RUN command must start with `specc`".into());
+    }
+    let mut req = CompileRequest::default();
+    let mut saw_input = false;
+    let next_val = |toks: &mut std::str::SplitWhitespace<'_>, flag: &str| {
+        toks.next()
+            .map(str::to_string)
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(t) = toks.next() {
+        match t {
+            "%s" => saw_input = true,
+            "--entry" => req.entry = next_val(&mut toks, t)?,
+            "--args" => req.args = parse_values(&next_val(&mut toks, t)?)?,
+            "--train-args" => req.train_args = Some(parse_values(&next_val(&mut toks, t)?)?),
+            "--spec" => req.spec = next_val(&mut toks, t)?,
+            "--control" => req.control = next_val(&mut toks, t)?,
+            "--no-sr" => req.strength_reduction = false,
+            "--store-sinking" => req.store_sinking = true,
+            "--jobs" => {
+                req.jobs = next_val(&mut toks, t)?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?
+            }
+            "--fuel" => {
+                req.fuel = next_val(&mut toks, t)?
+                    .parse()
+                    .map_err(|e| format!("bad --fuel: {e}"))?
+            }
+            "--dump-after" => req.hooks.dump_after = PassSet::parse_list(&next_val(&mut toks, t)?)?,
+            "--stop-after" => req.hooks.stop_after = Some(next_val(&mut toks, t)?.parse()?),
+            other if other.starts_with("--dump-after=") => {
+                req.hooks.dump_after = PassSet::parse_list(&other["--dump-after=".len()..])?
+            }
+            other if other.starts_with("--stop-after=") => {
+                req.hooks.stop_after = Some(other["--stop-after=".len()..].parse()?)
+            }
+            other => return Err(format!("unsupported RUN token `{other}`")),
+        }
+    }
+    if !saw_input {
+        return Err("RUN command must reference the input as `%s`".into());
+    }
+    Ok(req)
+}
+
+/// Executes one RUN pipeline over the case's IR and returns the text the
+/// checks run against: the rendered pass dumps when `--dump-after` was
+/// given, the optimized module otherwise.
+pub fn execute_run(input: &str, req: &CompileRequest) -> Result<String, String> {
+    let out = compile(input, req)?;
+    if req.hooks.dump_after.is_empty() {
+        Ok(specframe::ir::display::print_module(&out.module))
+    } else {
+        Ok(render_dumps(&out.dumps))
+    }
+}
+
+/// The verdict on one `.spec` file.
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// Every directive matched.
+    Pass,
+    /// Parse, compile or match failure; the string is the full report.
+    Fail(String),
+}
+
+/// Runs one golden test file from disk.
+pub fn run_case(path: &Path) -> CaseOutcome {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return CaseOutcome::Fail(format!("cannot read {}: {e}", path.display())),
+    };
+    let case = match parse_spec(&text) {
+        Ok(c) => c,
+        Err(e) => return CaseOutcome::Fail(e),
+    };
+    if case.directives.is_empty() {
+        return CaseOutcome::Fail("no CHECK directives".into());
+    }
+    match case_output(&case) {
+        Ok(output) => match run_checks(&output, &case.directives) {
+            Ok(()) => CaseOutcome::Pass,
+            Err(f) => CaseOutcome::Fail(f.to_string()),
+        },
+        Err(e) => CaseOutcome::Fail(e),
+    }
+}
+
+/// The concatenated output of every RUN line of a parsed case.
+pub fn case_output(case: &SpecCase) -> Result<String, String> {
+    let mut output = String::new();
+    for (req, cmd) in case.runs.iter().zip(&case.run_lines) {
+        output.push_str(
+            &execute_run(&case.input, req).map_err(|e| format!("RUN `specc {cmd}`: {e}"))?,
+        );
+    }
+    Ok(output)
+}
+
+/// Expands files and directories into a sorted list of `.spec` files.
+pub fn discover(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut found = Vec::new();
+    for p in paths {
+        if p.is_dir() {
+            let entries =
+                std::fs::read_dir(p).map_err(|e| format!("cannot list {}: {e}", p.display()))?;
+            for entry in entries {
+                let path = entry.map_err(|e| e.to_string())?.path();
+                if path.extension().is_some_and(|e| e == "spec") {
+                    found.push(path);
+                }
+            }
+        } else if p.is_file() {
+            found.push(p.clone());
+        } else {
+            return Err(format!("no such file or directory: {}", p.display()));
+        }
+    }
+    found.sort();
+    Ok(found)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CASE: &str = "\
+; RUN: specc %s --spec heuristic --control static --dump-after=ssapre
+; Pins PRE insertion on the cold arm (paper SS4, Appendix A).
+func f(a: i64, b: i64, sel: i64) -> i64 {
+  var x: i64
+  var y: i64
+entry:
+  br sel, have, nothave
+have:
+  x = add a, b
+  jmp merge
+nothave:
+  x = 0
+  jmp merge
+merge:
+  y = add a, b
+  x = add x, y
+  ret x
+}
+; CHECK: dump-after ssapre: func f
+; CHECK: nothave:
+; CHECK-NEXT: x2 = 0
+; CHECK-NEXT: pre0{{.*}} = add a0, b0
+";
+
+    #[test]
+    fn end_to_end_case_passes() {
+        let case = parse_spec(CASE).unwrap();
+        assert_eq!(case.runs.len(), 1);
+        let out = case_output(&case).unwrap();
+        assert!(run_checks(&out, &case.directives).is_ok(), "{out}");
+    }
+
+    #[test]
+    fn directive_typos_are_rejected() {
+        let bad = CASE.replace("; CHECK: nothave:", "; CHECK-NXT: nothave:");
+        let e = parse_spec(&bad).unwrap_err();
+        assert!(e.contains("looks like a directive"), "{e}");
+    }
+
+    #[test]
+    fn run_line_rejects_unsupported_flags() {
+        assert!(parse_run_command("specc %s --sim").is_err());
+        assert!(parse_run_command("cc %s").is_err());
+        assert!(parse_run_command("specc --spec none").is_err()); // no %s
+    }
+
+    #[test]
+    fn run_line_parses_full_vocabulary() {
+        let req = parse_run_command(
+            "specc %s --entry f --args 1,2 --train-args 3 --spec profile --control profile \
+             --no-sr --store-sinking --jobs 4 --dump-after=hssa,lower --stop-after ssapre",
+        )
+        .unwrap();
+        assert_eq!(req.entry, "f");
+        assert_eq!(req.args, vec![Value::I(1), Value::I(2)]);
+        assert_eq!(req.train_args, Some(vec![Value::I(3)]));
+        assert!(!req.strength_reduction && req.store_sinking);
+        assert_eq!(req.jobs, 4);
+        assert!(req.hooks.dump_after.contains(Pass::Hssa));
+        assert!(req.hooks.dump_after.contains(Pass::Lower));
+        assert_eq!(req.hooks.stop_after, Some(Pass::Ssapre));
+    }
+
+    #[test]
+    fn missing_run_is_an_error_and_missing_checks_fail_at_run_time() {
+        assert!(parse_spec("func f() {\nentry:\n  ret\n}\n").is_err());
+        // no checks: parses (so `spectest --dump` works on it) but has none
+        let case = parse_spec("; RUN: specc %s\nfunc f() {\nentry:\n  ret\n}\n").unwrap();
+        assert!(case.directives.is_empty());
+    }
+}

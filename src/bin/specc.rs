@@ -21,6 +21,11 @@
 //!   --jobs N              worker threads for the per-function pipeline
 //!                         (0 = auto: $SPECFRAME_JOBS, else all cores)
 //!   --time-passes         print per-pass wall times to stderr
+//!   --dump-after PASSES   print the textual form of every function after
+//!                         each named stage and exit (comma-separated from:
+//!                         refine, hssa, ssapre, strength, storeprom, lower);
+//!                         byte-deterministic at any --jobs level
+//!   --stop-after PASS     run the pipeline only through the named stage
 //! ```
 //!
 //! Example:
@@ -48,6 +53,8 @@ struct Cli {
     stats: bool,
     jobs: usize,
     time_passes: bool,
+    dump_after: PassSet,
+    stop_after: Option<Pass>,
     fuel: u64,
 }
 
@@ -89,6 +96,8 @@ fn parse_cli() -> Result<Cli, String> {
         stats: false,
         jobs: 0,
         time_passes: false,
+        dump_after: PassSet::EMPTY,
+        stop_after: None,
         fuel: 100_000_000,
     };
     let mut train_set = false;
@@ -117,6 +126,19 @@ fn parse_cli() -> Result<Cli, String> {
                     .map_err(|e| format!("bad --jobs: {e}"))?
             }
             "--time-passes" => cli.time_passes = true,
+            "--dump-after" => {
+                cli.dump_after =
+                    PassSet::parse_list(&args.next().ok_or("--dump-after needs a value")?)?
+            }
+            other if other.starts_with("--dump-after=") => {
+                cli.dump_after = PassSet::parse_list(&other["--dump-after=".len()..])?
+            }
+            "--stop-after" => {
+                cli.stop_after = Some(args.next().ok_or("--stop-after needs a value")?.parse()?)
+            }
+            other if other.starts_with("--stop-after=") => {
+                cli.stop_after = Some(other["--stop-after=".len()..].parse()?)
+            }
             "--fuel" => {
                 cli.fuel = args
                     .next()
@@ -130,6 +152,8 @@ fn parse_cli() -> Result<Cli, String> {
                             [--control off|profile|static] [--no-sr] \
                             [--store-sinking] [--emit ir|hssa] [-o FILE] \
                             [--run] [--sim] [--stats] [--jobs N] [--time-passes]\n\
+                            [--dump-after refine|hssa|ssapre|strength|storeprom|lower[,..]]\n\
+                            [--stop-after PASS]\n\
                             --jobs 0 (the default) auto-detects: the \
                             SPECFRAME_JOBS environment variable if set to a \
                             positive integer, otherwise all available cores"
@@ -164,23 +188,14 @@ fn real_main() -> Result<(), String> {
     let (expect, _) = run(&m, &cli.entry, &cli.args, cli.fuel)
         .map_err(|e| format!("reference run failed: {e}"))?;
 
-    // profiling run, when any profile-guided mode is requested
-    let needs_profile = cli.spec == "profile" || cli.control == "profile";
-    let mut aprof = None;
-    let mut eprof = None;
-    if needs_profile {
-        let mut ap = AliasProfiler::new();
-        let mut ep = EdgeProfiler::new();
-        {
-            let mut obs = specframe::profile::observer::Compose(vec![&mut ap, &mut ep]);
-            run_with(&m, &cli.entry, &cli.train_args, cli.fuel, &mut obs)
-                .map_err(|e| format!("profiling run failed: {e}"))?;
-        }
-        aprof = Some(ap.finish());
-        eprof = Some(ep.finish());
-    }
-
     if cli.emit == "hssa" {
+        let mut aprof = None;
+        if cli.spec == "profile" {
+            let mut ap = AliasProfiler::new();
+            run_with(&m, &cli.entry, &cli.train_args, cli.fuel, &mut ap)
+                .map_err(|e| format!("profiling run failed: {e}"))?;
+            aprof = Some(ap.finish());
+        }
         let aa = AliasAnalysis::analyze(&m);
         let mut out = String::new();
         for fi in 0..m.funcs.len() {
@@ -199,34 +214,34 @@ fn real_main() -> Result<(), String> {
         return Ok(());
     }
 
-    let data = match cli.spec.as_str() {
-        "none" => SpecSource::None,
-        "profile" => SpecSource::Profile(aprof.as_ref().unwrap()),
-        "heuristic" => SpecSource::Heuristic,
-        "aggressive" => SpecSource::Aggressive,
-        other => return Err(format!("unknown --spec `{other}`")),
-    };
-    let control = match cli.control.as_str() {
-        "off" => ControlSpec::Off,
-        "profile" => ControlSpec::Profile(eprof.as_ref().unwrap()),
-        "static" => ControlSpec::Static,
-        other => return Err(format!("unknown --control `{other}`")),
-    };
-    let report = specframe::core::optimize_with(
-        &mut m,
-        &OptOptions {
-            data,
-            control,
-            strength_reduction: cli.sr,
-            store_sinking: cli.store_sinking,
+    let req = CompileRequest {
+        entry: cli.entry.clone(),
+        args: cli.args.clone(),
+        train_args: Some(cli.train_args.clone()),
+        spec: cli.spec.clone(),
+        control: cli.control.clone(),
+        strength_reduction: cli.sr,
+        store_sinking: cli.store_sinking,
+        jobs: cli.jobs,
+        hooks: PipelineHooks {
+            dump_after: cli.dump_after,
+            stop_after: cli.stop_after,
         },
-        &PipelineConfig { jobs: cli.jobs },
-    );
+        fuel: cli.fuel,
+    };
+    let out = compile_module(m, &req)?;
+    let m = out.module;
+    let report = out.report;
     if cli.stats {
         eprintln!("optimizer: {:?}", report.stats);
     }
     if cli.time_passes {
         eprint!("{}", report.timings.report());
+    }
+    if !cli.dump_after.is_empty() {
+        // dump mode: the per-pass snapshots are the product
+        emit(&cli, &specframe::core::render_dumps(&out.dumps))?;
+        return Ok(());
     }
 
     if cli.run {

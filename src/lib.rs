@@ -103,13 +103,17 @@ pub use specframe_machine as machine;
 pub use specframe_profile as profile;
 pub use specframe_workloads as workloads;
 
+pub mod pipeline;
+
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::pipeline::{compile, compile_module, CompileOutput, CompileRequest};
     pub use specframe_alias::{AliasAnalysis, Loc};
     pub use specframe_codegen::lower_module;
     pub use specframe_core::{
-        optimize, optimize_with, prepare_module, ControlSpec, OptOptions, OptReport, OptStats,
-        PassTimings, PipelineConfig, SpecSource,
+        optimize, optimize_with, optimize_with_hooks, prepare_module, render_dumps, ControlSpec,
+        OptOptions, OptReport, OptStats, Pass, PassDump, PassSet, PassTimings, PipelineConfig,
+        PipelineHooks, SpecSource,
     };
     pub use specframe_hssa::{build_hssa, print_hssa, SpecMode};
     pub use specframe_ir::{parse_module, verify_module, Module, ModuleBuilder, Ty, Value};

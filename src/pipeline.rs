@@ -1,0 +1,231 @@
+//! One-call compile sessions over the speculative pipeline.
+//!
+//! `specc` and the `spectest` golden-test runner both need the same
+//! sequence — parse, verify, prepare, (optionally) profile on a training
+//! input, then run [`specframe_core::optimize_with_hooks`] — with the same
+//! flag vocabulary. This module is that shared seam, so a `; RUN: specc …`
+//! line in a golden test exercises exactly the code path the CLI does,
+//! without spawning a subprocess.
+
+use specframe_core::{
+    optimize_with_hooks, prepare_module, ControlSpec, OptOptions, OptReport, PassDump,
+    PipelineConfig, PipelineHooks, SpecSource,
+};
+use specframe_ir::{parse_module, verify_module, Module, Value};
+use specframe_profile::{run_with, AliasProfiler, EdgeProfiler};
+
+/// Everything a compile session needs besides the program text. The
+/// string-typed fields (`spec`, `control`) use the `specc` CLI vocabulary
+/// so RUN lines and the driver parse identically.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// Entry function for profiling runs (`--entry`).
+    pub entry: String,
+    /// Reference arguments (`--args`); also the training arguments unless
+    /// [`CompileRequest::train_args`] overrides them.
+    pub args: Vec<Value>,
+    /// Training-run arguments (`--train-args`); `None` means use `args`.
+    pub train_args: Option<Vec<Value>>,
+    /// Data speculation source: `none|profile|heuristic|aggressive`.
+    pub spec: String,
+    /// Control speculation source: `off|profile|static`.
+    pub control: String,
+    /// Run strength reduction / LFTR (off with `--no-sr`).
+    pub strength_reduction: bool,
+    /// Run store promotion (`--store-sinking`).
+    pub store_sinking: bool,
+    /// Worker threads (`--jobs`, 0 = auto).
+    pub jobs: usize,
+    /// Snapshot/stop requests (`--dump-after` / `--stop-after`).
+    pub hooks: PipelineHooks,
+    /// Interpreter fuel for profiling runs.
+    pub fuel: u64,
+}
+
+impl Default for CompileRequest {
+    fn default() -> Self {
+        CompileRequest {
+            entry: "main".into(),
+            args: Vec::new(),
+            train_args: None,
+            spec: "none".into(),
+            control: "off".into(),
+            strength_reduction: true,
+            store_sinking: false,
+            jobs: 1,
+            hooks: PipelineHooks::default(),
+            fuel: 100_000_000,
+        }
+    }
+}
+
+/// A finished compile session.
+#[derive(Debug)]
+pub struct CompileOutput {
+    /// The optimized module.
+    pub module: Module,
+    /// Optimizer statistics and per-pass timings.
+    pub report: OptReport,
+    /// Snapshots requested via [`PipelineHooks::dump_after`], in function
+    /// then pipeline order (render with [`specframe_core::render_dumps`]).
+    pub dumps: Vec<PassDump>,
+}
+
+/// Parses, verifies and [`compile_module`]s `src`.
+pub fn compile(src: &str, req: &CompileRequest) -> Result<CompileOutput, String> {
+    let m = parse_module(src).map_err(|e| e.to_string())?;
+    verify_module(&m).map_err(|e| e.to_string())?;
+    compile_module(m, req)
+}
+
+/// Runs the speculative pipeline over an already-verified module:
+/// critical-edge preparation, a profiling interpreter run when either
+/// speculation source is `profile`, then the optimizer with the
+/// requested hooks.
+pub fn compile_module(mut m: Module, req: &CompileRequest) -> Result<CompileOutput, String> {
+    prepare_module(&mut m);
+
+    // profiling run, when any profile-guided mode is requested
+    let needs_profile = req.spec == "profile" || req.control == "profile";
+    let mut aprof = None;
+    let mut eprof = None;
+    if needs_profile {
+        if m.func_by_name(&req.entry).is_none() {
+            return Err(format!(
+                "profile-guided compile needs entry function `{}`",
+                req.entry
+            ));
+        }
+        let train = req.train_args.as_ref().unwrap_or(&req.args);
+        let mut ap = AliasProfiler::new();
+        let mut ep = EdgeProfiler::new();
+        {
+            let mut obs = specframe_profile::observer::Compose(vec![&mut ap, &mut ep]);
+            run_with(&m, &req.entry, train, req.fuel, &mut obs)
+                .map_err(|e| format!("profiling run failed: {e}"))?;
+        }
+        aprof = Some(ap.finish());
+        eprof = Some(ep.finish());
+    }
+
+    let data = match req.spec.as_str() {
+        "none" => SpecSource::None,
+        "profile" => SpecSource::Profile(aprof.as_ref().unwrap()),
+        "heuristic" => SpecSource::Heuristic,
+        "aggressive" => SpecSource::Aggressive,
+        other => return Err(format!("unknown --spec `{other}`")),
+    };
+    let control = match req.control.as_str() {
+        "off" => ControlSpec::Off,
+        "profile" => ControlSpec::Profile(eprof.as_ref().unwrap()),
+        "static" => ControlSpec::Static,
+        other => return Err(format!("unknown --control `{other}`")),
+    };
+
+    let (report, dumps) = optimize_with_hooks(
+        &mut m,
+        &OptOptions {
+            data,
+            control,
+            strength_reduction: req.strength_reduction,
+            store_sinking: req.store_sinking,
+        },
+        &PipelineConfig { jobs: req.jobs },
+        &req.hooks,
+    );
+    Ok(CompileOutput {
+        module: m,
+        report,
+        dumps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use specframe_core::{render_dumps, Pass, PassSet};
+
+    const DIAMOND: &str = r#"
+func f(a: i64, b: i64, sel: i64) -> i64 {
+  var x: i64
+  var y: i64
+entry:
+  br sel, have, nothave
+have:
+  x = add a, b
+  jmp merge
+nothave:
+  x = 0
+  jmp merge
+merge:
+  y = add a, b
+  x = add x, y
+  ret x
+}
+"#;
+
+    #[test]
+    fn compile_without_profiling_needs_no_entry() {
+        // `f`, not `main` — heuristic mode never runs the interpreter
+        let req = CompileRequest {
+            spec: "heuristic".into(),
+            control: "static".into(),
+            ..Default::default()
+        };
+        let out = compile(DIAMOND, &req).unwrap();
+        assert!(out.report.stats.reloads >= 1);
+    }
+
+    #[test]
+    fn dump_after_ssapre_shows_pre_insertion() {
+        let req = CompileRequest {
+            spec: "heuristic".into(),
+            control: "static".into(),
+            hooks: PipelineHooks {
+                dump_after: PassSet::from_iter([Pass::Ssapre]),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = compile(DIAMOND, &req).unwrap();
+        assert_eq!(out.dumps.len(), 1);
+        let text = render_dumps(&out.dumps);
+        assert!(
+            text.contains("; === dump-after ssapre: func f ==="),
+            "{text}"
+        );
+        assert!(text.contains("hssa func f {"), "{text}");
+    }
+
+    #[test]
+    fn stop_after_refine_is_identity_module() {
+        let req = CompileRequest {
+            hooks: PipelineHooks {
+                stop_after: Some(Pass::Refine),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = compile(DIAMOND, &req).unwrap();
+        // nothing optimized: both adds still present
+        let printed = specframe_ir::display::print_module(&out.module);
+        assert_eq!(printed.matches("add a, b").count(), 2, "{printed}");
+    }
+
+    #[test]
+    fn stop_after_hssa_roundtrips_through_lowering() {
+        let req = CompileRequest {
+            hooks: PipelineHooks {
+                stop_after: Some(Pass::Hssa),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = compile(DIAMOND, &req).unwrap();
+        let args = [Value::I(3), Value::I(4), Value::I(1)];
+        let m0 = parse_module(DIAMOND).unwrap();
+        let (want, _) = specframe_profile::run(&m0, "f", &args, 1_000_000).unwrap();
+        let (got, _) = specframe_profile::run(&out.module, "f", &args, 1_000_000).unwrap();
+        assert_eq!(want, got);
+    }
+}

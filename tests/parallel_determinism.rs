@@ -68,3 +68,30 @@ fn serial_and_parallel_runs_are_bit_identical() {
         }
     }
 }
+
+/// The same contract extended to `--dump-after`: per-pass snapshots are
+/// captured inside the workers but assembled at the deterministic join, so
+/// the rendered dump stream must also be byte-identical at any job count.
+#[test]
+fn pass_dumps_are_bit_identical_across_job_counts() {
+    let hooks = PipelineHooks {
+        dump_after: Pass::ALL.into_iter().collect(),
+        stop_after: None,
+    };
+    for w in all_workloads(Scale::Test) {
+        for (cname, opts) in configs() {
+            let mut serial = w.module.clone();
+            let mut parallel = w.module.clone();
+            let (_, d1) =
+                optimize_with_hooks(&mut serial, &opts, &PipelineConfig { jobs: 1 }, &hooks);
+            let (_, d8) =
+                optimize_with_hooks(&mut parallel, &opts, &PipelineConfig { jobs: 8 }, &hooks);
+            assert_eq!(
+                render_dumps(&d1),
+                render_dumps(&d8),
+                "{}/{cname}: dump stream diverges between jobs=1 and jobs=8",
+                w.name
+            );
+        }
+    }
+}
