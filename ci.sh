@@ -16,5 +16,15 @@ cargo fmt --all -- --check
 # FileCheck-style golden tests over the textual pass dumps
 cargo run --release -q -p spectest -- -q tests/golden
 
+# differential misspeculation oracle: every workload and a batch of seeded
+# random programs, every optimizer config, under the adversarial ALAT
+# fault matrix — results must be bit-identical to the unoptimized
+# reference interpreter no matter what the ALAT does
+cargo run --release -q -p specframe-fuzzdiff --bin fuzzdiff -- \
+  --seed "${FUZZDIFF_SEED:-1}" --random 16 --time-budget 240 \
+  --policy default --policy always-miss \
+  --policy random:1 --policy random:2 --policy random:3 \
+  --policy flash-clear
+
 # compile-time smoke: writes BENCH_ci.json (mean ms per workload)
 cargo run --release -q -p specframe-bench --bin ci_smoke

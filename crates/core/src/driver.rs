@@ -19,6 +19,7 @@
 //! | heuristic rules     | `Heuristic`   | `Static`       |
 //! | potential estimate  | `Aggressive`  | `Off`          |
 
+use crate::error::{panic_message, with_quiet_panics, CompileDiag, CompileError};
 use crate::passes::{Pass, PassDump, PipelineHooks};
 use crate::ssapre::{ssapre_function, SpecPolicy};
 use crate::stats::{OptStats, PassTimings};
@@ -34,7 +35,9 @@ use specframe_hssa::{
 use specframe_ir::display::{func_name_table, print_function_in};
 use specframe_ir::{FuncId, Function, Global, MemSiteId, Module};
 use specframe_profile::AliasProfile;
+use std::cell::Cell;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -118,13 +121,17 @@ impl PipelineConfig {
 }
 
 /// Everything one [`optimize_with`] call reports: transformation counters
-/// plus per-pass wall times.
-#[derive(Debug, Default, Clone, Copy)]
+/// plus per-pass wall times, plus the diagnostics of any per-function
+/// degradation the driver performed.
+#[derive(Debug, Default, Clone)]
 pub struct OptReport {
     /// Deterministic transformation counters (identical for any job count).
     pub stats: OptStats,
     /// Per-pass wall clock (varies run to run).
     pub timings: PassTimings,
+    /// One warning per function that was recompiled non-speculatively
+    /// after its speculative compilation failed (function index order).
+    pub warnings: Vec<CompileDiag>,
 }
 
 /// Runs the full speculative optimization pipeline over `m` with the
@@ -170,6 +177,29 @@ pub fn optimize_with_hooks(
     cfg: &PipelineConfig,
     hooks: &PipelineHooks,
 ) -> (OptReport, Vec<PassDump>) {
+    match try_optimize_with_hooks(m, opts, cfg, hooks) {
+        Ok(out) => out,
+        Err(e) => panic!("optimize failed: {e}"),
+    }
+}
+
+/// [`optimize_with_hooks`] with structured failure instead of panics.
+///
+/// A function whose speculative compilation fails (verifier rejection or a
+/// worker panic) is recompiled with speculation disabled; the degradation
+/// is recorded as an [`OptReport`] warning and counted in
+/// [`OptStats::spec_fallbacks`]. An error is returned only when that
+/// fallback fails too, or when final whole-module verification rejects the
+/// result.
+///
+/// # Errors
+/// A [`CompileError`] naming the function and stage that failed.
+pub fn try_optimize_with_hooks(
+    m: &mut Module,
+    opts: &OptOptions<'_>,
+    cfg: &PipelineConfig,
+    hooks: &PipelineHooks,
+) -> Result<(OptReport, Vec<PassDump>), CompileError> {
     let total0 = Instant::now();
     let dom0 = dom_compute_count();
     prepare_module(m);
@@ -208,7 +238,7 @@ pub fn optimize_with_hooks(
         hooks,
     };
 
-    let mut results: Vec<Option<FuncResult>> = if jobs <= 1 {
+    let mut results: Vec<Option<Result<FuncResult, CompileError>>> = if jobs <= 1 {
         funcs
             .into_iter()
             .enumerate()
@@ -217,12 +247,13 @@ pub fn optimize_with_hooks(
     } else {
         let queue: Mutex<VecDeque<(usize, Function)>> =
             Mutex::new(funcs.into_iter().enumerate().collect());
-        let out: Mutex<Vec<Option<FuncResult>>> = {
+        let out: Mutex<Vec<Option<Result<FuncResult, CompileError>>>> = {
             let mut slots = Vec::new();
             slots.resize_with(fas.len(), || None);
             Mutex::new(slots)
         };
-        // a worker panic (verifier failure) propagates through scope join
+        // worker panics are caught inside process_function, so the scope
+        // join never unwinds; failures arrive as CompileErrors in order
         std::thread::scope(|s| {
             for _ in 0..jobs {
                 s.spawn(|| loop {
@@ -238,17 +269,21 @@ pub fn optimize_with_hooks(
 
     // deterministic join: splice lowered functions back in index order and
     // renumber fresh memory sites serially, reproducing serial numbering;
-    // per-function dumps are concatenated in the same order
+    // per-function dumps and warnings are concatenated in the same order.
+    // An unrecoverable per-function failure surfaces here — the lowest
+    // function index wins, independent of worker scheduling.
     let mut stats = OptStats::default();
+    let mut warnings: Vec<CompileDiag> = Vec::new();
     let mut dumps: Vec<PassDump> = Vec::new();
     m.funcs = Vec::with_capacity(results.len());
     for slot in results.iter_mut() {
-        let mut r = slot.take().expect("every function processed");
+        let mut r = slot.take().expect("every function processed")?;
         let first = MemSiteId(m.next_mem_site);
         m.next_mem_site += r.fresh_sites;
         resolve_fresh_sites(&mut r.f, first);
         stats.absorb(&r.stats);
         timings.absorb(&r.timings);
+        warnings.append(&mut r.warnings);
         dumps.append(&mut r.dumps);
         if hooks.dump_after.contains(Pass::Lower) {
             let mut text = String::new();
@@ -264,12 +299,24 @@ pub fn optimize_with_hooks(
 
     let t0 = Instant::now();
     if let Err(e) = specframe_ir::verify_module(m) {
-        panic!("module verification failed after optimize: {e}");
+        return Err(CompileError {
+            function: String::new(),
+            pass: "module-verify".into(),
+            message: e.to_string(),
+            fallback_exhausted: false,
+        });
     }
     timings.module_verify = t0.elapsed();
     timings.total = total0.elapsed();
     timings.dom_computes = dom_compute_count() - dom0;
-    (OptReport { stats, timings }, dumps)
+    Ok((
+        OptReport {
+            stats,
+            timings,
+            warnings,
+        },
+        dumps,
+    ))
 }
 
 /// One worker's output for one function.
@@ -282,6 +329,8 @@ struct FuncResult {
     fresh_sites: u32,
     /// Snapshots this worker took, in pipeline order.
     dumps: Vec<PassDump>,
+    /// Degradation diagnostics (non-speculative fallback taken).
+    warnings: Vec<CompileDiag>,
 }
 
 /// Read-only state shared by every per-function worker.
@@ -294,123 +343,272 @@ struct Shared<'a, 'p> {
     hooks: &'a PipelineHooks,
 }
 
+/// Output of one (speculative or fallback) run of the post-refine stages.
+struct StageOutput {
+    f: Function,
+    stats: OptStats,
+    timings: PassTimings,
+    fresh_sites: u32,
+    dumps: Vec<PassDump>,
+}
+
 /// The per-function pipeline. Owns `f`; everything else is shared
 /// read-only.
+///
+/// Refinement runs once up front (it is not speculation-dependent), then
+/// the speculative stage group — HSSA build, SSAPRE, strength reduction,
+/// store promotion, verify, lower — runs under `catch_unwind`. If it fails
+/// (verifier rejection or panic), the same group is re-run with
+/// speculation fully disabled; only a failure of that fallback, too, is an
+/// error.
 fn process_function(
     sh: &Shared<'_, '_>,
     mut f: Function,
     fi: usize,
     fa: &FuncAnalyses,
-) -> FuncResult {
+) -> Result<FuncResult, CompileError> {
     let fid = FuncId::from_index(fi);
-    let mut stats = OptStats::default();
-    let mut t = PassTimings::default();
-    let mut dumps: Vec<PassDump> = Vec::new();
     let hooks = sh.hooks;
-    let dump_ir = |dumps: &mut Vec<PassDump>, pass: Pass, f: &Function| {
+    let mut dumps: Vec<PassDump> = Vec::new();
+
+    // flow-sensitive refinement (Figure 4's last box): fold pointer bases
+    // that provably hold one static address into direct references, then
+    // build the SSA form the optimizer sees
+    let mut refine_time = std::time::Duration::ZERO;
+    let refined = with_quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let t0 = Instant::now();
+            refine_function_in(sh.globals, &mut f, fid, sh.aa, fa);
+            refine_time = t0.elapsed();
+        }))
+    });
+    if let Err(payload) = refined {
+        // refinement is shared by both attempts, so there is no
+        // speculation to disable — report it directly
+        return Err(CompileError {
+            function: f.name.clone(),
+            pass: "refine".into(),
+            message: panic_message(payload.as_ref()),
+            fallback_exhausted: false,
+        });
+    }
+    if hooks.dump_after.contains(Pass::Refine) {
         let mut text = String::new();
-        print_function_in(&mut text, sh.globals, sh.func_names, f);
+        print_function_in(&mut text, sh.globals, sh.func_names, &f);
         dumps.push(PassDump {
-            pass,
+            pass: Pass::Refine,
             func: f.name.clone(),
             text,
         });
+    }
+    if !hooks.runs(Pass::Hssa) {
+        // stopped after refine: the function is already executable IR
+        return Ok(FuncResult {
+            f,
+            stats: OptStats::default(),
+            timings: PassTimings {
+                refine: refine_time,
+                ..Default::default()
+            },
+            fresh_sites: 0,
+            dumps,
+            warnings: Vec::new(),
+        });
+    }
+
+    // primary attempt: the requested speculation configuration
+    let current = Cell::new("hssa");
+    let primary = with_quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            run_spec_stages(sh, &f, fid, fa, true, &current)
+        }))
+    });
+    let (out, warnings) = match flatten_attempt(primary, &current) {
+        Ok(out) => (out, Vec::new()),
+        Err((pass, message)) => {
+            // non-speculative fallback: same function, speculation off
+            current.set("hssa");
+            let fallback = with_quiet_panics(|| {
+                catch_unwind(AssertUnwindSafe(|| {
+                    run_spec_stages(sh, &f, fid, fa, false, &current)
+                }))
+            });
+            match flatten_attempt(fallback, &current) {
+                Ok(mut out) => {
+                    out.stats.spec_fallbacks = 1;
+                    let diag = CompileDiag {
+                        function: f.name.clone(),
+                        pass,
+                        message: format!(
+                            "speculative compilation failed ({message}); \
+                             recompiled without speculation"
+                        ),
+                    };
+                    (out, vec![diag])
+                }
+                Err((fpass, fmessage)) => {
+                    return Err(CompileError {
+                        function: f.name.clone(),
+                        pass: fpass,
+                        message: fmessage,
+                        fallback_exhausted: true,
+                    })
+                }
+            }
+        }
     };
-    let dump_hssa = |dumps: &mut Vec<PassDump>, pass: Pass, f: &Function, hf: &HssaFunc| {
+
+    let mut timings = out.timings;
+    timings.refine = refine_time;
+    dumps.extend(out.dumps);
+    Ok(FuncResult {
+        f: out.f,
+        stats: out.stats,
+        timings,
+        fresh_sites: out.fresh_sites,
+        dumps,
+        warnings,
+    })
+}
+
+/// Collapses the two failure shapes of a stage-group attempt — a clean
+/// verifier rejection and a caught panic — into one `(pass, message)`.
+fn flatten_attempt(
+    attempt: std::thread::Result<Result<StageOutput, (String, String)>>,
+    current: &Cell<&'static str>,
+) -> Result<StageOutput, (String, String)> {
+    match attempt {
+        Ok(Ok(out)) => Ok(out),
+        Ok(Err(e)) => Err(e),
+        Err(payload) => Err((current.get().to_string(), panic_message(payload.as_ref()))),
+    }
+}
+
+/// The speculation-dependent stage group: HSSA build → SSAPRE → strength
+/// reduction → store promotion → verify → lower. When `speculative` is
+/// false, every speculation source is forced off (the degradation target).
+/// `current` tracks the running stage so a panic can be attributed.
+fn run_spec_stages(
+    sh: &Shared<'_, '_>,
+    f: &Function,
+    fid: FuncId,
+    fa: &FuncAnalyses,
+    speculative: bool,
+    current: &Cell<&'static str>,
+) -> Result<StageOutput, (String, String)> {
+    let hooks = sh.hooks;
+    let mut stats = OptStats::default();
+    let mut t = PassTimings::default();
+    let mut dumps: Vec<PassDump> = Vec::new();
+    let dump_hssa = |dumps: &mut Vec<PassDump>, pass: Pass, hf: &HssaFunc| {
         dumps.push(PassDump {
             pass,
             func: f.name.clone(),
             text: print_hssa_in(sh.globals, sh.func_names, f, hf),
         });
     };
-    let mode = match sh.opts.data {
-        SpecSource::None => SpecMode::NoSpeculation,
-        SpecSource::Profile(p) => SpecMode::Profile(p),
-        SpecSource::Heuristic => SpecMode::Heuristic,
-        SpecSource::Aggressive => SpecMode::Aggressive,
+    let inject = if speculative {
+        &hooks.inject_spec_fail
+    } else {
+        &hooks.inject_fallback_fail
+    };
+    let mode = if !speculative {
+        SpecMode::NoSpeculation
+    } else {
+        match sh.opts.data {
+            SpecSource::None => SpecMode::NoSpeculation,
+            SpecSource::Profile(p) => SpecMode::Profile(p),
+            SpecSource::Heuristic => SpecMode::Heuristic,
+            SpecSource::Aggressive => SpecMode::Aggressive,
+        }
     };
 
-    // flow-sensitive refinement (Figure 4's last box): fold pointer bases
-    // that provably hold one static address into direct references, then
-    // build the SSA form the optimizer sees
+    current.set("hssa");
     let t0 = Instant::now();
-    refine_function_in(sh.globals, &mut f, fid, sh.aa, fa);
-    t.refine = t0.elapsed();
-    if hooks.dump_after.contains(Pass::Refine) {
-        dump_ir(&mut dumps, Pass::Refine, &f);
-    }
-    if !hooks.runs(Pass::Hssa) {
-        // stopped after refine: the function is already executable IR
-        return FuncResult {
-            f,
-            stats,
-            timings: t,
-            fresh_sites: 0,
-            dumps,
-        };
-    }
-
-    let t0 = Instant::now();
-    let mut hf = build_hssa_in(sh.globals, &f, fid, sh.aa, mode, fa);
+    let mut hf = build_hssa_in(sh.globals, f, fid, sh.aa, mode, fa);
     t.hssa_build = t0.elapsed();
     if hooks.dump_after.contains(Pass::Hssa) {
-        dump_hssa(&mut dumps, Pass::Hssa, &f, &hf);
+        dump_hssa(&mut dumps, Pass::Hssa, &hf);
     }
 
     if hooks.runs(Pass::Ssapre) {
-        let policy = SpecPolicy {
-            data: mode.speculative(),
-            heuristic: matches!(sh.opts.data, SpecSource::Heuristic),
-            profile: match sh.opts.data {
-                SpecSource::Profile(p) => Some(p),
-                _ => None,
-            },
-            control: sh.control_profile.map(|p| (p, fid)),
+        current.set("ssapre");
+        if inject.as_deref() == Some(f.name.as_str()) {
+            panic!(
+                "injected {} failure",
+                if speculative {
+                    "speculative-compilation"
+                } else {
+                    "fallback-compilation"
+                }
+            );
+        }
+        let policy = if speculative {
+            SpecPolicy {
+                data: mode.speculative(),
+                heuristic: matches!(sh.opts.data, SpecSource::Heuristic),
+                profile: match sh.opts.data {
+                    SpecSource::Profile(p) => Some(p),
+                    _ => None,
+                },
+                control: sh.control_profile.map(|p| (p, fid)),
+            }
+        } else {
+            SpecPolicy {
+                data: false,
+                heuristic: false,
+                profile: None,
+                control: None,
+            }
         };
         let t0 = Instant::now();
-        ssapre_function(&f, &mut hf, &policy, &mut stats, fa);
+        ssapre_function(f, &mut hf, &policy, &mut stats, fa);
         t.ssapre = t0.elapsed();
         if hooks.dump_after.contains(Pass::Ssapre) {
-            dump_hssa(&mut dumps, Pass::Ssapre, &f, &hf);
+            dump_hssa(&mut dumps, Pass::Ssapre, &hf);
         }
     }
 
     if sh.opts.strength_reduction && hooks.runs(Pass::Strength) {
+        current.set("strength");
         let t0 = Instant::now();
         strength_reduce_hssa(&mut hf, &mut stats, fa);
         crate::ssapre::cleanup_hssa(&mut hf);
         t.strength = t0.elapsed();
         if hooks.dump_after.contains(Pass::Strength) {
-            dump_hssa(&mut dumps, Pass::Strength, &f, &hf);
+            dump_hssa(&mut dumps, Pass::Strength, &hf);
         }
     }
     if sh.opts.store_sinking && hooks.runs(Pass::Storeprom) {
+        current.set("storeprom");
         let t0 = Instant::now();
         crate::storeprom::sink_stores_hssa(&mut hf, &mut stats, fa);
         crate::ssapre::cleanup_hssa(&mut hf);
         t.storeprom = t0.elapsed();
         if hooks.dump_after.contains(Pass::Storeprom) {
-            dump_hssa(&mut dumps, Pass::Storeprom, &f, &hf);
+            dump_hssa(&mut dumps, Pass::Storeprom, &hf);
         }
     }
 
+    current.set("verify");
     let t0 = Instant::now();
     if let Err(e) = verify_hssa(&hf) {
-        panic!("SSA verification failed for `{}`: {e}", f.name);
+        return Err(("verify".into(), e));
     }
     t.verify = t0.elapsed();
 
+    current.set("lower");
     let t0 = Instant::now();
-    let (lowered, fresh_sites) = lower_function(&f, &hf);
+    let (lowered, fresh_sites) = lower_function(f, &hf);
     t.lower = t0.elapsed();
 
-    FuncResult {
+    Ok(StageOutput {
         f: lowered,
         stats,
         timings: t,
         fresh_sites,
         dumps,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -665,6 +863,130 @@ merge:
         // PRE must insert a+b on the nothave edge and reload at merge
         assert!(stats.insertions >= 1, "{stats:?}");
         assert!(stats.reloads >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn injected_spec_failure_falls_back_to_nonspeculative() {
+        // two functions; `kern`'s speculative compile is sabotaged — the
+        // module must still compile, with `kern` recompiled non-
+        // speculatively and a warning recorded; `other` is unaffected
+        let src = r#"
+global g: i64[1] = [5]
+
+func kern(n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@g]
+  acc = add acc, v
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+
+func other(a: i64, b: i64) -> i64 {
+  var x: i64
+  var y: i64
+entry:
+  x = add a, b
+  y = add a, b
+  ret y
+}
+"#;
+        let m0 = parse_module(src).unwrap();
+        let (expect, _) = run(&m0, "kern", &[Value::I(20)], 1_000_000).unwrap();
+        for jobs in [1, 4] {
+            let mut m = m0.clone();
+            let hooks = PipelineHooks {
+                inject_spec_fail: Some("kern".into()),
+                ..Default::default()
+            };
+            let opts = OptOptions {
+                data: SpecSource::Heuristic,
+                control: ControlSpec::Static,
+                strength_reduction: true,
+                store_sinking: false,
+            };
+            let (report, _) =
+                try_optimize_with_hooks(&mut m, &opts, &PipelineConfig { jobs }, &hooks)
+                    .expect("fallback must rescue the module");
+            assert_eq!(report.stats.spec_fallbacks, 1, "jobs={jobs}");
+            assert_eq!(report.warnings.len(), 1, "jobs={jobs}");
+            let w = &report.warnings[0];
+            assert_eq!(w.function, "kern");
+            assert_eq!(w.pass, "ssapre");
+            assert!(
+                w.message
+                    .contains("injected speculative-compilation failure"),
+                "{w}"
+            );
+            assert!(w.message.contains("recompiled without speculation"), "{w}");
+            let (got, _) = run(&m, "kern", &[Value::I(20)], 1_000_000).unwrap();
+            assert_eq!(got, expect, "jobs={jobs}: fallback output must run");
+        }
+    }
+
+    #[test]
+    fn injected_fallback_failure_exhausts_recovery() {
+        let src = r#"
+func f(a: i64, b: i64) -> i64 {
+  var x: i64
+entry:
+  x = add a, b
+  ret x
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        let hooks = PipelineHooks {
+            inject_spec_fail: Some("f".into()),
+            inject_fallback_fail: Some("f".into()),
+            ..Default::default()
+        };
+        let e = try_optimize_with_hooks(
+            &mut m,
+            &OptOptions::default(),
+            &PipelineConfig { jobs: 1 },
+            &hooks,
+        )
+        .expect_err("both attempts sabotaged");
+        assert_eq!(e.function, "f");
+        assert!(e.fallback_exhausted, "{e}");
+        assert!(
+            e.message.contains("injected fallback-compilation failure"),
+            "{e}"
+        );
+    }
+
+    #[test]
+    fn no_injection_means_no_warnings() {
+        let src = r#"
+func f(a: i64, b: i64) -> i64 {
+  var x: i64
+entry:
+  x = add a, b
+  ret x
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        let (report, _) = try_optimize_with_hooks(
+            &mut m,
+            &OptOptions::default(),
+            &PipelineConfig { jobs: 1 },
+            &PipelineHooks::default(),
+        )
+        .unwrap();
+        assert_eq!(report.stats.spec_fallbacks, 0);
+        assert!(report.warnings.is_empty());
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Structured compile failures and diagnostics.
+//!
+//! The driver used to `panic!` when a per-function verification failed —
+//! acceptable for an optimizer prototype, fatal for a compiler. Failures
+//! now carry *where* (function, pass) and *what* (diagnostic text), and
+//! the driver's first response to a speculative-pipeline failure is not an
+//! error at all: it recompiles the function with speculation disabled and
+//! records a [`CompileDiag`] warning. A [`CompileError`] only escapes when
+//! that non-speculative fallback fails too (`fallback_exhausted`), or when
+//! the failure is outside any per-function pipeline (module verification).
+
+use std::fmt;
+
+/// A non-fatal compile diagnostic: something went wrong, the driver
+/// recovered, and the output is still correct (just less optimized).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileDiag {
+    /// Function the diagnostic is about (empty for module-level ones).
+    pub function: String,
+    /// Pipeline stage that failed (stable `--dump-after` spelling).
+    pub pass: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CompileDiag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "[{}] {}", self.pass, self.message)
+        } else {
+            write!(
+                f,
+                "func `{}` [{}]: {}",
+                self.function, self.pass, self.message
+            )
+        }
+    }
+}
+
+/// A structured compile failure the driver could not recover from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Function being compiled when the failure happened (empty for
+    /// module-level failures).
+    pub function: String,
+    /// Pipeline stage that failed (stable `--dump-after` spelling, or
+    /// `module-verify` for the final whole-module check).
+    pub pass: String,
+    /// Human-readable description (verifier message or panic payload).
+    pub message: String,
+    /// True when the non-speculative per-function fallback was attempted
+    /// and also failed — the strongest failure the driver can report.
+    pub fallback_exhausted: bool,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let where_ = if self.function.is_empty() {
+            format!("[{}]", self.pass)
+        } else {
+            format!("func `{}` [{}]", self.function, self.pass)
+        };
+        if self.fallback_exhausted {
+            write!(
+                f,
+                "{where_}: {} (non-speculative fallback also failed)",
+                self.message
+            )
+        } else {
+            write!(f, "{where_}: {}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+thread_local! {
+    static PANIC_EXPECTED: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Runs `f` with the default panic hook silenced *on this thread*: a
+/// panic raised inside `f` (which the caller is about to `catch_unwind`
+/// and convert into a [`CompileError`]) does not spray a backtrace onto
+/// stderr. Panics on other threads keep the previous hook's behavior.
+pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !PANIC_EXPECTED.with(|e| e.get()) {
+                prev(info);
+            }
+        }));
+    });
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            PANIC_EXPECTED.with(|e| e.set(false));
+        }
+    }
+    let _reset = Reset;
+    PANIC_EXPECTED.with(|e| e.set(true));
+    f()
+}
+
+/// Renders a caught panic payload as text (the `&str`/`String` payloads
+/// `panic!` produces; anything else becomes a placeholder).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let d = CompileDiag {
+            function: "kern".into(),
+            pass: "ssapre".into(),
+            message: "speculative compilation failed; retried without speculation".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "func `kern` [ssapre]: speculative compilation failed; \
+             retried without speculation"
+        );
+        let e = CompileError {
+            function: "kern".into(),
+            pass: "verify".into(),
+            message: "bad phi".into(),
+            fallback_exhausted: true,
+        };
+        assert_eq!(
+            e.to_string(),
+            "func `kern` [verify]: bad phi (non-speculative fallback also failed)"
+        );
+        let e2 = CompileError {
+            function: String::new(),
+            pass: "module-verify".into(),
+            message: "dangling block".into(),
+            fallback_exhausted: false,
+        };
+        assert_eq!(e2.to_string(), "[module-verify]: dangling block");
+    }
+
+    #[test]
+    fn quiet_panics_returns_value_and_resets() {
+        let v = with_quiet_panics(|| 41 + 1);
+        assert_eq!(v, 42);
+        // a caught panic inside the scope leaves the flag reset
+        let r = with_quiet_panics(|| std::panic::catch_unwind(|| panic!("silent")));
+        assert!(r.is_err());
+        super::PANIC_EXPECTED.with(|e| assert!(!e.get()));
+    }
+
+    #[test]
+    fn panic_payload_rendering() {
+        let p = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(panic_message(p.as_ref()), "boom 7");
+        let p = std::panic::catch_unwind(|| std::panic::panic_any(42i32)).unwrap_err();
+        assert_eq!(
+            panic_message(p.as_ref()),
+            "worker panicked with a non-string payload"
+        );
+    }
+}

@@ -27,6 +27,7 @@
 //! [`stats::OptStats`].
 
 pub mod driver;
+pub mod error;
 pub mod expr;
 pub mod passes;
 pub mod ssapre;
@@ -35,9 +36,10 @@ pub mod storeprom;
 pub mod strength;
 
 pub use driver::{
-    optimize, optimize_with, optimize_with_hooks, prepare_module, ControlSpec, OptOptions,
-    OptReport, PipelineConfig, SpecSource,
+    optimize, optimize_with, optimize_with_hooks, prepare_module, try_optimize_with_hooks,
+    ControlSpec, OptOptions, OptReport, PipelineConfig, SpecSource,
 };
+pub use error::{CompileDiag, CompileError};
 pub use expr::ExprKey;
 pub use passes::{render_dumps, Pass, PassDump, PassSet, PipelineHooks};
 pub use ssapre::{ssapre_function, SpecPolicy};

@@ -145,8 +145,10 @@ impl FromIterator<Pass> for PassSet {
 }
 
 /// Snapshot/stop requests threaded through
-/// [`crate::driver::optimize_with_hooks`].
-#[derive(Debug, Clone, Copy, Default)]
+/// [`crate::driver::optimize_with_hooks`], plus the fault-injection knobs
+/// the robustness tests use to exercise the non-speculative fallback
+/// deterministically.
+#[derive(Debug, Clone, Default)]
 pub struct PipelineHooks {
     /// Stages to snapshot (textual dump after the stage runs).
     pub dump_after: PassSet,
@@ -154,6 +156,13 @@ pub struct PipelineHooks {
     /// stages are skipped. Lowering back to executable IR always happens,
     /// so the resulting module stays runnable and verifiable.
     pub stop_after: Option<Pass>,
+    /// Panic the *speculative* compilation of the named function
+    /// (`--inject-spec-fail`), forcing the driver onto its non-speculative
+    /// fallback path. Test-only; `None` in production.
+    pub inject_spec_fail: Option<String>,
+    /// Panic the *non-speculative fallback* of the named function too
+    /// (`--inject-fallback-fail`), exhausting recovery. Test-only.
+    pub inject_fallback_fail: Option<String>,
 }
 
 impl PipelineHooks {

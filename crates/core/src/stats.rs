@@ -40,6 +40,9 @@ pub struct OptStats {
     pub lftr_applied: u64,
     /// Loop stores sunk to loop exits (store promotion).
     pub stores_sunk: u64,
+    /// Functions whose speculative compilation failed and were recompiled
+    /// non-speculatively (each one also carries an `OptReport` warning).
+    pub spec_fallbacks: u64,
 }
 
 impl OptStats {
@@ -61,6 +64,7 @@ impl OptStats {
         self.strength_reduced += other.strength_reduced;
         self.lftr_applied += other.lftr_applied;
         self.stores_sunk += other.stores_sunk;
+        self.spec_fallbacks += other.spec_fallbacks;
     }
 }
 

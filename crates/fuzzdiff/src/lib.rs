@@ -1,0 +1,373 @@
+//! Differential misspeculation oracle.
+//!
+//! The safety argument of the whole framework is that a mis-speculated
+//! value is always *detected and recovered* by the check instruction, so
+//! the program result can never depend on what the ALAT happened to do.
+//! This crate turns that argument into an executable oracle:
+//!
+//! for every case (the eight workload kernels plus seeded random loop
+//! programs with may-aliased memory traffic), for every optimizer
+//! configuration, for every ALAT fault policy —
+//!
+//! ```text
+//! result(optimized, machine, policy) == result(unoptimized, interpreter)
+//! ```
+//!
+//! bit-identically, on the training input *and* on an adversarial input
+//! where the profiled assumptions are false. On top of result equality it
+//! asserts counter sanity (`failed_checks ≤ check_loads`; a policy that
+//! kills entries cannot *reduce* recoveries below zero) — an eviction
+//! schedule may change *performance* counters but never *results*.
+//!
+//! The `fuzzdiff` binary wraps this for CI with a seed and time budget.
+
+use specframe::machine::policy::XorShift64;
+use specframe::prelude::*;
+
+/// One program under test.
+#[derive(Debug, Clone)]
+pub struct Case {
+    /// Display name (`workload:gzip`, `random:17`).
+    pub name: String,
+    /// The prepared module (critical edges split).
+    pub module: Module,
+    /// Entry function.
+    pub entry: String,
+    /// Training-run arguments (profile collection).
+    pub train_args: Vec<Value>,
+    /// Reference-run argument vectors; every one must agree with the
+    /// unoptimized interpreter. By convention the last one is adversarial
+    /// (the profile lies) when the case has that notion.
+    pub run_args: Vec<Vec<Value>>,
+    /// Interpreter/simulator fuel budget.
+    pub fuel: u64,
+}
+
+/// The eight paper workload kernels (plus stressors) as oracle cases.
+pub fn workload_cases() -> Vec<Case> {
+    all_workloads(Scale::Test)
+        .into_iter()
+        .map(|w| {
+            let mut m = w.module;
+            prepare_module(&mut m);
+            let mut run_args = vec![w.ref_args.clone()];
+            if w.train_args != w.ref_args {
+                run_args.push(w.train_args.clone());
+            }
+            Case {
+                name: format!("workload:{}", w.name),
+                module: m,
+                entry: w.entry.to_string(),
+                train_args: w.train_args,
+                run_args,
+                fuel: w.fuel,
+            }
+        })
+        .collect()
+}
+
+/// Builds the seeded random case: a loop over statement templates chosen
+/// by an xorshift stream. The first argument selects the target of
+/// pointer `p` (`g0` — truly aliased, or `g1` — disjoint), so training on
+/// `sel=0` and running on `sel=1` makes every profiled no-alias
+/// assumption false at once.
+pub fn random_case(seed: u64) -> Case {
+    let mut rng = XorShift64::new(seed);
+    let nsteps = 1 + (rng.next_u64() % 9) as usize;
+    let mut decls = String::new();
+    let mut body = String::new();
+    for si in 0..nsteps {
+        let t = format!("t{si}");
+        let k = rng.next_u64() % 8;
+        match rng.next_u64() % 10 {
+            0 => {
+                decls += &format!("  var {t}: i64\n");
+                body += &format!("  {t} = load.i64 [@g0 + {k}]\n  acc = add acc, {t}\n");
+            }
+            1 => body += &format!("  store.i64 [@g0 + {k}], acc\n"),
+            2 => {
+                decls += &format!("  var {t}: i64\n");
+                body += &format!("  {t} = load.i64 [p + {k}]\n  acc = add acc, {t}\n");
+            }
+            3 => body += &format!("  store.i64 [p + {k}], acc\n"),
+            4 => {
+                decls += &format!("  var {t}: f64\n  var {t}i: i64\n");
+                body += &format!(
+                    "  {t} = load.f64 [@f0 + {k}]\n  {t}i = f2i {t}\n  acc = add acc, {t}i\n"
+                );
+            }
+            5 => {
+                decls += &format!("  var {t}: f64\n");
+                body += &format!("  {t} = i2f acc\n  store.f64 [@f0 + {k}], {t}\n");
+            }
+            6 => {
+                let c = (rng.next_u64() % 255) as i64 - 127;
+                body += &format!("  acc = add acc, {c}\n");
+            }
+            7 => {
+                let c = 1 + rng.next_u64() % 5;
+                decls += &format!("  var {t}: i64\n");
+                body += &format!("  {t} = mul i, {c}\n  acc = add acc, {t}\n");
+            }
+            8 => {
+                // diamond: Φ insertion, control speculation, φ lowering
+                decls += &format!("  var {t}c: i64\n  var {t}v: i64\n");
+                body += &format!(
+                    "  {t}c = mod i, 2\n  br {t}c, d{si}t, d{si}e\n\
+                     d{si}t:\n  {t}v = load.i64 [@g0 + {k}]\n  acc = add acc, {t}v\n  jmp d{si}j\n\
+                     d{si}e:\n  store.i64 [p + {k}], acc\n  jmp d{si}j\n\
+                     d{si}j:\n"
+                );
+            }
+            _ => {
+                decls += &format!("  var {t}: i64\n");
+                body += &format!("  {t} = call helper(acc)\n  acc = add acc, {t}\n");
+            }
+        }
+    }
+    let src = format!(
+        r#"
+global g0: i64[8] = [3, 1, 4, 1, 5, 9, 2, 6]
+global g1: i64[8]
+global f0: f64[8] = [1.5, 2.5, 0.5, 3.0, 1.0, 2.0, 4.5, 0.25]
+
+func helper(x: i64) -> i64 {{
+  var v: i64
+entry:
+  v = load.i64 [@g0 + 2]
+  v = add v, x
+  ret v
+}}
+
+func main(sel: i64, n: i64) -> i64 {{
+  var p: ptr
+  var i: i64
+  var c: i64
+  var acc: i64
+{decls}entry:
+  acc = 0
+  i = 0
+  br sel, ua, ub
+ua:
+  p = @g0
+  jmp head
+ub:
+  p = @g1
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+{body}  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}}
+"#
+    );
+    let mut m = parse_module(&src).unwrap_or_else(|e| panic!("generated program: {e}\n{src}"));
+    prepare_module(&mut m);
+    verify_module(&m).unwrap_or_else(|e| panic!("generated program: {e}\n{src}"));
+    Case {
+        name: format!("random:{seed}"),
+        module: m,
+        entry: "main".into(),
+        train_args: vec![Value::I(0), Value::I(6)],
+        run_args: vec![
+            vec![Value::I(0), Value::I(6)], // profile holds
+            vec![Value::I(1), Value::I(6)], // profile lies: checks must recover
+        ],
+        fuel: 1_000_000,
+    }
+}
+
+/// Aggregate statistics of one oracle sweep.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DiffStats {
+    /// Cases examined.
+    pub cases: u64,
+    /// (config, policy, args) machine simulations compared.
+    pub sim_runs: u64,
+    /// Total failed checks observed — nonzero proves the adversarial
+    /// policies actually exercised the recovery path.
+    pub failed_checks: u64,
+}
+
+/// Runs the full differential oracle on one case.
+///
+/// # Errors
+/// A human-readable report per divergence: result mismatch between the
+/// optimized machine run and the unoptimized interpreter, an interpreter
+/// divergence, a counter-sanity violation, or a compile failure.
+pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Result<(), String> {
+    stats.cases += 1;
+    let m = &case.module;
+
+    // ground truth: the unoptimized reference interpreter
+    let mut want = Vec::new();
+    for args in &case.run_args {
+        let (r, _) = run(m, &case.entry, args, case.fuel)
+            .map_err(|e| format!("{}: reference run failed: {e}", case.name))?;
+        want.push(r);
+    }
+
+    // training profile
+    let mut ap = AliasProfiler::new();
+    let mut ep = EdgeProfiler::new();
+    {
+        let mut obs = specframe::profile::observer::Compose(vec![&mut ap, &mut ep]);
+        run_with(m, &case.entry, &case.train_args, case.fuel, &mut obs)
+            .map_err(|e| format!("{}: training run failed: {e}", case.name))?;
+    }
+    let aprof = ap.finish();
+    let eprof = ep.finish();
+
+    let configs: Vec<(&str, OptOptions)> = vec![
+        ("none", OptOptions::default()),
+        (
+            "cspec",
+            OptOptions {
+                data: SpecSource::None,
+                control: ControlSpec::Profile(&eprof),
+                strength_reduction: true,
+                store_sinking: false,
+            },
+        ),
+        (
+            "profile",
+            OptOptions {
+                data: SpecSource::Profile(&aprof),
+                control: ControlSpec::Profile(&eprof),
+                strength_reduction: true,
+                store_sinking: false,
+            },
+        ),
+        (
+            "heuristic",
+            OptOptions {
+                data: SpecSource::Heuristic,
+                control: ControlSpec::Static,
+                strength_reduction: true,
+                store_sinking: true,
+            },
+        ),
+        (
+            "aggressive",
+            OptOptions {
+                data: SpecSource::Aggressive,
+                control: ControlSpec::Static,
+                strength_reduction: false,
+                store_sinking: false,
+            },
+        ),
+    ];
+
+    let mut failures = Vec::new();
+    for (cname, opts) in configs {
+        let mut om = m.clone();
+        optimize(&mut om, &opts);
+        if let Err(e) = verify_module(&om) {
+            failures.push(format!("{}/{cname}: verify failed: {e}", case.name));
+            continue;
+        }
+        // interpreter equivalence of the optimized module
+        for (args, want) in case.run_args.iter().zip(&want) {
+            match run(&om, &case.entry, args, case.fuel) {
+                Ok((r, _)) if r == *want => {}
+                Ok((r, _)) => failures.push(format!(
+                    "{}/{cname}: interp({args:?}) = {r:?}, reference {want:?}",
+                    case.name
+                )),
+                Err(e) => failures.push(format!(
+                    "{}/{cname}: interp({args:?}) failed: {e}",
+                    case.name
+                )),
+            }
+        }
+        // machine equivalence under every fault policy
+        let prog = lower_module(&om);
+        for policy in policies {
+            for (args, want) in case.run_args.iter().zip(&want) {
+                let p = match parse_fault_policy(policy) {
+                    Ok(p) => p,
+                    Err(e) => return Err(format!("bad policy `{policy}`: {e}")),
+                };
+                stats.sim_runs += 1;
+                match run_machine_with_policy(&prog, &case.entry, args, case.fuel, p) {
+                    Ok((r, c)) => {
+                        if r != *want {
+                            failures.push(format!(
+                                "{}/{cname}/{policy}: machine({args:?}) = {r:?}, \
+                                 reference {want:?}",
+                                case.name
+                            ));
+                        }
+                        if c.failed_checks > c.check_loads {
+                            failures.push(format!(
+                                "{}/{cname}/{policy}: counter sanity: \
+                                 failed_checks {} > check_loads {}",
+                                case.name, c.failed_checks, c.check_loads
+                            ));
+                        }
+                        stats.failed_checks += c.failed_checks;
+                    }
+                    Err(e) => failures.push(format!(
+                        "{}/{cname}/{policy}: machine({args:?}) failed: {e}",
+                        case.name
+                    )),
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_cases_are_deterministic_per_seed() {
+        let a = random_case(17);
+        let b = random_case(17);
+        assert_eq!(
+            specframe::ir::display::print_module(&a.module),
+            specframe::ir::display::print_module(&b.module)
+        );
+        // different seeds almost surely differ
+        let c = random_case(18);
+        assert_ne!(
+            specframe::ir::display::print_module(&a.module),
+            specframe::ir::display::print_module(&c.module)
+        );
+    }
+
+    #[test]
+    fn oracle_passes_on_random_cases_under_fault_matrix() {
+        let policies = fault_matrix();
+        let mut stats = DiffStats::default();
+        for seed in 1..=4 {
+            let case = random_case(seed);
+            diff_case(&case, &policies, &mut stats).unwrap();
+        }
+        assert_eq!(stats.cases, 4);
+        assert!(stats.sim_runs > 0);
+        // always-miss over speculative configs must have exercised recovery
+        assert!(stats.failed_checks > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn oracle_passes_on_one_workload() {
+        let policies = vec!["always-miss".to_string(), "random:3".to_string()];
+        let mut stats = DiffStats::default();
+        let case = workload_cases()
+            .into_iter()
+            .find(|c| c.name == "workload:gzip")
+            .expect("gzip workload");
+        diff_case(&case, &policies, &mut stats).unwrap();
+    }
+}

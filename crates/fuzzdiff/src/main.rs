@@ -1,0 +1,138 @@
+//! `fuzzdiff` — CI driver for the differential misspeculation oracle.
+//!
+//! ```text
+//! fuzzdiff [--seed N] [--random N] [--time-budget SECS] [--policy SPEC]..
+//!          [--skip-workloads]
+//! ```
+//!
+//! Runs the workload kernels and `N` seeded random programs through every
+//! optimizer configuration × ALAT fault policy and compares each machine
+//! run against the unoptimized reference interpreter. The seed makes a
+//! failing run reproducible (`fuzzdiff --seed S --random 1` replays one
+//! case); the time budget keeps CI bounded — cases are skipped once it is
+//! exhausted, and the skip count is reported so a silently-short run is
+//! visible.
+//!
+//! Exit code 0 when every comparison matched, 1 otherwise (2 for usage).
+
+use specframe::prelude::*;
+use specframe_fuzzdiff::{diff_case, random_case, workload_cases, DiffStats};
+use std::time::{Duration, Instant};
+
+struct Opts {
+    seed: u64,
+    random: u64,
+    budget: Duration,
+    policies: Vec<String>,
+    workloads: bool,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut o = Opts {
+        seed: 1,
+        random: 16,
+        budget: Duration::from_secs(300),
+        policies: Vec::new(),
+        workloads: true,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| args.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--seed" => {
+                o.seed = val("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--random" => {
+                o.random = val("--random")?
+                    .parse()
+                    .map_err(|e| format!("bad --random: {e}"))?
+            }
+            "--time-budget" => {
+                let secs: u64 = val("--time-budget")?
+                    .parse()
+                    .map_err(|e| format!("bad --time-budget: {e}"))?;
+                o.budget = Duration::from_secs(secs);
+            }
+            "--policy" => o.policies.push(val("--policy")?),
+            "--skip-workloads" => o.workloads = false,
+            "--help" | "-h" => {
+                return Err("usage: fuzzdiff [--seed N] [--random N] \
+                            [--time-budget SECS] [--policy SPEC].. \
+                            [--skip-workloads]\n\
+                            default policies: the full fault matrix \
+                            (default, always-miss, forced-miss, random:1/2/3, \
+                            flash-clear)"
+                    .into())
+            }
+            other => return Err(format!("unknown option `{other}` (try --help)")),
+        }
+    }
+    if o.policies.is_empty() {
+        o.policies = fault_matrix();
+    }
+    // reject bad policy specs before burning budget
+    for p in &o.policies {
+        parse_fault_policy(p)?;
+    }
+    Ok(o)
+}
+
+fn main() -> std::process::ExitCode {
+    let o = match parse_opts() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fuzzdiff: {e}");
+            return std::process::ExitCode::from(2);
+        }
+    };
+    let start = Instant::now();
+    let mut stats = DiffStats::default();
+    let mut failures = 0u64;
+    let mut skipped = 0u64;
+
+    let mut cases: Vec<Box<dyn FnOnce() -> specframe_fuzzdiff::Case>> = Vec::new();
+    if o.workloads {
+        for c in workload_cases() {
+            cases.push(Box::new(move || c));
+        }
+    }
+    for i in 0..o.random {
+        let seed = o.seed.wrapping_add(i);
+        cases.push(Box::new(move || random_case(seed)));
+    }
+
+    for make in cases {
+        if start.elapsed() > o.budget {
+            skipped += 1;
+            continue;
+        }
+        let case = make();
+        let name = case.name.clone();
+        match diff_case(&case, &o.policies, &mut stats) {
+            Ok(()) => println!("ok   {name}"),
+            Err(report) => {
+                failures += 1;
+                println!("FAIL {name}");
+                eprintln!("{report}");
+            }
+        }
+    }
+
+    println!(
+        "fuzzdiff: {} cases, {} sim runs, {} failed checks recovered, \
+         {} skipped (budget), {} failures in {:.1}s",
+        stats.cases,
+        stats.sim_runs,
+        stats.failed_checks,
+        skipped,
+        failures,
+        start.elapsed().as_secs_f64()
+    );
+    if failures == 0 {
+        std::process::ExitCode::SUCCESS
+    } else {
+        std::process::ExitCode::FAILURE
+    }
+}

@@ -1,14 +1,25 @@
 //! The Advanced Load Address Table.
 //!
 //! Itanium's ALAT tracks advanced loads so later check loads can tell
-//! whether an intervening store touched the loaded address. We model the
-//! documented structure: **32 entries, 2-way set-associative, indexed by
-//! the target register number**. Each entry records the register, the word
-//! address and the access width (one word here — the IR is word-oriented).
+//! whether an intervening store touched the loaded address. The default
+//! model is the documented structure: **32 entries, 2-way set-associative,
+//! indexed by the target register number**. Each entry records the
+//! register, the word address and the access width (one word here — the IR
+//! is word-oriented).
+//!
+//! The architecture, however, permits *any* implementation to drop entries
+//! at any time (smaller tables, context switches, capacity pressure), and
+//! generated code must stay correct under every such behavior. The table is
+//! therefore **parameterized by geometry** — any entry/way count down to a
+//! 0-entry always-miss table — and exposes the two fault-injection
+//! operations adversarial policies need: [`Alat::kill_one`] (drop one
+//! arbitrary live entry) and [`Alat::flash_clear`] (drop everything, the
+//! context-switch model). See [`crate::policy`] for the policies that
+//! drive them.
 //!
 //! Semantics:
 //! * `insert(reg, addr)` — executed by `ld.a`/`ld.sa`; evicts the other way
-//!   of the set if both are occupied (LRU within the 2-way set);
+//!   of the set if all are occupied (LRU within the set);
 //! * `invalidate(addr)` — executed by every store; removes all entries
 //!   whose address matches (any register);
 //! * `check(reg, addr)` — executed by `ld.c`: hit iff an entry for this
@@ -17,11 +28,11 @@
 
 use crate::isa::Reg;
 
-/// Number of entries.
+/// Number of entries of the default geometry.
 pub const ALAT_ENTRIES: usize = 32;
-/// Associativity.
+/// Associativity of the default geometry.
 pub const ALAT_WAYS: usize = 2;
-/// Number of sets.
+/// Number of sets of the default geometry.
 pub const ALAT_SETS: usize = ALAT_ENTRIES / ALAT_WAYS;
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -34,7 +45,9 @@ struct Entry {
 /// The ALAT model.
 #[derive(Debug, Clone)]
 pub struct Alat {
-    sets: Vec<[Option<Entry>; ALAT_WAYS]>,
+    /// `sets.len() × ways` slots; empty for a 0-entry table.
+    sets: Vec<Vec<Option<Entry>>>,
+    ways: usize,
     tick: u64,
     /// Entries inserted over the run.
     pub inserts: u64,
@@ -42,6 +55,11 @@ pub struct Alat {
     pub store_invalidations: u64,
     /// Entries lost to capacity/conflict eviction.
     pub evictions: u64,
+    /// Entries dropped by fault injection ([`Alat::kill_one`] and
+    /// [`Alat::flash_clear`]).
+    pub fault_kills: u64,
+    /// [`Alat::flash_clear`] invocations.
+    pub flash_clears: u64,
 }
 
 impl Default for Alat {
@@ -51,31 +69,60 @@ impl Default for Alat {
 }
 
 impl Alat {
-    /// An empty ALAT.
+    /// An empty ALAT with the default IA-64 geometry (32 entries, 2-way).
     pub fn new() -> Alat {
+        Alat::with_geometry(ALAT_ENTRIES, ALAT_WAYS)
+    }
+
+    /// An empty ALAT with `entries` total slots organised `ways`-way
+    /// set-associatively. `entries == 0` builds the always-miss table every
+    /// IA-64 implementation is allowed to be. When `entries < ways` the
+    /// table degrades to a single `entries`-way set.
+    pub fn with_geometry(entries: usize, ways: usize) -> Alat {
+        let (nsets, ways) = if entries == 0 || ways == 0 {
+            (0, ways.max(1))
+        } else if entries <= ways {
+            (1, entries)
+        } else {
+            (entries / ways, ways)
+        };
         Alat {
-            sets: vec![[None; ALAT_WAYS]; ALAT_SETS],
+            sets: vec![vec![None; ways]; nsets],
+            ways,
             tick: 0,
             inserts: 0,
             store_invalidations: 0,
             evictions: 0,
+            fault_kills: 0,
+            flash_clears: 0,
         }
     }
 
+    /// Total slot count of this geometry (0 for the always-miss table).
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
     #[inline]
-    fn set_of(reg: Reg) -> usize {
-        (reg.0 as usize) % ALAT_SETS
+    fn set_of(&self, reg: Reg) -> usize {
+        (reg.0 as usize) % self.sets.len()
     }
 
     /// Allocates (or refreshes) the entry for `reg` covering `addr`.
     pub fn insert(&mut self, reg: Reg, addr: i64) {
         self.tick += 1;
         self.inserts += 1;
-        let set = &mut self.sets[Self::set_of(reg)];
+        if self.sets.is_empty() {
+            // 0-entry table: the insert retires but nothing is tracked
+            return;
+        }
+        let set_idx = self.set_of(reg);
+        let tick = self.tick;
+        let set = &mut self.sets[set_idx];
         // same register: overwrite in place
         if let Some(e) = set.iter_mut().flatten().find(|e| e.reg == reg) {
             e.addr = addr;
-            e.lru = self.tick;
+            e.lru = tick;
             return;
         }
         // free way?
@@ -83,7 +130,7 @@ impl Alat {
             *slot = Some(Entry {
                 reg,
                 addr,
-                lru: self.tick,
+                lru: tick,
             });
             return;
         }
@@ -96,7 +143,7 @@ impl Alat {
         *victim = Some(Entry {
             reg,
             addr,
-            lru: self.tick,
+            lru: tick,
         });
     }
 
@@ -117,26 +164,65 @@ impl Alat {
     /// `ld.c` lookup: does `reg` still cover `addr`?
     pub fn check(&mut self, reg: Reg, addr: i64) -> bool {
         self.tick += 1;
-        let set = &mut self.sets[Self::set_of(reg)];
-        match set
+        if self.sets.is_empty() {
+            return false;
+        }
+        let set_idx = self.set_of(reg);
+        let tick = self.tick;
+        match self.sets[set_idx]
             .iter_mut()
             .flatten()
             .find(|e| e.reg == reg && e.addr == addr)
         {
             Some(e) => {
-                e.lru = self.tick;
+                e.lru = tick;
                 true
             }
             None => false,
         }
     }
 
-    /// Drops everything (context switch / call boundary is *not* modeled —
-    /// IA-64 preserves the ALAT across calls, and so do we; this is for
-    /// tests).
+    /// Fault injection: drops the `lottery % occupancy`-th live entry (in
+    /// set/way order). No-op on an empty table. The architecture permits
+    /// this at any time, so correct code may never rely on an entry
+    /// surviving.
+    pub fn kill_one(&mut self, lottery: u64) {
+        let live = self.occupancy();
+        if live == 0 {
+            return;
+        }
+        let target = (lottery % live as u64) as usize;
+        let slot = self
+            .sets
+            .iter_mut()
+            .flat_map(|s| s.iter_mut())
+            .filter(|s| s.is_some())
+            .nth(target)
+            .expect("occupancy counted live slots");
+        *slot = None;
+        self.fault_kills += 1;
+    }
+
+    /// Fault injection: drops every entry (the context-switch model —
+    /// a real OS invalidates the whole ALAT when it switches address
+    /// spaces).
+    pub fn flash_clear(&mut self) {
+        self.flash_clears += 1;
+        for set in &mut self.sets {
+            for slot in set.iter_mut() {
+                if slot.take().is_some() {
+                    self.fault_kills += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops everything without counting it as an injected fault (tests).
     pub fn clear(&mut self) {
         for set in &mut self.sets {
-            *set = [None; ALAT_WAYS];
+            for slot in set.iter_mut() {
+                *slot = None;
+            }
         }
     }
 
@@ -216,6 +302,66 @@ mod tests {
         a.insert(r3, 30);
         assert!(a.check(r1, 10), "r1 refreshed, must survive");
         assert!(!a.check(r2, 20), "r2 was LRU, evicted");
+    }
+
+    #[test]
+    fn zero_entry_table_always_misses() {
+        let mut a = Alat::with_geometry(0, 2);
+        assert_eq!(a.capacity(), 0);
+        a.insert(Reg(1), 10);
+        assert_eq!(a.inserts, 1);
+        assert_eq!(a.occupancy(), 0);
+        assert!(!a.check(Reg(1), 10));
+        a.invalidate(10); // no-op, no panic
+        a.kill_one(7);
+        a.flash_clear();
+        assert_eq!(a.fault_kills, 0);
+    }
+
+    #[test]
+    fn tiny_geometries_bound_occupancy() {
+        for (entries, ways) in [(1, 1), (2, 2), (4, 2), (3, 4), (8, 1)] {
+            let mut a = Alat::with_geometry(entries, ways);
+            for r in 0..64u32 {
+                a.insert(Reg(r), i64::from(r));
+                assert!(
+                    a.occupancy() <= a.capacity(),
+                    "({entries},{ways}): occupancy {} > capacity {}",
+                    a.occupancy(),
+                    a.capacity()
+                );
+            }
+            assert!(a.capacity() <= entries.max(1));
+        }
+    }
+
+    #[test]
+    fn kill_one_drops_exactly_one_live_entry() {
+        let mut a = Alat::new();
+        a.insert(Reg(1), 10);
+        a.insert(Reg(2), 20);
+        a.insert(Reg(3), 30);
+        a.kill_one(1);
+        assert_eq!(a.occupancy(), 2);
+        assert_eq!(a.fault_kills, 1);
+        // killed entries must miss; survivors must still hit
+        let hits = [(Reg(1), 10), (Reg(2), 20), (Reg(3), 30)]
+            .into_iter()
+            .filter(|&(r, ad)| a.check(r, ad))
+            .count();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn flash_clear_counts_kills() {
+        let mut a = Alat::new();
+        a.insert(Reg(1), 10);
+        a.insert(Reg(2), 20);
+        a.flash_clear();
+        assert_eq!(a.occupancy(), 0);
+        assert_eq!(a.fault_kills, 2);
+        assert_eq!(a.flash_clears, 1);
+        assert!(!a.check(Reg(1), 10));
     }
 
     #[cfg(test)]

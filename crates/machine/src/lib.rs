@@ -28,10 +28,12 @@
 pub mod alat;
 pub mod costs;
 pub mod isa;
+pub mod policy;
 pub mod sim;
 
 pub use alat::Alat;
 pub use costs::CostModel;
 pub use isa::{ChkKind, LdKind};
 pub use isa::{Label, MFunc, MInst, MOperand, MProgram, Reg};
-pub use sim::{run_machine, Counters, SimError, Simulator};
+pub use policy::{fault_matrix, parse_fault_policy, AlatGeometry, AlatPolicy, FaultAction};
+pub use sim::{run_machine, run_machine_with_policy, Counters, SimError, Simulator};

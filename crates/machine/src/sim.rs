@@ -3,6 +3,7 @@
 use crate::alat::Alat;
 use crate::costs::CostModel;
 use crate::isa::{ChkKind, LdKind, MFunc, MInst, MOperand, MProgram};
+use crate::policy::{AlatPolicy, Deterministic, FaultAction};
 use specframe_ir::{BinOp, Ty, UnOp, Value};
 
 /// Words reserved for the stack region (matches the interpreter layout).
@@ -52,6 +53,12 @@ pub struct Counters {
     pub alat_store_invalidations: u64,
     /// ALAT conflict evictions.
     pub alat_evictions: u64,
+    /// ALAT entries dropped by the fault policy (random kills plus entries
+    /// lost to flash clears).
+    pub alat_fault_kills: u64,
+    /// Whole-table invalidations injected by the fault policy (the
+    /// context-switch model).
+    pub alat_flash_clears: u64,
     /// Maximum number of promoted-temporary registers live in any single
     /// frame (register-pressure proxy for the paper's RSE discussion).
     pub promoted_regs: u64,
@@ -123,15 +130,29 @@ pub struct Simulator<'p> {
     heap_base: i64,
     heap_top: i64,
     alat: Alat,
+    policy: Box<dyn AlatPolicy>,
     counters: Counters,
     fuel: u64,
 }
 
 impl<'p> Simulator<'p> {
-    /// Creates a simulator with globals loaded.
+    /// Creates a simulator with globals loaded and the default (fault-free
+    /// 32-entry 2-way) ALAT policy.
     pub fn new(prog: &'p MProgram, costs: CostModel, fuel: u64) -> Simulator<'p> {
+        Simulator::with_policy(prog, costs, fuel, Box::new(Deterministic::new()))
+    }
+
+    /// Creates a simulator whose ALAT geometry and fault behavior are
+    /// supplied by `policy` (see [`crate::policy`]).
+    pub fn with_policy(
+        prog: &'p MProgram,
+        costs: CostModel,
+        fuel: u64,
+        policy: Box<dyn AlatPolicy>,
+    ) -> Simulator<'p> {
         let stack_base = prog.globals_end;
         let heap_base = stack_base + STACK_WORDS;
+        let g = policy.geometry();
         let mut s = Simulator {
             prog,
             costs,
@@ -140,7 +161,8 @@ impl<'p> Simulator<'p> {
             stack_top: stack_base,
             heap_base,
             heap_top: heap_base,
-            alat: Alat::new(),
+            alat: Alat::with_geometry(g.entries, g.ways),
+            policy,
             counters: Counters::default(),
             fuel,
         };
@@ -156,12 +178,19 @@ impl<'p> Simulator<'p> {
         c.alat_inserts = self.alat.inserts;
         c.alat_store_invalidations = self.alat.store_invalidations;
         c.alat_evictions = self.alat.evictions;
+        c.alat_fault_kills = self.alat.fault_kills;
+        c.alat_flash_clears = self.alat.flash_clears;
         c
     }
 
-    /// Reads a memory cell (tests).
-    pub fn peek(&self, addr: i64) -> Value {
-        self.mem.get(addr as usize).copied().unwrap_or(Value::I(0))
+    /// Reads a memory cell; `None` for addresses outside the mapped
+    /// globals/stack/heap range, so callers can't mistake out-of-range
+    /// reads for real zeros.
+    pub fn peek(&self, addr: i64) -> Option<Value> {
+        if !self.addr_ok(addr) {
+            return None;
+        }
+        Some(self.mem.get(addr as usize).copied().unwrap_or(Value::I(0)))
     }
 
     fn poke(&mut self, addr: i64, v: Value) {
@@ -177,7 +206,8 @@ impl<'p> Simulator<'p> {
     }
 
     fn load_cell(&self, addr: i64, ty: Ty) -> Value {
-        coerce(self.peek(addr), ty)
+        // callers verify addr_ok first; an unmapped-but-valid cell is 0
+        coerce(self.peek(addr).unwrap_or(Value::I(0)), ty)
     }
 
     /// Runs function `index` with `args`.
@@ -252,6 +282,13 @@ impl<'p> Simulator<'p> {
             }
             self.fuel -= 1;
             self.counters.insts += 1;
+            // the fault policy may drop ALAT entries at any instruction
+            // boundary — the architecture explicitly permits this
+            match self.policy.on_inst() {
+                FaultAction::None => {}
+                FaultAction::KillOne(lottery) => self.alat.kill_one(lottery),
+                FaultAction::FlashClear => self.alat.flash_clear(),
+            }
             let inst = &f.code[pc];
             pc += 1;
             match inst {
@@ -328,7 +365,11 @@ impl<'p> Simulator<'p> {
                     }
                     self.counters.check_loads += 1;
                     let ok = match kind {
-                        ChkKind::Alat => self.alat.check(*d, addr) && !regs[d.0 as usize].is_nat(),
+                        ChkKind::Alat => {
+                            !self.policy.force_miss()
+                                && self.alat.check(*d, addr)
+                                && !regs[d.0 as usize].is_nat()
+                        }
                         ChkKind::Nat => !regs[d.0 as usize].is_nat(),
                     };
                     // semantics: a passed check certifies the register
@@ -490,10 +531,25 @@ pub fn run_machine(
     args: &[Value],
     fuel: u64,
 ) -> Result<(Option<Value>, Counters), SimError> {
+    run_machine_with_policy(prog, entry, args, fuel, Box::new(Deterministic::new()))
+}
+
+/// Like [`run_machine`], but under an explicit ALAT fault policy (see
+/// [`crate::policy::parse_fault_policy`] for the string grammar).
+///
+/// # Errors
+/// See [`SimError`].
+pub fn run_machine_with_policy(
+    prog: &MProgram,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+    policy: Box<dyn AlatPolicy>,
+) -> Result<(Option<Value>, Counters), SimError> {
     let idx = prog
         .func_by_name(entry)
         .ok_or_else(|| SimError::NoSuchFunction(entry.to_string()))?;
-    let mut sim = Simulator::new(prog, CostModel::default(), fuel);
+    let mut sim = Simulator::with_policy(prog, CostModel::default(), fuel, policy);
     let r = sim.run(idx, args)?;
     Ok((r, sim.counters()))
 }
@@ -978,6 +1034,156 @@ mod tests {
             run_machine(&prog_one(f), "main", &[], 10).unwrap_err(),
             SimError::OutOfFuel
         );
+    }
+
+    #[test]
+    fn fault_policies_never_change_results() {
+        // ld.a; non-aliasing store; ld.c — under any fault policy the
+        // result must be the memory value, only the counters may differ
+        let f = MFunc {
+            name: "main".into(),
+            params: 0,
+            regs: 1,
+            slot_words: vec![],
+            code: vec![
+                MInst::Ld {
+                    d: Reg(0),
+                    base: MOperand::I(16),
+                    off: 0,
+                    ty: Ty::I64,
+                    kind: LdKind::Advanced,
+                },
+                MInst::St {
+                    base: MOperand::I(17),
+                    off: 0,
+                    val: MOperand::I(99),
+                    ty: Ty::F64,
+                },
+                MInst::Chk {
+                    d: Reg(0),
+                    base: MOperand::I(16),
+                    off: 0,
+                    ty: Ty::I64,
+                    kind: ChkKind::Alat,
+                },
+                MInst::Ret(Some(MOperand::R(Reg(0)))),
+            ],
+            promoted_regs: vec![Reg(0)],
+        };
+        let p = prog_one(f);
+        for name in crate::policy::fault_matrix() {
+            let pol = crate::policy::parse_fault_policy(&name).unwrap();
+            let (r, c) = run_machine_with_policy(&p, "main", &[], 1000, pol).unwrap();
+            assert_eq!(r, Some(Value::I(42)), "policy {name}");
+            assert!(c.failed_checks <= c.check_loads, "policy {name}");
+        }
+    }
+
+    #[test]
+    fn always_miss_policy_forces_recovery() {
+        let f = MFunc {
+            name: "main".into(),
+            params: 0,
+            regs: 1,
+            slot_words: vec![],
+            code: vec![
+                MInst::Ld {
+                    d: Reg(0),
+                    base: MOperand::I(16),
+                    off: 0,
+                    ty: Ty::I64,
+                    kind: LdKind::Advanced,
+                },
+                MInst::Chk {
+                    d: Reg(0),
+                    base: MOperand::I(16),
+                    off: 0,
+                    ty: Ty::I64,
+                    kind: ChkKind::Alat,
+                },
+                MInst::Ret(Some(MOperand::R(Reg(0)))),
+            ],
+            promoted_regs: vec![Reg(0)],
+        };
+        let p = prog_one(f);
+        let pol = crate::policy::parse_fault_policy("always-miss").unwrap();
+        let (r, c) = run_machine_with_policy(&p, "main", &[], 100, pol).unwrap();
+        assert_eq!(r, Some(Value::I(42)), "recovery reloads the right value");
+        assert_eq!(c.failed_checks, 1, "0-entry ALAT must miss");
+        let pol = crate::policy::parse_fault_policy("forced-miss").unwrap();
+        let (r, c) = run_machine_with_policy(&p, "main", &[], 100, pol).unwrap();
+        assert_eq!(r, Some(Value::I(42)));
+        assert_eq!(c.failed_checks, 1);
+    }
+
+    #[test]
+    fn flash_clear_policy_counts_clears() {
+        // a loop long enough to cross the clear period, with a live entry
+        let f = MFunc {
+            name: "main".into(),
+            params: 0,
+            regs: 2,
+            slot_words: vec![],
+            code: vec![
+                MInst::Ld {
+                    d: Reg(0),
+                    base: MOperand::I(16),
+                    off: 0,
+                    ty: Ty::I64,
+                    kind: LdKind::Advanced,
+                },
+                MInst::Mov {
+                    d: Reg(1),
+                    s: MOperand::I(40),
+                },
+                MInst::Alu {
+                    d: Reg(1),
+                    op: BinOp::Sub,
+                    a: MOperand::R(Reg(1)),
+                    b: MOperand::I(1),
+                },
+                MInst::Br {
+                    cond: MOperand::R(Reg(1)),
+                    then_: 2,
+                    else_: 4,
+                },
+                MInst::Chk {
+                    d: Reg(0),
+                    base: MOperand::I(16),
+                    off: 0,
+                    ty: Ty::I64,
+                    kind: ChkKind::Alat,
+                },
+                MInst::Ret(Some(MOperand::R(Reg(0)))),
+            ],
+            promoted_regs: vec![Reg(0)],
+        };
+        let p = prog_one(f);
+        let pol = crate::policy::parse_fault_policy("flash-clear:10").unwrap();
+        let (r, c) = run_machine_with_policy(&p, "main", &[], 10_000, pol).unwrap();
+        assert_eq!(r, Some(Value::I(42)));
+        assert!(c.alat_flash_clears >= 5, "clears: {}", c.alat_flash_clears);
+        assert_eq!(c.alat_fault_kills, 1, "one live entry lost to a clear");
+        assert_eq!(c.failed_checks, 1, "the cleared entry must miss");
+    }
+
+    #[test]
+    fn peek_returns_none_out_of_range() {
+        let f = MFunc {
+            name: "main".into(),
+            params: 0,
+            regs: 0,
+            slot_words: vec![],
+            code: vec![MInst::Ret(None)],
+            promoted_regs: vec![],
+        };
+        let p = prog_one(f);
+        let sim = Simulator::new(&p, CostModel::default(), 100);
+        assert_eq!(sim.peek(16), Some(Value::I(42)), "mapped global");
+        assert_eq!(sim.peek(0), None, "null page");
+        assert_eq!(sim.peek(15), None, "reserved low words");
+        assert_eq!(sim.peek(-4), None, "negative address");
+        assert_eq!(sim.peek(MEM_CAP + 1), None, "beyond the cap");
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Property tests for the ALAT invariants, across policy geometries.
+//!
+//! Each property runs the same random operation sequence against every
+//! geometry the fault policies can request (including the 0-entry
+//! always-miss table and a degenerate 1×1 table) and checks:
+//!
+//! * occupancy never exceeds the configured entry count;
+//! * a `check` hit is always *justified*: the same (register, address)
+//!   pair was inserted and no invalidation of that address (nor an
+//!   injected fault wiping the table) happened since — misses are always
+//!   allowed, hits never lie;
+//! * insertion is LRU-correct within a set: the table agrees exactly with
+//!   an independent recency-list model (a hit in the model but not the
+//!   table, or vice versa, fails).
+
+use proptest::prelude::*;
+use specframe_machine::alat::Alat;
+use specframe_machine::Reg;
+
+/// Geometries exercised by every property: the default, shrunken tables,
+/// a direct-mapped table, a fully-associative one, a degenerate 1×1, the
+/// always-miss 0-entry table, and an `entries < ways` corner.
+const GEOMETRIES: &[(usize, usize)] = &[
+    (32, 2),
+    (16, 2),
+    (8, 4),
+    (8, 1),
+    (4, 4),
+    (1, 1),
+    (0, 1),
+    (3, 4),
+];
+
+/// Independent reference model: per-set recency lists (most recent last).
+/// Insert appends (evicting the front when full), a check hit moves the
+/// entry to the back — LRU without modelling ways/slots explicitly.
+struct RecencyModel {
+    sets: Vec<Vec<(u32, i64)>>,
+    ways: usize,
+}
+
+impl RecencyModel {
+    fn new(entries: usize, ways: usize) -> RecencyModel {
+        let (nsets, ways) = if entries == 0 {
+            (0, 1)
+        } else if entries <= ways {
+            (1, entries)
+        } else {
+            (entries / ways, ways)
+        };
+        RecencyModel {
+            sets: vec![Vec::new(); nsets],
+            ways,
+        }
+    }
+
+    fn insert(&mut self, reg: u32, addr: i64) {
+        if self.sets.is_empty() {
+            return;
+        }
+        let n = self.sets.len();
+        let set = &mut self.sets[reg as usize % n];
+        set.retain(|&(r, _)| r != reg);
+        if set.len() == self.ways {
+            set.remove(0); // evict least recently used
+        }
+        set.push((reg, addr));
+    }
+
+    fn invalidate(&mut self, addr: i64) {
+        for set in &mut self.sets {
+            set.retain(|&(_, a)| a != addr);
+        }
+    }
+
+    fn check(&mut self, reg: u32, addr: i64) -> bool {
+        if self.sets.is_empty() {
+            return false;
+        }
+        let n = self.sets.len();
+        let set = &mut self.sets[reg as usize % n];
+        match set.iter().position(|&(r, a)| r == reg && a == addr) {
+            Some(i) => {
+                let e = set.remove(i);
+                set.push(e); // refresh recency
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+proptest! {
+    /// The table never holds more than `entries` live entries, for any
+    /// geometry and any operation mix including injected faults.
+    #[test]
+    fn occupancy_never_exceeds_entries(
+        ops in proptest::collection::vec((0u8..5, 0u32..12, 0i64..6), 0..300),
+    ) {
+        for &(entries, ways) in GEOMETRIES {
+            let mut a = Alat::with_geometry(entries, ways);
+            for &(kind, reg, addr) in &ops {
+                match kind {
+                    0 | 1 => a.insert(Reg(reg), addr),
+                    2 => a.invalidate(addr),
+                    3 => a.kill_one(u64::from(reg) * 7 + addr as u64),
+                    _ => {
+                        a.check(Reg(reg), addr);
+                    }
+                }
+                prop_assert!(
+                    a.occupancy() <= entries,
+                    "geometry ({entries},{ways}): occupancy {} > {entries}",
+                    a.occupancy()
+                );
+                prop_assert!(a.capacity() <= entries);
+            }
+        }
+    }
+
+    /// A check hit implies the pair was inserted with no intervening
+    /// invalidation of that address and no table-wiping fault since —
+    /// under faults the table may miss arbitrarily but may never lie.
+    #[test]
+    fn check_hit_implies_no_intervening_invalidate(
+        ops in proptest::collection::vec((0u8..6, 0u32..12, 0i64..6), 0..300),
+    ) {
+        for &(entries, ways) in GEOMETRIES {
+            let mut a = Alat::with_geometry(entries, ways);
+            // live (reg -> addr) pairs ignoring capacity: a superset of
+            // what the table may legitimately hold
+            let mut live: std::collections::HashMap<u32, i64> = Default::default();
+            for &(kind, reg, addr) in &ops {
+                match kind {
+                    0 | 1 => {
+                        a.insert(Reg(reg), addr);
+                        live.insert(reg, addr);
+                    }
+                    2 => {
+                        a.invalidate(addr);
+                        live.retain(|_, &mut v| v != addr);
+                    }
+                    3 => a.kill_one(u64::from(reg) * 31 + addr as u64),
+                    4 => {
+                        a.flash_clear();
+                        live.clear();
+                    }
+                    _ => {
+                        if a.check(Reg(reg), addr) {
+                            prop_assert_eq!(
+                                live.get(&reg),
+                                Some(&addr),
+                                "geometry ({},{}): unjustified hit for r{} @ {}",
+                                entries, ways, reg, addr
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Without injected faults, the table agrees *exactly* with an
+    /// independent per-set recency-list model — in particular the LRU
+    /// entry of a full set (and only it) is the one an insert evicts,
+    /// and a check hit refreshes recency.
+    #[test]
+    fn insert_is_lru_correct_within_a_set(
+        ops in proptest::collection::vec((0u8..5, 0u32..12, 0i64..6), 0..300),
+    ) {
+        for &(entries, ways) in GEOMETRIES {
+            let mut a = Alat::with_geometry(entries, ways);
+            let mut model = RecencyModel::new(entries, ways);
+            for &(kind, reg, addr) in &ops {
+                match kind {
+                    0 | 1 => {
+                        a.insert(Reg(reg), addr);
+                        model.insert(reg, addr);
+                    }
+                    2 => {
+                        a.invalidate(addr);
+                        model.invalidate(addr);
+                    }
+                    _ => {
+                        let got = a.check(Reg(reg), addr);
+                        let want = model.check(reg, addr);
+                        prop_assert_eq!(
+                            got, want,
+                            "geometry ({},{}): table {} but LRU model {} for r{} @ {}",
+                            entries, ways,
+                            if got { "hit" } else { "missed" },
+                            if want { "hits" } else { "misses" },
+                            reg, addr
+                        );
+                    }
+                }
+                prop_assert_eq!(a.occupancy(), model.occupancy());
+            }
+        }
+    }
+}

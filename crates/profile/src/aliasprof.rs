@@ -19,7 +19,7 @@ use specframe_ir::{CallSiteId, FuncId, MemSiteId};
 use std::collections::HashMap;
 
 /// The collected alias profile.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct AliasProfile {
     /// Per memory site: LOCs it touched.
     pub mem: HashMap<MemSiteId, LocSet>,

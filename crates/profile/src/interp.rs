@@ -119,7 +119,8 @@ impl<'m> Interpreter<'m> {
         let layout = m.global_layout();
         let global_end = layout
             .last()
-            .map(|&base| base + i64::from(m.globals.last().unwrap().words))
+            .zip(m.globals.last())
+            .map(|(&base, g)| base + i64::from(g.words))
             .unwrap_or(Module::GLOBAL_BASE);
         let stack_base = global_end;
         let heap_base = stack_base + STACK_WORDS;

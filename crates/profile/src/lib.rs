@@ -22,9 +22,11 @@ pub mod edgeprof;
 pub mod interp;
 pub mod observer;
 pub mod reuse;
+pub mod serialize;
 
 pub use aliasprof::{AliasProfile, AliasProfiler};
 pub use edgeprof::EdgeProfiler;
 pub use interp::{run, run_with, InterpError, Interpreter, RunStats};
 pub use observer::{MemAccess, NullObserver, Observer};
 pub use reuse::{ReuseReport, ReuseSimulator};
+pub use serialize::{parse_alias_profile, write_alias_profile, ProfileParseError, PROFILE_HEADER};

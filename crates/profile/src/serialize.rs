@@ -1,0 +1,470 @@
+//! On-disk alias-profile serialization — treated as *untrusted input*.
+//!
+//! Training runs are expensive, so `specc --save-alias-profile` persists
+//! an [`AliasProfile`] and `--alias-profile` reloads it in a later
+//! compile. A profile file crosses a trust boundary: it may be truncated
+//! by a crashed writer, hand-edited, or produced against a different
+//! module revision. Ingest therefore never panics — every malformation is
+//! a typed [`ProfileParseError`], and the pipeline's response to one is to
+//! fall back to the §3.2.2 heuristic rules with a diagnostic, not to
+//! abort.
+//!
+//! The format is line-oriented text (deterministic: sites sorted by id,
+//! LOC sets in `BTreeSet` order):
+//!
+//! ```text
+//! specframe-alias-profile v1
+//! site 3 count 17 locs G0 S1.2 H0
+//! call 5 mod G0 H1 ref G2
+//! end
+//! ```
+//!
+//! `site` lines carry a memory site's execution count and touched-LOC set
+//! (`locs` may be empty); `call` lines carry a call site's transitive
+//! mod/ref sets. LOC tokens reuse the [`Loc`] display syntax: `G<global>`,
+//! `S<func>.<slot>`, `H<alloc-site>`. The trailing `end` is mandatory —
+//! its absence is how truncation is detected.
+
+use crate::aliasprof::AliasProfile;
+use specframe_alias::Loc;
+use specframe_ir::{
+    AllocSiteId, CallSiteId, FuncId, FuncSlot, GlobalId, MemSiteId, Module, SlotId,
+};
+use std::fmt;
+
+/// The `v1` header line.
+pub const PROFILE_HEADER: &str = "specframe-alias-profile v1";
+
+/// Why an alias-profile file was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileParseError {
+    /// Missing or wrong first line.
+    BadHeader,
+    /// No terminating `end` line — the file was cut off mid-write.
+    Truncated,
+    /// A line that doesn't follow the grammar.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A well-formed id that doesn't exist in the module being compiled
+    /// (stale profile from another module revision).
+    UnknownId {
+        /// 1-based line number.
+        line: usize,
+        /// The id family: `mem site`, `call site`, `global`, `slot`,
+        /// `alloc site`.
+        what: &'static str,
+        /// The offending token.
+        token: String,
+    },
+    /// A negative execution count.
+    NegativeCount {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileParseError::BadHeader => {
+                write!(f, "not an alias profile (expected `{PROFILE_HEADER}`)")
+            }
+            ProfileParseError::Truncated => {
+                write!(f, "truncated profile (missing `end` line)")
+            }
+            ProfileParseError::Syntax { line, msg } => {
+                write!(f, "line {line}: {msg}")
+            }
+            ProfileParseError::UnknownId { line, what, token } => {
+                write!(f, "line {line}: unknown {what} `{token}`")
+            }
+            ProfileParseError::NegativeCount { line } => {
+                write!(f, "line {line}: negative count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProfileParseError {}
+
+/// Serializes a profile to the v1 text format. Deterministic: sites
+/// ordered by id, LOC sets in their `BTreeSet` order.
+pub fn write_alias_profile(p: &AliasProfile) -> String {
+    let mut out = String::new();
+    out.push_str(PROFILE_HEADER);
+    out.push('\n');
+    let mut sites: Vec<MemSiteId> = p.mem_count.keys().copied().collect();
+    for s in p.mem.keys() {
+        if !p.mem_count.contains_key(s) {
+            sites.push(*s);
+        }
+    }
+    sites.sort();
+    sites.dedup();
+    for s in sites {
+        let count = p.mem_count.get(&s).copied().unwrap_or(0);
+        out.push_str(&format!("site {} count {count} locs", s.0));
+        if let Some(locs) = p.mem.get(&s) {
+            for l in locs {
+                out.push_str(&format!(" {l}"));
+            }
+        }
+        out.push('\n');
+    }
+    let mut calls: Vec<CallSiteId> = p.call_mod.keys().copied().collect();
+    calls.extend(p.call_ref.keys().copied());
+    calls.sort();
+    calls.dedup();
+    for c in calls {
+        out.push_str(&format!("call {} mod", c.0));
+        if let Some(locs) = p.call_mod.get(&c) {
+            for l in locs {
+                out.push_str(&format!(" {l}"));
+            }
+        }
+        out.push_str(" ref");
+        if let Some(locs) = p.call_ref.get(&c) {
+            for l in locs {
+                out.push_str(&format!(" {l}"));
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses the v1 text format, validating every id against `m`.
+///
+/// # Errors
+/// See [`ProfileParseError`] — truncation, syntax, ids unknown to this
+/// module, negative counts.
+pub fn parse_alias_profile(text: &str, m: &Module) -> Result<AliasProfile, ProfileParseError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == PROFILE_HEADER => {}
+        _ => return Err(ProfileParseError::BadHeader),
+    }
+    let mut p = AliasProfile::default();
+    let mut terminated = false;
+    for (idx, raw) in lines {
+        let line = idx + 1; // 1-based
+        let l = raw.trim();
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        if terminated {
+            return Err(ProfileParseError::Syntax {
+                line,
+                msg: format!("content after `end`: `{l}`"),
+            });
+        }
+        if l == "end" {
+            terminated = true;
+            continue;
+        }
+        let toks: Vec<&str> = l.split_whitespace().collect();
+        match toks[0] {
+            "site" => parse_site_line(&toks, line, m, &mut p)?,
+            "call" => parse_call_line(&toks, line, m, &mut p)?,
+            other => {
+                return Err(ProfileParseError::Syntax {
+                    line,
+                    msg: format!("expected `site`, `call` or `end`, got `{other}`"),
+                })
+            }
+        }
+    }
+    if !terminated {
+        return Err(ProfileParseError::Truncated);
+    }
+    Ok(p)
+}
+
+fn parse_site_line(
+    toks: &[&str],
+    line: usize,
+    m: &Module,
+    p: &mut AliasProfile,
+) -> Result<(), ProfileParseError> {
+    // site <id> count <n> locs <tok>*
+    if toks.len() < 5 || toks[2] != "count" || toks[4] != "locs" {
+        return Err(ProfileParseError::Syntax {
+            line,
+            msg: "expected `site <id> count <n> locs ...`".into(),
+        });
+    }
+    let id: u32 = toks[1].parse().map_err(|_| ProfileParseError::Syntax {
+        line,
+        msg: format!("bad site id `{}`", toks[1]),
+    })?;
+    if id >= m.next_mem_site {
+        return Err(ProfileParseError::UnknownId {
+            line,
+            what: "mem site",
+            token: toks[1].to_string(),
+        });
+    }
+    let count: i64 = toks[3].parse().map_err(|_| ProfileParseError::Syntax {
+        line,
+        msg: format!("bad count `{}`", toks[3]),
+    })?;
+    if count < 0 {
+        return Err(ProfileParseError::NegativeCount { line });
+    }
+    let site = MemSiteId(id);
+    *p.mem_count.entry(site).or_insert(0) += count as u64;
+    let set = p.mem.entry(site).or_default();
+    for t in &toks[5..] {
+        set.insert(parse_loc(t, line, m)?);
+    }
+    Ok(())
+}
+
+fn parse_call_line(
+    toks: &[&str],
+    line: usize,
+    m: &Module,
+    p: &mut AliasProfile,
+) -> Result<(), ProfileParseError> {
+    // call <id> mod <tok>* ref <tok>*
+    if toks.len() < 3 || toks[2] != "mod" {
+        return Err(ProfileParseError::Syntax {
+            line,
+            msg: "expected `call <id> mod ... ref ...`".into(),
+        });
+    }
+    let id: u32 = toks[1].parse().map_err(|_| ProfileParseError::Syntax {
+        line,
+        msg: format!("bad call site id `{}`", toks[1]),
+    })?;
+    if id >= m.next_call_site {
+        return Err(ProfileParseError::UnknownId {
+            line,
+            what: "call site",
+            token: toks[1].to_string(),
+        });
+    }
+    let Some(ref_pos) = toks.iter().position(|&t| t == "ref") else {
+        return Err(ProfileParseError::Syntax {
+            line,
+            msg: "missing `ref` section".into(),
+        });
+    };
+    let site = CallSiteId(id);
+    let mods = p.call_mod.entry(site).or_default();
+    for t in &toks[3..ref_pos] {
+        mods.insert(parse_loc(t, line, m)?);
+    }
+    let refs = p.call_ref.entry(site).or_default();
+    for t in &toks[ref_pos + 1..] {
+        refs.insert(parse_loc(t, line, m)?);
+    }
+    Ok(())
+}
+
+/// Parses one LOC token (`G<n>`, `S<f>.<s>`, `H<n>`), validating indices
+/// against the module.
+fn parse_loc(t: &str, line: usize, m: &Module) -> Result<Loc, ProfileParseError> {
+    let syntax = || ProfileParseError::Syntax {
+        line,
+        msg: format!("bad LOC token `{t}`"),
+    };
+    let unknown = |what: &'static str| ProfileParseError::UnknownId {
+        line,
+        what,
+        token: t.to_string(),
+    };
+    match t.as_bytes().first() {
+        Some(b'G') => {
+            let i: usize = t[1..].parse().map_err(|_| syntax())?;
+            if i >= m.globals.len() {
+                return Err(unknown("global"));
+            }
+            Ok(Loc::Global(GlobalId::from_index(i)))
+        }
+        Some(b'S') => {
+            let (fs, ss) = t[1..].split_once('.').ok_or_else(syntax)?;
+            let fi: usize = fs.parse().map_err(|_| syntax())?;
+            let si: usize = ss.parse().map_err(|_| syntax())?;
+            if fi >= m.funcs.len() || si >= m.funcs[fi].slots.len() {
+                return Err(unknown("slot"));
+            }
+            Ok(Loc::Slot(FuncSlot {
+                func: FuncId::from_index(fi),
+                slot: SlotId(si as u32),
+            }))
+        }
+        Some(b'H') => {
+            let i: u32 = t[1..].parse().map_err(|_| syntax())?;
+            if i >= m.next_alloc_site {
+                return Err(unknown("alloc site"));
+            }
+            Ok(Loc::Heap(AllocSiteId(i)))
+        }
+        _ => Err(syntax()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aliasprof::AliasProfiler;
+    use crate::interp::run_with;
+    use specframe_ir::{parse_module, Value};
+
+    const SRC: &str = r#"
+global a: i64[1]
+global b: i64[1]
+
+func leaf(sel: i64) -> i64 {
+  var p: ptr
+  var v: i64
+entry:
+  br sel, yes, no
+yes:
+  p = @a
+  jmp go
+no:
+  p = @b
+  jmp go
+go:
+  v = load.i64 [p]
+  ret v
+}
+
+func main(sel: i64) -> i64 {
+  var r: i64
+entry:
+  r = call leaf(sel)
+  ret r
+}
+"#;
+
+    fn profile_and_module() -> (AliasProfile, Module) {
+        let m = parse_module(SRC).unwrap();
+        let mut prof = AliasProfiler::new();
+        run_with(&m, "main", &[Value::I(1)], 10_000, &mut prof).unwrap();
+        run_with(&m, "main", &[Value::I(0)], 10_000, &mut prof).unwrap();
+        (prof.finish(), m)
+    }
+
+    #[test]
+    fn roundtrip_preserves_profile() {
+        let (p, m) = profile_and_module();
+        let text = write_alias_profile(&p);
+        assert!(text.starts_with(PROFILE_HEADER));
+        assert!(text.ends_with("end\n"));
+        let q = parse_alias_profile(&text, &m).unwrap();
+        assert_eq!(p.mem, q.mem);
+        assert_eq!(p.mem_count, q.mem_count);
+        assert_eq!(p.call_mod, q.call_mod);
+        assert_eq!(p.call_ref, q.call_ref);
+        // serialization is deterministic
+        assert_eq!(text, write_alias_profile(&q));
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let (p, m) = profile_and_module();
+        let text = write_alias_profile(&p);
+        // cut off the terminator — like a writer killed mid-flush
+        let cut = text.strip_suffix("end\n").unwrap();
+        assert_eq!(
+            parse_alias_profile(cut, &m),
+            Err(ProfileParseError::Truncated)
+        );
+        // cutting mid-line is Truncated or Syntax, never a panic
+        for n in [10, cut.len() / 2, cut.len().saturating_sub(3)] {
+            let prefix = &cut[..n.min(cut.len())];
+            assert!(parse_alias_profile(prefix, &m).is_err(), "prefix {n}");
+        }
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let (_, m) = profile_and_module();
+        let bad_site = format!("{PROFILE_HEADER}\nsite 9999 count 1 locs G0\nend\n");
+        assert!(matches!(
+            parse_alias_profile(&bad_site, &m),
+            Err(ProfileParseError::UnknownId {
+                what: "mem site",
+                ..
+            })
+        ));
+        let bad_loc = format!("{PROFILE_HEADER}\nsite 0 count 1 locs G7\nend\n");
+        assert!(matches!(
+            parse_alias_profile(&bad_loc, &m),
+            Err(ProfileParseError::UnknownId { what: "global", .. })
+        ));
+        let bad_slot = format!("{PROFILE_HEADER}\nsite 0 count 1 locs S0.9\nend\n");
+        assert!(matches!(
+            parse_alias_profile(&bad_slot, &m),
+            Err(ProfileParseError::UnknownId { what: "slot", .. })
+        ));
+        let bad_call = format!("{PROFILE_HEADER}\ncall 50 mod ref\nend\n");
+        assert!(matches!(
+            parse_alias_profile(&bad_call, &m),
+            Err(ProfileParseError::UnknownId {
+                what: "call site",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn negative_count_rejected() {
+        let (_, m) = profile_and_module();
+        let text = format!("{PROFILE_HEADER}\nsite 0 count -3 locs\nend\n");
+        assert_eq!(
+            parse_alias_profile(&text, &m),
+            Err(ProfileParseError::NegativeCount { line: 2 })
+        );
+    }
+
+    #[test]
+    fn garbage_rejected_with_position() {
+        let (_, m) = profile_and_module();
+        assert_eq!(
+            parse_alias_profile("", &m),
+            Err(ProfileParseError::BadHeader)
+        );
+        assert_eq!(
+            parse_alias_profile("my profile\n", &m),
+            Err(ProfileParseError::BadHeader)
+        );
+        let text = format!("{PROFILE_HEADER}\nwibble 1 2 3\nend\n");
+        assert!(matches!(
+            parse_alias_profile(&text, &m),
+            Err(ProfileParseError::Syntax { line: 2, .. })
+        ));
+        let text = format!("{PROFILE_HEADER}\nend\nsite 0 count 1 locs\n");
+        assert!(matches!(
+            parse_alias_profile(&text, &m),
+            Err(ProfileParseError::Syntax { line: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let (_, m) = profile_and_module();
+        let text = format!("{PROFILE_HEADER}\n\n# a comment\nsite 0 count 2 locs G0\n\nend\n");
+        let p = parse_alias_profile(&text, &m).unwrap();
+        assert_eq!(p.mem_count[&MemSiteId(0)], 2);
+    }
+
+    #[test]
+    fn parsed_profile_drives_compilation() {
+        // the reloaded profile must be usable exactly like a fresh one
+        let (p, m) = profile_and_module();
+        let text = write_alias_profile(&p);
+        let q = parse_alias_profile(&text, &m).unwrap();
+        let site = *p.mem.keys().next().unwrap();
+        assert_eq!(p.locs(site), q.locs(site));
+        assert_eq!(p.site_executed(site), q.site_executed(site));
+    }
+}

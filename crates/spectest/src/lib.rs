@@ -48,4 +48,4 @@ pub mod matcher;
 pub mod runner;
 
 pub use matcher::{run_checks, CheckKind, Directive, MatchFailure};
-pub use runner::{discover, parse_spec, run_case, CaseOutcome, SpecCase};
+pub use runner::{discover, parse_spec, run_case, CaseOutcome, RunSpec, SpecCase};

@@ -4,11 +4,24 @@ use crate::matcher::{run_checks, CheckKind, Directive};
 use specframe::prelude::*;
 use std::path::{Path, PathBuf};
 
+/// One parsed RUN pipeline: a compile request plus the execution mode
+/// riding on it (`--sim` with its fault policies).
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// The compile half of the RUN line.
+    pub req: CompileRequest,
+    /// Simulate on the EPIC machine and check the counter block instead
+    /// of the optimized module text.
+    pub sim: bool,
+    /// ALAT fault policies for `--sim` (default: `default`).
+    pub fault_policies: Vec<String>,
+}
+
 /// One parsed golden test.
 #[derive(Debug)]
 pub struct SpecCase {
     /// The RUN pipelines, in file order (at least one).
-    pub runs: Vec<CompileRequest>,
+    pub runs: Vec<RunSpec>,
     /// The raw RUN command strings (for reporting).
     pub run_lines: Vec<String>,
     /// The check directives, in file order.
@@ -110,20 +123,26 @@ fn parse_values(s: &str) -> Result<Vec<Value>, String> {
         .collect()
 }
 
-/// Parses a `specc %s …` command into a [`CompileRequest`].
+/// Parses a `specc %s …` command into a [`RunSpec`].
 ///
 /// The vocabulary is the subset of the real `specc` CLI that makes sense
 /// in a hermetic run: `--entry`, `--args`, `--train-args`, `--spec`,
 /// `--control`, `--no-sr`, `--store-sinking`, `--jobs`, `--fuel`,
-/// `--dump-after`, `--stop-after`. Anything else (e.g. `--sim`, `-o`) is
-/// rejected so a `.spec` file cannot silently diverge from what the
-/// harness actually executes.
-pub fn parse_run_command(cmd: &str) -> Result<CompileRequest, String> {
+/// `--dump-after`, `--stop-after`, `--sim`, `--fault-policy`,
+/// `--inject-spec-fail`, `--inject-fallback-fail`. Anything else (e.g.
+/// `-o`) is rejected so a `.spec` file cannot silently diverge from what
+/// the harness actually executes.
+pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
     let mut toks = cmd.split_whitespace();
     if toks.next() != Some("specc") {
         return Err("RUN command must start with `specc`".into());
     }
-    let mut req = CompileRequest::default();
+    let mut rs = RunSpec {
+        req: CompileRequest::default(),
+        sim: false,
+        fault_policies: Vec::new(),
+    };
+    let req = &mut rs.req;
     let mut saw_input = false;
     let next_val = |toks: &mut std::str::SplitWhitespace<'_>, flag: &str| {
         toks.next()
@@ -152,31 +171,66 @@ pub fn parse_run_command(cmd: &str) -> Result<CompileRequest, String> {
             }
             "--dump-after" => req.hooks.dump_after = PassSet::parse_list(&next_val(&mut toks, t)?)?,
             "--stop-after" => req.hooks.stop_after = Some(next_val(&mut toks, t)?.parse()?),
+            "--sim" => rs.sim = true,
+            "--fault-policy" => rs.fault_policies.push(next_val(&mut toks, t)?),
+            "--inject-spec-fail" => req.hooks.inject_spec_fail = Some(next_val(&mut toks, t)?),
+            "--inject-fallback-fail" => {
+                req.hooks.inject_fallback_fail = Some(next_val(&mut toks, t)?)
+            }
             other if other.starts_with("--dump-after=") => {
                 req.hooks.dump_after = PassSet::parse_list(&other["--dump-after=".len()..])?
             }
             other if other.starts_with("--stop-after=") => {
                 req.hooks.stop_after = Some(other["--stop-after=".len()..].parse()?)
             }
+            other if other.starts_with("--fault-policy=") => rs
+                .fault_policies
+                .push(other["--fault-policy=".len()..].to_string()),
             other => return Err(format!("unsupported RUN token `{other}`")),
         }
     }
     if !saw_input {
         return Err("RUN command must reference the input as `%s`".into());
     }
-    Ok(req)
+    if !rs.fault_policies.is_empty() && !rs.sim {
+        return Err("--fault-policy requires --sim".into());
+    }
+    if rs.sim && rs.fault_policies.is_empty() {
+        rs.fault_policies.push("default".into());
+    }
+    Ok(rs)
 }
 
 /// Executes one RUN pipeline over the case's IR and returns the text the
-/// checks run against: the rendered pass dumps when `--dump-after` was
-/// given, the optimized module otherwise.
-pub fn execute_run(input: &str, req: &CompileRequest) -> Result<String, String> {
-    let out = compile(input, req)?;
-    if req.hooks.dump_after.is_empty() {
-        Ok(specframe::ir::display::print_module(&out.module))
-    } else {
-        Ok(render_dumps(&out.dumps))
+/// checks run against: degradation warnings first (as `; warning:` lines,
+/// so goldens can pin recovery diagnostics), then the rendered pass dumps
+/// when `--dump-after` was given, the `--sim` counter block per fault
+/// policy when simulating, and the optimized module otherwise.
+pub fn execute_run(input: &str, rs: &RunSpec) -> Result<String, String> {
+    let req = &rs.req;
+    let out = compile(input, req).map_err(|e| e.to_string())?;
+    let mut text = String::new();
+    for w in &out.report.warnings {
+        text.push_str(&format!("; warning: {w}\n"));
     }
+    if !req.hooks.dump_after.is_empty() {
+        text.push_str(&render_dumps(&out.dumps));
+    } else if rs.sim {
+        for policy in &rs.fault_policies {
+            let (_, sim) = specframe::pipeline::simulate_text(
+                &out.module,
+                &req.entry,
+                &req.args,
+                req.fuel,
+                policy,
+            )
+            .map_err(|e| e.to_string())?;
+            text.push_str(&sim);
+        }
+    } else {
+        text.push_str(&specframe::ir::display::print_module(&out.module));
+    }
+    Ok(text)
 }
 
 /// The verdict on one `.spec` file.
@@ -290,9 +344,26 @@ merge:
 
     #[test]
     fn run_line_rejects_unsupported_flags() {
-        assert!(parse_run_command("specc %s --sim").is_err());
+        assert!(parse_run_command("specc %s -o out.ir").is_err());
         assert!(parse_run_command("cc %s").is_err());
         assert!(parse_run_command("specc --spec none").is_err()); // no %s
+                                                                  // --fault-policy only makes sense under --sim
+        assert!(parse_run_command("specc %s --fault-policy always-miss").is_err());
+    }
+
+    #[test]
+    fn run_line_parses_sim_and_fault_policies() {
+        let rs =
+            parse_run_command("specc %s --sim --fault-policy always-miss --fault-policy random:3")
+                .unwrap();
+        assert!(rs.sim);
+        assert_eq!(rs.fault_policies, ["always-miss", "random:3"]);
+        // --sim alone defaults to the deterministic policy
+        let rs = parse_run_command("specc %s --sim").unwrap();
+        assert_eq!(rs.fault_policies, ["default"]);
+        // injection hooks ride on the request
+        let rs = parse_run_command("specc %s --inject-spec-fail f").unwrap();
+        assert_eq!(rs.req.hooks.inject_spec_fail.as_deref(), Some("f"));
     }
 
     #[test]
@@ -301,7 +372,8 @@ merge:
             "specc %s --entry f --args 1,2 --train-args 3 --spec profile --control profile \
              --no-sr --store-sinking --jobs 4 --dump-after=hssa,lower --stop-after ssapre",
         )
-        .unwrap();
+        .unwrap()
+        .req;
         assert_eq!(req.entry, "f");
         assert_eq!(req.args, vec![Value::I(1), Value::I(2)]);
         assert_eq!(req.train_args, Some(vec![Value::I(3)]));

@@ -12,11 +12,19 @@
 //!                         (default: profile)
 //!   --no-sr               disable strength reduction / LFTR
 //!   --store-sinking       enable store promotion
+//!   --alias-profile FILE  reuse a saved alias profile instead of a training
+//!                         run; an unusable profile degrades the compile to
+//!                         the heuristic rules with a warning
+//!   --save-alias-profile FILE
+//!                         serialize the alias profile this compile used
 //!   --emit WHAT           ir (optimized IR, default) | hssa (speculative
 //!                         SSA dump of every function before optimization)
 //!   -o FILE               write the optimized IR to FILE (default: stdout)
 //!   --run                 interpret the optimized program and print result
 //!   --sim                 run it on the EPIC simulator and print counters
+//!   --fault-policy SPEC   ALAT fault policy for --sim (repeatable):
+//!                         default | geom:E:W | always-miss | forced-miss |
+//!                         random:SEED[:DENOM] | flash-clear[:PERIOD]
 //!   --stats               print optimizer statistics
 //!   --jobs N              worker threads for the per-function pipeline
 //!                         (0 = auto: $SPECFRAME_JOBS, else all cores)
@@ -26,14 +34,23 @@
 //!                         refine, hssa, ssapre, strength, storeprom, lower);
 //!                         byte-deterministic at any --jobs level
 //!   --stop-after PASS     run the pipeline only through the named stage
+//!   --inject-spec-fail FUNC / --inject-fallback-fail FUNC
+//!                         fault-injection hooks for testing the recovery
+//!                         path: make FUNC's (fallback) compile panic
 //! ```
+//!
+//! Exit codes: 0 success, 1 usage/IO error, 2 input parse or verification
+//! error, 3 compile/run failure, 4 speculative-compilation recovery
+//! exhausted (even the non-speculative recompile failed).
 //!
 //! Example:
 //!
 //! ```text
-//! specc kernel.ir --args 0,100 --spec profile --control static --sim
+//! specc kernel.ir --args 0,100 --spec profile --control static --sim \
+//!       --fault-policy always-miss --fault-policy random:7
 //! ```
 
+use specframe::pipeline::CompileFailure;
 use specframe::prelude::*;
 use std::process::ExitCode;
 
@@ -46,15 +63,20 @@ struct Cli {
     control: String,
     sr: bool,
     store_sinking: bool,
+    alias_profile: Option<String>,
+    save_alias_profile: Option<String>,
     emit: String,
     out: Option<String>,
     run: bool,
     sim: bool,
+    fault_policies: Vec<String>,
     stats: bool,
     jobs: usize,
     time_passes: bool,
     dump_after: PassSet,
     stop_after: Option<Pass>,
+    inject_spec_fail: Option<String>,
+    inject_fallback_fail: Option<String>,
     fuel: u64,
 }
 
@@ -89,15 +111,20 @@ fn parse_cli() -> Result<Cli, String> {
         control: "profile".into(),
         sr: true,
         store_sinking: false,
+        alias_profile: None,
+        save_alias_profile: None,
         emit: "ir".into(),
         out: None,
         run: false,
         sim: false,
+        fault_policies: Vec::new(),
         stats: false,
         jobs: 0,
         time_passes: false,
         dump_after: PassSet::EMPTY,
         stop_after: None,
+        inject_spec_fail: None,
+        inject_fallback_fail: None,
         fuel: 100_000_000,
     };
     let mut train_set = false;
@@ -113,10 +140,23 @@ fn parse_cli() -> Result<Cli, String> {
             "--control" => cli.control = args.next().ok_or("--control needs a value")?,
             "--no-sr" => cli.sr = false,
             "--store-sinking" => cli.store_sinking = true,
+            "--alias-profile" => {
+                cli.alias_profile = Some(args.next().ok_or("--alias-profile needs a value")?)
+            }
+            "--save-alias-profile" => {
+                cli.save_alias_profile =
+                    Some(args.next().ok_or("--save-alias-profile needs a value")?)
+            }
             "--emit" => cli.emit = args.next().ok_or("--emit needs a value")?,
             "-o" => cli.out = Some(args.next().ok_or("-o needs a value")?),
             "--run" => cli.run = true,
             "--sim" => cli.sim = true,
+            "--fault-policy" => cli
+                .fault_policies
+                .push(args.next().ok_or("--fault-policy needs a value")?),
+            other if other.starts_with("--fault-policy=") => cli
+                .fault_policies
+                .push(other["--fault-policy=".len()..].to_string()),
             "--stats" => cli.stats = true,
             "--jobs" => {
                 cli.jobs = args
@@ -139,6 +179,13 @@ fn parse_cli() -> Result<Cli, String> {
             other if other.starts_with("--stop-after=") => {
                 cli.stop_after = Some(other["--stop-after=".len()..].parse()?)
             }
+            "--inject-spec-fail" => {
+                cli.inject_spec_fail = Some(args.next().ok_or("--inject-spec-fail needs a value")?)
+            }
+            "--inject-fallback-fail" => {
+                cli.inject_fallback_fail =
+                    Some(args.next().ok_or("--inject-fallback-fail needs a value")?)
+            }
             "--fuel" => {
                 cli.fuel = args
                     .next()
@@ -150,10 +197,15 @@ fn parse_cli() -> Result<Cli, String> {
                 return Err("usage: specc INPUT.ir [--entry NAME] [--args N,..] \
                             [--spec none|profile|heuristic|aggressive] \
                             [--control off|profile|static] [--no-sr] \
-                            [--store-sinking] [--emit ir|hssa] [-o FILE] \
-                            [--run] [--sim] [--stats] [--jobs N] [--time-passes]\n\
+                            [--store-sinking] [--alias-profile FILE] \
+                            [--save-alias-profile FILE] [--emit ir|hssa] [-o FILE] \
+                            [--run] [--sim] [--fault-policy SPEC].. [--stats] \
+                            [--jobs N] [--time-passes]\n\
                             [--dump-after refine|hssa|ssapre|strength|storeprom|lower[,..]]\n\
-                            [--stop-after PASS]\n\
+                            [--stop-after PASS] [--inject-spec-fail FUNC] \
+                            [--inject-fallback-fail FUNC]\n\
+                            --fault-policy: default | geom:E:W | always-miss | \
+                            forced-miss | random:SEED[:DENOM] | flash-clear[:PERIOD]\n\
                             --jobs 0 (the default) auto-detects: the \
                             SPECFRAME_JOBS environment variable if set to a \
                             positive integer, otherwise all available cores"
@@ -171,29 +223,58 @@ fn parse_cli() -> Result<Cli, String> {
     if !train_set {
         cli.train_args = cli.args.clone();
     }
+    if cli.fault_policies.is_empty() {
+        cli.fault_policies.push("default".into());
+    } else if !cli.sim {
+        return Err("--fault-policy requires --sim".into());
+    }
     Ok(cli)
 }
 
-fn real_main() -> Result<(), String> {
-    let cli = parse_cli()?;
+fn usage(msg: String) -> CompileFailure {
+    CompileFailure::Usage(msg)
+}
+
+fn real_main() -> Result<(), CompileFailure> {
+    let cli = parse_cli().map_err(usage)?;
+    // validate policy specs before doing any work
+    for p in &cli.fault_policies {
+        specframe::machine::parse_fault_policy(p).map_err(usage)?;
+    }
     let src = std::fs::read_to_string(&cli.input)
-        .map_err(|e| format!("cannot read {}: {e}", cli.input))?;
-    let mut m = parse_module(&src).map_err(|e| format!("{}: {e}", cli.input))?;
-    verify_module(&m).map_err(|e| format!("{}: {e}", cli.input))?;
+        .map_err(|e| usage(format!("cannot read {}: {e}", cli.input)))?;
+    let mut m =
+        parse_module(&src).map_err(|e| CompileFailure::Parse(format!("{}: {e}", cli.input)))?;
+    verify_module(&m).map_err(|e| CompileFailure::Parse(format!("{}: {e}", cli.input)))?;
     prepare_module(&mut m);
 
     if m.func_by_name(&cli.entry).is_none() {
-        return Err(format!("no function `{}` in {}", cli.entry, cli.input));
+        return Err(usage(format!(
+            "no function `{}` in {}",
+            cli.entry, cli.input
+        )));
     }
-    let (expect, _) = run(&m, &cli.entry, &cli.args, cli.fuel)
-        .map_err(|e| format!("reference run failed: {e}"))?;
+    let (expect, _) = run(&m, &cli.entry, &cli.args, cli.fuel).map_err(|e| {
+        CompileFailure::Compile(specframe::core::CompileError {
+            function: String::new(),
+            pass: "reference-run".into(),
+            message: format!("reference run failed: {e}"),
+            fallback_exhausted: false,
+        })
+    })?;
 
     if cli.emit == "hssa" {
         let mut aprof = None;
         if cli.spec == "profile" {
             let mut ap = AliasProfiler::new();
-            run_with(&m, &cli.entry, &cli.train_args, cli.fuel, &mut ap)
-                .map_err(|e| format!("profiling run failed: {e}"))?;
+            run_with(&m, &cli.entry, &cli.train_args, cli.fuel, &mut ap).map_err(|e| {
+                CompileFailure::Compile(specframe::core::CompileError {
+                    function: String::new(),
+                    pass: "profile".into(),
+                    message: format!("profiling run failed: {e}"),
+                    fallback_exhausted: false,
+                })
+            })?;
             aprof = Some(ap.finish());
         }
         let aa = AliasAnalysis::analyze(&m);
@@ -210,10 +291,16 @@ fn real_main() -> Result<(), String> {
             out.push_str(&print_hssa(&m, &hf));
             out.push('\n');
         }
-        emit(&cli, &out)?;
+        emit(&cli, &out).map_err(usage)?;
         return Ok(());
     }
 
+    let alias_profile = match &cli.alias_profile {
+        Some(path) => Some(
+            std::fs::read_to_string(path).map_err(|e| usage(format!("cannot read {path}: {e}")))?,
+        ),
+        None => None,
+    };
     let req = CompileRequest {
         entry: cli.entry.clone(),
         args: cli.args.clone(),
@@ -226,31 +313,56 @@ fn real_main() -> Result<(), String> {
         hooks: PipelineHooks {
             dump_after: cli.dump_after,
             stop_after: cli.stop_after,
+            inject_spec_fail: cli.inject_spec_fail.clone(),
+            inject_fallback_fail: cli.inject_fallback_fail.clone(),
         },
         fuel: cli.fuel,
+        alias_profile,
     };
     let out = compile_module(m, &req)?;
+    for w in &out.report.warnings {
+        eprintln!("specc: warning: {w}");
+    }
     let m = out.module;
-    let report = out.report;
+    let report = &out.report;
     if cli.stats {
         eprintln!("optimizer: {:?}", report.stats);
     }
     if cli.time_passes {
         eprint!("{}", report.timings.report());
     }
+    if let Some(path) = &cli.save_alias_profile {
+        let prof = out.alias_profile.as_ref().ok_or_else(|| {
+            usage("--save-alias-profile needs --spec profile (no profile was collected)".into())
+        })?;
+        let text = specframe::profile::write_alias_profile(prof);
+        std::fs::write(path, text).map_err(|e| usage(format!("cannot write {path}: {e}")))?;
+    }
     if !cli.dump_after.is_empty() {
         // dump mode: the per-pass snapshots are the product
-        emit(&cli, &specframe::core::render_dumps(&out.dumps))?;
+        emit(&cli, &specframe::core::render_dumps(&out.dumps)).map_err(usage)?;
         return Ok(());
     }
 
+    let miscompile = |what: &str, got: Option<Value>| {
+        CompileFailure::Compile(specframe::core::CompileError {
+            function: String::new(),
+            pass: what.to_string(),
+            message: format!("MISCOMPILE: {what} result {got:?} != reference {expect:?}"),
+            fallback_exhausted: false,
+        })
+    };
     if cli.run {
-        let (got, rs) = run(&m, &cli.entry, &cli.args, cli.fuel)
-            .map_err(|e| format!("optimized run failed: {e}"))?;
+        let (got, rs) = run(&m, &cli.entry, &cli.args, cli.fuel).map_err(|e| {
+            CompileFailure::Compile(specframe::core::CompileError {
+                function: String::new(),
+                pass: "run".into(),
+                message: format!("optimized run failed: {e}"),
+                fallback_exhausted: false,
+            })
+        })?;
         if got != expect {
-            return Err(format!(
-                "MISCOMPILE: optimized result {got:?} != reference {expect:?}"
-            ));
+            return Err(miscompile("run", got));
         }
         eprintln!(
             "result = {:?}  (loads {} checks {} stores {})",
@@ -258,28 +370,18 @@ fn real_main() -> Result<(), String> {
         );
     }
     if cli.sim {
-        let prog = lower_module(&m);
-        let (got, c) = run_machine(&prog, &cli.entry, &cli.args, cli.fuel)
-            .map_err(|e| format!("simulation failed: {e}"))?;
-        if got != expect {
-            return Err(format!(
-                "MISCOMPILE (machine): {got:?} != reference {expect:?}"
-            ));
+        for policy in &cli.fault_policies {
+            let (got, text) =
+                specframe::pipeline::simulate_text(&m, &cli.entry, &cli.args, cli.fuel, policy)?;
+            if got != expect {
+                return Err(miscompile("sim", got));
+            }
+            eprint!("{text}");
         }
-        eprintln!("result               = {got:?}");
-        eprintln!("cycles               = {}", c.cycles);
-        eprintln!("loads retired        = {}", c.loads_retired);
-        eprintln!("check loads          = {}", c.check_loads);
-        eprintln!("failed checks        = {}", c.failed_checks);
-        eprintln!("check ratio          = {:.2}%", c.check_ratio() * 100.0);
-        eprintln!(
-            "mis-speculation      = {:.2}%",
-            c.mis_speculation_ratio() * 100.0
-        );
     }
 
     if !cli.run && !cli.sim || cli.out.is_some() {
-        emit(&cli, &specframe::ir::display::print_module(&m))?;
+        emit(&cli, &specframe::ir::display::print_module(&m)).map_err(usage)?;
     }
     Ok(())
 }
@@ -299,7 +401,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("specc: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -107,7 +107,9 @@ pub mod pipeline;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use crate::pipeline::{compile, compile_module, CompileOutput, CompileRequest};
+    pub use crate::pipeline::{
+        compile, compile_module, simulate_text, CompileFailure, CompileOutput, CompileRequest,
+    };
     pub use specframe_alias::{AliasAnalysis, Loc};
     pub use specframe_codegen::lower_module;
     pub use specframe_core::{
@@ -117,7 +119,9 @@ pub mod prelude {
     };
     pub use specframe_hssa::{build_hssa, print_hssa, SpecMode};
     pub use specframe_ir::{parse_module, verify_module, Module, ModuleBuilder, Ty, Value};
-    pub use specframe_machine::{run_machine, Counters};
+    pub use specframe_machine::{
+        fault_matrix, parse_fault_policy, run_machine, run_machine_with_policy, Counters,
+    };
     pub use specframe_profile::{run, run_with, AliasProfiler, EdgeProfiler, ReuseSimulator};
     pub use specframe_workloads::{all_workloads, workload_by_name, Scale, Workload};
 }

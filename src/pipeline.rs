@@ -2,17 +2,24 @@
 //!
 //! `specc` and the `spectest` golden-test runner both need the same
 //! sequence — parse, verify, prepare, (optionally) profile on a training
-//! input, then run [`specframe_core::optimize_with_hooks`] — with the same
-//! flag vocabulary. This module is that shared seam, so a `; RUN: specc …`
-//! line in a golden test exercises exactly the code path the CLI does,
-//! without spawning a subprocess.
+//! input, then run [`specframe_core::try_optimize_with_hooks`] — with the
+//! same flag vocabulary. This module is that shared seam, so a
+//! `; RUN: specc …` line in a golden test exercises exactly the code path
+//! the CLI does, without spawning a subprocess.
+//!
+//! Failures are classified by [`CompileFailure`] so the CLI can exit with
+//! a distinct code per family (usage 1, parse 2, compile 3, exhausted
+//! speculation recovery 4), and the simulator rendering shared by
+//! `specc --sim` and golden tests lives in [`simulate_text`].
 
+use specframe_codegen::lower_module;
 use specframe_core::{
-    optimize_with_hooks, prepare_module, ControlSpec, OptOptions, OptReport, PassDump,
-    PipelineConfig, PipelineHooks, SpecSource,
+    prepare_module, try_optimize_with_hooks, CompileDiag, CompileError, ControlSpec, OptOptions,
+    OptReport, PassDump, PipelineConfig, PipelineHooks, SpecSource,
 };
 use specframe_ir::{parse_module, verify_module, Module, Value};
-use specframe_profile::{run_with, AliasProfiler, EdgeProfiler};
+use specframe_machine::{parse_fault_policy, run_machine_with_policy, Counters};
+use specframe_profile::{parse_alias_profile, run_with, AliasProfile, AliasProfiler, EdgeProfiler};
 
 /// Everything a compile session needs besides the program text. The
 /// string-typed fields (`spec`, `control`) use the `specc` CLI vocabulary
@@ -36,10 +43,17 @@ pub struct CompileRequest {
     pub store_sinking: bool,
     /// Worker threads (`--jobs`, 0 = auto).
     pub jobs: usize,
-    /// Snapshot/stop requests (`--dump-after` / `--stop-after`).
+    /// Snapshot/stop requests (`--dump-after` / `--stop-after`) and fault
+    /// injection (`--inject-spec-fail` / `--inject-fallback-fail`).
     pub hooks: PipelineHooks,
     /// Interpreter fuel for profiling runs.
     pub fuel: u64,
+    /// Serialized alias profile (`--alias-profile` file contents). Used
+    /// instead of a training run when `spec` is `profile`; if it does not
+    /// parse against the module, the compile *degrades* to the `heuristic`
+    /// rules with a [`CompileDiag`] warning rather than failing — a stale
+    /// or corrupted profile must never block compilation.
+    pub alias_profile: Option<String>,
 }
 
 impl Default for CompileRequest {
@@ -55,7 +69,66 @@ impl Default for CompileRequest {
             jobs: 1,
             hooks: PipelineHooks::default(),
             fuel: 100_000_000,
+            alias_profile: None,
         }
+    }
+}
+
+/// A failed compile session, classified for exit-code purposes.
+#[derive(Debug, Clone)]
+pub enum CompileFailure {
+    /// Bad invocation: unknown flag value, missing entry function,
+    /// unreadable input file. Exit code 1.
+    Usage(String),
+    /// The input program did not parse or verify. Exit code 2.
+    Parse(String),
+    /// The pipeline itself failed — profiling run error, internal pass
+    /// failure, or a result mismatch against the reference interpreter.
+    /// Exit code 3, or 4 when even the non-speculative recompile of some
+    /// function failed ([`CompileError::fallback_exhausted`]).
+    Compile(CompileError),
+}
+
+impl CompileFailure {
+    /// The process exit code for this failure family.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CompileFailure::Usage(_) => 1,
+            CompileFailure::Parse(_) => 2,
+            CompileFailure::Compile(e) if e.fallback_exhausted => 4,
+            CompileFailure::Compile(_) => 3,
+        }
+    }
+
+    /// Wraps a pipeline-level error that is not tied to one function.
+    fn internal(pass: &str, message: String) -> Self {
+        CompileFailure::Compile(CompileError {
+            function: String::new(),
+            pass: pass.to_string(),
+            message,
+            fallback_exhausted: false,
+        })
+    }
+}
+
+impl std::fmt::Display for CompileFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileFailure::Usage(m) | CompileFailure::Parse(m) => f.write_str(m),
+            CompileFailure::Compile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<CompileError> for CompileFailure {
+    fn from(e: CompileError) -> Self {
+        CompileFailure::Compile(e)
+    }
+}
+
+impl From<CompileFailure> for String {
+    fn from(e: CompileFailure) -> Self {
+        e.to_string()
     }
 }
 
@@ -64,65 +137,105 @@ impl Default for CompileRequest {
 pub struct CompileOutput {
     /// The optimized module.
     pub module: Module,
-    /// Optimizer statistics and per-pass timings.
+    /// Optimizer statistics, per-pass timings and degradation warnings.
     pub report: OptReport,
     /// Snapshots requested via [`PipelineHooks::dump_after`], in function
     /// then pipeline order (render with [`specframe_core::render_dumps`]).
     pub dumps: Vec<PassDump>,
+    /// The alias profile the compile used, when one was collected by a
+    /// training run or supplied via [`CompileRequest::alias_profile`] —
+    /// what `specc --save-alias-profile` serializes.
+    pub alias_profile: Option<AliasProfile>,
 }
 
 /// Parses, verifies and [`compile_module`]s `src`.
-pub fn compile(src: &str, req: &CompileRequest) -> Result<CompileOutput, String> {
-    let m = parse_module(src).map_err(|e| e.to_string())?;
-    verify_module(&m).map_err(|e| e.to_string())?;
+pub fn compile(src: &str, req: &CompileRequest) -> Result<CompileOutput, CompileFailure> {
+    let m = parse_module(src).map_err(|e| CompileFailure::Parse(e.to_string()))?;
+    verify_module(&m).map_err(|e| CompileFailure::Parse(e.to_string()))?;
     compile_module(m, req)
 }
 
 /// Runs the speculative pipeline over an already-verified module:
-/// critical-edge preparation, a profiling interpreter run when either
-/// speculation source is `profile`, then the optimizer with the
-/// requested hooks.
-pub fn compile_module(mut m: Module, req: &CompileRequest) -> Result<CompileOutput, String> {
+/// critical-edge preparation, alias-profile ingestion or a profiling
+/// interpreter run when a profile-guided mode is requested, then the
+/// optimizer with the requested hooks.
+pub fn compile_module(
+    mut m: Module,
+    req: &CompileRequest,
+) -> Result<CompileOutput, CompileFailure> {
     prepare_module(&mut m);
 
-    // profiling run, when any profile-guided mode is requested
-    let needs_profile = req.spec == "profile" || req.control == "profile";
-    let mut aprof = None;
+    // Degradation diagnostics raised before the optimizer runs; prepended
+    // to the report's warning list afterwards.
+    let mut pre_warnings: Vec<CompileDiag> = Vec::new();
+
+    let mut spec = req.spec.as_str();
+    let mut aprof: Option<AliasProfile> = None;
+    if spec == "profile" {
+        if let Some(text) = &req.alias_profile {
+            match parse_alias_profile(text, &m) {
+                Ok(p) => aprof = Some(p),
+                Err(e) => {
+                    // §3.2: without a usable profile the framework falls
+                    // back to the speculative alias heuristics.
+                    pre_warnings.push(CompileDiag {
+                        function: String::new(),
+                        pass: "alias-profile".into(),
+                        message: format!(
+                            "alias profile unusable ({e}); \
+                             falling back to heuristic speculation rules"
+                        ),
+                    });
+                    spec = "heuristic";
+                }
+            }
+        }
+    }
+
+    // profiling run, when a profile-guided mode still needs one
+    let needs_profile = (spec == "profile" && aprof.is_none()) || req.control == "profile";
     let mut eprof = None;
     if needs_profile {
         if m.func_by_name(&req.entry).is_none() {
-            return Err(format!(
+            return Err(CompileFailure::Usage(format!(
                 "profile-guided compile needs entry function `{}`",
                 req.entry
-            ));
+            )));
         }
         let train = req.train_args.as_ref().unwrap_or(&req.args);
         let mut ap = AliasProfiler::new();
         let mut ep = EdgeProfiler::new();
         {
             let mut obs = specframe_profile::observer::Compose(vec![&mut ap, &mut ep]);
-            run_with(&m, &req.entry, train, req.fuel, &mut obs)
-                .map_err(|e| format!("profiling run failed: {e}"))?;
+            run_with(&m, &req.entry, train, req.fuel, &mut obs).map_err(|e| {
+                CompileFailure::internal("profile", format!("profiling run failed: {e}"))
+            })?;
         }
-        aprof = Some(ap.finish());
+        if aprof.is_none() {
+            aprof = Some(ap.finish());
+        }
         eprof = Some(ep.finish());
     }
 
-    let data = match req.spec.as_str() {
+    let data = match spec {
         "none" => SpecSource::None,
         "profile" => SpecSource::Profile(aprof.as_ref().unwrap()),
         "heuristic" => SpecSource::Heuristic,
         "aggressive" => SpecSource::Aggressive,
-        other => return Err(format!("unknown --spec `{other}`")),
+        other => return Err(CompileFailure::Usage(format!("unknown --spec `{other}`"))),
     };
     let control = match req.control.as_str() {
         "off" => ControlSpec::Off,
         "profile" => ControlSpec::Profile(eprof.as_ref().unwrap()),
         "static" => ControlSpec::Static,
-        other => return Err(format!("unknown --control `{other}`")),
+        other => {
+            return Err(CompileFailure::Usage(format!(
+                "unknown --control `{other}`"
+            )))
+        }
     };
 
-    let (report, dumps) = optimize_with_hooks(
+    let (mut report, dumps) = try_optimize_with_hooks(
         &mut m,
         &OptOptions {
             data,
@@ -132,12 +245,58 @@ pub fn compile_module(mut m: Module, req: &CompileRequest) -> Result<CompileOutp
         },
         &PipelineConfig { jobs: req.jobs },
         &req.hooks,
-    );
+    )?;
+    if !pre_warnings.is_empty() {
+        pre_warnings.append(&mut report.warnings);
+        report.warnings = pre_warnings;
+    }
     Ok(CompileOutput {
         module: m,
         report,
         dumps,
+        alias_profile: aprof,
     })
+}
+
+/// Lowers `m`, simulates it under the named ALAT fault policy, and
+/// renders the `specc --sim` counter block. Returns the machine result
+/// and the rendered text; `specc` prints it to stderr and golden tests
+/// CHECK it directly, so the two can never drift apart.
+pub fn simulate_text(
+    m: &Module,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+    fault_policy: &str,
+) -> Result<(Option<Value>, String), CompileFailure> {
+    let policy = parse_fault_policy(fault_policy).map_err(CompileFailure::Usage)?;
+    let name = policy.name();
+    let prog = lower_module(m);
+    let (got, c) = run_machine_with_policy(&prog, entry, args, fuel, policy)
+        .map_err(|e| CompileFailure::internal("simulate", format!("simulation failed: {e}")))?;
+    Ok((got, render_sim_counters(&name, got, &c)))
+}
+
+/// The `--sim` counter block: one `name = value` line per counter, fault
+/// policy first so multi-policy runs are self-describing.
+pub fn render_sim_counters(policy: &str, result: Option<Value>, c: &Counters) -> String {
+    let mut s = String::new();
+    let mut line = |k: &str, v: String| s.push_str(&format!("{k:<21}= {v}\n"));
+    line("fault policy", policy.to_string());
+    line("result", format!("{result:?}"));
+    line("cycles", c.cycles.to_string());
+    line("loads retired", c.loads_retired.to_string());
+    line("check loads", c.check_loads.to_string());
+    line("failed checks", c.failed_checks.to_string());
+    line("check ratio", format!("{:.2}%", c.check_ratio() * 100.0));
+    line(
+        "mis-speculation",
+        format!("{:.2}%", c.mis_speculation_ratio() * 100.0),
+    );
+    line("alat inserts", c.alat_inserts.to_string());
+    line("alat fault kills", c.alat_fault_kills.to_string());
+    line("alat flash clears", c.alat_flash_clears.to_string());
+    s
 }
 
 #[cfg(test)]
@@ -227,5 +386,108 @@ merge:
         let (want, _) = specframe_profile::run(&m0, "f", &args, 1_000_000).unwrap();
         let (got, _) = specframe_profile::run(&out.module, "f", &args, 1_000_000).unwrap();
         assert_eq!(want, got);
+    }
+
+    #[test]
+    fn failure_families_map_to_distinct_exit_codes() {
+        assert_eq!(CompileFailure::Usage("x".into()).exit_code(), 1);
+        assert_eq!(CompileFailure::Parse("x".into()).exit_code(), 2);
+        let mut e = CompileError {
+            function: "f".into(),
+            pass: "ssapre".into(),
+            message: "boom".into(),
+            fallback_exhausted: false,
+        };
+        assert_eq!(CompileFailure::Compile(e.clone()).exit_code(), 3);
+        e.fallback_exhausted = true;
+        assert_eq!(CompileFailure::Compile(e).exit_code(), 4);
+    }
+
+    #[test]
+    fn parse_error_classified_as_parse() {
+        let err = compile("func f(", &CompileRequest::default()).unwrap_err();
+        assert!(matches!(err, CompileFailure::Parse(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn corrupt_alias_profile_degrades_to_heuristics_with_warning() {
+        let req = CompileRequest {
+            spec: "profile".into(),
+            control: "static".into(),
+            alias_profile: Some("not a profile at all".into()),
+            ..Default::default()
+        };
+        // entry `main` does not exist; a degraded (heuristic) compile must
+        // not need it, proving no training run happened.
+        let out = compile(DIAMOND, &req).unwrap();
+        assert_eq!(out.report.warnings.len(), 1, "{:?}", out.report.warnings);
+        let w = &out.report.warnings[0];
+        assert_eq!(w.pass, "alias-profile");
+        assert!(w.message.contains("falling back to heuristic"), "{w}");
+        // heuristic rules did fire on the diamond
+        assert!(out.report.stats.reloads >= 1);
+    }
+
+    #[test]
+    fn valid_alias_profile_is_used_without_training_run() {
+        // profile collected by hand, serialized, then fed back in — with no
+        // entry function available, so any training-run attempt would fail
+        let src = r#"
+global a: i64[1]
+global b: i64[1]
+
+func leaf(sel: i64) -> i64 {
+  var p: ptr
+  var v: i64
+entry:
+  br sel, yes, no
+yes:
+  p = @a
+  jmp go
+no:
+  p = @b
+  jmp go
+go:
+  v = load.i64 [p]
+  ret v
+}
+"#;
+        let mut m0 = parse_module(src).unwrap();
+        prepare_module(&mut m0);
+        let mut ap = AliasProfiler::new();
+        run_with(&m0, "leaf", &[Value::I(1)], 100_000, &mut ap).unwrap();
+        let text = specframe_profile::write_alias_profile(&ap.finish());
+
+        let req = CompileRequest {
+            spec: "profile".into(),
+            entry: "nonexistent".into(),
+            alias_profile: Some(text),
+            ..Default::default()
+        };
+        let out = compile(src, &req).unwrap();
+        assert!(out.report.warnings.is_empty(), "{:?}", out.report.warnings);
+        assert!(out.alias_profile.is_some());
+    }
+
+    #[test]
+    fn simulate_text_renders_fault_policy_counters() {
+        let req = CompileRequest {
+            spec: "heuristic".into(),
+            control: "static".into(),
+            ..Default::default()
+        };
+        let out = compile(DIAMOND, &req).unwrap();
+        let args = [Value::I(3), Value::I(4), Value::I(1)];
+        let (got, text) = simulate_text(&out.module, "f", &args, 1_000_000, "always-miss").unwrap();
+        assert_eq!(got, Some(Value::I(14)));
+        assert!(
+            text.contains("fault policy         = always-miss"),
+            "{text}"
+        );
+        assert!(text.contains("alat fault kills     = "), "{text}");
+        // bad policy name is a usage error (exit 1)
+        let err = simulate_text(&out.module, "f", &args, 1_000, "bogus").unwrap_err();
+        assert_eq!(err.exit_code(), 1);
     }
 }

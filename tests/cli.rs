@@ -260,7 +260,8 @@ fn help_documents_jobs_env() {
 fn bad_input_fails_cleanly() {
     let input = tempfile_path::TempPath::new("specc_bad", ".ir", "func oops {");
     let out = specc().arg(input.as_str()).output().expect("spawn specc");
-    assert!(!out.status.success());
+    // parse errors are exit-code family 2
+    assert_eq!(out.status.code(), Some(2));
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("specc:"), "{err}");
 }
@@ -268,8 +269,204 @@ fn bad_input_fails_cleanly() {
 #[test]
 fn unknown_flag_reports_usage() {
     let out = specc().arg("--frobnicate").output().expect("spawn specc");
-    assert!(!out.status.success());
+    // usage errors are exit-code family 1
+    assert_eq!(out.status.code(), Some(1));
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+}
+
+#[test]
+fn fault_policies_report_per_policy_counters() {
+    let input = write_kernel();
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,100",
+            "--spec",
+            "profile",
+            "--control",
+            "static",
+            "--sim",
+            "--fault-policy",
+            "always-miss",
+            "--fault-policy",
+            "random:3",
+            "--fault-policy",
+            "flash-clear",
+        ])
+        .output()
+        .expect("spawn specc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    for policy in ["always-miss", "random:3", "flash-clear"] {
+        assert!(
+            err.contains(&format!("fault policy         = {policy}")),
+            "missing {policy} block in {err}"
+        );
+    }
+    // every policy produced the same (correct) result
+    assert_eq!(
+        err.matches("result               = Some(I(700))").count(),
+        3
+    );
+    // an ALAT that never hits forces a recovery per check load
+    assert!(err.contains("alat fault kills"), "{err}");
+}
+
+#[test]
+fn bad_fault_policy_is_usage_error() {
+    let input = write_kernel();
+    let out = specc()
+        .args([input.as_str(), "--sim", "--fault-policy", "bogus"])
+        .output()
+        .expect("spawn specc");
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("fault policy"), "{err}");
+}
+
+#[test]
+fn fault_policy_without_sim_is_rejected() {
+    let input = write_kernel();
+    let out = specc()
+        .args([input.as_str(), "--fault-policy", "always-miss"])
+        .output()
+        .expect("spawn specc");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn injected_spec_failure_recovers_with_warning() {
+    let input = write_kernel();
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,50",
+            "--spec",
+            "heuristic",
+            "--control",
+            "static",
+            "--run",
+            "--inject-spec-fail",
+            "kern",
+        ])
+        .output()
+        .expect("spawn specc");
+    // recovery succeeded: the module still compiles and runs correctly
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("specc: warning:"), "{err}");
+    assert!(err.contains("recompiled without speculation"), "{err}");
+    assert!(err.contains("result = Some(I(350))"), "{err}");
+}
+
+#[test]
+fn injected_fallback_failure_exits_4() {
+    let input = write_kernel();
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,50",
+            "--spec",
+            "heuristic",
+            "--control",
+            "static",
+            "--inject-spec-fail",
+            "kern",
+            "--inject-fallback-fail",
+            "kern",
+        ])
+        .output()
+        .expect("spawn specc");
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("non-speculative fallback also failed"),
+        "{err}"
+    );
+}
+
+#[test]
+fn alias_profile_saves_reloads_and_degrades() {
+    let input = write_kernel();
+    let mut prof_path = std::env::temp_dir();
+    prof_path.push(format!("specc_prof_{}.aprof", std::process::id()));
+    let prof = prof_path.to_str().unwrap();
+
+    // 1. train and save
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,50",
+            "--spec",
+            "profile",
+            "--control",
+            "static",
+            "--save-alias-profile",
+            prof,
+        ])
+        .output()
+        .expect("spawn specc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let saved = std::fs::read_to_string(&prof_path).expect("profile written");
+    assert!(saved.starts_with("specframe-alias-profile v1"), "{saved}");
+
+    // 2. reload: same optimized IR as a fresh training run, no warnings
+    let recompile = |extra: &[&str]| {
+        let mut args = vec![
+            input.as_str(),
+            "--args",
+            "0,50",
+            "--spec",
+            "profile",
+            "--control",
+            "static",
+        ];
+        args.extend_from_slice(extra);
+        specc().args(&args).output().expect("spawn specc")
+    };
+    let fresh = recompile(&[]);
+    let reloaded = recompile(&["--alias-profile", prof]);
+    assert!(reloaded.status.success());
+    assert!(!String::from_utf8_lossy(&reloaded.stderr).contains("warning"));
+    assert_eq!(
+        fresh.stdout, reloaded.stdout,
+        "profile reload changed the IR"
+    );
+
+    // 3. corrupt the profile: compile degrades to heuristics with warning
+    std::fs::write(&prof_path, "specframe-alias-profile v1\nsite 0 count").unwrap();
+    let degraded = recompile(&["--alias-profile", prof]);
+    assert!(
+        degraded.status.success(),
+        "{}",
+        String::from_utf8_lossy(&degraded.stderr)
+    );
+    let err = String::from_utf8_lossy(&degraded.stderr);
+    assert!(err.contains("specc: warning:"), "{err}");
+    assert!(err.contains("falling back to heuristic"), "{err}");
+    let _ = std::fs::remove_file(&prof_path);
 }
 
 #[test]

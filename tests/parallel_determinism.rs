@@ -76,7 +76,7 @@ fn serial_and_parallel_runs_are_bit_identical() {
 fn pass_dumps_are_bit_identical_across_job_counts() {
     let hooks = PipelineHooks {
         dump_after: Pass::ALL.into_iter().collect(),
-        stop_after: None,
+        ..Default::default()
     };
     for w in all_workloads(Scale::Test) {
         for (cname, opts) in configs() {
