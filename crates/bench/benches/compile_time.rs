@@ -35,6 +35,7 @@ fn bench_optimize_configs(c: &mut Criterion) {
                         data: SpecSource::None,
                         control: ControlSpec::Static,
                         strength_reduction: true,
+                        lftr: true,
                         store_sinking: false,
                     },
                 )
@@ -52,6 +53,7 @@ fn bench_optimize_configs(c: &mut Criterion) {
                             data: SpecSource::Profile(&aprof),
                             control: ControlSpec::Static,
                             strength_reduction: true,
+                            lftr: true,
                             store_sinking: false,
                         },
                     )
@@ -67,6 +69,7 @@ fn bench_optimize_configs(c: &mut Criterion) {
                         data: SpecSource::Heuristic,
                         control: ControlSpec::Static,
                         strength_reduction: true,
+                        lftr: true,
                         store_sinking: false,
                     },
                 )
@@ -124,6 +127,7 @@ fn bench_parallel_driver(c: &mut Criterion) {
         data: SpecSource::Heuristic,
         control: ControlSpec::Static,
         strength_reduction: true,
+        lftr: true,
         store_sinking: true,
     };
     // On a single-core host jobs=N can at best tie jobs=1; still measure

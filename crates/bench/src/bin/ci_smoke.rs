@@ -18,6 +18,7 @@ fn main() {
         data: SpecSource::Heuristic,
         control: ControlSpec::Static,
         strength_reduction: true,
+        lftr: true,
         store_sinking: true,
     };
     let mut rows = Vec::new();

@@ -177,24 +177,28 @@ pub fn run_benchmark(w: &Workload) -> BenchResult {
         data: SpecSource::None,
         control: ControlSpec::Profile(&eprof),
         strength_reduction: true,
+        lftr: true,
         store_sinking: true,
     });
     let profile = compile_and_run(&OptOptions {
         data: SpecSource::Profile(&aprof),
         control: ControlSpec::Profile(&eprof),
         strength_reduction: true,
+        lftr: true,
         store_sinking: true,
     });
     let heuristic = compile_and_run(&OptOptions {
         data: SpecSource::Heuristic,
         control: ControlSpec::Static,
         strength_reduction: true,
+        lftr: true,
         store_sinking: true,
     });
     let aggressive = compile_and_run(&OptOptions {
         data: SpecSource::Aggressive,
         control: ControlSpec::Profile(&eprof),
         strength_reduction: false,
+        lftr: false,
         store_sinking: false,
     });
 
@@ -264,6 +268,7 @@ pub fn run_ablation(w: &Workload) -> AblationResult {
                 data,
                 control,
                 strength_reduction: true,
+                lftr: true,
                 store_sinking: true,
             },
         );

@@ -419,6 +419,7 @@ go:
                 data: SpecSource::Profile(&aprof),
                 control: ControlSpec::Static,
                 strength_reduction: false,
+                lftr: false,
                 store_sinking: false,
             },
         );

@@ -29,8 +29,8 @@ use specframe_analysis::{
     dom_compute_count, estimate_profile_with, split_critical_edges, EdgeProfile, FuncAnalyses,
 };
 use specframe_hssa::{
-    build_hssa_in, lower_function, print_hssa_in, refine_function_in, resolve_fresh_sites,
-    verify_hssa, HssaFunc, SpecMode,
+    build_hssa_with, lower_function, print_hssa_in, refine_function_in, resolve_fresh_sites,
+    verify_hssa, HssaFunc, Likeliness, SpecMode,
 };
 use specframe_ir::display::{func_name_table, print_function_in};
 use specframe_ir::{FuncId, Function, Global, MemSiteId, Module};
@@ -76,8 +76,12 @@ pub struct OptOptions<'a> {
     pub data: SpecSource<'a>,
     /// Control speculation source.
     pub control: ControlSpec<'a>,
-    /// Run strength reduction + linear-function test replacement.
+    /// Run strength reduction.
     pub strength_reduction: bool,
+    /// Run linear-function test replacement over the strength-reduction
+    /// temporaries. A no-op unless strength reduction also ran (LFTR
+    /// consumes the `s ≡ i*c` version state SR records).
+    pub lftr: bool,
     /// Run store promotion (sinking loop-invariant direct stores).
     pub store_sinking: bool,
 }
@@ -512,6 +516,8 @@ fn run_spec_stages(
     } else {
         &hooks.inject_fallback_fail
     };
+    // the driver owns the likeliness oracle; HSSA construction and the
+    // SSAPRE kernel query the same instance, so their verdicts agree
     let mode = if !speculative {
         SpecMode::NoSpeculation
     } else {
@@ -522,10 +528,11 @@ fn run_spec_stages(
             SpecSource::Aggressive => SpecMode::Aggressive,
         }
     };
+    let oracle = Likeliness::new(mode);
 
     current.set("hssa");
     let t0 = Instant::now();
-    let mut hf = build_hssa_in(sh.globals, f, fid, sh.aa, mode, fa);
+    let mut hf = build_hssa_with(sh.globals, f, fid, sh.aa, &oracle, fa);
     t.hssa_build = t0.elapsed();
     if hooks.dump_after.contains(Pass::Hssa) {
         dump_hssa(&mut dumps, Pass::Hssa, &hf);
@@ -545,21 +552,11 @@ fn run_spec_stages(
         }
         let policy = if speculative {
             SpecPolicy {
-                data: mode.speculative(),
-                heuristic: matches!(sh.opts.data, SpecSource::Heuristic),
-                profile: match sh.opts.data {
-                    SpecSource::Profile(p) => Some(p),
-                    _ => None,
-                },
+                oracle,
                 control: sh.control_profile.map(|p| (p, fid)),
             }
         } else {
-            SpecPolicy {
-                data: false,
-                heuristic: false,
-                profile: None,
-                control: None,
-            }
+            SpecPolicy::none()
         };
         let t0 = Instant::now();
         ssapre_function(f, &mut hf, &policy, &mut stats, fa);
@@ -569,14 +566,25 @@ fn run_spec_stages(
         }
     }
 
+    let mut sr_temps: Vec<crate::strength::SrTemp> = Vec::new();
     if sh.opts.strength_reduction && hooks.runs(Pass::Strength) {
         current.set("strength");
         let t0 = Instant::now();
-        strength_reduce_hssa(&mut hf, &mut stats, fa);
+        strength_reduce_hssa(&mut hf, &mut stats, fa, &mut sr_temps);
         crate::ssapre::cleanup_hssa(&mut hf);
         t.strength = t0.elapsed();
         if hooks.dump_after.contains(Pass::Strength) {
             dump_hssa(&mut dumps, Pass::Strength, &hf);
+        }
+    }
+    if sh.opts.lftr && hooks.runs(Pass::Lftr) {
+        current.set("lftr");
+        let t0 = Instant::now();
+        crate::lftr::lftr_hssa(&mut hf, &sr_temps, &mut stats);
+        crate::ssapre::cleanup_hssa(&mut hf);
+        t.lftr = t0.elapsed();
+        if hooks.dump_after.contains(Pass::Lftr) {
+            dump_hssa(&mut dumps, Pass::Lftr, &hf);
         }
     }
     if sh.opts.store_sinking && hooks.runs(Pass::Storeprom) {
@@ -643,6 +651,7 @@ mod tests {
                     data: SpecSource::Profile(&aprof),
                     control: ControlSpec::Profile(&eprof),
                     strength_reduction: true,
+                    lftr: true,
                     store_sinking: false,
                 },
             ),
@@ -652,6 +661,7 @@ mod tests {
                     data: SpecSource::Heuristic,
                     control: ControlSpec::Static,
                     strength_reduction: true,
+                    lftr: true,
                     store_sinking: false,
                 },
             ),
@@ -661,6 +671,7 @@ mod tests {
                     data: SpecSource::Aggressive,
                     control: ControlSpec::Off,
                     strength_reduction: false,
+                    lftr: false,
                     store_sinking: false,
                 },
             ),
@@ -800,6 +811,7 @@ go:
                 data: SpecSource::Profile(&aprof),
                 control: ControlSpec::Static,
                 strength_reduction: false,
+                lftr: false,
                 store_sinking: false,
             },
         );
@@ -915,6 +927,7 @@ entry:
                 data: SpecSource::Heuristic,
                 control: ControlSpec::Static,
                 strength_reduction: true,
+                lftr: true,
                 store_sinking: false,
             };
             let (report, _) =

@@ -365,28 +365,29 @@ pub fn kills(
     }
     // chi over the memory variable
     if let Some(chi) = stmt.chi_of(mv) {
-        if chi.likely || !speculative {
+        if !speculative {
             return true;
         }
         if heuristic {
-            // same-syntax store kills (identical address expressions are
-            // highly likely to hold the same value -> the store's new value
-            // IS the expression's new value: not redundant with older loads)
-            if let (
-                HStmtKind::Store {
-                    base: HOperand::Reg(sb, _),
-                    offset,
-                    ..
-                },
-                Some((eb, eoff)),
-            ) = (&stmt.kind, key.syntax())
+            if let HStmtKind::Store {
+                base: HOperand::Reg(sb, _),
+                offset,
+                ..
+            } = &stmt.kind
             {
-                if *sb == eb && *offset == eoff {
-                    return true;
-                }
+                // for indirect stores the per-candidate same-syntax
+                // comparison is authoritative: identical address
+                // expressions are highly likely to hold the same value ->
+                // the store's new value IS the expression's new value (not
+                // redundant with older loads), while a different-syntax
+                // store is a skippable weak update even when the build-time
+                // flag answered rule 1 for some *other* load's syntax
+                return matches!(key.syntax(), Some((eb, eoff)) if *sb == eb && *offset == eoff);
             }
-            // calls always kill in heuristic mode (rule 3) — their chis are
-            // flagged likely at build time, so this is already covered
+            // calls kill in heuristic mode (rule 3) via their likely flag
+        }
+        if chi.likely {
+            return true;
         }
     }
     false

@@ -29,7 +29,9 @@
 pub mod driver;
 pub mod error;
 pub mod expr;
+pub mod lftr;
 pub mod passes;
+pub mod prekernel;
 pub mod ssapre;
 pub mod stats;
 pub mod storeprom;
@@ -41,8 +43,10 @@ pub use driver::{
 };
 pub use error::{CompileDiag, CompileError};
 pub use expr::ExprKey;
+pub use lftr::lftr_hssa;
 pub use passes::{render_dumps, Pass, PassDump, PassSet, PipelineHooks};
+pub use prekernel::{apply_edits, reducible_loops, LoopShape, MotionEdit, SpecClient};
 pub use ssapre::{ssapre_function, SpecPolicy};
 pub use stats::{OptStats, PassTimings};
 pub use storeprom::sink_stores_hssa;
-pub use strength::strength_reduce_function;
+pub use strength::{strength_reduce_function, SrTemp};

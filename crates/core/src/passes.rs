@@ -9,7 +9,8 @@
 //! | `refine`    | flow-sensitive pointer refinement (Figure 4, last box) |
 //! | `hssa`      | speculative SSA construction with χ/μ flags (§3)       |
 //! | `ssapre`    | speculative SSAPRE: Φ-Insertion, Rename, CodeMotion (§4) |
-//! | `strength`  | strength reduction + LFTR                              |
+//! | `strength`  | strength reduction                                     |
+//! | `lftr`      | linear-function test replacement over SR temporaries   |
 //! | `storeprom` | store promotion (loop-invariant store sinking)         |
 //! | `lower`     | out-of-SSA lowering back to executable IR              |
 //!
@@ -34,8 +35,10 @@ pub enum Pass {
     Hssa,
     /// The speculative SSAPRE worklist (PRE + register promotion).
     Ssapre,
-    /// Strength reduction and linear-function test replacement.
+    /// Strength reduction.
     Strength,
+    /// Linear-function test replacement over the SR temporaries.
+    Lftr,
     /// Store promotion (sinking loop-invariant direct stores).
     Storeprom,
     /// Out-of-SSA lowering.
@@ -44,11 +47,12 @@ pub enum Pass {
 
 impl Pass {
     /// Every pass, in pipeline order.
-    pub const ALL: [Pass; 6] = [
+    pub const ALL: [Pass; 7] = [
         Pass::Refine,
         Pass::Hssa,
         Pass::Ssapre,
         Pass::Strength,
+        Pass::Lftr,
         Pass::Storeprom,
         Pass::Lower,
     ];
@@ -60,11 +64,15 @@ impl Pass {
             Pass::Hssa => "hssa",
             Pass::Ssapre => "ssapre",
             Pass::Strength => "strength",
+            Pass::Lftr => "lftr",
             Pass::Storeprom => "storeprom",
             Pass::Lower => "lower",
         }
     }
 }
+
+// the PassSet bitmask below holds one bit per variant
+const _: () = assert!(Pass::ALL.len() <= 16, "PassSet(u16) is full — widen it");
 
 impl fmt::Display for Pass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -87,9 +95,9 @@ impl FromStr for Pass {
     }
 }
 
-/// A small set of [`Pass`]es (bitmask over the six stages).
+/// A small set of [`Pass`]es (bitmask over the stages).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PassSet(u8);
+pub struct PassSet(u16);
 
 impl PassSet {
     /// The empty set.
@@ -102,12 +110,12 @@ impl PassSet {
 
     /// Adds `p`.
     pub fn insert(&mut self, p: Pass) {
-        self.0 |= 1 << p as u8;
+        self.0 |= 1u16 << p as u16;
     }
 
     /// Membership test.
     pub fn contains(self, p: Pass) -> bool {
-        self.0 & (1 << p as u8) != 0
+        self.0 & (1u16 << p as u16) != 0
     }
 
     /// True when no pass is selected.
@@ -219,8 +227,45 @@ mod tests {
         assert!(Pass::Refine < Pass::Hssa);
         assert!(Pass::Hssa < Pass::Ssapre);
         assert!(Pass::Ssapre < Pass::Strength);
-        assert!(Pass::Strength < Pass::Storeprom);
+        assert!(Pass::Strength < Pass::Lftr);
+        assert!(Pass::Lftr < Pass::Storeprom);
         assert!(Pass::Storeprom < Pass::Lower);
+    }
+
+    /// The pass registry must stay in sync across its three spellings:
+    /// `Pass::name`, `PassSet::parse_list`, and the dump-hook headers
+    /// rendered by [`render_dumps`].
+    #[test]
+    fn pass_registry_names_stay_in_sync() {
+        let expected = [
+            "refine",
+            "hssa",
+            "ssapre",
+            "strength",
+            "lftr",
+            "storeprom",
+            "lower",
+        ];
+        assert_eq!(Pass::ALL.map(|p| p.name()), expected);
+        // parse_list accepts every registered name, individually and joined
+        for name in expected {
+            let s = PassSet::parse_list(name).unwrap();
+            assert_eq!(s.iter().count(), 1, "{name}");
+        }
+        let all = PassSet::parse_list(&expected.join(",")).unwrap();
+        assert_eq!(all, PassSet::all());
+        // dump headers use the same spelling
+        for p in Pass::ALL {
+            let rendered = render_dumps(&[PassDump {
+                pass: p,
+                func: "f".into(),
+                text: String::new(),
+            }]);
+            assert!(
+                rendered.starts_with(&format!("; === dump-after {}: func f ===", p.name())),
+                "{rendered}"
+            );
+        }
     }
 
     #[test]

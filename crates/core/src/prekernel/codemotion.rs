@@ -1,0 +1,381 @@
+//! Step 6: CodeMotion.
+//!
+//! Turns Finalize's decisions into a list of [`MotionEdit`]s and applies
+//! them with [`apply_edits`]: saves become `t = E; x = t`, reloads become
+//! `x = t`, *speculative* reloads become check loads (`ld.c`, Appendix
+//! B), control-speculative insertions become `ld.s` with NaT-check
+//! reloads, and every load feeding a check is flagged as an advanced
+//! load (`ld.a`).
+//!
+//! The [`MotionEdit`] vocabulary and [`apply_edits`] are shared by every
+//! kernel client: store promotion and strength reduction express their
+//! loop-shaped rewrites in the same terms instead of splicing statement
+//! lists by hand.
+
+use super::finalize::FinalizeOut;
+use super::{Kernel, OpndDef, Role, SpecClient};
+use crate::stats::OptStats;
+use specframe_hssa::{HOperand, HStmt, HStmtKind, HVarKind, HssaFunc, Phi as HPhi};
+use specframe_ir::{BlockId, CheckKind, LoadSpec, Ty, VarId};
+use std::collections::{HashMap, HashSet};
+
+/// One program rewrite, in kernel vocabulary. Statement indices refer to
+/// the block's statement list *at application time*: emit per-block edits
+/// in descending statement order (as the kernel does) so earlier indices
+/// stay stable, and front/back insertions wherever convenient.
+#[derive(Debug)]
+pub enum MotionEdit {
+    /// Replace the statement at `stmt` with `with`.
+    Replace {
+        block: BlockId,
+        stmt: usize,
+        with: HStmt,
+    },
+    /// Insert `what` immediately after the statement at `stmt`.
+    InsertAfter {
+        block: BlockId,
+        stmt: usize,
+        what: HStmt,
+    },
+    /// Insert `what` at the front of the block.
+    InsertFront { block: BlockId, what: HStmt },
+    /// Append `what` at the end of the block (before the terminator).
+    Append { block: BlockId, what: HStmt },
+    /// Attach a φ to the block.
+    AddPhi { block: BlockId, phi: HPhi },
+}
+
+/// Applies the edits in order.
+pub fn apply_edits(hf: &mut HssaFunc, edits: Vec<MotionEdit>) {
+    for e in edits {
+        match e {
+            MotionEdit::Replace { block, stmt, with } => {
+                hf.blocks[block.index()].stmts[stmt] = with;
+            }
+            MotionEdit::InsertAfter { block, stmt, what } => {
+                hf.blocks[block.index()].stmts.insert(stmt + 1, what);
+            }
+            MotionEdit::InsertFront { block, what } => {
+                hf.blocks[block.index()].stmts.insert(0, what);
+            }
+            MotionEdit::Append { block, what } => {
+                hf.blocks[block.index()].stmts.push(what);
+            }
+            MotionEdit::AddPhi { block, phi } => {
+                hf.blocks[block.index()].phis.push(phi);
+            }
+        }
+    }
+}
+
+enum Edit {
+    Save { stmt: usize, occ: usize },
+    Reload { stmt: usize, occ: usize },
+}
+
+impl<C: SpecClient> Kernel<'_, C> {
+    pub(crate) fn codemotion(
+        &self,
+        hf: &mut HssaFunc,
+        t: VarId,
+        fin: FinalizeOut,
+        stats: &mut OptStats,
+    ) {
+        let occs = &self.occs;
+        let phis = &self.phis;
+        let is_load_expr = self.client.is_load();
+
+        // advanced-load marking (Appendix B): a class with any checking
+        // reload gets its defining loads flagged ld.a
+        let mut checked_classes: HashSet<u32> = HashSet::new();
+        for o in occs.iter() {
+            if let Role::Reload { check: true, .. } = o.role {
+                checked_classes.insert(o.class);
+            }
+        }
+        // any Phi reachable from a checked class spreads the marking to
+        // defs (conservative: mark every saving def of a checked class and
+        // every insertion feeding a Phi of a checked class)
+        let mut changed = true;
+        let mut checked_phis: HashSet<usize> = HashSet::new();
+        while changed {
+            changed = false;
+            for (i, p) in phis.iter().enumerate() {
+                if checked_classes.contains(&p.class) && checked_phis.insert(i) {
+                    changed = true;
+                }
+            }
+            for p in phis.iter() {
+                for o in &p.opnds {
+                    if let OpndDef::Phi(j) = o.def {
+                        if checked_classes.contains(&p.class)
+                            && checked_classes.insert(phis[j].class)
+                        {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // defs linked as operands of checked phis
+            for (i, p) in phis.iter().enumerate() {
+                if !checked_phis.contains(&i) {
+                    continue;
+                }
+                for o in &p.opnds {
+                    if let OpndDef::Real(oi) = o.def {
+                        if checked_classes.insert(occs[oi].class) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        // control-speculation: classes fed by a cspec Phi need NaT-check
+        // reloads
+        let cspec_phis: HashSet<usize> = phis
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.cspec && p.will_be_avail)
+            .map(|(i, _)| i)
+            .collect();
+        let mut nat_classes: HashSet<u32> = HashSet::new();
+        for &i in &cspec_phis {
+            nat_classes.insert(phis[i].class);
+        }
+        // propagate downstream through phi operands
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in phis.iter() {
+                if p.opnds.iter().any(|o| match o.def {
+                    OpndDef::Phi(j) => nat_classes.contains(&phis[j].class),
+                    _ => false,
+                }) && nat_classes.insert(p.class)
+                {
+                    changed = true;
+                }
+            }
+        }
+
+        // ---- emit the motion edits ---------------------------------------
+        let mut motion: Vec<MotionEdit> = Vec::new();
+        let mut per_block: HashMap<BlockId, Vec<Edit>> = HashMap::new();
+        for (oi, o) in occs.iter().enumerate() {
+            match o.role {
+                Role::Compute { save: true } => {
+                    per_block.entry(o.block).or_default().push(Edit::Save {
+                        stmt: o.stmt,
+                        occ: oi,
+                    })
+                }
+                Role::Reload { .. } => per_block.entry(o.block).or_default().push(Edit::Reload {
+                    stmt: o.stmt,
+                    occ: oi,
+                }),
+                _ => {}
+            }
+        }
+
+        // emit in block-index order, per block in descending statement
+        // order: t-version allocation happens while emitting, so the
+        // iteration order here is part of the printed SSA form
+        let mut per_block: Vec<(BlockId, Vec<Edit>)> = per_block.into_iter().collect();
+        per_block.sort_by_key(|(b, _)| b.index());
+        for (b, mut edits) in per_block {
+            edits.sort_by_key(|e| match e {
+                Edit::Save { stmt, .. } | Edit::Reload { stmt, .. } => *stmt,
+            });
+            for e in edits.into_iter().rev() {
+                match e {
+                    Edit::Save { stmt, occ } => {
+                        let o = &occs[occ];
+                        let old = hf.blocks[b.index()].stmts[stmt].clone();
+                        let dst = old.def_reg().expect("occurrence defines a register");
+                        let mut def_stmt = old.clone();
+                        // defining statement now writes t
+                        set_dst(&mut def_stmt.kind, (t, o.t_ver));
+                        if is_load_expr
+                            && (checked_classes.contains(&o.class)
+                                || nat_classes.contains(&o.class))
+                        {
+                            if let HStmtKind::Load { spec, .. } = &mut def_stmt.kind {
+                                if *spec == LoadSpec::Normal {
+                                    *spec = LoadSpec::Advanced;
+                                    stats.advanced_loads += 1;
+                                }
+                            }
+                        }
+                        let copy = HStmt::new(HStmtKind::Copy {
+                            dst,
+                            src: HOperand::Reg(t, o.t_ver),
+                        });
+                        motion.push(MotionEdit::Replace {
+                            block: b,
+                            stmt,
+                            with: def_stmt,
+                        });
+                        motion.push(MotionEdit::InsertAfter {
+                            block: b,
+                            stmt,
+                            what: copy,
+                        });
+                        stats.saves += 1;
+                    }
+                    Edit::Reload { stmt, occ } => {
+                        let o = &occs[occ];
+                        let Role::Reload { from, check } = o.role else {
+                            unreachable!()
+                        };
+                        let old = hf.blocks[b.index()].stmts[stmt].clone();
+                        let dst = old.def_reg().expect("occurrence defines a register");
+                        let needs_nat = nat_classes.contains(&o.class);
+                        if is_load_expr && (check || needs_nat) {
+                            // check load revalidates t, then the original
+                            // destination copies from it (Appendix B / Fig. 8)
+                            let tv2 = hf.fresh_ver_of_reg(t);
+                            let (base, offset, lty, site_kind) = load_shape(&old.kind);
+                            let kind = if check {
+                                CheckKind::Alat
+                            } else {
+                                CheckKind::Nat
+                            };
+                            let chk = HStmt::new(HStmtKind::CheckLoad {
+                                dst: (t, tv2),
+                                base,
+                                offset,
+                                ty: lty,
+                                kind,
+                                site: site_kind,
+                                dvar: None,
+                            });
+                            let copy = HStmt::new(HStmtKind::Copy {
+                                dst,
+                                src: HOperand::Reg(t, tv2),
+                            });
+                            motion.push(MotionEdit::Replace {
+                                block: b,
+                                stmt,
+                                with: chk,
+                            });
+                            motion.push(MotionEdit::InsertAfter {
+                                block: b,
+                                stmt,
+                                what: copy,
+                            });
+                            stats.checks += 1;
+                            if check {
+                                stats.data_spec_reloads += 1;
+                            }
+                        } else {
+                            let copy = HStmt::new(HStmtKind::Copy {
+                                dst,
+                                src: HOperand::Reg(t, from),
+                            });
+                            motion.push(MotionEdit::Replace {
+                                block: b,
+                                stmt,
+                                with: copy,
+                            });
+                        }
+                        stats.reloads += 1;
+                        if is_load_expr {
+                            stats.loads_removed += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        // insertions at predecessor ends
+        for (pi, op_idx) in fin.insertions {
+            let p = &phis[pi];
+            let pred = hf.preds[p.block.index()][op_idx];
+            let opnd = &p.opnds[op_idx];
+            let spec_load = p.cspec && is_load_expr;
+            let stmt = self.client.materialize(
+                hf,
+                (t, opnd.t_ver),
+                &opnd.vers_at_pred,
+                if spec_load {
+                    LoadSpec::Speculative
+                } else if checked_classes.contains(&p.class) || nat_classes.contains(&p.class) {
+                    LoadSpec::Advanced
+                } else {
+                    LoadSpec::Normal
+                },
+            );
+            motion.push(MotionEdit::Append {
+                block: pred,
+                what: stmt,
+            });
+            stats.insertions += 1;
+            if spec_load {
+                stats.control_spec_loads += 1;
+            }
+        }
+
+        // phis for t
+        let t_hvar = hf.catalog.get(HVarKind::Reg(t)).expect("temp interned");
+        for p in phis.iter() {
+            if !p.will_be_avail {
+                continue;
+            }
+            let args: Vec<u32> = p
+                .opnds
+                .iter()
+                .map(|o| {
+                    if o.t_ver != u32::MAX {
+                        o.t_ver
+                    } else {
+                        0 // unreachable value path; collapsed var makes this benign
+                    }
+                })
+                .collect();
+            motion.push(MotionEdit::AddPhi {
+                block: p.block,
+                phi: HPhi {
+                    var: t_hvar,
+                    dest: p.t_ver,
+                    args,
+                },
+            });
+        }
+
+        apply_edits(hf, motion);
+
+        stats.transformed += 1;
+        if occs.iter().any(|o| o.spec) {
+            stats.data_speculated_exprs += 1;
+        }
+        if !cspec_phis.is_empty() {
+            stats.control_speculated_exprs += 1;
+        }
+    }
+}
+
+fn set_dst(kind: &mut HStmtKind, new: (VarId, u32)) {
+    match kind {
+        HStmtKind::Bin { dst, .. }
+        | HStmtKind::Un { dst, .. }
+        | HStmtKind::Copy { dst, .. }
+        | HStmtKind::Load { dst, .. }
+        | HStmtKind::CheckLoad { dst, .. }
+        | HStmtKind::Alloc { dst, .. } => *dst = new,
+        HStmtKind::Call { dst: Some(d), .. } => *d = new,
+        _ => panic!("set_dst on store"),
+    }
+}
+
+/// Extracts the address shape of a load statement for check generation.
+fn load_shape(kind: &HStmtKind) -> (HOperand, i64, Ty, specframe_ir::MemSiteId) {
+    match kind {
+        HStmtKind::Load {
+            base, offset, ty, ..
+        } => (*base, *offset, *ty, specframe_hssa::stmt::FRESH_SITE),
+        HStmtKind::CheckLoad {
+            base, offset, ty, ..
+        } => (*base, *offset, *ty, specframe_hssa::stmt::FRESH_SITE),
+        other => panic!("load_shape on non-load {other:?}"),
+    }
+}

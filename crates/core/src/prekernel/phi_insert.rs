@@ -1,0 +1,73 @@
+//! Step 1: Φ-Insertion.
+//!
+//! Φs for the hypothetical temporary are placed at the iterated dominance
+//! frontier of every real occurrence, plus at every φ of a variable of the
+//! candidate (the paper's Appendix A enhancement: walking def chains
+//! through speculative weak updates can only ever reach variable φs, so
+//! taking all of them is a sound superset).
+
+use super::{Kernel, OpndDef, PhiE, PhiOpnd, SpecClient};
+use crate::expr::OccVersions;
+use specframe_analysis::iterated_df;
+use specframe_hssa::{HVarId, HVarKind, HssaFunc};
+use specframe_ir::BlockId;
+use std::collections::{HashMap, HashSet};
+
+impl<C: SpecClient> Kernel<'_, C> {
+    pub(crate) fn phi_insertion(&mut self, hf: &HssaFunc) {
+        let tracked_regs = self.client.tracked_regs();
+        let mem_var = self.mem_var;
+        let occ_blocks: HashSet<BlockId> = self.occs.iter().map(|o| o.block).collect();
+        let mut phi_blocks: HashSet<BlockId> = iterated_df(self.df, occ_blocks.iter().copied())
+            .into_iter()
+            .collect();
+        let reg_hvars: Vec<HVarId> = tracked_regs
+            .iter()
+            .filter_map(|&r| hf.catalog.get(HVarKind::Reg(r)))
+            .collect();
+        for b in hf.block_ids() {
+            if !self.dt.is_reachable(b) {
+                continue;
+            }
+            for phi in &hf.blocks[b.index()].phis {
+                if reg_hvars.contains(&phi.var) || mem_var == Some(phi.var) {
+                    phi_blocks.insert(b);
+                }
+            }
+        }
+        let mut phis: Vec<PhiE> = phi_blocks
+            .iter()
+            .filter(|b| self.dt.is_reachable(**b))
+            .map(|&b| PhiE {
+                block: b,
+                class: u32::MAX,
+                opnds: hf.preds[b.index()]
+                    .iter()
+                    .map(|_| PhiOpnd {
+                        def: OpndDef::Bottom,
+                        has_real_use: false,
+                        spec: false,
+                        vers_at_pred: OccVersions {
+                            regs: vec![0; tracked_regs.len()],
+                            mem: mem_var.map(|_| 0),
+                        },
+                        t_ver: u32::MAX,
+                        inserted: false,
+                    })
+                    .collect(),
+                down_safe: false,
+                cspec: false,
+                can_be_avail: true,
+                later: true,
+                will_be_avail: false,
+                tainted: false,
+                t_ver: u32::MAX,
+            })
+            .collect();
+        phis.sort_by_key(|p| p.block);
+        let phi_at: HashMap<BlockId, usize> =
+            phis.iter().enumerate().map(|(i, p)| (p.block, i)).collect();
+        self.phis = phis;
+        self.phi_at = phi_at;
+    }
+}

@@ -1,0 +1,246 @@
+//! Step 2: Rename.
+//!
+//! A preorder dominator-tree walk maintains an expression stack alongside
+//! one version stack per operand variable and assigns h-versions (classes)
+//! to the real occurrences and Φ operands. The speculative extension
+//! (paper Figure 7): when the memory versions of two occurrences differ
+//! *only through speculative weak updates* — checked by the weak-chain
+//! walker over the candidate's χ def chain — they receive the same class
+//! with a speculation flag.
+
+use super::{weak_reaches, Kernel, OpndDef, SpecClient};
+use crate::expr::OccVersions;
+use specframe_hssa::{HStmtKind, HVarKind, HssaFunc};
+use specframe_ir::BlockId;
+
+#[derive(Clone, Debug)]
+enum Top {
+    Real(usize),
+    Phi(usize),
+}
+
+struct Entry {
+    class: u32,
+    top: Top,
+    vers: OccVersions,
+}
+
+enum Walk {
+    Visit(BlockId),
+    Pop {
+        exprs: usize,
+        regs: Vec<usize>,
+        mems: usize,
+    },
+}
+
+impl<C: SpecClient> Kernel<'_, C> {
+    pub(crate) fn rename(&mut self, hf: &HssaFunc) {
+        let Kernel {
+            client,
+            policy,
+            dt,
+            mem_var,
+            occs,
+            occ_at,
+            mem_defs,
+            phis,
+            phi_at,
+            ..
+        } = self;
+        let client = *client;
+        let tracked_regs = client.tracked_regs();
+        let mem_var = *mem_var;
+        let base_collapsed = client.base_collapsed();
+        let data = policy.data();
+
+        let mut next_class = 0u32;
+        let mut expr_stack: Vec<Entry> = Vec::new();
+        // variable version stacks: regs by position in tracked_regs, mem last
+        let mut reg_stacks: Vec<Vec<u32>> = tracked_regs.iter().map(|_| vec![0]).collect();
+        let mut mem_stack: Vec<u32> = vec![0];
+
+        let mut walk = vec![Walk::Visit(dt.rpo()[0])];
+        while let Some(w) = walk.pop() {
+            match w {
+                Walk::Pop { exprs, regs, mems } => {
+                    for _ in 0..exprs {
+                        expr_stack.pop();
+                    }
+                    for (i, n) in regs.iter().enumerate() {
+                        for _ in 0..*n {
+                            reg_stacks[i].pop();
+                        }
+                    }
+                    for _ in 0..mems {
+                        mem_stack.pop();
+                    }
+                }
+                Walk::Visit(b) => {
+                    let mut pushed_exprs = 0usize;
+                    let mut pushed_regs = vec![0usize; tracked_regs.len()];
+                    let mut pushed_mem = 0usize;
+
+                    // (a) variable phis at block entry
+                    for phi in &hf.blocks[b.index()].phis {
+                        match hf.catalog.kind(phi.var) {
+                            HVarKind::Reg(v) => {
+                                if let Some(pos) = tracked_regs.iter().position(|&r| r == v) {
+                                    reg_stacks[pos].push(phi.dest);
+                                    pushed_regs[pos] += 1;
+                                }
+                            }
+                            _ => {
+                                if Some(phi.var) == mem_var {
+                                    mem_stack.push(phi.dest);
+                                    pushed_mem += 1;
+                                }
+                            }
+                        }
+                    }
+
+                    // (b) expression Phi
+                    if let Some(&pi) = phi_at.get(&b) {
+                        let vers = OccVersions {
+                            regs: reg_stacks.iter().map(|s| *s.last().unwrap()).collect(),
+                            mem: mem_var.map(|_| *mem_stack.last().unwrap()),
+                        };
+                        let class = next_class;
+                        next_class += 1;
+                        phis[pi].class = class;
+                        expr_stack.push(Entry {
+                            class,
+                            top: Top::Phi(pi),
+                            vers,
+                        });
+                        pushed_exprs += 1;
+                    }
+
+                    // (c) statements
+                    let nstmts = hf.blocks[b.index()].stmts.len();
+                    for si in 0..nstmts {
+                        if let Some(&oi) = occ_at.get(&(b, si)) {
+                            let vers = occs[oi].vers.clone();
+                            let mut assigned = false;
+                            if let Some(top) = expr_stack.last() {
+                                let regs_exact = top.vers.regs == vers.regs;
+                                let regs_eq = regs_exact || (base_collapsed && data);
+                                let reg_spec = regs_eq && !regs_exact;
+                                if regs_eq && top.vers.mem == vers.mem {
+                                    occs[oi].class = top.class;
+                                    occs[oi].spec = reg_spec;
+                                    assigned = true;
+                                } else if regs_eq && data {
+                                    if let (Some(cur), Some(at)) = (vers.mem, top.vers.mem) {
+                                        if let Some(true) =
+                                            weak_reaches(hf, mem_defs, client, cur, at)
+                                        {
+                                            occs[oi].class = top.class;
+                                            occs[oi].spec = true;
+                                            assigned = true;
+                                        }
+                                    }
+                                }
+                            }
+                            if !assigned {
+                                occs[oi].class = next_class;
+                                next_class += 1;
+                            }
+                            let class = occs[oi].class;
+                            expr_stack.push(Entry {
+                                class,
+                                top: Top::Real(oi),
+                                vers,
+                            });
+                            pushed_exprs += 1;
+                        }
+                        // variable defs
+                        let stmt = &hf.blocks[b.index()].stmts[si];
+                        if let Some((v, ver)) = stmt.def_reg() {
+                            if let Some(pos) = tracked_regs.iter().position(|&r| r == v) {
+                                reg_stacks[pos].push(ver);
+                                pushed_regs[pos] += 1;
+                            }
+                        }
+                        if let Some(mv) = mem_var {
+                            if let HStmtKind::Store {
+                                dvar_def: Some((id, ver)),
+                                ..
+                            } = &stmt.kind
+                            {
+                                if *id == mv {
+                                    mem_stack.push(*ver);
+                                    pushed_mem += 1;
+                                }
+                            }
+                            if let Some(chi) = stmt.chi_of(mv) {
+                                mem_stack.push(chi.new_ver);
+                                pushed_mem += 1;
+                            }
+                        }
+                    }
+
+                    // (e) expression-Phi operands in successors
+                    let succs = hf.blocks[b.index()]
+                        .term
+                        .as_ref()
+                        .map(|t| t.successors())
+                        .unwrap_or_default();
+                    for s in succs {
+                        let Some(&pi) = phi_at.get(&s) else { continue };
+                        let Some(op_idx) = hf.pred_index(s, b) else {
+                            continue;
+                        };
+                        let cur = OccVersions {
+                            regs: reg_stacks.iter().map(|st| *st.last().unwrap()).collect(),
+                            mem: mem_var.map(|_| *mem_stack.last().unwrap()),
+                        };
+                        // decide the operand binding before taking the
+                        // mutable borrow (weak_reaches reads kernel state)
+                        let mut bind: Option<(OpndDef, bool, bool)> = None;
+                        if let Some(top) = expr_stack.last() {
+                            let regs_exact = top.vers.regs == cur.regs;
+                            let regs_eq = regs_exact || (base_collapsed && data);
+                            let reg_spec = regs_eq && !regs_exact;
+                            let mem_match = if top.vers.mem == cur.mem {
+                                Some(reg_spec)
+                            } else if regs_eq && data {
+                                match (cur.mem, top.vers.mem) {
+                                    (Some(c), Some(a)) => weak_reaches(hf, mem_defs, client, c, a),
+                                    _ => None,
+                                }
+                            } else {
+                                None
+                            };
+                            if regs_eq {
+                                if let Some(spec) = mem_match {
+                                    let def = match top.top {
+                                        Top::Real(i) => OpndDef::Real(i),
+                                        Top::Phi(i) => OpndDef::Phi(i),
+                                    };
+                                    bind = Some((def, matches!(top.top, Top::Real(_)), spec));
+                                }
+                            }
+                        }
+                        let opnd = &mut phis[pi].opnds[op_idx];
+                        opnd.vers_at_pred = cur;
+                        if let Some((def, has_real_use, spec)) = bind {
+                            opnd.def = def;
+                            opnd.has_real_use = has_real_use;
+                            opnd.spec = spec;
+                        }
+                    }
+
+                    walk.push(Walk::Pop {
+                        exprs: pushed_exprs,
+                        regs: pushed_regs,
+                        mems: pushed_mem,
+                    });
+                    for &c in dt.children(b).iter().rev() {
+                        walk.push(Walk::Visit(c));
+                    }
+                }
+            }
+        }
+    }
+}

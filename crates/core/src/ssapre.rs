@@ -1,32 +1,19 @@
-//! The speculative SSAPRE engine (§4 and Appendices A/B of the paper).
+//! Speculative SSAPRE clients: expression PRE and register promotion.
 //!
-//! One run of [`ssapre_expression`] performs the six SSAPRE steps for a
-//! single lexically identified expression `E` over a function in
-//! speculative SSA form:
+//! The six-step engine itself lives in [`crate::prekernel`]; this module
+//! hosts the *expression* client of that kernel — the lexical candidate
+//! families [`ExprKey`] describes:
 //!
-//! 1. **Φ-Insertion** — Φs for the hypothetical temporary `h` are placed at
-//!    the iterated dominance frontier of every real occurrence and at every
-//!    φ of a variable of `E`. Because the operand-variable φ set includes
-//!    φs reached *through speculative weak updates*, this is the superset
-//!    the paper's Appendix A computes by walking unflagged χs (an
-//!    expression killed only by weak updates is *speculatively
-//!    anticipated*, Figure 6).
-//! 2. **Rename** — a preorder dominator-tree walk assigns h-versions. The
-//!    paper's extension: when operand versions differ *only through
-//!    speculative weak updates*, the occurrence receives the same h-version
-//!    and a speculation flag (Figure 7).
-//! 3. **DownSafety** — block-lexical backward anticipation; with data
-//!    speculation, weak updates do not kill. Control speculation treats a
-//!    profitable non-down-safe Φ as down-safe (edge-profile gated).
-//! 4. **WillBeAvailable** — `can_be_avail` / `later` propagation over the
-//!    Φ graph, exactly as in SSAPRE.
-//! 5. **Finalize** — availability walk deciding saves, reloads and
-//!    insertions.
-//! 6. **CodeMotion** — rewrites the HSSA: saves become `t = E; x = t`,
-//!    reloads become `x = t`, *speculative* reloads become check loads
-//!    (`ld.c`, Appendix B), control-speculative insertions become `ld.s`
-//!    with NaT-check reloads, and every load feeding a check is flagged as
-//!    an advanced load (`ld.a`).
+//! * arithmetic expressions (address computations among them);
+//! * direct loads (scalar promotion);
+//! * indirect loads (speculative register promotion, §5 of the paper).
+//!
+//! [`ssapre_function`] runs the kernel over every candidate in the phase
+//! order the cascading rewrites need (arithmetic first so address
+//! computations common up, then direct loads whose collapsed temporaries
+//! may become indirect bases, then indirect loads). The client's kill
+//! query routes every χ weak-update decision through the driver's single
+//! [`Likeliness`](specframe_hssa::Likeliness) oracle.
 //!
 //! The PRE temporary `t` is *collapsed* at lowering (all SSA versions map
 //! to one register): that is what lets the ALAT key advanced loads and
@@ -34,120 +21,20 @@
 //! reloaded value visible to every later reload.
 
 use crate::expr::{collect_candidates, kills, occurrence_versions, ExprKey, OccVersions};
+use crate::prekernel::{run_kernel, SpecClient};
 use crate::stats::OptStats;
-use specframe_analysis::{iterated_df, DomFrontiers, DomTree, EdgeProfile, FuncAnalyses};
+use specframe_analysis::{DomFrontiers, DomTree, FuncAnalyses};
 use specframe_hssa::{
-    HOperand, HStmt, HStmtKind, HVarId, HVarKind, HssaFunc, MemBase, Phi as HPhi,
+    ChiRefine, HOperand, HStmt, HStmtKind, HVarId, HssaFunc, MemBase, RefineStmt,
 };
-use specframe_ir::{BlockId, CheckKind, FuncId, Function, LoadSpec, Ty, VarId};
-use specframe_profile::AliasProfile;
-use std::collections::{HashMap, HashSet};
+use specframe_ir::{Function, LoadSpec, Ty, VarId};
+use std::collections::HashSet;
 
-/// Speculation policy given to the engine.
-#[derive(Clone, Copy, Debug)]
-pub struct SpecPolicy<'a> {
-    /// Data speculation enabled (weak updates skippable).
-    pub data: bool,
-    /// Heuristic mode: apply the §3.2.2 same-syntax refinement.
-    pub heuristic: bool,
-    /// Alias profile for per-expression χ refinement, when in profile mode.
-    pub profile: Option<&'a AliasProfile>,
-    /// Control speculation: edge profile + owning function.
-    pub control: Option<(&'a EdgeProfile, FuncId)>,
-}
-
-impl SpecPolicy<'_> {
-    /// Policy with all speculation off (the O3 baseline).
-    pub fn none() -> SpecPolicy<'static> {
-        SpecPolicy {
-            data: false,
-            heuristic: false,
-            profile: None,
-            control: None,
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// occurrence bookkeeping
-// ---------------------------------------------------------------------------
-
-#[derive(Clone, Debug)]
-struct RealOcc {
-    block: BlockId,
-    stmt: usize,
-    vers: OccVersions,
-    class: u32,
-    /// Matched its class only through speculative weak updates.
-    spec: bool,
-    /// Filled by Finalize.
-    role: Role,
-    /// t-version, when this occurrence is a class def (save).
-    t_ver: u32,
-}
-
-#[derive(Clone, Copy, PartialEq, Debug)]
-enum Role {
-    /// Computes E itself (maybe saving into t).
-    Compute { save: bool },
-    /// Reloads from t.
-    Reload { from: u32, check: bool },
-}
-
-#[derive(Clone, Copy, PartialEq, Debug)]
-enum OpndDef {
-    Bottom,
-    Real(usize),
-    Phi(usize),
-}
-
-#[derive(Clone, Debug)]
-struct PhiOpnd {
-    def: OpndDef,
-    has_real_use: bool,
-    spec: bool,
-    /// Variable versions at the end of the predecessor (for insertion).
-    vers_at_pred: OccVersions,
-    /// t-version carried along this edge (filled by Finalize).
-    t_ver: u32,
-    /// Insertion performed on this edge.
-    inserted: bool,
-}
-
-#[derive(Clone, Debug)]
-struct PhiE {
-    block: BlockId,
-    class: u32,
-    opnds: Vec<PhiOpnd>,
-    down_safe: bool,
-    /// Made "down-safe" by control speculation.
-    cspec: bool,
-    can_be_avail: bool,
-    later: bool,
-    will_be_avail: bool,
-    /// Some incoming value is only speculatively equal.
-    tainted: bool,
-    t_ver: u32,
-}
-
-/// Where a memory-variable version was defined (for weak-chain walking).
-#[derive(Clone, Copy, Debug)]
-enum MemDef {
-    Entry,
-    Phi(#[allow(dead_code)] BlockId),
-    /// Strong direct def (store to the variable itself).
-    Strong,
-    /// χ at (block, stmt); `old` is the version merged in.
-    Chi {
-        block: BlockId,
-        stmt: usize,
-        old: u32,
-    },
-}
-
-// ---------------------------------------------------------------------------
-// engine
-// ---------------------------------------------------------------------------
+// The engine moved to `prekernel`; keep the public surface stable.
+pub use crate::prekernel::{
+    cleanup_hssa, copy_propagate, eliminate_dead_copies, eliminate_dead_phis,
+    propagate_collapsed_local, SpecPolicy,
+};
 
 /// Runs speculative SSAPRE for every candidate expression of `hf`.
 /// Returns the number of expressions that were transformed.
@@ -208,282 +95,8 @@ pub fn ssapre_function(
     changed
 }
 
-/// Post-SSAPRE cleanup: copy propagation, block-local forwarding of
-/// collapsed-temporary copies, dead-φ pruning and dead-copy elimination,
-/// iterated to a fixpoint. Without the φ pruning, non-pruned SSA would
-/// lower into a φ-copy per live-range per loop iteration and drown the
-/// cycle savings the promotion just bought.
-pub fn cleanup_hssa(hf: &mut HssaFunc) {
-    for _ in 0..4 {
-        copy_propagate(hf);
-        propagate_collapsed_local(hf);
-        let a = eliminate_dead_phis(hf);
-        let b = eliminate_dead_copies(hf);
-        if a == 0 && b == 0 {
-            break;
-        }
-    }
-}
-
-/// Removes φs over *register* variables whose result version is never
-/// used by any statement, terminator, or live φ. Memory/virtual-variable
-/// φs are ghosts (no lowering cost) and are kept. Returns the number of
-/// φs removed.
-pub fn eliminate_dead_phis(hf: &mut HssaFunc) -> usize {
-    // seed: versions used by non-phi consumers
-    let mut needed: HashSet<(VarId, u32)> = HashSet::new();
-    for b in hf.block_ids() {
-        let blk = &hf.blocks[b.index()];
-        for stmt in &blk.stmts {
-            for u in stmt.reg_uses() {
-                needed.insert(u);
-            }
-        }
-        match &blk.term {
-            Some(specframe_hssa::HTerm::Br {
-                cond: HOperand::Reg(v, ver),
-                ..
-            }) => {
-                needed.insert((*v, *ver));
-            }
-            Some(specframe_hssa::HTerm::Ret(Some(HOperand::Reg(v, ver)))) => {
-                needed.insert((*v, *ver));
-            }
-            _ => {}
-        }
-    }
-    // propagate: a phi is live iff its dest is needed; live phis need their
-    // arguments — dead phis keep nothing alive (this is what prunes the
-    // circular self-sustaining phi webs of non-pruned SSA)
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for b in hf.block_ids() {
-            for phi in &hf.blocks[b.index()].phis {
-                if let HVarKind::Reg(v) = hf.catalog.kind(phi.var) {
-                    if needed.contains(&(v, phi.dest)) {
-                        for &a in &phi.args {
-                            changed |= needed.insert((v, a));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    let mut removed = 0usize;
-    for b in hf.block_ids() {
-        let catalog = hf.catalog.clone();
-        let blk = &mut hf.blocks[b.index()];
-        let before = blk.phis.len();
-        blk.phis.retain(|phi| match catalog.kind(phi.var) {
-            HVarKind::Reg(v) => needed.contains(&(v, phi.dest)),
-            _ => true,
-        });
-        removed += before - blk.phis.len();
-    }
-    removed
-}
-
-/// Block-local propagation of copies *from* collapsed registers.
-///
-/// A copy `x = t` where `t` is a collapsed promotion temporary cannot be
-/// propagated globally (another check may refresh `t` in between), but it
-/// *is* safe to forward within the same block up to the next definition of
-/// `t` — which removes the one-cycle copy from almost every reload (the
-/// value is consumed right where it was reloaded).
-pub fn propagate_collapsed_local(hf: &mut HssaFunc) {
-    let collapsed: HashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
-    if collapsed.is_empty() {
-        return;
-    }
-    for b in 0..hf.blocks.len() {
-        let mut local: HashMap<(VarId, u32), (VarId, u32)> = HashMap::new();
-        let blk = &mut hf.blocks[b];
-        for stmt in &mut blk.stmts {
-            let rewrite = |o: &mut HOperand, local: &HashMap<(VarId, u32), (VarId, u32)>| {
-                if let HOperand::Reg(v, ver) = o {
-                    if let Some(&(tv, tver)) = local.get(&(*v, *ver)) {
-                        *o = HOperand::Reg(tv, tver);
-                    }
-                }
-            };
-            match &mut stmt.kind {
-                HStmtKind::Bin { a, b, .. } => {
-                    rewrite(a, &local);
-                    rewrite(b, &local);
-                }
-                HStmtKind::Un { a, .. } => rewrite(a, &local),
-                HStmtKind::Copy { src, .. } => rewrite(src, &local),
-                HStmtKind::Load { base, .. } | HStmtKind::CheckLoad { base, .. } => {
-                    rewrite(base, &local)
-                }
-                HStmtKind::Store { base, val, .. } => {
-                    rewrite(base, &local);
-                    rewrite(val, &local);
-                }
-                HStmtKind::Call { args, .. } => {
-                    for a in args {
-                        rewrite(a, &local);
-                    }
-                }
-                HStmtKind::Alloc { words, .. } => rewrite(words, &local),
-            }
-            // a new definition of a collapsed register invalidates forwards
-            if let Some((dv, _)) = stmt.def_reg() {
-                if collapsed.contains(&dv) {
-                    local.retain(|_, &mut (s, _)| s != dv);
-                }
-            }
-            if let HStmtKind::Copy {
-                dst,
-                src: HOperand::Reg(sv, sver),
-            } = &stmt.kind
-            {
-                if collapsed.contains(sv) && !collapsed.contains(&dst.0) {
-                    local.insert(*dst, (*sv, *sver));
-                }
-            }
-        }
-        if let Some(term) = &mut blk.term {
-            match term {
-                specframe_hssa::HTerm::Br { cond, .. } => {
-                    if let HOperand::Reg(v, ver) = cond {
-                        if let Some(&(tv, tver)) = local.get(&(*v, *ver)) {
-                            *cond = HOperand::Reg(tv, tver);
-                        }
-                    }
-                }
-                specframe_hssa::HTerm::Ret(Some(HOperand::Reg(v, ver))) => {
-                    if let Some(&(tv, tver)) = local.get(&(*v, *ver)) {
-                        *term = specframe_hssa::HTerm::Ret(Some(HOperand::Reg(tv, tver)));
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-}
-
-/// Removes `x = y` statements whose destination version is never used
-/// (by any statement operand, terminator, or φ argument). Iterates to a
-/// fixpoint since copies can feed only other dead copies.
-pub fn eliminate_dead_copies(hf: &mut HssaFunc) -> usize {
-    let mut total = 0usize;
-    loop {
-        let mut used: HashSet<(VarId, u32)> = HashSet::new();
-        for b in hf.block_ids() {
-            let blk = &hf.blocks[b.index()];
-            for phi in &blk.phis {
-                if let HVarKind::Reg(v) = hf.catalog.kind(phi.var) {
-                    for &a in &phi.args {
-                        used.insert((v, a));
-                    }
-                }
-            }
-            for stmt in &blk.stmts {
-                for u in stmt.reg_uses() {
-                    used.insert(u);
-                }
-            }
-            match &blk.term {
-                Some(specframe_hssa::HTerm::Br {
-                    cond: HOperand::Reg(v, ver),
-                    ..
-                }) => {
-                    used.insert((*v, *ver));
-                }
-                Some(specframe_hssa::HTerm::Ret(Some(HOperand::Reg(v, ver)))) => {
-                    used.insert((*v, *ver));
-                }
-                _ => {}
-            }
-        }
-        let mut removed = 0usize;
-        for b in hf.block_ids() {
-            let blk = &mut hf.blocks[b.index()];
-            let before = blk.stmts.len();
-            blk.stmts.retain(|stmt| match &stmt.kind {
-                HStmtKind::Copy { dst, .. } => used.contains(dst),
-                _ => true,
-            });
-            removed += before - blk.stmts.len();
-        }
-        total += removed;
-        if removed == 0 {
-            return total;
-        }
-    }
-}
-
-/// SSA copy propagation: rewrites every use of a register version defined
-/// by `x = y` to use `y` directly. Versions of *collapsed* registers (the
-/// load-promotion temporaries) are never propagated: their versions all
-/// alias one machine register whose content changes at every check, so a
-/// snapshot copy must stay a copy.
-pub fn copy_propagate(hf: &mut HssaFunc) {
-    let collapsed: HashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
-    let mut map: HashMap<(VarId, u32), HOperand> = HashMap::new();
-    for b in hf.block_ids() {
-        for stmt in &hf.blocks[b.index()].stmts {
-            if let HStmtKind::Copy { dst, src } = &stmt.kind {
-                let ok = match src {
-                    HOperand::Reg(v, _) => !collapsed.contains(v),
-                    _ => true,
-                };
-                if ok && !collapsed.contains(&dst.0) {
-                    map.insert(*dst, *src);
-                }
-            }
-        }
-    }
-    let resolve = |mut o: HOperand| -> HOperand {
-        for _ in 0..64 {
-            match o {
-                HOperand::Reg(v, ver) => match map.get(&(v, ver)) {
-                    Some(&next) => o = next,
-                    None => break,
-                },
-                _ => break,
-            }
-        }
-        o
-    };
-    for b in 0..hf.blocks.len() {
-        for stmt in &mut hf.blocks[b].stmts {
-            match &mut stmt.kind {
-                HStmtKind::Bin { a, b, .. } => {
-                    *a = resolve(*a);
-                    *b = resolve(*b);
-                }
-                HStmtKind::Un { a, .. } => *a = resolve(*a),
-                HStmtKind::Copy { src, .. } => *src = resolve(*src),
-                HStmtKind::Load { base, .. } | HStmtKind::CheckLoad { base, .. } => {
-                    *base = resolve(*base)
-                }
-                HStmtKind::Store { base, val, .. } => {
-                    *base = resolve(*base);
-                    *val = resolve(*val);
-                }
-                HStmtKind::Call { args, .. } => {
-                    for a in args {
-                        *a = resolve(*a);
-                    }
-                }
-                HStmtKind::Alloc { words, .. } => *words = resolve(*words),
-            }
-        }
-        if let Some(term) = &mut hf.blocks[b].term {
-            match term {
-                specframe_hssa::HTerm::Br { cond, .. } => *cond = resolve(*cond),
-                specframe_hssa::HTerm::Ret(Some(v)) => *v = resolve(*v),
-                _ => {}
-            }
-        }
-    }
-}
-
-/// Runs the six steps for one expression. Returns `true` if the program
-/// changed.
+/// Runs the six kernel steps for one expression. Returns `true` if the
+/// program changed.
 #[allow(clippy::too_many_arguments)]
 pub fn ssapre_expression(
     f_base: &Function,
@@ -494,962 +107,154 @@ pub fn ssapre_expression(
     policy: &SpecPolicy<'_>,
     stats: &mut OptStats,
 ) -> bool {
-    let debug = std::env::var_os("SPECFRAME_DEBUG_SSAPRE").is_some();
-    let mem_var = key.tracked_mem(hf);
-    let tracked_regs = key.tracked_regs();
-    // Cascaded speculation (Appendix B's chk.a case): when an indirect
-    // load's base register is itself a collapsed promotion temporary, its
-    // SSA versions all denote "the current value of the promoted pointer"
-    // and a new version (a check or save of the pointer) is an *injuring*
-    // definition, not a kill: the dependent reload re-validates through its
-    // own ALAT check against the current address, so matching across those
-    // versions is recoverable.
-    let base_collapsed = match key {
-        ExprKey::IndirectLoad { base, .. } => hf.collapsed_vars.contains(base),
-        _ => false,
-    };
+    let client = ExprClient::new(hf, key, policy, dt);
+    run_kernel(f_base, hf, &client, dt, df, policy, stats)
+}
 
-    // ---- scan: real occurrences + def tables -----------------------------
-    let mut occs: Vec<RealOcc> = Vec::new();
-    for b in hf.block_ids() {
-        if !dt.is_reachable(b) {
-            continue;
-        }
-        for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
-            if let Some(vers) = occurrence_versions(stmt, key) {
-                occs.push(RealOcc {
-                    block: b,
-                    stmt: si,
-                    vers,
-                    class: u32::MAX,
-                    spec: false,
-                    role: Role::Compute { save: false },
-                    t_ver: u32::MAX,
-                });
-            }
-        }
-    }
-    if occs.is_empty() {
-        return false;
-    }
+// ---------------------------------------------------------------------------
+// the expression client
+// ---------------------------------------------------------------------------
 
-    // union of profiled LOCs across E's occurrence sites (for the
-    // per-expression χ refinement in profile mode)
-    let expr_locs: HashSet<specframe_alias::Loc> = match policy.profile {
-        Some(p) => occs
-            .iter()
-            .filter_map(|o| match &hf.blocks[o.block.index()].stmts[o.stmt].kind {
-                HStmtKind::Load { site, .. } => p.locs(*site),
-                _ => None,
-            })
-            .flat_map(|s| s.iter().copied())
-            .collect(),
-        None => HashSet::new(),
-    };
+/// The kernel client for one lexical expression candidate.
+struct ExprClient<'a> {
+    key: &'a ExprKey,
+    policy: &'a SpecPolicy<'a>,
+    tracked_regs: Vec<VarId>,
+    mem_var: Option<HVarId>,
+    /// Cascaded speculation (Appendix B's chk.a case): when an indirect
+    /// load's base register is itself a collapsed promotion temporary, its
+    /// SSA versions all denote "the current value of the promoted pointer"
+    /// and a new version (a check or save of the pointer) is an *injuring*
+    /// definition, not a kill: the dependent reload re-validates through
+    /// its own ALAT check against the current address, so matching across
+    /// those versions is recoverable.
+    base_collapsed: bool,
+    /// Union of profiled LOCs across the candidate's occurrence sites
+    /// (for the per-expression χ refinement in profile mode).
+    expr_locs: HashSet<specframe_alias::Loc>,
+}
 
-    // memory-variable def table: (version) -> MemDef
-    let mut mem_defs: HashMap<u32, MemDef> = HashMap::new();
-    if let Some(mv) = mem_var {
-        mem_defs.insert(0, MemDef::Entry);
-        for b in hf.block_ids() {
-            for phi in &hf.blocks[b.index()].phis {
-                if phi.var == mv {
-                    mem_defs.insert(phi.dest, MemDef::Phi(b));
-                }
-            }
-            for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
-                if let HStmtKind::Store {
-                    dvar_def: Some((id, ver)),
-                    ..
-                } = &stmt.kind
-                {
-                    if *id == mv {
-                        mem_defs.insert(*ver, MemDef::Strong);
-                    }
-                }
-                if let Some(chi) = stmt.chi_of(mv) {
-                    mem_defs.insert(
-                        chi.new_ver,
-                        MemDef::Chi {
-                            block: b,
-                            stmt: si,
-                            old: chi.old_ver,
-                        },
-                    );
-                }
-            }
-        }
-    }
-
-    // does this chi (at stmt) kill E under the active policy?
-    let chi_kills = |stmt: &HStmt| -> bool {
-        kills_with_policy(stmt, key, mem_var, policy, &expr_locs, base_collapsed)
-    };
-
-    // weak-chain: can version `from` reach `to` through skippable chis only?
-    let weak_reaches = |hf: &HssaFunc, mut from: u32, to: u32| -> Option<bool> {
-        // Some(true) = reaches with >0 weak steps; Some(false) = equal;
-        // None = blocked
-        if from == to {
-            return Some(false);
-        }
-        let mut steps = 0;
-        while steps < 4096 {
-            match mem_defs.get(&from) {
-                Some(MemDef::Chi { block, stmt, old }) => {
-                    let s = &hf.blocks[block.index()].stmts[*stmt];
-                    if chi_kills(s) {
-                        return None;
-                    }
-                    from = *old;
-                    if from == to {
-                        return Some(true);
-                    }
-                }
-                _ => return None,
-            }
-            steps += 1;
-        }
-        None
-    };
-
-    // ---- step 1: Phi-Insertion -------------------------------------------
-    let occ_blocks: HashSet<BlockId> = occs.iter().map(|o| o.block).collect();
-    let mut phi_blocks: HashSet<BlockId> = iterated_df(df, occ_blocks.iter().copied())
-        .into_iter()
-        .collect();
-    // plus every phi of a variable of E (Appendix A's enhanced insertion:
-    // walking def chains through speculative weak updates can only ever
-    // reach variable phis, so taking all of them is a sound superset)
-    let reg_hvars: Vec<HVarId> = tracked_regs
-        .iter()
-        .filter_map(|&r| hf.catalog.get(HVarKind::Reg(r)))
-        .collect();
-    for b in hf.block_ids() {
-        if !dt.is_reachable(b) {
-            continue;
-        }
-        for phi in &hf.blocks[b.index()].phis {
-            if reg_hvars.contains(&phi.var) || mem_var == Some(phi.var) {
-                phi_blocks.insert(b);
-            }
-        }
-    }
-    let mut phis: Vec<PhiE> = phi_blocks
-        .iter()
-        .filter(|b| dt.is_reachable(**b))
-        .map(|&b| PhiE {
-            block: b,
-            class: u32::MAX,
-            opnds: hf.preds[b.index()]
-                .iter()
-                .map(|_| PhiOpnd {
-                    def: OpndDef::Bottom,
-                    has_real_use: false,
-                    spec: false,
-                    vers_at_pred: OccVersions {
-                        regs: vec![0; tracked_regs.len()],
-                        mem: mem_var.map(|_| 0),
-                    },
-                    t_ver: u32::MAX,
-                    inserted: false,
-                })
-                .collect(),
-            down_safe: false,
-            cspec: false,
-            can_be_avail: true,
-            later: true,
-            will_be_avail: false,
-            tainted: false,
-            t_ver: u32::MAX,
-        })
-        .collect();
-    phis.sort_by_key(|p| p.block);
-    let phi_at: HashMap<BlockId, usize> =
-        phis.iter().enumerate().map(|(i, p)| (p.block, i)).collect();
-
-    // ---- step 2: Rename ---------------------------------------------------
-    #[derive(Clone, Debug)]
-    enum Top {
-        Real(usize),
-        Phi(usize),
-    }
-    struct Entry {
-        class: u32,
-        top: Top,
-        vers: OccVersions,
-    }
-
-    let mut next_class = 0u32;
-    let mut expr_stack: Vec<Entry> = Vec::new();
-    // variable version stacks: regs by position in tracked_regs, mem last
-    let mut reg_stacks: Vec<Vec<u32>> = tracked_regs.iter().map(|_| vec![0]).collect();
-    let mut mem_stack: Vec<u32> = vec![0];
-
-    // map occurrences by (block, stmt) for the walk
-    let mut occ_at: HashMap<(BlockId, usize), usize> = HashMap::new();
-    for (i, o) in occs.iter().enumerate() {
-        occ_at.insert((o.block, o.stmt), i);
-    }
-
-    enum Walk {
-        Visit(BlockId),
-        Pop {
-            exprs: usize,
-            regs: Vec<usize>,
-            mems: usize,
-        },
-    }
-    let mut walk = vec![Walk::Visit(dt.rpo()[0])];
-    while let Some(w) = walk.pop() {
-        match w {
-            Walk::Pop { exprs, regs, mems } => {
-                for _ in 0..exprs {
-                    expr_stack.pop();
-                }
-                for (i, n) in regs.iter().enumerate() {
-                    for _ in 0..*n {
-                        reg_stacks[i].pop();
-                    }
-                }
-                for _ in 0..mems {
-                    mem_stack.pop();
-                }
-            }
-            Walk::Visit(b) => {
-                let mut pushed_exprs = 0usize;
-                let mut pushed_regs = vec![0usize; tracked_regs.len()];
-                let mut pushed_mem = 0usize;
-
-                // (a) variable phis at block entry
-                for phi in &hf.blocks[b.index()].phis {
-                    match hf.catalog.kind(phi.var) {
-                        HVarKind::Reg(v) => {
-                            if let Some(pos) = tracked_regs.iter().position(|&r| r == v) {
-                                reg_stacks[pos].push(phi.dest);
-                                pushed_regs[pos] += 1;
-                            }
-                        }
-                        _ => {
-                            if Some(phi.var) == mem_var {
-                                mem_stack.push(phi.dest);
-                                pushed_mem += 1;
-                            }
-                        }
-                    }
-                }
-
-                // (b) expression Phi
-                if let Some(&pi) = phi_at.get(&b) {
-                    let vers = OccVersions {
-                        regs: reg_stacks.iter().map(|s| *s.last().unwrap()).collect(),
-                        mem: mem_var.map(|_| *mem_stack.last().unwrap()),
-                    };
-                    let class = next_class;
-                    next_class += 1;
-                    phis[pi].class = class;
-                    expr_stack.push(Entry {
-                        class,
-                        top: Top::Phi(pi),
-                        vers,
-                    });
-                    pushed_exprs += 1;
-                }
-
-                // (c) statements
-                let nstmts = hf.blocks[b.index()].stmts.len();
-                for si in 0..nstmts {
-                    if let Some(&oi) = occ_at.get(&(b, si)) {
-                        let vers = occs[oi].vers.clone();
-                        let mut assigned = false;
-                        if let Some(top) = expr_stack.last() {
-                            let regs_exact = top.vers.regs == vers.regs;
-                            let regs_eq = regs_exact || (base_collapsed && policy.data);
-                            let reg_spec = regs_eq && !regs_exact;
-                            if regs_eq && top.vers.mem == vers.mem {
-                                occs[oi].class = top.class;
-                                occs[oi].spec = reg_spec;
-                                assigned = true;
-                            } else if regs_eq && policy.data {
-                                if let (Some(cur), Some(at)) = (vers.mem, top.vers.mem) {
-                                    if let Some(true) = weak_reaches(hf, cur, at) {
-                                        occs[oi].class = top.class;
-                                        occs[oi].spec = true;
-                                        assigned = true;
-                                    }
-                                }
-                            }
-                        }
-                        if !assigned {
-                            occs[oi].class = next_class;
-                            next_class += 1;
-                        }
-                        let class = occs[oi].class;
-                        expr_stack.push(Entry {
-                            class,
-                            top: Top::Real(oi),
-                            vers,
-                        });
-                        pushed_exprs += 1;
-                    }
-                    // variable defs
-                    let stmt = &hf.blocks[b.index()].stmts[si];
-                    if let Some((v, ver)) = stmt.def_reg() {
-                        if let Some(pos) = tracked_regs.iter().position(|&r| r == v) {
-                            reg_stacks[pos].push(ver);
-                            pushed_regs[pos] += 1;
-                        }
-                    }
-                    if let Some(mv) = mem_var {
-                        if let HStmtKind::Store {
-                            dvar_def: Some((id, ver)),
-                            ..
-                        } = &stmt.kind
-                        {
-                            if *id == mv {
-                                mem_stack.push(*ver);
-                                pushed_mem += 1;
-                            }
-                        }
-                        if let Some(chi) = stmt.chi_of(mv) {
-                            mem_stack.push(chi.new_ver);
-                            pushed_mem += 1;
-                        }
-                    }
-                }
-
-                // (e) expression-Phi operands in successors
-                let succs = hf.blocks[b.index()]
-                    .term
-                    .as_ref()
-                    .map(|t| t.successors())
-                    .unwrap_or_default();
-                for s in succs {
-                    let Some(&pi) = phi_at.get(&s) else { continue };
-                    let Some(op_idx) = hf.pred_index(s, b) else {
-                        continue;
-                    };
-                    let cur = OccVersions {
-                        regs: reg_stacks.iter().map(|st| *st.last().unwrap()).collect(),
-                        mem: mem_var.map(|_| *mem_stack.last().unwrap()),
-                    };
-                    let opnd = &mut phis[pi].opnds[op_idx];
-                    opnd.vers_at_pred = cur.clone();
-                    if let Some(top) = expr_stack.last() {
-                        let regs_exact = top.vers.regs == cur.regs;
-                        let regs_eq = regs_exact || (base_collapsed && policy.data);
-                        let reg_spec = regs_eq && !regs_exact;
-                        let mem_match = if top.vers.mem == cur.mem {
-                            Some(reg_spec)
-                        } else if regs_eq && policy.data {
-                            match (cur.mem, top.vers.mem) {
-                                (Some(c), Some(a)) => weak_reaches(hf, c, a),
-                                _ => None,
-                            }
-                        } else {
-                            None
-                        };
-                        if regs_eq {
-                            if let Some(spec) = mem_match {
-                                opnd.def = match top.top {
-                                    Top::Real(i) => OpndDef::Real(i),
-                                    Top::Phi(i) => OpndDef::Phi(i),
-                                };
-                                opnd.has_real_use = matches!(top.top, Top::Real(_));
-                                opnd.spec = spec;
-                            }
-                        }
-                    }
-                }
-
-                walk.push(Walk::Pop {
-                    exprs: pushed_exprs,
-                    regs: pushed_regs,
-                    mems: pushed_mem,
-                });
-                for &c in dt.children(b).iter().rev() {
-                    walk.push(Walk::Visit(c));
-                }
-            }
-        }
-    }
-
-    // ---- step 3: DownSafety (block-lexical anticipation) ------------------
-    #[derive(Clone, Copy, PartialEq)]
-    enum Ev {
-        Use,
-        Kill,
-        Transparent,
-    }
-    let nblocks = hf.blocks.len();
-    let mut first_event = vec![Ev::Transparent; nblocks];
-    for b in hf.block_ids() {
-        for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
-            if occ_at.contains_key(&(b, si)) {
-                first_event[b.index()] = Ev::Use;
-                break;
-            }
-            if kills_with_policy(stmt, key, mem_var, policy, &expr_locs, base_collapsed) {
-                first_event[b.index()] = Ev::Kill;
-                break;
-            }
-        }
-    }
-    let mut ant_in = vec![true; nblocks];
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for &b in dt.rpo().iter().rev() {
-            let succs = hf.blocks[b.index()]
-                .term
-                .as_ref()
-                .map(|t| t.successors())
-                .unwrap_or_default();
-            let out = if succs.is_empty() {
-                false
-            } else {
-                succs.iter().all(|s| ant_in[s.index()])
-            };
-            let inb = match first_event[b.index()] {
-                Ev::Use => true,
-                Ev::Kill => false,
-                Ev::Transparent => out,
-            };
-            if inb != ant_in[b.index()] {
-                ant_in[b.index()] = inb;
-                changed = true;
-            }
-        }
-    }
-    for p in phis.iter_mut() {
-        p.down_safe = ant_in[p.block.index()];
-    }
-    // control speculation: profitable non-down-safe Phis become "down-safe"
-    if let Some((ep, fid)) = policy.control {
-        if key.control_speculatable() {
-            let freqs = ep.block_freqs(fid, f_base);
-            for p in phis.iter_mut() {
-                if p.down_safe {
-                    continue;
-                }
-                let bfreq = freqs[p.block.index()];
-                if bfreq == 0 {
-                    continue;
-                }
-                let preds = &hf.preds[p.block.index()];
-                let ok = p.opnds.iter().enumerate().all(|(i, o)| {
-                    o.def != OpndDef::Bottom || ep.edge_count(fid, preds[i], p.block) * 2 < bfreq
-                });
-                // at least one operand must carry a value for speculation
-                // to be able to pay off
-                let any_def = p.opnds.iter().any(|o| o.def != OpndDef::Bottom);
-                if ok && any_def {
-                    p.cspec = true;
-                }
-            }
-        }
-    }
-
-    // ---- step 4: WillBeAvailable ------------------------------------------
-    // can_be_avail
-    let mut queue: Vec<usize> = Vec::new();
-    for (i, p) in phis.iter_mut().enumerate() {
-        if !(p.down_safe || p.cspec) && p.opnds.iter().any(|o| o.def == OpndDef::Bottom) {
-            p.can_be_avail = false;
-            queue.push(i);
-        }
-    }
-    while let Some(dead) = queue.pop() {
-        for (i, p) in phis.iter_mut().enumerate() {
-            if !p.can_be_avail {
-                continue;
-            }
-            let affected = p
-                .opnds
-                .iter()
-                .any(|o| o.def == OpndDef::Phi(dead) && !o.has_real_use);
-            if affected && !(p.down_safe || p.cspec) {
-                p.can_be_avail = false;
-                queue.push(i);
-            }
-        }
-    }
-    // later
-    for p in phis.iter_mut() {
-        p.later = p.can_be_avail;
-    }
-    let mut queue: Vec<usize> = Vec::new();
-    for (i, p) in phis.iter_mut().enumerate() {
-        if p.later {
-            let has_real = p
-                .opnds
-                .iter()
-                .any(|o| o.has_real_use || matches!(o.def, OpndDef::Real(_)));
-            if has_real {
-                p.later = false;
-                queue.push(i);
-            }
-        }
-    }
-    while let Some(early) = queue.pop() {
-        for (i, p) in phis.iter_mut().enumerate() {
-            if p.later && p.opnds.iter().any(|o| o.def == OpndDef::Phi(early)) {
-                p.later = false;
-                queue.push(i);
-            }
-        }
-    }
-    for p in phis.iter_mut() {
-        p.will_be_avail = p.can_be_avail && !p.later;
-    }
-
-    // taint: speculative values flowing into Phis
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for i in 0..phis.len() {
-            if phis[i].tainted {
-                continue;
-            }
-            let t = phis[i].opnds.iter().any(|o| {
-                o.spec
-                    || match o.def {
-                        OpndDef::Phi(j) => phis[j].tainted,
-                        _ => false,
-                    }
-            });
-            if t {
-                phis[i].tainted = true;
-                changed = true;
-            }
-        }
-    }
-
-    // quick profitability scan: is there anything to do at all?
-    let any_redundancy = occs.iter().enumerate().any(|(i, o)| {
-        occs.iter()
-            .take(i)
-            .any(|p| p.class == o.class && (p.block, p.stmt) != (o.block, o.stmt))
-    });
-    let any_wba_phi_use = occs
-        .iter()
-        .any(|o| phis.iter().any(|p| p.class == o.class && p.will_be_avail));
-    if debug {
-        eprintln!("[ssapre] key={key:?} occs={:?}", occs);
-        for p in &phis {
-            eprintln!(
-                "[ssapre]   phi@{:?} class={} ds={} cspec={} cba={} later={} wba={} opnds={:?}",
-                p.block,
-                p.class,
-                p.down_safe,
-                p.cspec,
-                p.can_be_avail,
-                p.later,
-                p.will_be_avail,
-                p.opnds
-            );
-        }
-        eprintln!("[ssapre]   any_red={any_redundancy} any_wba={any_wba_phi_use}");
-    }
-    if !any_redundancy && !any_wba_phi_use {
-        return false;
-    }
-
-    // ---- step 5+6: Finalize & CodeMotion -----------------------------------
-    // the PRE temporary (collapsed at lowering)
-    let ty = expr_ty(key);
-    let t = hf.add_temp(format!("pre{}", stats.temps), ty);
-    stats.temps += 1;
-    // only load temporaries collapse onto one machine register (the ALAT
-    // keys ld.a/ld.c by it, and failed checks refresh it for later
-    // reloads); arithmetic temporaries stay in proper SSA
-    if key.is_load() {
-        hf.collapsed_vars.push(t);
-    }
-
-    // availability walk in dominator preorder
-    #[derive(Clone, Copy)]
-    enum Avail {
-        FromPhi { phi: usize, t_ver: u32 },
-        FromReal { occ: usize, t_ver: u32 },
-    }
-    let mut avail: HashMap<u32, Vec<Avail>> = HashMap::new();
-    // collected edits
-    let mut saves: Vec<usize> = Vec::new(); // occ indices that must save
-    let mut insertions: Vec<(usize, usize)> = Vec::new(); // (phi, opnd)
-    enum Walk2 {
-        Visit(BlockId),
-        Pop(Vec<u32>),
-    }
-    let mut walk = vec![Walk2::Visit(dt.rpo()[0])];
-    // occurrence order within block
-    let mut occs_in_block: HashMap<BlockId, Vec<usize>> = HashMap::new();
-    for (i, o) in occs.iter().enumerate() {
-        occs_in_block.entry(o.block).or_default().push(i);
-    }
-    for v in occs_in_block.values_mut() {
-        v.sort_by_key(|&i| occs[i].stmt);
-    }
-    while let Some(w) = walk.pop() {
-        match w {
-            Walk2::Pop(classes) => {
-                for c in classes {
-                    avail.get_mut(&c).unwrap().pop();
-                }
-            }
-            Walk2::Visit(b) => {
-                let mut pushed: Vec<u32> = Vec::new();
-                if let Some(&pi) = phi_at.get(&b) {
-                    if phis[pi].will_be_avail {
-                        let tv = hf.fresh_ver_of_reg(t);
-                        phis[pi].t_ver = tv;
-                        avail
-                            .entry(phis[pi].class)
-                            .or_default()
-                            .push(Avail::FromPhi { phi: pi, t_ver: tv });
-                        pushed.push(phis[pi].class);
-                    }
-                }
-                if let Some(list) = occs_in_block.get(&b) {
-                    for &oi in list {
-                        let class = occs[oi].class;
-                        let top = avail.get(&class).and_then(|v| v.last().copied());
-                        match top {
-                            Some(Avail::FromPhi { phi, t_ver }) => {
-                                let check = occs[oi].spec || phis[phi].tainted;
-                                occs[oi].role = Role::Reload { from: t_ver, check };
-                            }
-                            Some(Avail::FromReal { occ, t_ver }) => {
-                                let check = occs[oi].spec || occs[occ].spec;
-                                occs[oi].role = Role::Reload { from: t_ver, check };
-                                if !saves.contains(&occ) {
-                                    saves.push(occ);
-                                }
-                            }
-                            None => {
-                                let tv = hf.fresh_ver_of_reg(t);
-                                occs[oi].t_ver = tv;
-                                occs[oi].role = Role::Compute { save: false };
-                                avail
-                                    .entry(class)
-                                    .or_default()
-                                    .push(Avail::FromReal { occ: oi, t_ver: tv });
-                                pushed.push(class);
-                            }
-                        }
-                    }
-                }
-                // successors' Phi operands: insertions & t-version routing
-                let succs = hf.blocks[b.index()]
-                    .term
-                    .as_ref()
-                    .map(|tm| tm.successors())
-                    .unwrap_or_default();
-                for s in succs {
-                    let Some(&pi) = phi_at.get(&s) else { continue };
-                    if !phis[pi].will_be_avail {
+impl<'a> ExprClient<'a> {
+    fn new(hf: &HssaFunc, key: &'a ExprKey, policy: &'a SpecPolicy<'a>, dt: &DomTree) -> Self {
+        let base_collapsed = match key {
+            ExprKey::IndirectLoad { base, .. } => hf.collapsed_vars.contains(base),
+            _ => false,
+        };
+        let expr_locs: HashSet<specframe_alias::Loc> = match policy.oracle.profile() {
+            Some(p) => {
+                let mut locs = HashSet::new();
+                for b in hf.block_ids() {
+                    if !dt.is_reachable(b) {
                         continue;
                     }
-                    let Some(op_idx) = hf.pred_index(s, b) else {
-                        continue;
-                    };
-                    let need_insert = match phis[pi].opnds[op_idx].def {
-                        OpndDef::Bottom => true,
-                        OpndDef::Phi(j) => {
-                            !phis[j].will_be_avail && !phis[pi].opnds[op_idx].has_real_use
+                    for stmt in &hf.blocks[b.index()].stmts {
+                        if occurrence_versions(stmt, key).is_none() {
+                            continue;
                         }
-                        OpndDef::Real(_) => false,
-                    };
-                    if need_insert {
-                        let tv = hf.fresh_ver_of_reg(t);
-                        phis[pi].opnds[op_idx].t_ver = tv;
-                        phis[pi].opnds[op_idx].inserted = true;
-                        insertions.push((pi, op_idx));
-                    } else {
-                        // route the available t version along the edge
-                        let tv = match phis[pi].opnds[op_idx].def {
-                            OpndDef::Real(oi) => {
-                                if !saves.contains(&oi) {
-                                    saves.push(oi);
-                                }
-                                match occs[oi].role {
-                                    Role::Compute { .. } => occs[oi].t_ver,
-                                    Role::Reload { from, .. } => from,
-                                }
-                            }
-                            OpndDef::Phi(j) => phis[j].t_ver,
-                            OpndDef::Bottom => unreachable!(),
-                        };
-                        phis[pi].opnds[op_idx].t_ver = tv;
-                    }
-                }
-                walk.push(Walk2::Pop(pushed));
-                for &c in dt.children(b).iter().rev() {
-                    walk.push(Walk2::Visit(c));
-                }
-            }
-        }
-    }
-    for &oi in &saves {
-        if let Role::Compute { .. } = occs[oi].role {
-            occs[oi].role = Role::Compute { save: true };
-        }
-    }
-
-    // nothing materialized? (all computes unsaved and no reloads)
-    let any_change = occs.iter().any(|o| match o.role {
-        Role::Reload { .. } => true,
-        Role::Compute { save } => save,
-    }) || !insertions.is_empty();
-    if !any_change {
-        // roll back the temp we allocated (harmless to keep, but tidy)
-        return false;
-    }
-
-    // advanced-load marking (Appendix B): a class with any checking reload
-    // gets its defining loads flagged ld.a
-    let mut checked_classes: HashSet<u32> = HashSet::new();
-    for o in &occs {
-        if let Role::Reload { check: true, .. } = o.role {
-            checked_classes.insert(o.class);
-        }
-    }
-    // any Phi reachable from a checked class spreads the marking to defs
-    // (conservative: mark every saving def of a checked class and every
-    // insertion feeding a Phi of a checked class)
-    let mut changed = true;
-    let mut checked_phis: HashSet<usize> = HashSet::new();
-    while changed {
-        changed = false;
-        for (i, p) in phis.iter().enumerate() {
-            if checked_classes.contains(&p.class) && checked_phis.insert(i) {
-                changed = true;
-            }
-        }
-        for p in phis.iter() {
-            for o in &p.opnds {
-                if let OpndDef::Phi(j) = o.def {
-                    if checked_classes.contains(&p.class) && checked_classes.insert(phis[j].class) {
-                        changed = true;
-                    }
-                }
-            }
-        }
-        // defs linked as operands of checked phis
-        for (i, p) in phis.iter().enumerate() {
-            if !checked_phis.contains(&i) {
-                continue;
-            }
-            for o in &p.opnds {
-                if let OpndDef::Real(oi) = o.def {
-                    if checked_classes.insert(occs[oi].class) {
-                        changed = true;
-                    }
-                }
-            }
-        }
-    }
-
-    // control-speculation: classes fed by a cspec Phi need NaT-check reloads
-    let cspec_phis: HashSet<usize> = phis
-        .iter()
-        .enumerate()
-        .filter(|(_, p)| p.cspec && p.will_be_avail)
-        .map(|(i, _)| i)
-        .collect();
-    let mut nat_classes: HashSet<u32> = HashSet::new();
-    for &i in &cspec_phis {
-        nat_classes.insert(phis[i].class);
-    }
-    // propagate downstream through phi operands
-    let mut changed = true;
-    while changed {
-        changed = false;
-        for p in phis.iter() {
-            if p.opnds.iter().any(|o| match o.def {
-                OpndDef::Phi(j) => nat_classes.contains(&phis[j].class),
-                _ => false,
-            }) && nat_classes.insert(p.class)
-            {
-                changed = true;
-            }
-        }
-    }
-
-    // ---- apply edits -------------------------------------------------------
-    #[derive(Debug)]
-    enum Edit {
-        Save { stmt: usize, occ: usize },
-        Reload { stmt: usize, occ: usize },
-    }
-    let mut per_block: HashMap<BlockId, Vec<Edit>> = HashMap::new();
-    for (oi, o) in occs.iter().enumerate() {
-        match o.role {
-            Role::Compute { save: true } => {
-                per_block.entry(o.block).or_default().push(Edit::Save {
-                    stmt: o.stmt,
-                    occ: oi,
-                })
-            }
-            Role::Reload { .. } => per_block.entry(o.block).or_default().push(Edit::Reload {
-                stmt: o.stmt,
-                occ: oi,
-            }),
-            _ => {}
-        }
-    }
-
-    let is_load_expr = key.is_load();
-    // apply in block-index order: edit application allocates temp versions,
-    // so hash-order iteration would leak into the printed SSA form
-    let mut per_block: Vec<(BlockId, Vec<Edit>)> = per_block.into_iter().collect();
-    per_block.sort_by_key(|(b, _)| b.index());
-    for (b, mut edits) in per_block {
-        edits.sort_by_key(|e| match e {
-            Edit::Save { stmt, .. } | Edit::Reload { stmt, .. } => *stmt,
-        });
-        for e in edits.into_iter().rev() {
-            match e {
-                Edit::Save { stmt, occ } => {
-                    let o = &occs[occ];
-                    let old = hf.blocks[b.index()].stmts[stmt].clone();
-                    let dst = old.def_reg().expect("occurrence defines a register");
-                    let mut def_stmt = old.clone();
-                    // defining statement now writes t
-                    set_dst(&mut def_stmt.kind, (t, o.t_ver));
-                    if is_load_expr
-                        && (checked_classes.contains(&o.class) || nat_classes.contains(&o.class))
-                    {
-                        if let HStmtKind::Load { spec, .. } = &mut def_stmt.kind {
-                            if *spec == LoadSpec::Normal {
-                                *spec = LoadSpec::Advanced;
-                                stats.advanced_loads += 1;
+                        if let HStmtKind::Load { site, .. } = &stmt.kind {
+                            if let Some(s) = p.locs(*site) {
+                                locs.extend(s.iter().copied());
                             }
                         }
                     }
-                    let copy = HStmt::new(HStmtKind::Copy {
-                        dst,
-                        src: HOperand::Reg(t, o.t_ver),
-                    });
-                    let blk = &mut hf.blocks[b.index()];
-                    blk.stmts[stmt] = def_stmt;
-                    blk.stmts.insert(stmt + 1, copy);
-                    stats.saves += 1;
                 }
-                Edit::Reload { stmt, occ } => {
-                    let o = &occs[occ];
-                    let Role::Reload { from, check } = o.role else {
-                        unreachable!()
-                    };
-                    let old = hf.blocks[b.index()].stmts[stmt].clone();
-                    let dst = old.def_reg().expect("occurrence defines a register");
-                    let needs_nat = nat_classes.contains(&o.class);
-                    if is_load_expr && (check || needs_nat) {
-                        // check load revalidates t, then the original
-                        // destination copies from it (Appendix B / Fig. 8)
-                        let tv2 = hf.fresh_ver_of_reg(t);
-                        let (base, offset, lty, site_kind) = load_shape(&old.kind);
-                        let kind = if check {
-                            CheckKind::Alat
-                        } else {
-                            CheckKind::Nat
-                        };
-                        let chk = HStmt::new(HStmtKind::CheckLoad {
-                            dst: (t, tv2),
-                            base,
-                            offset,
-                            ty: lty,
-                            kind,
-                            site: site_kind,
-                            dvar: None,
-                        });
-                        let copy = HStmt::new(HStmtKind::Copy {
-                            dst,
-                            src: HOperand::Reg(t, tv2),
-                        });
-                        let blk = &mut hf.blocks[b.index()];
-                        blk.stmts[stmt] = chk;
-                        blk.stmts.insert(stmt + 1, copy);
-                        stats.checks += 1;
-                        if check {
-                            stats.data_spec_reloads += 1;
-                        }
-                    } else {
-                        let copy = HStmt::new(HStmtKind::Copy {
-                            dst,
-                            src: HOperand::Reg(t, from),
-                        });
-                        hf.blocks[b.index()].stmts[stmt] = copy;
-                    }
-                    stats.reloads += 1;
-                    if is_load_expr {
-                        stats.loads_removed += 1;
-                    }
-                }
+                locs
             }
-        }
-    }
-
-    // insertions at predecessor ends
-    for (pi, op_idx) in insertions {
-        let p = &phis[pi];
-        let pred = hf.preds[p.block.index()][op_idx];
-        let opnd = &p.opnds[op_idx];
-        let spec_load = p.cspec && is_load_expr;
-        let stmt = materialize(
+            None => HashSet::new(),
+        };
+        ExprClient {
             key,
-            hf,
-            (t, opnd.t_ver),
-            &opnd.vers_at_pred,
-            mem_var,
-            if spec_load {
-                LoadSpec::Speculative
-            } else if checked_classes.contains(&p.class) || nat_classes.contains(&p.class) {
-                LoadSpec::Advanced
-            } else {
-                LoadSpec::Normal
+            policy,
+            tracked_regs: key.tracked_regs(),
+            mem_var: key.tracked_mem(hf),
+            base_collapsed,
+            expr_locs,
+        }
+    }
+}
+
+impl SpecClient for ExprClient<'_> {
+    fn describe(&self) -> String {
+        format!("{:?}", self.key)
+    }
+
+    fn occurrence(&self, stmt: &HStmt) -> Option<OccVersions> {
+        occurrence_versions(stmt, self.key)
+    }
+
+    fn kills(&self, stmt: &HStmt) -> bool {
+        kills_with_policy(
+            stmt,
+            self.key,
+            self.mem_var,
+            self.policy,
+            &self.expr_locs,
+            self.base_collapsed,
+        )
+    }
+
+    fn tracked_regs(&self) -> &[VarId] {
+        &self.tracked_regs
+    }
+
+    fn tracked_mem(&self) -> Option<HVarId> {
+        self.mem_var
+    }
+
+    fn base_collapsed(&self) -> bool {
+        self.base_collapsed
+    }
+
+    fn is_load(&self) -> bool {
+        self.key.is_load()
+    }
+
+    fn control_speculatable(&self) -> bool {
+        self.key.control_speculatable()
+    }
+
+    fn temp_ty(&self) -> Ty {
+        match self.key {
+            ExprKey::Bin(op, _, _) => op.result_ty(),
+            ExprKey::DirectLoad(_, ty) => *ty,
+            ExprKey::IndirectLoad { ty, .. } => *ty,
+        }
+    }
+
+    fn temp_name(&self, n: u64) -> String {
+        format!("pre{n}")
+    }
+
+    fn materialize(
+        &self,
+        hf: &HssaFunc,
+        t: (VarId, u32),
+        vers: &OccVersions,
+        spec: LoadSpec,
+    ) -> HStmt {
+        materialize(self.key, hf, t, vers, self.mem_var, spec)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// the client's kill query (the speculative-weak-update decision)
+// ---------------------------------------------------------------------------
+
+/// The killing statement's shape as the oracle's plain-data view.
+fn refine_stmt(stmt: &HStmt) -> RefineStmt {
+    match &stmt.kind {
+        HStmtKind::Store {
+            site, base, offset, ..
+        } => RefineStmt::Store {
+            site: *site,
+            syntax: match base {
+                HOperand::Reg(sb, _) => Some((*sb, *offset)),
+                _ => None,
             },
-        );
-        let blk = &mut hf.blocks[pred.index()];
-        blk.stmts.push(stmt);
-        stats.insertions += 1;
-        if spec_load {
-            stats.control_spec_loads += 1;
-        }
+        },
+        HStmtKind::Call { site, .. } => RefineStmt::Call { site: *site },
+        _ => RefineStmt::Other,
     }
-
-    // phis for t
-    let t_hvar = hf.catalog.get(HVarKind::Reg(t)).expect("temp interned");
-    for p in &phis {
-        if !p.will_be_avail {
-            continue;
-        }
-        let args: Vec<u32> = p
-            .opnds
-            .iter()
-            .map(|o| {
-                if o.t_ver != u32::MAX {
-                    o.t_ver
-                } else {
-                    0 // unreachable value path; collapsed var makes this benign
-                }
-            })
-            .collect();
-        hf.blocks[p.block.index()].phis.push(HPhi {
-            var: t_hvar,
-            dest: p.t_ver,
-            args,
-        });
-    }
-
-    stats.transformed += 1;
-    if occs.iter().any(|o| o.spec) {
-        stats.data_speculated_exprs += 1;
-    }
-    if !cspec_phis.is_empty() {
-        stats.control_speculated_exprs += 1;
-    }
-    true
 }
 
 fn kills_with_policy(
@@ -1460,7 +265,7 @@ fn kills_with_policy(
     expr_locs: &HashSet<specframe_alias::Loc>,
     base_collapsed: bool,
 ) -> bool {
-    if !policy.data {
+    if !policy.data() {
         return kills(stmt, key, mem_var, false, false);
     }
     // a redefinition of a collapsed base register is an injuring def, not a
@@ -1474,37 +279,20 @@ fn kills_with_policy(
             }
         }
     }
-    if let Some(p) = policy.profile {
-        // profile mode with the per-expression LOC refinement: a likely chi
-        // over a *virtual* variable only kills when the killing site's
-        // observed LOCs overlap the expression's observed LOCs
-        if kills_reg_or_strong(stmt, key, mem_var) {
-            return true;
-        }
-        let Some(mv) = mem_var else { return false };
-        let Some(chi) = stmt.chi_of(mv) else {
-            return false;
-        };
-        if !chi.likely {
-            return false;
-        }
-        if matches!(key, ExprKey::DirectLoad(..)) {
-            return true; // per-loc flags are already exact
-        }
-        match &stmt.kind {
-            HStmtKind::Store { site, .. } => match p.locs(*site) {
-                Some(locs) => locs.iter().any(|l| expr_locs.contains(l)),
-                None => true,
-            },
-            HStmtKind::Call { site, .. } => match p.call_mod.get(site) {
-                Some(locs) => locs.iter().any(|l| expr_locs.contains(l)),
-                None => true,
-            },
-            _ => true,
-        }
-    } else {
-        kills(stmt, key, mem_var, true, policy.heuristic)
+    if kills_reg_or_strong(stmt, key, mem_var) {
+        return true;
     }
+    let Some(mv) = mem_var else { return false };
+    let Some(chi) = stmt.chi_of(mv) else {
+        return false;
+    };
+    policy.oracle.chi_kills(&ChiRefine {
+        chi_likely: chi.likely,
+        stmt: refine_stmt(stmt),
+        cand_direct: matches!(key, ExprKey::DirectLoad(..)),
+        cand_syntax: key.syntax(),
+        expr_locs,
+    })
 }
 
 /// The memory component of the kill decision (strong def or effective chi
@@ -1529,46 +317,13 @@ fn kills_mem_part(
     let Some(chi) = stmt.chi_of(mv) else {
         return false;
     };
-    if let Some(p) = policy.profile {
-        if !chi.likely {
-            return false;
-        }
-        if matches!(key, ExprKey::DirectLoad(..)) {
-            return true;
-        }
-        match &stmt.kind {
-            HStmtKind::Store { site, .. } => match p.locs(*site) {
-                Some(locs) => locs.iter().any(|l| expr_locs.contains(l)),
-                None => true,
-            },
-            HStmtKind::Call { site, .. } => match p.call_mod.get(site) {
-                Some(locs) => locs.iter().any(|l| expr_locs.contains(l)),
-                None => true,
-            },
-            _ => true,
-        }
-    } else {
-        // heuristic / aggressive path mirrors expr::kills' chi handling
-        if chi.likely {
-            return true;
-        }
-        if policy.heuristic {
-            if let (
-                HStmtKind::Store {
-                    base: HOperand::Reg(sb, _),
-                    offset,
-                    ..
-                },
-                Some((eb, eoff)),
-            ) = (&stmt.kind, key.syntax())
-            {
-                if *sb == eb && *offset == eoff {
-                    return true;
-                }
-            }
-        }
-        false
-    }
+    policy.oracle.chi_kills(&ChiRefine {
+        chi_likely: chi.likely,
+        stmt: refine_stmt(stmt),
+        cand_direct: matches!(key, ExprKey::DirectLoad(..)),
+        cand_syntax: key.syntax(),
+        expr_locs,
+    })
 }
 
 fn kills_reg_or_strong(stmt: &HStmt, key: &ExprKey, mem_var: Option<HVarId>) -> bool {
@@ -1590,40 +345,6 @@ fn kills_reg_or_strong(stmt: &HStmt, key: &ExprKey, mem_var: Option<HVarId>) -> 
         }
     }
     false
-}
-
-fn expr_ty(key: &ExprKey) -> Ty {
-    match key {
-        ExprKey::Bin(op, _, _) => op.result_ty(),
-        ExprKey::DirectLoad(_, ty) => *ty,
-        ExprKey::IndirectLoad { ty, .. } => *ty,
-    }
-}
-
-fn set_dst(kind: &mut HStmtKind, new: (VarId, u32)) {
-    match kind {
-        HStmtKind::Bin { dst, .. }
-        | HStmtKind::Un { dst, .. }
-        | HStmtKind::Copy { dst, .. }
-        | HStmtKind::Load { dst, .. }
-        | HStmtKind::CheckLoad { dst, .. }
-        | HStmtKind::Alloc { dst, .. } => *dst = new,
-        HStmtKind::Call { dst: Some(d), .. } => *d = new,
-        _ => panic!("set_dst on store"),
-    }
-}
-
-/// Extracts the address shape of a load statement for check generation.
-fn load_shape(kind: &HStmtKind) -> (HOperand, i64, Ty, specframe_ir::MemSiteId) {
-    match kind {
-        HStmtKind::Load {
-            base, offset, ty, ..
-        } => (*base, *offset, *ty, specframe_hssa::stmt::FRESH_SITE),
-        HStmtKind::CheckLoad {
-            base, offset, ty, ..
-        } => (*base, *offset, *ty, specframe_hssa::stmt::FRESH_SITE),
-        other => panic!("load_shape on non-load {other:?}"),
-    }
 }
 
 /// Builds the inserted computation of `key` writing `t`, using the operand

@@ -89,8 +89,10 @@ pub struct PassTimings {
     pub hssa_build: std::time::Duration,
     /// The SSAPRE engine.
     pub ssapre: std::time::Duration,
-    /// Strength reduction + LFTR.
+    /// Strength reduction.
     pub strength: std::time::Duration,
+    /// Linear-function test replacement.
+    pub lftr: std::time::Duration,
     /// Store sinking.
     pub storeprom: std::time::Duration,
     /// HSSA verification.
@@ -114,6 +116,7 @@ impl PassTimings {
         self.hssa_build += other.hssa_build;
         self.ssapre += other.ssapre;
         self.strength += other.strength;
+        self.lftr += other.lftr;
         self.storeprom += other.storeprom;
         self.verify += other.verify;
         self.lower += other.lower;
@@ -135,6 +138,7 @@ impl PassTimings {
         s.push_str(&format!("  hssa-build     {}\n", ms(self.hssa_build)));
         s.push_str(&format!("  ssapre         {}\n", ms(self.ssapre)));
         s.push_str(&format!("  strength       {}\n", ms(self.strength)));
+        s.push_str(&format!("  lftr           {}\n", ms(self.lftr)));
         s.push_str(&format!("  storeprom      {}\n", ms(self.storeprom)));
         s.push_str(&format!("  verify         {}\n", ms(self.verify)));
         s.push_str(&format!("  lower          {}\n", ms(self.lower)));
@@ -179,6 +183,7 @@ mod tests {
             "hssa-build",
             "ssapre",
             "strength",
+            "lftr",
             "storeprom",
             "verify",
             "lower",

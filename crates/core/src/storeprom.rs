@@ -29,47 +29,132 @@
 //! "the current value of the cell"), so no φ plumbing is needed and the
 //! preheader's initializing load covers the zero-trip case: if the loop
 //! body never runs, the exit stores write back the original value.
+//!
+//! This pass is a loop-shaped client of [`crate::prekernel`]: loop
+//! recognition comes from [`reducible_loops`], the candidate contract
+//! (occurrence harvesting / kill query / emission of the initializing
+//! load) is the kernel's [`SpecClient`] trait, and every rewrite is
+//! expressed as [`MotionEdit`]s applied through [`apply_edits`].
 
+use crate::expr::OccVersions;
+use crate::prekernel::{apply_edits, reducible_loops, MotionEdit, SpecClient};
 use crate::stats::OptStats;
 use specframe_analysis::FuncAnalyses;
 use specframe_hssa::{HOperand, HStmt, HStmtKind, HVarId, HVarKind, HssaFunc, MemBase};
-use specframe_ir::{BlockId, LoadSpec, Ty};
+use specframe_ir::{BlockId, LoadSpec, Ty, VarId};
 use std::collections::HashSet;
+
+/// The store-promotion candidate: one direct global/slot cell `mv`,
+/// stored to inside the loop. Occurrences are the candidate stores; any
+/// other in-loop touch of the cell (a read, an aliasing χ or μ) kills the
+/// promotion — there is no "check store" on IA-64, so a mis-speculated
+/// store sink would be unrecoverable and the kill query is exact, not
+/// oracle-refined.
+struct StoreClient {
+    mv: HVarId,
+    base: HOperand,
+    offset: i64,
+    ty: Ty,
+}
+
+impl SpecClient for StoreClient {
+    fn describe(&self) -> String {
+        format!("store-promote {:?}", self.mv)
+    }
+
+    fn occurrence(&self, stmt: &HStmt) -> Option<OccVersions> {
+        match &stmt.kind {
+            HStmtKind::Store {
+                dvar_def: Some((id, ver)),
+                ..
+            } if *id == self.mv => Some(OccVersions {
+                regs: vec![],
+                mem: Some(*ver),
+            }),
+            _ => None,
+        }
+    }
+
+    fn kills(&self, stmt: &HStmt) -> bool {
+        if self.occurrence(stmt).is_some() {
+            // a candidate store chi-ing a vvar is handled by the caller's
+            // cross-class scan; the store itself does not kill
+            return false;
+        }
+        match &stmt.kind {
+            HStmtKind::Load {
+                dvar: Some((id, _)),
+                ..
+            }
+            | HStmtKind::CheckLoad {
+                dvar: Some((id, _)),
+                ..
+            } if *id == self.mv => true, // in-loop read of the cell
+            _ => {
+                // any other statement touching mv via chi or mu
+                // (aliasing indirect access or call)
+                stmt.chi.iter().any(|c| c.var == self.mv)
+                    || stmt.mu.iter().any(|m| m.var == self.mv)
+            }
+        }
+    }
+
+    fn tracked_regs(&self) -> &[VarId] {
+        &[]
+    }
+
+    fn tracked_mem(&self) -> Option<HVarId> {
+        Some(self.mv)
+    }
+
+    fn is_load(&self) -> bool {
+        false
+    }
+
+    fn control_speculatable(&self) -> bool {
+        false
+    }
+
+    fn temp_ty(&self) -> Ty {
+        self.ty
+    }
+
+    fn temp_name(&self, n: u64) -> String {
+        format!("stp{n}")
+    }
+
+    /// The preheader's initializing load of the cell (covers zero-trip).
+    fn materialize(
+        &self,
+        _hf: &HssaFunc,
+        t: (VarId, u32),
+        vers: &OccVersions,
+        spec: LoadSpec,
+    ) -> HStmt {
+        HStmt::new(HStmtKind::Load {
+            dst: t,
+            base: self.base,
+            offset: self.offset,
+            ty: self.ty,
+            spec,
+            site: specframe_hssa::FRESH_SITE,
+            dvar: Some((self.mv, vers.mem.unwrap_or(0))),
+        })
+    }
+}
 
 /// Runs store sinking over every loop of `hf`, using the function's cached
 /// CFG analyses. Returns the number of in-loop stores removed.
 pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalyses) -> usize {
-    let li = &fa.loops;
     let mut sunk_total = 0;
 
-    for l in li.loops.clone() {
-        if l.latches.len() != 1 {
-            continue;
-        }
-        let header = l.header;
-        let preds = hf.preds[header.index()].clone();
-        let latch_idx = match preds.iter().position(|&p| p == l.latches[0]) {
-            Some(i) => i,
-            None => continue,
-        };
-        let entries: Vec<usize> = (0..preds.len()).filter(|&i| i != latch_idx).collect();
-        if entries.len() != 1 {
-            continue;
-        }
-        let preheader = preds[entries[0]];
-        if hf.blocks[preheader.index()]
-            .term
-            .as_ref()
-            .map(|t| t.successors().len())
-            != Some(1)
-        {
-            continue;
-        }
-        let body: HashSet<BlockId> = l.body.iter().copied().collect();
+    for shape in reducible_loops(hf, fa) {
+        let preheader = shape.preheader;
+        let body: HashSet<BlockId> = shape.body.iter().copied().collect();
 
         // candidate memory variables: direct-store targets inside the loop
         let mut cands: Vec<HVarId> = Vec::new();
-        for &b in &l.body {
+        for &b in &shape.body {
             for stmt in &hf.blocks[b.index()].stmts {
                 if let HStmtKind::Store {
                     dvar_def: Some((id, _)),
@@ -84,54 +169,43 @@ pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalys
         }
 
         'cand: for mv in cands {
-            // reject any in-loop read or aliasing touch of mv
+            // occurrence harvest + kill scan: reject any in-loop read or
+            // aliasing touch of mv
             let mut stores: Vec<(BlockId, usize)> = Vec::new();
-            let mut shape: Option<(HOperand, i64, Ty)> = None;
-            for &b in &l.body {
+            let mut client: Option<StoreClient> = None;
+            for &b in &shape.body {
                 for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
-                    match &stmt.kind {
-                        HStmtKind::Store {
-                            dvar_def: Some((id, _)),
-                            base,
-                            offset,
-                            ty,
-                            ..
-                        } if *id == mv => {
-                            if stmt.chi.iter().any(|c| c.var != mv) {
-                                // the store also chi's a vvar: an indirect
-                                // reference of the same class exists
-                                // somewhere; stay conservative only if that
-                                // reference is inside the loop (checked
-                                // below via mu/chi scan on other stmts) —
-                                // a chi on a vvar from this store itself is
-                                // fine because nothing in the loop reads it
-                            }
-                            shape = Some((*base, *offset, *ty));
+                    if let HStmtKind::Store {
+                        dvar_def: Some((id, _)),
+                        base,
+                        offset,
+                        ty,
+                        ..
+                    } = &stmt.kind
+                    {
+                        if *id == mv {
+                            client = Some(StoreClient {
+                                mv,
+                                base: *base,
+                                offset: *offset,
+                                ty: *ty,
+                            });
                             stores.push((b, si));
+                            continue;
                         }
-                        HStmtKind::Load {
-                            dvar: Some((id, _)),
-                            ..
-                        }
-                        | HStmtKind::CheckLoad {
-                            dvar: Some((id, _)),
-                            ..
-                        } if *id == mv => {
-                            continue 'cand; // in-loop read of the cell
-                        }
-                        _ => {
-                            // any other statement touching mv via chi or mu
-                            // (aliasing indirect access or call)
-                            if stmt.chi.iter().any(|c| c.var == mv)
-                                || stmt.mu.iter().any(|m| m.var == mv)
-                            {
-                                continue 'cand;
-                            }
-                        }
+                    }
+                    let probe = StoreClient {
+                        mv,
+                        base: HOperand::ConstI(0),
+                        offset: 0,
+                        ty: Ty::I64,
+                    };
+                    if probe.kills(stmt) {
+                        continue 'cand;
                     }
                 }
             }
-            let Some((base, offset, ty)) = shape else {
+            let Some(client) = client else {
                 continue;
             };
             if stores.is_empty() {
@@ -157,7 +231,7 @@ pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalys
                         .map(|c| c.var)
                         .filter(|v| *v != mv)
                         .collect();
-                    for &bb in &l.body {
+                    for &bb in &shape.body {
                         for stmt in &hf.blocks[bb.index()].stmts {
                             if stmt.mu.iter().any(|m| vvars.contains(&m.var)) {
                                 continue 'cand;
@@ -169,7 +243,7 @@ pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalys
 
             // exit edges: in-loop blocks with a successor outside the body
             let mut exit_points: Vec<BlockId> = Vec::new();
-            for &b in &l.body {
+            for &b in &shape.body {
                 let succs = hf.blocks[b.index()]
                     .term
                     .as_ref()
@@ -193,25 +267,31 @@ pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalys
                 continue; // infinite loop: nothing to sink to
             }
 
-            // ---- transform ----
-            let name = format!("stp{}", stats.temps);
-            let r = hf.add_temp(name, ty);
+            // ---- transform: emitted as motion edits on the kernel seam.
+            // Version allocation stays eager (rv0 → per-store rv → per-exit
+            // mver, in scan order) so the printed SSA form is unchanged;
+            // application is deferred to one `apply_edits` per candidate —
+            // per candidate, not per loop, because the next candidate's
+            // legality scan must read the mutated statements.
+            let r = hf.add_temp(client.temp_name(stats.temps), client.temp_ty());
             stats.temps += 1;
             hf.collapsed_vars.push(r);
+            let mut edits: Vec<MotionEdit> = Vec::new();
 
             // preheader: r = load cell (covers the zero-trip case)
             let rv0 = hf.fresh_ver_of_reg(r);
-            hf.blocks[preheader.index()]
-                .stmts
-                .push(HStmt::new(HStmtKind::Load {
-                    dst: (r, rv0),
-                    base,
-                    offset,
-                    ty,
-                    spec: LoadSpec::Normal,
-                    site: specframe_hssa::FRESH_SITE,
-                    dvar: Some((mv, 0)),
-                }));
+            edits.push(MotionEdit::Append {
+                block: preheader,
+                what: client.materialize(
+                    hf,
+                    (r, rv0),
+                    &OccVersions {
+                        regs: vec![],
+                        mem: Some(0),
+                    },
+                    LoadSpec::Normal,
+                ),
+            });
 
             // in-loop stores become register moves
             for &(b, si) in &stores {
@@ -220,9 +300,13 @@ pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalys
                     _ => unreachable!(),
                 };
                 let rv = hf.fresh_ver_of_reg(r);
-                hf.blocks[b.index()].stmts[si] = HStmt::new(HStmtKind::Copy {
-                    dst: (r, rv),
-                    src: val,
+                edits.push(MotionEdit::Replace {
+                    block: b,
+                    stmt: si,
+                    with: HStmt::new(HStmtKind::Copy {
+                        dst: (r, rv),
+                        src: val,
+                    }),
                 });
                 sunk_total += 1;
                 stats.stores_sunk += 1;
@@ -231,16 +315,19 @@ pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalys
             // exit blocks: store the carried value back
             for &e in &exit_points {
                 let mver = hf.fresh_ver(mv);
-                let st = HStmt::new(HStmtKind::Store {
-                    base,
-                    offset,
-                    val: HOperand::Reg(r, 0),
-                    ty,
-                    site: specframe_hssa::FRESH_SITE,
-                    dvar_def: Some((mv, mver)),
+                edits.push(MotionEdit::InsertFront {
+                    block: e,
+                    what: HStmt::new(HStmtKind::Store {
+                        base: client.base,
+                        offset: client.offset,
+                        val: HOperand::Reg(r, 0),
+                        ty: client.ty,
+                        site: specframe_hssa::FRESH_SITE,
+                        dvar_def: Some((mv, mver)),
+                    }),
                 });
-                hf.blocks[e.index()].stmts.insert(0, st);
             }
+            apply_edits(hf, edits);
         }
     }
     sunk_total

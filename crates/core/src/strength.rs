@@ -7,14 +7,47 @@
 //! code"* in that work. This client shares the engine's machinery: it
 //! introduces a collapsed PRE-style temporary `s ≡ i*c` per induction
 //! expression, keeps it up to date with *repair* additions at each
-//! injuring definition (`i = i + k` → `s = s + k*c`), replaces the
-//! multiplications with copies, and finally rewrites the loop-exit test
-//! `i < N` into `s < N*c` (linear-function test replacement).
+//! injuring definition (`i = i + k` → `s = s + k*c`), and replaces the
+//! multiplications with copies. Each reduced factor is recorded as an
+//! [`SrTemp`] so the separate [`crate::lftr`] client can later rewrite
+//! the loop-exit test `i < N` into `s < N*c` (linear-function test
+//! replacement) — LFTR needs the rename/version state (`v_phi`/`v_step`)
+//! this pass establishes.
+//!
+//! Like store promotion, this pass is a loop-shaped client of
+//! [`crate::prekernel`]: loops come from [`reducible_loops`], candidate
+//! harvesting and temporary emission go through [`SpecClient`], and all
+//! rewrites are [`MotionEdit`]s applied via [`apply_edits`].
 
+use crate::expr::OccVersions;
+use crate::prekernel::{apply_edits, reducible_loops, MotionEdit, SpecClient};
 use crate::stats::OptStats;
 use specframe_analysis::FuncAnalyses;
-use specframe_hssa::{HOperand, HStmt, HStmtKind, HTerm, HVarKind, HssaFunc, Phi as HPhi};
-use specframe_ir::{BinOp, BlockId, Ty, VarId};
+use specframe_hssa::{HOperand, HStmt, HStmtKind, HVarId, HVarKind, HssaFunc, Phi as HPhi};
+use specframe_ir::{BinOp, BlockId, LoadSpec, Ty, VarId};
+
+/// One reduced induction expression `s ≡ i*c`, recorded for LFTR. The
+/// versions are the rename state LFTR needs to pick the right `s` version
+/// for each version of `i` appearing in a loop-exit test.
+#[derive(Debug, Clone)]
+pub struct SrTemp {
+    /// The basic induction variable `i`.
+    pub iv_var: VarId,
+    /// `i`'s version defined by the header φ.
+    pub iv_phi_dest: u32,
+    /// `i`'s version produced by the increment.
+    pub iv_latch_ver: u32,
+    /// The reduction temporary `s`.
+    pub s: VarId,
+    /// `s`'s header-φ version (pairs with `iv_phi_dest`).
+    pub v_phi: u32,
+    /// `s`'s post-repair version (pairs with `iv_latch_ver`).
+    pub v_step: u32,
+    /// The constant factor `c`.
+    pub c: i64,
+    /// Blocks of the owning loop.
+    pub body: Vec<BlockId>,
+}
 
 /// One recognized basic induction variable.
 #[derive(Debug, Clone, Copy)]
@@ -36,39 +69,114 @@ struct BasicIv {
     latch_idx: usize,
 }
 
-/// Runs strength reduction + LFTR over every loop of `hf`, using the
-/// function's cached CFG analyses.
-/// Returns the number of multiplications rewritten.
-pub fn strength_reduce_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalyses) -> usize {
-    let li = &fa.loops;
+/// The strength-reduction candidate: multiplications of one basic IV by
+/// a constant factor. `c = None` harvests factor-agnostically; a fixed
+/// factor drives emission. The increment is an *injuring* definition in
+/// the paper's sense — it never kills, it gets repair code — so the kill
+/// query is constantly false.
+struct StrengthClient {
+    iv: BasicIv,
+    c: Option<i64>,
+}
+
+impl StrengthClient {
+    /// Extracts `(version of i, factor)` if `stmt` is `_ = mul i, c`
+    /// (either operand order) with a usable nonzero factor.
+    fn mul_of_iv(&self, stmt: &HStmt) -> Option<(u32, i64)> {
+        let HStmtKind::Bin {
+            op: BinOp::Mul,
+            a,
+            b,
+            ..
+        } = &stmt.kind
+        else {
+            return None;
+        };
+        let (ver, c) = match (a, b) {
+            (HOperand::Reg(v, ver), HOperand::ConstI(c)) if *v == self.iv.var => (*ver, *c),
+            (HOperand::ConstI(c), HOperand::Reg(v, ver)) if *v == self.iv.var => (*ver, *c),
+            _ => return None,
+        };
+        if c == 0 || self.c.is_some_and(|want| want != c) {
+            return None;
+        }
+        Some((ver, c))
+    }
+}
+
+impl SpecClient for StrengthClient {
+    fn describe(&self) -> String {
+        format!("strength-reduce {:?} * {:?}", self.iv.var, self.c)
+    }
+
+    fn occurrence(&self, stmt: &HStmt) -> Option<OccVersions> {
+        self.mul_of_iv(stmt).map(|(ver, _)| OccVersions {
+            regs: vec![ver],
+            mem: None,
+        })
+    }
+
+    fn kills(&self, _stmt: &HStmt) -> bool {
+        false
+    }
+
+    fn tracked_regs(&self) -> &[VarId] {
+        std::slice::from_ref(&self.iv.var)
+    }
+
+    fn tracked_mem(&self) -> Option<HVarId> {
+        None
+    }
+
+    fn is_load(&self) -> bool {
+        false
+    }
+
+    fn control_speculatable(&self) -> bool {
+        false
+    }
+
+    fn temp_ty(&self) -> Ty {
+        Ty::I64
+    }
+
+    fn temp_name(&self, n: u64) -> String {
+        format!("sr{n}")
+    }
+
+    /// The preheader initialization `s = i.pre * c`.
+    fn materialize(
+        &self,
+        _hf: &HssaFunc,
+        t: (VarId, u32),
+        vers: &OccVersions,
+        _spec: LoadSpec,
+    ) -> HStmt {
+        HStmt::new(HStmtKind::Bin {
+            dst: t,
+            op: BinOp::Mul,
+            a: HOperand::Reg(self.iv.var, vers.regs[0]),
+            b: HOperand::ConstI(self.c.expect("factor fixed at emission")),
+        })
+    }
+}
+
+/// Runs strength reduction over every loop of `hf`, using the function's
+/// cached CFG analyses. Each reduced factor is appended to `sr_out` for
+/// the LFTR pass. Returns the number of multiplications rewritten.
+pub fn strength_reduce_hssa(
+    hf: &mut HssaFunc,
+    stats: &mut OptStats,
+    fa: &FuncAnalyses,
+    sr_out: &mut Vec<SrTemp>,
+) -> usize {
     let mut rewritten_total = 0;
 
-    for l in li.loops.clone() {
-        if l.latches.len() != 1 {
-            continue;
-        }
-        let header = l.header;
-        let latch = l.latches[0];
-        let preds = hf.preds[header.index()].clone();
-        let latch_idx = match preds.iter().position(|&p| p == latch) {
-            Some(i) => i,
-            None => continue,
-        };
-        // unique entry predecessor with a single successor (insertable)
-        let entries: Vec<usize> = (0..preds.len()).filter(|&i| i != latch_idx).collect();
-        if entries.len() != 1 {
-            continue;
-        }
-        let pre_idx = entries[0];
-        let preheader = preds[pre_idx];
-        if hf.blocks[preheader.index()]
-            .term
-            .as_ref()
-            .map(|t| t.successors().len())
-            != Some(1)
-        {
-            continue;
-        }
+    for shape in reducible_loops(hf, fa) {
+        let header = shape.header;
+        let preheader = shape.preheader;
+        let pre_idx = shape.pre_idx;
+        let latch_idx = shape.latch_idx;
 
         // recognize basic induction variables from header φs
         let mut ivs: Vec<BasicIv> = Vec::new();
@@ -80,7 +188,7 @@ pub fn strength_reduce_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAn
             let latch_ver = phi.args[latch_idx];
             // find `var.latch_ver = add var.phi_dest, k` in the loop body
             let mut found = None;
-            'search: for &b in &l.body {
+            'search: for &b in &shape.body {
                 for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
                     if let HStmtKind::Bin { dst, op, a, b: bb } = &stmt.kind {
                         if *dst != (var, latch_ver) {
@@ -126,48 +234,40 @@ pub fn strength_reduce_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAn
         }
 
         for iv in ivs {
-            rewritten_total += reduce_one_iv(hf, &l.body, header, preheader, latch, iv, stats);
+            rewritten_total += reduce_one_iv(hf, &shape.body, header, preheader, iv, stats, sr_out);
         }
     }
     rewritten_total
 }
 
-#[allow(clippy::too_many_arguments)]
 fn reduce_one_iv(
     hf: &mut HssaFunc,
     body: &[BlockId],
     header: BlockId,
     preheader: BlockId,
-    _latch: BlockId,
     iv: BasicIv,
     stats: &mut OptStats,
+    sr_out: &mut Vec<SrTemp>,
 ) -> usize {
-    // collect candidate multiplications grouped by the constant factor
+    // harvest candidate multiplications through the client's occurrence
+    // query, factor-agnostically; grouped by constant factor below
     // (block, stmt, dest, which version of i, factor)
+    let probe = StrengthClient { iv, c: None };
     type MulCand = (BlockId, usize, (VarId, u32), u32, i64);
     let mut cands: Vec<MulCand> = Vec::new();
     for &b in body {
         for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
-            let HStmtKind::Bin {
-                dst,
-                op: BinOp::Mul,
-                a,
-                b: bb,
-            } = &stmt.kind
-            else {
+            let Some((ver, c)) = probe.mul_of_iv(stmt) else {
                 continue;
             };
-            let m = match (a, bb) {
-                (HOperand::Reg(v, ver), HOperand::ConstI(c)) if *v == iv.var => Some((*ver, *c)),
-                (HOperand::ConstI(c), HOperand::Reg(v, ver)) if *v == iv.var => Some((*ver, *c)),
-                _ => None,
+            let HStmtKind::Bin { dst, .. } = &stmt.kind else {
+                unreachable!()
             };
-            let Some((ver, c)) = m else { continue };
             let usable = ver == iv.phi_dest
                 || (ver == iv.latch_ver
                     && (b, si) > (iv.inc_at.0, iv.inc_at.1)
                     && b == iv.inc_at.0);
-            if usable && c != 0 {
+            if usable {
                 cands.push((b, si, *dst, ver, c));
             }
         }
@@ -182,23 +282,29 @@ fn reduce_one_iv(
 
     let mut rewritten = 0;
     for c in factors {
+        let client = StrengthClient { iv, c: Some(c) };
         // s tracks i * c
         // SR temporaries are proper SSA (their header φ is constructed
         // explicitly), so they need no collapsing and their copies fully
         // propagate away
-        let s = hf.add_temp(format!("sr{}", stats.temps), Ty::I64);
+        let s = hf.add_temp(client.temp_name(stats.temps), client.temp_ty());
         stats.temps += 1;
+        let mut edits: Vec<MotionEdit> = Vec::new();
 
         // preheader: s = i.pre * c
         let v_init = hf.fresh_ver_of_reg(s);
-        hf.blocks[preheader.index()]
-            .stmts
-            .push(HStmt::new(HStmtKind::Bin {
-                dst: (s, v_init),
-                op: BinOp::Mul,
-                a: HOperand::Reg(iv.var, iv.pre_ver),
-                b: HOperand::ConstI(c),
-            }));
+        edits.push(MotionEdit::Append {
+            block: preheader,
+            what: client.materialize(
+                hf,
+                (s, v_init),
+                &OccVersions {
+                    regs: vec![iv.pre_ver],
+                    mem: None,
+                },
+                LoadSpec::Normal,
+            ),
+        });
 
         // header φ: s.h = φ(s.init, s.step)
         let v_phi = hf.fresh_ver_of_reg(s);
@@ -208,136 +314,69 @@ fn reduce_one_iv(
         let mut args = vec![v_init; npreds];
         args[iv.pre_idx] = v_init;
         args[iv.latch_idx] = v_step;
-        hf.blocks[header.index()].phis.push(HPhi {
-            var: s_hvar,
-            dest: v_phi,
-            args,
+        edits.push(MotionEdit::AddPhi {
+            block: header,
+            phi: HPhi {
+                var: s_hvar,
+                dest: v_phi,
+                args,
+            },
         });
 
         // repair after the injuring definition: s.step = s.h + k*c
         let (ib, isi) = iv.inc_at;
-        hf.blocks[ib.index()].stmts.insert(
-            isi + 1,
-            HStmt::new(HStmtKind::Bin {
+        edits.push(MotionEdit::InsertAfter {
+            block: ib,
+            stmt: isi,
+            what: HStmt::new(HStmtKind::Bin {
                 dst: (s, v_step),
                 op: BinOp::Add,
                 a: HOperand::Reg(s, v_phi),
                 b: HOperand::ConstI(iv.k.wrapping_mul(c)),
             }),
-        );
+        });
 
-        // rewrite candidates of this factor (indices after the repair
-        // insertion shift by one within the increment block)
+        // rewrite candidates of this factor; edits apply in order, so the
+        // Replace indices are post-insertion (within the increment block
+        // they shift by one past the repair)
         for &(b, si, dst, ver, cc) in &cands {
             if cc != c {
                 continue;
             }
             let si_adj = if b == ib && si > isi { si + 1 } else { si };
             let src_ver = if ver == iv.phi_dest { v_phi } else { v_step };
-            hf.blocks[b.index()].stmts[si_adj] = HStmt::new(HStmtKind::Copy {
-                dst,
-                src: HOperand::Reg(s, src_ver),
+            edits.push(MotionEdit::Replace {
+                block: b,
+                stmt: si_adj,
+                with: HStmt::new(HStmtKind::Copy {
+                    dst,
+                    src: HOperand::Reg(s, src_ver),
+                }),
             });
             rewritten += 1;
             stats.strength_reduced += 1;
         }
+        // apply per factor, not per loop: the next factor's repair
+        // insertion and candidate indices read the mutated statement list
+        apply_edits(hf, edits);
 
-        // LFTR: rewrite the loop-exit comparison `i <op> N` into
-        // `s <op> N*c` when c > 0 and the comparison drives a branch only
-        if c > 0 {
-            lftr(hf, body, iv, s, v_phi, v_step, c, stats);
-        }
+        sr_out.push(SrTemp {
+            iv_var: iv.var,
+            iv_phi_dest: iv.phi_dest,
+            iv_latch_ver: iv.latch_ver,
+            s,
+            v_phi,
+            v_step,
+            c,
+            body: body.to_vec(),
+        });
     }
     rewritten
 }
 
-#[allow(clippy::too_many_arguments)]
-fn lftr(
-    hf: &mut HssaFunc,
-    body: &[BlockId],
-    iv: BasicIv,
-    s: VarId,
-    v_phi: u32,
-    v_step: u32,
-    c: i64,
-    stats: &mut OptStats,
-) {
-    for &b in body {
-        // the block must end in a branch whose condition is a comparison of i
-        let Some(HTerm::Br {
-            cond: HOperand::Reg(cv, cver),
-            ..
-        }) = hf.blocks[b.index()].term.clone()
-        else {
-            continue;
-        };
-        // find the defining comparison in this block
-        let Some(ci) = hf.blocks[b.index()]
-            .stmts
-            .iter()
-            .position(|st| st.def_reg() == Some((cv, cver)))
-        else {
-            continue;
-        };
-        let HStmtKind::Bin { dst, op, a, b: bb } = hf.blocks[b.index()].stmts[ci].kind.clone()
-        else {
-            continue;
-        };
-        if !matches!(op, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
-            continue;
-        }
-        // require the condition register to feed only the branch
-        let uses_elsewhere = hf.blocks.iter().any(|blk| {
-            blk.stmts
-                .iter()
-                .any(|st| st.reg_uses().contains(&(cv, cver)) && st.def_reg() != Some(dst))
-        });
-        if uses_elsewhere {
-            continue;
-        }
-        let rewrite = match (a, bb) {
-            (HOperand::Reg(v, ver), HOperand::ConstI(n)) if v == iv.var => {
-                let s_ver = if ver == iv.phi_dest {
-                    Some(v_phi)
-                } else if ver == iv.latch_ver {
-                    Some(v_step)
-                } else {
-                    None
-                };
-                s_ver.and_then(|sv| {
-                    n.checked_mul(c)
-                        .map(|nc| (HOperand::Reg(s, sv), HOperand::ConstI(nc)))
-                })
-            }
-            (HOperand::ConstI(n), HOperand::Reg(v, ver)) if v == iv.var => {
-                let s_ver = if ver == iv.phi_dest {
-                    Some(v_phi)
-                } else if ver == iv.latch_ver {
-                    Some(v_step)
-                } else {
-                    None
-                };
-                s_ver.and_then(|sv| {
-                    n.checked_mul(c)
-                        .map(|nc| (HOperand::ConstI(nc), HOperand::Reg(s, sv)))
-                })
-            }
-            _ => None,
-        };
-        if let Some((na, nb)) = rewrite {
-            hf.blocks[b.index()].stmts[ci] = HStmt::new(HStmtKind::Bin {
-                dst,
-                op,
-                a: na,
-                b: nb,
-            });
-            stats.lftr_applied += 1;
-        }
-    }
-}
-
-/// Convenience wrapper running strength reduction on a whole module
-/// outside the main driver (used by ablation benches).
+/// Convenience wrapper running strength reduction (followed by LFTR over
+/// the recorded temporaries) on a whole module outside the main driver
+/// (used by ablation benches).
 pub fn strength_reduce_function(
     m: &mut specframe_ir::Module,
     fid: specframe_ir::FuncId,
@@ -353,7 +392,9 @@ pub fn strength_reduce_function(
         specframe_hssa::SpecMode::NoSpeculation,
         &fa,
     );
-    let n = strength_reduce_hssa(&mut hf, stats, &fa);
+    let mut sr_temps = Vec::new();
+    let n = strength_reduce_hssa(&mut hf, stats, &fa, &mut sr_temps);
+    crate::lftr::lftr_hssa(&mut hf, &sr_temps, stats);
     specframe_hssa::lower_hssa(m, &hf);
     n
 }

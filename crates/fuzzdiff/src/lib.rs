@@ -230,6 +230,7 @@ pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Res
                 data: SpecSource::None,
                 control: ControlSpec::Profile(&eprof),
                 strength_reduction: true,
+                lftr: false,
                 store_sinking: false,
             },
         ),
@@ -239,6 +240,7 @@ pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Res
                 data: SpecSource::Profile(&aprof),
                 control: ControlSpec::Profile(&eprof),
                 strength_reduction: true,
+                lftr: false,
                 store_sinking: false,
             },
         ),
@@ -248,6 +250,17 @@ pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Res
                 data: SpecSource::Heuristic,
                 control: ControlSpec::Static,
                 strength_reduction: true,
+                lftr: false,
+                store_sinking: true,
+            },
+        ),
+        (
+            "sr-lftr",
+            OptOptions {
+                data: SpecSource::Heuristic,
+                control: ControlSpec::Static,
+                strength_reduction: true,
+                lftr: true,
                 store_sinking: true,
             },
         ),
@@ -257,6 +270,7 @@ pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Res
                 data: SpecSource::Aggressive,
                 control: ControlSpec::Static,
                 strength_reduction: false,
+                lftr: false,
                 store_sinking: false,
             },
         ),

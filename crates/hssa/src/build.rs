@@ -8,6 +8,7 @@
 //!    direct-memory variables, and virtual variables.
 
 use crate::hvar::{HVarId, HVarKind, MemBase, MemVar, VarCatalog};
+use crate::oracle::{FnEvidence, Likeliness, SiteQuery};
 use crate::stmt::{ChiOp, HBlock, HOperand, HStmt, HStmtKind, HTerm, HssaFunc, MuOp, Phi};
 use specframe_alias::{AliasAnalysis, ClassId, Loc};
 use specframe_analysis::{iterated_df, DomTree, FuncAnalyses};
@@ -58,15 +59,30 @@ pub fn build_hssa(m: &Module, fid: FuncId, aa: &AliasAnalysis, mode: SpecMode<'_
 }
 
 /// [`build_hssa`] over a pre-computed analysis cache, without touching the
-/// rest of the module. The parallel driver calls this with each worker
-/// owning exactly one function; `globals` is the only shared module state
-/// and is read-only.
+/// rest of the module. Convenience wrapper constructing a one-shot
+/// [`Likeliness`] oracle from `mode`; the driver owns a long-lived oracle
+/// and calls [`build_hssa_with`] directly.
 pub fn build_hssa_in(
     globals: &[Global],
     f: &Function,
     fid: FuncId,
     aa: &AliasAnalysis,
     mode: SpecMode<'_>,
+    fa: &FuncAnalyses,
+) -> HssaFunc {
+    build_hssa_with(globals, f, fid, aa, &Likeliness::new(mode), fa)
+}
+
+/// [`build_hssa`] against an externally owned [`Likeliness`] oracle. Every
+/// χ/μ `likely` flag is one [`Likeliness::verdict`] call; the parallel
+/// driver calls this with each worker owning exactly one function —
+/// `globals` and the oracle are the only shared state, both read-only.
+pub fn build_hssa_with(
+    globals: &[Global],
+    f: &Function,
+    fid: FuncId,
+    aa: &AliasAnalysis,
+    oracle: &Likeliness<'_>,
     fa: &FuncAnalyses,
 ) -> HssaFunc {
     let mut catalog = VarCatalog::new();
@@ -139,23 +155,10 @@ pub fn build_hssa_in(
     // (versions are filled by renaming; we use u32::MAX as a placeholder)
     const UNV: u32 = u32::MAX;
 
-    let likely_mem_for_site =
-        |mode: &SpecMode<'_>, site: specframe_ir::MemSiteId, loc: Loc| -> bool {
-            match mode {
-                SpecMode::NoSpeculation => true,
-                SpecMode::Aggressive => false,
-                SpecMode::Heuristic => false, // refined per expression in SSAPRE
-                SpecMode::Profile(p) => p.touched(site, loc),
-            }
-        };
-    let likely_virt_for_site = |mode: &SpecMode<'_>, site: specframe_ir::MemSiteId| -> bool {
-        match mode {
-            SpecMode::NoSpeculation => true,
-            SpecMode::Aggressive => false,
-            SpecMode::Heuristic => false, // refined per expression in SSAPRE
-            SpecMode::Profile(p) => p.site_executed(site),
-        }
-    };
+    // one syntax prescan feeds the heuristic rules; every likeliness flag
+    // below is a single oracle verdict
+    let ev: FnEvidence = oracle.scan(f);
+    let likely = |q: SiteQuery<'_>| -> bool { oracle.verdict(&ev, q).likely };
 
     let mut blocks: Vec<HBlock> = Vec::with_capacity(f.blocks.len());
     for b in &f.blocks {
@@ -195,21 +198,8 @@ pub fn build_hssa_in(
                         dvar: None,
                     });
                     attach_load_lists(
-                        &mut stmt,
-                        globals,
-                        f,
-                        fid,
-                        aa,
-                        &mode,
-                        &catalog,
-                        &mem_vars,
-                        *base,
-                        *offset,
-                        *ty,
-                        *site,
-                        &likely_mem_for_site,
-                        &likely_virt_for_site,
-                        mem_loc,
+                        &mut stmt, globals, f, fid, aa, &catalog, &mem_vars, *base, *offset, *ty,
+                        *site, &likely, mem_loc,
                     );
                     stmt
                 }
@@ -231,21 +221,8 @@ pub fn build_hssa_in(
                         dvar: None,
                     });
                     attach_load_lists(
-                        &mut stmt,
-                        globals,
-                        f,
-                        fid,
-                        aa,
-                        &mode,
-                        &catalog,
-                        &mem_vars,
-                        *base,
-                        *offset,
-                        *ty,
-                        *site,
-                        &likely_mem_for_site,
-                        &likely_virt_for_site,
-                        mem_loc,
+                        &mut stmt, globals, f, fid, aa, &catalog, &mem_vars, *base, *offset, *ty,
+                        *site, &likely, mem_loc,
                     );
                     stmt
                 }
@@ -281,12 +258,15 @@ pub fn build_hssa_in(
                                         var: vid,
                                         new_ver: UNV,
                                         old_ver: UNV,
-                                        likely: likely_virt_for_site(&mode, *site),
+                                        likely: likely(SiteQuery::StoreChiVirt {
+                                            site: *site,
+                                            syntax: None,
+                                        }),
                                     });
                                 }
                             }
                         }
-                        Operand::Var(_) => {
+                        Operand::Var(sb) => {
                             // indirect store: chi on the vvar and on every
                             // TBAA-compatible aliased real variable
                             let c = aa.access_class(fid, *base).unwrap_or(ClassId(u32::MAX));
@@ -295,7 +275,10 @@ pub fn build_hssa_in(
                                 var: vv,
                                 new_ver: UNV,
                                 old_ver: UNV,
-                                likely: likely_virt_for_site(&mode, *site),
+                                likely: likely(SiteQuery::StoreChiVirt {
+                                    site: *site,
+                                    syntax: Some((*sb, *offset)),
+                                }),
                             });
                             for &(id, mv, mc) in &mem_vars {
                                 if mc == c && mem_ty(mv).tbaa_may_alias(*ty) {
@@ -303,7 +286,10 @@ pub fn build_hssa_in(
                                         var: id,
                                         new_ver: UNV,
                                         old_ver: UNV,
-                                        likely: likely_mem_for_site(&mode, *site, mem_loc(mv)),
+                                        likely: likely(SiteQuery::StoreChiMem {
+                                            site: *site,
+                                            loc: mem_loc(mv),
+                                        }),
                                     });
                                 }
                             }
@@ -331,34 +317,6 @@ pub fn build_hssa_in(
                     // likely. Hence, all chi definitions in the procedure
                     // call are changed into chi_s. The mu list of the
                     // procedure call remains unchanged."
-                    let call_chi_likely = |loc: Loc| -> bool {
-                        match &mode {
-                            SpecMode::NoSpeculation | SpecMode::Heuristic => true,
-                            SpecMode::Aggressive => false,
-                            SpecMode::Profile(p) => {
-                                p.call_mod.get(site).is_some_and(|s| s.contains(&loc))
-                            }
-                        }
-                    };
-                    let call_mu_likely = |loc: Loc| -> bool {
-                        match &mode {
-                            SpecMode::NoSpeculation | SpecMode::Heuristic => true,
-                            SpecMode::Aggressive => false,
-                            SpecMode::Profile(p) => {
-                                p.call_ref.get(site).is_some_and(|s| s.contains(&loc))
-                            }
-                        }
-                    };
-                    let call_virt_likely = |classes: &[Loc]| -> bool {
-                        match &mode {
-                            SpecMode::NoSpeculation | SpecMode::Heuristic => true,
-                            SpecMode::Aggressive => false,
-                            SpecMode::Profile(p) => {
-                                let set = p.call_mod.get(site);
-                                classes.iter().any(|l| set.is_some_and(|s| s.contains(l)))
-                            }
-                        }
-                    };
                     for &(id, mv, mc) in &mem_vars {
                         let loc = mem_loc(mv);
                         if mods.contains(&mc) {
@@ -366,14 +324,14 @@ pub fn build_hssa_in(
                                 var: id,
                                 new_ver: UNV,
                                 old_ver: UNV,
-                                likely: call_chi_likely(loc),
+                                likely: likely(SiteQuery::CallChiMem { site: *site, loc }),
                             });
                         }
                         if refs.contains(&mc) {
                             stmt.mu.push(MuOp {
                                 var: id,
                                 ver: UNV,
-                                likely: call_mu_likely(loc),
+                                likely: likely(SiteQuery::CallMuMem { site: *site, loc }),
                             });
                         }
                     }
@@ -384,14 +342,17 @@ pub fn build_hssa_in(
                                 var: vid,
                                 new_ver: UNV,
                                 old_ver: UNV,
-                                likely: call_virt_likely(class_locs),
+                                likely: likely(SiteQuery::CallChiVirt {
+                                    site: *site,
+                                    class_locs,
+                                }),
                             });
                         }
                         if refs.contains(&vc) {
                             stmt.mu.push(MuOp {
                                 var: vid,
                                 ver: UNV,
-                                likely: true,
+                                likely: likely(SiteQuery::CallMuVirt),
                             });
                         }
                     }
@@ -504,15 +465,13 @@ fn attach_load_lists(
     f: &Function,
     fid: FuncId,
     aa: &AliasAnalysis,
-    mode: &SpecMode<'_>,
     catalog: &VarCatalog,
     mem_vars: &[(HVarId, MemVar, ClassId)],
     base: Operand,
     offset: i64,
     ty: Ty,
     site: specframe_ir::MemSiteId,
-    likely_mem: &dyn Fn(&SpecMode<'_>, specframe_ir::MemSiteId, Loc) -> bool,
-    likely_virt: &dyn Fn(&SpecMode<'_>, specframe_ir::MemSiteId) -> bool,
+    likely: &dyn Fn(SiteQuery<'_>) -> bool,
     mem_loc: impl Fn(MemVar) -> Loc,
 ) {
     match base {
@@ -533,10 +492,7 @@ fn attach_load_lists(
             stmt.mu.push(MuOp {
                 var: vv,
                 ver: u32::MAX,
-                likely: match mode {
-                    SpecMode::Heuristic => true, // rule 1: same-syntax ref is likely
-                    _ => likely_virt(mode, site),
-                },
+                likely: likely(SiteQuery::LoadMuVirt { site }),
             });
             for &(id, mv, mc) in mem_vars {
                 let loc = mem_loc(mv);
@@ -548,7 +504,7 @@ fn attach_load_lists(
                     stmt.mu.push(MuOp {
                         var: id,
                         ver: u32::MAX,
-                        likely: likely_mem(mode, site, loc),
+                        likely: likely(SiteQuery::LoadMuMem { site, loc }),
                     });
                 }
             }

@@ -24,19 +24,23 @@
 //! * [`stmt`] — versioned statements, φ nodes, χ/μ operators;
 //! * [`build`] — χ/μ list construction, speculation-flag assignment, φ
 //!   insertion and renaming (Figure 4's pipeline);
+//! * [`oracle`] — the [`Likeliness`] oracle, the single seam answering
+//!   every χ/μ likeliness question (§3.2's profile and heuristic sources);
 //! * [`lower`] — out-of-SSA lowering back to executable IR;
 //! * [`mod@print`] — paper-style textual dumps (`a2 <- chi(a1)`, `mu_s(b2)`).
 
 pub mod build;
 pub mod hvar;
 pub mod lower;
+pub mod oracle;
 pub mod print;
 pub mod refine;
 pub mod stmt;
 
-pub use build::{build_hssa, build_hssa_in, verify_hssa, SpecMode};
+pub use build::{build_hssa, build_hssa_in, build_hssa_with, verify_hssa, SpecMode};
 pub use hvar::{HVarId, HVarKind, MemBase, MemVar, VarCatalog};
 pub use lower::{lower_function, lower_hssa, resolve_fresh_sites, LOCAL_FRESH_BASE};
+pub use oracle::{ChiRefine, FnEvidence, Likeliness, RefineStmt, SiteQuery, Verdict, Why};
 pub use print::{print_hssa, print_hssa_in};
 pub use refine::{
     fold_known_addresses, fold_known_addresses_in, refine_function, refine_function_in,

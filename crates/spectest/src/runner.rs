@@ -158,6 +158,7 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
             "--spec" => req.spec = next_val(&mut toks, t)?,
             "--control" => req.control = next_val(&mut toks, t)?,
             "--no-sr" => req.strength_reduction = false,
+            "--no-lftr" => req.lftr = false,
             "--store-sinking" => req.store_sinking = true,
             "--jobs" => {
                 req.jobs = next_val(&mut toks, t)?

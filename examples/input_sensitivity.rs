@@ -28,6 +28,7 @@ fn main() {
             data: SpecSource::Profile(&aprof),
             control: ControlSpec::Static,
             strength_reduction: true,
+            lftr: true,
             store_sinking: false,
         },
     );

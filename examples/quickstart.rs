@@ -72,6 +72,7 @@ fn main() {
             data: SpecSource::None,
             control: ControlSpec::Static,
             strength_reduction: true,
+            lftr: true,
             store_sinking: false,
         },
     );
@@ -85,6 +86,7 @@ fn main() {
             data: SpecSource::Profile(&aprof),
             control: ControlSpec::Static,
             strength_reduction: true,
+            lftr: true,
             store_sinking: false,
         },
     );

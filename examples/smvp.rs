@@ -23,6 +23,7 @@ fn main() {
             data: SpecSource::None,
             control: ControlSpec::Static,
             strength_reduction: true,
+            lftr: true,
             store_sinking: false,
         },
     );
@@ -35,6 +36,7 @@ fn main() {
             data: SpecSource::Profile(&aprof),
             control: ControlSpec::Static,
             strength_reduction: true,
+            lftr: true,
             store_sinking: false,
         },
     );

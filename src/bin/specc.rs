@@ -10,8 +10,11 @@
 //!                         (default: profile)
 //!   --control MODE        control speculation: off|profile|static
 //!                         (default: profile)
-//!   --no-sr               disable strength reduction / LFTR
+//!   --no-sr               disable strength reduction (and with it LFTR)
+//!   --no-lftr             disable linear-function test replacement only
 //!   --store-sinking       enable store promotion
+//!   --explain-spec        print the per-site likeliness-oracle decision
+//!                         table (source, evidence, flagged χ/μ counts)
 //!   --alias-profile FILE  reuse a saved alias profile instead of a training
 //!                         run; an unusable profile degrades the compile to
 //!                         the heuristic rules with a warning
@@ -31,7 +34,8 @@
 //!   --time-passes         print per-pass wall times to stderr
 //!   --dump-after PASSES   print the textual form of every function after
 //!                         each named stage and exit (comma-separated from:
-//!                         refine, hssa, ssapre, strength, storeprom, lower);
+//!                         refine, hssa, ssapre, strength, lftr, storeprom,
+//!                         lower);
 //!                         byte-deterministic at any --jobs level
 //!   --stop-after PASS     run the pipeline only through the named stage
 //!   --inject-spec-fail FUNC / --inject-fallback-fail FUNC
@@ -62,7 +66,9 @@ struct Cli {
     spec: String,
     control: String,
     sr: bool,
+    lftr: bool,
     store_sinking: bool,
+    explain_spec: bool,
     alias_profile: Option<String>,
     save_alias_profile: Option<String>,
     emit: String,
@@ -110,7 +116,9 @@ fn parse_cli() -> Result<Cli, String> {
         spec: "profile".into(),
         control: "profile".into(),
         sr: true,
+        lftr: true,
         store_sinking: false,
+        explain_spec: false,
         alias_profile: None,
         save_alias_profile: None,
         emit: "ir".into(),
@@ -139,7 +147,9 @@ fn parse_cli() -> Result<Cli, String> {
             "--spec" => cli.spec = args.next().ok_or("--spec needs a value")?,
             "--control" => cli.control = args.next().ok_or("--control needs a value")?,
             "--no-sr" => cli.sr = false,
+            "--no-lftr" => cli.lftr = false,
             "--store-sinking" => cli.store_sinking = true,
+            "--explain-spec" => cli.explain_spec = true,
             "--alias-profile" => {
                 cli.alias_profile = Some(args.next().ok_or("--alias-profile needs a value")?)
             }
@@ -196,12 +206,12 @@ fn parse_cli() -> Result<Cli, String> {
             "--help" | "-h" => {
                 return Err("usage: specc INPUT.ir [--entry NAME] [--args N,..] \
                             [--spec none|profile|heuristic|aggressive] \
-                            [--control off|profile|static] [--no-sr] \
-                            [--store-sinking] [--alias-profile FILE] \
+                            [--control off|profile|static] [--no-sr] [--no-lftr] \
+                            [--store-sinking] [--explain-spec] [--alias-profile FILE] \
                             [--save-alias-profile FILE] [--emit ir|hssa] [-o FILE] \
                             [--run] [--sim] [--fault-policy SPEC].. [--stats] \
                             [--jobs N] [--time-passes]\n\
-                            [--dump-after refine|hssa|ssapre|strength|storeprom|lower[,..]]\n\
+                            [--dump-after refine|hssa|ssapre|strength|lftr|storeprom|lower[,..]]\n\
                             [--stop-after PASS] [--inject-spec-fail FUNC] \
                             [--inject-fallback-fail FUNC]\n\
                             --fault-policy: default | geom:E:W | always-miss | \
@@ -308,7 +318,9 @@ fn real_main() -> Result<(), CompileFailure> {
         spec: cli.spec.clone(),
         control: cli.control.clone(),
         strength_reduction: cli.sr,
+        lftr: cli.lftr,
         store_sinking: cli.store_sinking,
+        explain_spec: cli.explain_spec,
         jobs: cli.jobs,
         hooks: PipelineHooks {
             dump_after: cli.dump_after,
@@ -322,6 +334,9 @@ fn real_main() -> Result<(), CompileFailure> {
     let out = compile_module(m, &req)?;
     for w in &out.report.warnings {
         eprintln!("specc: warning: {w}");
+    }
+    if let Some(table) = &out.explain {
+        print!("{table}");
     }
     let m = out.module;
     let report = &out.report;

@@ -81,6 +81,7 @@
 //!     data: SpecSource::Profile(&aprof),
 //!     control: ControlSpec::Static,
 //!     strength_reduction: true,
+//!     lftr: true,
 //!     store_sinking: true,
 //! });
 //! assert!(stats.checks > 0);

@@ -12,12 +12,14 @@
 //! speculation recovery 4), and the simulator rendering shared by
 //! `specc --sim` and golden tests lives in [`simulate_text`].
 
+use specframe_alias::AliasAnalysis;
 use specframe_codegen::lower_module;
 use specframe_core::{
     prepare_module, try_optimize_with_hooks, CompileDiag, CompileError, ControlSpec, OptOptions,
     OptReport, PassDump, PipelineConfig, PipelineHooks, SpecSource,
 };
-use specframe_ir::{parse_module, verify_module, Module, Value};
+use specframe_hssa::{build_hssa, HOperand, HStmtKind, Likeliness, SiteQuery, SpecMode};
+use specframe_ir::{parse_module, verify_module, FuncId, Module, Value};
 use specframe_machine::{parse_fault_policy, run_machine_with_policy, Counters};
 use specframe_profile::{parse_alias_profile, run_with, AliasProfile, AliasProfiler, EdgeProfiler};
 
@@ -37,8 +39,11 @@ pub struct CompileRequest {
     pub spec: String,
     /// Control speculation source: `off|profile|static`.
     pub control: String,
-    /// Run strength reduction / LFTR (off with `--no-sr`).
+    /// Run strength reduction (off with `--no-sr`, which also disables
+    /// LFTR — it consumes strength reduction's temporaries).
     pub strength_reduction: bool,
+    /// Run linear-function test replacement (off with `--no-lftr`).
+    pub lftr: bool,
     /// Run store promotion (`--store-sinking`).
     pub store_sinking: bool,
     /// Worker threads (`--jobs`, 0 = auto).
@@ -54,6 +59,9 @@ pub struct CompileRequest {
     /// rules with a [`CompileDiag`] warning rather than failing — a stale
     /// or corrupted profile must never block compilation.
     pub alias_profile: Option<String>,
+    /// Render the per-site likeliness-oracle decision table
+    /// (`--explain-spec`) into [`CompileOutput::explain`].
+    pub explain_spec: bool,
 }
 
 impl Default for CompileRequest {
@@ -65,11 +73,13 @@ impl Default for CompileRequest {
             spec: "none".into(),
             control: "off".into(),
             strength_reduction: true,
+            lftr: true,
             store_sinking: false,
             jobs: 1,
             hooks: PipelineHooks::default(),
             fuel: 100_000_000,
             alias_profile: None,
+            explain_spec: false,
         }
     }
 }
@@ -146,6 +156,10 @@ pub struct CompileOutput {
     /// training run or supplied via [`CompileRequest::alias_profile`] —
     /// what `specc --save-alias-profile` serializes.
     pub alias_profile: Option<AliasProfile>,
+    /// The `--explain-spec` decision table, when requested: one line per
+    /// χ/μ-carrying site with the oracle's source, evidence and the
+    /// flagged counts.
+    pub explain: Option<String>,
 }
 
 /// Parses, verifies and [`compile_module`]s `src`.
@@ -235,12 +249,27 @@ pub fn compile_module(
         }
     };
 
+    // the decision table reflects construction-time verdicts, so render it
+    // on the prepared module before the optimizer consumes the flags
+    let explain = if req.explain_spec {
+        let mode = match data {
+            SpecSource::None => SpecMode::NoSpeculation,
+            SpecSource::Profile(p) => SpecMode::Profile(p),
+            SpecSource::Heuristic => SpecMode::Heuristic,
+            SpecSource::Aggressive => SpecMode::Aggressive,
+        };
+        Some(render_explain_spec(&m, mode))
+    } else {
+        None
+    };
+
     let (mut report, dumps) = try_optimize_with_hooks(
         &mut m,
         &OptOptions {
             data,
             control,
             strength_reduction: req.strength_reduction,
+            lftr: req.strength_reduction && req.lftr,
             store_sinking: req.store_sinking,
         },
         &PipelineConfig { jobs: req.jobs },
@@ -255,7 +284,78 @@ pub fn compile_module(
         report,
         dumps,
         alias_profile: aprof,
+        explain,
     })
+}
+
+/// Renders the `--explain-spec` table: for every χ/μ-carrying site of
+/// every function, the likeliness oracle's verdict evidence and how many
+/// of the site's χs/μs were flagged likely. Functions in module order,
+/// sites in block/statement order, so the output is deterministic.
+pub fn render_explain_spec(m: &Module, mode: SpecMode<'_>) -> String {
+    let aa = AliasAnalysis::analyze(m);
+    let oracle = Likeliness::new(mode);
+    let mut s = format!(
+        "=== speculation decisions (source: {}) ===\n",
+        oracle.source_name()
+    );
+    for fi in 0..m.funcs.len() {
+        let fid = FuncId::from_index(fi);
+        let f = m.func(fid);
+        let ev = oracle.scan(f);
+        let hf = build_hssa(m, fid, &aa, mode);
+        s.push_str(&format!("func {}:\n", f.name));
+        let mut any = false;
+        for (bi, blk) in hf.blocks.iter().enumerate() {
+            for stmt in &blk.stmts {
+                if stmt.chi.is_empty() && stmt.mu.is_empty() {
+                    continue;
+                }
+                // the headline decision per site kind: a store's χ over its
+                // access class, a load's μ over its class, a call's kept μs
+                let (label, why) = match &stmt.kind {
+                    HStmtKind::Store {
+                        base, offset, site, ..
+                    } => {
+                        let syntax = match base {
+                            HOperand::Reg(v, _) => Some((*v, *offset)),
+                            _ => None,
+                        };
+                        let v = oracle.verdict(
+                            &ev,
+                            SiteQuery::StoreChiVirt {
+                                site: *site,
+                                syntax,
+                            },
+                        );
+                        (format!("mem site {:>3} (store, block {bi})", site.0), v.why)
+                    }
+                    HStmtKind::Load { site, .. } | HStmtKind::CheckLoad { site, .. } => {
+                        let v = oracle.verdict(&ev, SiteQuery::LoadMuVirt { site: *site });
+                        (format!("mem site {:>3} (load, block {bi})", site.0), v.why)
+                    }
+                    HStmtKind::Call { site, .. } => {
+                        let v = oracle.verdict(&ev, SiteQuery::CallMuVirt);
+                        (format!("call site {:>2} (block {bi})", site.0), v.why)
+                    }
+                    _ => continue,
+                };
+                let chi_f = stmt.chi.iter().filter(|c| c.likely).count();
+                let mu_f = stmt.mu.iter().filter(|u| u.likely).count();
+                s.push_str(&format!(
+                    "  {label}: {chi_f}/{} chi flagged, {mu_f}/{} mu flagged — {}\n",
+                    stmt.chi.len(),
+                    stmt.mu.len(),
+                    why.describe()
+                ));
+                any = true;
+            }
+        }
+        if !any {
+            s.push_str("  (no speculative sites)\n");
+        }
+    }
+    s
 }
 
 /// Lowers `m`, simulates it under the named ALAT fault policy, and

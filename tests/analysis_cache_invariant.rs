@@ -19,6 +19,7 @@ fn dominators_computed_once_per_function() {
             data: SpecSource::Heuristic,
             control: ControlSpec::Static,
             strength_reduction: true,
+            lftr: true,
             store_sinking: true,
         };
         let mut m = w.module.clone();

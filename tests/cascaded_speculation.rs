@@ -101,6 +101,7 @@ fn build() -> Built {
             data: SpecSource::Profile(&aprof),
             control: ControlSpec::Profile(&eprof),
             strength_reduction: false,
+            lftr: false,
             store_sinking: false,
         },
     );

@@ -36,6 +36,7 @@ fn compile_both(src: &str, train: &[Value]) -> (Module, Module) {
             data: SpecSource::None,
             control: ControlSpec::Profile(&eprof),
             strength_reduction: false,
+            lftr: false,
             store_sinking: false,
         },
     );
@@ -46,6 +47,7 @@ fn compile_both(src: &str, train: &[Value]) -> (Module, Module) {
             data: SpecSource::Profile(&aprof),
             control: ControlSpec::Profile(&eprof),
             strength_reduction: false,
+            lftr: false,
             store_sinking: false,
         },
     );
@@ -115,6 +117,7 @@ exit:
             data: SpecSource::None,
             control: ControlSpec::Off,
             strength_reduction: false,
+            lftr: false,
             store_sinking: false,
         },
     );
@@ -125,6 +128,7 @@ exit:
             data: SpecSource::None,
             control: ControlSpec::Profile(&eprof),
             strength_reduction: false,
+            lftr: false,
             store_sinking: false,
         },
     );

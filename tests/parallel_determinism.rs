@@ -21,6 +21,7 @@ fn configs() -> Vec<(&'static str, OptOptions<'static>)> {
                 data: SpecSource::Heuristic,
                 control: ControlSpec::Static,
                 strength_reduction: true,
+                lftr: true,
                 store_sinking: true,
             },
         ),
@@ -30,6 +31,7 @@ fn configs() -> Vec<(&'static str, OptOptions<'static>)> {
                 data: SpecSource::Aggressive,
                 control: ControlSpec::Static,
                 strength_reduction: true,
+                lftr: true,
                 store_sinking: true,
             },
         ),

@@ -197,6 +197,7 @@ fn check_program(steps: &[Step]) {
                 data: SpecSource::None,
                 control: ControlSpec::Profile(&eprof),
                 strength_reduction: true,
+                lftr: true,
                 store_sinking: false,
             },
         ),
@@ -206,6 +207,7 @@ fn check_program(steps: &[Step]) {
                 data: SpecSource::Profile(&aprof),
                 control: ControlSpec::Profile(&eprof),
                 strength_reduction: true,
+                lftr: true,
                 store_sinking: false,
             },
         ),
@@ -215,6 +217,7 @@ fn check_program(steps: &[Step]) {
                 data: SpecSource::Heuristic,
                 control: ControlSpec::Static,
                 strength_reduction: true,
+                lftr: true,
                 store_sinking: false,
             },
         ),
@@ -224,6 +227,7 @@ fn check_program(steps: &[Step]) {
                 data: SpecSource::Aggressive,
                 control: ControlSpec::Static,
                 strength_reduction: false,
+                lftr: false,
                 store_sinking: false,
             },
         ),
