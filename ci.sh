@@ -13,8 +13,12 @@ cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all -- --check
 
-# FileCheck-style golden tests over the textual pass dumps
+# FileCheck-style golden tests over the textual pass dumps — once as
+# written, once with every pass boundary re-verified and every lowered
+# function audited for ld.a/check pairing (the outputs must not change:
+# verification is observation, not transformation)
 cargo run --release -q -p spectest -- -q tests/golden
+cargo run --release -q -p spectest -- -q --verify-each --audit-spec tests/golden
 
 # differential misspeculation oracle: every workload and a batch of seeded
 # random programs, every optimizer config, under the adversarial ALAT
@@ -26,5 +30,20 @@ cargo run --release -q -p specframe-fuzzdiff --bin fuzzdiff -- \
   --policy random:1 --policy random:2 --policy random:3 \
   --policy flash-clear
 
-# compile-time smoke: writes BENCH_ci.json (mean ms per workload)
+# negative control: --break-checks deletes one check from every optimized
+# module, which MUST make the oracle fail (proving it has teeth), and
+# --reduce-on-failure must shrink the failure to a .spec-ready repro.
+# Seed 4 at 40 steps is a known-diverging case (see fuzzdiff tests).
+sabotage_out="$(cargo run --release -q -p specframe-fuzzdiff --bin fuzzdiff -- \
+  --seed 4 --steps 40 --random 1 --skip-workloads \
+  --policy always-miss --break-checks --reduce-on-failure 2>/dev/null)" \
+  && { echo "ci.sh: sabotaged fuzzdiff unexpectedly passed"; exit 1; } || true
+echo "$sabotage_out" | grep -q "RUN: specc" \
+  || { echo "ci.sh: no .spec repro in sabotage output"; exit 1; }
+echo "$sabotage_out" | grep -q "; reduce: .* probes" \
+  || { echo "ci.sh: no reduction stats in sabotage output"; exit 1; }
+echo "fuzzdiff sabotage smoke: oracle failed and reduced as expected"
+
+# compile-time smoke: writes BENCH_ci.json (mean ms per workload, plus
+# the reducer smoke's probe/shrink numbers)
 cargo run --release -q -p specframe-bench --bin ci_smoke

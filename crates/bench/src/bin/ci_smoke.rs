@@ -5,13 +5,95 @@
 //! reduction) per test-scale workload and writes `BENCH_ci.json` in the
 //! current directory. This is a trend indicator, not a benchmark — the
 //! Criterion suite in `benches/compile_time.rs` is the real measurement.
+//!
+//! It also runs a deterministic smoke of the ddmin module reducer (a
+//! known-failing program must shrink by at least 80% while preserving
+//! the failure) and records the probe/shrink numbers in the JSON, so a
+//! reducer regression shows up in the CI artifact.
 
-use specframe_core::{optimize, ControlSpec, OptOptions, SpecSource};
+use specframe_core::{optimize, reduce_module, ControlSpec, OptOptions, ReduceStats, SpecSource};
+use specframe_ir::display::print_module;
 use specframe_workloads::{all_workloads, Scale};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const ITERS: u32 = 3;
+
+/// A "failing" program for the reducer smoke: one `div` (the simulated
+/// trigger) buried in filler arithmetic, helper calls, and a diamond.
+/// The predicate — program still verifies and still contains a `div` —
+/// stands in for "still reproduces the failure".
+fn reducer_smoke() -> ReduceStats {
+    let src = r#"
+global a: i64[4] = [1, 2, 3, 4]
+
+func filler(x: i64) -> i64 {
+  var s: i64
+  var t: i64
+entry:
+  s = add x, 1
+  t = add s, 2
+  s = add t, 3
+  t = add s, 4
+  s = add t, 5
+  t = add s, 6
+  s = add t, 7
+  ret s
+}
+
+func trigger(n: i64, d: i64) -> i64 {
+  var u: i64
+  var v: i64
+  var w: i64
+  var c: i64
+  var q: i64
+entry:
+  u = load.i64 [@a]
+  v = add u, n
+  w = call filler(v)
+  c = lt w, n
+  br c, yes, no
+yes:
+  v = add v, 1
+  jmp join
+no:
+  v = add v, 2
+  jmp join
+join:
+  q = div v, d
+  w = add q, v
+  u = add w, u
+  v = mul u, 3
+  w = add v, w
+  u = add w, 1
+  ret u
+}
+"#;
+    let m = specframe_ir::parse_module(src).expect("reducer smoke program");
+    let mut failing = |c: &specframe_ir::Module| {
+        specframe_ir::verify_module(c).is_ok() && print_module(c).contains(" div ")
+    };
+    let (red, stats) = reduce_module(&m, &mut failing);
+    assert!(
+        print_module(&red).contains(" div "),
+        "reduction lost the failure trigger"
+    );
+    assert!(
+        stats.shrink_percent() >= 80.0,
+        "reducer smoke shrank only {:.0}% ({} -> {} insts)",
+        stats.shrink_percent(),
+        stats.initial_insts,
+        stats.final_insts
+    );
+    println!(
+        "reducer smoke: {} probes, {} -> {} instructions ({:.0}% shrink)",
+        stats.probes,
+        stats.initial_insts,
+        stats.final_insts,
+        stats.shrink_percent()
+    );
+    stats
+}
 
 fn main() {
     let opts = OptOptions {
@@ -34,13 +116,25 @@ fn main() {
         rows.push((w.name.to_string(), mean_ms));
     }
 
+    let rs = reducer_smoke();
+
     let mut json = String::from("{\n  \"config\": \"heuristic+static+sr+sink\",\n  \"iters\": ");
     let _ = write!(json, "{ITERS},\n  \"mean_ms\": {{\n");
     for (i, (name, ms)) in rows.iter().enumerate() {
         let sep = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(json, "    \"{name}\": {ms:.3}{sep}");
     }
-    json.push_str("  }\n}\n");
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"reduce\": {{ \"probes\": {}, \"initial_insts\": {}, \
+         \"final_insts\": {}, \"shrink_percent\": {:.0} }}",
+        rs.probes,
+        rs.initial_insts,
+        rs.final_insts,
+        rs.shrink_percent()
+    );
+    json.push_str("}\n");
     std::fs::write("BENCH_ci.json", json).expect("write BENCH_ci.json");
     println!("wrote BENCH_ci.json");
 }

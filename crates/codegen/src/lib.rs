@@ -43,7 +43,7 @@ pub fn lower_module(m: &Module) -> MProgram {
     let funcs = m
         .funcs
         .iter()
-        .map(|f| lower_function(m, f, &layout))
+        .map(|f| lower_function_machine(f, &layout))
         .collect();
 
     MProgram {
@@ -63,8 +63,11 @@ fn operand(o: Operand, layout: &[i64]) -> MOperand {
     }
 }
 
-fn lower_function(m: &Module, f: &Function, layout: &[i64]) -> MFunc {
-    let _ = m;
+/// Lowers one function against a precomputed global address layout
+/// (`Module::global_layout`). Public so the driver's `--audit-spec` hook
+/// can machine-lower a single function inside a per-function worker,
+/// without the (partially moved-out) module in hand.
+pub fn lower_function_machine(f: &Function, layout: &[i64]) -> MFunc {
     // first pass: block start offsets
     let mut starts = Vec::with_capacity(f.blocks.len());
     let mut off = 0usize;

@@ -20,7 +20,7 @@
 //! | potential estimate  | `Aggressive`  | `Off`          |
 
 use crate::error::{panic_message, with_quiet_panics, CompileDiag, CompileError};
-use crate::passes::{Pass, PassDump, PipelineHooks};
+use crate::passes::{Pass, PassDump, PassSet, PipelineHooks};
 use crate::ssapre::{ssapre_function, SpecPolicy};
 use crate::stats::{OptStats, PassTimings};
 use crate::strength::strength_reduce_hssa;
@@ -30,10 +30,10 @@ use specframe_analysis::{
 };
 use specframe_hssa::{
     build_hssa_with, lower_function, print_hssa_in, refine_function_in, resolve_fresh_sites,
-    verify_hssa, HssaFunc, Likeliness, SpecMode,
+    verify_hssa_detailed, HssaFunc, Likeliness, SpecMode,
 };
 use specframe_ir::display::{func_name_table, print_function_in};
-use specframe_ir::{FuncId, Function, Global, MemSiteId, Module};
+use specframe_ir::{layout_globals, CalleeSig, FuncId, Function, Global, MemSiteId, Module};
 use specframe_profile::AliasProfile;
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -231,11 +231,22 @@ pub fn try_optimize_with_hooks(
     };
 
     let func_names = func_name_table(m);
+    // callee signatures and the global address layout, frozen before the
+    // fan-out so per-worker verification/audit can run without the
+    // (moved-out) module
+    let sigs: Vec<(u32, bool)> = m
+        .funcs
+        .iter()
+        .map(|f| (f.params, f.ret_ty.is_some()))
+        .collect();
+    let layout = layout_globals(&m.globals);
     let jobs = cfg.resolved_jobs().min(m.funcs.len().max(1));
     let funcs = std::mem::take(&mut m.funcs);
     let shared = Shared {
         globals: &m.globals,
         func_names: &func_names,
+        sigs: &sigs,
+        layout: &layout,
         aa: &aa,
         opts,
         control_profile,
@@ -341,6 +352,10 @@ struct FuncResult {
 struct Shared<'a, 'p> {
     globals: &'a [Global],
     func_names: &'a [String],
+    /// `(params, has_ret)` per function, for per-worker call checking.
+    sigs: &'a [(u32, bool)],
+    /// Global address layout, for per-worker machine lowering (`--audit-spec`).
+    layout: &'a [i64],
     aa: &'a AliasAnalysis,
     opts: &'a OptOptions<'p>,
     control_profile: Option<&'a EdgeProfile>,
@@ -396,6 +411,23 @@ fn process_function(
             fallback_exhausted: false,
         });
     }
+    let mut pre_verify_time = std::time::Duration::ZERO;
+    if hooks.verify_each {
+        // pass-boundary check on the refined IR (refine is shared by every
+        // later attempt, so a rejection here is unrecoverable, like a
+        // refine panic)
+        let t0 = Instant::now();
+        let checked = verify_ir_function(sh, Pass::Refine, &f);
+        pre_verify_time = t0.elapsed();
+        if let Err(message) = checked {
+            return Err(CompileError {
+                function: f.name.clone(),
+                pass: Pass::Refine.name().into(),
+                message,
+                fallback_exhausted: false,
+            });
+        }
+    }
     if hooks.dump_after.contains(Pass::Refine) {
         let mut text = String::new();
         print_function_in(&mut text, sh.globals, sh.func_names, &f);
@@ -412,6 +444,7 @@ fn process_function(
             stats: OptStats::default(),
             timings: PassTimings {
                 refine: refine_time,
+                verify_each: pre_verify_time,
                 ..Default::default()
             },
             fresh_sites: 0,
@@ -420,43 +453,76 @@ fn process_function(
         });
     }
 
-    // primary attempt: the requested speculation configuration
+    // the degradation ladder: full speculative attempt, then per-pass
+    // rollback (skip just the offending pass, keep speculating), then the
+    // whole-function non-speculative fallback
     let current = Cell::new("hssa");
-    let primary = with_quiet_panics(|| {
-        catch_unwind(AssertUnwindSafe(|| {
-            run_spec_stages(sh, &f, fid, fa, true, &current)
-        }))
-    });
-    let (out, warnings) = match flatten_attempt(primary, &current) {
+    let attempt = |speculative: bool, skip: PassSet| {
+        current.set("hssa");
+        let r = with_quiet_panics(|| {
+            catch_unwind(AssertUnwindSafe(|| {
+                run_spec_stages(sh, &f, fid, fa, speculative, skip, &current)
+            }))
+        });
+        flatten_attempt(r, &current)
+    };
+    let (out, warnings) = match attempt(true, PassSet::EMPTY) {
         Ok(out) => (out, Vec::new()),
         Err((pass, message)) => {
-            // non-speculative fallback: same function, speculation off
-            current.set("hssa");
-            let fallback = with_quiet_panics(|| {
-                catch_unwind(AssertUnwindSafe(|| {
-                    run_spec_stages(sh, &f, fid, fa, false, &current)
-                }))
-            });
-            match flatten_attempt(fallback, &current) {
-                Ok(mut out) => {
-                    out.stats.spec_fallbacks = 1;
+            // rung 1: roll back just the offending pass and re-run the
+            // remaining pipeline. An attributed failure names its pass; an
+            // unattributed one (final verify, audit, lower) is bisected by
+            // trying single-pass skips from the back of the pipeline.
+            let candidates: Vec<Pass> = match pass.parse::<Pass>() {
+                Ok(p) if SKIPPABLE.contains(&p) => vec![p],
+                _ => SKIPPABLE.iter().rev().copied().collect(),
+            };
+            let mut rescued = None;
+            for p in candidates {
+                if !pass_enabled(sh, p) {
+                    continue;
+                }
+                if let Ok(mut out) = attempt(true, PassSet::from_iter([p])) {
+                    out.stats.pass_rollbacks = 1;
                     let diag = CompileDiag {
                         function: f.name.clone(),
-                        pass,
+                        pass: pass.clone(),
                         message: format!(
-                            "speculative compilation failed ({message}); \
-                             recompiled without speculation"
+                            "speculative compilation failed ({message}); rolled back \
+                             pass `{p}` for this function and re-ran the remaining \
+                             pipeline"
                         ),
                     };
-                    (out, vec![diag])
+                    rescued = Some((out, vec![diag]));
+                    break;
                 }
-                Err((fpass, fmessage)) => {
-                    return Err(CompileError {
-                        function: f.name.clone(),
-                        pass: fpass,
-                        message: fmessage,
-                        fallback_exhausted: true,
-                    })
+            }
+            if let Some(r) = rescued {
+                r
+            } else {
+                // rung 2: non-speculative fallback — same function,
+                // speculation off
+                match attempt(false, PassSet::EMPTY) {
+                    Ok(mut out) => {
+                        out.stats.spec_fallbacks = 1;
+                        let diag = CompileDiag {
+                            function: f.name.clone(),
+                            pass,
+                            message: format!(
+                                "speculative compilation failed ({message}); \
+                                 recompiled without speculation"
+                            ),
+                        };
+                        (out, vec![diag])
+                    }
+                    Err((fpass, fmessage)) => {
+                        return Err(CompileError {
+                            function: f.name.clone(),
+                            pass: fpass,
+                            message: fmessage,
+                            fallback_exhausted: true,
+                        })
+                    }
                 }
             }
         }
@@ -464,6 +530,7 @@ fn process_function(
 
     let mut timings = out.timings;
     timings.refine = refine_time;
+    timings.verify_each += pre_verify_time;
     dumps.extend(out.dumps);
     Ok(FuncResult {
         f: out.f,
@@ -488,9 +555,109 @@ fn flatten_attempt(
     }
 }
 
+/// The passes the rollback rung of the degradation ladder may skip
+/// individually. HSSA build and lowering are structural (nothing runs
+/// without them); refine runs before the ladder.
+const SKIPPABLE: [Pass; 4] = [Pass::Ssapre, Pass::Strength, Pass::Lftr, Pass::Storeprom];
+
+/// Whether pass `p` actually runs under this configuration (hooks *and*
+/// option gates) — skipping a pass that never ran is a wasted retry.
+fn pass_enabled(sh: &Shared<'_, '_>, p: Pass) -> bool {
+    sh.hooks.runs(p)
+        && match p {
+            Pass::Strength => sh.opts.strength_reduction,
+            Pass::Lftr => sh.opts.lftr,
+            Pass::Storeprom => sh.opts.store_sinking,
+            _ => true,
+        }
+}
+
+/// The `pass=<p> fn=<f> bb=<n>` attribution suffix of verify-each and
+/// audit diagnostics.
+fn attribution(pass: &str, func: &str, bb: Option<u32>) -> String {
+    match bb {
+        Some(b) => format!("pass={pass} fn={func} bb={b}"),
+        None => format!("pass={pass} fn={func}"),
+    }
+}
+
+/// IR-level pass-boundary check (after `refine` and after `lower`): the
+/// per-function structural verifier, run against the worker-shared global
+/// count and callee signatures.
+///
+/// # Errors
+/// Returns the fully attributed diagnostic message.
+fn verify_ir_function(sh: &Shared<'_, '_>, pass: Pass, f: &Function) -> Result<(), String> {
+    let callee = |i: usize| -> Option<CalleeSig<'_>> {
+        sh.sigs.get(i).map(|&(params, has_ret)| CalleeSig {
+            name: &sh.func_names[i],
+            params,
+            has_ret,
+        })
+    };
+    specframe_ir::verify_function_in(sh.globals.len(), &callee, f).map_err(|e| {
+        format!(
+            "pass-boundary verification failed after `{pass}`: {} [{}]",
+            e.msg,
+            attribution(pass.name(), &f.name, e.block)
+        )
+    })
+}
+
+/// HSSA-level pass-boundary check: the detailed structural verifier plus,
+/// once strength reduction has run, the SrTemp chain-consistency check.
+///
+/// # Errors
+/// `(pass, message)` in the shape the degradation ladder consumes.
+fn hssa_verify_each(
+    f: &Function,
+    hf: &HssaFunc,
+    p: Pass,
+    sr_temps: &[crate::strength::SrTemp],
+    t: &mut PassTimings,
+) -> Result<(), (String, String)> {
+    let t0 = Instant::now();
+    let mut r = verify_hssa_detailed(hf).map_err(|e| (e.block.map(|b| b as u32), e.msg));
+    if r.is_ok() && p >= Pass::Strength {
+        r = crate::lftr::verify_sr_temps(hf, sr_temps).map_err(|m| (None, m));
+    }
+    t.verify_each += t0.elapsed();
+    r.map_err(|(bb, msg)| {
+        (
+            p.name().to_string(),
+            format!(
+                "pass-boundary verification failed after `{p}`: {msg} [{}]",
+                attribution(p.name(), &f.name, bb)
+            ),
+        )
+    })
+}
+
+/// Deterministic HSSA corruption for `--inject-corrupt`: breaks the first
+/// renamed φ argument (falling back to a χ operand, then the entry
+/// terminator) so the verify-each checker has a real violation to catch.
+fn corrupt_hssa(hf: &mut HssaFunc) {
+    for b in &mut hf.blocks {
+        if let Some(arg) = b.phis.first_mut().and_then(|phi| phi.args.first_mut()) {
+            *arg = u32::MAX;
+            return;
+        }
+    }
+    for b in &mut hf.blocks {
+        if let Some(st) = b.stmts.iter_mut().find(|s| !s.chi.is_empty()) {
+            st.chi[0].old_ver = u32::MAX;
+            return;
+        }
+    }
+    if let Some(b) = hf.blocks.first_mut() {
+        b.term = None;
+    }
+}
+
 /// The speculation-dependent stage group: HSSA build → SSAPRE → strength
 /// reduction → store promotion → verify → lower. When `speculative` is
 /// false, every speculation source is forced off (the degradation target).
+/// Passes in `skip` are left out (the ladder's per-pass rollback rung).
 /// `current` tracks the running stage so a panic can be attributed.
 fn run_spec_stages(
     sh: &Shared<'_, '_>,
@@ -498,6 +665,7 @@ fn run_spec_stages(
     fid: FuncId,
     fa: &FuncAnalyses,
     speculative: bool,
+    skip: PassSet,
     current: &Cell<&'static str>,
 ) -> Result<StageOutput, (String, String)> {
     let hooks = sh.hooks;
@@ -530,6 +698,17 @@ fn run_spec_stages(
     };
     let oracle = Likeliness::new(mode);
 
+    // `--inject-corrupt` sabotages the speculative attempt right after the
+    // named pass; the fallback attempt stays clean, like the other
+    // injection knobs, so the ladder always has a sound rung to land on
+    let maybe_corrupt = |hf: &mut HssaFunc, p: Pass| {
+        if let Some((func, pass)) = &hooks.inject_corrupt {
+            if speculative && *pass == p && func == f.name.as_str() {
+                corrupt_hssa(hf);
+            }
+        }
+    };
+
     current.set("hssa");
     let t0 = Instant::now();
     let mut hf = build_hssa_with(sh.globals, f, fid, sh.aa, &oracle, fa);
@@ -537,9 +716,15 @@ fn run_spec_stages(
     if hooks.dump_after.contains(Pass::Hssa) {
         dump_hssa(&mut dumps, Pass::Hssa, &hf);
     }
+    maybe_corrupt(&mut hf, Pass::Hssa);
+    if hooks.verify_each {
+        hssa_verify_each(f, &hf, Pass::Hssa, &[], &mut t)?;
+    }
 
     if hooks.runs(Pass::Ssapre) {
         current.set("ssapre");
+        // injection fires on every attempt that reaches this stage — also
+        // the rollback retry — so recovery degrades past rung 1
         if inject.as_deref() == Some(f.name.as_str()) {
             panic!(
                 "injected {} failure",
@@ -550,24 +735,30 @@ fn run_spec_stages(
                 }
             );
         }
-        let policy = if speculative {
-            SpecPolicy {
-                oracle,
-                control: sh.control_profile.map(|p| (p, fid)),
+        if !skip.contains(Pass::Ssapre) {
+            let policy = if speculative {
+                SpecPolicy {
+                    oracle,
+                    control: sh.control_profile.map(|p| (p, fid)),
+                }
+            } else {
+                SpecPolicy::none()
+            };
+            let t0 = Instant::now();
+            ssapre_function(f, &mut hf, &policy, &mut stats, fa);
+            t.ssapre = t0.elapsed();
+            if hooks.dump_after.contains(Pass::Ssapre) {
+                dump_hssa(&mut dumps, Pass::Ssapre, &hf);
             }
-        } else {
-            SpecPolicy::none()
-        };
-        let t0 = Instant::now();
-        ssapre_function(f, &mut hf, &policy, &mut stats, fa);
-        t.ssapre = t0.elapsed();
-        if hooks.dump_after.contains(Pass::Ssapre) {
-            dump_hssa(&mut dumps, Pass::Ssapre, &hf);
+            maybe_corrupt(&mut hf, Pass::Ssapre);
+            if hooks.verify_each {
+                hssa_verify_each(f, &hf, Pass::Ssapre, &[], &mut t)?;
+            }
         }
     }
 
     let mut sr_temps: Vec<crate::strength::SrTemp> = Vec::new();
-    if sh.opts.strength_reduction && hooks.runs(Pass::Strength) {
+    if sh.opts.strength_reduction && hooks.runs(Pass::Strength) && !skip.contains(Pass::Strength) {
         current.set("strength");
         let t0 = Instant::now();
         strength_reduce_hssa(&mut hf, &mut stats, fa, &mut sr_temps);
@@ -576,8 +767,12 @@ fn run_spec_stages(
         if hooks.dump_after.contains(Pass::Strength) {
             dump_hssa(&mut dumps, Pass::Strength, &hf);
         }
+        maybe_corrupt(&mut hf, Pass::Strength);
+        if hooks.verify_each {
+            hssa_verify_each(f, &hf, Pass::Strength, &sr_temps, &mut t)?;
+        }
     }
-    if sh.opts.lftr && hooks.runs(Pass::Lftr) {
+    if sh.opts.lftr && hooks.runs(Pass::Lftr) && !skip.contains(Pass::Lftr) {
         current.set("lftr");
         let t0 = Instant::now();
         crate::lftr::lftr_hssa(&mut hf, &sr_temps, &mut stats);
@@ -586,8 +781,12 @@ fn run_spec_stages(
         if hooks.dump_after.contains(Pass::Lftr) {
             dump_hssa(&mut dumps, Pass::Lftr, &hf);
         }
+        maybe_corrupt(&mut hf, Pass::Lftr);
+        if hooks.verify_each {
+            hssa_verify_each(f, &hf, Pass::Lftr, &sr_temps, &mut t)?;
+        }
     }
-    if sh.opts.store_sinking && hooks.runs(Pass::Storeprom) {
+    if sh.opts.store_sinking && hooks.runs(Pass::Storeprom) && !skip.contains(Pass::Storeprom) {
         current.set("storeprom");
         let t0 = Instant::now();
         crate::storeprom::sink_stores_hssa(&mut hf, &mut stats, fa);
@@ -596,12 +795,16 @@ fn run_spec_stages(
         if hooks.dump_after.contains(Pass::Storeprom) {
             dump_hssa(&mut dumps, Pass::Storeprom, &hf);
         }
+        maybe_corrupt(&mut hf, Pass::Storeprom);
+        if hooks.verify_each {
+            hssa_verify_each(f, &hf, Pass::Storeprom, &sr_temps, &mut t)?;
+        }
     }
 
     current.set("verify");
     let t0 = Instant::now();
-    if let Err(e) = verify_hssa(&hf) {
-        return Err(("verify".into(), e));
+    if let Err(e) = verify_hssa_detailed(&hf) {
+        return Err(("verify".into(), e.msg));
     }
     t.verify = t0.elapsed();
 
@@ -609,6 +812,30 @@ fn run_spec_stages(
     let t0 = Instant::now();
     let (lowered, fresh_sites) = lower_function(f, &hf);
     t.lower = t0.elapsed();
+    if hooks.verify_each {
+        let t0 = Instant::now();
+        let checked = verify_ir_function(sh, Pass::Lower, &lowered);
+        t.verify_each += t0.elapsed();
+        if let Err(message) = checked {
+            return Err((Pass::Lower.name().into(), message));
+        }
+    }
+
+    if hooks.audit_spec {
+        // machine-lower this one function against the frozen global layout
+        // and prove the ld.a/ld.c pairing contract on the result
+        current.set("audit");
+        let t0 = Instant::now();
+        let mf = specframe_codegen::lower_function_machine(&lowered, sh.layout);
+        let audited = specframe_machine::audit_func(&mf);
+        t.audit = t0.elapsed();
+        if let Err(e) = audited {
+            return Err((
+                "audit".into(),
+                format!("{e} [{}]", attribution("audit", &f.name, None)),
+            ));
+        }
+    }
 
     Ok(StageOutput {
         f: lowered,
@@ -947,6 +1174,216 @@ entry:
             let (got, _) = run(&m, "kern", &[Value::I(20)], 1_000_000).unwrap();
             assert_eq!(got, expect, "jobs={jobs}: fallback output must run");
         }
+    }
+
+    #[test]
+    fn injected_corruption_recovers_via_pass_rollback() {
+        // corrupt kern's HSSA right after strength reduction: verify-each
+        // must catch it, attribute it, and the ladder's rollback rung must
+        // rescue the function by skipping just that pass — speculation and
+        // the rest of the pipeline stay on
+        let src = r#"
+global g: i64[1] = [5]
+
+func kern(n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@g]
+  acc = add acc, v
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+
+func other(a: i64, b: i64) -> i64 {
+  var x: i64
+entry:
+  x = add a, b
+  ret x
+}
+"#;
+        let m0 = parse_module(src).unwrap();
+        let (expect, _) = run(&m0, "kern", &[Value::I(20)], 1_000_000).unwrap();
+        for jobs in [1, 4] {
+            let mut m = m0.clone();
+            let hooks = PipelineHooks {
+                verify_each: true,
+                inject_corrupt: Some(("kern".into(), Pass::Strength)),
+                ..Default::default()
+            };
+            let opts = OptOptions {
+                data: SpecSource::Heuristic,
+                control: ControlSpec::Static,
+                strength_reduction: true,
+                lftr: true,
+                store_sinking: false,
+            };
+            let (report, _) =
+                try_optimize_with_hooks(&mut m, &opts, &PipelineConfig { jobs }, &hooks)
+                    .expect("rollback must rescue the module");
+            assert_eq!(report.stats.pass_rollbacks, 1, "jobs={jobs}");
+            assert_eq!(report.stats.spec_fallbacks, 0, "jobs={jobs}");
+            assert_eq!(report.warnings.len(), 1, "jobs={jobs}");
+            let w = &report.warnings[0];
+            assert_eq!(w.function, "kern");
+            assert_eq!(w.pass, "strength");
+            assert!(w.message.contains("rolled back pass `strength`"), "{w}");
+            assert!(w.message.contains("pass=strength fn=kern"), "{w}");
+            let (got, _) = run(&m, "kern", &[Value::I(20)], 1_000_000).unwrap();
+            assert_eq!(got, expect, "jobs={jobs}: rescued output must run");
+        }
+    }
+
+    #[test]
+    fn unskippable_corruption_degrades_to_nonspeculative() {
+        // corruption injected after HSSA build poisons every speculative
+        // attempt (hssa is not a skippable pass), so rung 1 fails for each
+        // candidate and rung 2 — the non-speculative fallback, which the
+        // injector leaves clean — must rescue the function
+        let src = r#"
+global g: i64[1] = [5]
+
+func kern(n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@g]
+  acc = add acc, v
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+"#;
+        let m0 = parse_module(src).unwrap();
+        let (expect, _) = run(&m0, "kern", &[Value::I(20)], 1_000_000).unwrap();
+        let mut m = m0.clone();
+        let hooks = PipelineHooks {
+            verify_each: true,
+            inject_corrupt: Some(("kern".into(), Pass::Hssa)),
+            ..Default::default()
+        };
+        let (report, _) = try_optimize_with_hooks(
+            &mut m,
+            &OptOptions {
+                data: SpecSource::Heuristic,
+                control: ControlSpec::Static,
+                strength_reduction: true,
+                lftr: true,
+                store_sinking: false,
+            },
+            &PipelineConfig { jobs: 1 },
+            &hooks,
+        )
+        .expect("fallback must rescue the module");
+        assert_eq!(report.stats.pass_rollbacks, 0);
+        assert_eq!(report.stats.spec_fallbacks, 1);
+        assert_eq!(report.warnings.len(), 1);
+        let w = &report.warnings[0];
+        assert_eq!(w.function, "kern");
+        assert_eq!(w.pass, "hssa");
+        assert!(w.message.contains("recompiled without speculation"), "{w}");
+        let (got, _) = run(&m, "kern", &[Value::I(20)], 1_000_000).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn audit_spec_accepts_speculative_output() {
+        // the auditor must accept the pipeline's own speculative output:
+        // heuristic data speculation over a may-aliased loop emits
+        // ld.a/ld.c pairs, and --audit-spec proves the pairing contract
+        let src = r#"
+global a: i64[1] = [7]
+global b: i64[1]
+
+func kern(p: ptr, n: i64) -> i64 {
+  var i: i64
+  var c: i64
+  var v: i64
+  var acc: i64
+entry:
+  i = 0
+  acc = 0
+  jmp head
+head:
+  c = lt i, n
+  br c, body, exit
+body:
+  v = load.i64 [@a]
+  acc = add acc, v
+  store.i64 [p], i
+  i = add i, 1
+  jmp head
+exit:
+  ret acc
+}
+
+func main(sel: i64, n: i64) -> i64 {
+  var r: i64
+  var p: ptr
+entry:
+  br sel, ua, ub
+ua:
+  p = @a
+  jmp go
+ub:
+  p = @b
+  jmp go
+go:
+  r = call kern(p, n)
+  ret r
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        let hooks = PipelineHooks {
+            verify_each: true,
+            audit_spec: true,
+            ..Default::default()
+        };
+        let (report, _) = try_optimize_with_hooks(
+            &mut m,
+            &OptOptions {
+                data: SpecSource::Heuristic,
+                control: ControlSpec::Static,
+                strength_reduction: true,
+                lftr: true,
+                store_sinking: false,
+            },
+            &PipelineConfig { jobs: 1 },
+            &hooks,
+        )
+        .expect("clean speculative output must pass the audit");
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+        assert!(
+            report.stats.checks > 0,
+            "speculation must fire so the audit has checked loads to prove: {:?}",
+            report.stats
+        );
+        assert!(report.timings.audit > std::time::Duration::ZERO);
+        let (got, _) = run(&m, "main", &[Value::I(1), Value::I(10)], 1_000_000).unwrap();
+        let m0 = parse_module(src).unwrap();
+        let (expect, _) = run(&m0, "main", &[Value::I(1), Value::I(10)], 1_000_000).unwrap();
+        assert_eq!(got, expect);
     }
 
     #[test]

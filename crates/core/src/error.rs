@@ -93,14 +93,15 @@ pub fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
             }
         }));
     });
-    struct Reset;
+    // restore (not clear) on exit so nested uses compose: an outer
+    // wrapper stays in effect when an inner driver call returns
+    struct Reset(bool);
     impl Drop for Reset {
         fn drop(&mut self) {
-            PANIC_EXPECTED.with(|e| e.set(false));
+            PANIC_EXPECTED.with(|e| e.set(self.0));
         }
     }
-    let _reset = Reset;
-    PANIC_EXPECTED.with(|e| e.set(true));
+    let _reset = Reset(PANIC_EXPECTED.with(|e| e.replace(true)));
     f()
 }
 

@@ -148,6 +148,35 @@ impl SpecClient for LftrClient<'_> {
     }
 }
 
+/// Verify-each support: cleanup may legitimately delete a *whole*
+/// reduction chain whose value turned out dead (that is why
+/// [`sr_ver_defined`] guards every LFTR application), but a chain deleted
+/// by half — the header φ version surviving without its step version, or
+/// vice versa — means a pass corrupted the `s ≡ i*c` version state LFTR
+/// relies on.
+///
+/// # Errors
+/// Returns a description of the first dangling chain.
+pub(crate) fn verify_sr_temps(hf: &HssaFunc, temps: &[SrTemp]) -> Result<(), String> {
+    for sr in temps {
+        let phi = sr_ver_defined(hf, sr.s, sr.v_phi);
+        let step = sr_ver_defined(hf, sr.s, sr.v_step);
+        if phi != step {
+            let (live, live_ver, dead_ver) = if phi {
+                ("phi", sr.v_phi, sr.v_step)
+            } else {
+                ("step", sr.v_step, sr.v_phi)
+            };
+            return Err(format!(
+                "dangling SrTemp chain for {}: {live} version {live_ver} is still \
+                 defined but version {dead_ver} is gone",
+                sr.s
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Whether version `ver` of register `s` still has a definition (a φ or
 /// a statement). Cleanup between strength reduction and LFTR may delete
 /// a reduction chain whose value turned out dead.

@@ -32,6 +32,7 @@ pub mod expr;
 pub mod lftr;
 pub mod passes;
 pub mod prekernel;
+pub mod reduce;
 pub mod ssapre;
 pub mod stats;
 pub mod storeprom;
@@ -46,6 +47,7 @@ pub use expr::ExprKey;
 pub use lftr::lftr_hssa;
 pub use passes::{render_dumps, Pass, PassDump, PassSet, PipelineHooks};
 pub use prekernel::{apply_edits, reducible_loops, LoopShape, MotionEdit, SpecClient};
+pub use reduce::{reduce_module, ReduceStats};
 pub use ssapre::{ssapre_function, SpecPolicy};
 pub use stats::{OptStats, PassTimings};
 pub use storeprom::sink_stores_hssa;

@@ -171,12 +171,39 @@ pub struct PipelineHooks {
     /// Panic the *non-speculative fallback* of the named function too
     /// (`--inject-fallback-fail`), exhausting recovery. Test-only.
     pub inject_fallback_fail: Option<String>,
+    /// Run the structural verifier (IR level after `refine`/`lower`, the
+    /// HSSA checker after every HSSA-level stage) at every pass boundary
+    /// (`--verify-each`), attributing any failure to the offending pass
+    /// and function.
+    pub verify_each: bool,
+    /// Run the post-lowering speculation-safety auditor on each function's
+    /// machine code (`--audit-spec`): every `ld.a`/`ld.sa` must be
+    /// validated by a matching check on every path to a use.
+    pub audit_spec: bool,
+    /// Corrupt the named function's HSSA right after the named pass runs
+    /// (`--inject-corrupt FUNC:PASS`), exercising the verify-each +
+    /// per-pass-rollback recovery path deterministically. Test-only.
+    pub inject_corrupt: Option<(String, Pass)>,
 }
 
 impl PipelineHooks {
     /// Whether stage `p` runs under this configuration.
     pub fn runs(&self, p: Pass) -> bool {
         self.stop_after.is_none_or(|s| p <= s)
+    }
+
+    /// Parses the `--inject-corrupt` argument: `FUNC:PASS`.
+    ///
+    /// # Errors
+    /// Rejects a missing separator or an unknown pass name.
+    pub fn parse_inject_corrupt(s: &str) -> Result<(String, Pass), String> {
+        let Some((func, pass)) = s.rsplit_once(':') else {
+            return Err(format!("expected FUNC:PASS, got `{s}`"));
+        };
+        if func.is_empty() {
+            return Err(format!("expected FUNC:PASS, got `{s}`"));
+        }
+        Ok((func.to_string(), pass.parse()?))
     }
 }
 
@@ -275,6 +302,16 @@ mod tests {
         assert!(!s.contains(Pass::Refine));
         assert_eq!(s.iter().count(), 2);
         assert!(PassSet::parse_list("hssa,bogus").is_err());
+    }
+
+    #[test]
+    fn inject_corrupt_parses_func_colon_pass() {
+        let (f, p) = PipelineHooks::parse_inject_corrupt("kern:strength").unwrap();
+        assert_eq!(f, "kern");
+        assert_eq!(p, Pass::Strength);
+        assert!(PipelineHooks::parse_inject_corrupt("kern").is_err());
+        assert!(PipelineHooks::parse_inject_corrupt(":ssapre").is_err());
+        assert!(PipelineHooks::parse_inject_corrupt("kern:bogus").is_err());
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub struct OptStats {
     /// Functions whose speculative compilation failed and were recompiled
     /// non-speculatively (each one also carries an `OptReport` warning).
     pub spec_fallbacks: u64,
+    /// Functions rescued by the per-pass rollback rung of the degradation
+    /// ladder: one offending pass was rolled back and the remaining
+    /// pipeline re-run, keeping speculation for everything else.
+    pub pass_rollbacks: u64,
 }
 
 impl OptStats {
@@ -65,6 +69,7 @@ impl OptStats {
         self.lftr_applied += other.lftr_applied;
         self.stores_sunk += other.stores_sunk;
         self.spec_fallbacks += other.spec_fallbacks;
+        self.pass_rollbacks += other.pass_rollbacks;
     }
 }
 
@@ -97,6 +102,11 @@ pub struct PassTimings {
     pub storeprom: std::time::Duration,
     /// HSSA verification.
     pub verify: std::time::Duration,
+    /// Pass-boundary verification (`--verify-each`): every structural
+    /// re-check between stages, summed.
+    pub verify_each: std::time::Duration,
+    /// Post-lowering speculation-safety audit (`--audit-spec`).
+    pub audit: std::time::Duration,
     /// Out-of-SSA lowering.
     pub lower: std::time::Duration,
     /// Final whole-module IR verification.
@@ -119,6 +129,8 @@ impl PassTimings {
         self.lftr += other.lftr;
         self.storeprom += other.storeprom;
         self.verify += other.verify;
+        self.verify_each += other.verify_each;
+        self.audit += other.audit;
         self.lower += other.lower;
         self.module_verify += other.module_verify;
         self.total += other.total;
@@ -141,6 +153,8 @@ impl PassTimings {
         s.push_str(&format!("  lftr           {}\n", ms(self.lftr)));
         s.push_str(&format!("  storeprom      {}\n", ms(self.storeprom)));
         s.push_str(&format!("  verify         {}\n", ms(self.verify)));
+        s.push_str(&format!("  verify-each    {}\n", ms(self.verify_each)));
+        s.push_str(&format!("  audit          {}\n", ms(self.audit)));
         s.push_str(&format!("  lower          {}\n", ms(self.lower)));
         s.push_str(&format!("  module-verify  {}\n", ms(self.module_verify)));
         s.push_str(&format!("  total          {}\n", ms(self.total)));
@@ -186,6 +200,8 @@ mod tests {
             "lftr",
             "storeprom",
             "verify",
+            "verify-each",
+            "audit",
             "lower",
             "module-verify",
             "total",

@@ -72,8 +72,15 @@ pub fn workload_cases() -> Vec<Case> {
 /// `sel=0` and running on `sel=1` makes every profiled no-alias
 /// assumption false at once.
 pub fn random_case(seed: u64) -> Case {
+    random_case_sized(seed, 9)
+}
+
+/// [`random_case`] with the step-count ceiling exposed (`fuzzdiff
+/// --steps`): bigger programs exercise deeper optimizer interactions and
+/// give the reducer real work in the CI smoke.
+pub fn random_case_sized(seed: u64, max_steps: u64) -> Case {
     let mut rng = XorShift64::new(seed);
-    let nsteps = 1 + (rng.next_u64() % 9) as usize;
+    let nsteps = 1 + (rng.next_u64() % max_steps.max(1)) as usize;
     let mut decls = String::new();
     let mut body = String::new();
     for si in 0..nsteps {
@@ -193,6 +200,43 @@ pub struct DiffStats {
     pub failed_checks: u64,
 }
 
+/// The outcome of one oracle run over one case, separating *setup*
+/// problems (the case itself would not run) from genuine *divergences*
+/// (optimized behavior differs from the reference). The reducer keys on
+/// this: a candidate whose reference run breaks fails for a different
+/// reason than the original divergence and must be rejected.
+#[derive(Debug)]
+pub enum DiffOutcome {
+    /// Every comparison matched.
+    Agree,
+    /// The case could not be set up (reference or training run failed).
+    Setup(String),
+    /// At least one comparison diverged; the report lists them all.
+    Diverged(String),
+}
+
+/// Deletes the first check instruction (`ldc`/`chks`) found in `m`,
+/// returning whether one was found. This is the deliberate sabotage
+/// behind `fuzzdiff --break-checks`: with the check gone, a mis-speculated
+/// value is consumed unrecovered, and the differential oracle must notice
+/// — an end-to-end proof that the oracle (and the reducer riding on it)
+/// actually has teeth.
+pub fn drop_first_check(m: &mut Module) -> bool {
+    for f in &mut m.funcs {
+        for b in &mut f.blocks {
+            if let Some(i) = b
+                .insts
+                .iter()
+                .position(|i| matches!(i, specframe::ir::Inst::CheckLoad { .. }))
+            {
+                b.insts.remove(i);
+                return true;
+            }
+        }
+    }
+    false
+}
+
 /// Runs the full differential oracle on one case.
 ///
 /// # Errors
@@ -200,15 +244,33 @@ pub struct DiffStats {
 /// optimized machine run and the unoptimized interpreter, an interpreter
 /// divergence, a counter-sanity violation, or a compile failure.
 pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Result<(), String> {
+    match diff_case_outcome(case, policies, stats, false) {
+        DiffOutcome::Agree => Ok(()),
+        DiffOutcome::Setup(e) | DiffOutcome::Diverged(e) => Err(e),
+    }
+}
+
+/// [`diff_case`] with the failure classes separated and optional check
+/// sabotage (`break_checks` deletes one check from every optimized module
+/// before comparing — configs that emitted no check are skipped).
+pub fn diff_case_outcome(
+    case: &Case,
+    policies: &[String],
+    stats: &mut DiffStats,
+    break_checks: bool,
+) -> DiffOutcome {
     stats.cases += 1;
     let m = &case.module;
 
     // ground truth: the unoptimized reference interpreter
     let mut want = Vec::new();
     for args in &case.run_args {
-        let (r, _) = run(m, &case.entry, args, case.fuel)
-            .map_err(|e| format!("{}: reference run failed: {e}", case.name))?;
-        want.push(r);
+        match run(m, &case.entry, args, case.fuel) {
+            Ok((r, _)) => want.push(r),
+            Err(e) => {
+                return DiffOutcome::Setup(format!("{}: reference run failed: {e}", case.name))
+            }
+        }
     }
 
     // training profile
@@ -216,8 +278,9 @@ pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Res
     let mut ep = EdgeProfiler::new();
     {
         let mut obs = specframe::profile::observer::Compose(vec![&mut ap, &mut ep]);
-        run_with(m, &case.entry, &case.train_args, case.fuel, &mut obs)
-            .map_err(|e| format!("{}: training run failed: {e}", case.name))?;
+        if let Err(e) = run_with(m, &case.entry, &case.train_args, case.fuel, &mut obs) {
+            return DiffOutcome::Setup(format!("{}: training run failed: {e}", case.name));
+        }
     }
     let aprof = ap.finish();
     let eprof = ep.finish();
@@ -280,6 +343,9 @@ pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Res
     for (cname, opts) in configs {
         let mut om = m.clone();
         optimize(&mut om, &opts);
+        if break_checks && !drop_first_check(&mut om) {
+            continue; // nothing speculative to sabotage in this config
+        }
         if let Err(e) = verify_module(&om) {
             failures.push(format!("{}/{cname}: verify failed: {e}", case.name));
             continue;
@@ -304,7 +370,7 @@ pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Res
             for (args, want) in case.run_args.iter().zip(&want) {
                 let p = match parse_fault_policy(policy) {
                     Ok(p) => p,
-                    Err(e) => return Err(format!("bad policy `{policy}`: {e}")),
+                    Err(e) => return DiffOutcome::Setup(format!("bad policy `{policy}`: {e}")),
                 };
                 stats.sim_runs += 1;
                 match run_machine_with_policy(&prog, &case.entry, args, case.fuel, p) {
@@ -334,10 +400,85 @@ pub fn diff_case(case: &Case, policies: &[String], stats: &mut DiffStats) -> Res
         }
     }
     if failures.is_empty() {
-        Ok(())
+        DiffOutcome::Agree
     } else {
-        Err(failures.join("\n"))
+        DiffOutcome::Diverged(failures.join("\n"))
     }
+}
+
+/// Shrinks a diverging case to a minimal module with the ddmin-style
+/// reducer and renders it as a `.spec`-ready repro. The predicate re-runs
+/// the (optionally sabotaged) oracle on every candidate and accepts only
+/// genuine divergences — a candidate whose reference run breaks, or that
+/// stops diverging, is rejected, so the reduced program still fails for
+/// the original reason.
+pub fn reduce_failing_case(
+    case: &Case,
+    policies: &[String],
+    break_checks: bool,
+) -> (String, ReduceStats) {
+    let mut pred = |cand: &Module| {
+        let c2 = Case {
+            module: cand.clone(),
+            ..case.clone()
+        };
+        // a candidate that makes the compiler panic outright fails for a
+        // *different* reason than the divergence being reduced — reject it
+        specframe::core::error::with_quiet_panics(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut s = DiffStats::default();
+                matches!(
+                    diff_case_outcome(&c2, policies, &mut s, break_checks),
+                    DiffOutcome::Diverged(_)
+                )
+            }))
+            .unwrap_or(false)
+        })
+    };
+    let (red, rs) = reduce_module(&case.module, &mut pred);
+    (render_spec_repro(case, &red, &rs, break_checks), rs)
+}
+
+/// Formats `args` the way `specc --args` parses them.
+fn fmt_args(args: &[Value]) -> String {
+    args.iter()
+        .map(|v| match v {
+            Value::I(i) => i.to_string(),
+            Value::F(f) => format!("{f:?}"),
+            Value::Nat => "nat".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Renders a reduced module as a ready-to-save `.spec` file: a RUN line
+/// reproducing the speculative compile-and-run, the reduction provenance,
+/// and the program text.
+fn render_spec_repro(case: &Case, red: &Module, rs: &ReduceStats, break_checks: bool) -> String {
+    let adversarial = case.run_args.last().unwrap_or(&case.train_args);
+    let mut out = format!(
+        "; RUN: specc %s --entry {} --spec heuristic --control static \
+         --train-args {} --args {} --run\n",
+        case.entry,
+        fmt_args(&case.train_args),
+        fmt_args(adversarial),
+    );
+    out += &format!(
+        "; reduce: {} probes, {} -> {} instructions ({:.0}% shrink) from {}\n",
+        rs.probes,
+        rs.initial_insts,
+        rs.final_insts,
+        rs.shrink_percent(),
+        case.name,
+    );
+    if break_checks {
+        out += "; NOTE: diverges only with the --break-checks sabotage \
+                (one check deleted after optimize) — the unsabotaged \
+                pipeline is expected to pass on this program.\n";
+    }
+    out.push('\n');
+    out += &specframe::ir::display::print_module(red);
+    out
 }
 
 #[cfg(test)]
@@ -372,6 +513,46 @@ mod tests {
         assert!(stats.sim_runs > 0);
         // always-miss over speculative configs must have exercised recovery
         assert!(stats.failed_checks > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn dropped_check_diverges_and_reduces() {
+        let policies = vec!["always-miss".to_string()];
+        let mut stats = DiffStats::default();
+        // find a seed whose sabotaged compile actually diverges (the
+        // first check of the module must be one that matters on the
+        // adversarial input)
+        let case = (1..=8)
+            .map(random_case)
+            .find(|c| {
+                matches!(
+                    diff_case_outcome(c, &policies, &mut DiffStats::default(), true),
+                    DiffOutcome::Diverged(_)
+                )
+            })
+            .expect("no seed in 1..=8 diverges under --break-checks");
+        // the unsabotaged oracle still passes on the same case
+        diff_case(&case, &policies, &mut stats).unwrap();
+        let (spec, rs) = reduce_failing_case(&case, &policies, true);
+        assert!(spec.contains("RUN: specc"), "{spec}");
+        assert!(spec.contains("; reduce:"), "{spec}");
+        assert!(rs.probes > 0);
+        assert!(
+            rs.final_insts < rs.initial_insts,
+            "reducer made no progress: {rs:?}"
+        );
+        // the repro must still diverge for the original reason
+        let mut red = parse_module(spec.split_once("\n\n").expect("module text").1).unwrap();
+        prepare_module(&mut red);
+        let rcase = Case {
+            module: red,
+            name: "reduced".into(),
+            ..case.clone()
+        };
+        assert!(matches!(
+            diff_case_outcome(&rcase, &policies, &mut DiffStats::default(), true),
+            DiffOutcome::Diverged(_)
+        ));
     }
 
     #[test]

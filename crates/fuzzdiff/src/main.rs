@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fuzzdiff [--seed N] [--random N] [--time-budget SECS] [--policy SPEC]..
-//!          [--skip-workloads]
+//!          [--skip-workloads] [--break-checks] [--reduce-on-failure]
 //! ```
 //!
 //! Runs the workload kernels and `N` seeded random programs through every
@@ -13,27 +13,42 @@
 //! exhausted, and the skip count is reported so a silently-short run is
 //! visible.
 //!
+//! `--break-checks` deletes one check instruction from every optimized
+//! module before comparing — a deliberate sabotage that MUST make the
+//! oracle fail, proving it has teeth. `--reduce-on-failure` shrinks each
+//! failing case with the ddmin reducer and prints a `.spec`-ready repro
+//! to stdout.
+//!
 //! Exit code 0 when every comparison matched, 1 otherwise (2 for usage).
 
 use specframe::prelude::*;
-use specframe_fuzzdiff::{diff_case, random_case, workload_cases, DiffStats};
+use specframe_fuzzdiff::{
+    diff_case_outcome, random_case_sized, reduce_failing_case, workload_cases, DiffOutcome,
+    DiffStats,
+};
 use std::time::{Duration, Instant};
 
 struct Opts {
     seed: u64,
     random: u64,
+    steps: u64,
     budget: Duration,
     policies: Vec<String>,
     workloads: bool,
+    break_checks: bool,
+    reduce_on_failure: bool,
 }
 
 fn parse_opts() -> Result<Opts, String> {
     let mut o = Opts {
         seed: 1,
         random: 16,
+        steps: 9,
         budget: Duration::from_secs(300),
         policies: Vec::new(),
         workloads: true,
+        break_checks: false,
+        reduce_on_failure: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -55,12 +70,20 @@ fn parse_opts() -> Result<Opts, String> {
                     .map_err(|e| format!("bad --time-budget: {e}"))?;
                 o.budget = Duration::from_secs(secs);
             }
+            "--steps" => {
+                o.steps = val("--steps")?
+                    .parse()
+                    .map_err(|e| format!("bad --steps: {e}"))?
+            }
             "--policy" => o.policies.push(val("--policy")?),
             "--skip-workloads" => o.workloads = false,
+            "--break-checks" => o.break_checks = true,
+            "--reduce-on-failure" => o.reduce_on_failure = true,
             "--help" | "-h" => {
-                return Err("usage: fuzzdiff [--seed N] [--random N] \
+                return Err("usage: fuzzdiff [--seed N] [--random N] [--steps N] \
                             [--time-budget SECS] [--policy SPEC].. \
-                            [--skip-workloads]\n\
+                            [--skip-workloads] [--break-checks] \
+                            [--reduce-on-failure]\n\
                             default policies: the full fault matrix \
                             (default, always-miss, forced-miss, random:1/2/3, \
                             flash-clear)"
@@ -100,7 +123,8 @@ fn main() -> std::process::ExitCode {
     }
     for i in 0..o.random {
         let seed = o.seed.wrapping_add(i);
-        cases.push(Box::new(move || random_case(seed)));
+        let steps = o.steps;
+        cases.push(Box::new(move || random_case_sized(seed, steps)));
     }
 
     for make in cases {
@@ -110,12 +134,30 @@ fn main() -> std::process::ExitCode {
         }
         let case = make();
         let name = case.name.clone();
-        match diff_case(&case, &o.policies, &mut stats) {
-            Ok(()) => println!("ok   {name}"),
-            Err(report) => {
+        match diff_case_outcome(&case, &o.policies, &mut stats, o.break_checks) {
+            DiffOutcome::Agree => println!("ok   {name}"),
+            DiffOutcome::Setup(report) => {
                 failures += 1;
                 println!("FAIL {name}");
                 eprintln!("{report}");
+            }
+            DiffOutcome::Diverged(report) => {
+                failures += 1;
+                println!("FAIL {name}");
+                eprintln!("{report}");
+                if o.reduce_on_failure {
+                    eprintln!("fuzzdiff: shrinking {name} to a minimal repro...");
+                    let (spec, rs) = reduce_failing_case(&case, &o.policies, o.break_checks);
+                    eprintln!(
+                        "fuzzdiff: reduce: {} probes, {} -> {} instructions \
+                         ({:.0}% shrink)",
+                        rs.probes,
+                        rs.initial_insts,
+                        rs.final_insts,
+                        rs.shrink_percent()
+                    );
+                    print!("{spec}");
+                }
             }
         }
     }

@@ -665,6 +665,25 @@ fn set_def_ver(kind: &mut HStmtKind, nv: u32) {
     }
 }
 
+/// A structural HSSA validation failure, anchored to the block the
+/// violation was observed in (when block-local). The driver's verify-each
+/// hook reads `block` to render `pass=<p> fn=<f> bb=<n>` attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HssaVerifyError {
+    /// Block index the violation is anchored to, if block-local.
+    pub block: Option<usize>,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for HssaVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for HssaVerifyError {}
+
 /// Structural SSA validation for tests and property checks.
 ///
 /// Verifies that every version is defined at most once, that no placeholder
@@ -674,6 +693,27 @@ fn set_def_ver(kind: &mut HStmtKind, nv: u32) {
 /// # Errors
 /// Returns a description of the first violation.
 pub fn verify_hssa(hf: &HssaFunc) -> Result<(), String> {
+    verify_hssa_detailed(hf).map_err(|e| e.msg)
+}
+
+/// [`verify_hssa`] with structured block attribution, plus a stale-version
+/// range check: renaming hands out versions strictly below
+/// [`HssaFunc::next_ver`], so any occurrence at or above that bound was
+/// fabricated after Rename ran (e.g. a χ whose operand version was never
+/// issued) — the corruption class the verify-each hook exists to catch.
+///
+/// # Errors
+/// Returns the first violation with the block it was observed in.
+pub fn verify_hssa_detailed(hf: &HssaFunc) -> Result<(), HssaVerifyError> {
+    let at = |bi: usize, msg: String| HssaVerifyError {
+        block: Some(bi),
+        msg,
+    };
+    // ver == u32::MAX is reported by the unrenamed checks, not as stale
+    let stale = |var: HVarId, ver: u32| -> Option<u32> {
+        let next = hf.next_ver.get(var.index()).copied().unwrap_or(0);
+        (ver != u32::MAX && ver != 0 && ver >= next).then_some(next)
+    };
     let mut defined: HashMap<(HVarId, u32), u32> = HashMap::new();
     let mut define = |var: HVarId, ver: u32| -> Result<(), String> {
         if ver == u32::MAX {
@@ -691,51 +731,104 @@ pub fn verify_hssa(hf: &HssaFunc) -> Result<(), String> {
     };
     for (bi, b) in hf.blocks.iter().enumerate() {
         for phi in &b.phis {
-            define(phi.var, phi.dest)?;
+            define(phi.var, phi.dest).map_err(|m| at(bi, m))?;
             if phi.args.len() != hf.preds[bi].len() {
-                return Err(format!("phi arg count mismatch in block {bi}"));
+                return Err(at(bi, format!("phi arg count mismatch in block {bi}")));
             }
             if phi.args.contains(&u32::MAX) {
-                return Err(format!("unrenamed phi arg in block {bi}"));
+                return Err(at(bi, format!("unrenamed phi arg in block {bi}")));
+            }
+            for &arg in std::iter::once(&phi.dest).chain(&phi.args) {
+                if let Some(next) = stale(phi.var, arg) {
+                    return Err(at(
+                        bi,
+                        format!(
+                            "stale version {arg} of {:?} in phi (next unissued is {next})",
+                            phi.var
+                        ),
+                    ));
+                }
             }
         }
         for stmt in &b.stmts {
             for (v, ver) in stmt.reg_uses() {
                 if ver == u32::MAX {
-                    return Err(format!("unrenamed use of {v} in block {bi}"));
+                    return Err(at(bi, format!("unrenamed use of {v} in block {bi}")));
+                }
+                if let Some(id) = hf.catalog.get(HVarKind::Reg(v)) {
+                    if let Some(next) = stale(id, ver) {
+                        return Err(at(
+                            bi,
+                            format!("stale version {ver} of {v} used (next unissued is {next})"),
+                        ));
+                    }
                 }
             }
             for mu in &stmt.mu {
                 if mu.ver == u32::MAX {
-                    return Err(format!("unrenamed mu in block {bi}"));
+                    return Err(at(bi, format!("unrenamed mu in block {bi}")));
+                }
+                if let Some(next) = stale(mu.var, mu.ver) {
+                    return Err(at(
+                        bi,
+                        format!(
+                            "stale version {} of {:?} in mu (next unissued is {next})",
+                            mu.ver, mu.var
+                        ),
+                    ));
                 }
             }
             if let Some((v, ver)) = stmt.def_reg() {
                 let id = hf
                     .catalog
                     .get(HVarKind::Reg(v))
-                    .ok_or_else(|| format!("def of uncataloged {v}"))?;
-                define(id, ver)?;
+                    .ok_or_else(|| at(bi, format!("def of uncataloged {v}")))?;
+                define(id, ver).map_err(|m| at(bi, m))?;
+                if let Some(next) = stale(id, ver) {
+                    return Err(at(
+                        bi,
+                        format!("stale version {ver} of {v} defined (next unissued is {next})"),
+                    ));
+                }
             }
             if let HStmtKind::Store {
                 dvar_def: Some((id, ver)),
                 ..
             } = &stmt.kind
             {
-                define(*id, *ver)?;
+                define(*id, *ver).map_err(|m| at(bi, m))?;
+                if let Some(next) = stale(*id, *ver) {
+                    return Err(at(
+                        bi,
+                        format!(
+                            "stale version {ver} of {id:?} in store def (next unissued is {next})"
+                        ),
+                    ));
+                }
             }
             for chi in &stmt.chi {
                 if chi.old_ver == u32::MAX {
-                    return Err(format!("unrenamed chi old version in block {bi}"));
+                    return Err(at(bi, format!("unrenamed chi old version in block {bi}")));
                 }
-                define(chi.var, chi.new_ver)?;
+                define(chi.var, chi.new_ver).map_err(|m| at(bi, m))?;
+                for ver in [chi.old_ver, chi.new_ver] {
+                    if let Some(next) = stale(chi.var, ver) {
+                        return Err(at(
+                            bi,
+                            format!(
+                                "stale version {ver} of {:?} in chi (next unissued is {next})",
+                                chi.var
+                            ),
+                        ));
+                    }
+                }
             }
         }
         if b.term.is_none() {
-            return Err(format!("block {bi} lost its terminator"));
+            return Err(at(bi, format!("block {bi} lost its terminator")));
         }
     }
-    verify_dominance(hf)?;
+    verify_dominance(hf).map_err(|msg| HssaVerifyError { block: None, msg })?;
     Ok(())
 }
 

@@ -37,7 +37,10 @@ pub mod print;
 pub mod refine;
 pub mod stmt;
 
-pub use build::{build_hssa, build_hssa_in, build_hssa_with, verify_hssa, SpecMode};
+pub use build::{
+    build_hssa, build_hssa_in, build_hssa_with, verify_hssa, verify_hssa_detailed, HssaVerifyError,
+    SpecMode,
+};
 pub use hvar::{HVarId, HVarKind, MemBase, MemVar, VarCatalog};
 pub use lower::{lower_function, lower_hssa, resolve_fresh_sites, LOCAL_FRESH_BASE};
 pub use oracle::{ChiRefine, FnEvidence, Likeliness, RefineStmt, SiteQuery, Verdict, Why};

@@ -233,18 +233,24 @@ impl Module {
     /// [`Module::GLOBAL_BASE`]. Both the interpreter and the machine
     /// simulator use this layout, so profiled LOCs agree between them.
     pub fn global_layout(&self) -> Vec<i64> {
-        let mut addr = Self::GLOBAL_BASE;
-        let mut out = Vec::with_capacity(self.globals.len());
-        for g in &self.globals {
-            out.push(addr);
-            addr += i64::from(g.words);
-        }
-        out
+        layout_globals(&self.globals)
     }
 
     /// First word address used for globals. Address 0 is kept invalid so
     /// null-pointer dereferences are catchable.
     pub const GLOBAL_BASE: i64 = 16;
+}
+
+/// [`Module::global_layout`] over a bare global list, for callers that
+/// hold only the globals (the driver's per-function workers).
+pub fn layout_globals(globals: &[Global]) -> Vec<i64> {
+    let mut addr = Module::GLOBAL_BASE;
+    let mut out = Vec::with_capacity(globals.len());
+    for g in globals {
+        out.push(addr);
+        addr += i64::from(g.words);
+    }
+    out
 }
 
 /// Identifies one slot within one function — needed module-wide because

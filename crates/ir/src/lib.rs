@@ -47,9 +47,9 @@ pub mod types;
 pub mod verify;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
-pub use function::{Block, FuncSlot, Function, Global, Module, SlotDecl, VarDecl};
+pub use function::{layout_globals, Block, FuncSlot, Function, Global, Module, SlotDecl, VarDecl};
 pub use ids::{AllocSiteId, BlockId, CallSiteId, FuncId, GlobalId, MemSiteId, SlotId, VarId};
 pub use inst::{BinOp, CheckKind, Inst, LoadSpec, Operand, Terminator, UnOp};
 pub use parse::{parse_module, ParseError};
 pub use types::{Ty, Value};
-pub use verify::{verify_module, VerifyError};
+pub use verify::{verify_function_in, verify_module, CalleeSig, VerifyError};

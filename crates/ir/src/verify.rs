@@ -3,6 +3,10 @@
 //! Checks the invariants every later pass relies on. Run after construction
 //! and after every transformation in tests; optimizations that break any of
 //! these would silently corrupt downstream analyses.
+//!
+//! Failures carry structured attribution — the function, the block index,
+//! and (when populated by the driver's verify-each hook) the pipeline pass
+//! that produced the rejected IR — rendered as `pass=<p> fn=<f> bb=<n>`.
 
 use crate::function::{Function, Module};
 use crate::ids::FuncId;
@@ -15,12 +19,69 @@ use std::collections::HashSet;
 pub struct VerifyError {
     /// Function in which the failure occurred, if function-local.
     pub func: Option<String>,
+    /// Pipeline pass that produced the rejected IR, when known (populated
+    /// by the driver's `--verify-each` hook, not by the verifier itself).
+    pub pass: Option<String>,
+    /// Block index the failure is anchored to, if block-local.
+    pub block: Option<u32>,
     /// Human-readable description.
     pub msg: String,
 }
 
+impl VerifyError {
+    /// A bare failure with no attribution.
+    pub fn new(msg: impl Into<String>) -> VerifyError {
+        VerifyError {
+            func: None,
+            pass: None,
+            block: None,
+            msg: msg.into(),
+        }
+    }
+
+    /// Attributes the failure to a function.
+    #[must_use]
+    pub fn in_func(mut self, name: impl Into<String>) -> VerifyError {
+        self.func = Some(name.into());
+        self
+    }
+
+    /// Attributes the failure to the pipeline pass that produced the IR.
+    #[must_use]
+    pub fn in_pass(mut self, pass: impl Into<String>) -> VerifyError {
+        self.pass = Some(pass.into());
+        self
+    }
+
+    /// Anchors the failure to a block index.
+    #[must_use]
+    pub fn at_block(mut self, block: u32) -> VerifyError {
+        self.block = Some(block);
+        self
+    }
+
+    /// The `pass=<p> fn=<f> bb=<n>` attribution suffix (empty when no
+    /// attribution beyond the message exists).
+    pub fn location(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(p) = &self.pass {
+            parts.push(format!("pass={p}"));
+        }
+        if let Some(f) = &self.func {
+            parts.push(format!("fn={f}"));
+        }
+        if let Some(b) = self.block {
+            parts.push(format!("bb={b}"));
+        }
+        parts.join(" ")
+    }
+}
+
 impl core::fmt::Display for VerifyError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.pass.is_some() || self.block.is_some() {
+            return write!(f, "verify error: {} [{}]", self.msg, self.location());
+        }
         match &self.func {
             Some(name) => write!(f, "verify error in `{name}`: {}", self.msg),
             None => write!(f, "verify error: {}", self.msg),
@@ -29,6 +90,19 @@ impl core::fmt::Display for VerifyError {
 }
 
 impl std::error::Error for VerifyError {}
+
+/// The callee-side facts a `call` instruction is checked against. Lets
+/// [`verify_function_in`] run on a single function without the whole
+/// [`Module`] in hand (the driver's per-worker verify-each hook).
+#[derive(Debug, Clone, Copy)]
+pub struct CalleeSig<'a> {
+    /// Callee name (for diagnostics).
+    pub name: &'a str,
+    /// Declared parameter count.
+    pub params: u32,
+    /// Whether the callee returns a value.
+    pub has_ret: bool,
+}
 
 /// Verifies a whole module.
 ///
@@ -49,25 +123,25 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     let mut names = HashSet::new();
     for g in &m.globals {
         if !names.insert(&g.name) {
-            return Err(VerifyError {
-                func: None,
-                msg: format!("duplicate global name `{}`", g.name),
-            });
+            return Err(VerifyError::new(format!(
+                "duplicate global name `{}`",
+                g.name
+            )));
         }
         if g.init.len() > g.words as usize {
-            return Err(VerifyError {
-                func: None,
-                msg: format!("global `{}` initializer exceeds size", g.name),
-            });
+            return Err(VerifyError::new(format!(
+                "global `{}` initializer exceeds size",
+                g.name
+            )));
         }
     }
     let mut fnames = HashSet::new();
     for f in &m.funcs {
         if !fnames.insert(&f.name) {
-            return Err(VerifyError {
-                func: None,
-                msg: format!("duplicate function name `{}`", f.name),
-            });
+            return Err(VerifyError::new(format!(
+                "duplicate function name `{}`",
+                f.name
+            )));
         }
     }
 
@@ -75,11 +149,16 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     let mut call_sites = HashSet::new();
     let mut alloc_sites = HashSet::new();
 
+    let callee = |i: usize| -> Option<CalleeSig<'_>> {
+        m.funcs.get(i).map(|cf| CalleeSig {
+            name: &cf.name,
+            params: cf.params,
+            has_ret: cf.ret_ty.is_some(),
+        })
+    };
     for (i, f) in m.funcs.iter().enumerate() {
-        verify_function(m, FuncId::from_index(i), f).map_err(|msg| VerifyError {
-            func: Some(f.name.clone()),
-            msg,
-        })?;
+        let _ = FuncId::from_index(i);
+        verify_function_in(m.globals.len(), &callee, f)?;
         for b in &f.blocks {
             for inst in &b.insts {
                 match inst {
@@ -87,33 +166,29 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
                     | Inst::Store { site, .. }
                     | Inst::CheckLoad { site, .. } => {
                         if site.0 >= m.next_mem_site {
-                            return Err(VerifyError {
-                                func: Some(f.name.clone()),
-                                msg: format!("mem site {site} beyond module counter"),
-                            });
+                            return Err(VerifyError::new(format!(
+                                "mem site {site} beyond module counter"
+                            ))
+                            .in_func(&f.name));
                         }
                         if !mem_sites.insert(*site) {
-                            return Err(VerifyError {
-                                func: Some(f.name.clone()),
-                                msg: format!("duplicate mem site {site}"),
-                            });
+                            return Err(VerifyError::new(format!("duplicate mem site {site}"))
+                                .in_func(&f.name));
                         }
                     }
                     Inst::Call { site, .. }
                         if (site.0 >= m.next_call_site || !call_sites.insert(*site)) =>
                     {
-                        return Err(VerifyError {
-                            func: Some(f.name.clone()),
-                            msg: format!("bad call site {site}"),
-                        });
+                        return Err(
+                            VerifyError::new(format!("bad call site {site}")).in_func(&f.name)
+                        );
                     }
                     Inst::Alloc { site, .. }
                         if (site.0 >= m.next_alloc_site || !alloc_sites.insert(*site)) =>
                     {
-                        return Err(VerifyError {
-                            func: Some(f.name.clone()),
-                            msg: format!("bad alloc site {site}"),
-                        });
+                        return Err(
+                            VerifyError::new(format!("bad alloc site {site}")).in_func(&f.name)
+                        );
                     }
                     _ => {}
                 }
@@ -123,39 +198,68 @@ pub fn verify_module(m: &Module) -> Result<(), VerifyError> {
     Ok(())
 }
 
-fn verify_function(m: &Module, _fid: FuncId, f: &Function) -> Result<(), String> {
+/// Verifies one function against its surrounding context: the module's
+/// global count and a callee-signature lookup. This is the per-function
+/// half of [`verify_module`], public so the driver's verify-each hook can
+/// run it inside parallel workers without the (partially moved-out)
+/// module. Site-id uniqueness is inherently module-wide and stays in
+/// [`verify_module`].
+///
+/// # Errors
+/// Returns the first violated invariant, attributed to the function and
+/// (for per-block checks) the block index.
+pub fn verify_function_in<'m>(
+    n_globals: usize,
+    callee: &dyn Fn(usize) -> Option<CalleeSig<'m>>,
+    f: &Function,
+) -> Result<(), VerifyError> {
+    let fail = |msg: String| VerifyError::new(msg).in_func(&f.name);
     if f.blocks.is_empty() {
-        return Err("function has no blocks".into());
+        return Err(fail("function has no blocks".into()));
     }
     if (f.params as usize) > f.vars.len() {
-        return Err("more params than vars".into());
+        return Err(fail("more params than vars".into()));
     }
 
     let mut vnames = HashSet::new();
     for v in &f.vars {
         if !vnames.insert(&v.name) {
-            return Err(format!("duplicate var name `{}`", v.name));
+            return Err(fail(format!("duplicate var name `{}`", v.name)));
         }
     }
     let mut snames = HashSet::new();
     for s in &f.slots {
         if !snames.insert(&s.name) {
-            return Err(format!("duplicate slot name `{}`", s.name));
+            return Err(fail(format!("duplicate slot name `{}`", s.name)));
         }
     }
     let mut bnames = HashSet::new();
     for b in &f.blocks {
         if !bnames.insert(&b.name) {
-            return Err(format!("duplicate block name `{}`", b.name));
+            return Err(fail(format!("duplicate block name `{}`", b.name)));
         }
     }
 
+    for (bi, b) in f.blocks.iter().enumerate() {
+        verify_block(n_globals, callee, f, b).map_err(|msg| fail(msg).at_block(bi as u32))?;
+    }
+    Ok(())
+}
+
+/// The per-block invariants of [`verify_function_in`], with string errors
+/// so the caller can attach block attribution in one place.
+fn verify_block<'m>(
+    n_globals: usize,
+    callee: &dyn Fn(usize) -> Option<CalleeSig<'m>>,
+    f: &Function,
+    b: &crate::function::Block,
+) -> Result<(), String> {
     let check_opnd = |o: Operand| -> Result<(), String> {
         match o {
             Operand::Var(v) if v.index() >= f.vars.len() => {
                 return Err(format!("var {v} out of range"));
             }
-            Operand::GlobalAddr(g) if g.index() >= m.globals.len() => {
+            Operand::GlobalAddr(g) if g.index() >= n_globals => {
                 return Err(format!("global {g} out of range"));
             }
             Operand::SlotAddr(s) if s.index() >= f.slots.len() => {
@@ -182,121 +286,121 @@ fn verify_function(m: &Module, _fid: FuncId, f: &Function) -> Result<(), String>
         }
     };
 
-    for b in &f.blocks {
-        for inst in &b.insts {
-            for u in inst.uses() {
-                check_opnd(u)?;
-            }
-            if let Some(d) = inst.def() {
-                if d.index() >= f.vars.len() {
-                    return Err(format!("def var {d} out of range"));
-                }
-            }
-            match inst {
-                Inst::Bin { op, a, b: bb, dst } => {
-                    let wf = op.takes_float();
-                    for o in [*a, *bb] {
-                        if let Some(t) = var_ty(o) {
-                            if !num_compat(t, wf) {
-                                return Err(format!(
-                                    "operand type {t} incompatible with `{}`",
-                                    op.mnemonic()
-                                ));
-                            }
-                        }
-                    }
-                    if f.vars[dst.index()].ty != op.result_ty()
-                        && !(op.result_ty() == Ty::I64 && f.vars[dst.index()].ty == Ty::Ptr)
-                    {
-                        return Err(format!(
-                            "dst of `{}` has type {}, expected {}",
-                            op.mnemonic(),
-                            f.vars[dst.index()].ty,
-                            op.result_ty()
-                        ));
-                    }
-                }
-                Inst::Load { dst, ty, base, .. } | Inst::CheckLoad { dst, ty, base, .. } => {
-                    if let Some(bt) = var_ty(*base) {
-                        if bt == Ty::F64 {
-                            return Err("load base must be integral".into());
-                        }
-                    }
-                    let dt = f.vars[dst.index()].ty;
-                    let compat = match ty {
-                        Ty::F64 => dt == Ty::F64,
-                        _ => dt != Ty::F64,
-                    };
-                    if !compat {
-                        return Err(format!("load of {ty} into {dt} register"));
-                    }
-                }
-                Inst::Store { base, val, ty, .. } => {
-                    if let Some(bt) = var_ty(*base) {
-                        if bt == Ty::F64 {
-                            return Err("store base must be integral".into());
-                        }
-                    }
-                    if let Some(vt) = var_ty(*val) {
-                        let compat = match ty {
-                            Ty::F64 => vt == Ty::F64,
-                            _ => vt != Ty::F64,
-                        };
-                        if !compat {
-                            return Err(format!("store of {vt} value as {ty}"));
-                        }
-                    }
-                }
-                Inst::Call {
-                    dst, callee, args, ..
-                } => {
-                    if callee.index() >= m.funcs.len() {
-                        return Err(format!("callee {callee} out of range"));
-                    }
-                    let cf = &m.funcs[callee.index()];
-                    if args.len() != cf.params as usize {
-                        return Err(format!(
-                            "call to `{}` passes {} args, expects {}",
-                            cf.name,
-                            args.len(),
-                            cf.params
-                        ));
-                    }
-                    if dst.is_some() && cf.ret_ty.is_none() {
-                        return Err(format!("call to void `{}` has a destination", cf.name));
-                    }
-                }
-                _ => {}
+    for inst in &b.insts {
+        for u in inst.uses() {
+            check_opnd(u)?;
+        }
+        if let Some(d) = inst.def() {
+            if d.index() >= f.vars.len() {
+                return Err(format!("def var {d} out of range"));
             }
         }
-        match &b.term {
-            Terminator::Jump(t) => {
+        match inst {
+            Inst::Bin { op, a, b: bb, dst } => {
+                let wf = op.takes_float();
+                for o in [*a, *bb] {
+                    if let Some(t) = var_ty(o) {
+                        if !num_compat(t, wf) {
+                            return Err(format!(
+                                "operand type {t} incompatible with `{}`",
+                                op.mnemonic()
+                            ));
+                        }
+                    }
+                }
+                if f.vars[dst.index()].ty != op.result_ty()
+                    && !(op.result_ty() == Ty::I64 && f.vars[dst.index()].ty == Ty::Ptr)
+                {
+                    return Err(format!(
+                        "dst of `{}` has type {}, expected {}",
+                        op.mnemonic(),
+                        f.vars[dst.index()].ty,
+                        op.result_ty()
+                    ));
+                }
+            }
+            Inst::Load { dst, ty, base, .. } | Inst::CheckLoad { dst, ty, base, .. } => {
+                if let Some(bt) = var_ty(*base) {
+                    if bt == Ty::F64 {
+                        return Err("load base must be integral".into());
+                    }
+                }
+                let dt = f.vars[dst.index()].ty;
+                let compat = match ty {
+                    Ty::F64 => dt == Ty::F64,
+                    _ => dt != Ty::F64,
+                };
+                if !compat {
+                    return Err(format!("load of {ty} into {dt} register"));
+                }
+            }
+            Inst::Store { base, val, ty, .. } => {
+                if let Some(bt) = var_ty(*base) {
+                    if bt == Ty::F64 {
+                        return Err("store base must be integral".into());
+                    }
+                }
+                if let Some(vt) = var_ty(*val) {
+                    let compat = match ty {
+                        Ty::F64 => vt == Ty::F64,
+                        _ => vt != Ty::F64,
+                    };
+                    if !compat {
+                        return Err(format!("store of {vt} value as {ty}"));
+                    }
+                }
+            }
+            Inst::Call {
+                dst,
+                callee: target,
+                args,
+                ..
+            } => {
+                let Some(sig) = callee(target.index()) else {
+                    return Err(format!("callee {target} out of range"));
+                };
+                if args.len() != sig.params as usize {
+                    return Err(format!(
+                        "call to `{}` passes {} args, expects {}",
+                        sig.name,
+                        args.len(),
+                        sig.params
+                    ));
+                }
+                if dst.is_some() && !sig.has_ret {
+                    return Err(format!("call to void `{}` has a destination", sig.name));
+                }
+            }
+            _ => {}
+        }
+    }
+    match &b.term {
+        Terminator::Jump(t) => {
+            if t.index() >= f.blocks.len() {
+                return Err(format!("jump target {t} out of range"));
+            }
+        }
+        Terminator::Br { cond, then_, else_ } => {
+            check_opnd(*cond)?;
+            if let Some(t) = var_ty(*cond) {
+                if t == Ty::F64 {
+                    return Err("branch condition must be integral".into());
+                }
+            }
+            for t in [then_, else_] {
                 if t.index() >= f.blocks.len() {
-                    return Err(format!("jump target {t} out of range"));
+                    return Err(format!("branch target {t} out of range"));
                 }
             }
-            Terminator::Br { cond, then_, else_ } => {
-                check_opnd(*cond)?;
-                if let Some(t) = var_ty(*cond) {
-                    if t == Ty::F64 {
-                        return Err("branch condition must be integral".into());
-                    }
+        }
+        Terminator::Ret(v) => {
+            if let Some(v) = v {
+                check_opnd(*v)?;
+                if f.ret_ty.is_none() {
+                    return Err("void function returns a value".into());
                 }
-                for t in [then_, else_] {
-                    if t.index() >= f.blocks.len() {
-                        return Err(format!("branch target {t} out of range"));
-                    }
-                }
-            }
-            Terminator::Ret(v) => {
-                if let Some(v) = v {
-                    check_opnd(*v)?;
-                    if f.ret_ty.is_none() {
-                        return Err("void function returns a value".into());
-                    }
-                } else if f.ret_ty.is_some() {
-                    return Err("non-void function returns nothing".into());
-                }
+            } else if f.ret_ty.is_some() {
+                return Err("non-void function returns nothing".into());
             }
         }
     }
@@ -333,6 +437,8 @@ mod tests {
         }
         let e = verify_module(&mb.finish()).unwrap_err();
         assert!(e.msg.contains("jump target"));
+        assert_eq!(e.func.as_deref(), Some("bad"));
+        assert_eq!(e.block, Some(0));
     }
 
     #[test]
@@ -409,5 +515,20 @@ mod tests {
         }
         let e = verify_module(&mb.finish()).unwrap_err();
         assert!(e.msg.contains("returns nothing"));
+    }
+
+    #[test]
+    fn display_appends_pass_attribution() {
+        let plain = VerifyError::new("boom").in_func("f");
+        assert_eq!(plain.to_string(), "verify error in `f`: boom");
+        let rich = VerifyError::new("boom")
+            .in_func("f")
+            .in_pass("strength")
+            .at_block(3);
+        assert_eq!(rich.location(), "pass=strength fn=f bb=3");
+        assert_eq!(
+            rich.to_string(),
+            "verify error: boom [pass=strength fn=f bb=3]"
+        );
     }
 }

@@ -26,12 +26,14 @@
 //! run under the same model.
 
 pub mod alat;
+pub mod audit;
 pub mod costs;
 pub mod isa;
 pub mod policy;
 pub mod sim;
 
 pub use alat::Alat;
+pub use audit::{audit_func, audit_program, AuditError, AuditStats};
 pub use costs::CostModel;
 pub use isa::{ChkKind, LdKind};
 pub use isa::{Label, MFunc, MInst, MOperand, MProgram, Reg};

@@ -8,6 +8,8 @@
 //!   --filter SUBSTR  run only cases whose path contains SUBSTR
 //!   --dump FILE      print FILE's RUN output instead of checking it
 //!                    (the authoring aid: pick lines to pin from this)
+//!   --verify-each    run every case with pass-boundary verification on
+//!   --audit-spec     run every case with the speculation auditor on
 //!   -q, --quiet      only print failures and the summary
 //! ```
 //!
@@ -22,6 +24,7 @@ struct Cli {
     paths: Vec<PathBuf>,
     filter: Option<String>,
     dump: Option<PathBuf>,
+    overrides: runner::RunOverrides,
     quiet: bool,
 }
 
@@ -30,6 +33,7 @@ fn parse_cli() -> Result<Cli, String> {
         paths: Vec::new(),
         filter: None,
         dump: None,
+        overrides: runner::RunOverrides::default(),
         quiet: false,
     };
     let mut args = std::env::args().skip(1);
@@ -37,10 +41,14 @@ fn parse_cli() -> Result<Cli, String> {
         match a.as_str() {
             "--filter" => cli.filter = Some(args.next().ok_or("--filter needs a value")?),
             "--dump" => cli.dump = Some(PathBuf::from(args.next().ok_or("--dump needs a value")?)),
+            "--verify-each" => cli.overrides.verify_each = true,
+            "--audit-spec" => cli.overrides.audit_spec = true,
             "-q" | "--quiet" => cli.quiet = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: spectest [PATHS...] [--filter SUBSTR] [--dump FILE] [-q]".into(),
+                    "usage: spectest [PATHS...] [--filter SUBSTR] [--dump FILE] \
+                            [--verify-each] [--audit-spec] [-q]"
+                        .into(),
                 )
             }
             other if !other.starts_with('-') => cli.paths.push(PathBuf::from(other)),
@@ -76,7 +84,7 @@ fn real_main() -> Result<bool, String> {
 
     let mut failures = 0usize;
     for path in &files {
-        match runner::run_case(path) {
+        match runner::run_case_with(path, cli.overrides) {
             runner::CaseOutcome::Pass => {
                 if !cli.quiet {
                     println!("PASS {}", path.display());

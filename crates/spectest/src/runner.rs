@@ -129,7 +129,8 @@ fn parse_values(s: &str) -> Result<Vec<Value>, String> {
 /// in a hermetic run: `--entry`, `--args`, `--train-args`, `--spec`,
 /// `--control`, `--no-sr`, `--store-sinking`, `--jobs`, `--fuel`,
 /// `--dump-after`, `--stop-after`, `--sim`, `--fault-policy`,
-/// `--inject-spec-fail`, `--inject-fallback-fail`. Anything else (e.g.
+/// `--verify-each`, `--audit-spec`, `--inject-spec-fail`,
+/// `--inject-fallback-fail`, `--inject-corrupt`. Anything else (e.g.
 /// `-o`) is rejected so a `.spec` file cannot silently diverge from what
 /// the harness actually executes.
 pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
@@ -178,6 +179,13 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
             "--inject-fallback-fail" => {
                 req.hooks.inject_fallback_fail = Some(next_val(&mut toks, t)?)
             }
+            "--inject-corrupt" => {
+                req.hooks.inject_corrupt = Some(PipelineHooks::parse_inject_corrupt(&next_val(
+                    &mut toks, t,
+                )?)?)
+            }
+            "--verify-each" => req.hooks.verify_each = true,
+            "--audit-spec" => req.hooks.audit_spec = true,
             other if other.starts_with("--dump-after=") => {
                 req.hooks.dump_after = PassSet::parse_list(&other["--dump-after=".len()..])?
             }
@@ -243,16 +251,38 @@ pub enum CaseOutcome {
     Fail(String),
 }
 
+/// Harness-wide hook overrides (`spectest --verify-each` /
+/// `--audit-spec`): applied on top of every RUN line, so the entire
+/// golden suite can be re-run with pass-boundary verification and the
+/// speculation-safety auditor enabled — any golden whose output changes
+/// under them exposes a pipeline invariant violation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOverrides {
+    /// Force [`PipelineHooks::verify_each`] on every RUN.
+    pub verify_each: bool,
+    /// Force [`PipelineHooks::audit_spec`] on every RUN.
+    pub audit_spec: bool,
+}
+
 /// Runs one golden test file from disk.
 pub fn run_case(path: &Path) -> CaseOutcome {
+    run_case_with(path, RunOverrides::default())
+}
+
+/// [`run_case`] with harness-wide hook overrides.
+pub fn run_case_with(path: &Path, ov: RunOverrides) -> CaseOutcome {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => return CaseOutcome::Fail(format!("cannot read {}: {e}", path.display())),
     };
-    let case = match parse_spec(&text) {
+    let mut case = match parse_spec(&text) {
         Ok(c) => c,
         Err(e) => return CaseOutcome::Fail(e),
     };
+    for rs in &mut case.runs {
+        rs.req.hooks.verify_each |= ov.verify_each;
+        rs.req.hooks.audit_spec |= ov.audit_spec;
+    }
     if case.directives.is_empty() {
         return CaseOutcome::Fail("no CHECK directives".into());
     }

@@ -38,9 +38,24 @@
 //!                         lower);
 //!                         byte-deterministic at any --jobs level
 //!   --stop-after PASS     run the pipeline only through the named stage
+//!   --verify-each         run the structural verifier (IR level after
+//!                         refine/lower, the HSSA checker after every
+//!                         HSSA-level stage) at every pass boundary;
+//!                         failures are attributed `pass=<p> fn=<f> bb=<n>`
+//!                         and feed the per-function degradation ladder
+//!   --audit-spec          after lowering, prove every advanced load in the
+//!                         machine code is validated by a matching check on
+//!                         every path (the speculation-safety auditor)
+//!   --reduce              on a compile or result-mismatch failure, shrink
+//!                         the input to a minimal module that still fails
+//!                         the same way, print it with a `; reduce:` stats
+//!                         header, and exit 0
 //!   --inject-spec-fail FUNC / --inject-fallback-fail FUNC
 //!                         fault-injection hooks for testing the recovery
 //!                         path: make FUNC's (fallback) compile panic
+//!   --inject-corrupt FUNC:PASS
+//!                         corrupt FUNC's HSSA right after PASS, exercising
+//!                         --verify-each and the per-pass rollback rung
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage/IO error, 2 input parse or verification
@@ -83,6 +98,10 @@ struct Cli {
     stop_after: Option<Pass>,
     inject_spec_fail: Option<String>,
     inject_fallback_fail: Option<String>,
+    inject_corrupt: Option<(String, Pass)>,
+    verify_each: bool,
+    audit_spec: bool,
+    reduce: bool,
     fuel: u64,
 }
 
@@ -133,6 +152,10 @@ fn parse_cli() -> Result<Cli, String> {
         stop_after: None,
         inject_spec_fail: None,
         inject_fallback_fail: None,
+        inject_corrupt: None,
+        verify_each: false,
+        audit_spec: false,
+        reduce: false,
         fuel: 100_000_000,
     };
     let mut train_set = false;
@@ -196,6 +219,14 @@ fn parse_cli() -> Result<Cli, String> {
                 cli.inject_fallback_fail =
                     Some(args.next().ok_or("--inject-fallback-fail needs a value")?)
             }
+            "--inject-corrupt" => {
+                cli.inject_corrupt = Some(PipelineHooks::parse_inject_corrupt(
+                    &args.next().ok_or("--inject-corrupt needs a value")?,
+                )?)
+            }
+            "--verify-each" => cli.verify_each = true,
+            "--audit-spec" => cli.audit_spec = true,
+            "--reduce" => cli.reduce = true,
             "--fuel" => {
                 cli.fuel = args
                     .next()
@@ -212,8 +243,9 @@ fn parse_cli() -> Result<Cli, String> {
                             [--run] [--sim] [--fault-policy SPEC].. [--stats] \
                             [--jobs N] [--time-passes]\n\
                             [--dump-after refine|hssa|ssapre|strength|lftr|storeprom|lower[,..]]\n\
-                            [--stop-after PASS] [--inject-spec-fail FUNC] \
-                            [--inject-fallback-fail FUNC]\n\
+                            [--stop-after PASS] [--verify-each] [--audit-spec] [--reduce] \
+                            [--inject-spec-fail FUNC] [--inject-fallback-fail FUNC] \
+                            [--inject-corrupt FUNC:PASS]\n\
                             --fault-policy: default | geom:E:W | always-miss | \
                             forced-miss | random:SEED[:DENOM] | flash-clear[:PERIOD]\n\
                             --jobs 0 (the default) auto-detects: the \
@@ -327,11 +359,22 @@ fn real_main() -> Result<(), CompileFailure> {
             stop_after: cli.stop_after,
             inject_spec_fail: cli.inject_spec_fail.clone(),
             inject_fallback_fail: cli.inject_fallback_fail.clone(),
+            verify_each: cli.verify_each,
+            audit_spec: cli.audit_spec,
+            inject_corrupt: cli.inject_corrupt.clone(),
         },
         fuel: cli.fuel,
         alias_profile,
     };
-    let out = compile_module(m, &req)?;
+    // keep the input around so a failure can be shrunk to a minimal repro
+    let input_for_reduce = cli.reduce.then(|| m.clone());
+    let out = match compile_module(m, &req) {
+        Ok(out) => out,
+        Err(e @ CompileFailure::Compile(_)) if cli.reduce => {
+            return reduce_and_report(&cli, input_for_reduce.as_ref().unwrap(), &req, &e, false);
+        }
+        Err(e) => return Err(e),
+    };
     for w in &out.report.warnings {
         eprintln!("specc: warning: {w}");
     }
@@ -377,7 +420,17 @@ fn real_main() -> Result<(), CompileFailure> {
             })
         })?;
         if got != expect {
-            return Err(miscompile("run", got));
+            let fail = miscompile("run", got);
+            if cli.reduce {
+                return reduce_and_report(
+                    &cli,
+                    input_for_reduce.as_ref().unwrap(),
+                    &req,
+                    &fail,
+                    true,
+                );
+            }
+            return Err(fail);
         }
         eprintln!(
             "result = {:?}  (loads {} checks {} stores {})",
@@ -389,16 +442,51 @@ fn real_main() -> Result<(), CompileFailure> {
             let (got, text) =
                 specframe::pipeline::simulate_text(&m, &cli.entry, &cli.args, cli.fuel, policy)?;
             if got != expect {
-                return Err(miscompile("sim", got));
+                let fail = miscompile("sim", got);
+                if cli.reduce {
+                    return reduce_and_report(
+                        &cli,
+                        input_for_reduce.as_ref().unwrap(),
+                        &req,
+                        &fail,
+                        true,
+                    );
+                }
+                return Err(fail);
             }
             eprint!("{text}");
         }
     }
 
+    if cli.reduce {
+        eprintln!("specc: --reduce: nothing to reduce (no failure reproduced)");
+    }
     if !cli.run && !cli.sim || cli.out.is_some() {
         emit(&cli, &specframe::ir::display::print_module(&m)).map_err(usage)?;
     }
     Ok(())
+}
+
+/// The `--reduce` tail: shrink the failing input to a minimal module that
+/// fails the same way, and emit it (stdout or `-o`) under a `; reduce:`
+/// stats header. The repro is the product, so the process exits 0.
+fn reduce_and_report(
+    cli: &Cli,
+    input: &specframe::ir::Module,
+    req: &specframe::pipeline::CompileRequest,
+    failure: &CompileFailure,
+    run_check: bool,
+) -> Result<(), CompileFailure> {
+    eprintln!("specc: {failure}");
+    eprintln!("specc: --reduce: shrinking the failing input...");
+    let rc = run_check.then_some((cli.entry.as_str(), cli.args.as_slice(), cli.fuel));
+    let (red, stats) = specframe::pipeline::reduce_failure(input, req, failure, rc);
+    let mut text = format!(
+        "; reduce: {} probes, {} -> {} instructions\n",
+        stats.probes, stats.initial_insts, stats.final_insts
+    );
+    text.push_str(&specframe::ir::display::print_module(&red));
+    emit(cli, &text).map_err(usage)
 }
 
 fn emit(cli: &Cli, text: &str) -> Result<(), String> {

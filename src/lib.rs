@@ -109,17 +109,19 @@ pub mod pipeline;
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::pipeline::{
-        compile, compile_module, simulate_text, CompileFailure, CompileOutput, CompileRequest,
+        compile, compile_module, reduce_failure, simulate_text, CompileFailure, CompileOutput,
+        CompileRequest,
     };
     pub use specframe_alias::{AliasAnalysis, Loc};
     pub use specframe_codegen::lower_module;
     pub use specframe_core::{
-        optimize, optimize_with, optimize_with_hooks, prepare_module, render_dumps, ControlSpec,
-        OptOptions, OptReport, OptStats, Pass, PassDump, PassSet, PassTimings, PipelineConfig,
-        PipelineHooks, SpecSource,
+        optimize, optimize_with, optimize_with_hooks, prepare_module, reduce_module, render_dumps,
+        ControlSpec, OptOptions, OptReport, OptStats, Pass, PassDump, PassSet, PassTimings,
+        PipelineConfig, PipelineHooks, ReduceStats, SpecSource,
     };
     pub use specframe_hssa::{build_hssa, print_hssa, SpecMode};
     pub use specframe_ir::{parse_module, verify_module, Module, ModuleBuilder, Ty, Value};
+    pub use specframe_machine::{audit_func, audit_program, AuditError, AuditStats};
     pub use specframe_machine::{
         fault_matrix, parse_fault_policy, run_machine, run_machine_with_policy, Counters,
     };

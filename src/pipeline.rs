@@ -358,6 +358,64 @@ pub fn render_explain_spec(m: &Module, mode: SpecMode<'_>) -> String {
     s
 }
 
+/// Shrinks a failing module to a minimal reproducer (`specc --reduce`,
+/// `fuzzdiff --reduce-on-failure`).
+///
+/// The reduction predicate re-runs the compile session on every candidate
+/// and accepts it only when it fails in the *same class* as `original`
+/// — same exit-code family and same failing pass — so the reducer cannot
+/// drift onto a different bug. For result-mismatch failures (`original`
+/// names the `run`/`sim` pass), pass `run_check`: candidates then must
+/// compile cleanly and *diverge* from the reference interpreter on the
+/// given entry/args, the divergence being the preserved failure.
+pub fn reduce_failure(
+    m: &Module,
+    req: &CompileRequest,
+    original: &CompileFailure,
+    run_check: Option<(&str, &[Value], u64)>,
+) -> (Module, specframe_core::ReduceStats) {
+    let code = original.exit_code();
+    let (orig_pass, is_miscompile) = match original {
+        CompileFailure::Compile(e) => (e.pass.clone(), matches!(e.pass.as_str(), "run" | "sim")),
+        _ => (String::new(), false),
+    };
+    let mut pred = |cand: &Module| -> bool {
+        // a candidate that no longer verifies fails for a different
+        // reason than the original — reject it
+        if verify_module(cand).is_err() {
+            return false;
+        }
+        match compile_module(cand.clone(), req) {
+            Err(e) => {
+                !is_miscompile
+                    && e.exit_code() == code
+                    && match &e {
+                        CompileFailure::Compile(ce) => ce.pass == orig_pass,
+                        _ => true,
+                    }
+            }
+            Ok(out) => {
+                let Some((entry, args, fuel)) = run_check else {
+                    return false;
+                };
+                if !is_miscompile {
+                    return false;
+                }
+                let mut reference = cand.clone();
+                prepare_module(&mut reference);
+                match (
+                    specframe_profile::run(&reference, entry, args, fuel),
+                    specframe_profile::run(&out.module, entry, args, fuel),
+                ) {
+                    (Ok((want, _)), Ok((got, _))) => want != got,
+                    _ => false,
+                }
+            }
+        }
+    };
+    specframe_core::reduce_module(m, &mut pred)
+}
+
 /// Lowers `m`, simulates it under the named ALAT fault policy, and
 /// renders the `specc --sim` counter block. Returns the machine result
 /// and the rendered text; `specc` prints it to stderr and golden tests
