@@ -11,13 +11,75 @@
 //! the failure) and records the probe/shrink numbers in the JSON, so a
 //! reducer regression shows up in the CI artifact.
 
-use specframe_core::{optimize, reduce_module, ControlSpec, OptOptions, ReduceStats, SpecSource};
+use specframe_core::{
+    optimize, optimize_with, peak_rss_kb, prepare_module, reduce_module, ControlSpec, OptOptions,
+    PipelineConfig, ReduceStats, SpecSource,
+};
 use specframe_ir::display::print_module;
-use specframe_workloads::{all_workloads, Scale};
+use specframe_workloads::{all_workloads, inst_count, mega_module, Scale};
 use std::fmt::Write as _;
 use std::time::Instant;
 
 const ITERS: u32 = 3;
+
+/// Whole-module throughput numbers from one mega-module compile.
+struct MegaRow {
+    funcs: usize,
+    insts: usize,
+    funcs_per_sec: f64,
+    insts_per_sec: f64,
+    peak_rss_kb: u64,
+}
+
+/// Compiles the reduced-size synthetic mega-module (1k functions — the CI
+/// time budget; `--mega` scales to 10k for local measurements), records
+/// whole-module throughput and peak RSS, and asserts byte-identical output
+/// across `jobs` 1/2/4 — the parallel driver's safety invariant, checked
+/// here on a workload none of the golden files cover.
+fn mega_smoke() -> MegaRow {
+    const SEED: u64 = 42;
+    const FUNCS: usize = 1000;
+    let opts = OptOptions {
+        data: SpecSource::Heuristic,
+        control: ControlSpec::Static,
+        strength_reduction: true,
+        lftr: true,
+        store_sinking: true,
+    };
+    let mut base = mega_module(SEED, FUNCS);
+    prepare_module(&mut base);
+    let insts = inst_count(&base);
+
+    let t0 = Instant::now();
+    let mut m1 = base.clone();
+    optimize_with(&mut m1, &opts, &PipelineConfig { jobs: 1 });
+    let secs = t0.elapsed().as_secs_f64();
+
+    let text1 = print_module(&m1);
+    for jobs in [2, 4] {
+        let mut mj = base.clone();
+        optimize_with(&mut mj, &opts, &PipelineConfig { jobs });
+        assert_eq!(
+            print_module(&mj),
+            text1,
+            "mega-module output differs between jobs=1 and jobs={jobs}"
+        );
+    }
+
+    let row = MegaRow {
+        funcs: FUNCS,
+        insts,
+        funcs_per_sec: FUNCS as f64 / secs,
+        insts_per_sec: insts as f64 / secs,
+        peak_rss_kb: peak_rss_kb().unwrap_or(0),
+    };
+    println!(
+        "mega-module: {} funcs / {} insts in {:.3} s ({:.0} funcs/sec, {:.0} insts/sec, \
+         peak rss {} kB), jobs 1/2/4 byte-identical",
+        row.funcs, row.insts, secs, row.funcs_per_sec, row.insts_per_sec, row.peak_rss_kb
+    );
+    row
+}
 
 /// A "failing" program for the reducer smoke: one `div` (the simulated
 /// trigger) buried in filler arithmetic, helper calls, and a diamond.
@@ -116,6 +178,7 @@ fn main() {
         rows.push((w.name.to_string(), mean_ms));
     }
 
+    let mega = mega_smoke();
     let rs = reducer_smoke();
 
     let mut json = String::from("{\n  \"config\": \"heuristic+static+sr+sink\",\n  \"iters\": ");
@@ -125,6 +188,12 @@ fn main() {
         let _ = writeln!(json, "    \"{name}\": {ms:.3}{sep}");
     }
     json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"mega\": {{ \"funcs\": {}, \"insts\": {}, \"funcs_per_sec\": {:.0}, \
+         \"insts_per_sec\": {:.0}, \"peak_rss_kb\": {} }},",
+        mega.funcs, mega.insts, mega.funcs_per_sec, mega.insts_per_sec, mega.peak_rss_kb
+    );
     let _ = writeln!(
         json,
         "  \"reduce\": {{ \"probes\": {}, \"initial_insts\": {}, \

@@ -36,7 +36,6 @@ use specframe_ir::display::{func_name_table, print_function_in};
 use specframe_ir::{layout_globals, CalleeSig, FuncId, Function, Global, MemSiteId, Module};
 use specframe_profile::AliasProfile;
 use std::cell::Cell;
-use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -260,24 +259,47 @@ pub fn try_optimize_with_hooks(
             .map(|(fi, f)| Some(process_function(&shared, f, fi, &fas[fi])))
             .collect()
     } else {
-        let queue: Mutex<VecDeque<(usize, Function)>> =
-            Mutex::new(funcs.into_iter().enumerate().collect());
+        // chunked work claiming: workers grab CHUNK function indices per
+        // atomic fetch_add instead of popping one job from a global locked
+        // queue, and each input slot has its own (uncontended) mutex — the
+        // per-function synchronization cost is one futex fast path, not a
+        // fight over one queue lock. Results accumulate worker-locally and
+        // merge under the output lock once per worker.
+        let nfuncs = funcs.len();
+        let chunk = (nfuncs / (jobs * 8)).clamp(1, 32);
+        let slots: Vec<Mutex<Option<Function>>> =
+            funcs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
         let out: Mutex<Vec<Option<Result<FuncResult, CompileError>>>> = {
-            let mut slots = Vec::new();
-            slots.resize_with(fas.len(), || None);
-            Mutex::new(slots)
+            let mut v = Vec::new();
+            v.resize_with(nfuncs, || None);
+            Mutex::new(v)
+        };
+        let worker = || {
+            let mut local: Vec<(usize, Result<FuncResult, CompileError>)> = Vec::new();
+            loop {
+                let lo = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                if lo >= nfuncs {
+                    break;
+                }
+                for fi in lo..(lo + chunk).min(nfuncs) {
+                    let f = slots[fi].lock().unwrap().take().expect("slot claimed once");
+                    local.push((fi, process_function(&shared, f, fi, &fas[fi])));
+                }
+            }
+            let mut out = out.lock().unwrap();
+            for (fi, r) in local {
+                out[fi] = Some(r);
+            }
         };
         // worker panics are caught inside process_function, so the scope
-        // join never unwinds; failures arrive as CompileErrors in order
+        // join never unwinds; failures arrive as CompileErrors in order.
+        // The calling thread is worker zero — only jobs-1 spawns.
         std::thread::scope(|s| {
-            for _ in 0..jobs {
-                s.spawn(|| loop {
-                    let job = queue.lock().unwrap().pop_front();
-                    let Some((fi, f)) = job else { break };
-                    let r = process_function(&shared, f, fi, &fas[fi]);
-                    out.lock().unwrap()[fi] = Some(r);
-                });
+            for _ in 1..jobs {
+                s.spawn(worker);
             }
+            worker();
         });
         out.into_inner().unwrap()
     };

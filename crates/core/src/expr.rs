@@ -12,6 +12,7 @@
 //!   candidates, where data speculation pays off.
 
 use specframe_hssa::{HOperand, HStmt, HStmtKind, HVarId, HVarKind, HssaFunc, MemBase, MemVar};
+use specframe_ir::InlineVec;
 use specframe_ir::{BinOp, Ty, VarId};
 
 /// A lexical operand of an expression key: the *identity* of the value, not
@@ -150,7 +151,7 @@ pub fn occurrence_versions(stmt: &HStmt, key: &ExprKey) -> Option<OccVersions> {
                 None
             };
             let (a, b) = matched?;
-            let mut regs = Vec::new();
+            let mut regs = InlineVec::new();
             for r in key.tracked_regs() {
                 // find the version of r among the (possibly swapped) operands
                 let ver = [a, b]
@@ -176,7 +177,7 @@ pub fn occurrence_versions(stmt: &HStmt, key: &ExprKey) -> Option<OccVersions> {
         ) => {
             if mv.base == MemBase::Global(*g) && mv.off == *offset && ty == kty {
                 Some(OccVersions {
-                    regs: vec![],
+                    regs: InlineVec::new(),
                     mem: Some(*mver),
                 })
             } else {
@@ -195,7 +196,7 @@ pub fn occurrence_versions(stmt: &HStmt, key: &ExprKey) -> Option<OccVersions> {
         ) => {
             if mv.base == MemBase::Slot(*s) && mv.off == *offset && ty == kty {
                 Some(OccVersions {
-                    regs: vec![],
+                    regs: InlineVec::new(),
                     mem: Some(*mver),
                 })
             } else {
@@ -219,7 +220,7 @@ pub fn occurrence_versions(stmt: &HStmt, key: &ExprKey) -> Option<OccVersions> {
             if b == base && offset == off && ty == kty {
                 let mver = stmt.mu.iter().find(|m| m.var == *vvar).map(|m| m.ver)?;
                 Some(OccVersions {
-                    regs: vec![*bver],
+                    regs: [*bver].into_iter().collect(),
                     mem: Some(mver),
                 })
             } else {
@@ -235,7 +236,7 @@ pub fn occurrence_versions(stmt: &HStmt, key: &ExprKey) -> Option<OccVersions> {
 pub struct OccVersions {
     /// Versions of the tracked registers, in [`ExprKey::tracked_regs`]
     /// order.
-    pub regs: Vec<u32>,
+    pub regs: InlineVec<u32, 2>,
     /// Version of the tracked memory variable.
     pub mem: Option<u32>,
 }

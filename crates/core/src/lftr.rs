@@ -89,7 +89,7 @@ impl SpecClient for LftrClient<'_> {
     fn occurrence(&self, stmt: &HStmt) -> Option<OccVersions> {
         if stmt.def_reg() == Some(self.cond) {
             Some(OccVersions {
-                regs: vec![self.s_ver],
+                regs: [self.s_ver].into_iter().collect(),
                 mem: None,
             })
         } else {

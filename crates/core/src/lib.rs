@@ -49,6 +49,6 @@ pub use passes::{render_dumps, Pass, PassDump, PassSet, PipelineHooks};
 pub use prekernel::{apply_edits, reducible_loops, LoopShape, MotionEdit, SpecClient};
 pub use reduce::{reduce_module, ReduceStats};
 pub use ssapre::{ssapre_function, SpecPolicy};
-pub use stats::{OptStats, PassTimings};
+pub use stats::{peak_rss_kb, OptStats, PassTimings};
 pub use storeprom::sink_stores_hssa;
 pub use strength::{strength_reduce_function, SrTemp};

@@ -5,7 +5,7 @@
 
 use specframe_hssa::{HOperand, HStmtKind, HVarKind, HssaFunc};
 use specframe_ir::VarId;
-use std::collections::{HashMap, HashSet};
+use specframe_ir::{FxHashMap, FxHashSet};
 
 /// Post-SSAPRE cleanup: copy propagation, block-local forwarding of
 /// collapsed-temporary copies, dead-φ pruning and dead-copy elimination,
@@ -30,7 +30,7 @@ pub fn cleanup_hssa(hf: &mut HssaFunc) {
 /// φs removed.
 pub fn eliminate_dead_phis(hf: &mut HssaFunc) -> usize {
     // seed: versions used by non-phi consumers
-    let mut needed: HashSet<(VarId, u32)> = HashSet::new();
+    let mut needed: FxHashSet<(VarId, u32)> = FxHashSet::default();
     for b in hf.block_ids() {
         let blk = &hf.blocks[b.index()];
         for stmt in &blk.stmts {
@@ -91,15 +91,15 @@ pub fn eliminate_dead_phis(hf: &mut HssaFunc) -> usize {
 /// `t` — which removes the one-cycle copy from almost every reload (the
 /// value is consumed right where it was reloaded).
 pub fn propagate_collapsed_local(hf: &mut HssaFunc) {
-    let collapsed: HashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
+    let collapsed: FxHashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
     if collapsed.is_empty() {
         return;
     }
     for b in 0..hf.blocks.len() {
-        let mut local: HashMap<(VarId, u32), (VarId, u32)> = HashMap::new();
+        let mut local: FxHashMap<(VarId, u32), (VarId, u32)> = FxHashMap::default();
         let blk = &mut hf.blocks[b];
         for stmt in &mut blk.stmts {
-            let rewrite = |o: &mut HOperand, local: &HashMap<(VarId, u32), (VarId, u32)>| {
+            let rewrite = |o: &mut HOperand, local: &FxHashMap<(VarId, u32), (VarId, u32)>| {
                 if let HOperand::Reg(v, ver) = o {
                     if let Some(&(tv, tver)) = local.get(&(*v, *ver)) {
                         *o = HOperand::Reg(tv, tver);
@@ -169,7 +169,7 @@ pub fn propagate_collapsed_local(hf: &mut HssaFunc) {
 pub fn eliminate_dead_copies(hf: &mut HssaFunc) -> usize {
     let mut total = 0usize;
     loop {
-        let mut used: HashSet<(VarId, u32)> = HashSet::new();
+        let mut used: FxHashSet<(VarId, u32)> = FxHashSet::default();
         for b in hf.block_ids() {
             let blk = &hf.blocks[b.index()];
             for phi in &blk.phis {
@@ -220,8 +220,8 @@ pub fn eliminate_dead_copies(hf: &mut HssaFunc) -> usize {
 /// alias one machine register whose content changes at every check, so a
 /// snapshot copy must stay a copy.
 pub fn copy_propagate(hf: &mut HssaFunc) {
-    let collapsed: HashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
-    let mut map: HashMap<(VarId, u32), HOperand> = HashMap::new();
+    let collapsed: FxHashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
+    let mut map: FxHashMap<(VarId, u32), HOperand> = FxHashMap::default();
     for b in hf.block_ids() {
         for stmt in &hf.blocks[b.index()].stmts {
             if let HStmtKind::Copy { dst, src } = &stmt.kind {

@@ -17,7 +17,6 @@ use super::{Kernel, OpndDef, Role, SpecClient};
 use crate::stats::OptStats;
 use specframe_hssa::{HOperand, HStmt, HStmtKind, HVarKind, HssaFunc, Phi as HPhi};
 use specframe_ir::{BlockId, CheckKind, LoadSpec, Ty, VarId};
-use std::collections::{HashMap, HashSet};
 
 /// One program rewrite, in kernel vocabulary. Statement indices refer to
 /// the block's statement list *at application time*: emit per-block edits
@@ -68,11 +67,6 @@ pub fn apply_edits(hf: &mut HssaFunc, edits: Vec<MotionEdit>) {
     }
 }
 
-enum Edit {
-    Save { stmt: usize, occ: usize },
-    Reload { stmt: usize, occ: usize },
-}
-
 impl<C: SpecClient> Kernel<'_, C> {
     pub(crate) fn codemotion(
         &self,
@@ -84,33 +78,37 @@ impl<C: SpecClient> Kernel<'_, C> {
         let occs = &self.occs;
         let phis = &self.phis;
         let is_load_expr = self.client.is_load();
+        let nclasses = self.next_class as usize;
 
         // advanced-load marking (Appendix B): a class with any checking
-        // reload gets its defining loads flagged ld.a
-        let mut checked_classes: HashSet<u32> = HashSet::new();
+        // reload gets its defining loads flagged ld.a — class and Φ sets
+        // are dense bit vectors keyed by the rename-allocated indices
+        let mut checked_classes = vec![false; nclasses];
         for o in occs.iter() {
             if let Role::Reload { check: true, .. } = o.role {
-                checked_classes.insert(o.class);
+                checked_classes[o.class as usize] = true;
             }
         }
         // any Phi reachable from a checked class spreads the marking to
         // defs (conservative: mark every saving def of a checked class and
         // every insertion feeding a Phi of a checked class)
         let mut changed = true;
-        let mut checked_phis: HashSet<usize> = HashSet::new();
+        let mut checked_phis = vec![false; phis.len()];
         while changed {
             changed = false;
             for (i, p) in phis.iter().enumerate() {
-                if checked_classes.contains(&p.class) && checked_phis.insert(i) {
+                if checked_classes[p.class as usize] && !checked_phis[i] {
+                    checked_phis[i] = true;
                     changed = true;
                 }
             }
             for p in phis.iter() {
                 for o in &p.opnds {
                     if let OpndDef::Phi(j) = o.def {
-                        if checked_classes.contains(&p.class)
-                            && checked_classes.insert(phis[j].class)
+                        if checked_classes[p.class as usize]
+                            && !checked_classes[phis[j].class as usize]
                         {
+                            checked_classes[phis[j].class as usize] = true;
                             changed = true;
                         }
                     }
@@ -118,12 +116,13 @@ impl<C: SpecClient> Kernel<'_, C> {
             }
             // defs linked as operands of checked phis
             for (i, p) in phis.iter().enumerate() {
-                if !checked_phis.contains(&i) {
+                if !checked_phis[i] {
                     continue;
                 }
                 for o in &p.opnds {
                     if let OpndDef::Real(oi) = o.def {
-                        if checked_classes.insert(occs[oi].class) {
+                        if !checked_classes[occs[oi].class as usize] {
+                            checked_classes[occs[oi].class as usize] = true;
                             changed = true;
                         }
                     }
@@ -133,15 +132,13 @@ impl<C: SpecClient> Kernel<'_, C> {
 
         // control-speculation: classes fed by a cspec Phi need NaT-check
         // reloads
-        let cspec_phis: HashSet<usize> = phis
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.cspec && p.will_be_avail)
-            .map(|(i, _)| i)
-            .collect();
-        let mut nat_classes: HashSet<u32> = HashSet::new();
-        for &i in &cspec_phis {
-            nat_classes.insert(phis[i].class);
+        let mut any_cspec = false;
+        let mut nat_classes = vec![false; nclasses];
+        for p in phis.iter() {
+            if p.cspec && p.will_be_avail {
+                any_cspec = true;
+                nat_classes[p.class as usize] = true;
+            }
         }
         // propagate downstream through phi operands
         let mut changed = true;
@@ -149,55 +146,42 @@ impl<C: SpecClient> Kernel<'_, C> {
             changed = false;
             for p in phis.iter() {
                 if p.opnds.iter().any(|o| match o.def {
-                    OpndDef::Phi(j) => nat_classes.contains(&phis[j].class),
+                    OpndDef::Phi(j) => nat_classes[phis[j].class as usize],
                     _ => false,
-                }) && nat_classes.insert(p.class)
+                }) && !nat_classes[p.class as usize]
                 {
+                    nat_classes[p.class as usize] = true;
                     changed = true;
                 }
             }
         }
 
         // ---- emit the motion edits ---------------------------------------
+        // occs are sorted by (block index, statement index), so the
+        // emission order the printed SSA form pins — block-index order,
+        // descending statement order within a block (t-version allocation
+        // happens while emitting) — falls out of walking each block's
+        // contiguous occurrence run in reverse. No map, no sort.
         let mut motion: Vec<MotionEdit> = Vec::new();
-        let mut per_block: HashMap<BlockId, Vec<Edit>> = HashMap::new();
-        for (oi, o) in occs.iter().enumerate() {
-            match o.role {
-                Role::Compute { save: true } => {
-                    per_block.entry(o.block).or_default().push(Edit::Save {
-                        stmt: o.stmt,
-                        occ: oi,
-                    })
-                }
-                Role::Reload { .. } => per_block.entry(o.block).or_default().push(Edit::Reload {
-                    stmt: o.stmt,
-                    occ: oi,
-                }),
-                _ => {}
+        let mut run_start = 0usize;
+        while run_start < occs.len() {
+            let b = occs[run_start].block;
+            let mut run_end = run_start;
+            while run_end < occs.len() && occs[run_end].block == b {
+                run_end += 1;
             }
-        }
-
-        // emit in block-index order, per block in descending statement
-        // order: t-version allocation happens while emitting, so the
-        // iteration order here is part of the printed SSA form
-        let mut per_block: Vec<(BlockId, Vec<Edit>)> = per_block.into_iter().collect();
-        per_block.sort_by_key(|(b, _)| b.index());
-        for (b, mut edits) in per_block {
-            edits.sort_by_key(|e| match e {
-                Edit::Save { stmt, .. } | Edit::Reload { stmt, .. } => *stmt,
-            });
-            for e in edits.into_iter().rev() {
-                match e {
-                    Edit::Save { stmt, occ } => {
-                        let o = &occs[occ];
+            for occ in (run_start..run_end).rev() {
+                let o = &occs[occ];
+                let stmt = o.stmt;
+                match o.role {
+                    Role::Compute { save: true } => {
                         let old = hf.blocks[b.index()].stmts[stmt].clone();
                         let dst = old.def_reg().expect("occurrence defines a register");
                         let mut def_stmt = old.clone();
                         // defining statement now writes t
                         set_dst(&mut def_stmt.kind, (t, o.t_ver));
                         if is_load_expr
-                            && (checked_classes.contains(&o.class)
-                                || nat_classes.contains(&o.class))
+                            && (checked_classes[o.class as usize] || nat_classes[o.class as usize])
                         {
                             if let HStmtKind::Load { spec, .. } = &mut def_stmt.kind {
                                 if *spec == LoadSpec::Normal {
@@ -222,14 +206,10 @@ impl<C: SpecClient> Kernel<'_, C> {
                         });
                         stats.saves += 1;
                     }
-                    Edit::Reload { stmt, occ } => {
-                        let o = &occs[occ];
-                        let Role::Reload { from, check } = o.role else {
-                            unreachable!()
-                        };
+                    Role::Reload { from, check } => {
                         let old = hf.blocks[b.index()].stmts[stmt].clone();
                         let dst = old.def_reg().expect("occurrence defines a register");
-                        let needs_nat = nat_classes.contains(&o.class);
+                        let needs_nat = nat_classes[o.class as usize];
                         if is_load_expr && (check || needs_nat) {
                             // check load revalidates t, then the original
                             // destination copies from it (Appendix B / Fig. 8)
@@ -283,8 +263,10 @@ impl<C: SpecClient> Kernel<'_, C> {
                             stats.loads_removed += 1;
                         }
                     }
+                    Role::Compute { save: false } => {}
                 }
             }
+            run_start = run_end;
         }
 
         // insertions at predecessor ends
@@ -299,7 +281,7 @@ impl<C: SpecClient> Kernel<'_, C> {
                 &opnd.vers_at_pred,
                 if spec_load {
                     LoadSpec::Speculative
-                } else if checked_classes.contains(&p.class) || nat_classes.contains(&p.class) {
+                } else if checked_classes[p.class as usize] || nat_classes[p.class as usize] {
                     LoadSpec::Advanced
                 } else {
                     LoadSpec::Normal
@@ -348,7 +330,7 @@ impl<C: SpecClient> Kernel<'_, C> {
         if occs.iter().any(|o| o.spec) {
             stats.data_speculated_exprs += 1;
         }
-        if !cspec_phis.is_empty() {
+        if any_cspec {
             stats.control_speculated_exprs += 1;
         }
     }

@@ -23,8 +23,16 @@ impl<C: SpecClient> Kernel<'_, C> {
         let nblocks = hf.blocks.len();
         let mut first_event = vec![Ev::Transparent; nblocks];
         for b in hf.block_ids() {
+            // the block's first occurrence (if any) is occ_rng[b].0 — occs
+            // are sorted by statement index within the block
+            let (lo, hi) = self.occ_rng[b.index()];
+            let first_occ = if lo < hi {
+                self.occs[lo as usize].stmt
+            } else {
+                usize::MAX
+            };
             for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
-                if self.occ_at.contains_key(&(b, si)) {
+                if si == first_occ {
                     first_event[b.index()] = Ev::Use;
                     break;
                 }

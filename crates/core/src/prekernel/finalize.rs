@@ -7,10 +7,9 @@
 //! predecessor end. All t-versions are allocated here, in walk order —
 //! that ordering is part of the printed SSA form the golden tests pin.
 
-use super::{Kernel, OpndDef, Role, SpecClient};
+use super::{Kernel, OpndDef, Role, SpecClient, NO_PHI};
 use specframe_hssa::HssaFunc;
 use specframe_ir::{BlockId, VarId};
-use std::collections::HashMap;
 
 /// Finalize's verdict, consumed by CodeMotion. Saves are recorded
 /// directly in the occurrences' roles.
@@ -38,69 +37,59 @@ impl<C: SpecClient> Kernel<'_, C> {
         let Kernel {
             dt,
             occs,
+            occ_rng,
             phis,
             phi_at,
+            next_class,
             ..
         } = self;
-        let mut avail: HashMap<u32, Vec<Avail>> = HashMap::new();
+        // per-class availability stacks, indexed by the dense class ids
+        // rename allocated
+        let mut avail: Vec<Vec<Avail>> = vec![Vec::new(); *next_class as usize];
         // collected edits
-        let mut saves: Vec<usize> = Vec::new(); // occ indices that must save
+        let mut saved = vec![false; occs.len()]; // occ indices that must save
         let mut insertions: Vec<(usize, usize)> = Vec::new(); // (phi, opnd)
         let mut walk = vec![Walk::Visit(dt.rpo()[0])];
-        // occurrence order within block
-        let mut occs_in_block: HashMap<BlockId, Vec<usize>> = HashMap::new();
-        for (i, o) in occs.iter().enumerate() {
-            occs_in_block.entry(o.block).or_default().push(i);
-        }
-        for v in occs_in_block.values_mut() {
-            v.sort_by_key(|&i| occs[i].stmt);
-        }
         while let Some(w) = walk.pop() {
             match w {
                 Walk::Pop(classes) => {
                     for c in classes {
-                        avail.get_mut(&c).unwrap().pop();
+                        avail[c as usize].pop();
                     }
                 }
                 Walk::Visit(b) => {
                     let mut pushed: Vec<u32> = Vec::new();
-                    if let Some(&pi) = phi_at.get(&b) {
+                    if phi_at[b.index()] != NO_PHI {
+                        let pi = phi_at[b.index()] as usize;
                         if phis[pi].will_be_avail {
                             let tv = hf.fresh_ver_of_reg(t);
                             phis[pi].t_ver = tv;
-                            avail
-                                .entry(phis[pi].class)
-                                .or_default()
+                            avail[phis[pi].class as usize]
                                 .push(Avail::FromPhi { phi: pi, t_ver: tv });
                             pushed.push(phis[pi].class);
                         }
                     }
-                    if let Some(list) = occs_in_block.get(&b) {
-                        for &oi in list {
-                            let class = occs[oi].class;
-                            let top = avail.get(&class).and_then(|v| v.last().copied());
-                            match top {
-                                Some(Avail::FromPhi { phi, t_ver }) => {
-                                    let check = occs[oi].spec || phis[phi].tainted;
-                                    occs[oi].role = Role::Reload { from: t_ver, check };
-                                }
-                                Some(Avail::FromReal { occ, t_ver }) => {
-                                    let check = occs[oi].spec || occs[occ].spec;
-                                    occs[oi].role = Role::Reload { from: t_ver, check };
-                                    if !saves.contains(&occ) {
-                                        saves.push(occ);
-                                    }
-                                }
-                                None => {
-                                    let tv = hf.fresh_ver_of_reg(t);
-                                    occs[oi].t_ver = tv;
-                                    occs[oi].role = Role::Compute { save: false };
-                                    avail
-                                        .entry(class)
-                                        .or_default()
-                                        .push(Avail::FromReal { occ: oi, t_ver: tv });
-                                    pushed.push(class);
-                                }
+                    // the block's occurrences, already in statement order
+                    let (occ_lo, occ_hi) = occ_rng[b.index()];
+                    for oi in occ_lo as usize..occ_hi as usize {
+                        let class = occs[oi].class;
+                        let top = avail[class as usize].last().copied();
+                        match top {
+                            Some(Avail::FromPhi { phi, t_ver }) => {
+                                let check = occs[oi].spec || phis[phi].tainted;
+                                occs[oi].role = Role::Reload { from: t_ver, check };
+                            }
+                            Some(Avail::FromReal { occ, t_ver }) => {
+                                let check = occs[oi].spec || occs[occ].spec;
+                                occs[oi].role = Role::Reload { from: t_ver, check };
+                                saved[occ] = true;
+                            }
+                            None => {
+                                let tv = hf.fresh_ver_of_reg(t);
+                                occs[oi].t_ver = tv;
+                                occs[oi].role = Role::Compute { save: false };
+                                avail[class as usize].push(Avail::FromReal { occ: oi, t_ver: tv });
+                                pushed.push(class);
                             }
                         }
                     }
@@ -111,7 +100,11 @@ impl<C: SpecClient> Kernel<'_, C> {
                         .map(|tm| tm.successors())
                         .unwrap_or_default();
                     for s in succs {
-                        let Some(&pi) = phi_at.get(&s) else { continue };
+                        let pi = phi_at[s.index()];
+                        if pi == NO_PHI {
+                            continue;
+                        }
+                        let pi = pi as usize;
                         if !phis[pi].will_be_avail {
                             continue;
                         }
@@ -134,9 +127,7 @@ impl<C: SpecClient> Kernel<'_, C> {
                             // route the available t version along the edge
                             let tv = match phis[pi].opnds[op_idx].def {
                                 OpndDef::Real(oi) => {
-                                    if !saves.contains(&oi) {
-                                        saves.push(oi);
-                                    }
+                                    saved[oi] = true;
                                     match occs[oi].role {
                                         Role::Compute { .. } => occs[oi].t_ver,
                                         Role::Reload { from, .. } => from,
@@ -155,9 +146,11 @@ impl<C: SpecClient> Kernel<'_, C> {
                 }
             }
         }
-        for &oi in &saves {
-            if let Role::Compute { .. } = occs[oi].role {
-                occs[oi].role = Role::Compute { save: true };
+        for (oi, &s) in saved.iter().enumerate() {
+            if s {
+                if let Role::Compute { .. } = occs[oi].role {
+                    occs[oi].role = Role::Compute { save: true };
+                }
             }
         }
 

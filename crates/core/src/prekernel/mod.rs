@@ -65,8 +65,7 @@ use crate::expr::OccVersions;
 use crate::stats::OptStats;
 use specframe_analysis::{DomFrontiers, DomTree, EdgeProfile};
 use specframe_hssa::{HStmt, HStmtKind, HVarId, HssaFunc, Likeliness};
-use specframe_ir::{BlockId, FuncId, Function, LoadSpec, Ty, VarId};
-use std::collections::HashMap;
+use specframe_ir::{BlockId, DenseMap, FuncId, Function, LoadSpec, Ty, VarId};
 
 /// Speculation policy given to the kernel: the driver-owned likeliness
 /// oracle (data speculation) plus the control-speculation edge profile.
@@ -219,7 +218,16 @@ pub(crate) enum MemDef {
 // kernel state
 // ---------------------------------------------------------------------------
 
+/// Sentinel for "no Φ in this block" in the dense [`Kernel::phi_at`] map.
+pub(crate) const NO_PHI: u32 = u32::MAX;
+
 /// State threaded through the six steps for one candidate.
+///
+/// Everything is index-keyed: occurrences live in one `Vec` sorted by
+/// (block layout index, statement index) — a block's occurrences are the
+/// contiguous slice named by `occ_rng` — and the per-block/per-version
+/// side tables are dense vectors rather than hash maps, so the rename /
+/// downsafety / finalize walks never hash.
 pub(crate) struct Kernel<'k, C: SpecClient> {
     pub(crate) client: &'k C,
     pub(crate) policy: &'k SpecPolicy<'k>,
@@ -227,10 +235,16 @@ pub(crate) struct Kernel<'k, C: SpecClient> {
     pub(crate) df: &'k DomFrontiers,
     pub(crate) mem_var: Option<HVarId>,
     pub(crate) occs: Vec<RealOcc>,
-    pub(crate) occ_at: HashMap<(BlockId, usize), usize>,
-    pub(crate) mem_defs: HashMap<u32, MemDef>,
+    /// Per block (by index): `occs[lo..hi]` are its occurrences in
+    /// statement order.
+    pub(crate) occ_rng: Vec<(u32, u32)>,
+    /// Memory-variable def table, keyed by SSA version.
+    pub(crate) mem_defs: DenseMap<MemDef>,
     pub(crate) phis: Vec<PhiE>,
-    pub(crate) phi_at: HashMap<BlockId, usize>,
+    /// Per block (by index): index into `phis`, or [`NO_PHI`].
+    pub(crate) phi_at: Vec<u32>,
+    /// Number of redundancy classes allocated by rename.
+    pub(crate) next_class: u32,
 }
 
 impl<'k, C: SpecClient> Kernel<'k, C> {
@@ -245,10 +259,12 @@ impl<'k, C: SpecClient> Kernel<'k, C> {
     ) -> Self {
         let mem_var = client.tracked_mem();
         let mut occs: Vec<RealOcc> = Vec::new();
+        let mut occ_rng: Vec<(u32, u32)> = vec![(0, 0); hf.blocks.len()];
         for b in hf.block_ids() {
             if !dt.is_reachable(b) {
                 continue;
             }
+            let lo = occs.len() as u32;
             for (si, stmt) in hf.blocks[b.index()].stmts.iter().enumerate() {
                 if let Some(vers) = client.occurrence(stmt) {
                     occs.push(RealOcc {
@@ -262,17 +278,26 @@ impl<'k, C: SpecClient> Kernel<'k, C> {
                     });
                 }
             }
-        }
-        let mut occ_at: HashMap<(BlockId, usize), usize> = HashMap::new();
-        for (i, o) in occs.iter().enumerate() {
-            occ_at.insert((o.block, o.stmt), i);
+            occ_rng[b.index()] = (lo, occs.len() as u32);
         }
 
         // memory-variable def table: (version) -> MemDef
-        let mut mem_defs: HashMap<u32, MemDef> = HashMap::new();
+        let mut mem_defs: DenseMap<MemDef> = match mem_var {
+            Some(mv) => DenseMap::with_len(hf.next_ver[mv.index()] as usize),
+            None => DenseMap::new(),
+        };
         if let Some(mv) = mem_var {
             mem_defs.insert(0, MemDef::Entry);
             for b in hf.block_ids() {
+                // Unreachable blocks were never visited by HSSA rename, so
+                // their χ/store versions are still the u32::MAX sentinel —
+                // inserting that key would grow the dense table to 2³²
+                // slots. No reachable chain can reference them (versions
+                // are assigned on the dominator walk), so skip, exactly as
+                // the occurrence scan above does.
+                if !dt.is_reachable(b) {
+                    continue;
+                }
                 for phi in &hf.blocks[b.index()].phis {
                     if phi.var == mv {
                         mem_defs.insert(phi.dest, MemDef::Phi(b));
@@ -309,10 +334,11 @@ impl<'k, C: SpecClient> Kernel<'k, C> {
             df,
             mem_var,
             occs,
-            occ_at,
+            occ_rng,
             mem_defs,
             phis: Vec::new(),
-            phi_at: HashMap::new(),
+            phi_at: vec![NO_PHI; hf.blocks.len()],
+            next_class: 0,
         }
     }
 }
@@ -322,7 +348,7 @@ impl<'k, C: SpecClient> Kernel<'k, C> {
 /// with >0 weak steps; `Some(false)` = equal; `None` = blocked.
 pub(crate) fn weak_reaches<C: SpecClient>(
     hf: &HssaFunc,
-    mem_defs: &HashMap<u32, MemDef>,
+    mem_defs: &DenseMap<MemDef>,
     client: &C,
     mut from: u32,
     to: u32,
@@ -332,7 +358,7 @@ pub(crate) fn weak_reaches<C: SpecClient>(
     }
     let mut steps = 0;
     while steps < 4096 {
-        match mem_defs.get(&from) {
+        match mem_defs.get(from) {
             Some(MemDef::Chi { block, stmt, old }) => {
                 let s = &hf.blocks[block.index()].stmts[*stmt];
                 if client.kills(s) {
@@ -375,17 +401,26 @@ pub fn run_kernel<C: SpecClient>(
     k.downsafety(f_base, hf);
     k.willbeavail();
 
-    // quick profitability scan: is there anything to do at all?
-    let any_redundancy = k.occs.iter().enumerate().any(|(i, o)| {
-        k.occs
-            .iter()
-            .take(i)
-            .any(|p| p.class == o.class && (p.block, p.stmt) != (o.block, o.stmt))
-    });
-    let any_wba_phi_use = k
-        .occs
-        .iter()
-        .any(|o| k.phis.iter().any(|p| p.class == o.class && p.will_be_avail));
+    // quick profitability scan: is there anything to do at all? Occurrence
+    // positions are unique, so a class is redundant iff it has two members;
+    // one counting pass over the dense class ids replaces the O(n²) probe.
+    let mut class_seen = vec![false; k.next_class as usize];
+    let mut any_redundancy = false;
+    for o in &k.occs {
+        let c = o.class as usize;
+        if class_seen[c] {
+            any_redundancy = true;
+            break;
+        }
+        class_seen[c] = true;
+    }
+    let mut wba_class = vec![false; k.next_class as usize];
+    for p in &k.phis {
+        if p.will_be_avail {
+            wba_class[p.class as usize] = true;
+        }
+    }
+    let any_wba_phi_use = k.occs.iter().any(|o| wba_class[o.class as usize]);
     if debug {
         eprintln!("[ssapre] key={} occs={:?}", client.describe(), k.occs);
         for p in &k.phis {

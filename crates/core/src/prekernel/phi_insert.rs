@@ -6,21 +6,28 @@
 //! through speculative weak updates can only ever reach variable φs, so
 //! taking all of them is a sound superset).
 
-use super::{Kernel, OpndDef, PhiE, PhiOpnd, SpecClient};
+use super::{Kernel, OpndDef, PhiE, PhiOpnd, SpecClient, NO_PHI};
 use crate::expr::OccVersions;
 use specframe_analysis::iterated_df;
 use specframe_hssa::{HVarId, HVarKind, HssaFunc};
-use specframe_ir::BlockId;
-use std::collections::{HashMap, HashSet};
+use specframe_ir::InlineVec;
 
 impl<C: SpecClient> Kernel<'_, C> {
     pub(crate) fn phi_insertion(&mut self, hf: &HssaFunc) {
         let tracked_regs = self.client.tracked_regs();
         let mem_var = self.mem_var;
-        let occ_blocks: HashSet<BlockId> = self.occs.iter().map(|o| o.block).collect();
-        let mut phi_blocks: HashSet<BlockId> = iterated_df(self.df, occ_blocks.iter().copied())
-            .into_iter()
-            .collect();
+        let nblocks = hf.blocks.len();
+        // occs are sorted by block, so consecutive dedup yields the seeds
+        let mut occ_blocks = Vec::with_capacity(self.occs.len());
+        for o in &self.occs {
+            if occ_blocks.last() != Some(&o.block) {
+                occ_blocks.push(o.block);
+            }
+        }
+        let mut phi_block = vec![false; nblocks];
+        for b in iterated_df(self.df, occ_blocks) {
+            phi_block[b.index()] = true;
+        }
         let reg_hvars: Vec<HVarId> = tracked_regs
             .iter()
             .filter_map(|&r| hf.catalog.get(HVarKind::Reg(r)))
@@ -31,14 +38,19 @@ impl<C: SpecClient> Kernel<'_, C> {
             }
             for phi in &hf.blocks[b.index()].phis {
                 if reg_hvars.contains(&phi.var) || mem_var == Some(phi.var) {
-                    phi_blocks.insert(b);
+                    phi_block[b.index()] = true;
                 }
             }
         }
-        let mut phis: Vec<PhiE> = phi_blocks
-            .iter()
-            .filter(|b| self.dt.is_reachable(**b))
-            .map(|&b| PhiE {
+        // materialize in block-index order (the old sort order, for free)
+        let mut phis: Vec<PhiE> = Vec::new();
+        let mut phi_at = vec![NO_PHI; nblocks];
+        for b in hf.block_ids() {
+            if !phi_block[b.index()] || !self.dt.is_reachable(b) {
+                continue;
+            }
+            phi_at[b.index()] = phis.len() as u32;
+            phis.push(PhiE {
                 block: b,
                 class: u32::MAX,
                 opnds: hf.preds[b.index()]
@@ -48,7 +60,7 @@ impl<C: SpecClient> Kernel<'_, C> {
                         has_real_use: false,
                         spec: false,
                         vers_at_pred: OccVersions {
-                            regs: vec![0; tracked_regs.len()],
+                            regs: InlineVec::filled(0, tracked_regs.len()),
                             mem: mem_var.map(|_| 0),
                         },
                         t_ver: u32::MAX,
@@ -62,11 +74,8 @@ impl<C: SpecClient> Kernel<'_, C> {
                 will_be_avail: false,
                 tainted: false,
                 t_ver: u32::MAX,
-            })
-            .collect();
-        phis.sort_by_key(|p| p.block);
-        let phi_at: HashMap<BlockId, usize> =
-            phis.iter().enumerate().map(|(i, p)| (p.block, i)).collect();
+            });
+        }
         self.phis = phis;
         self.phi_at = phi_at;
     }

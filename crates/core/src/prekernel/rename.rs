@@ -8,7 +8,7 @@
 //! walker over the candidate's χ def chain — they receive the same class
 //! with a speculation flag.
 
-use super::{weak_reaches, Kernel, OpndDef, SpecClient};
+use super::{weak_reaches, Kernel, OpndDef, SpecClient, NO_PHI};
 use crate::expr::OccVersions;
 use specframe_hssa::{HStmtKind, HVarKind, HssaFunc};
 use specframe_ir::BlockId;
@@ -42,7 +42,7 @@ impl<C: SpecClient> Kernel<'_, C> {
             dt,
             mem_var,
             occs,
-            occ_at,
+            occ_rng,
             mem_defs,
             phis,
             phi_at,
@@ -100,7 +100,8 @@ impl<C: SpecClient> Kernel<'_, C> {
                     }
 
                     // (b) expression Phi
-                    if let Some(&pi) = phi_at.get(&b) {
+                    if phi_at[b.index()] != NO_PHI {
+                        let pi = phi_at[b.index()] as usize;
                         let vers = OccVersions {
                             regs: reg_stacks.iter().map(|s| *s.last().unwrap()).collect(),
                             mem: mem_var.map(|_| *mem_stack.last().unwrap()),
@@ -116,10 +117,16 @@ impl<C: SpecClient> Kernel<'_, C> {
                         pushed_exprs += 1;
                     }
 
-                    // (c) statements
+                    // (c) statements — the block's occurrences are the
+                    // contiguous slice occ_rng[b], in statement order, so a
+                    // cursor replaces the per-statement map lookup
+                    let (occ_lo, occ_hi) = occ_rng[b.index()];
+                    let mut occ_cur = occ_lo as usize;
                     let nstmts = hf.blocks[b.index()].stmts.len();
                     for si in 0..nstmts {
-                        if let Some(&oi) = occ_at.get(&(b, si)) {
+                        if occ_cur < occ_hi as usize && occs[occ_cur].stmt == si {
+                            let oi = occ_cur;
+                            occ_cur += 1;
                             let vers = occs[oi].vers.clone();
                             let mut assigned = false;
                             if let Some(top) = expr_stack.last() {
@@ -187,7 +194,11 @@ impl<C: SpecClient> Kernel<'_, C> {
                         .map(|t| t.successors())
                         .unwrap_or_default();
                     for s in succs {
-                        let Some(&pi) = phi_at.get(&s) else { continue };
+                        let pi = phi_at[s.index()];
+                        if pi == NO_PHI {
+                            continue;
+                        }
+                        let pi = pi as usize;
                         let Some(op_idx) = hf.pred_index(s, b) else {
                             continue;
                         };
@@ -242,5 +253,6 @@ impl<C: SpecClient> Kernel<'_, C> {
                 }
             }
         }
+        self.next_class = next_class;
     }
 }

@@ -27,8 +27,8 @@ use specframe_analysis::{DomFrontiers, DomTree, FuncAnalyses};
 use specframe_hssa::{
     ChiRefine, HOperand, HStmt, HStmtKind, HVarId, HssaFunc, MemBase, RefineStmt,
 };
+use specframe_ir::FxHashSet;
 use specframe_ir::{Function, LoadSpec, Ty, VarId};
-use std::collections::HashSet;
 
 // The engine moved to `prekernel`; keep the public surface stable.
 pub use crate::prekernel::{
@@ -131,7 +131,7 @@ struct ExprClient<'a> {
     base_collapsed: bool,
     /// Union of profiled LOCs across the candidate's occurrence sites
     /// (for the per-expression χ refinement in profile mode).
-    expr_locs: HashSet<specframe_alias::Loc>,
+    expr_locs: FxHashSet<specframe_alias::Loc>,
 }
 
 impl<'a> ExprClient<'a> {
@@ -140,9 +140,9 @@ impl<'a> ExprClient<'a> {
             ExprKey::IndirectLoad { base, .. } => hf.collapsed_vars.contains(base),
             _ => false,
         };
-        let expr_locs: HashSet<specframe_alias::Loc> = match policy.oracle.profile() {
+        let expr_locs: FxHashSet<specframe_alias::Loc> = match policy.oracle.profile() {
             Some(p) => {
-                let mut locs = HashSet::new();
+                let mut locs = FxHashSet::default();
                 for b in hf.block_ids() {
                     if !dt.is_reachable(b) {
                         continue;
@@ -160,7 +160,7 @@ impl<'a> ExprClient<'a> {
                 }
                 locs
             }
-            None => HashSet::new(),
+            None => FxHashSet::default(),
         };
         ExprClient {
             key,
@@ -262,7 +262,7 @@ fn kills_with_policy(
     key: &ExprKey,
     mem_var: Option<HVarId>,
     policy: &SpecPolicy<'_>,
-    expr_locs: &HashSet<specframe_alias::Loc>,
+    expr_locs: &FxHashSet<specframe_alias::Loc>,
     base_collapsed: bool,
 ) -> bool {
     if !policy.data() {
@@ -302,7 +302,7 @@ fn kills_mem_part(
     key: &ExprKey,
     mem_var: Option<HVarId>,
     policy: &SpecPolicy<'_>,
-    expr_locs: &HashSet<specframe_alias::Loc>,
+    expr_locs: &FxHashSet<specframe_alias::Loc>,
 ) -> bool {
     let Some(mv) = mem_var else { return false };
     if let HStmtKind::Store {

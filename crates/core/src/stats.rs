@@ -137,30 +137,64 @@ impl PassTimings {
         self.dom_computes += other.dom_computes;
     }
 
-    /// Human-readable multi-line report (the `specc --time-passes` output).
+    /// The per-pass rows in pipeline order, as `(name, duration)`.
+    pub fn rows(&self) -> [(&'static str, std::time::Duration); 13] {
+        [
+            ("alias", self.alias),
+            ("analyses", self.analyses),
+            ("refine", self.refine),
+            ("hssa-build", self.hssa_build),
+            ("ssapre", self.ssapre),
+            ("strength", self.strength),
+            ("lftr", self.lftr),
+            ("storeprom", self.storeprom),
+            ("verify", self.verify),
+            ("verify-each", self.verify_each),
+            ("audit", self.audit),
+            ("lower", self.lower),
+            ("module-verify", self.module_verify),
+        ]
+    }
+
+    /// Human-readable aggregate table (the `specc --time-passes` output):
+    /// every pass with its total wall time and share of the whole
+    /// `optimize` call, sorted most-expensive first (ties keep pipeline
+    /// order — the sort is stable — so the layout is deterministic), then
+    /// the total, the process peak RSS when the OS exposes it cheaply, and
+    /// the dominator-build counter.
     pub fn report(&self) -> String {
         fn ms(d: std::time::Duration) -> String {
             format!("{:9.3} ms", d.as_secs_f64() * 1e3)
         }
+        let total = self.total.as_secs_f64();
+        let mut rows = self.rows();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         let mut s = String::new();
         s.push_str("=== pass timings ===\n");
-        s.push_str(&format!("  alias          {}\n", ms(self.alias)));
-        s.push_str(&format!("  analyses       {}\n", ms(self.analyses)));
-        s.push_str(&format!("  refine         {}\n", ms(self.refine)));
-        s.push_str(&format!("  hssa-build     {}\n", ms(self.hssa_build)));
-        s.push_str(&format!("  ssapre         {}\n", ms(self.ssapre)));
-        s.push_str(&format!("  strength       {}\n", ms(self.strength)));
-        s.push_str(&format!("  lftr           {}\n", ms(self.lftr)));
-        s.push_str(&format!("  storeprom      {}\n", ms(self.storeprom)));
-        s.push_str(&format!("  verify         {}\n", ms(self.verify)));
-        s.push_str(&format!("  verify-each    {}\n", ms(self.verify_each)));
-        s.push_str(&format!("  audit          {}\n", ms(self.audit)));
-        s.push_str(&format!("  lower          {}\n", ms(self.lower)));
-        s.push_str(&format!("  module-verify  {}\n", ms(self.module_verify)));
-        s.push_str(&format!("  total          {}\n", ms(self.total)));
+        for (name, d) in rows {
+            let pct = if total > 0.0 {
+                100.0 * d.as_secs_f64() / total
+            } else {
+                0.0
+            };
+            s.push_str(&format!("  {name:<14} {} {pct:5.1}%\n", ms(d)));
+        }
+        s.push_str(&format!("  {:<14} {}\n", "total", ms(self.total)));
+        if let Some(kb) = peak_rss_kb() {
+            s.push_str(&format!("  {:<14} {:>9} kB\n", "peak-rss", kb));
+        }
         s.push_str(&format!("  dom computes   {:>9}\n", self.dom_computes));
         s
     }
+}
+
+/// The process's peak resident set size in kilobytes (`VmHWM` from
+/// `/proc/self/status`), or `None` where that interface does not exist.
+/// One small file read — cheap enough to sample per report.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 #[cfg(test)]

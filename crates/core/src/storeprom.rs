@@ -41,8 +41,8 @@ use crate::prekernel::{apply_edits, reducible_loops, MotionEdit, SpecClient};
 use crate::stats::OptStats;
 use specframe_analysis::FuncAnalyses;
 use specframe_hssa::{HOperand, HStmt, HStmtKind, HVarId, HVarKind, HssaFunc, MemBase};
-use specframe_ir::{BlockId, LoadSpec, Ty, VarId};
-use std::collections::HashSet;
+use specframe_ir::FxHashSet;
+use specframe_ir::{BlockId, InlineVec, LoadSpec, Ty, VarId};
 
 /// The store-promotion candidate: one direct global/slot cell `mv`,
 /// stored to inside the loop. Occurrences are the candidate stores; any
@@ -68,7 +68,7 @@ impl SpecClient for StoreClient {
                 dvar_def: Some((id, ver)),
                 ..
             } if *id == self.mv => Some(OccVersions {
-                regs: vec![],
+                regs: InlineVec::new(),
                 mem: Some(*ver),
             }),
             _ => None,
@@ -150,7 +150,7 @@ pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalys
 
     for shape in reducible_loops(hf, fa) {
         let preheader = shape.preheader;
-        let body: HashSet<BlockId> = shape.body.iter().copied().collect();
+        let body: FxHashSet<BlockId> = shape.body.iter().copied().collect();
 
         // candidate memory variables: direct-store targets inside the loop
         let mut cands: Vec<HVarId> = Vec::new();
@@ -286,7 +286,7 @@ pub fn sink_stores_hssa(hf: &mut HssaFunc, stats: &mut OptStats, fa: &FuncAnalys
                     hf,
                     (r, rv0),
                     &OccVersions {
-                        regs: vec![],
+                        regs: InlineVec::new(),
                         mem: Some(0),
                     },
                     LoadSpec::Normal,

@@ -111,7 +111,7 @@ impl SpecClient for StrengthClient {
 
     fn occurrence(&self, stmt: &HStmt) -> Option<OccVersions> {
         self.mul_of_iv(stmt).map(|(ver, _)| OccVersions {
-            regs: vec![ver],
+            regs: [ver].into_iter().collect(),
             mem: None,
         })
     }
@@ -299,7 +299,7 @@ fn reduce_one_iv(
                 hf,
                 (s, v_init),
                 &OccVersions {
-                    regs: vec![iv.pre_ver],
+                    regs: [iv.pre_ver].into_iter().collect(),
                     mem: None,
                 },
                 LoadSpec::Normal,

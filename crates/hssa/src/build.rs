@@ -15,8 +15,8 @@ use specframe_analysis::{iterated_df, DomTree, FuncAnalyses};
 use specframe_ir::{
     BlockId, FuncId, FuncSlot, Function, Global, Inst, Module, Operand, Terminator, Ty, VarId,
 };
+use specframe_ir::{FxHashMap, FxHashSet};
 use specframe_profile::AliasProfile;
-use std::collections::HashMap;
 
 /// Where speculation likeliness comes from.
 ///
@@ -714,7 +714,7 @@ pub fn verify_hssa_detailed(hf: &HssaFunc) -> Result<(), HssaVerifyError> {
         let next = hf.next_ver.get(var.index()).copied().unwrap_or(0);
         (ver != u32::MAX && ver != 0 && ver >= next).then_some(next)
     };
-    let mut defined: HashMap<(HVarId, u32), u32> = HashMap::new();
+    let mut defined: FxHashMap<(HVarId, u32), u32> = FxHashMap::default();
     let mut define = |var: HVarId, ver: u32| -> Result<(), String> {
         if ver == u32::MAX {
             return Err(format!("unrenamed def of {var:?}"));
@@ -839,8 +839,7 @@ pub fn verify_hssa_detailed(hf: &HssaFunc) -> Result<(), HssaVerifyError> {
 /// register and availability is guaranteed by SSAPRE's will-be-available
 /// analysis instead.
 fn verify_dominance(hf: &HssaFunc) -> Result<(), String> {
-    use std::collections::HashSet;
-    let collapsed: HashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
+    let collapsed: FxHashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
 
     // def location per (reg, ver): block + position (-1 = phi at entry of
     // block, entry for version 0)
@@ -850,7 +849,7 @@ fn verify_dominance(hf: &HssaFunc) -> Result<(), String> {
         Phi(BlockId),
         Stmt(BlockId, usize),
     }
-    let mut defs: HashMap<(VarId, u32), DefAt> = HashMap::new();
+    let mut defs: FxHashMap<(VarId, u32), DefAt> = FxHashMap::default();
     for (i, v) in (0..hf.catalog.len()).filter_map(|i| {
         let id = HVarId(i as u32);
         match hf.catalog.kind(id) {

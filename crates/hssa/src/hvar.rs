@@ -1,8 +1,8 @@
 //! The HSSA variable space.
 
 use specframe_alias::ClassId;
+use specframe_ir::FxHashMap;
 use specframe_ir::{GlobalId, SlotId, VarId};
-use std::collections::HashMap;
 
 /// Index of an HSSA variable within one function's [`VarCatalog`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -60,7 +60,7 @@ pub enum HVarKind {
 #[derive(Debug, Default, Clone)]
 pub struct VarCatalog {
     kinds: Vec<HVarKind>,
-    index: HashMap<HVarKind, HVarId>,
+    index: FxHashMap<HVarKind, HVarId>,
 }
 
 impl VarCatalog {

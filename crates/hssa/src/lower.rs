@@ -16,7 +16,7 @@ use crate::stmt::{HOperand, HStmtKind, HTerm, HssaFunc, FRESH_SITE};
 use specframe_ir::{
     Block, Function, Inst, MemSiteId, Module, Operand, Terminator, Ty, VarDecl, VarId,
 };
-use std::collections::HashMap;
+use specframe_ir::{FxHashMap, FxHashSet};
 
 /// First placeholder id handed out by [`lower_function`] for statements the
 /// optimizer synthesized (site [`FRESH_SITE`]). Placeholders are function
@@ -69,11 +69,11 @@ pub fn lower_function(base: &Function, hf: &HssaFunc) -> (Function, u32) {
             ty: *ty,
         });
     }
-    let mut map: HashMap<(u32, u32), VarId> = HashMap::new();
+    let mut map: FxHashMap<(u32, u32), VarId> = FxHashMap::default();
     for i in 0..vars.len() as u32 {
         map.insert((i, 0), VarId(i));
     }
-    let collapsed: std::collections::HashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
+    let collapsed: FxHashSet<VarId> = hf.collapsed_vars.iter().copied().collect();
     let mut resolve = |v: VarId, ver: u32, vars: &mut Vec<VarDecl>| -> VarId {
         // collapsed registers (PRE temporaries) ignore versions entirely:
         // one home register per promoted expression

@@ -27,9 +27,9 @@
 
 use crate::build::SpecMode;
 use specframe_alias::Loc;
+use specframe_ir::FxHashSet;
 use specframe_ir::{CallSiteId, Function, Inst, MemSiteId, Operand, VarId};
 use specframe_profile::AliasProfile;
-use std::collections::HashSet;
 
 /// Per-function syntax evidence for the heuristic rules, collected by
 /// [`Likeliness::scan`] in one pass before HSSA statements are built.
@@ -37,7 +37,7 @@ use std::collections::HashSet;
 pub struct FnEvidence {
     /// Syntax `(base reg, word offset)` of every indirect load in the
     /// function (rule 1's "identical syntax trees" universe).
-    load_syntax: HashSet<(VarId, i64)>,
+    load_syntax: FxHashSet<(VarId, i64)>,
 }
 
 impl FnEvidence {
@@ -201,7 +201,7 @@ pub struct ChiRefine<'c> {
     /// The candidate's own load syntax, when an indirect load.
     pub cand_syntax: Option<(VarId, i64)>,
     /// Profiled LOC union over the candidate's occurrence sites.
-    pub expr_locs: &'c HashSet<Loc>,
+    pub expr_locs: &'c FxHashSet<Loc>,
 }
 
 /// The oracle. Owned by the driver; one per compilation, queried by HSSA
@@ -503,7 +503,7 @@ entry:
     #[test]
     fn heuristic_chi_kill_is_per_candidate_syntax() {
         let o = Likeliness::new(SpecMode::Heuristic);
-        let locs = HashSet::new();
+        let locs = FxHashSet::default();
         let store = RefineStmt::Store {
             site: MemSiteId(0),
             syntax: Some((specframe_ir::VarId(0), 0)),

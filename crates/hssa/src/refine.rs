@@ -16,8 +16,8 @@
 
 use crate::stmt::{HOperand, HStmtKind, HssaFunc};
 use specframe_analysis::FuncAnalyses;
+use specframe_ir::FxHashMap;
 use specframe_ir::{FuncId, Function, Global, Inst, MemSiteId, Module, Operand, VarId};
-use std::collections::HashMap;
 
 /// Analyzes `hf` (an already-built SSA form of `m.func(fid)`) and rewrites
 /// the **base function** in `m`, folding every indirect load/store whose
@@ -36,7 +36,7 @@ pub fn fold_known_addresses(m: &mut Module, fid: FuncId, hf: &HssaFunc) -> usize
 /// run it with each worker owning exactly one `&mut Function`.
 pub fn fold_known_addresses_in(f: &mut Function, hf: &HssaFunc) -> usize {
     // copy chains: (reg, version) -> source operand
-    let mut copy_src: HashMap<(VarId, u32), HOperand> = HashMap::new();
+    let mut copy_src: FxHashMap<(VarId, u32), HOperand> = FxHashMap::default();
     for b in hf.block_ids() {
         for stmt in &hf.blocks[b.index()].stmts {
             if let HStmtKind::Copy { dst, src } = &stmt.kind {
@@ -58,7 +58,7 @@ pub fn fold_known_addresses_in(f: &mut Function, hf: &HssaFunc) -> usize {
     };
 
     // per memory site: the static base it folds to
-    let mut folds: HashMap<MemSiteId, Operand> = HashMap::new();
+    let mut folds: FxHashMap<MemSiteId, Operand> = FxHashMap::default();
     for b in hf.block_ids() {
         for stmt in &hf.blocks[b.index()].stmts {
             let (base, site) = match &stmt.kind {

@@ -2,8 +2,8 @@
 
 use crate::hvar::{HVarId, VarCatalog};
 use specframe_ir::{
-    AllocSiteId, BinOp, BlockId, CallSiteId, CheckKind, FuncId, GlobalId, LoadSpec, MemSiteId,
-    SlotId, Ty, UnOp, VarId,
+    AllocSiteId, BinOp, BlockId, CallSiteId, CheckKind, FuncId, GlobalId, InlineVec, LoadSpec,
+    MemSiteId, SlotId, Ty, UnOp, VarId,
 };
 
 /// A placeholder memory site for statements synthesized during optimization;
@@ -139,9 +139,9 @@ pub struct HStmt {
     /// The operation.
     pub kind: HStmtKind,
     /// May-uses (μ / μs).
-    pub mu: Vec<MuOp>,
+    pub mu: InlineVec<MuOp, 2>,
     /// May-defs (χ / χs).
-    pub chi: Vec<ChiOp>,
+    pub chi: InlineVec<ChiOp, 2>,
 }
 
 impl HStmt {
@@ -149,8 +149,8 @@ impl HStmt {
     pub fn new(kind: HStmtKind) -> HStmt {
         HStmt {
             kind,
-            mu: Vec::new(),
-            chi: Vec::new(),
+            mu: InlineVec::new(),
+            chi: InlineVec::new(),
         }
     }
 

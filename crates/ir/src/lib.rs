@@ -38,8 +38,10 @@
 //! * [`verify`] — structural verifier
 
 pub mod builder;
+pub mod dense;
 pub mod display;
 pub mod function;
+pub mod fx;
 pub mod ids;
 pub mod inst;
 pub mod parse;
@@ -47,7 +49,9 @@ pub mod types;
 pub mod verify;
 
 pub use builder::{FuncBuilder, ModuleBuilder};
+pub use dense::{DenseMap, InlineVec};
 pub use function::{layout_globals, Block, FuncSlot, Function, Global, Module, SlotDecl, VarDecl};
+pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{AllocSiteId, BlockId, CallSiteId, FuncId, GlobalId, MemSiteId, SlotId, VarId};
 pub use inst::{BinOp, CheckKind, Inst, LoadSpec, Operand, Terminator, UnOp};
 pub use parse::{parse_module, ParseError};

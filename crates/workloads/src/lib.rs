@@ -22,8 +22,10 @@
 //! builds its data and runs the kernel; all are deterministic.
 
 pub mod kernels;
+pub mod megamod;
 
 pub use kernels::{all_workloads, workload_by_name, Scale, Workload};
+pub use megamod::{inst_count, mega_module, mega_source};
 
 #[cfg(test)]
 mod tests {

@@ -75,6 +75,7 @@ use std::process::ExitCode;
 
 struct Cli {
     input: String,
+    mega: Option<(u64, usize)>,
     entry: String,
     args: Vec<Value>,
     train_args: Vec<Value>,
@@ -129,6 +130,7 @@ fn parse_cli() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
     let mut cli = Cli {
         input: String::new(),
+        mega: None,
         entry: "main".into(),
         args: Vec::new(),
         train_args: Vec::new(),
@@ -166,6 +168,20 @@ fn parse_cli() -> Result<Cli, String> {
             "--train-args" => {
                 cli.train_args = parse_values(&args.next().ok_or("--train-args needs a value")?)?;
                 train_set = true;
+            }
+            "--mega" => {
+                let v = args.next().ok_or("--mega needs SEED[:FUNCS]")?;
+                let (seed, funcs) = match v.split_once(':') {
+                    Some((s, f)) => (
+                        s.parse().map_err(|e| format!("bad --mega seed: {e}"))?,
+                        f.parse().map_err(|e| format!("bad --mega funcs: {e}"))?,
+                    ),
+                    None => (
+                        v.parse().map_err(|e| format!("bad --mega seed: {e}"))?,
+                        1000,
+                    ),
+                };
+                cli.mega = Some((seed, funcs));
             }
             "--spec" => cli.spec = args.next().ok_or("--spec needs a value")?,
             "--control" => cli.control = args.next().ok_or("--control needs a value")?,
@@ -259,7 +275,22 @@ fn parse_cli() -> Result<Cli, String> {
             other => return Err(format!("unknown option `{other}` (try --help)")),
         }
     }
-    if cli.input.is_empty() {
+    if cli.mega.is_some() {
+        if !cli.input.is_empty() {
+            return Err("--mega generates the input; drop the input file".into());
+        }
+        if cli.run || cli.sim || cli.reduce {
+            return Err("--mega is compile-only (no --run/--sim/--reduce)".into());
+        }
+        // The synthetic module has no entry to train on; profile-guided
+        // speculation needs a real program. Degrade both defaults.
+        if cli.spec == "profile" {
+            cli.spec = "heuristic".into();
+        }
+        if cli.control == "profile" {
+            cli.control = "static".into();
+        }
+    } else if cli.input.is_empty() {
         return Err("no input file (try --help)".into());
     }
     if !train_set {
@@ -283,27 +314,44 @@ fn real_main() -> Result<(), CompileFailure> {
     for p in &cli.fault_policies {
         specframe::machine::parse_fault_policy(p).map_err(usage)?;
     }
-    let src = std::fs::read_to_string(&cli.input)
-        .map_err(|e| usage(format!("cannot read {}: {e}", cli.input)))?;
-    let mut m =
-        parse_module(&src).map_err(|e| CompileFailure::Parse(format!("{}: {e}", cli.input)))?;
-    verify_module(&m).map_err(|e| CompileFailure::Parse(format!("{}: {e}", cli.input)))?;
+    let mut m = match cli.mega {
+        Some((seed, funcs)) => specframe::workloads::mega_module(seed, funcs),
+        None => {
+            let src = std::fs::read_to_string(&cli.input)
+                .map_err(|e| usage(format!("cannot read {}: {e}", cli.input)))?;
+            let m = parse_module(&src)
+                .map_err(|e| CompileFailure::Parse(format!("{}: {e}", cli.input)))?;
+            verify_module(&m).map_err(|e| CompileFailure::Parse(format!("{}: {e}", cli.input)))?;
+            m
+        }
+    };
     prepare_module(&mut m);
+    // Input-side shape for the --time-passes throughput line (the
+    // optimized module's instruction count would move with the optimizer).
+    let input_shape = (m.funcs.len(), specframe::workloads::inst_count(&m));
 
-    if m.func_by_name(&cli.entry).is_none() {
-        return Err(usage(format!(
-            "no function `{}` in {}",
-            cli.entry, cli.input
-        )));
-    }
-    let (expect, _) = run(&m, &cli.entry, &cli.args, cli.fuel).map_err(|e| {
-        CompileFailure::Compile(specframe::core::CompileError {
-            function: String::new(),
-            pass: "reference-run".into(),
-            message: format!("reference run failed: {e}"),
-            fallback_exhausted: false,
-        })
-    })?;
+    // The mega-module is a compiler-throughput workload: it has no entry
+    // point to interpret, so skip the reference run (`--run`/`--sim` are
+    // rejected at parse time).
+    let expect = if cli.mega.is_some() {
+        None
+    } else {
+        if m.func_by_name(&cli.entry).is_none() {
+            return Err(usage(format!(
+                "no function `{}` in {}",
+                cli.entry, cli.input
+            )));
+        }
+        let (expect, _) = run(&m, &cli.entry, &cli.args, cli.fuel).map_err(|e| {
+            CompileFailure::Compile(specframe::core::CompileError {
+                function: String::new(),
+                pass: "reference-run".into(),
+                message: format!("reference run failed: {e}"),
+                fallback_exhausted: false,
+            })
+        })?;
+        expect
+    };
 
     if cli.emit == "hssa" {
         let mut aprof = None;
@@ -388,6 +436,15 @@ fn real_main() -> Result<(), CompileFailure> {
     }
     if cli.time_passes {
         eprint!("{}", report.timings.report());
+        let secs = report.timings.total.as_secs_f64();
+        if secs > 0.0 {
+            let (funcs, insts) = input_shape;
+            eprintln!(
+                "  throughput     {:.0} funcs/sec, {:.0} insts/sec ({funcs} funcs, {insts} insts)",
+                funcs as f64 / secs,
+                insts as f64 / secs
+            );
+        }
     }
     if let Some(path) = &cli.save_alias_profile {
         let prof = out.alias_profile.as_ref().ok_or_else(|| {

@@ -116,8 +116,8 @@ pub mod prelude {
     pub use specframe_codegen::lower_module;
     pub use specframe_core::{
         optimize, optimize_with, optimize_with_hooks, prepare_module, reduce_module, render_dumps,
-        ControlSpec, OptOptions, OptReport, OptStats, Pass, PassDump, PassSet, PassTimings,
-        PipelineConfig, PipelineHooks, ReduceStats, SpecSource,
+        try_optimize_with_hooks, ControlSpec, OptOptions, OptReport, OptStats, Pass, PassDump,
+        PassSet, PassTimings, PipelineConfig, PipelineHooks, ReduceStats, SpecSource,
     };
     pub use specframe_hssa::{build_hssa, print_hssa, SpecMode};
     pub use specframe_ir::{parse_module, verify_module, Module, ModuleBuilder, Ty, Value};
@@ -126,5 +126,7 @@ pub mod prelude {
         fault_matrix, parse_fault_policy, run_machine, run_machine_with_policy, Counters,
     };
     pub use specframe_profile::{run, run_with, AliasProfiler, EdgeProfiler, ReuseSimulator};
-    pub use specframe_workloads::{all_workloads, workload_by_name, Scale, Workload};
+    pub use specframe_workloads::{
+        all_workloads, inst_count, mega_module, mega_source, workload_by_name, Scale, Workload,
+    };
 }
