@@ -20,6 +20,36 @@ cargo fmt --all -- --check
 cargo run --release -q -p spectest -- -q tests/golden
 cargo run --release -q -p spectest -- -q --verify-each --audit-spec tests/golden
 
+# golden parity through the compile cache: the same suite, cold (populating
+# a fresh cache) and warm (replaying from it) — FileCheck still passing on
+# the warm run proves cached replay is byte-identical where it matters
+golden_cache="$(mktemp -d)"
+trap 'rm -rf "$golden_cache"' EXIT
+cargo run --release -q -p spectest -- -q --cache-dir "$golden_cache" tests/golden
+cargo run --release -q -p spectest -- -q --cache-dir "$golden_cache" tests/golden
+echo "golden suite: cold + warm cache runs green"
+
+# compile-service smoke: cold then warm --serve sessions in separate
+# processes over one cache dir; the warm response must be all hits and the
+# served outputs byte-identical
+serve_dir="$(mktemp -d)"
+printf 'mega 42:400 -o %s/cold.ir\nquit\n' "$serve_dir" \
+  | cargo run --release -q -p specframe --bin specc -- --serve --cache-dir "$serve_dir/cache" \
+  > "$serve_dir/cold.resp"
+grep -q "ok in=mega:42:400 funcs=400 hits=0 misses=400" "$serve_dir/cold.resp" \
+  || { echo "ci.sh: cold serve response unexpected"; cat "$serve_dir/cold.resp"; exit 1; }
+printf 'mega 42:400 -o %s/warm.ir\nquit\n' "$serve_dir" \
+  | cargo run --release -q -p specframe --bin specc -- --serve --cache-dir "$serve_dir/cache" \
+  > "$serve_dir/warm.resp"
+grep -q "ok in=mega:42:400 funcs=400 hits=400 misses=0 stale=0" "$serve_dir/warm.resp" \
+  || { echo "ci.sh: warm serve response not all-hits"; cat "$serve_dir/warm.resp"; exit 1; }
+cmp -s "$serve_dir/cold.ir" "$serve_dir/warm.ir" \
+  || { echo "ci.sh: served cold/warm outputs differ"; exit 1; }
+cargo run --release -q -p specframe --bin specc -- cache verify --cache-dir "$serve_dir/cache" > /dev/null \
+  || { echo "ci.sh: cache verify found bad entries"; exit 1; }
+rm -rf "$serve_dir"
+echo "compile service smoke: cold/warm byte-identical, warm all-hits, cache verifies clean"
+
 # differential misspeculation oracle: every workload and a batch of seeded
 # random programs, every optimizer config, under the adversarial ALAT
 # fault matrix — results must be bit-identical to the unoptimized

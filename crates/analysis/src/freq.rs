@@ -134,9 +134,22 @@ pub fn estimate_profile_with(m: &Module, fas: &[crate::cache::FuncAnalyses]) -> 
     assert_eq!(m.funcs.len(), fas.len(), "one FuncAnalyses per function");
     let mut p = EdgeProfile::new();
     for (i, (f, fa)) in m.funcs.iter().zip(fas).enumerate() {
-        estimate_function(&mut p, FuncId::from_index(i), f, &fa.dt, &fa.loops);
+        estimate_function_with(&mut p, FuncId::from_index(i), f, fa);
     }
     p
+}
+
+/// Single-function slice of [`estimate_profile_with`], accumulating into
+/// `p`. The optimization driver's incremental-cache path estimates only
+/// the functions it is actually going to recompile — a cache hit replays
+/// its stored lowering and never consults the static profile.
+pub fn estimate_function_with(
+    p: &mut EdgeProfile,
+    fid: FuncId,
+    f: &Function,
+    fa: &crate::cache::FuncAnalyses,
+) {
+    estimate_function(p, fid, f, &fa.dt, &fa.loops);
 }
 
 fn estimate_function(p: &mut EdgeProfile, fid: FuncId, f: &Function, dt: &DomTree, li: &LoopInfo) {

@@ -12,8 +12,8 @@
 //! reducer regression shows up in the CI artifact.
 
 use specframe_core::{
-    optimize, optimize_with, peak_rss_kb, prepare_module, reduce_module, ControlSpec, OptOptions,
-    PipelineConfig, ReduceStats, SpecSource,
+    optimize, optimize_with, peak_rss_kb, prepare_module, reduce_module, try_optimize_cached,
+    ControlSpec, FuncCache, OptOptions, PipelineConfig, PipelineHooks, ReduceStats, SpecSource,
 };
 use specframe_ir::display::print_module;
 use specframe_workloads::{all_workloads, inst_count, mega_module, Scale};
@@ -77,6 +77,132 @@ fn mega_smoke() -> MegaRow {
         "mega-module: {} funcs / {} insts in {:.3} s ({:.0} funcs/sec, {:.0} insts/sec, \
          peak rss {} kB), jobs 1/2/4 byte-identical",
         row.funcs, row.insts, secs, row.funcs_per_sec, row.insts_per_sec, row.peak_rss_kb
+    );
+    row
+}
+
+/// Cold/warm compile-cache numbers from the cache smoke.
+struct CacheRow {
+    funcs: usize,
+    hits: u64,
+    misses: u64,
+    evicts: u64,
+    cold_ms: f64,
+    warm_ms: f64,
+}
+
+/// The compile-cache smoke gate: one cold mega-module compile populating
+/// a fresh cache directory, then warm reruns at `jobs` 1/2/4. Asserts the
+/// cache's contract — warm output byte-identical to both the cold run and
+/// an uncached compile, a ≥ 99% warm hit rate, zero stale entries — and
+/// the perf bar: the warm rerun must be at least 10× faster than cold.
+///
+/// The correctness assertions are hard on every attempt; the *timing* gate
+/// alone retries (the shared CI container's wall clock jitters by tens of
+/// percent run to run, and a single slow tick must not fail the build when
+/// an immediate remeasure demonstrates the speedup).
+fn cache_smoke() -> CacheRow {
+    const SEED: u64 = 42;
+    const FUNCS: usize = 1000;
+    const ATTEMPTS: u32 = 3;
+    let opts = OptOptions {
+        data: SpecSource::Heuristic,
+        control: ControlSpec::Static,
+        strength_reduction: true,
+        lftr: true,
+        store_sinking: true,
+    };
+    let cfg1 = PipelineConfig { jobs: 1 };
+    let hooks = PipelineHooks::default();
+    let dir = std::env::temp_dir().join(format!("specframe-ci-cache-{}", std::process::id()));
+
+    let mut base = mega_module(SEED, FUNCS);
+    prepare_module(&mut base);
+
+    let mut m0 = base.clone();
+    optimize_with(&mut m0, &opts, &cfg1);
+    let baseline = print_module(&m0);
+
+    let mut row = None;
+    for attempt in 1..=ATTEMPTS {
+        // every attempt is a true cold start: empty directory
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // the harness copy of the input stays outside both timing windows:
+        // the gate compares compiles, not clones
+        let mut m1 = base.clone();
+        let t0 = Instant::now();
+        let (cold, _) =
+            try_optimize_cached(&mut m1, &opts, &cfg1, &hooks, Some(&FuncCache::open(&dir)))
+                .expect("cold cached compile");
+        let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(print_module(&m1), baseline, "cold cached output diverged");
+        assert_eq!(cold.cache.hits, 0, "cold run on a fresh dir cannot hit");
+        assert_eq!(cold.cache.misses, FUNCS as u64);
+
+        let mut warm_ms = f64::INFINITY;
+        let mut last = None;
+        for jobs in [1usize, 2, 4] {
+            // a freshly opened cache each time: no in-process carry-over
+            let cache = FuncCache::open(&dir);
+            let mut mj = base.clone();
+            let t0 = Instant::now();
+            let (warm, _) = try_optimize_cached(
+                &mut mj,
+                &opts,
+                &PipelineConfig { jobs },
+                &hooks,
+                Some(&cache),
+            )
+            .expect("warm cached compile");
+            let ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                print_module(&mj),
+                baseline,
+                "warm cached output diverged at jobs={jobs}"
+            );
+            assert!(
+                warm.cache.hits as f64 >= 0.99 * FUNCS as f64,
+                "warm hit rate below 99%: {:?}",
+                warm.cache
+            );
+            assert_eq!(warm.cache.stale, 0, "{:?}", warm.cache);
+            warm_ms = warm_ms.min(ms);
+            last = Some(warm);
+        }
+        let warm = last.unwrap();
+        if cold_ms < 10.0 * warm_ms {
+            assert!(
+                attempt < ATTEMPTS,
+                "warm cache rerun not >= 10x faster after {ATTEMPTS} attempts: \
+                 cold {cold_ms:.1} ms, warm {warm_ms:.1} ms"
+            );
+            println!(
+                "cache smoke: attempt {attempt} below 10x (cold {cold_ms:.1} ms, \
+                 warm {warm_ms:.1} ms), remeasuring"
+            );
+            continue;
+        }
+        row = Some(CacheRow {
+            funcs: FUNCS,
+            hits: warm.cache.hits,
+            misses: warm.cache.misses,
+            evicts: warm.cache.evicts,
+            cold_ms,
+            warm_ms,
+        });
+        break;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let row = row.expect("timing gate attempts exhausted");
+    println!(
+        "cache smoke: cold {:.1} ms -> warm {:.1} ms ({:.1}x), {}/{} hits, \
+         jobs 1/2/4 byte-identical",
+        row.cold_ms,
+        row.warm_ms,
+        row.cold_ms / row.warm_ms,
+        row.hits,
+        row.funcs
     );
     row
 }
@@ -179,6 +305,7 @@ fn main() {
     }
 
     let mega = mega_smoke();
+    let cache = cache_smoke();
     let rs = reducer_smoke();
 
     let mut json = String::from("{\n  \"config\": \"heuristic+static+sr+sink\",\n  \"iters\": ");
@@ -193,6 +320,12 @@ fn main() {
         "  \"mega\": {{ \"funcs\": {}, \"insts\": {}, \"funcs_per_sec\": {:.0}, \
          \"insts_per_sec\": {:.0}, \"peak_rss_kb\": {} }},",
         mega.funcs, mega.insts, mega.funcs_per_sec, mega.insts_per_sec, mega.peak_rss_kb
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{ \"funcs\": {}, \"hits\": {}, \"misses\": {}, \"evicts\": {}, \
+         \"cold_ms\": {:.1}, \"warm_ms\": {:.1} }},",
+        cache.funcs, cache.hits, cache.misses, cache.evicts, cache.cold_ms, cache.warm_ms
     );
     let _ = writeln!(
         json,

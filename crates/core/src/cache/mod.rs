@@ -1,0 +1,315 @@
+//! Persistent per-function compile cache.
+//!
+//! The per-function transaction boundary (each function compiles, verifies
+//! and degrades independently inside `catch_unwind`) is also the cache-entry
+//! granularity: one entry = one function's lowered output + stats + dumps
+//! under one content-addressed key ([`key`]). A hit skips the whole
+//! refine→HSSA→SSAPRE→lower pipeline and replays the stored result; a miss
+//! compiles normally and writes back at the driver's join point.
+//!
+//! Invariants, in priority order:
+//!
+//! 1. **Byte parity** — cached and uncached compiles of the same module
+//!    under the same options produce byte-identical output at every
+//!    `--jobs` level (the warm-path analogue of the parallel-determinism
+//!    pin).
+//! 2. **No stale hits** — anything that can change a function's lowering is
+//!    folded into its key (see [`key`]); a profile change, config change, or
+//!    edit anywhere the function can observe changes the key.
+//! 3. **Graceful degradation** — a corrupt or version-skewed entry is a
+//!    *miss with a diagnostic* (a new rung on the degradation ladder), never
+//!    an error and never wrong output; the bad entry is removed and
+//!    rewritten by the fresh compile.
+
+pub mod codec;
+pub mod key;
+pub mod store;
+
+pub use codec::{decode_entry, encode_entry, CachedFunc, EntryError};
+pub use key::{CacheKey, KeyContext, StableHasher, CACHE_FORMAT_VERSION};
+pub use store::{EntryMeta, FileStore, MemStore, Storage};
+
+use std::io;
+use std::path::PathBuf;
+
+/// Hit/miss/stale/evict counters for one `optimize` run (or one service
+/// lifetime — they sum).
+///
+/// Kept out of [`crate::OptStats`] on purpose: `OptStats` is `Eq`-compared
+/// between cached and uncached runs by the parity tests, and a warm run
+/// *must* report identical transformation counters while reporting
+/// different cache counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Functions replayed from the cache.
+    pub hits: u64,
+    /// Functions compiled because no entry existed.
+    pub misses: u64,
+    /// Functions compiled because their entry was corrupt or version-skewed
+    /// (each also carries a `CompileDiag` on the report).
+    pub stale: u64,
+    /// Entries removed by the capacity policy during write-back.
+    pub evicts: u64,
+}
+
+impl CacheStats {
+    /// Merges another counter block into this one.
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.stale += other.stale;
+        self.evicts += other.evicts;
+    }
+
+    /// Total probes this block describes.
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses + self.stale
+    }
+}
+
+/// Per-function cache outcome, in function-index order — the service's
+/// per-function status lines read these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Replayed from the cache.
+    Hit,
+    /// Compiled fresh (no entry).
+    Miss,
+    /// Compiled fresh (entry was corrupt or version-skewed).
+    Stale,
+}
+
+impl CacheOutcome {
+    /// The stable lower-case name used in service responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Stale => "stale",
+        }
+    }
+}
+
+/// Result of probing one key.
+#[derive(Debug)]
+pub enum Probe {
+    /// Entry decoded cleanly.
+    Hit(Box<CachedFunc>),
+    /// No entry.
+    Miss,
+    /// Entry existed but failed to decode (reason inside); it has been
+    /// removed so the fresh compile's write-back replaces it.
+    Stale(String),
+}
+
+/// Report from [`FuncCache::verify`]: every entry decoded, with failures.
+#[derive(Debug, Default)]
+pub struct VerifyReport {
+    /// Entries that decoded cleanly.
+    pub ok: usize,
+    /// Entries that failed, with the decode error.
+    pub bad: Vec<(CacheKey, String)>,
+    /// Total stored bytes walked.
+    pub bytes: u64,
+}
+
+/// The persistent function cache: policy over a [`Storage`] backend.
+pub struct FuncCache {
+    store: Box<dyn Storage>,
+    /// Maximum retained entries; `None` = unbounded. Enforced at
+    /// write-back, evicting oldest-modified first (key order breaks ties so
+    /// eviction is deterministic under equal timestamps).
+    max_entries: Option<usize>,
+}
+
+impl FuncCache {
+    /// A cache over the sharded file store at `dir`, unbounded.
+    pub fn open(dir: impl Into<PathBuf>) -> FuncCache {
+        FuncCache {
+            store: Box::new(FileStore::new(dir)),
+            max_entries: None,
+        }
+    }
+
+    /// A cache over an explicit backend.
+    pub fn with_store(store: Box<dyn Storage>) -> FuncCache {
+        FuncCache {
+            store,
+            max_entries: None,
+        }
+    }
+
+    /// Sets the entry-count cap (builder style).
+    pub fn with_max_entries(mut self, cap: usize) -> FuncCache {
+        self.max_entries = Some(cap);
+        self
+    }
+
+    /// Looks up `key`, decoding the entry. I/O errors and undecodable
+    /// entries both degrade to [`Probe::Stale`] — the cache can slow a
+    /// compile down but never fail one.
+    pub fn probe(&self, key: &CacheKey) -> Probe {
+        let bytes = match self.store.load(key) {
+            Ok(Some(b)) => b,
+            Ok(None) => return Probe::Miss,
+            Err(e) => return Probe::Stale(format!("read failed: {e}")),
+        };
+        match decode_entry(&bytes) {
+            Ok(cf) => Probe::Hit(Box::new(cf)),
+            Err(e) => {
+                let _ = self.store.remove(key);
+                Probe::Stale(e.to_string())
+            }
+        }
+    }
+
+    /// Writes one encoded entry back, then applies the capacity policy.
+    /// Returns how many entries were evicted.
+    pub fn insert(&self, key: &CacheKey, bytes: &[u8]) -> io::Result<u64> {
+        self.store.store(key, bytes)?;
+        let Some(cap) = self.max_entries else {
+            return Ok(0);
+        };
+        let mut metas = self.store.list()?;
+        if metas.len() <= cap {
+            return Ok(0);
+        }
+        metas.sort_by_key(|m| (m.modified, m.key));
+        let excess = metas.len() - cap;
+        let mut evicted = 0;
+        for m in metas.iter().filter(|m| m.key != *key).take(excess) {
+            self.store.remove(&m.key)?;
+            evicted += 1;
+        }
+        Ok(evicted)
+    }
+
+    /// Removes every entry; returns how many were removed.
+    pub fn clear(&self) -> io::Result<usize> {
+        let metas = self.store.list()?;
+        for m in &metas {
+            self.store.remove(&m.key)?;
+        }
+        Ok(metas.len())
+    }
+
+    /// Entry count and total stored bytes (the `cache stats` numbers).
+    pub fn entry_stats(&self) -> io::Result<(usize, u64)> {
+        let metas = self.store.list()?;
+        Ok((metas.len(), metas.iter().map(|m| m.size).sum()))
+    }
+
+    /// Walks every entry and attempts a full decode (the `cache verify`
+    /// subcommand). Bad entries are reported, not removed — removal is the
+    /// compile path's job, and a read-only walk is safer for diagnosis.
+    pub fn verify(&self) -> io::Result<VerifyReport> {
+        let mut metas = self.store.list()?;
+        metas.sort_by_key(|m| m.key);
+        let mut rep = VerifyReport::default();
+        for m in metas {
+            rep.bytes += m.size;
+            match self.store.load(&m.key)? {
+                None => rep.bad.push((m.key, "entry vanished mid-walk".into())),
+                Some(bytes) => match decode_entry(&bytes) {
+                    Ok(_) => rep.ok += 1,
+                    Err(e) => rep.bad.push((m.key, e.to_string())),
+                },
+            }
+        }
+        Ok(rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::PassDump;
+    use crate::stats::OptStats;
+    use specframe_ir::{Block, Function, Terminator};
+
+    fn tiny_entry(name: &str) -> Vec<u8> {
+        let f = Function {
+            name: name.into(),
+            params: 0,
+            ret_ty: None,
+            vars: vec![],
+            slots: vec![],
+            blocks: vec![Block {
+                name: "entry".into(),
+                insts: vec![],
+                term: Terminator::Ret(None),
+            }],
+        };
+        encode_entry(&f, 0, &OptStats::default(), &[] as &[PassDump])
+    }
+
+    fn key(label: &str) -> CacheKey {
+        let mut h = StableHasher::new();
+        h.write_str(label);
+        h.finish()
+    }
+
+    #[test]
+    fn probe_insert_roundtrip() {
+        let c = FuncCache::with_store(Box::new(MemStore::new()));
+        let k = key("f");
+        assert!(matches!(c.probe(&k), Probe::Miss));
+        c.insert(&k, &tiny_entry("f")).unwrap();
+        match c.probe(&k) {
+            Probe::Hit(cf) => assert_eq!(cf.func.name, "f"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_entry_probes_stale_and_is_removed() {
+        let c = FuncCache::with_store(Box::new(MemStore::new()));
+        let k = key("f");
+        let mut bytes = tiny_entry("f");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        c.insert(&k, &bytes).unwrap();
+        assert!(matches!(c.probe(&k), Probe::Stale(_)));
+        // removed on probe, so the next probe is a plain miss
+        assert!(matches!(c.probe(&k), Probe::Miss));
+    }
+
+    #[test]
+    fn capacity_policy_evicts_oldest() {
+        let c = FuncCache::with_store(Box::new(MemStore::new())).with_max_entries(3);
+        let mut evicted = 0;
+        for i in 0..6 {
+            evicted += c.insert(&key(&format!("f{i}")), &tiny_entry("f")).unwrap();
+            // MemStore timestamps have full precision, but don't rely on it
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(evicted, 3);
+        let (n, _) = c.entry_stats().unwrap();
+        assert_eq!(n, 3);
+        // the newest entries survive
+        assert!(matches!(c.probe(&key("f5")), Probe::Hit(_)));
+        assert!(matches!(c.probe(&key("f0")), Probe::Miss));
+    }
+
+    #[test]
+    fn verify_reports_bad_entries() {
+        let c = FuncCache::with_store(Box::new(MemStore::new()));
+        c.insert(&key("good"), &tiny_entry("g")).unwrap();
+        c.insert(&key("bad"), b"SPCCgarbage").unwrap();
+        let rep = c.verify().unwrap();
+        assert_eq!(rep.ok, 1);
+        assert_eq!(rep.bad.len(), 1);
+        // verify is read-only: the bad entry is still there
+        let (n, _) = c.entry_stats().unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let c = FuncCache::with_store(Box::new(MemStore::new()));
+        c.insert(&key("a"), &tiny_entry("a")).unwrap();
+        c.insert(&key("b"), &tiny_entry("b")).unwrap();
+        assert_eq!(c.clear().unwrap(), 2);
+        assert_eq!(c.entry_stats().unwrap().0, 0);
+    }
+}

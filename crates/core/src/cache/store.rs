@@ -1,0 +1,251 @@
+//! Cache storage backends.
+//!
+//! [`Storage`] is the seam between cache policy (keying, eviction, staleness
+//! handling — all in [`super::FuncCache`]) and byte persistence. The default
+//! backend is [`FileStore`], a two-level sharded directory of entry files;
+//! the trait is deliberately tiny (load/store/remove/list over opaque byte
+//! blobs) so an SQLite or remote backend can slot in later without touching
+//! any cache logic.
+
+use super::key::CacheKey;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::SystemTime;
+
+/// One entry as seen by [`Storage::list`]: enough for eviction ordering and
+/// `cache stats` without decoding payloads.
+#[derive(Debug, Clone, Copy)]
+pub struct EntryMeta {
+    /// The entry's content hash.
+    pub key: CacheKey,
+    /// Stored size in bytes.
+    pub size: u64,
+    /// Last-modified time (write time for the file backend).
+    pub modified: SystemTime,
+}
+
+/// A byte-blob store addressed by [`CacheKey`].
+pub trait Storage: Send + Sync {
+    /// Reads an entry, `None` if absent.
+    fn load(&self, key: &CacheKey) -> io::Result<Option<Vec<u8>>>;
+    /// Writes (or replaces) an entry atomically.
+    fn store(&self, key: &CacheKey, bytes: &[u8]) -> io::Result<()>;
+    /// Deletes an entry; absent entries are not an error.
+    fn remove(&self, key: &CacheKey) -> io::Result<()>;
+    /// Enumerates every entry. Order is unspecified — callers sort.
+    fn list(&self) -> io::Result<Vec<EntryMeta>>;
+}
+
+/// On-disk store: `root/<first 2 hex chars>/<32 hex chars>.spcc`.
+///
+/// Sharding by the key's first byte keeps directories small on large
+/// caches; writes go through a temp file + rename so a concurrent reader
+/// (or a crash) can never observe a half-written entry — at worst it sees
+/// the old bytes or nothing.
+#[derive(Debug)]
+pub struct FileStore {
+    root: PathBuf,
+}
+
+const ENTRY_EXT: &str = "spcc";
+
+impl FileStore {
+    /// A store rooted at `root`. The directory is created lazily on first
+    /// write, so opening a cache never dirties the filesystem.
+    pub fn new(root: impl Into<PathBuf>) -> FileStore {
+        FileStore { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path(&self, key: &CacheKey) -> PathBuf {
+        let hex = key.hex();
+        self.root.join(&hex[..2]).join(format!("{hex}.{ENTRY_EXT}"))
+    }
+}
+
+impl Storage for FileStore {
+    fn load(&self, key: &CacheKey) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.path(key)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn store(&self, key: &CacheKey, bytes: &[u8]) -> io::Result<()> {
+        let path = self.path(key);
+        let dir = path.parent().expect("sharded path has a parent");
+        std::fs::create_dir_all(dir)?;
+        let tmp = dir.join(format!(".tmp-{}-{}", key.hex(), std::process::id()));
+        std::fs::write(&tmp, bytes)?;
+        match std::fs::rename(&tmp, &path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    fn remove(&self, key: &CacheKey) -> io::Result<()> {
+        match std::fs::remove_file(self.path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn list(&self) -> io::Result<Vec<EntryMeta>> {
+        let mut out = Vec::new();
+        let shards = match std::fs::read_dir(&self.root) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for shard in shards {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(shard.path())? {
+                let entry = entry?;
+                let path = entry.path();
+                if path.extension().and_then(|e| e.to_str()) != Some(ENTRY_EXT) {
+                    continue;
+                }
+                let Some(key) = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(CacheKey::from_hex)
+                else {
+                    continue;
+                };
+                let md = entry.metadata()?;
+                out.push(EntryMeta {
+                    key,
+                    size: md.len(),
+                    modified: md.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// In-memory store for unit tests and ephemeral (single-process) caches.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    entries: Mutex<HashMap<[u8; 16], MemEntry>>,
+}
+
+/// One in-memory entry: payload bytes plus their write timestamp.
+type MemEntry = (Vec<u8>, SystemTime);
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+}
+
+impl Storage for MemStore {
+    fn load(&self, key: &CacheKey) -> io::Result<Option<Vec<u8>>> {
+        Ok(self
+            .entries
+            .lock()
+            .unwrap()
+            .get(&key.0)
+            .map(|(b, _)| b.clone()))
+    }
+
+    fn store(&self, key: &CacheKey, bytes: &[u8]) -> io::Result<()> {
+        self.entries
+            .lock()
+            .unwrap()
+            .insert(key.0, (bytes.to_vec(), SystemTime::now()));
+        Ok(())
+    }
+
+    fn remove(&self, key: &CacheKey) -> io::Result<()> {
+        self.entries.lock().unwrap().remove(&key.0);
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<EntryMeta>> {
+        Ok(self
+            .entries
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, (b, t))| EntryMeta {
+                key: CacheKey(*k),
+                size: b.len() as u64,
+                modified: *t,
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::key::StableHasher;
+
+    fn key(label: &str) -> CacheKey {
+        let mut h = StableHasher::new();
+        h.write_str(label);
+        h.finish()
+    }
+
+    fn exercise(store: &dyn Storage) {
+        let k = key("a");
+        assert_eq!(store.load(&k).unwrap(), None);
+        store.store(&k, b"hello").unwrap();
+        assert_eq!(store.load(&k).unwrap().as_deref(), Some(&b"hello"[..]));
+        // overwrite is a replace
+        store.store(&k, b"world").unwrap();
+        assert_eq!(store.load(&k).unwrap().as_deref(), Some(&b"world"[..]));
+        store.store(&key("b"), b"x").unwrap();
+        let mut listed = store.list().unwrap();
+        listed.sort_by_key(|m| m.key);
+        assert_eq!(listed.len(), 2);
+        assert!(listed.iter().any(|m| m.key == k && m.size == 5));
+        store.remove(&k).unwrap();
+        store.remove(&k).unwrap(); // idempotent
+        assert_eq!(store.load(&k).unwrap(), None);
+        assert_eq!(store.list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn mem_store_contract() {
+        exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn file_store_contract() {
+        let dir =
+            std::env::temp_dir().join(format!("specframe-filestore-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::new(&dir);
+        // listing a store that was never written to is empty, not an error
+        assert!(store.list().unwrap().is_empty());
+        exercise(&store);
+        // no stray temp files left behind
+        for shard in std::fs::read_dir(&dir).unwrap() {
+            for f in std::fs::read_dir(shard.unwrap().path()).unwrap() {
+                let name = f.unwrap().file_name();
+                assert!(
+                    !name.to_string_lossy().starts_with(".tmp-"),
+                    "leftover temp file {name:?}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

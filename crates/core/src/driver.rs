@@ -19,6 +19,7 @@
 //! | heuristic rules     | `Heuristic`   | `Static`       |
 //! | potential estimate  | `Aggressive`  | `Off`          |
 
+use crate::cache::{self, CacheOutcome, CacheStats, CachedFunc, FuncCache, Probe};
 use crate::error::{panic_message, with_quiet_panics, CompileDiag, CompileError};
 use crate::passes::{Pass, PassDump, PassSet, PipelineHooks};
 use crate::ssapre::{ssapre_function, SpecPolicy};
@@ -26,7 +27,7 @@ use crate::stats::{OptStats, PassTimings};
 use crate::strength::strength_reduce_hssa;
 use specframe_alias::AliasAnalysis;
 use specframe_analysis::{
-    dom_compute_count, estimate_profile_with, split_critical_edges, EdgeProfile, FuncAnalyses,
+    dom_compute_count, estimate_function_with, split_critical_edges, EdgeProfile, FuncAnalyses,
 };
 use specframe_hssa::{
     build_hssa_with, lower_function, print_hssa_in, refine_function_in, resolve_fresh_sites,
@@ -133,8 +134,18 @@ pub struct OptReport {
     /// Per-pass wall clock (varies run to run).
     pub timings: PassTimings,
     /// One warning per function that was recompiled non-speculatively
-    /// after its speculative compilation failed (function index order).
+    /// after its speculative compilation failed (function index order),
+    /// preceded by one `"cache"` warning per stale entry encountered.
     pub warnings: Vec<CompileDiag>,
+    /// Compile-cache counters for this run; all-zero when no cache was
+    /// attached. Deliberately not part of [`OptStats`]: cached and
+    /// uncached runs must report identical transformation counters while
+    /// reporting different cache counters.
+    pub cache: CacheStats,
+    /// Per-function cache outcome in function-index order; empty when no
+    /// cache was attached. The compile service's per-function status lines
+    /// read these.
+    pub cache_outcomes: Vec<CacheOutcome>,
 }
 
 /// Runs the full speculative optimization pipeline over `m` with the
@@ -203,6 +214,33 @@ pub fn try_optimize_with_hooks(
     cfg: &PipelineConfig,
     hooks: &PipelineHooks,
 ) -> Result<(OptReport, Vec<PassDump>), CompileError> {
+    try_optimize_cached(m, opts, cfg, hooks, None)
+}
+
+/// [`try_optimize_with_hooks`] over a persistent per-function compile
+/// cache.
+///
+/// Before the fan-out, every function's content hash (body + config +
+/// alias-analysis slice + profile slices — see [`crate::cache::key`]) is
+/// probed serially. Hits replay their stored lowering, stats, and dumps
+/// and never occupy a worker slot; only misses (and stale entries, which
+/// degrade with a `"cache"` diagnostic on the report) enter the chunked
+/// claim loop. Clean misses are written back at the deterministic join,
+/// *before* fresh-site renumbering, so an entry replays identically into
+/// any module. Cached and uncached compiles are byte-identical at every
+/// job count; cache counters land on [`OptReport::cache`], never on
+/// [`OptStats`].
+///
+/// # Errors
+/// A [`CompileError`] naming the function and stage that failed. Cache
+/// I/O failures are never errors — they degrade to fresh compiles.
+pub fn try_optimize_cached(
+    m: &mut Module,
+    opts: &OptOptions<'_>,
+    cfg: &PipelineConfig,
+    hooks: &PipelineHooks,
+    fcache: Option<&FuncCache>,
+) -> Result<(OptReport, Vec<PassDump>), CompileError> {
     let total0 = Instant::now();
     let dom0 = dom_compute_count();
     prepare_module(m);
@@ -212,11 +250,112 @@ pub fn try_optimize_with_hooks(
     let aa = AliasAnalysis::analyze(m);
     timings.alias = t0.elapsed();
 
+    // Fault injection makes a compile run-specific (the injected failure
+    // and its recovery must actually happen); replaying such a result —
+    // or caching it — would defeat the test hooks, so they turn the cache
+    // off wholesale.
+    let fcache = fcache.filter(|_| {
+        hooks.inject_spec_fail.is_none()
+            && hooks.inject_fallback_fail.is_none()
+            && hooks.inject_corrupt.is_none()
+    });
+
+    let nfuncs = m.funcs.len();
+    let mut cache_stats = CacheStats::default();
+    let mut cache_outcomes: Vec<CacheOutcome> = Vec::new();
+    // stale-entry diagnostics are module-level (the *recompile* itself is
+    // clean and write-back eligible), so they are collected apart from the
+    // per-function fallback warnings and prepended to the report
+    let mut cache_warnings: Vec<CompileDiag> = Vec::new();
+    let mut keys: Vec<cache::CacheKey> = Vec::new();
+    let mut cached: Vec<Option<Box<CachedFunc>>> = Vec::new();
+    cached.resize_with(nfuncs, || None);
+    if let Some(c) = fcache {
+        let t0 = Instant::now();
+        let ctx = cache::KeyContext::new(m, &aa, opts, hooks);
+        // key derivation and entry decode are independent per function, so
+        // probing fans out over the worker pool like compilation does; the
+        // outcomes are folded back in index order below, keeping counters,
+        // warnings and write-back decisions deterministic.
+        let pjobs = cfg.resolved_jobs().min(nfuncs.max(1));
+        let mut probes: Vec<Option<(cache::CacheKey, Probe)>> = Vec::new();
+        probes.resize_with(nfuncs, || None);
+        if pjobs <= 1 {
+            for (fi, slot) in probes.iter_mut().enumerate() {
+                let key = ctx.function_key(fi);
+                let probe = c.probe(&key);
+                *slot = Some((key, probe));
+            }
+        } else {
+            let chunk = (nfuncs / (pjobs * 8)).clamp(1, 32);
+            let next = std::sync::atomic::AtomicUsize::new(0);
+            let out: Mutex<Vec<Option<(cache::CacheKey, Probe)>>> =
+                Mutex::new(std::mem::take(&mut probes));
+            let ctx = &ctx;
+            let worker = || {
+                let mut local: Vec<(usize, cache::CacheKey, Probe)> = Vec::new();
+                loop {
+                    let lo = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                    if lo >= nfuncs {
+                        break;
+                    }
+                    for fi in lo..(lo + chunk).min(nfuncs) {
+                        let key = ctx.function_key(fi);
+                        let probe = c.probe(&key);
+                        local.push((fi, key, probe));
+                    }
+                }
+                let mut out = out.lock().unwrap();
+                for (fi, key, probe) in local {
+                    out[fi] = Some((key, probe));
+                }
+            };
+            std::thread::scope(|s| {
+                for _ in 1..pjobs {
+                    s.spawn(worker);
+                }
+                worker();
+            });
+            probes = out.into_inner().unwrap();
+        }
+        for (fi, slot) in probes.into_iter().enumerate() {
+            let (key, probe) = slot.expect("every function probed");
+            match probe {
+                Probe::Hit(cf) => {
+                    cache_stats.hits += 1;
+                    cache_outcomes.push(CacheOutcome::Hit);
+                    cached[fi] = Some(cf);
+                }
+                Probe::Miss => {
+                    cache_stats.misses += 1;
+                    cache_outcomes.push(CacheOutcome::Miss);
+                }
+                Probe::Stale(why) => {
+                    cache_stats.stale += 1;
+                    cache_outcomes.push(CacheOutcome::Stale);
+                    cache_warnings.push(CompileDiag {
+                        function: m.funcs[fi].name.clone(),
+                        pass: "cache".into(),
+                        message: format!("stale cache entry ({why}); recompiled from source"),
+                    });
+                }
+            }
+            keys.push(key);
+        }
+        timings.cache += t0.elapsed();
+    }
+
     // CFG analyses once per function, up front: every later pass only
     // rewrites instructions (never the CFG — critical edges were split
-    // above), so the cache stays valid through the whole fan-out.
+    // above), so the cache stays valid through the whole fan-out. Cache
+    // hits skip the pipeline entirely and need no analyses.
     let t0 = Instant::now();
-    let fas: Vec<FuncAnalyses> = m.funcs.iter().map(FuncAnalyses::compute).collect();
+    let fas: Vec<Option<FuncAnalyses>> = m
+        .funcs
+        .iter()
+        .enumerate()
+        .map(|(fi, f)| cached[fi].is_none().then(|| FuncAnalyses::compute(f)))
+        .collect();
     timings.analyses = t0.elapsed();
 
     let estimated;
@@ -224,7 +363,15 @@ pub fn try_optimize_with_hooks(
         ControlSpec::Off => None,
         ControlSpec::Profile(p) => Some(p),
         ControlSpec::Static => {
-            estimated = estimate_profile_with(m, &fas);
+            // estimate only the functions that will actually compile; the
+            // estimator is per-function, so hits don't change miss keys
+            let mut p = EdgeProfile::new();
+            for (fi, (f, fa)) in m.funcs.iter().zip(&fas).enumerate() {
+                if let Some(fa) = fa {
+                    estimate_function_with(&mut p, FuncId::from_index(fi), f, fa);
+                }
+            }
+            estimated = p;
             Some(&estimated)
         }
     };
@@ -239,7 +386,9 @@ pub fn try_optimize_with_hooks(
         .map(|f| (f.params, f.ret_ty.is_some()))
         .collect();
     let layout = layout_globals(&m.globals);
-    let jobs = cfg.resolved_jobs().min(m.funcs.len().max(1));
+    // only misses occupy worker slots; hits are spliced in at the join
+    let miss: Vec<usize> = (0..nfuncs).filter(|&fi| cached[fi].is_none()).collect();
+    let jobs = cfg.resolved_jobs().min(miss.len().max(1));
     let funcs = std::mem::take(&mut m.funcs);
     let shared = Shared {
         globals: &m.globals,
@@ -251,22 +400,26 @@ pub fn try_optimize_with_hooks(
         control_profile,
         hooks,
     };
+    let fa_of = |fi: usize| fas[fi].as_ref().expect("analyses computed for every miss");
 
     let mut results: Vec<Option<Result<FuncResult, CompileError>>> = if jobs <= 1 {
         funcs
             .into_iter()
             .enumerate()
-            .map(|(fi, f)| Some(process_function(&shared, f, fi, &fas[fi])))
+            .map(|(fi, f)| match cached[fi].take() {
+                Some(cf) => Some(Ok(FuncResult::from_cached(*cf))),
+                None => Some(process_function(&shared, f, fi, fa_of(fi))),
+            })
             .collect()
     } else {
-        // chunked work claiming: workers grab CHUNK function indices per
-        // atomic fetch_add instead of popping one job from a global locked
-        // queue, and each input slot has its own (uncontended) mutex — the
-        // per-function synchronization cost is one futex fast path, not a
-        // fight over one queue lock. Results accumulate worker-locally and
-        // merge under the output lock once per worker.
-        let nfuncs = funcs.len();
-        let chunk = (nfuncs / (jobs * 8)).clamp(1, 32);
+        // chunked work claiming: workers grab CHUNK *miss-list* positions
+        // per atomic fetch_add instead of popping one job from a global
+        // locked queue, and each input slot has its own (uncontended)
+        // mutex — the per-function synchronization cost is one futex fast
+        // path, not a fight over one queue lock. Results accumulate
+        // worker-locally and merge under the output lock once per worker.
+        let nmiss = miss.len();
+        let chunk = (nmiss / (jobs * 8)).clamp(1, 32);
         let slots: Vec<Mutex<Option<Function>>> =
             funcs.into_iter().map(|f| Mutex::new(Some(f))).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -275,16 +428,17 @@ pub fn try_optimize_with_hooks(
             v.resize_with(nfuncs, || None);
             Mutex::new(v)
         };
+        let miss = &miss;
         let worker = || {
             let mut local: Vec<(usize, Result<FuncResult, CompileError>)> = Vec::new();
             loop {
                 let lo = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
-                if lo >= nfuncs {
+                if lo >= nmiss {
                     break;
                 }
-                for fi in lo..(lo + chunk).min(nfuncs) {
+                for &fi in &miss[lo..(lo + chunk).min(nmiss)] {
                     let f = slots[fi].lock().unwrap().take().expect("slot claimed once");
-                    local.push((fi, process_function(&shared, f, fi, &fas[fi])));
+                    local.push((fi, process_function(&shared, f, fi, fa_of(fi))));
                 }
             }
             let mut out = out.lock().unwrap();
@@ -301,20 +455,45 @@ pub fn try_optimize_with_hooks(
             }
             worker();
         });
-        out.into_inner().unwrap()
+        let mut results = out.into_inner().unwrap();
+        for (fi, slot) in cached.iter_mut().enumerate() {
+            if let Some(cf) = slot.take() {
+                results[fi] = Some(Ok(FuncResult::from_cached(*cf)));
+            }
+        }
+        results
     };
 
     // deterministic join: splice lowered functions back in index order and
     // renumber fresh memory sites serially, reproducing serial numbering;
     // per-function dumps and warnings are concatenated in the same order.
     // An unrecoverable per-function failure surfaces here — the lowest
-    // function index wins, independent of worker scheduling.
+    // function index wins, independent of worker scheduling. Clean misses
+    // are written back here, encoded *before* renumbering so the stored
+    // placeholders replay into any module.
     let mut stats = OptStats::default();
-    let mut warnings: Vec<CompileDiag> = Vec::new();
+    let mut warnings: Vec<CompileDiag> = cache_warnings;
     let mut dumps: Vec<PassDump> = Vec::new();
     m.funcs = Vec::with_capacity(results.len());
-    for slot in results.iter_mut() {
+    for (fi, slot) in results.iter_mut().enumerate() {
         let mut r = slot.take().expect("every function processed")?;
+        let write_back = match fcache {
+            Some(_)
+                if matches!(
+                    cache_outcomes.get(fi),
+                    Some(CacheOutcome::Miss | CacheOutcome::Stale)
+                ) && r.warnings.is_empty() =>
+            {
+                // a function that needed the degradation ladder is not
+                // cached: its result encodes a recovery, not the plain
+                // compile the key describes
+                let t0 = Instant::now();
+                let bytes = cache::encode_entry(&r.f, r.fresh_sites, &r.stats, &r.dumps);
+                timings.cache += t0.elapsed();
+                Some(bytes)
+            }
+            _ => None,
+        };
         let first = MemSiteId(m.next_mem_site);
         m.next_mem_site += r.fresh_sites;
         resolve_fresh_sites(&mut r.f, first);
@@ -330,6 +509,18 @@ pub fn try_optimize_with_hooks(
                 func: r.f.name.clone(),
                 text,
             });
+        }
+        if let (Some(c), Some(bytes)) = (fcache, write_back) {
+            let t0 = Instant::now();
+            match c.insert(&keys[fi], &bytes) {
+                Ok(evicted) => cache_stats.evicts += evicted,
+                Err(e) => warnings.push(CompileDiag {
+                    function: r.f.name.clone(),
+                    pass: "cache".into(),
+                    message: format!("cache write failed ({e}); result not cached"),
+                }),
+            }
+            timings.cache += t0.elapsed();
         }
         m.funcs.push(r.f);
     }
@@ -351,6 +542,8 @@ pub fn try_optimize_with_hooks(
             stats,
             timings,
             warnings,
+            cache: cache_stats,
+            cache_outcomes,
         },
         dumps,
     ))
@@ -368,6 +561,22 @@ struct FuncResult {
     dumps: Vec<PassDump>,
     /// Degradation diagnostics (non-speculative fallback taken).
     warnings: Vec<CompileDiag>,
+}
+
+impl FuncResult {
+    /// A result replayed from a cache entry: stored lowering, stats and
+    /// dumps, zero timings (nothing ran), no warnings (only clean compiles
+    /// are written back).
+    fn from_cached(cf: CachedFunc) -> FuncResult {
+        FuncResult {
+            f: cf.func,
+            stats: cf.stats,
+            timings: PassTimings::default(),
+            fresh_sites: cf.fresh_sites,
+            dumps: cf.dumps,
+            warnings: Vec::new(),
+        }
+    }
 }
 
 /// Read-only state shared by every per-function worker.

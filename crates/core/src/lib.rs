@@ -26,6 +26,7 @@
 //! strength reduction → out-of-SSA) over a module and reports
 //! [`stats::OptStats`].
 
+pub mod cache;
 pub mod driver;
 pub mod error;
 pub mod expr;
@@ -38,9 +39,10 @@ pub mod stats;
 pub mod storeprom;
 pub mod strength;
 
+pub use cache::{CacheKey, CacheOutcome, CacheStats, FuncCache, KeyContext, Storage};
 pub use driver::{
-    optimize, optimize_with, optimize_with_hooks, prepare_module, try_optimize_with_hooks,
-    ControlSpec, OptOptions, OptReport, PipelineConfig, SpecSource,
+    optimize, optimize_with, optimize_with_hooks, prepare_module, try_optimize_cached,
+    try_optimize_with_hooks, ControlSpec, OptOptions, OptReport, PipelineConfig, SpecSource,
 };
 pub use error::{CompileDiag, CompileError};
 pub use expr::ExprKey;

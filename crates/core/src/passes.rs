@@ -208,7 +208,7 @@ impl PipelineHooks {
 }
 
 /// One per-function snapshot taken after a stage ran.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PassDump {
     /// The stage the snapshot was taken after.
     pub pass: Pass,

@@ -111,6 +111,9 @@ pub struct PassTimings {
     pub lower: std::time::Duration,
     /// Final whole-module IR verification.
     pub module_verify: std::time::Duration,
+    /// Compile-cache overhead: key derivation, entry probes/decodes and
+    /// write-back encodes. Zero when no cache is attached.
+    pub cache: std::time::Duration,
     /// Whole `optimize` call, wall clock.
     pub total: std::time::Duration,
     /// `DomTree::compute` invocations attributed to this run.
@@ -133,12 +136,13 @@ impl PassTimings {
         self.audit += other.audit;
         self.lower += other.lower;
         self.module_verify += other.module_verify;
+        self.cache += other.cache;
         self.total += other.total;
         self.dom_computes += other.dom_computes;
     }
 
     /// The per-pass rows in pipeline order, as `(name, duration)`.
-    pub fn rows(&self) -> [(&'static str, std::time::Duration); 13] {
+    pub fn rows(&self) -> [(&'static str, std::time::Duration); 14] {
         [
             ("alias", self.alias),
             ("analyses", self.analyses),
@@ -153,6 +157,7 @@ impl PassTimings {
             ("audit", self.audit),
             ("lower", self.lower),
             ("module-verify", self.module_verify),
+            ("cache", self.cache),
         ]
     }
 
@@ -238,6 +243,7 @@ mod tests {
             "audit",
             "lower",
             "module-verify",
+            "cache",
             "total",
             "dom computes",
         ] {

@@ -5,7 +5,7 @@ use crate::inst::{Inst, Terminator};
 use crate::types::{Ty, Value};
 
 /// A basic block: straight-line instructions plus one terminator.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Block {
     /// Human-readable label (unique within the function).
     pub name: String,
@@ -27,7 +27,7 @@ impl Block {
 }
 
 /// A register declaration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct VarDecl {
     /// Human-readable name (unique within the function).
     pub name: String,
@@ -39,7 +39,7 @@ pub struct VarDecl {
 ///
 /// Slots are the IR encoding of address-taken locals and local
 /// arrays/structs — the "real variables" that participate in χ/μ aliasing.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SlotDecl {
     /// Human-readable name (unique within the function).
     pub name: String,
@@ -50,7 +50,7 @@ pub struct SlotDecl {
 }
 
 /// A function definition.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Function {
     /// Function name (unique within the module).
     pub name: String,

@@ -10,6 +10,8 @@
 //!                    (the authoring aid: pick lines to pin from this)
 //!   --verify-each    run every case with pass-boundary verification on
 //!   --audit-spec     run every case with the speculation auditor on
+//!   --cache-dir DIR  route every RUN through a persistent compile cache
+//!                    (cached-path parity: output must not change)
 //!   -q, --quiet      only print failures and the summary
 //! ```
 //!
@@ -43,11 +45,16 @@ fn parse_cli() -> Result<Cli, String> {
             "--dump" => cli.dump = Some(PathBuf::from(args.next().ok_or("--dump needs a value")?)),
             "--verify-each" => cli.overrides.verify_each = true,
             "--audit-spec" => cli.overrides.audit_spec = true,
+            "--cache-dir" => {
+                cli.overrides.cache_dir = Some(PathBuf::from(
+                    args.next().ok_or("--cache-dir needs a value")?,
+                ))
+            }
             "-q" | "--quiet" => cli.quiet = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: spectest [PATHS...] [--filter SUBSTR] [--dump FILE] \
-                            [--verify-each] [--audit-spec] [-q]"
+                            [--verify-each] [--audit-spec] [--cache-dir DIR] [-q]"
                         .into(),
                 )
             }
@@ -84,7 +91,7 @@ fn real_main() -> Result<bool, String> {
 
     let mut failures = 0usize;
     for path in &files {
-        match runner::run_case_with(path, cli.overrides) {
+        match runner::run_case_with(path, cli.overrides.clone()) {
             runner::CaseOutcome::Pass => {
                 if !cli.quiet {
                     println!("PASS {}", path.display());

@@ -256,12 +256,17 @@ pub enum CaseOutcome {
 /// golden suite can be re-run with pass-boundary verification and the
 /// speculation-safety auditor enabled — any golden whose output changes
 /// under them exposes a pipeline invariant violation.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RunOverrides {
     /// Force [`PipelineHooks::verify_each`] on every RUN.
     pub verify_each: bool,
     /// Force [`PipelineHooks::audit_spec`] on every RUN.
     pub audit_spec: bool,
+    /// Route every RUN through a persistent compile cache
+    /// (`spectest --cache-dir`): the cached-path parity harness — the
+    /// whole golden suite must produce identical output with caching on,
+    /// cold or warm.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 /// Runs one golden test file from disk.
@@ -282,6 +287,9 @@ pub fn run_case_with(path: &Path, ov: RunOverrides) -> CaseOutcome {
     for rs in &mut case.runs {
         rs.req.hooks.verify_each |= ov.verify_each;
         rs.req.hooks.audit_spec |= ov.audit_spec;
+        if rs.req.cache_dir.is_none() {
+            rs.req.cache_dir = ov.cache_dir.clone();
+        }
     }
     if case.directives.is_empty() {
         return CaseOutcome::Fail("no CHECK directives".into());

@@ -56,6 +56,26 @@
 //!   --inject-corrupt FUNC:PASS
 //!                         corrupt FUNC's HSSA right after PASS, exercising
 //!                         --verify-each and the per-pass rollback rung
+//!   --cache-dir DIR       persistent per-function compile cache (also via
+//!                         SPECFRAME_CACHE_DIR; the flag wins). Hits replay
+//!                         stored lowerings byte-identically; stale or
+//!                         corrupt entries degrade to a fresh compile with
+//!                         a warning
+//!   --serve               compile service: read requests from stdin
+//!                         (`compile PATH [-o OUT]`, `mega SEED[:FUNCS]
+//!                         [-o OUT]`, `stats`, `quit`), answer one status
+//!                         line per request on stdout
+//!   --serve-queue DIR     drain every *.req file in DIR (sorted), writing
+//!                         <stem>.resp beside each, then exit
+//!   --verbose             with --serve: per-function `fn NAME outcome`
+//!                         lines before each `ok` response
+//!
+//! Cache maintenance subcommands (need a cache directory):
+//!
+//!   specc cache stats  --cache-dir DIR   entry count and total bytes
+//!   specc cache clear  --cache-dir DIR   remove every entry
+//!   specc cache verify --cache-dir DIR   decode every entry; exit 2 and
+//!                                        list offenders if any fail
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage/IO error, 2 input parse or verification
@@ -75,6 +95,8 @@ use std::process::ExitCode;
 
 struct Cli {
     input: String,
+    /// `specc cache <action>` maintenance mode.
+    cache_cmd: Option<String>,
     mega: Option<(u64, usize)>,
     entry: String,
     args: Vec<Value>,
@@ -104,6 +126,10 @@ struct Cli {
     audit_spec: bool,
     reduce: bool,
     fuel: u64,
+    cache_dir: Option<std::path::PathBuf>,
+    serve: bool,
+    serve_queue: Option<std::path::PathBuf>,
+    verbose: bool,
 }
 
 fn parse_values(s: &str) -> Result<Vec<Value>, String> {
@@ -130,6 +156,7 @@ fn parse_cli() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
     let mut cli = Cli {
         input: String::new(),
+        cache_cmd: None,
         mega: None,
         entry: "main".into(),
         args: Vec::new(),
@@ -159,6 +186,10 @@ fn parse_cli() -> Result<Cli, String> {
         audit_spec: false,
         reduce: false,
         fuel: 100_000_000,
+        cache_dir: None,
+        serve: false,
+        serve_queue: None,
+        verbose: false,
     };
     let mut train_set = false;
     while let Some(a) = args.next() {
@@ -243,6 +274,14 @@ fn parse_cli() -> Result<Cli, String> {
             "--verify-each" => cli.verify_each = true,
             "--audit-spec" => cli.audit_spec = true,
             "--reduce" => cli.reduce = true,
+            "--cache-dir" => {
+                cli.cache_dir = Some(args.next().ok_or("--cache-dir needs a value")?.into())
+            }
+            "--serve" => cli.serve = true,
+            "--serve-queue" => {
+                cli.serve_queue = Some(args.next().ok_or("--serve-queue needs a value")?.into())
+            }
+            "--verbose" => cli.verbose = true,
             "--fuel" => {
                 cli.fuel = args
                     .next()
@@ -261,7 +300,10 @@ fn parse_cli() -> Result<Cli, String> {
                             [--dump-after refine|hssa|ssapre|strength|lftr|storeprom|lower[,..]]\n\
                             [--stop-after PASS] [--verify-each] [--audit-spec] [--reduce] \
                             [--inject-spec-fail FUNC] [--inject-fallback-fail FUNC] \
-                            [--inject-corrupt FUNC:PASS]\n\
+                            [--inject-corrupt FUNC:PASS] [--cache-dir DIR] \
+                            [--serve] [--serve-queue DIR] [--verbose]\n\
+                            cache maintenance: specc cache stats|clear|verify \
+                            --cache-dir DIR\n\
                             --fault-policy: default | geom:E:W | always-miss | \
                             forced-miss | random:SEED[:DENOM] | flash-clear[:PERIOD]\n\
                             --jobs 0 (the default) auto-detects: the \
@@ -272,8 +314,48 @@ fn parse_cli() -> Result<Cli, String> {
             other if !other.starts_with('-') && cli.input.is_empty() => {
                 cli.input = other.to_string()
             }
+            // `specc cache stats|clear|verify`: the action is the second
+            // positional
+            other if !other.starts_with('-') && cli.input == "cache" && cli.cache_cmd.is_none() => {
+                cli.cache_cmd = Some(other.to_string())
+            }
             other => return Err(format!("unknown option `{other}` (try --help)")),
         }
+    }
+    // the flag wins over the environment
+    if cli.cache_dir.is_none() {
+        if let Ok(dir) = std::env::var("SPECFRAME_CACHE_DIR") {
+            if !dir.is_empty() {
+                cli.cache_dir = Some(dir.into());
+            }
+        }
+    }
+    if cli.input == "cache" {
+        match cli.cache_cmd.as_deref() {
+            Some("stats" | "clear" | "verify") => {}
+            Some(other) => {
+                return Err(format!(
+                    "unknown cache action `{other}` (stats, clear or verify)"
+                ))
+            }
+            None => return Err("`specc cache` needs an action: stats, clear or verify".into()),
+        }
+        if cli.cache_dir.is_none() {
+            return Err("`specc cache` needs --cache-dir DIR (or SPECFRAME_CACHE_DIR)".into());
+        }
+        return Ok(cli);
+    }
+    if cli.serve && cli.serve_queue.is_some() {
+        return Err("--serve and --serve-queue are mutually exclusive".into());
+    }
+    if cli.serve || cli.serve_queue.is_some() {
+        if !cli.input.is_empty() || cli.mega.is_some() {
+            return Err("serve mode reads requests; drop the input file / --mega".into());
+        }
+        if cli.run || cli.sim || cli.reduce {
+            return Err("serve mode is compile-only (no --run/--sim/--reduce)".into());
+        }
+        return Ok(cli);
     }
     if cli.mega.is_some() {
         if !cli.input.is_empty() {
@@ -310,6 +392,12 @@ fn usage(msg: String) -> CompileFailure {
 
 fn real_main() -> Result<(), CompileFailure> {
     let cli = parse_cli().map_err(usage)?;
+    if cli.cache_cmd.is_some() {
+        return run_cache_cmd(&cli);
+    }
+    if cli.serve || cli.serve_queue.is_some() {
+        return run_serve(&cli);
+    }
     // validate policy specs before doing any work
     for p in &cli.fault_policies {
         specframe::machine::parse_fault_policy(p).map_err(usage)?;
@@ -413,6 +501,7 @@ fn real_main() -> Result<(), CompileFailure> {
         },
         fuel: cli.fuel,
         alias_profile,
+        cache_dir: cli.cache_dir.clone(),
     };
     // keep the input around so a failure can be shrunk to a minimal repro
     let input_for_reduce = cli.reduce.then(|| m.clone());
@@ -433,6 +522,13 @@ fn real_main() -> Result<(), CompileFailure> {
     let report = &out.report;
     if cli.stats {
         eprintln!("optimizer: {:?}", report.stats);
+    }
+    if cli.cache_dir.is_some() && (cli.stats || cli.time_passes) {
+        let c = report.cache;
+        eprintln!(
+            "cache: {} hits, {} misses, {} stale, {} evicts",
+            c.hits, c.misses, c.stale, c.evicts
+        );
     }
     if cli.time_passes {
         eprint!("{}", report.timings.report());
@@ -521,6 +617,109 @@ fn real_main() -> Result<(), CompileFailure> {
     if !cli.run && !cli.sim || cli.out.is_some() {
         emit(&cli, &specframe::ir::display::print_module(&m)).map_err(usage)?;
     }
+    Ok(())
+}
+
+/// `specc cache stats|clear|verify`: cache maintenance over the directory
+/// named by `--cache-dir` / `SPECFRAME_CACHE_DIR`. `verify` exits 2 when
+/// any entry fails to decode — same family as input verification errors.
+fn run_cache_cmd(cli: &Cli) -> Result<(), CompileFailure> {
+    let dir = cli.cache_dir.as_ref().unwrap();
+    let cache = specframe::core::FuncCache::open(dir);
+    let io_err = |e: std::io::Error| usage(format!("cache dir {}: {e}", dir.display()));
+    match cli.cache_cmd.as_deref().unwrap() {
+        "stats" => {
+            let (entries, bytes) = cache.entry_stats().map_err(io_err)?;
+            println!("cache {}: {entries} entries, {bytes} bytes", dir.display());
+        }
+        "clear" => {
+            let removed = cache.clear().map_err(io_err)?;
+            println!("cache {}: removed {removed} entries", dir.display());
+        }
+        _ => {
+            let report = cache.verify().map_err(io_err)?;
+            for (key, why) in &report.bad {
+                println!("bad  {} {why}", key.hex());
+            }
+            println!(
+                "cache {}: {} ok, {} bad, {} bytes",
+                dir.display(),
+                report.ok,
+                report.bad.len(),
+                report.bytes
+            );
+            if !report.bad.is_empty() {
+                return Err(CompileFailure::Parse(format!(
+                    "cache verify: {} undecodable entries",
+                    report.bad.len()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `--serve` / `--serve-queue`: run the compile service with this
+/// invocation's flags as the base request for every served compile.
+fn run_serve(cli: &Cli) -> Result<(), CompileFailure> {
+    let alias_profile = match &cli.alias_profile {
+        Some(path) => Some(
+            std::fs::read_to_string(path).map_err(|e| usage(format!("cannot read {path}: {e}")))?,
+        ),
+        None => None,
+    };
+    // the profile-guided defaults need a training run, which needs entry
+    // arguments; a service session started without --args/--train-args
+    // cannot provide them per request, so degrade to the self-contained
+    // modes (exactly like `--mega` does) instead of failing every compile
+    let mut spec = cli.spec.clone();
+    let mut control = cli.control.clone();
+    if cli.args.is_empty() && cli.train_args.is_empty() {
+        if spec == "profile" {
+            spec = "heuristic".into();
+        }
+        if control == "profile" {
+            control = "static".into();
+        }
+    }
+    let cfg = ServeConfig {
+        base: CompileRequest {
+            entry: cli.entry.clone(),
+            args: cli.args.clone(),
+            train_args: Some(cli.train_args.clone()),
+            spec,
+            control,
+            strength_reduction: cli.sr,
+            lftr: cli.lftr,
+            store_sinking: cli.store_sinking,
+            explain_spec: false,
+            jobs: cli.jobs,
+            hooks: PipelineHooks {
+                dump_after: cli.dump_after,
+                stop_after: cli.stop_after,
+                inject_spec_fail: cli.inject_spec_fail.clone(),
+                inject_fallback_fail: cli.inject_fallback_fail.clone(),
+                verify_each: cli.verify_each,
+                audit_spec: cli.audit_spec,
+                inject_corrupt: cli.inject_corrupt.clone(),
+            },
+            fuel: cli.fuel,
+            alias_profile,
+            cache_dir: cli.cache_dir.clone(),
+        },
+        verbose: cli.verbose,
+    };
+    let served = match &cli.serve_queue {
+        Some(dir) => serve_queue(&cfg, dir)
+            .map_err(|e| usage(format!("serve queue {}: {e}", dir.display())))?,
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_stdin(&cfg, &mut stdin.lock(), &mut stdout.lock())
+                .map_err(|e| usage(format!("serve: {e}")))?
+        }
+    };
+    eprintln!("specc: served {served} requests");
     Ok(())
 }
 

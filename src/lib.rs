@@ -105,6 +105,7 @@ pub use specframe_profile as profile;
 pub use specframe_workloads as workloads;
 
 pub mod pipeline;
+pub mod serve;
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -112,6 +113,7 @@ pub mod prelude {
         compile, compile_module, reduce_failure, simulate_text, CompileFailure, CompileOutput,
         CompileRequest,
     };
+    pub use crate::serve::{serve_queue, serve_stdin, ServeConfig};
     pub use specframe_alias::{AliasAnalysis, Loc};
     pub use specframe_codegen::lower_module;
     pub use specframe_core::{

@@ -15,8 +15,8 @@
 use specframe_alias::AliasAnalysis;
 use specframe_codegen::lower_module;
 use specframe_core::{
-    prepare_module, try_optimize_with_hooks, CompileDiag, CompileError, ControlSpec, OptOptions,
-    OptReport, PassDump, PipelineConfig, PipelineHooks, SpecSource,
+    prepare_module, try_optimize_cached, CompileDiag, CompileError, ControlSpec, FuncCache,
+    OptOptions, OptReport, PassDump, PipelineConfig, PipelineHooks, SpecSource,
 };
 use specframe_hssa::{build_hssa, HOperand, HStmtKind, Likeliness, SiteQuery, SpecMode};
 use specframe_ir::{parse_module, verify_module, FuncId, Module, Value};
@@ -62,6 +62,10 @@ pub struct CompileRequest {
     /// Render the per-site likeliness-oracle decision table
     /// (`--explain-spec`) into [`CompileOutput::explain`].
     pub explain_spec: bool,
+    /// Persistent compile-cache directory (`--cache-dir` /
+    /// `SPECFRAME_CACHE_DIR`). `None` disables caching. Hits replay stored
+    /// lowerings; output stays byte-identical to an uncached compile.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for CompileRequest {
@@ -80,6 +84,7 @@ impl Default for CompileRequest {
             fuel: 100_000_000,
             alias_profile: None,
             explain_spec: false,
+            cache_dir: None,
         }
     }
 }
@@ -263,7 +268,8 @@ pub fn compile_module(
         None
     };
 
-    let (mut report, dumps) = try_optimize_with_hooks(
+    let fcache = req.cache_dir.as_ref().map(FuncCache::open);
+    let (mut report, dumps) = try_optimize_cached(
         &mut m,
         &OptOptions {
             data,
@@ -274,6 +280,7 @@ pub fn compile_module(
         },
         &PipelineConfig { jobs: req.jobs },
         &req.hooks,
+        fcache.as_ref(),
     )?;
     if !pre_warnings.is_empty() {
         pre_warnings.append(&mut report.warnings);

@@ -1,0 +1,335 @@
+//! The `specc --serve` compile service.
+//!
+//! A long-lived `specc` that accepts a stream of module compile requests
+//! and answers with per-function status, backed by the persistent
+//! per-function cache — so a fleet recompiling mostly-unchanged modules
+//! pays only for the diff. Two transports share one request grammar:
+//!
+//! * **stdin** (`--serve`): one request per line on stdin, one response
+//!   block per request on stdout, until `quit`/EOF;
+//! * **queue directory** (`--serve-queue DIR`): every `*.req` file in
+//!   `DIR` (sorted by name) is drained — the first non-empty line is the
+//!   request, the response block is written to `<stem>.resp` via temp
+//!   file + rename, and the `.req` is removed. One drain pass, then exit:
+//!   deterministic for scripting; a fleet loops it.
+//!
+//! Request grammar (tokens are whitespace-separated; blank lines and
+//! `#` comments are skipped):
+//!
+//! ```text
+//! compile PATH [-o OUT]     # compile the module file at PATH
+//! mega SEED[:FUNCS] [-o OUT]# compile the synthetic mega-module
+//! stats                     # report cache entry count and bytes
+//! quit                      # stop serving (stdin transport)
+//! ```
+//!
+//! Responses are single-line, machine-parseable:
+//!
+//! ```text
+//! ok in=<request> funcs=N hits=H misses=M stale=S evicts=E fallbacks=F wall_ms=T
+//! err in=<request> code=C msg=<message, newlines folded>
+//! ```
+//!
+//! With `--verbose`, `fn <name> <hit|miss|stale|compiled>` lines precede
+//! the `ok` line (one per function, module order). The optimized module
+//! text is written to OUT when `-o` is given and is never printed to the
+//! response stream — the protocol stays line-oriented.
+
+use crate::pipeline::{compile_module, CompileFailure, CompileOutput, CompileRequest};
+use specframe_core::FuncCache;
+use specframe_ir::display::print_module;
+use specframe_ir::parse_module;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+use std::time::Instant;
+
+/// Service configuration: the base compile request every module request
+/// starts from (carrying `--spec`, `--jobs`, `--cache-dir`, …) plus the
+/// transport options.
+pub struct ServeConfig {
+    /// Template request; per-request handling clones and adapts it.
+    pub base: CompileRequest,
+    /// Emit per-function `fn <name> <outcome>` status lines.
+    pub verbose: bool,
+}
+
+/// What the caller should do after one request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ServeAction {
+    /// Keep reading requests.
+    Continue,
+    /// Stop serving (`quit`).
+    Quit,
+}
+
+/// Serves requests from `input` until `quit` or EOF. Returns how many
+/// compile requests were handled.
+pub fn serve_stdin(
+    cfg: &ServeConfig,
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+) -> io::Result<usize> {
+    let mut handled = 0;
+    for line in input.lines() {
+        let line = line?;
+        let mut response = String::new();
+        let action = handle_request(cfg, &line, &mut response);
+        out.write_all(response.as_bytes())?;
+        out.flush()?;
+        if !response.is_empty() {
+            handled += 1;
+        }
+        if action == ServeAction::Quit {
+            break;
+        }
+    }
+    Ok(handled)
+}
+
+/// Drains every `*.req` file in `dir` (sorted by file name), writing
+/// `<stem>.resp` next to each and removing the request file. Returns how
+/// many requests were drained.
+pub fn serve_queue(cfg: &ServeConfig, dir: &Path) -> io::Result<usize> {
+    let mut reqs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("req"))
+        .collect();
+    reqs.sort();
+    let mut handled = 0;
+    for req_path in reqs {
+        let text = std::fs::read_to_string(&req_path)?;
+        let line = text
+            .lines()
+            .find(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            .unwrap_or("");
+        let mut response = String::new();
+        // `quit` has no meaning for a one-pass drain; treat it as a no-op
+        let _ = handle_request(cfg, line, &mut response);
+        let resp_path = req_path.with_extension("resp");
+        let tmp = req_path.with_extension("resp.tmp");
+        std::fs::write(&tmp, response)?;
+        std::fs::rename(&tmp, &resp_path)?;
+        std::fs::remove_file(&req_path)?;
+        handled += 1;
+    }
+    Ok(handled)
+}
+
+/// Handles one request line, appending the response block (possibly
+/// empty, for blanks/comments) to `response`.
+pub fn handle_request(cfg: &ServeConfig, line: &str, response: &mut String) -> ServeAction {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let Some(&cmd) = tokens.first() else {
+        return ServeAction::Continue;
+    };
+    if cmd.starts_with('#') {
+        return ServeAction::Continue;
+    }
+    match cmd {
+        "quit" => ServeAction::Quit,
+        "stats" => {
+            match &cfg.base.cache_dir {
+                None => response.push_str("ok in=stats cache=disabled\n"),
+                Some(dir) => match FuncCache::open(dir).entry_stats() {
+                    Ok((n, bytes)) => {
+                        response.push_str(&format!("ok in=stats entries={n} bytes={bytes}\n"))
+                    }
+                    Err(e) => respond_err(response, "stats", 3, &e.to_string()),
+                },
+            }
+            ServeAction::Continue
+        }
+        "compile" | "mega" => {
+            handle_compile(cfg, cmd, &tokens, response);
+            ServeAction::Continue
+        }
+        other => {
+            respond_err(response, other, 1, &format!("unknown request `{other}`"));
+            ServeAction::Continue
+        }
+    }
+}
+
+fn respond_err(response: &mut String, input: &str, code: u8, msg: &str) {
+    let msg = msg.replace('\n', "; ");
+    response.push_str(&format!("err in={input} code={code} msg={msg}\n"));
+}
+
+fn handle_compile(cfg: &ServeConfig, cmd: &str, tokens: &[&str], response: &mut String) {
+    let Some(arg) = tokens.get(1) else {
+        respond_err(response, cmd, 1, &format!("`{cmd}` needs an argument"));
+        return;
+    };
+    let input_label = format!("{cmd}:{arg}");
+    let mut out_path: Option<&str> = None;
+    let mut rest = tokens[2..].iter();
+    while let Some(&t) = rest.next() {
+        match t {
+            "-o" => match rest.next() {
+                Some(&p) => out_path = Some(p),
+                None => {
+                    respond_err(response, &input_label, 1, "-o needs a path");
+                    return;
+                }
+            },
+            other => {
+                respond_err(
+                    response,
+                    &input_label,
+                    1,
+                    &format!("unknown token `{other}`"),
+                );
+                return;
+            }
+        }
+    }
+
+    let t0 = Instant::now();
+    let result = match cmd {
+        "compile" => compile_file(cfg, arg),
+        _ => compile_mega(cfg, arg),
+    };
+    match result {
+        Err(e) => respond_err(response, &input_label, e.exit_code(), &e.to_string()),
+        Ok(out) => {
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            if let Some(p) = out_path {
+                if let Err(e) = std::fs::write(p, print_module(&out.module)) {
+                    respond_err(response, &input_label, 3, &format!("writing {p}: {e}"));
+                    return;
+                }
+            }
+            if cfg.verbose {
+                for (fi, f) in out.module.funcs.iter().enumerate() {
+                    let outcome = out
+                        .report
+                        .cache_outcomes
+                        .get(fi)
+                        .map_or("compiled", |o| o.name());
+                    response.push_str(&format!("fn {} {outcome}\n", f.name));
+                }
+            }
+            let c = out.report.cache;
+            response.push_str(&format!(
+                "ok in={input_label} funcs={} hits={} misses={} stale={} evicts={} \
+                 fallbacks={} wall_ms={wall_ms:.1}\n",
+                out.module.funcs.len(),
+                c.hits,
+                c.misses,
+                c.stale,
+                c.evicts,
+                out.report.stats.spec_fallbacks,
+            ));
+        }
+    }
+}
+
+fn compile_file(cfg: &ServeConfig, path: &str) -> Result<CompileOutput, CompileFailure> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CompileFailure::Usage(format!("reading {path}: {e}")))?;
+    crate::pipeline::compile(&src, &cfg.base)
+}
+
+fn compile_mega(cfg: &ServeConfig, arg: &str) -> Result<CompileOutput, CompileFailure> {
+    let (seed, funcs) = match arg.split_once(':') {
+        Some((s, n)) => (s, Some(n)),
+        None => (arg, None),
+    };
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| CompileFailure::Usage(format!("bad mega seed `{seed}`")))?;
+    let funcs: usize = match funcs {
+        None => 1000,
+        Some(n) => n
+            .parse()
+            .map_err(|_| CompileFailure::Usage(format!("bad mega function count `{n}`")))?,
+    };
+    let m = specframe_workloads::mega_module(seed, funcs);
+    let mut req = cfg.base.clone();
+    // the synthetic module has no profiling entry point; degrade the
+    // profile-guided modes exactly like `specc --mega` does
+    if req.spec == "profile" {
+        req.spec = "heuristic".into();
+    }
+    if req.control == "profile" {
+        req.control = "static".into();
+    }
+    compile_module(m, &req)
+}
+
+/// Parses an already-read module source through the service's base
+/// request — the programmatic equivalent of a `compile` request, used by
+/// tests that want the response line *and* the output.
+pub fn compile_source(cfg: &ServeConfig, src: &str) -> Result<CompileOutput, CompileFailure> {
+    let m = parse_module(src).map_err(|e| CompileFailure::Parse(e.to_string()))?;
+    specframe_ir::verify_module(&m).map_err(|e| CompileFailure::Parse(e.to_string()))?;
+    compile_module(m, &cfg.base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_with_cache(dir: Option<std::path::PathBuf>) -> ServeConfig {
+        ServeConfig {
+            base: CompileRequest {
+                spec: "heuristic".into(),
+                control: "static".into(),
+                cache_dir: dir,
+                ..Default::default()
+            },
+            verbose: true,
+        }
+    }
+
+    #[test]
+    fn blank_and_comment_lines_produce_no_response() {
+        let cfg = cfg_with_cache(None);
+        let mut r = String::new();
+        assert_eq!(handle_request(&cfg, "", &mut r), ServeAction::Continue);
+        assert_eq!(
+            handle_request(&cfg, "  # hi", &mut r),
+            ServeAction::Continue
+        );
+        assert_eq!(r, "");
+    }
+
+    #[test]
+    fn quit_stops_and_unknown_is_usage_error() {
+        let cfg = cfg_with_cache(None);
+        let mut r = String::new();
+        assert_eq!(handle_request(&cfg, "quit", &mut r), ServeAction::Quit);
+        assert_eq!(
+            handle_request(&cfg, "bogus x", &mut r),
+            ServeAction::Continue
+        );
+        assert!(r.contains("err in=bogus code=1"), "{r}");
+    }
+
+    #[test]
+    fn stats_without_cache_reports_disabled() {
+        let cfg = cfg_with_cache(None);
+        let mut r = String::new();
+        handle_request(&cfg, "stats", &mut r);
+        assert_eq!(r, "ok in=stats cache=disabled\n");
+    }
+
+    #[test]
+    fn mega_request_compiles_and_reports_counts() {
+        let dir = std::env::temp_dir().join(format!("specframe-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = cfg_with_cache(Some(dir.clone()));
+        let mut cold = String::new();
+        handle_request(&cfg, "mega 7:20", &mut cold);
+        assert!(
+            cold.contains("ok in=mega:7:20 funcs=20 hits=0 misses=20"),
+            "{cold}"
+        );
+        assert!(cold.contains("fn f0 miss\n"), "{cold}");
+        let mut warm = String::new();
+        handle_request(&cfg, "mega 7:20", &mut warm);
+        assert!(warm.contains("funcs=20 hits=20 misses=0"), "{warm}");
+        assert!(warm.contains("fn f0 hit\n"), "{warm}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
