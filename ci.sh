@@ -20,6 +20,34 @@ cargo fmt --all -- --check
 cargo run --release -q -p spectest -- -q tests/golden
 cargo run --release -q -p spectest -- -q --verify-each --audit-spec tests/golden
 
+# the speculative-leak fencing contract over the whole corpus: every
+# compiled module's lowering must fence to a clean re-audit with the
+# architectural result unchanged (checked post-compile, so pinned golden
+# output is untouched)
+cargo run --release -q -p spectest -- -q --audit-leaks tests/golden
+
+# expected-fail leak smoke: a hand-written advanced load whose value hits
+# an address sink inside its speculation window MUST be rejected by
+# --audit-leaks (recovery exhausts: exit 4), with the site report and a
+# CONFIRMED forced-eviction witness on stderr; --fence-leaks on the same
+# input must repair it (exit 0)
+leak_err="$(cargo run --release -q -p specframe --bin specc -- \
+  tests/smoke/leaky-motion.ir --spec none --control off --audit-leaks \
+  -o /dev/null 2>&1)" \
+  && { echo "ci.sh: --audit-leaks let the leaky motion through"; exit 1; } \
+  || leak_rc=$?
+[ "${leak_rc:-0}" -eq 4 ] \
+  || { echo "ci.sh: leak smoke exit $leak_rc, wanted 4"; echo "$leak_err"; exit 1; }
+echo "$leak_err" | grep -q "speculative leak in \`main\`" \
+  || { echo "ci.sh: no leak site report"; echo "$leak_err"; exit 1; }
+echo "$leak_err" | grep -q "CONFIRMED under \`--fault-policy evict-at:" \
+  || { echo "ci.sh: no confirmed eviction witness"; echo "$leak_err"; exit 1; }
+cargo run --release -q -p specframe --bin specc -- \
+  tests/smoke/leaky-motion.ir --spec none --control off --fence-leaks \
+  -o /dev/null 2>/dev/null \
+  || { echo "ci.sh: --fence-leaks failed to repair the leaky motion"; exit 1; }
+echo "leak smoke: --audit-leaks rejected with witness, --fence-leaks repaired"
+
 # golden parity through the compile cache: the same suite, cold (populating
 # a fresh cache) and warm (replaying from it) — FileCheck still passing on
 # the warm run proves cached replay is byte-identical where it matters

@@ -207,6 +207,89 @@ fn cache_smoke() -> CacheRow {
     row
 }
 
+/// Leak-audit and fencing numbers for the CI artifact.
+struct LeakRow {
+    /// Speculative-leak sites flagged across the optimized test workloads.
+    sites: u64,
+    /// Fences the repair transform inserted to close them.
+    fences: u64,
+    /// Simulator cycles of the known-leaky kernel, unfenced.
+    unfenced_cycles: u64,
+    /// Same kernel after fencing (the overhead is the delta).
+    fenced_cycles: u64,
+}
+
+/// The speculative-leak smoke: every optimized test workload's lowering is
+/// leak-audited and fenced (the re-audit must come back clean), then a
+/// known-leaky kernel measures the fence's cycle overhead with the
+/// architectural result pinned equal.
+fn leaks_smoke() -> LeakRow {
+    use specframe_machine::{fence_program, leak_audit_program, run_machine};
+    let opts = OptOptions {
+        data: SpecSource::Heuristic,
+        control: ControlSpec::Static,
+        strength_reduction: true,
+        lftr: true,
+        store_sinking: true,
+    };
+    let mut sites = 0u64;
+    let mut fences = 0u64;
+    for w in all_workloads(Scale::Test) {
+        let mut m = w.module;
+        prepare_module(&mut m);
+        optimize(&mut m, &opts);
+        let mut prog = specframe_codegen::lower_module(&m);
+        sites += leak_audit_program(&prog).len() as u64;
+        fences += fence_program(&mut prog);
+        assert!(
+            leak_audit_program(&prog).is_empty(),
+            "workload {}: leak sites survive fencing",
+            w.name
+        );
+    }
+    let src = r#"
+global t: i64[1] = [18]
+global s: i64[4] = [7, 8, 9, 10]
+
+func main() -> i64 {
+  var p: i64
+  var v: i64
+entry:
+  p = load.a.i64 [@t]
+  v = load.i64 [p]
+  p = ldc.i64 [@t]
+  ret v
+}
+"#;
+    let mut m = specframe_ir::parse_module(src).expect("leaky kernel");
+    prepare_module(&mut m);
+    let plain = specframe_codegen::lower_module(&m);
+    let kernel_sites = leak_audit_program(&plain).len() as u64;
+    assert!(kernel_sites > 0, "the leaky kernel must be flagged");
+    let mut fenced = plain.clone();
+    let kernel_fences = fence_program(&mut fenced);
+    let (want, c0) = run_machine(&plain, "main", &[], 100_000).expect("unfenced run");
+    let (got, c1) = run_machine(&fenced, "main", &[], 100_000).expect("fenced run");
+    assert_eq!(want, got, "fencing changed the architectural result");
+    assert!(c1.cycles >= c0.cycles, "a fence cannot be free");
+    let row = LeakRow {
+        sites: sites + kernel_sites,
+        fences: fences + kernel_fences,
+        unfenced_cycles: c0.cycles,
+        fenced_cycles: c1.cycles,
+    };
+    println!(
+        "leaks smoke: {} sites fenced with {} barriers; kernel overhead \
+         {} -> {} cycles (+{})",
+        row.sites,
+        row.fences,
+        row.unfenced_cycles,
+        row.fenced_cycles,
+        row.fenced_cycles - row.unfenced_cycles
+    );
+    row
+}
+
 /// A "failing" program for the reducer smoke: one `div` (the simulated
 /// trigger) buried in filler arithmetic, helper calls, and a diamond.
 /// The predicate — program still verifies and still contains a `div` —
@@ -306,6 +389,7 @@ fn main() {
 
     let mega = mega_smoke();
     let cache = cache_smoke();
+    let leaks = leaks_smoke();
     let rs = reducer_smoke();
 
     let mut json = String::from("{\n  \"config\": \"heuristic+static+sr+sink\",\n  \"iters\": ");
@@ -326,6 +410,12 @@ fn main() {
         "  \"cache\": {{ \"funcs\": {}, \"hits\": {}, \"misses\": {}, \"evicts\": {}, \
          \"cold_ms\": {:.1}, \"warm_ms\": {:.1} }},",
         cache.funcs, cache.hits, cache.misses, cache.evicts, cache.cold_ms, cache.warm_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"leaks\": {{ \"sites\": {}, \"fences\": {}, \"unfenced_cycles\": {}, \
+         \"fenced_cycles\": {} }},",
+        leaks.sites, leaks.fences, leaks.unfenced_cycles, leaks.fenced_cycles
     );
     let _ = writeln!(
         json,

@@ -53,6 +53,19 @@ pub fn lower_module(m: &Module) -> MProgram {
     }
 }
 
+/// Lowers a whole module and then fences every statically-detected
+/// speculative leak ([`specframe_machine::leaks`]): a speculation barrier
+/// is inserted immediately before each sink an unchecked `ld.a`/`ld.sa`
+/// value can reach, so the lowered program leak-audits clean. Returns the
+/// program and the number of fences inserted. The fence is a machine-level
+/// transform — the IR module is untouched, so cached artifacts and the
+/// reference interpreter see identical code.
+pub fn lower_module_fenced(m: &Module) -> (MProgram, u64) {
+    let mut p = lower_module(m);
+    let fences = specframe_machine::leaks::fence_program(&mut p);
+    (p, fences)
+}
+
 fn operand(o: Operand, layout: &[i64]) -> MOperand {
     match o {
         Operand::Var(v) => MOperand::R(Reg(v.0)),
@@ -342,6 +355,37 @@ exit:
             "f",
             &[],
         );
+    }
+
+    /// Fenced lowering is architecturally silent: same results, leak-clean.
+    #[test]
+    fn fenced_lowering_preserves_results() {
+        let src = r#"
+global a: i64[2] = [17, 5]
+
+func f() -> i64 {
+  var p: i64
+  var v: i64
+entry:
+  p = load.a.i64 [@a]
+  v = load.i64 [p]
+  p = ldc.i64 [@a]
+  ret v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let plain = lower_module(&m);
+        assert!(
+            !specframe_machine::leaks::leak_audit_program(&plain).is_empty(),
+            "the windowed address use must be flagged"
+        );
+        let (fenced, fences) = lower_module_fenced(&m);
+        assert!(fences > 0);
+        assert!(specframe_machine::leaks::leak_audit_program(&fenced).is_empty());
+        let (want, _) = run_machine(&plain, "f", &[], 10_000).unwrap();
+        let (got, c) = run_machine(&fenced, "f", &[], 10_000).unwrap();
+        assert_eq!(got, want, "fences must not change architectural results");
+        assert_eq!(c.fences_retired, fences);
     }
 
     /// The full paper pipeline on the machine: optimize speculatively, then

@@ -613,7 +613,7 @@ fn enc_stats(p: &mut Enc, s: &OptStats) {
 
 fn dec_stats(d: &mut Dec) -> Result<OptStats, EntryError> {
     let mut s = OptStats::default();
-    let mut vals = [0u64; 18];
+    let mut vals = [0u64; 20];
     for v in &mut vals {
         *v = d.u64()?;
     }
@@ -636,13 +636,15 @@ fn dec_stats(d: &mut Dec) -> Result<OptStats, EntryError> {
         s.stores_sunk,
         s.spec_fallbacks,
         s.pass_rollbacks,
+        s.leak_sites_flagged,
+        s.leak_fences_inserted,
     ] = vals;
     Ok(s)
 }
 
 /// Every `OptStats` field in declaration order — shared by encode/decode so
 /// the two can never disagree on count or order.
-fn stats_fields(s: &OptStats) -> [u64; 18] {
+fn stats_fields(s: &OptStats) -> [u64; 20] {
     [
         s.candidates,
         s.transformed,
@@ -662,6 +664,8 @@ fn stats_fields(s: &OptStats) -> [u64; 18] {
         s.stores_sunk,
         s.spec_fallbacks,
         s.pass_rollbacks,
+        s.leak_sites_flagged,
+        s.leak_fences_inserted,
     ]
 }
 

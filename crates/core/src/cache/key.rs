@@ -38,7 +38,7 @@ use specframe_profile::AliasProfile;
 
 /// Bumped whenever the entry payload layout or the key derivation changes;
 /// old entries then decode as version-skewed and degrade to fresh compiles.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// A 128-bit content hash naming one cache entry.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -281,6 +281,8 @@ impl<'a> KeyContext<'a> {
         }
         h.write_bool(hooks.verify_each);
         h.write_bool(hooks.audit_spec);
+        h.write_bool(hooks.audit_leaks);
+        h.write_bool(hooks.fence_leaks);
 
         // --- module-context digest: globals + every signature ---
         h.write_u64(m.globals.len() as u64);

@@ -600,6 +600,8 @@ struct StageOutput {
     timings: PassTimings,
     fresh_sites: u32,
     dumps: Vec<PassDump>,
+    /// Diagnostics from repairing stages (`--fence-leaks` site reports).
+    warnings: Vec<CompileDiag>,
 }
 
 /// The per-function pipeline. Owns `f`; everything else is shared
@@ -759,6 +761,9 @@ fn process_function(
         }
     };
 
+    let mut out = out;
+    let mut warnings = warnings;
+    warnings.append(&mut out.warnings);
     let mut timings = out.timings;
     timings.refine = refine_time;
     timings.verify_each += pre_verify_time;
@@ -1068,12 +1073,72 @@ fn run_spec_stages(
         }
     }
 
+    let mut warnings: Vec<CompileDiag> = Vec::new();
+    if hooks.audit_leaks || hooks.fence_leaks {
+        // speculative-leak audit: no advanced-load value may reach an
+        // address or branch sink before its check. Audit mode rejects the
+        // function (the degradation ladder then rolls speculation back);
+        // fence mode records the repair the machine lowering will apply
+        // (the IR artifact is untouched — fences are a deterministic
+        // machine-level transform, so sim/bench lowerings re-derive them).
+        current.set("audit-leaks");
+        let t0 = Instant::now();
+        let mut mf = specframe_codegen::lower_function_machine(&lowered, sh.layout);
+        let sites = specframe_machine::leak_audit_func(&mf);
+        if !sites.is_empty() {
+            stats.leak_sites_flagged = sites.len() as u64;
+            if hooks.fence_leaks {
+                let fences = specframe_machine::fence_func(&mut mf);
+                stats.leak_fences_inserted = fences;
+                let clean = specframe_machine::leak_audit_func(&mf).is_empty();
+                for s in &sites {
+                    warnings.push(CompileDiag {
+                        function: f.name.clone(),
+                        pass: "audit-leaks".into(),
+                        message: format!("{s} [{}]", attribution("audit-leaks", &f.name, None)),
+                    });
+                }
+                warnings.push(CompileDiag {
+                    function: f.name.clone(),
+                    pass: "audit-leaks".into(),
+                    message: format!(
+                        "fenced `{}`: inserted {} speculation barrier(s); re-audit {}",
+                        f.name,
+                        fences,
+                        if clean { "clean" } else { "STILL DIRTY" }
+                    ),
+                });
+                if !clean {
+                    return Err((
+                        "audit-leaks".into(),
+                        format!(
+                            "fencing failed to close every speculation window [{}]",
+                            attribution("audit-leaks", &f.name, None)
+                        ),
+                    ));
+                }
+            } else {
+                let report: Vec<String> = sites.iter().map(|s| s.to_string()).collect();
+                return Err((
+                    "audit-leaks".into(),
+                    format!(
+                        "{} [{}]",
+                        report.join("; "),
+                        attribution("audit-leaks", &f.name, None)
+                    ),
+                ));
+            }
+        }
+        t.audit_leaks = t0.elapsed();
+    }
+
     Ok(StageOutput {
         f: lowered,
         stats,
         timings: t,
         fresh_sites,
         dumps,
+        warnings,
     })
 }
 

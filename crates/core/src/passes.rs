@@ -184,6 +184,15 @@ pub struct PipelineHooks {
     /// (`--inject-corrupt FUNC:PASS`), exercising the verify-each +
     /// per-pass-rollback recovery path deterministically. Test-only.
     pub inject_corrupt: Option<(String, Pass)>,
+    /// Run the post-lowering speculative-leak auditor on each function's
+    /// machine code (`--audit-leaks`): no `ld.a`/`ld.sa` value may reach
+    /// an address computation or branch condition before its check. A
+    /// flagged function fails compilation (degradation ladder applies).
+    pub audit_leaks: bool,
+    /// Like `audit_leaks`, but repair instead of reject: insert a
+    /// speculation barrier before each flagged sink so the machine-level
+    /// re-audit is clean (`--fence-leaks`). Implies the audit.
+    pub fence_leaks: bool,
 }
 
 impl PipelineHooks {

@@ -47,6 +47,12 @@ pub struct OptStats {
     /// ladder: one offending pass was rolled back and the remaining
     /// pipeline re-run, keeping speculation for everything else.
     pub pass_rollbacks: u64,
+    /// Speculative-leak sites the `--audit-leaks`/`--fence-leaks` auditor
+    /// flagged (advanced-load values reaching an address or branch sink
+    /// before their check).
+    pub leak_sites_flagged: u64,
+    /// Speculation barriers inserted by `--fence-leaks`.
+    pub leak_fences_inserted: u64,
 }
 
 impl OptStats {
@@ -70,6 +76,8 @@ impl OptStats {
         self.stores_sunk += other.stores_sunk;
         self.spec_fallbacks += other.spec_fallbacks;
         self.pass_rollbacks += other.pass_rollbacks;
+        self.leak_sites_flagged += other.leak_sites_flagged;
+        self.leak_fences_inserted += other.leak_fences_inserted;
     }
 }
 
@@ -107,6 +115,9 @@ pub struct PassTimings {
     pub verify_each: std::time::Duration,
     /// Post-lowering speculation-safety audit (`--audit-spec`).
     pub audit: std::time::Duration,
+    /// Post-lowering speculative-leak audit and fencing
+    /// (`--audit-leaks` / `--fence-leaks`).
+    pub audit_leaks: std::time::Duration,
     /// Out-of-SSA lowering.
     pub lower: std::time::Duration,
     /// Final whole-module IR verification.
@@ -134,6 +145,7 @@ impl PassTimings {
         self.verify += other.verify;
         self.verify_each += other.verify_each;
         self.audit += other.audit;
+        self.audit_leaks += other.audit_leaks;
         self.lower += other.lower;
         self.module_verify += other.module_verify;
         self.cache += other.cache;
@@ -142,7 +154,7 @@ impl PassTimings {
     }
 
     /// The per-pass rows in pipeline order, as `(name, duration)`.
-    pub fn rows(&self) -> [(&'static str, std::time::Duration); 14] {
+    pub fn rows(&self) -> [(&'static str, std::time::Duration); 15] {
         [
             ("alias", self.alias),
             ("analyses", self.analyses),
@@ -155,6 +167,7 @@ impl PassTimings {
             ("verify", self.verify),
             ("verify-each", self.verify_each),
             ("audit", self.audit),
+            ("audit-leaks", self.audit_leaks),
             ("lower", self.lower),
             ("module-verify", self.module_verify),
             ("cache", self.cache),
@@ -241,6 +254,7 @@ mod tests {
             "verify",
             "verify-each",
             "audit",
+            "audit-leaks",
             "lower",
             "module-verify",
             "cache",

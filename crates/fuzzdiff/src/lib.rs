@@ -198,6 +198,11 @@ pub struct DiffStats {
     /// Total failed checks observed — nonzero proves the adversarial
     /// policies actually exercised the recovery path.
     pub failed_checks: u64,
+    /// Speculative-leak sites the static auditor flagged across all
+    /// optimized lowerings (pre-fence).
+    pub leak_sites: u64,
+    /// Speculation barriers the leak oracle's fencing pass inserted.
+    pub fences_inserted: u64,
 }
 
 /// The outcome of one oracle run over one case, separating *setup*
@@ -398,6 +403,71 @@ pub fn diff_case_outcome(
                 }
             }
         }
+        // leak oracle: fence the same lowering, prove the static re-audit
+        // is clean, then run taint-enabled (every global word secret)
+        // under every fault policy — zero taint-to-sink events may
+        // survive fencing and the architectural result must stay
+        // bit-identical to the reference interpreter
+        let mut fprog = prog.clone();
+        let fences = specframe::machine::fence_program(&mut fprog);
+        stats.leak_sites += specframe::machine::leak_audit_program(&prog).len() as u64;
+        stats.fences_inserted += fences;
+        let still = specframe::machine::leak_audit_program(&fprog);
+        if !still.is_empty() {
+            failures.push(format!(
+                "{}/{cname}: leak oracle: {} sites survive fencing; first: {}",
+                case.name,
+                still.len(),
+                still[0]
+            ));
+        }
+        let secrets: Vec<i64> = (Module::GLOBAL_BASE..fprog.globals_end).collect();
+        for policy in policies {
+            for (args, want) in case.run_args.iter().zip(&want) {
+                let p = match parse_fault_policy(policy) {
+                    Ok(p) => p,
+                    Err(e) => return DiffOutcome::Setup(format!("bad policy `{policy}`: {e}")),
+                };
+                stats.sim_runs += 1;
+                match specframe::machine::run_machine_taint(
+                    &fprog,
+                    &case.entry,
+                    args,
+                    case.fuel,
+                    p,
+                    &secrets,
+                ) {
+                    Ok(rep) => {
+                        let c = &rep.counters;
+                        if rep.result != *want {
+                            failures.push(format!(
+                                "{}/{cname}/{policy}: fenced machine({args:?}) = {:?}, \
+                                 reference {want:?}",
+                                case.name, rep.result
+                            ));
+                        }
+                        if c.leak_addr_events + c.leak_branch_events > 0 {
+                            let first = rep
+                                .events
+                                .first()
+                                .map(|e| format!("first: {}@{} -> {} sink", e.func, e.at, e.sink))
+                                .unwrap_or_default();
+                            failures.push(format!(
+                                "{}/{cname}/{policy}: leak oracle: {} taint-to-sink \
+                                 events survive fencing ({first})",
+                                case.name,
+                                c.leak_addr_events + c.leak_branch_events
+                            ));
+                        }
+                        stats.failed_checks += c.failed_checks;
+                    }
+                    Err(e) => failures.push(format!(
+                        "{}/{cname}/{policy}: fenced machine({args:?}) failed: {e}",
+                        case.name
+                    )),
+                }
+            }
+        }
     }
     if failures.is_empty() {
         DiffOutcome::Agree
@@ -553,6 +623,43 @@ mod tests {
             diff_case_outcome(&rcase, &policies, &mut DiffStats::default(), true),
             DiffOutcome::Diverged(_)
         ));
+    }
+
+    #[test]
+    fn leak_oracle_fences_hand_written_leak_and_results_hold() {
+        // the classic shape: an advanced load's value used as the next
+        // load's address before its check — the static auditor must flag
+        // it, the fence must close it, and the fenced program must agree
+        // with the reference under the entire fault matrix
+        let src = r#"
+global t: i64[1] = [18]
+global s: i64[4] = [7, 8, 9, 10]
+
+func main() -> i64 {
+  var p: i64
+  var v: i64
+entry:
+  p = load.a.i64 [@t]
+  v = load.i64 [p]
+  p = ldc.i64 [@t]
+  ret v
+}
+"#;
+        let mut m = parse_module(src).unwrap();
+        prepare_module(&mut m);
+        let case = Case {
+            name: "leaky".into(),
+            module: m,
+            entry: "main".into(),
+            train_args: vec![],
+            run_args: vec![vec![]],
+            fuel: 100_000,
+        };
+        let policies = fault_matrix();
+        let mut stats = DiffStats::default();
+        diff_case(&case, &policies, &mut stats).unwrap();
+        assert!(stats.leak_sites > 0, "{stats:?}");
+        assert!(stats.fences_inserted > 0, "{stats:?}");
     }
 
     #[test]

@@ -164,10 +164,13 @@ fn main() -> std::process::ExitCode {
 
     println!(
         "fuzzdiff: {} cases, {} sim runs, {} failed checks recovered, \
-         {} skipped (budget), {} failures in {:.1}s",
+         {} leak sites fenced ({} fences), {} skipped (budget), \
+         {} failures in {:.1}s",
         stats.cases,
         stats.sim_runs,
         stats.failed_checks,
+        stats.leak_sites,
+        stats.fences_inserted,
         skipped,
         failures,
         start.elapsed().as_secs_f64()

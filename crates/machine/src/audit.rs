@@ -131,7 +131,7 @@ fn transfer(
     st: &mut RegState,
     i: usize,
     inst: &MInst,
-    checked: &mut BTreeSet<usize>,
+    checked: &mut BTreeSet<(usize, usize)>,
     mut errors: Option<&mut Vec<(usize, String)>>,
 ) {
     match inst {
@@ -198,13 +198,16 @@ fn transfer(
                         ));
                     }
                 } else {
-                    checked.insert(p.origin);
+                    checked.insert((p.origin, i));
                 }
             }
             st[d.0 as usize].clear();
         }
+        // a fence stalls until in-flight loads resolve but does not
+        // validate their values — check pairing is unaffected
         MInst::Call { d: None, .. }
         | MInst::St { .. }
+        | MInst::Fence
         | MInst::Jmp(_)
         | MInst::Br { .. }
         | MInst::Ret(_) => {}
@@ -213,7 +216,9 @@ fn transfer(
 
 /// Block boundaries of the flat stream: `starts[k]` is the first
 /// instruction of block `k`, blocks are maximal single-entry runs.
-fn block_starts(code: &[MInst]) -> Vec<usize> {
+/// Shared with the leak auditor ([`crate::leaks`]), which walks the same
+/// CFG with a different lattice.
+pub(crate) fn block_starts(code: &[MInst]) -> Vec<usize> {
     let n = code.len();
     let mut leader = vec![false; n];
     if n > 0 {
@@ -241,20 +246,11 @@ fn block_starts(code: &[MInst]) -> Vec<usize> {
     (0..n).filter(|&i| leader[i]).collect()
 }
 
-/// Audits one machine function.
-///
-/// # Errors
-/// Returns the first (lowest-index) violation.
-pub fn audit_func(f: &MFunc) -> Result<AuditStats, AuditError> {
+/// Fixpoint of the provenance dataflow: block starts, the per-block
+/// in-states of reachable blocks, and the `(load, check)` pairs observed.
+#[allow(clippy::type_complexity)]
+fn provenance_fixpoint(f: &MFunc) -> (Vec<usize>, Vec<Option<RegState>>, BTreeSet<(usize, usize)>) {
     let n = f.code.len();
-    let fail = |(at, msg): (usize, String)| AuditError {
-        func: f.name.clone(),
-        at,
-        msg,
-    };
-    if n == 0 {
-        return Ok(AuditStats::default());
-    }
     let starts = block_starts(&f.code);
     let block_of = |i: usize| -> usize { starts.partition_point(|&s| s <= i) - 1 };
     let end_of = |k: usize| -> usize { starts.get(k + 1).copied().unwrap_or(n) };
@@ -278,7 +274,7 @@ pub fn audit_func(f: &MFunc) -> Result<AuditStats, AuditError> {
     let empty: RegState = vec![BTreeSet::new(); f.regs as usize];
     let mut in_states: Vec<Option<RegState>> = vec![None; starts.len()];
     in_states[0] = Some(empty.clone());
-    let mut checked: BTreeSet<usize> = BTreeSet::new();
+    let mut checked: BTreeSet<(usize, usize)> = BTreeSet::new();
     let mut work: Vec<usize> = vec![0];
     while let Some(k) = work.pop() {
         let mut st = in_states[k].clone().expect("queued blocks have a state");
@@ -299,6 +295,36 @@ pub fn audit_func(f: &MFunc) -> Result<AuditStats, AuditError> {
             }
         }
     }
+    (starts, in_states, checked)
+}
+
+/// The `(advanced load index, check index)` pairs the speculation-safety
+/// audit proves, in address order. This is the pairing the leak audit
+/// ([`crate::leaks`]) must agree with — the agreement is unit-tested.
+pub fn check_pairs(f: &MFunc) -> Vec<(usize, usize)> {
+    if f.code.is_empty() {
+        return Vec::new();
+    }
+    let (_, _, checked) = provenance_fixpoint(f);
+    checked.into_iter().collect()
+}
+
+/// Audits one machine function.
+///
+/// # Errors
+/// Returns the first (lowest-index) violation.
+pub fn audit_func(f: &MFunc) -> Result<AuditStats, AuditError> {
+    let n = f.code.len();
+    let fail = |(at, msg): (usize, String)| AuditError {
+        func: f.name.clone(),
+        at,
+        msg,
+    };
+    if n == 0 {
+        return Ok(AuditStats::default());
+    }
+    let (starts, in_states, mut checked) = provenance_fixpoint(f);
+    let end_of = |k: usize| -> usize { starts.get(k + 1).copied().unwrap_or(n) };
 
     // post-fixpoint sweep: replay each reachable block from its final
     // in-state, recording pairing violations in address order
@@ -324,7 +350,7 @@ pub fn audit_func(f: &MFunc) -> Result<AuditStats, AuditError> {
             if let MInst::Ld { d, kind, .. } = &f.code[i] {
                 if matches!(kind, LdKind::Advanced | LdKind::SpecAdvanced) {
                     stats.advanced_loads += 1;
-                    if !checked.contains(&i) {
+                    if !checked.iter().any(|&(o, _)| o == i) {
                         errors.push((
                             i,
                             format!(

@@ -31,6 +31,9 @@ pub struct CostModel {
     pub call_overhead: u64,
     /// Heap allocation service.
     pub alloc: u64,
+    /// Speculation barrier (`MInst::Fence`): the stall waiting for every
+    /// in-flight advanced load to resolve.
+    pub fence: u64,
 }
 
 impl Default for CostModel {
@@ -45,6 +48,7 @@ impl Default for CostModel {
             branch: 1,
             call_overhead: 5,
             alloc: 20,
+            fence: 3,
         }
     }
 }

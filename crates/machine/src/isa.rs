@@ -104,6 +104,11 @@ pub enum MInst {
     },
     /// Heap allocation (runtime service; stands in for `malloc`).
     Alloc { d: Reg, words: MOperand },
+    /// Speculation barrier: stalls until every in-flight advanced load is
+    /// resolved, closing all open speculation windows. Never produced by
+    /// lowering — inserted only by the leak-fencing transform
+    /// ([`crate::leaks::fence_func`]).
+    Fence,
     /// Unconditional jump.
     Jmp(Label),
     /// Conditional branch (taken when `cond != 0`).

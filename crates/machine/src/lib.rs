@@ -29,13 +29,21 @@ pub mod alat;
 pub mod audit;
 pub mod costs;
 pub mod isa;
+pub mod leaks;
 pub mod policy;
 pub mod sim;
 
 pub use alat::Alat;
-pub use audit::{audit_func, audit_program, AuditError, AuditStats};
+pub use audit::{audit_func, audit_program, check_pairs, AuditError, AuditStats};
 pub use costs::CostModel;
 pub use isa::{ChkKind, LdKind};
 pub use isa::{Label, MFunc, MInst, MOperand, MProgram, Reg};
+pub use leaks::{
+    construct_leak_witness, fence_func, fence_program, leak_audit_func, leak_audit_program,
+    leak_check_pairs, witness_leaks, LeakSite, LeakWitness,
+};
 pub use policy::{fault_matrix, parse_fault_policy, AlatGeometry, AlatPolicy, FaultAction};
-pub use sim::{run_machine, run_machine_with_policy, Counters, SimError, Simulator};
+pub use sim::{
+    run_machine, run_machine_taint, run_machine_with_policy, Counters, LeakEvent, SimError,
+    Simulator, SinkClass, TaintReport,
+};

@@ -24,6 +24,9 @@
 //! |                 | (default D = 16)                                  |
 //! | `flash-clear[:P]`| drop the whole table every P instructions        |
 //! |                 | (default P = 64) — the context-switch model       |
+//! | `evict-at:N[:N…]`| drop the whole table exactly at the scheduled    |
+//! |                 | instruction counts — the constructed witness the  |
+//! |                 | leak auditor emits (see `crate::leaks`)           |
 //!
 //! All policies are deterministic given their parameters, so a failing
 //! differential run reproduces from its policy string alone.
@@ -258,11 +261,56 @@ impl AlatPolicy for FlashClear {
     }
 }
 
+/// Targeted eviction: flash-clears the table exactly at the scheduled
+/// instruction counts (1-based, in `on_inst`-call order). This is the
+/// constructed adversary the leak auditor emits — a schedule placed one
+/// instruction after a speculative load's ALAT insert forces that
+/// specific site into misspeculation, witnessing a static leak report
+/// with a concrete run.
+#[derive(Debug, Clone)]
+pub struct EvictAt {
+    schedule: Vec<u64>,
+    next: usize,
+    seen: u64,
+}
+
+impl EvictAt {
+    /// Clears the table when the instruction counter reaches each value of
+    /// `schedule` (sorted and deduplicated; zeros are dropped).
+    pub fn new(mut schedule: Vec<u64>) -> EvictAt {
+        schedule.retain(|&t| t > 0);
+        schedule.sort_unstable();
+        schedule.dedup();
+        EvictAt {
+            schedule,
+            next: 0,
+            seen: 0,
+        }
+    }
+}
+
+impl AlatPolicy for EvictAt {
+    fn name(&self) -> String {
+        let ticks: Vec<String> = self.schedule.iter().map(|t| t.to_string()).collect();
+        format!("evict-at:{}", ticks.join(":"))
+    }
+
+    fn on_inst(&mut self) -> FaultAction {
+        self.seen += 1;
+        if self.next < self.schedule.len() && self.schedule[self.next] == self.seen {
+            self.next += 1;
+            FaultAction::FlashClear
+        } else {
+            FaultAction::None
+        }
+    }
+}
+
 /// Parses the `--fault-policy` grammar:
 ///
 /// ```text
 /// default | geom:E:W | always-miss | forced-miss
-///         | random:SEED[:DENOM] | flash-clear[:PERIOD]
+///         | random:SEED[:DENOM] | flash-clear[:PERIOD] | evict-at:N[:N...]
 /// ```
 ///
 /// # Errors
@@ -318,6 +366,14 @@ pub fn parse_fault_policy(s: &str) -> Result<Box<dyn AlatPolicy>, String> {
             };
             Ok(Box::new(FlashClear::new(period)))
         }
+        "evict-at" => {
+            arity(1..=usize::MAX)?;
+            let ticks: Vec<u64> = rest
+                .iter()
+                .map(|t| num(t, "instruction count"))
+                .collect::<Result<_, _>>()?;
+            Ok(Box::new(EvictAt::new(ticks)))
+        }
         _ => Err(format!("unknown fault policy `{s}` (try --help)")),
     }
 }
@@ -350,6 +406,8 @@ mod tests {
             "flash-clear",
             "flash-clear:128",
             "geom:8:2",
+            "evict-at:5",
+            "evict-at:3:9:40",
         ] {
             let p = parse_fault_policy(s).unwrap();
             assert_eq!(p.name(), s, "round-trip of `{s}`");
@@ -386,9 +444,29 @@ mod tests {
             "geom:a:b",
             "default:1",
             "flash-clear:p",
+            "evict-at",
+            "evict-at:x",
         ] {
             assert!(parse_fault_policy(s).is_err(), "`{s}` should be rejected");
         }
+    }
+
+    #[test]
+    fn evict_at_fires_exactly_on_schedule() {
+        let mut p = EvictAt::new(vec![2, 5, 5, 0]);
+        let seq: Vec<FaultAction> = (0..6).map(|_| p.on_inst()).collect();
+        assert_eq!(
+            seq,
+            vec![
+                FaultAction::None,
+                FaultAction::FlashClear,
+                FaultAction::None,
+                FaultAction::None,
+                FaultAction::FlashClear,
+                FaultAction::None,
+            ]
+        );
+        assert_eq!(p.name(), "evict-at:2:5");
     }
 
     #[test]

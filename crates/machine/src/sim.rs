@@ -62,6 +62,18 @@ pub struct Counters {
     /// Maximum number of promoted-temporary registers live in any single
     /// frame (register-pressure proxy for the paper's RSE discussion).
     pub promoted_regs: u64,
+    /// Speculation barriers retired (`MInst::Fence`).
+    pub fences_retired: u64,
+    /// Taint mode: loads whose value came from a secret-marked address.
+    pub taint_loads: u64,
+    /// Taint mode: dynamic flows of a potentially-misspeculated value into
+    /// an address computation (load/store/check base) inside its window.
+    pub leak_addr_events: u64,
+    /// Taint mode: dynamic flows of a potentially-misspeculated value into
+    /// a branch condition inside its window.
+    pub leak_branch_events: u64,
+    /// Taint mode: leak events whose flowing value was also secret-tainted.
+    pub leak_secret_events: u64,
 }
 
 impl Counters {
@@ -120,6 +132,83 @@ impl core::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+/// Sink class of a speculative leak: what kind of observable computation
+/// the potentially-misspeculated value flowed into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SinkClass {
+    /// Address computation: the base of a load, store or check.
+    Address,
+    /// Branch condition.
+    Branch,
+}
+
+impl core::fmt::Display for SinkClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SinkClass::Address => write!(f, "address"),
+            SinkClass::Branch => write!(f, "branch"),
+        }
+    }
+}
+
+/// One taint-to-sink flow observed by the taint-mode simulator: inside the
+/// speculation window of the advanced load whose destination is `origin`,
+/// a value derived from it reached the sink at instruction `at`.
+/// Site-deduplicated per (function, sink instruction); the dynamic event
+/// counts live in [`Counters`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakEvent {
+    /// Function the sink is in.
+    pub func: String,
+    /// Instruction index of the sink within the function.
+    pub at: usize,
+    /// Destination register of the speculative load whose window was open.
+    pub origin: u32,
+    /// What the value flowed into.
+    pub sink: SinkClass,
+    /// Whether the flowing value was also secret-tainted.
+    pub secret: bool,
+}
+
+/// Per-register taint shadow: the set of open speculation-window origins
+/// (destination registers of unchecked `ld.a`/`ld.sa`) whose value may
+/// have flowed here, plus a secret bit for `--taint-secret` data.
+#[derive(Debug, Clone, Default)]
+struct TaintCell {
+    secret: bool,
+    win: std::collections::BTreeSet<u32>,
+}
+
+/// Taint-mode bookkeeping (present only when taint tracking is enabled).
+struct TaintState {
+    /// Word addresses whose contents are secret.
+    secret_mem: std::collections::BTreeSet<i64>,
+    /// Site-deduplicated leak events.
+    events: Vec<LeakEvent>,
+    seen: std::collections::BTreeSet<(String, usize)>,
+    /// First dynamic execution of each speculative load:
+    /// `(function, instruction index, Counters::insts at execution)` —
+    /// the raw material for the adversarial eviction constructor.
+    spec_trace: Vec<(String, usize, u64)>,
+    traced: std::collections::BTreeSet<(String, usize)>,
+    /// Secret bit of the value the innermost returning callee produced.
+    ret_secret: bool,
+}
+
+/// Everything a taint-mode run produces.
+#[derive(Debug)]
+pub struct TaintReport {
+    /// Architectural result — must equal the untainted run's bit for bit.
+    pub result: Option<Value>,
+    /// Counters including the taint/leak/fence rows.
+    pub counters: Counters,
+    /// Site-deduplicated taint-to-sink events.
+    pub events: Vec<LeakEvent>,
+    /// First dynamic execution of each speculative load:
+    /// `(function, instruction index, instructions retired at execution)`.
+    pub spec_trace: Vec<(String, usize, u64)>,
+}
+
 /// Machine state for one program.
 pub struct Simulator<'p> {
     prog: &'p MProgram,
@@ -133,6 +222,7 @@ pub struct Simulator<'p> {
     policy: Box<dyn AlatPolicy>,
     counters: Counters,
     fuel: u64,
+    taint: Option<TaintState>,
 }
 
 impl<'p> Simulator<'p> {
@@ -165,11 +255,26 @@ impl<'p> Simulator<'p> {
             policy,
             counters: Counters::default(),
             fuel,
+            taint: None,
         };
         for &(addr, v) in &prog.global_image {
             s.poke(addr, v);
         }
         s
+    }
+
+    /// Switches on taint mode: `secret` word addresses are marked secret,
+    /// and every taint-to-sink flow inside a speculation window is recorded
+    /// (see [`LeakEvent`]). Architectural results are unaffected.
+    pub fn enable_taint(&mut self, secret: &[i64]) {
+        self.taint = Some(TaintState {
+            secret_mem: secret.iter().copied().collect(),
+            events: Vec::new(),
+            seen: Default::default(),
+            spec_trace: Vec::new(),
+            traced: Default::default(),
+            ret_secret: false,
+        });
     }
 
     /// Counters so far (ALAT counters folded in).
@@ -215,13 +320,14 @@ impl<'p> Simulator<'p> {
     /// # Errors
     /// See [`SimError`].
     pub fn run(&mut self, index: usize, args: &[Value]) -> Result<Option<Value>, SimError> {
-        self.call(index, args, 0)
+        self.call(index, args, &[], 0)
     }
 
     fn call(
         &mut self,
         index: usize,
         args: &[Value],
+        arg_secret: &[bool],
         depth: usize,
     ) -> Result<Option<Value>, SimError> {
         if depth >= MAX_DEPTH {
@@ -238,6 +344,13 @@ impl<'p> Simulator<'p> {
 
         let mut regs = vec![Value::I(0); f.regs as usize];
         regs[..args.len()].copy_from_slice(args);
+        // taint shadow: speculation windows are frame-local (mirroring the
+        // static leak audit's intraprocedural model); secret bits cross the
+        // call boundary with the argument values
+        let mut taints = vec![TaintCell::default(); f.regs as usize];
+        for (cell, &s) in taints.iter_mut().zip(arg_secret) {
+            cell.secret = s;
+        }
 
         // slots
         let frame_base = self.stack_top;
@@ -255,15 +368,44 @@ impl<'p> Simulator<'p> {
             self.stack_top = end;
         }
 
-        let result = self.exec(f, &mut regs, &slot_base, depth);
+        let result = self.exec(f, &mut regs, &mut taints, &slot_base, depth);
         self.stack_top = frame_base;
         result
+    }
+
+    /// Records one taint-to-sink flow (taint mode only; no-op when the
+    /// window set of `cell` is empty).
+    fn leak_event(&mut self, f: &MFunc, at: usize, cell: &TaintCell, sink: SinkClass) {
+        if cell.win.is_empty() {
+            return;
+        }
+        if self.taint.is_none() {
+            return;
+        }
+        match sink {
+            SinkClass::Address => self.counters.leak_addr_events += 1,
+            SinkClass::Branch => self.counters.leak_branch_events += 1,
+        }
+        if cell.secret {
+            self.counters.leak_secret_events += 1;
+        }
+        let ts = self.taint.as_mut().expect("taint on");
+        if ts.seen.insert((f.name.clone(), at)) {
+            ts.events.push(LeakEvent {
+                func: f.name.clone(),
+                at,
+                origin: *cell.win.iter().next().expect("non-empty window"),
+                sink,
+                secret: cell.secret,
+            });
+        }
     }
 
     fn exec(
         &mut self,
         f: &MFunc,
         regs: &mut [Value],
+        taints: &mut [TaintCell],
         slot_base: &[i64],
         depth: usize,
     ) -> Result<Option<Value>, SimError> {
@@ -275,6 +417,15 @@ impl<'p> Simulator<'p> {
                 MOperand::SlotAddr(s) => Value::I(slot_base[s as usize]),
             }
         };
+        // taint shadow of an operand: registers carry their cell, every
+        // immediate is clean
+        let tcell = |taints: &[TaintCell], o: MOperand| -> TaintCell {
+            match o {
+                MOperand::R(r) => taints[r.0 as usize].clone(),
+                _ => TaintCell::default(),
+            }
+        };
+        let taint_on = self.taint.is_some();
         let mut pc = 0usize;
         loop {
             if self.fuel == 0 {
@@ -289,21 +440,35 @@ impl<'p> Simulator<'p> {
                 FaultAction::KillOne(lottery) => self.alat.kill_one(lottery),
                 FaultAction::FlashClear => self.alat.flash_clear(),
             }
+            let at = pc;
             let inst = &f.code[pc];
             pc += 1;
             match inst {
                 MInst::Mov { d, s } => {
                     regs[d.0 as usize] = eval(regs, *s);
+                    if taint_on {
+                        taints[d.0 as usize] = tcell(taints, *s);
+                    }
                     self.counters.cycles += self.costs.alu;
                 }
                 MInst::Alu { d, op, a, b } => {
                     let va = eval(regs, *a);
                     let vb = eval(regs, *b);
                     regs[d.0 as usize] = alu(*op, va, vb)?;
+                    if taint_on {
+                        let mut c = tcell(taints, *a);
+                        let cb = tcell(taints, *b);
+                        c.secret |= cb.secret;
+                        c.win.extend(cb.win);
+                        taints[d.0 as usize] = c;
+                    }
                     self.counters.cycles += self.costs.alu;
                 }
                 MInst::Un { d, op, a } => {
                     regs[d.0 as usize] = un(*op, eval(regs, *a));
+                    if taint_on {
+                        taints[d.0 as usize] = tcell(taints, *a);
+                    }
                     self.counters.cycles += self.costs.alu;
                 }
                 MInst::Ld {
@@ -313,11 +478,29 @@ impl<'p> Simulator<'p> {
                     ty,
                     kind,
                 } => {
+                    if taint_on {
+                        let bc = tcell(taints, *base);
+                        self.leak_event(f, at, &bc, SinkClass::Address);
+                    }
                     let vb = eval(regs, *base);
                     let speculative = *kind == LdKind::SpecAdvanced;
+                    // taint: a spec load opens a window keyed by its dest
+                    let open_window = |taints: &mut [TaintCell], secret: bool| {
+                        let mut c = tcell(taints, *base);
+                        c.secret = secret;
+                        if *kind != LdKind::Normal {
+                            c.win.insert(d.0);
+                        } else {
+                            c.win.clear();
+                        }
+                        taints[d.0 as usize] = c;
+                    };
                     if vb.is_nat() {
                         if speculative {
                             regs[d.0 as usize] = Value::Nat;
+                            if taint_on {
+                                open_window(taints, false);
+                            }
                             self.counters.cycles += self.costs.alu;
                             continue;
                         }
@@ -328,6 +511,9 @@ impl<'p> Simulator<'p> {
                         if speculative {
                             // deferred fault: NaT, no ALAT entry
                             regs[d.0 as usize] = Value::Nat;
+                            if taint_on {
+                                open_window(taints, false);
+                            }
                             self.counters.cycles += self.costs.alu;
                             continue;
                         }
@@ -335,6 +521,25 @@ impl<'p> Simulator<'p> {
                     }
                     let v = self.load_cell(addr, *ty);
                     regs[d.0 as usize] = v;
+                    if taint_on {
+                        let secret = self
+                            .taint
+                            .as_ref()
+                            .expect("taint on")
+                            .secret_mem
+                            .contains(&addr);
+                        if secret {
+                            self.counters.taint_loads += 1;
+                        }
+                        open_window(taints, secret);
+                        if *kind != LdKind::Normal {
+                            let dyn_inst = self.counters.insts;
+                            let ts = self.taint.as_mut().expect("taint on");
+                            if ts.traced.insert((f.name.clone(), at)) {
+                                ts.spec_trace.push((f.name.clone(), at, dyn_inst));
+                            }
+                        }
+                    }
                     let lat = self.costs.load(*ty);
                     self.counters.cycles += lat;
                     self.counters.data_access_cycles += lat;
@@ -355,6 +560,10 @@ impl<'p> Simulator<'p> {
                     ty,
                     kind,
                 } => {
+                    if taint_on {
+                        let bc = tcell(taints, *base);
+                        self.leak_event(f, at, &bc, SinkClass::Address);
+                    }
                     let vb = eval(regs, *base);
                     if vb.is_nat() {
                         return Err(SimError::NatConsumed);
@@ -388,8 +597,29 @@ impl<'p> Simulator<'p> {
                             self.alat.insert(*d, addr);
                         }
                     }
+                    if taint_on {
+                        // the check resolves the speculation window opened by
+                        // the matching spec load: close it everywhere
+                        for c in taints.iter_mut() {
+                            c.win.remove(&d.0);
+                        }
+                        let secret = self
+                            .taint
+                            .as_ref()
+                            .expect("taint on")
+                            .secret_mem
+                            .contains(&addr);
+                        taints[d.0 as usize] = TaintCell {
+                            secret,
+                            win: Default::default(),
+                        };
+                    }
                 }
                 MInst::St { base, off, val, ty } => {
+                    if taint_on {
+                        let bc = tcell(taints, *base);
+                        self.leak_event(f, at, &bc, SinkClass::Address);
+                    }
                     let vb = eval(regs, *base);
                     if vb.is_nat() {
                         return Err(SimError::NatConsumed);
@@ -404,6 +634,15 @@ impl<'p> Simulator<'p> {
                     }
                     self.poke(addr, coerce(v, *ty));
                     self.alat.invalidate(addr);
+                    if taint_on {
+                        let vsecret = tcell(taints, *val).secret;
+                        let ts = self.taint.as_mut().expect("taint on");
+                        if vsecret {
+                            ts.secret_mem.insert(addr);
+                        } else {
+                            ts.secret_mem.remove(&addr);
+                        }
+                    }
                     self.counters.stores += 1;
                     self.counters.cycles += self.costs.store;
                 }
@@ -412,11 +651,25 @@ impl<'p> Simulator<'p> {
                     if vals.iter().any(|v| v.is_nat()) {
                         return Err(SimError::NatConsumed);
                     }
+                    // secret bits cross the call; speculation windows are
+                    // frame-local (mirrors the intraprocedural static audit)
+                    let arg_secret: Vec<bool> = if taint_on {
+                        args.iter().map(|&a| tcell(taints, a).secret).collect()
+                    } else {
+                        Vec::new()
+                    };
                     self.counters.calls += 1;
                     self.counters.cycles += self.costs.call_overhead;
-                    let r = self.call(*func, &vals, depth + 1)?;
+                    let r = self.call(*func, &vals, &arg_secret, depth + 1)?;
                     if let Some(d) = d {
                         regs[d.0 as usize] = r.unwrap_or(Value::I(0));
+                        if taint_on {
+                            let ret_secret = self.taint.as_ref().expect("taint on").ret_secret;
+                            taints[d.0 as usize] = TaintCell {
+                                secret: ret_secret,
+                                win: Default::default(),
+                            };
+                        }
                     }
                 }
                 MInst::Alloc { d, words } => {
@@ -427,7 +680,21 @@ impl<'p> Simulator<'p> {
                     }
                     self.heap_top += w;
                     regs[d.0 as usize] = Value::I(base);
+                    if taint_on {
+                        taints[d.0 as usize] = TaintCell::default();
+                    }
                     self.counters.cycles += self.costs.alloc;
+                }
+                MInst::Fence => {
+                    // barrier: every in-flight advanced load resolves here,
+                    // so all open speculation windows close
+                    self.counters.fences_retired += 1;
+                    self.counters.cycles += self.costs.fence;
+                    if taint_on {
+                        for c in taints.iter_mut() {
+                            c.win.clear();
+                        }
+                    }
                 }
                 MInst::Jmp(t) => {
                     self.counters.cycles += self.costs.branch;
@@ -435,6 +702,10 @@ impl<'p> Simulator<'p> {
                     pc = *t;
                 }
                 MInst::Br { cond, then_, else_ } => {
+                    if taint_on {
+                        let cc = tcell(taints, *cond);
+                        self.leak_event(f, at, &cc, SinkClass::Branch);
+                    }
                     let c = eval(regs, *cond);
                     if c.is_nat() {
                         return Err(SimError::NatConsumed);
@@ -445,6 +716,10 @@ impl<'p> Simulator<'p> {
                 }
                 MInst::Ret(v) => {
                     self.counters.cycles += self.costs.branch;
+                    if taint_on {
+                        let secret = v.map(|v| tcell(taints, v).secret).unwrap_or(false);
+                        self.taint.as_mut().expect("taint on").ret_secret = secret;
+                    }
                     return Ok(v.map(|v| eval(regs, v)));
                 }
             }
@@ -552,6 +827,36 @@ pub fn run_machine_with_policy(
     let mut sim = Simulator::with_policy(prog, CostModel::default(), fuel, policy);
     let r = sim.run(idx, args)?;
     Ok((r, sim.counters()))
+}
+
+/// Like [`run_machine_with_policy`], but with taint tracking on: `secret`
+/// word addresses are marked secret, and every flow from an open
+/// speculation window into an address or branch sink is recorded.
+///
+/// # Errors
+/// See [`SimError`].
+pub fn run_machine_taint(
+    prog: &MProgram,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+    policy: Box<dyn AlatPolicy>,
+    secret: &[i64],
+) -> Result<TaintReport, SimError> {
+    let idx = prog
+        .func_by_name(entry)
+        .ok_or_else(|| SimError::NoSuchFunction(entry.to_string()))?;
+    let mut sim = Simulator::with_policy(prog, CostModel::default(), fuel, policy);
+    sim.enable_taint(secret);
+    let result = sim.run(idx, args)?;
+    let counters = sim.counters();
+    let ts = sim.taint.take().expect("taint on");
+    Ok(TaintReport {
+        result,
+        counters,
+        events: ts.events,
+        spec_trace: ts.spec_trace,
+    })
 }
 
 #[cfg(test)]

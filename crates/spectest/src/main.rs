@@ -10,6 +10,12 @@
 //!                    (the authoring aid: pick lines to pin from this)
 //!   --verify-each    run every case with pass-boundary verification on
 //!   --audit-spec     run every case with the speculation auditor on
+//!                    (cases may opt out of an override with a
+//!                    `; UNSUPPORTED: <override>` line and are counted
+//!                    as skipped)
+//!   --audit-leaks    check the leak-fencing contract on every case's
+//!                    compiled module: flagged speculative-leak sites must
+//!                    fence to a clean re-audit with unchanged results
 //!   --cache-dir DIR  route every RUN through a persistent compile cache
 //!                    (cached-path parity: output must not change)
 //!   -q, --quiet      only print failures and the summary
@@ -45,6 +51,7 @@ fn parse_cli() -> Result<Cli, String> {
             "--dump" => cli.dump = Some(PathBuf::from(args.next().ok_or("--dump needs a value")?)),
             "--verify-each" => cli.overrides.verify_each = true,
             "--audit-spec" => cli.overrides.audit_spec = true,
+            "--audit-leaks" => cli.overrides.audit_leaks = true,
             "--cache-dir" => {
                 cli.overrides.cache_dir = Some(PathBuf::from(
                     args.next().ok_or("--cache-dir needs a value")?,
@@ -54,7 +61,8 @@ fn parse_cli() -> Result<Cli, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: spectest [PATHS...] [--filter SUBSTR] [--dump FILE] \
-                            [--verify-each] [--audit-spec] [--cache-dir DIR] [-q]"
+                            [--verify-each] [--audit-spec] [--audit-leaks] \
+                            [--cache-dir DIR] [-q]"
                         .into(),
                 )
             }
@@ -90,11 +98,18 @@ fn real_main() -> Result<bool, String> {
     }
 
     let mut failures = 0usize;
+    let mut skipped = 0usize;
     for path in &files {
         match runner::run_case_with(path, cli.overrides.clone()) {
             runner::CaseOutcome::Pass => {
                 if !cli.quiet {
                     println!("PASS {}", path.display());
+                }
+            }
+            runner::CaseOutcome::Skip(why) => {
+                skipped += 1;
+                if !cli.quiet {
+                    println!("SKIP {} (UNSUPPORTED: {why})", path.display());
                 }
             }
             runner::CaseOutcome::Fail(msg) => {
@@ -107,9 +122,10 @@ fn real_main() -> Result<bool, String> {
         }
     }
     println!(
-        "spectest: {} passed, {} failed ({} total)",
-        files.len() - failures,
+        "spectest: {} passed, {} failed, {} skipped ({} total)",
+        files.len() - failures - skipped,
         failures,
+        skipped,
         files.len()
     );
     Ok(failures == 0)

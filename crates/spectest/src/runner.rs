@@ -15,6 +15,11 @@ pub struct RunSpec {
     pub sim: bool,
     /// ALAT fault policies for `--sim` (default: `default`).
     pub fault_policies: Vec<String>,
+    /// Secret locations for taint-mode simulation (`--taint-secret`).
+    pub taint_secret: Vec<String>,
+    /// Run the post-compile leak-fencing contract check (set by
+    /// [`RunOverrides::audit_leaks`], not parseable from a RUN line).
+    pub leak_contract: bool,
 }
 
 /// One parsed golden test.
@@ -26,15 +31,26 @@ pub struct SpecCase {
     pub run_lines: Vec<String>,
     /// The check directives, in file order.
     pub directives: Vec<Directive>,
+    /// Harness-wide overrides this case must be *skipped* under
+    /// (`; UNSUPPORTED: audit-spec`): a case whose pinned behavior
+    /// contradicts an override by design — e.g. a deliberately leaky
+    /// kernel, which the speculation auditor necessarily rejects — opts
+    /// out instead of failing the overridden suite run.
+    pub unsupported: Vec<String>,
     /// The IR program: the file with every `;` line removed.
     pub input: String,
 }
+
+/// Override names a `; UNSUPPORTED:` line may name.
+const OVERRIDE_NAMES: [&str; 4] = ["verify-each", "audit-spec", "audit-leaks", "cache"];
 
 /// Parses the text of a `.spec` file.
 ///
 /// Lines whose first non-blank character is `;` are harness lines: either
 /// a directive (`RUN:`, `CHECK:`, `CHECK-NEXT:`, `CHECK-NOT:`,
-/// `CHECK-DAG:` after the `;`) or a free-form comment. Everything else is
+/// `CHECK-DAG:`, `UNSUPPORTED:` after the `;`) or a free-form comment.
+/// An `UNSUPPORTED:` line names harness-wide overrides (whitespace
+/// separated, from [`OVERRIDE_NAMES`]) the case must be skipped under. Everything else is
 /// the IR program handed to the compiler (so `#` comments stay IR-side).
 /// A `;` comment that *mentions* `CHECK` or `RUN:` but parses as neither
 /// is rejected — it is almost certainly a typo that would silently turn a
@@ -43,6 +59,7 @@ pub fn parse_spec(text: &str) -> Result<SpecCase, String> {
     let mut runs = Vec::new();
     let mut run_lines = Vec::new();
     let mut directives = Vec::new();
+    let mut unsupported = Vec::new();
     let mut input = String::new();
 
     for (idx, line) in text.lines().enumerate() {
@@ -60,6 +77,19 @@ pub fn parse_spec(text: &str) -> Result<SpecCase, String> {
                 parse_run_command(cmd).map_err(|e| format!("line {lineno}: bad RUN line: {e}"))?,
             );
             run_lines.push(cmd.to_string());
+            continue;
+        }
+        if let Some(rest) = body.strip_prefix("UNSUPPORTED:") {
+            for tok in rest.split_whitespace() {
+                if !OVERRIDE_NAMES.contains(&tok) {
+                    return Err(format!(
+                        "line {lineno}: UNSUPPORTED names unknown override `{tok}` \
+                         (known: {})",
+                        OVERRIDE_NAMES.join(", ")
+                    ));
+                }
+                unsupported.push(tok.to_string());
+            }
             continue;
         }
         let kinds = [
@@ -98,6 +128,7 @@ pub fn parse_spec(text: &str) -> Result<SpecCase, String> {
         runs,
         run_lines,
         directives,
+        unsupported,
         input,
     })
 }
@@ -129,7 +160,8 @@ fn parse_values(s: &str) -> Result<Vec<Value>, String> {
 /// in a hermetic run: `--entry`, `--args`, `--train-args`, `--spec`,
 /// `--control`, `--no-sr`, `--store-sinking`, `--jobs`, `--fuel`,
 /// `--dump-after`, `--stop-after`, `--sim`, `--fault-policy`,
-/// `--verify-each`, `--audit-spec`, `--inject-spec-fail`,
+/// `--verify-each`, `--audit-spec`, `--audit-leaks`, `--fence-leaks`,
+/// `--taint-secret`, `--inject-spec-fail`,
 /// `--inject-fallback-fail`, `--inject-corrupt`. Anything else (e.g.
 /// `-o`) is rejected so a `.spec` file cannot silently diverge from what
 /// the harness actually executes.
@@ -142,8 +174,11 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
         req: CompileRequest::default(),
         sim: false,
         fault_policies: Vec::new(),
+        taint_secret: Vec::new(),
+        leak_contract: false,
     };
     let req = &mut rs.req;
+    let mut taint_secret: Vec<String> = Vec::new();
     let mut saw_input = false;
     let next_val = |toks: &mut std::str::SplitWhitespace<'_>, flag: &str| {
         toks.next()
@@ -186,6 +221,16 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
             }
             "--verify-each" => req.hooks.verify_each = true,
             "--audit-spec" => req.hooks.audit_spec = true,
+            "--audit-leaks" => req.hooks.audit_leaks = true,
+            "--fence-leaks" => req.hooks.fence_leaks = true,
+            "--taint-secret" => {
+                taint_secret.extend(next_val(&mut toks, t)?.split(',').map(str::to_string))
+            }
+            other if other.starts_with("--taint-secret=") => taint_secret.extend(
+                other["--taint-secret=".len()..]
+                    .split(',')
+                    .map(str::to_string),
+            ),
             other if other.starts_with("--dump-after=") => {
                 req.hooks.dump_after = PassSet::parse_list(&other["--dump-after=".len()..])?
             }
@@ -198,11 +243,15 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
             other => return Err(format!("unsupported RUN token `{other}`")),
         }
     }
+    rs.taint_secret = taint_secret;
     if !saw_input {
         return Err("RUN command must reference the input as `%s`".into());
     }
     if !rs.fault_policies.is_empty() && !rs.sim {
         return Err("--fault-policy requires --sim".into());
+    }
+    if !rs.taint_secret.is_empty() && !rs.sim {
+        return Err("--taint-secret requires --sim".into());
     }
     if rs.sim && rs.fault_policies.is_empty() {
         rs.fault_policies.push("default".into());
@@ -218,6 +267,9 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
 pub fn execute_run(input: &str, rs: &RunSpec) -> Result<String, String> {
     let req = &rs.req;
     let out = compile(input, req).map_err(|e| e.to_string())?;
+    if rs.leak_contract {
+        check_leak_contract(&out.module, &req.entry, &req.args, req.fuel)?;
+    }
     let mut text = String::new();
     for w in &out.report.warnings {
         text.push_str(&format!("; warning: {w}\n"));
@@ -225,13 +277,18 @@ pub fn execute_run(input: &str, rs: &RunSpec) -> Result<String, String> {
     if !req.hooks.dump_after.is_empty() {
         text.push_str(&render_dumps(&out.dumps));
     } else if rs.sim {
+        let sim_opts = specframe::pipeline::SimOptions {
+            taint_secret: rs.taint_secret.clone(),
+            fence_leaks: req.hooks.fence_leaks,
+        };
         for policy in &rs.fault_policies {
-            let (_, sim) = specframe::pipeline::simulate_text(
+            let (_, sim) = specframe::pipeline::simulate_text_with(
                 &out.module,
                 &req.entry,
                 &req.args,
                 req.fuel,
                 policy,
+                &sim_opts,
             )
             .map_err(|e| e.to_string())?;
             text.push_str(&sim);
@@ -242,11 +299,58 @@ pub fn execute_run(input: &str, rs: &RunSpec) -> Result<String, String> {
     Ok(text)
 }
 
+/// The `spectest --audit-leaks` contract over one compiled module: every
+/// speculative-leak site in its lowering must be closable by the fencing
+/// transform (re-audit clean), and — when the entry function exists —
+/// fencing must not change the architectural result. Checked at machine
+/// level so pinned golden output is untouched.
+fn check_leak_contract(
+    m: &specframe::ir::Module,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+) -> Result<(), String> {
+    use specframe::machine::{leak_audit_program, run_machine};
+    let plain = specframe::codegen::lower_module(m);
+    let sites = specframe::machine::leak_audit_program(&plain);
+    if sites.is_empty() {
+        return Ok(());
+    }
+    let (fenced, fences) = specframe::codegen::lower_module_fenced(m);
+    let still = leak_audit_program(&fenced);
+    if !still.is_empty() {
+        return Err(format!(
+            "leak contract: {} of {} flagged sites survive fencing ({} fences inserted); first: {}",
+            still.len(),
+            sites.len(),
+            fences,
+            still[0]
+        ));
+    }
+    if m.func_by_name(entry).is_some() {
+        let want = run_machine(&plain, entry, args, fuel)
+            .map_err(|e| format!("leak contract: unfenced run failed: {e}"))?
+            .0;
+        let got = run_machine(&fenced, entry, args, fuel)
+            .map_err(|e| format!("leak contract: fenced run failed: {e}"))?
+            .0;
+        if got != want {
+            return Err(format!(
+                "leak contract: fencing changed the architectural result: {want:?} -> {got:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// The verdict on one `.spec` file.
 #[derive(Debug)]
 pub enum CaseOutcome {
     /// Every directive matched.
     Pass,
+    /// The case declared an active override `; UNSUPPORTED:`; the string
+    /// names the override.
+    Skip(String),
     /// Parse, compile or match failure; the string is the full report.
     Fail(String),
 }
@@ -262,6 +366,15 @@ pub struct RunOverrides {
     pub verify_each: bool,
     /// Force [`PipelineHooks::audit_spec`] on every RUN.
     pub audit_spec: bool,
+    /// Run the speculative-leak fencing contract over every RUN's compiled
+    /// module (`spectest --audit-leaks`): the output lowering is
+    /// leak-audited, flagged sites are fenced, and the case fails if the
+    /// re-audit is not clean or fencing changed the architectural result.
+    /// A *post-compile* check on purpose — setting the pipeline's
+    /// `audit_leaks`/`fence_leaks` hooks instead would add warning lines
+    /// and degradations to pinned golden output wherever the optimizer
+    /// legitimately speculates.
+    pub audit_leaks: bool,
     /// Route every RUN through a persistent compile cache
     /// (`spectest --cache-dir`): the cached-path parity harness — the
     /// whole golden suite must produce identical output with caching on,
@@ -284,9 +397,21 @@ pub fn run_case_with(path: &Path, ov: RunOverrides) -> CaseOutcome {
         Ok(c) => c,
         Err(e) => return CaseOutcome::Fail(e),
     };
+    let active = [
+        ("verify-each", ov.verify_each),
+        ("audit-spec", ov.audit_spec),
+        ("audit-leaks", ov.audit_leaks),
+        ("cache", ov.cache_dir.is_some()),
+    ];
+    for (name, on) in active {
+        if on && case.unsupported.iter().any(|u| u == name) {
+            return CaseOutcome::Skip(name.to_string());
+        }
+    }
     for rs in &mut case.runs {
         rs.req.hooks.verify_each |= ov.verify_each;
         rs.req.hooks.audit_spec |= ov.audit_spec;
+        rs.leak_contract |= ov.audit_leaks;
         if rs.req.cache_dir.is_none() {
             rs.req.cache_dir = ov.cache_dir.clone();
         }
@@ -421,6 +546,16 @@ merge:
         assert!(req.hooks.dump_after.contains(Pass::Hssa));
         assert!(req.hooks.dump_after.contains(Pass::Lower));
         assert_eq!(req.hooks.stop_after, Some(Pass::Ssapre));
+    }
+
+    #[test]
+    fn unsupported_skips_named_overrides_only() {
+        let text = "; UNSUPPORTED: audit-spec\n; RUN: specc %s\n; CHECK: func f\nfunc f() -> i64 {\nentry:\n  ret 0\n}\n";
+        let case = parse_spec(text).unwrap();
+        assert_eq!(case.unsupported, ["audit-spec"]);
+        // unknown override names are a parse error, not a silent comment
+        let bad = text.replace("audit-spec", "audit-specs");
+        assert!(parse_spec(&bad).unwrap_err().contains("unknown override"));
     }
 
     #[test]

@@ -27,7 +27,8 @@
 //!   --sim                 run it on the EPIC simulator and print counters
 //!   --fault-policy SPEC   ALAT fault policy for --sim (repeatable):
 //!                         default | geom:E:W | always-miss | forced-miss |
-//!                         random:SEED[:DENOM] | flash-clear[:PERIOD]
+//!                         random:SEED[:DENOM] | flash-clear[:PERIOD] |
+//!                         evict-at:N[:N...]
 //!   --stats               print optimizer statistics
 //!   --jobs N              worker threads for the per-function pipeline
 //!                         (0 = auto: $SPECFRAME_JOBS, else all cores)
@@ -46,6 +47,25 @@
 //!   --audit-spec          after lowering, prove every advanced load in the
 //!                         machine code is validated by a matching check on
 //!                         every path (the speculation-safety auditor)
+//!   --audit-leaks         after lowering, reject any function in whose
+//!                         machine code an advanced-load value can reach an
+//!                         address computation or branch condition before
+//!                         its check (the speculative-leak auditor); each
+//!                         reported site is then witnessed — or refuted —
+//!                         by a seeded forced-eviction simulator run whose
+//!                         `evict-at:N` policy string is printed for replay
+//!   --fence-leaks         like --audit-leaks, but repair instead of
+//!                         reject: a speculation barrier is inserted before
+//!                         each flagged sink so the re-audit comes back
+//!                         clean (the emitted IR is unchanged; fences are a
+//!                         machine-level transform applied at lowering)
+//!   --taint-secret LOC[,LOC...]
+//!                         with --sim: mark secret inputs (`@global` marks
+//!                         every word of that global, a bare integer one
+//!                         word address), track potentially-misspeculated
+//!                         flow into addresses and branch conditions during
+//!                         each speculation window, and print the
+//!                         taint/leak counter rows after the counter block
 //!   --reduce              on a compile or result-mismatch failure, shrink
 //!                         the input to a minimal module that still fails
 //!                         the same way, print it with a `; reduce:` stats
@@ -124,6 +144,9 @@ struct Cli {
     inject_corrupt: Option<(String, Pass)>,
     verify_each: bool,
     audit_spec: bool,
+    audit_leaks: bool,
+    fence_leaks: bool,
+    taint_secret: Vec<String>,
     reduce: bool,
     fuel: u64,
     cache_dir: Option<std::path::PathBuf>,
@@ -150,6 +173,18 @@ fn parse_values(s: &str) -> Result<Vec<Value>, String> {
             }
         })
         .collect()
+}
+
+/// Splits a `--taint-secret` argument (`LOC[,LOC...]`) into the CLI's
+/// accumulated secret list; the specs resolve against the module's global
+/// layout at simulation time.
+fn push_taint_secrets(into: &mut Vec<String>, arg: &str) {
+    into.extend(
+        arg.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string),
+    );
 }
 
 fn parse_cli() -> Result<Cli, String> {
@@ -184,6 +219,9 @@ fn parse_cli() -> Result<Cli, String> {
         inject_corrupt: None,
         verify_each: false,
         audit_spec: false,
+        audit_leaks: false,
+        fence_leaks: false,
+        taint_secret: Vec::new(),
         reduce: false,
         fuel: 100_000_000,
         cache_dir: None,
@@ -273,6 +311,15 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--verify-each" => cli.verify_each = true,
             "--audit-spec" => cli.audit_spec = true,
+            "--audit-leaks" => cli.audit_leaks = true,
+            "--fence-leaks" => cli.fence_leaks = true,
+            "--taint-secret" => push_taint_secrets(
+                &mut cli.taint_secret,
+                &args.next().ok_or("--taint-secret needs a value")?,
+            ),
+            other if other.starts_with("--taint-secret=") => {
+                push_taint_secrets(&mut cli.taint_secret, &other["--taint-secret=".len()..])
+            }
             "--reduce" => cli.reduce = true,
             "--cache-dir" => {
                 cli.cache_dir = Some(args.next().ok_or("--cache-dir needs a value")?.into())
@@ -298,14 +345,23 @@ fn parse_cli() -> Result<Cli, String> {
                             [--run] [--sim] [--fault-policy SPEC].. [--stats] \
                             [--jobs N] [--time-passes]\n\
                             [--dump-after refine|hssa|ssapre|strength|lftr|storeprom|lower[,..]]\n\
-                            [--stop-after PASS] [--verify-each] [--audit-spec] [--reduce] \
+                            [--stop-after PASS] [--verify-each] [--audit-spec] \
+                            [--audit-leaks] [--fence-leaks] \
+                            [--taint-secret LOC,..] [--reduce] \
                             [--inject-spec-fail FUNC] [--inject-fallback-fail FUNC] \
                             [--inject-corrupt FUNC:PASS] [--cache-dir DIR] \
                             [--serve] [--serve-queue DIR] [--verbose]\n\
                             cache maintenance: specc cache stats|clear|verify \
                             --cache-dir DIR\n\
                             --fault-policy: default | geom:E:W | always-miss | \
-                            forced-miss | random:SEED[:DENOM] | flash-clear[:PERIOD]\n\
+                            forced-miss | random:SEED[:DENOM] | flash-clear[:PERIOD] | \
+                            evict-at:N[:N...]\n\
+                            --audit-leaks rejects (and --fence-leaks repairs) \
+                            machine code where a speculative load's value \
+                            reaches an address or branch before its check; \
+                            --taint-secret LOC[,LOC..] (with --sim) marks \
+                            `@global` words or bare word addresses secret and \
+                            tracks misspeculated flow to those sinks\n\
                             --jobs 0 (the default) auto-detects: the \
                             SPECFRAME_JOBS environment variable if set to a \
                             positive integer, otherwise all available cores"
@@ -382,6 +438,9 @@ fn parse_cli() -> Result<Cli, String> {
         cli.fault_policies.push("default".into());
     } else if !cli.sim {
         return Err("--fault-policy requires --sim".into());
+    }
+    if !cli.taint_secret.is_empty() && !cli.sim {
+        return Err("--taint-secret requires --sim".into());
     }
     Ok(cli)
 }
@@ -498,19 +557,41 @@ fn real_main() -> Result<(), CompileFailure> {
             verify_each: cli.verify_each,
             audit_spec: cli.audit_spec,
             inject_corrupt: cli.inject_corrupt.clone(),
+            audit_leaks: cli.audit_leaks,
+            fence_leaks: cli.fence_leaks,
         },
         fuel: cli.fuel,
         alias_profile,
         cache_dir: cli.cache_dir.clone(),
     };
     // keep the input around so a failure can be shrunk to a minimal repro
+    // (and so an --audit-leaks rejection can be adversarially witnessed)
     let input_for_reduce = cli.reduce.then(|| m.clone());
+    let input_for_witness =
+        ((cli.audit_leaks || cli.fence_leaks) && cli.mega.is_none()).then(|| m.clone());
     let out = match compile_module(m, &req) {
         Ok(out) => out,
         Err(e @ CompileFailure::Compile(_)) if cli.reduce => {
             return reduce_and_report(&cli, input_for_reduce.as_ref().unwrap(), &req, &e, false);
         }
-        Err(e) => return Err(e),
+        Err(e) => {
+            // close the loop adversarially: re-derive the input lowering's
+            // leak sites and drive each into actual misspeculation with a
+            // seeded eviction schedule, so the static report is backed by
+            // (or refuted against) a concrete simulator run — the printed
+            // policy string replays with `--sim --fault-policy`
+            if let (CompileFailure::Compile(ce), Some(orig)) = (&e, &input_for_witness) {
+                if ce.pass == "audit-leaks" {
+                    let text = specframe::pipeline::witness_leaks_text(
+                        orig, &cli.entry, &cli.args, cli.fuel,
+                    );
+                    for line in text.lines() {
+                        eprintln!("specc: {line}");
+                    }
+                }
+            }
+            return Err(e);
+        }
     };
     for w in &out.report.warnings {
         eprintln!("specc: warning: {w}");
@@ -520,6 +601,15 @@ fn real_main() -> Result<(), CompileFailure> {
     }
     let m = out.module;
     let report = &out.report;
+    // every fenced site is also witnessed against the *unfenced* lowering
+    // of the optimized module (the emitted IR carries no fences — they are
+    // re-applied at machine level), proving each repaired leak was real
+    if cli.fence_leaks && report.stats.leak_sites_flagged > 0 && cli.mega.is_none() {
+        let text = specframe::pipeline::witness_leaks_text(&m, &cli.entry, &cli.args, cli.fuel);
+        for line in text.lines() {
+            eprintln!("specc: {line}");
+        }
+    }
     if cli.stats {
         eprintln!("optimizer: {:?}", report.stats);
     }
@@ -591,9 +681,14 @@ fn real_main() -> Result<(), CompileFailure> {
         );
     }
     if cli.sim {
+        let sim_opts = specframe::pipeline::SimOptions {
+            taint_secret: cli.taint_secret.clone(),
+            fence_leaks: cli.fence_leaks,
+        };
         for policy in &cli.fault_policies {
-            let (got, text) =
-                specframe::pipeline::simulate_text(&m, &cli.entry, &cli.args, cli.fuel, policy)?;
+            let (got, text) = specframe::pipeline::simulate_text_with(
+                &m, &cli.entry, &cli.args, cli.fuel, policy, &sim_opts,
+            )?;
             if got != expect {
                 let fail = miscompile("sim", got);
                 if cli.reduce {
@@ -702,6 +797,8 @@ fn run_serve(cli: &Cli) -> Result<(), CompileFailure> {
                 verify_each: cli.verify_each,
                 audit_spec: cli.audit_spec,
                 inject_corrupt: cli.inject_corrupt.clone(),
+                audit_leaks: cli.audit_leaks,
+                fence_leaks: cli.fence_leaks,
             },
             fuel: cli.fuel,
             alias_profile,

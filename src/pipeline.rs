@@ -13,14 +13,17 @@
 //! `specc --sim` and golden tests lives in [`simulate_text`].
 
 use specframe_alias::AliasAnalysis;
-use specframe_codegen::lower_module;
+use specframe_codegen::{lower_module, lower_module_fenced};
 use specframe_core::{
     prepare_module, try_optimize_cached, CompileDiag, CompileError, ControlSpec, FuncCache,
     OptOptions, OptReport, PassDump, PipelineConfig, PipelineHooks, SpecSource,
 };
 use specframe_hssa::{build_hssa, HOperand, HStmtKind, Likeliness, SiteQuery, SpecMode};
 use specframe_ir::{parse_module, verify_module, FuncId, Module, Value};
-use specframe_machine::{parse_fault_policy, run_machine_with_policy, Counters};
+use specframe_machine::{
+    leak_audit_program, parse_fault_policy, run_machine_taint, run_machine_with_policy,
+    witness_leaks, Counters, LeakEvent,
+};
 use specframe_profile::{parse_alias_profile, run_with, AliasProfile, AliasProfiler, EdgeProfiler};
 
 /// Everything a compile session needs besides the program text. The
@@ -440,6 +443,146 @@ pub fn simulate_text(
     let (got, c) = run_machine_with_policy(&prog, entry, args, fuel, policy)
         .map_err(|e| CompileFailure::internal("simulate", format!("simulation failed: {e}")))?;
     Ok((got, render_sim_counters(&name, got, &c)))
+}
+
+/// Extra simulator behavior shared by `specc --sim` and golden RUN lines:
+/// taint-mode secret marking and machine-level leak fencing.
+#[derive(Debug, Clone, Default)]
+pub struct SimOptions {
+    /// Secret locations (`--taint-secret LOC[,LOC...]`): each `@name`
+    /// marks every word of that global as secret; a bare integer marks a
+    /// single word address. Non-empty switches the simulator into taint
+    /// mode (leak counters and per-site leak lines appear in the output).
+    pub taint_secret: Vec<String>,
+    /// Apply the machine-level leak-fencing transform to the lowering
+    /// before simulating (`--fence-leaks` + `--sim`), so the inserted
+    /// barriers and their cycle cost are observable in the counters.
+    pub fence_leaks: bool,
+}
+
+impl SimOptions {
+    /// Whether these options change anything over plain [`simulate_text`].
+    pub fn is_active(&self) -> bool {
+        !self.taint_secret.is_empty() || self.fence_leaks
+    }
+}
+
+/// Resolves `--taint-secret` specs against a module's global layout:
+/// `@name` expands to every word address of that global, a bare integer
+/// is taken as one word address verbatim.
+fn resolve_secret_locs(m: &Module, specs: &[String]) -> Result<Vec<i64>, CompileFailure> {
+    let layout = m.global_layout();
+    let mut out = Vec::new();
+    for spec in specs {
+        let spec = spec.trim();
+        if let Some(name) = spec.strip_prefix('@') {
+            let Some(gi) = m.globals.iter().position(|g| g.name == name) else {
+                return Err(CompileFailure::Usage(format!(
+                    "--taint-secret: unknown global `@{name}`"
+                )));
+            };
+            for w in 0..i64::from(m.globals[gi].words) {
+                out.push(layout[gi] + w);
+            }
+        } else {
+            let addr: i64 = spec.parse().map_err(|_| {
+                CompileFailure::Usage(format!(
+                    "--taint-secret: expected `@global` or a word address, got `{spec}`"
+                ))
+            })?;
+            out.push(addr);
+        }
+    }
+    Ok(out)
+}
+
+/// [`simulate_text`] with taint tracking and optional leak fencing: lowers
+/// `m` (through the fencing transform when requested), runs the
+/// taint-mode simulator with the resolved secret set, and appends the
+/// taint counter rows and per-site leak lines after the ordinary counter
+/// block. With inactive `opts` this is exactly [`simulate_text`], so the
+/// pinned counter layout of non-taint golden tests never changes.
+pub fn simulate_text_with(
+    m: &Module,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+    fault_policy: &str,
+    opts: &SimOptions,
+) -> Result<(Option<Value>, String), CompileFailure> {
+    if !opts.is_active() {
+        return simulate_text(m, entry, args, fuel, fault_policy);
+    }
+    let policy = parse_fault_policy(fault_policy).map_err(CompileFailure::Usage)?;
+    let name = policy.name();
+    let secrets = resolve_secret_locs(m, &opts.taint_secret)?;
+    let prog = if opts.fence_leaks {
+        lower_module_fenced(m).0
+    } else {
+        lower_module(m)
+    };
+    let rep = run_machine_taint(&prog, entry, args, fuel, policy, &secrets)
+        .map_err(|e| CompileFailure::internal("simulate", format!("simulation failed: {e}")))?;
+    let mut text = render_sim_counters(&name, rep.result, &rep.counters);
+    text.push_str(&render_taint_counters(&rep.counters, &rep.events));
+    Ok((rep.result, text))
+}
+
+/// The taint-mode extension of the `--sim` counter block: the leak/fence
+/// counters in the same `name = value` layout, then one `leak:` line per
+/// distinct dynamic taint-to-sink site. Kept out of
+/// [`render_sim_counters`] so the plain counter block — pinned by
+/// existing golden tests — keeps its exact shape.
+pub fn render_taint_counters(c: &Counters, events: &[LeakEvent]) -> String {
+    let mut s = String::new();
+    {
+        let mut line = |k: &str, v: String| s.push_str(&format!("{k:<21}= {v}\n"));
+        line("fences retired", c.fences_retired.to_string());
+        line("taint loads", c.taint_loads.to_string());
+        line("leak addr events", c.leak_addr_events.to_string());
+        line("leak branch events", c.leak_branch_events.to_string());
+        line("secret leak events", c.leak_secret_events.to_string());
+    }
+    for ev in events {
+        s.push_str(&format!(
+            "leak: {}@{}: speculative value from r{} reached {} sink{}\n",
+            ev.func,
+            ev.at,
+            ev.origin,
+            ev.sink,
+            if ev.secret { " (secret)" } else { "" }
+        ));
+    }
+    s
+}
+
+/// Renders adversarial-eviction witnesses for every static leak site in
+/// `m`'s (unfenced) lowering: each flagged site is driven into actual
+/// misspeculation by a seeded forced-eviction schedule constructed from a
+/// probe run, or refuted when no schedule can reach it. The emitted
+/// `evict-at:N` policy string is replayable via `--fault-policy`, so a
+/// leak repro shrinks to a `.spec`-ready case with `specc --reduce` plus
+/// one `--sim` run. Empty string when the lowering audits clean.
+pub fn witness_leaks_text(m: &Module, entry: &str, args: &[Value], fuel: u64) -> String {
+    let prog = lower_module(m);
+    let sites = leak_audit_program(&prog);
+    if sites.is_empty() {
+        return String::new();
+    }
+    let mut s = String::new();
+    for w in witness_leaks(&prog, entry, args, fuel, &sites) {
+        match &w.policy {
+            Some(p) => s.push_str(&format!(
+                "leak witness: {} — CONFIRMED under `--fault-policy {p}` ({})\n",
+                w.site, w.note
+            )),
+            None => s.push_str(&format!(
+                "leak witness: {} — refuted ({})\n",
+                w.site, w.note
+            )),
+        }
+    }
+    s
 }
 
 /// The `--sim` counter block: one `name = value` line per counter, fault
