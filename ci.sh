@@ -20,6 +20,11 @@ cargo fmt --all -- --check
 cargo run --release -q -p spectest -- -q tests/golden
 cargo run --release -q -p spectest -- -q --verify-each --audit-spec tests/golden
 
+# the same suite re-lowered and re-simulated for the software-recovery
+# backend: every case that does not pin epic-specific output (those
+# declare `; UNSUPPORTED: target`) must still pass under --target swr
+cargo run --release -q -p spectest -- -q --target swr tests/golden
+
 # the speculative-leak fencing contract over the whole corpus: every
 # compiled module's lowering must fence to a clean re-audit with the
 # architectural result unchanged (checked post-compile, so pinned golden

@@ -37,6 +37,7 @@ fn bench_optimize_configs(c: &mut Criterion) {
                         strength_reduction: true,
                         lftr: true,
                         store_sinking: false,
+                        target: Default::default(),
                     },
                 )
             })
@@ -55,6 +56,7 @@ fn bench_optimize_configs(c: &mut Criterion) {
                             strength_reduction: true,
                             lftr: true,
                             store_sinking: false,
+                            target: Default::default(),
                         },
                     )
                 })
@@ -71,6 +73,7 @@ fn bench_optimize_configs(c: &mut Criterion) {
                         strength_reduction: true,
                         lftr: true,
                         store_sinking: false,
+                        target: Default::default(),
                     },
                 )
             })
@@ -129,6 +132,7 @@ fn bench_parallel_driver(c: &mut Criterion) {
         strength_reduction: true,
         lftr: true,
         store_sinking: true,
+        target: Default::default(),
     };
     // On a single-core host jobs=N can at best tie jobs=1; still measure
     // the threaded pool (≥ 4 workers) so its overhead stays visible.

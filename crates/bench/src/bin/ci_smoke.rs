@@ -45,6 +45,7 @@ fn mega_smoke() -> MegaRow {
         strength_reduction: true,
         lftr: true,
         store_sinking: true,
+        target: Default::default(),
     };
     let mut base = mega_module(SEED, FUNCS);
     prepare_module(&mut base);
@@ -111,6 +112,7 @@ fn cache_smoke() -> CacheRow {
         strength_reduction: true,
         lftr: true,
         store_sinking: true,
+        target: Default::default(),
     };
     let cfg1 = PipelineConfig { jobs: 1 };
     let hooks = PipelineHooks::default();
@@ -231,6 +233,7 @@ fn leaks_smoke() -> LeakRow {
         strength_reduction: true,
         lftr: true,
         store_sinking: true,
+        target: Default::default(),
     };
     let mut sites = 0u64;
     let mut fences = 0u64;
@@ -288,6 +291,91 @@ entry:
         row.fenced_cycles - row.unfenced_cycles
     );
     row
+}
+
+/// Per-target throughput and overhead numbers for the CI artifact.
+struct TargetRow {
+    name: &'static str,
+    funcs_per_sec: f64,
+    /// Extra simulator cycles the leak fences cost on the speculative
+    /// kernel (fenced minus unfenced, default fault policy).
+    fence_overhead_cycles: u64,
+    /// Extra cycles when every check misses (`always-miss`) — the price
+    /// of the target's misspeculation-recovery shape.
+    recovery_overhead_cycles: u64,
+}
+
+/// The per-target smoke: the synthetic mega-module compiled once per
+/// execution target (the oracle's cost model moves with the target, so
+/// these are genuinely different compiles), plus the fence and
+/// misspeculation-recovery cycle overheads of the known-speculative
+/// kernel on each backend. Results must stay architecturally equal on
+/// every target under every measured condition.
+fn targets_smoke() -> Vec<TargetRow> {
+    use specframe_machine::{
+        fence_program, parse_fault_policy, run_machine_on, run_machine_with_policy_on, TargetId,
+    };
+    const SEED: u64 = 7;
+    const FUNCS: usize = 300;
+    let src = r#"
+global t: i64[1] = [18]
+global s: i64[4] = [7, 8, 9, 10]
+
+func main() -> i64 {
+  var p: i64
+  var v: i64
+entry:
+  p = load.a.i64 [@t]
+  v = load.i64 [p]
+  p = ldc.i64 [@t]
+  ret v
+}
+"#;
+    let mut rows = Vec::new();
+    for target in TargetId::ALL {
+        let opts = OptOptions {
+            data: SpecSource::Heuristic,
+            control: ControlSpec::Static,
+            strength_reduction: true,
+            lftr: true,
+            store_sinking: true,
+            target,
+        };
+        let mut m = mega_module(SEED, FUNCS);
+        prepare_module(&mut m);
+        let t0 = Instant::now();
+        optimize(&mut m, &opts);
+        let secs = t0.elapsed().as_secs_f64();
+
+        let mut km = specframe_ir::parse_module(src).expect("target kernel");
+        prepare_module(&mut km);
+        let plain = specframe_codegen::lower_module_for(&km, target.spec());
+        let mut fenced = plain.clone();
+        fence_program(&mut fenced);
+        let (want, c0) =
+            run_machine_on(&plain, target.spec(), "main", &[], 100_000).expect("unfenced run");
+        let (got, c1) =
+            run_machine_on(&fenced, target.spec(), "main", &[], 100_000).expect("fenced run");
+        assert_eq!(want, got, "{}: fencing changed the result", target.name());
+        let miss = parse_fault_policy("always-miss").expect("always-miss policy");
+        let (rec, c2) =
+            run_machine_with_policy_on(&plain, target.spec(), "main", &[], 100_000, miss)
+                .expect("always-miss run");
+        assert_eq!(rec, want, "{}: recovery changed the result", target.name());
+        let row = TargetRow {
+            name: target.name(),
+            funcs_per_sec: FUNCS as f64 / secs,
+            fence_overhead_cycles: c1.cycles.saturating_sub(c0.cycles),
+            recovery_overhead_cycles: c2.cycles.saturating_sub(c0.cycles),
+        };
+        println!(
+            "target {}: {:.0} funcs/sec, fence overhead +{} cycles, \
+             recovery overhead +{} cycles",
+            row.name, row.funcs_per_sec, row.fence_overhead_cycles, row.recovery_overhead_cycles
+        );
+        rows.push(row);
+    }
+    rows
 }
 
 /// A "failing" program for the reducer smoke: one `div` (the simulated
@@ -373,6 +461,7 @@ fn main() {
         strength_reduction: true,
         lftr: true,
         store_sinking: true,
+        target: Default::default(),
     };
     let mut rows = Vec::new();
     for w in all_workloads(Scale::Test) {
@@ -390,6 +479,7 @@ fn main() {
     let mega = mega_smoke();
     let cache = cache_smoke();
     let leaks = leaks_smoke();
+    let targets = targets_smoke();
     let rs = reducer_smoke();
 
     let mut json = String::from("{\n  \"config\": \"heuristic+static+sr+sink\",\n  \"iters\": ");
@@ -417,6 +507,17 @@ fn main() {
          \"fenced_cycles\": {} }},",
         leaks.sites, leaks.fences, leaks.unfenced_cycles, leaks.fenced_cycles
     );
+    json.push_str("  \"targets\": {\n");
+    for (i, t) in targets.iter().enumerate() {
+        let sep = if i + 1 == targets.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"funcs_per_sec\": {:.0}, \"fence_overhead_cycles\": {}, \
+             \"recovery_overhead_cycles\": {} }}{sep}",
+            t.name, t.funcs_per_sec, t.fence_overhead_cycles, t.recovery_overhead_cycles
+        );
+    }
+    json.push_str("  },\n");
     let _ = writeln!(
         json,
         "  \"reduce\": {{ \"probes\": {}, \"initial_insts\": {}, \

@@ -179,6 +179,7 @@ pub fn run_benchmark(w: &Workload) -> BenchResult {
         strength_reduction: true,
         lftr: true,
         store_sinking: true,
+        target: Default::default(),
     });
     let profile = compile_and_run(&OptOptions {
         data: SpecSource::Profile(&aprof),
@@ -186,6 +187,7 @@ pub fn run_benchmark(w: &Workload) -> BenchResult {
         strength_reduction: true,
         lftr: true,
         store_sinking: true,
+        target: Default::default(),
     });
     let heuristic = compile_and_run(&OptOptions {
         data: SpecSource::Heuristic,
@@ -193,6 +195,7 @@ pub fn run_benchmark(w: &Workload) -> BenchResult {
         strength_reduction: true,
         lftr: true,
         store_sinking: true,
+        target: Default::default(),
     });
     let aggressive = compile_and_run(&OptOptions {
         data: SpecSource::Aggressive,
@@ -200,6 +203,7 @@ pub fn run_benchmark(w: &Workload) -> BenchResult {
         strength_reduction: false,
         lftr: false,
         store_sinking: false,
+        target: Default::default(),
     });
 
     BenchResult {
@@ -270,6 +274,7 @@ pub fn run_ablation(w: &Workload) -> AblationResult {
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: true,
+                target: Default::default(),
             },
         );
         let prog = lower_module(&m);

@@ -1,16 +1,22 @@
 //! # specframe-codegen
 //!
-//! Code generation: lowering `specframe-ir` modules onto the EPIC target of
-//! `specframe-machine`. This is the stage where the paper's speculation
-//! annotations become real instructions:
+//! Code generation: lowering `specframe-ir` modules onto a
+//! `specframe-machine` speculation target. This is the stage where the
+//! paper's speculation annotations become real instructions; *how* is the
+//! active [`SpecTarget`]'s decision:
 //!
-//! | IR | EPIC |
-//! |----|------|
-//! | `load`            | `ld`   |
-//! | `load.a`          | `ld.a` (allocates an ALAT entry) |
-//! | `load.s`          | `ld.sa` (deferred faults + ALAT entry) |
-//! | `ldc` (checkload) | `ld.c` (free on ALAT hit) |
-//! | `chks`            | NaT check with inline reload (chk.s + recovery) |
+//! | IR | EPIC (`epic`) | software-checked (`swr`) |
+//! |----|---------------|--------------------------|
+//! | `load`            | `ld`   | `ld` |
+//! | `load.a`          | `ld.a` (ALAT entry) | `ld.a` + recorded address/epoch shadows |
+//! | `load.s`          | `ld.sa` (deferred faults + ALAT) | `ld.sa` + shadows |
+//! | `ldc` (checkload) | `ld.c` (free on ALAT hit) | compare + `chk.cmp` + recovery branch |
+//! | `chks`            | NaT check with inline reload | NaT check (unchanged — register-file property) |
+//!
+//! Each IR instruction lowers to a *sequence* of machine instructions
+//! (one, on `epic`); branch labels inside a sequence are
+//! sequence-relative and rebased at emission, so only the lowering hooks
+//! themselves may generate intra-sequence branches.
 //!
 //! Registers stay virtual (no allocator); global addresses are resolved to
 //! link-time constants using the same layout the reference interpreter
@@ -19,9 +25,16 @@
 
 use specframe_ir::{CheckKind, Function, Inst, LoadSpec, Module, Operand, Terminator, Value};
 use specframe_machine::isa::{ChkKind, LdKind, MFunc, MInst, MOperand, MProgram, Reg};
+use specframe_machine::target::{SpecFrame, SpecTarget, TargetId};
 
-/// Lowers a whole module to a machine program.
+/// Lowers a whole module to a machine program for the default (`epic`)
+/// target.
 pub fn lower_module(m: &Module) -> MProgram {
+    lower_module_for(m, TargetId::Epic.spec())
+}
+
+/// Lowers a whole module to a machine program for `target`.
+pub fn lower_module_for(m: &Module, target: &dyn SpecTarget) -> MProgram {
     let layout = m.global_layout();
     let globals_end = layout
         .last()
@@ -43,7 +56,7 @@ pub fn lower_module(m: &Module) -> MProgram {
     let funcs = m
         .funcs
         .iter()
-        .map(|f| lower_function_machine(f, &layout))
+        .map(|f| lower_function_machine_for(f, &layout, target))
         .collect();
 
     MProgram {
@@ -61,7 +74,12 @@ pub fn lower_module(m: &Module) -> MProgram {
 /// transform — the IR module is untouched, so cached artifacts and the
 /// reference interpreter see identical code.
 pub fn lower_module_fenced(m: &Module) -> (MProgram, u64) {
-    let mut p = lower_module(m);
+    lower_module_fenced_for(m, TargetId::Epic.spec())
+}
+
+/// Like [`lower_module_fenced`], but for an explicit target.
+pub fn lower_module_fenced_for(m: &Module, target: &dyn SpecTarget) -> (MProgram, u64) {
+    let mut p = lower_module_for(m, target);
     let fences = specframe_machine::leaks::fence_program(&mut p);
     (p, fences)
 }
@@ -77,38 +95,55 @@ fn operand(o: Operand, layout: &[i64]) -> MOperand {
 }
 
 /// Lowers one function against a precomputed global address layout
-/// (`Module::global_layout`). Public so the driver's `--audit-spec` hook
-/// can machine-lower a single function inside a per-function worker,
-/// without the (partially moved-out) module in hand.
+/// (`Module::global_layout`) for the default (`epic`) target. Public so
+/// the driver's `--audit-spec` hook can machine-lower a single function
+/// inside a per-function worker, without the (partially moved-out) module
+/// in hand.
 pub fn lower_function_machine(f: &Function, layout: &[i64]) -> MFunc {
-    // first pass: block start offsets
-    let mut starts = Vec::with_capacity(f.blocks.len());
-    let mut off = 0usize;
-    for b in &f.blocks {
-        starts.push(off);
-        off += b.insts.len() + 1; // + terminator
-    }
+    lower_function_machine_for(f, layout, TargetId::Epic.spec())
+}
 
-    let mut code = Vec::with_capacity(off);
+/// Like [`lower_function_machine`], but for an explicit target. Each IR
+/// instruction lowers to one target-chosen instruction sequence; block
+/// starts and branch labels are derived from the concatenated sequence
+/// lengths, and sequence-relative branches emitted by lowering hooks are
+/// rebased onto the flat stream.
+pub fn lower_function_machine_for(f: &Function, layout: &[i64], target: &dyn SpecTarget) -> MFunc {
+    // software speculation bookkeeping (epoch + shadow registers) is only
+    // threaded through functions that actually speculate
+    let speculates = f.blocks.iter().flat_map(|b| &b.insts).any(|i| match i {
+        Inst::Load { spec, .. } => !matches!(spec, LoadSpec::Normal),
+        Inst::CheckLoad { kind, .. } => matches!(kind, CheckKind::Alat),
+        _ => false,
+    });
+    let mut fr = SpecFrame::new(
+        f.vars.len() as u32,
+        target.software_spec_state() && speculates,
+    );
     let mut promoted: Vec<Reg> = Vec::new();
+
+    // first pass: lower every instruction to its target sequence (this
+    // also fixes the bookkeeping-register allocation order)
+    let mut block_seqs: Vec<Vec<Vec<MInst>>> = Vec::with_capacity(f.blocks.len());
     for b in &f.blocks {
+        let mut seqs = Vec::with_capacity(b.insts.len());
         for inst in &b.insts {
-            let mi = match inst {
-                Inst::Bin { dst, op, a, b } => MInst::Alu {
+            let seq = match inst {
+                Inst::Bin { dst, op, a, b } => vec![MInst::Alu {
                     d: Reg(dst.0),
                     op: *op,
                     a: operand(*a, layout),
                     b: operand(*b, layout),
-                },
-                Inst::Un { dst, op, a } => MInst::Un {
+                }],
+                Inst::Un { dst, op, a } => vec![MInst::Un {
                     d: Reg(dst.0),
                     op: *op,
                     a: operand(*a, layout),
-                },
-                Inst::Copy { dst, src } => MInst::Mov {
+                }],
+                Inst::Copy { dst, src } => vec![MInst::Mov {
                     d: Reg(dst.0),
                     s: operand(*src, layout),
-                },
+                }],
                 Inst::Load {
                     dst,
                     base,
@@ -122,16 +157,17 @@ pub fn lower_function_machine(f: &Function, layout: &[i64]) -> MFunc {
                         LoadSpec::Advanced => LdKind::Advanced,
                         LoadSpec::Speculative => LdKind::SpecAdvanced,
                     };
-                    if *kind_is_advanced(&kind) && !promoted.contains(&Reg(dst.0)) {
+                    if kind != LdKind::Normal && !promoted.contains(&Reg(dst.0)) {
                         promoted.push(Reg(dst.0));
                     }
-                    MInst::Ld {
-                        d: Reg(dst.0),
-                        base: operand(*base, layout),
-                        off: *offset,
-                        ty: *ty,
+                    target.lower_spec_load(
+                        &mut fr,
+                        Reg(dst.0),
+                        operand(*base, layout),
+                        *offset,
+                        *ty,
                         kind,
-                    }
+                    )
                 }
                 Inst::CheckLoad {
                     dst,
@@ -144,16 +180,17 @@ pub fn lower_function_machine(f: &Function, layout: &[i64]) -> MFunc {
                     if !promoted.contains(&Reg(dst.0)) {
                         promoted.push(Reg(dst.0));
                     }
-                    MInst::Chk {
-                        d: Reg(dst.0),
-                        base: operand(*base, layout),
-                        off: *offset,
-                        ty: *ty,
-                        kind: match kind {
+                    target.lower_check(
+                        &mut fr,
+                        Reg(dst.0),
+                        operand(*base, layout),
+                        *offset,
+                        *ty,
+                        match kind {
                             CheckKind::Alat => ChkKind::Alat,
                             CheckKind::Nat => ChkKind::Nat,
                         },
-                    }
+                    )
                 }
                 Inst::Store {
                     base,
@@ -161,25 +198,57 @@ pub fn lower_function_machine(f: &Function, layout: &[i64]) -> MFunc {
                     val,
                     ty,
                     ..
-                } => MInst::St {
-                    base: operand(*base, layout),
-                    off: *offset,
-                    val: operand(*val, layout),
-                    ty: *ty,
-                },
+                } => target.lower_store(
+                    &mut fr,
+                    operand(*base, layout),
+                    *offset,
+                    operand(*val, layout),
+                    *ty,
+                ),
                 Inst::Call {
                     dst, callee, args, ..
-                } => MInst::Call {
-                    d: dst.map(|d| Reg(d.0)),
-                    func: callee.index(),
-                    args: args.iter().map(|&a| operand(a, layout)).collect(),
-                },
-                Inst::Alloc { dst, words, .. } => MInst::Alloc {
+                } => target.lower_call(
+                    &mut fr,
+                    dst.map(|d| Reg(d.0)),
+                    callee.index(),
+                    args.iter().map(|&a| operand(a, layout)).collect(),
+                ),
+                Inst::Alloc { dst, words, .. } => vec![MInst::Alloc {
                     d: Reg(dst.0),
                     words: operand(*words, layout),
-                },
+                }],
             };
-            code.push(mi);
+            seqs.push(seq);
+        }
+        block_seqs.push(seqs);
+    }
+
+    // block start offsets over the lowered sequence lengths
+    let mut starts = Vec::with_capacity(f.blocks.len());
+    let mut off = 0usize;
+    for seqs in &block_seqs {
+        starts.push(off);
+        off += seqs.iter().map(Vec::len).sum::<usize>() + 1; // + terminator
+    }
+
+    // second pass: emit, rebasing sequence-relative branch labels (only
+    // lowering hooks produce branches inside a sequence — IR instructions
+    // are never terminators)
+    let mut code = Vec::with_capacity(off);
+    for (b, seqs) in f.blocks.iter().zip(block_seqs) {
+        for seq in seqs {
+            let base = code.len();
+            for mut mi in seq {
+                match &mut mi {
+                    MInst::Jmp(t) => *t += base,
+                    MInst::Br { then_, else_, .. } => {
+                        *then_ += base;
+                        *else_ += base;
+                    }
+                    _ => {}
+                }
+                code.push(mi);
+            }
         }
         let term = match &b.term {
             Terminator::Jump(t) => MInst::Jmp(starts[t.index()]),
@@ -196,17 +265,10 @@ pub fn lower_function_machine(f: &Function, layout: &[i64]) -> MFunc {
     MFunc {
         name: f.name.clone(),
         params: f.params,
-        regs: f.vars.len() as u32,
+        regs: fr.regs(),
         slot_words: f.slots.iter().map(|s| s.words).collect(),
         code,
         promoted_regs: promoted,
-    }
-}
-
-fn kind_is_advanced(k: &LdKind) -> &bool {
-    match k {
-        LdKind::Normal => &false,
-        _ => &true,
     }
 }
 
@@ -388,6 +450,113 @@ entry:
         assert_eq!(c.fences_retired, fences);
     }
 
+    /// swr lowering: no ALAT instructions survive, software check
+    /// sequences appear, and the architectural results match both the
+    /// epic lowering and the reference interpreter — under every fault
+    /// policy.
+    #[test]
+    fn swr_lowering_cosim_audits_and_fault_matrix() {
+        use specframe_machine::{run_machine_on, run_machine_with_policy_on};
+        let src = r#"
+global a: i64[2] = [17, 5]
+
+func f() -> i64 {
+  var p: i64
+  var v: i64
+entry:
+  p = load.a.i64 [@a]
+  v = load.i64 [p]
+  p = ldc.i64 [@a]
+  ret v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let swr = TargetId::Swr.spec();
+        let pe = lower_module(&m);
+        let ps = lower_module_for(&m, swr);
+        // the software sequence is visible in the rendering, the ALAT
+        // check is gone
+        let asm = specframe_machine::render_mprogram(&ps);
+        assert!(
+            asm.contains("chk.cmp"),
+            "swr check sequence expected:\n{asm}"
+        );
+        assert!(!asm.contains("ld.c"), "no ALAT check load on swr:\n{asm}");
+        // both audits hold on the swr-lowered code
+        specframe_machine::audit_program(&ps).unwrap();
+        let (want, _) = run_machine(&pe, "f", &[], 10_000).unwrap();
+        let (got, c) = run_machine_on(&ps, swr, "f", &[], 10_000).unwrap();
+        assert_eq!(got, want, "swr result diverged from epic");
+        assert_eq!(c.check_loads, 1);
+        assert_eq!(c.failed_checks, 0, "no intervening store: check hits");
+        for name in specframe_machine::fault_matrix() {
+            let pol = specframe_machine::parse_fault_policy(&name).unwrap();
+            let (r, c) = run_machine_with_policy_on(&ps, swr, "f", &[], 10_000, pol).unwrap();
+            assert_eq!(r, want, "policy {name} changed the swr result");
+            assert!(c.failed_checks <= c.check_loads, "policy {name}");
+        }
+    }
+
+    /// An aliasing store between the swr advanced load and its check must
+    /// fail the epoch compare and take the recovery reload.
+    #[test]
+    fn swr_aliasing_store_takes_recovery_path() {
+        use specframe_machine::run_machine_on;
+        let src = r#"
+global a: i64[1] = [42]
+
+func f() -> i64 {
+  var v: i64
+entry:
+  v = load.a.i64 [@a]
+  store.i64 [@a], 99
+  v = ldc.i64 [@a]
+  ret v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let swr = TargetId::Swr.spec();
+        let ps = lower_module_for(&m, swr);
+        let (r, c) = run_machine_on(&ps, swr, "f", &[], 10_000).unwrap();
+        assert_eq!(r, Some(Value::I(99)), "recovery must reload the store");
+        assert_eq!(c.failed_checks, 1, "epoch bump must force the miss");
+    }
+
+    /// Leak fencing works on swr machine code: the windowed address use is
+    /// flagged, fenced, and the fenced program re-audits clean with the
+    /// same architectural result.
+    #[test]
+    fn swr_fenced_lowering_preserves_results() {
+        use specframe_machine::run_machine_on;
+        let src = r#"
+global a: i64[2] = [17, 5]
+
+func f() -> i64 {
+  var p: i64
+  var v: i64
+entry:
+  p = load.a.i64 [@a]
+  v = load.i64 [p]
+  p = ldc.i64 [@a]
+  ret v
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let swr = TargetId::Swr.spec();
+        let plain = lower_module_for(&m, swr);
+        assert!(
+            !specframe_machine::leaks::leak_audit_program(&plain).is_empty(),
+            "the windowed address use must be flagged on swr too"
+        );
+        let (fenced, fences) = lower_module_fenced_for(&m, swr);
+        assert!(fences > 0);
+        assert!(specframe_machine::leaks::leak_audit_program(&fenced).is_empty());
+        let (want, _) = run_machine_on(&plain, swr, "f", &[], 10_000).unwrap();
+        let (got, c) = run_machine_on(&fenced, swr, "f", &[], 10_000).unwrap();
+        assert_eq!(got, want, "fences must not change architectural results");
+        assert_eq!(c.fences_retired, fences);
+    }
+
     /// The full paper pipeline on the machine: optimize speculatively, then
     /// measure the load reduction, the check ratio and a zero
     /// mis-speculation ratio when the profile holds.
@@ -468,6 +637,7 @@ go:
                 strength_reduction: false,
                 lftr: false,
                 store_sinking: false,
+                target: Default::default(),
             },
         );
         let ps = lower_module(&spec);

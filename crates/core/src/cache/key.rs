@@ -38,7 +38,7 @@ use specframe_profile::AliasProfile;
 
 /// Bumped whenever the entry payload layout or the key derivation changes;
 /// old entries then decode as version-skewed and degrade to fresh compiles.
-pub const CACHE_FORMAT_VERSION: u32 = 2;
+pub const CACHE_FORMAT_VERSION: u32 = 3;
 
 /// A 128-bit content hash naming one cache entry.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -268,6 +268,10 @@ impl<'a> KeyContext<'a> {
         h.write_bool(opts.strength_reduction);
         h.write_bool(opts.lftr);
         h.write_bool(opts.store_sinking);
+        // The execution target changes both the oracle's profitability
+        // verdicts and the machine lowering of any audited artifact; its
+        // fingerprint (identity | lowering revision) keys them apart.
+        h.write_u64(opts.target.spec().fingerprint());
         // Output-shaping hooks: dumps are stored in the entry and
         // verify-each/audit change which ladder rung a function lands on,
         // so entries produced under different hook configs must not mix.

@@ -31,7 +31,7 @@ use specframe_analysis::{
 };
 use specframe_hssa::{
     build_hssa_with, lower_function, print_hssa_in, refine_function_in, resolve_fresh_sites,
-    verify_hssa_detailed, HssaFunc, Likeliness, SpecMode,
+    verify_hssa_detailed, HssaFunc, Likeliness, SpecCosts, SpecMode,
 };
 use specframe_ir::display::{func_name_table, print_function_in};
 use specframe_ir::{layout_globals, CalleeSig, FuncId, Function, Global, MemSiteId, Module};
@@ -84,6 +84,31 @@ pub struct OptOptions<'a> {
     pub lftr: bool,
     /// Run store promotion (sinking loop-invariant direct stores).
     pub store_sinking: bool,
+    /// The execution target whose lowering hooks and cost model the
+    /// pipeline compiles for. The oracle weighs speculation profitability
+    /// against this target's per-check overhead, so the same input can
+    /// legitimately motion differently per target.
+    pub target: specframe_machine::TargetId,
+}
+
+impl OptOptions<'_> {
+    /// The oracle's plain-data view of the target's cost model.
+    pub fn spec_costs(&self) -> SpecCosts {
+        target_spec_costs(self.target)
+    }
+}
+
+/// Projects a target's cost table down to the oracle's plain-data view
+/// (the hssa crate cannot depend on the machine crate, so the driver — and
+/// the `--explain-spec` renderer — perform the projection).
+pub fn target_spec_costs(target: specframe_machine::TargetId) -> SpecCosts {
+    let t = target.spec();
+    let c = t.costs();
+    SpecCosts {
+        check_cost: t.check_overhead(),
+        int_load: c.int_load,
+        fp_load: c.fp_load,
+    }
 }
 
 /// Splits critical edges in every function. Run this **before** collecting
@@ -245,7 +270,10 @@ pub fn try_optimize_cached(
     let dom0 = dom_compute_count();
     prepare_module(m);
 
-    let mut timings = PassTimings::default();
+    let mut timings = PassTimings {
+        target: opts.target.name(),
+        ..PassTimings::default()
+    };
     let t0 = Instant::now();
     let aa = AliasAnalysis::analyze(m);
     timings.alias = t0.elapsed();
@@ -932,7 +960,7 @@ fn run_spec_stages(
             SpecSource::Aggressive => SpecMode::Aggressive,
         }
     };
-    let oracle = Likeliness::new(mode);
+    let oracle = Likeliness::with_costs(mode, sh.opts.spec_costs());
 
     // `--inject-corrupt` sabotages the speculative attempt right after the
     // named pass; the fallback attempt stays clean, like the other
@@ -1062,7 +1090,11 @@ fn run_spec_stages(
         // and prove the ld.a/ld.c pairing contract on the result
         current.set("audit");
         let t0 = Instant::now();
-        let mf = specframe_codegen::lower_function_machine(&lowered, sh.layout);
+        let mf = specframe_codegen::lower_function_machine_for(
+            &lowered,
+            sh.layout,
+            sh.opts.target.spec(),
+        );
         let audited = specframe_machine::audit_func(&mf);
         t.audit = t0.elapsed();
         if let Err(e) = audited {
@@ -1083,7 +1115,11 @@ fn run_spec_stages(
         // machine-level transform, so sim/bench lowerings re-derive them).
         current.set("audit-leaks");
         let t0 = Instant::now();
-        let mut mf = specframe_codegen::lower_function_machine(&lowered, sh.layout);
+        let mut mf = specframe_codegen::lower_function_machine_for(
+            &lowered,
+            sh.layout,
+            sh.opts.target.spec(),
+        );
         let sites = specframe_machine::leak_audit_func(&mf);
         if !sites.is_empty() {
             stats.leak_sites_flagged = sites.len() as u64;
@@ -1176,6 +1212,7 @@ mod tests {
                     strength_reduction: true,
                     lftr: true,
                     store_sinking: false,
+                    target: Default::default(),
                 },
             ),
             (
@@ -1186,6 +1223,7 @@ mod tests {
                     strength_reduction: true,
                     lftr: true,
                     store_sinking: false,
+                    target: Default::default(),
                 },
             ),
             (
@@ -1196,6 +1234,7 @@ mod tests {
                     strength_reduction: false,
                     lftr: false,
                     store_sinking: false,
+                    target: Default::default(),
                 },
             ),
         ];
@@ -1336,6 +1375,7 @@ go:
                 strength_reduction: false,
                 lftr: false,
                 store_sinking: false,
+                target: Default::default(),
             },
         );
         let (_, ss) = run(&spec, "main", &[Value::I(30)], 1_000_000).unwrap();
@@ -1452,6 +1492,7 @@ entry:
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: false,
+                target: Default::default(),
             };
             let (report, _) =
                 try_optimize_with_hooks(&mut m, &opts, &PipelineConfig { jobs }, &hooks)
@@ -1524,6 +1565,7 @@ entry:
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: false,
+                target: Default::default(),
             };
             let (report, _) =
                 try_optimize_with_hooks(&mut m, &opts, &PipelineConfig { jobs }, &hooks)
@@ -1587,6 +1629,7 @@ exit:
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: false,
+                target: Default::default(),
             },
             &PipelineConfig { jobs: 1 },
             &hooks,
@@ -1664,6 +1707,7 @@ go:
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: false,
+                target: Default::default(),
             },
             &PipelineConfig { jobs: 1 },
             &hooks,

@@ -81,6 +81,16 @@ impl ExprKey {
         !matches!(self, ExprKey::Bin(..))
     }
 
+    /// The loaded type when this expression is a load (feeds the oracle's
+    /// per-target profitability gate); `None` for arithmetic.
+    pub fn load_ty(&self) -> Option<Ty> {
+        match self {
+            ExprKey::Bin(..) => None,
+            ExprKey::DirectLoad(_, ty) => Some(*ty),
+            ExprKey::IndirectLoad { ty, .. } => Some(*ty),
+        }
+    }
+
     /// Whether an inserted computation of this expression may fault, which
     /// rules out *control* speculation (inserting on paths that did not
     /// execute it): loads may fault (handled by `ld.s`), and so do integer

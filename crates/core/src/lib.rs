@@ -41,8 +41,9 @@ pub mod strength;
 
 pub use cache::{CacheKey, CacheOutcome, CacheStats, FuncCache, KeyContext, Storage};
 pub use driver::{
-    optimize, optimize_with, optimize_with_hooks, prepare_module, try_optimize_cached,
-    try_optimize_with_hooks, ControlSpec, OptOptions, OptReport, PipelineConfig, SpecSource,
+    optimize, optimize_with, optimize_with_hooks, prepare_module, target_spec_costs,
+    try_optimize_cached, try_optimize_with_hooks, ControlSpec, OptOptions, OptReport,
+    PipelineConfig, SpecSource,
 };
 pub use error::{CompileDiag, CompileError};
 pub use expr::ExprKey;

@@ -291,6 +291,7 @@ fn kills_with_policy(
         stmt: refine_stmt(stmt),
         cand_direct: matches!(key, ExprKey::DirectLoad(..)),
         cand_syntax: key.syntax(),
+        cand_ty: key.load_ty(),
         expr_locs,
     })
 }
@@ -322,6 +323,7 @@ fn kills_mem_part(
         stmt: refine_stmt(stmt),
         cand_direct: matches!(key, ExprKey::DirectLoad(..)),
         cand_syntax: key.syntax(),
+        cand_ty: key.load_ty(),
         expr_locs,
     })
 }

@@ -129,6 +129,10 @@ pub struct PassTimings {
     pub total: std::time::Duration,
     /// `DomTree::compute` invocations attributed to this run.
     pub dom_computes: u64,
+    /// Name of the execution target the run lowered for (`""` until a
+    /// driver stamps it). Shown in the report header and the lower row so
+    /// `--time-passes` output says which cost model was active.
+    pub target: &'static str,
 }
 
 impl PassTimings {
@@ -151,6 +155,9 @@ impl PassTimings {
         self.cache += other.cache;
         self.total += other.total;
         self.dom_computes += other.dom_computes;
+        if self.target.is_empty() {
+            self.target = other.target;
+        }
     }
 
     /// The per-pass rows in pipeline order, as `(name, duration)`.
@@ -188,12 +195,22 @@ impl PassTimings {
         let mut rows = self.rows();
         rows.sort_by_key(|r| std::cmp::Reverse(r.1));
         let mut s = String::new();
-        s.push_str("=== pass timings ===\n");
+        if self.target.is_empty() {
+            s.push_str("=== pass timings ===\n");
+        } else {
+            s.push_str(&format!("=== pass timings (target: {}) ===\n", self.target));
+        }
         for (name, d) in rows {
             let pct = if total > 0.0 {
                 100.0 * d.as_secs_f64() / total
             } else {
                 0.0
+            };
+            // the lower row names the target whose hooks produced the code
+            let name = if name == "lower" && !self.target.is_empty() {
+                format!("lower({})", self.target)
+            } else {
+                name.to_string()
             };
             s.push_str(&format!("  {name:<14} {} {pct:5.1}%\n", ms(d)));
         }
@@ -263,6 +280,25 @@ mod tests {
         ] {
             assert!(r.contains(name), "missing {name} in report");
         }
+    }
+
+    #[test]
+    fn report_names_the_target_when_stamped() {
+        let t = PassTimings {
+            target: "swr",
+            ..Default::default()
+        };
+        let r = t.report();
+        assert!(r.contains("=== pass timings (target: swr) ==="));
+        assert!(r.contains("lower(swr)"));
+        // an unstamped block keeps the historical layout
+        let plain = PassTimings::default().report();
+        assert!(plain.contains("=== pass timings ===\n"));
+        assert!(!plain.contains("lower("));
+        // absorbing a stamped block propagates the name
+        let mut merged = PassTimings::default();
+        merged.absorb(&t);
+        assert_eq!(merged.target, "swr");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! This crate turns that argument into an executable oracle:
 //!
 //! for every case (the eight workload kernels plus seeded random loop
-//! programs with may-aliased memory traffic), for every optimizer
-//! configuration, for every ALAT fault policy —
+//! programs with may-aliased memory traffic), for every execution target
+//! (`epic` with its hardware ALAT, `swr` with software recovery checks),
+//! for every optimizer configuration, for every fault policy —
 //!
 //! ```text
 //! result(optimized, machine, policy) == result(unoptimized, interpreter)
@@ -290,181 +291,197 @@ pub fn diff_case_outcome(
     let aprof = ap.finish();
     let eprof = ep.finish();
 
-    let configs: Vec<(&str, OptOptions)> = vec![
-        ("none", OptOptions::default()),
-        (
-            "cspec",
-            OptOptions {
-                data: SpecSource::None,
-                control: ControlSpec::Profile(&eprof),
-                strength_reduction: true,
-                lftr: false,
-                store_sinking: false,
-            },
-        ),
-        (
-            "profile",
-            OptOptions {
-                data: SpecSource::Profile(&aprof),
-                control: ControlSpec::Profile(&eprof),
-                strength_reduction: true,
-                lftr: false,
-                store_sinking: false,
-            },
-        ),
-        (
-            "heuristic",
-            OptOptions {
-                data: SpecSource::Heuristic,
-                control: ControlSpec::Static,
-                strength_reduction: true,
-                lftr: false,
-                store_sinking: true,
-            },
-        ),
-        (
-            "sr-lftr",
-            OptOptions {
-                data: SpecSource::Heuristic,
-                control: ControlSpec::Static,
-                strength_reduction: true,
-                lftr: true,
-                store_sinking: true,
-            },
-        ),
-        (
-            "aggressive",
-            OptOptions {
-                data: SpecSource::Aggressive,
-                control: ControlSpec::Static,
-                strength_reduction: false,
-                lftr: false,
-                store_sinking: false,
-            },
-        ),
-    ];
-
     let mut failures = Vec::new();
-    for (cname, opts) in configs {
-        let mut om = m.clone();
-        optimize(&mut om, &opts);
-        if break_checks && !drop_first_check(&mut om) {
-            continue; // nothing speculative to sabotage in this config
-        }
-        if let Err(e) = verify_module(&om) {
-            failures.push(format!("{}/{cname}: verify failed: {e}", case.name));
-            continue;
-        }
-        // interpreter equivalence of the optimized module
-        for (args, want) in case.run_args.iter().zip(&want) {
-            match run(&om, &case.entry, args, case.fuel) {
-                Ok((r, _)) if r == *want => {}
-                Ok((r, _)) => failures.push(format!(
-                    "{}/{cname}: interp({args:?}) = {r:?}, reference {want:?}",
-                    case.name
-                )),
-                Err(e) => failures.push(format!(
-                    "{}/{cname}: interp({args:?}) failed: {e}",
-                    case.name
-                )),
+    for target in TargetId::ALL {
+        let configs: Vec<(&str, OptOptions)> = vec![
+            (
+                "none",
+                OptOptions {
+                    target,
+                    ..OptOptions::default()
+                },
+            ),
+            (
+                "cspec",
+                OptOptions {
+                    data: SpecSource::None,
+                    control: ControlSpec::Profile(&eprof),
+                    strength_reduction: true,
+                    lftr: false,
+                    store_sinking: false,
+                    target,
+                },
+            ),
+            (
+                "profile",
+                OptOptions {
+                    data: SpecSource::Profile(&aprof),
+                    control: ControlSpec::Profile(&eprof),
+                    strength_reduction: true,
+                    lftr: false,
+                    store_sinking: false,
+                    target,
+                },
+            ),
+            (
+                "heuristic",
+                OptOptions {
+                    data: SpecSource::Heuristic,
+                    control: ControlSpec::Static,
+                    strength_reduction: true,
+                    lftr: false,
+                    store_sinking: true,
+                    target,
+                },
+            ),
+            (
+                "sr-lftr",
+                OptOptions {
+                    data: SpecSource::Heuristic,
+                    control: ControlSpec::Static,
+                    strength_reduction: true,
+                    lftr: true,
+                    store_sinking: true,
+                    target,
+                },
+            ),
+            (
+                "aggressive",
+                OptOptions {
+                    data: SpecSource::Aggressive,
+                    control: ControlSpec::Static,
+                    strength_reduction: false,
+                    lftr: false,
+                    store_sinking: false,
+                    target,
+                },
+            ),
+        ];
+
+        for (cname, opts) in configs {
+            let label = format!("{}/{cname}@{}", case.name, target.name());
+            let mut om = m.clone();
+            optimize(&mut om, &opts);
+            if break_checks && !drop_first_check(&mut om) {
+                continue; // nothing speculative to sabotage in this config
             }
-        }
-        // machine equivalence under every fault policy
-        let prog = lower_module(&om);
-        for policy in policies {
+            if let Err(e) = verify_module(&om) {
+                failures.push(format!("{label}: verify failed: {e}"));
+                continue;
+            }
+            // interpreter equivalence of the optimized module
             for (args, want) in case.run_args.iter().zip(&want) {
-                let p = match parse_fault_policy(policy) {
-                    Ok(p) => p,
-                    Err(e) => return DiffOutcome::Setup(format!("bad policy `{policy}`: {e}")),
-                };
-                stats.sim_runs += 1;
-                match run_machine_with_policy(&prog, &case.entry, args, case.fuel, p) {
-                    Ok((r, c)) => {
-                        if r != *want {
-                            failures.push(format!(
-                                "{}/{cname}/{policy}: machine({args:?}) = {r:?}, \
-                                 reference {want:?}",
-                                case.name
-                            ));
-                        }
-                        if c.failed_checks > c.check_loads {
-                            failures.push(format!(
-                                "{}/{cname}/{policy}: counter sanity: \
-                                 failed_checks {} > check_loads {}",
-                                case.name, c.failed_checks, c.check_loads
-                            ));
-                        }
-                        stats.failed_checks += c.failed_checks;
-                    }
-                    Err(e) => failures.push(format!(
-                        "{}/{cname}/{policy}: machine({args:?}) failed: {e}",
-                        case.name
+                match run(&om, &case.entry, args, case.fuel) {
+                    Ok((r, _)) if r == *want => {}
+                    Ok((r, _)) => failures.push(format!(
+                        "{label}: interp({args:?}) = {r:?}, reference {want:?}"
                     )),
+                    Err(e) => failures.push(format!("{label}: interp({args:?}) failed: {e}")),
                 }
             }
-        }
-        // leak oracle: fence the same lowering, prove the static re-audit
-        // is clean, then run taint-enabled (every global word secret)
-        // under every fault policy — zero taint-to-sink events may
-        // survive fencing and the architectural result must stay
-        // bit-identical to the reference interpreter
-        let mut fprog = prog.clone();
-        let fences = specframe::machine::fence_program(&mut fprog);
-        stats.leak_sites += specframe::machine::leak_audit_program(&prog).len() as u64;
-        stats.fences_inserted += fences;
-        let still = specframe::machine::leak_audit_program(&fprog);
-        if !still.is_empty() {
-            failures.push(format!(
-                "{}/{cname}: leak oracle: {} sites survive fencing; first: {}",
-                case.name,
-                still.len(),
-                still[0]
-            ));
-        }
-        let secrets: Vec<i64> = (Module::GLOBAL_BASE..fprog.globals_end).collect();
-        for policy in policies {
-            for (args, want) in case.run_args.iter().zip(&want) {
-                let p = match parse_fault_policy(policy) {
-                    Ok(p) => p,
-                    Err(e) => return DiffOutcome::Setup(format!("bad policy `{policy}`: {e}")),
-                };
-                stats.sim_runs += 1;
-                match specframe::machine::run_machine_taint(
-                    &fprog,
-                    &case.entry,
-                    args,
-                    case.fuel,
-                    p,
-                    &secrets,
-                ) {
-                    Ok(rep) => {
-                        let c = &rep.counters;
-                        if rep.result != *want {
-                            failures.push(format!(
-                                "{}/{cname}/{policy}: fenced machine({args:?}) = {:?}, \
-                                 reference {want:?}",
-                                case.name, rep.result
-                            ));
+            // machine equivalence under every fault policy (on epic the
+            // policies act on the ALAT; on swr they map onto forced
+            // recovery-branch misses — results must agree either way)
+            let prog = lower_module_for(&om, target.spec());
+            for policy in policies {
+                for (args, want) in case.run_args.iter().zip(&want) {
+                    let p = match parse_fault_policy(policy) {
+                        Ok(p) => p,
+                        Err(e) => return DiffOutcome::Setup(format!("bad policy `{policy}`: {e}")),
+                    };
+                    stats.sim_runs += 1;
+                    match run_machine_with_policy_on(
+                        &prog,
+                        target.spec(),
+                        &case.entry,
+                        args,
+                        case.fuel,
+                        p,
+                    ) {
+                        Ok((r, c)) => {
+                            if r != *want {
+                                failures.push(format!(
+                                    "{label}/{policy}: machine({args:?}) = {r:?}, \
+                                     reference {want:?}"
+                                ));
+                            }
+                            if c.failed_checks > c.check_loads {
+                                failures.push(format!(
+                                    "{label}/{policy}: counter sanity: \
+                                     failed_checks {} > check_loads {}",
+                                    c.failed_checks, c.check_loads
+                                ));
+                            }
+                            stats.failed_checks += c.failed_checks;
                         }
-                        if c.leak_addr_events + c.leak_branch_events > 0 {
-                            let first = rep
-                                .events
-                                .first()
-                                .map(|e| format!("first: {}@{} -> {} sink", e.func, e.at, e.sink))
-                                .unwrap_or_default();
-                            failures.push(format!(
-                                "{}/{cname}/{policy}: leak oracle: {} taint-to-sink \
-                                 events survive fencing ({first})",
-                                case.name,
-                                c.leak_addr_events + c.leak_branch_events
-                            ));
-                        }
-                        stats.failed_checks += c.failed_checks;
+                        Err(e) => failures
+                            .push(format!("{label}/{policy}: machine({args:?}) failed: {e}")),
                     }
-                    Err(e) => failures.push(format!(
-                        "{}/{cname}/{policy}: fenced machine({args:?}) failed: {e}",
-                        case.name
-                    )),
+                }
+            }
+            // leak oracle: fence the same lowering, prove the static
+            // re-audit is clean, then run taint-enabled (every global word
+            // secret) under every fault policy — zero taint-to-sink events
+            // may survive fencing and the architectural result must stay
+            // bit-identical to the reference interpreter
+            let mut fprog = prog.clone();
+            let fences = specframe::machine::fence_program(&mut fprog);
+            stats.leak_sites += specframe::machine::leak_audit_program(&prog).len() as u64;
+            stats.fences_inserted += fences;
+            let still = specframe::machine::leak_audit_program(&fprog);
+            if !still.is_empty() {
+                failures.push(format!(
+                    "{label}: leak oracle: {} sites survive fencing; first: {}",
+                    still.len(),
+                    still[0]
+                ));
+            }
+            let secrets: Vec<i64> = (Module::GLOBAL_BASE..fprog.globals_end).collect();
+            for policy in policies {
+                for (args, want) in case.run_args.iter().zip(&want) {
+                    let p = match parse_fault_policy(policy) {
+                        Ok(p) => p,
+                        Err(e) => return DiffOutcome::Setup(format!("bad policy `{policy}`: {e}")),
+                    };
+                    stats.sim_runs += 1;
+                    match specframe::machine::run_machine_taint_on(
+                        &fprog,
+                        target.spec(),
+                        &case.entry,
+                        args,
+                        case.fuel,
+                        p,
+                        &secrets,
+                    ) {
+                        Ok(rep) => {
+                            let c = &rep.counters;
+                            if rep.result != *want {
+                                failures.push(format!(
+                                    "{label}/{policy}: fenced machine({args:?}) = {:?}, \
+                                     reference {want:?}",
+                                    rep.result
+                                ));
+                            }
+                            if c.leak_addr_events + c.leak_branch_events > 0 {
+                                let first = rep
+                                    .events
+                                    .first()
+                                    .map(|e| {
+                                        format!("first: {}@{} -> {} sink", e.func, e.at, e.sink)
+                                    })
+                                    .unwrap_or_default();
+                                failures.push(format!(
+                                    "{label}/{policy}: leak oracle: {} taint-to-sink \
+                                     events survive fencing ({first})",
+                                    c.leak_addr_events + c.leak_branch_events
+                                ));
+                            }
+                            stats.failed_checks += c.failed_checks;
+                        }
+                        Err(e) => failures.push(format!(
+                            "{label}/{policy}: fenced machine({args:?}) failed: {e}"
+                        )),
+                    }
                 }
             }
         }

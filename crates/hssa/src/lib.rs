@@ -43,7 +43,9 @@ pub use build::{
 };
 pub use hvar::{HVarId, HVarKind, MemBase, MemVar, VarCatalog};
 pub use lower::{lower_function, lower_hssa, resolve_fresh_sites, LOCAL_FRESH_BASE};
-pub use oracle::{ChiRefine, FnEvidence, Likeliness, RefineStmt, SiteQuery, Verdict, Why};
+pub use oracle::{
+    ChiRefine, FnEvidence, Likeliness, RefineStmt, SiteQuery, SpecCosts, Verdict, Why,
+};
 pub use print::{print_hssa, print_hssa_in};
 pub use refine::{
     fold_known_addresses, fold_known_addresses_in, refine_function, refine_function_in,

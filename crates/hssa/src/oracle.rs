@@ -28,8 +28,54 @@
 use crate::build::SpecMode;
 use specframe_alias::Loc;
 use specframe_ir::FxHashSet;
-use specframe_ir::{CallSiteId, Function, Inst, MemSiteId, Operand, VarId};
+use specframe_ir::{CallSiteId, Function, Inst, MemSiteId, Operand, Ty, VarId};
 use specframe_profile::AliasProfile;
+
+/// Target-derived cycle figures the oracle weighs speculation against:
+/// speculating a load only pays when the load's latency exceeds what the
+/// target charges for the check that guards it. The driver owns the real
+/// cost tables (in the machine crate, which this crate must not depend
+/// on) and projects them down to this plain-data view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecCosts {
+    /// Straight-line cycle overhead of one speculative check on the hit
+    /// path (0 on an ALAT machine whose `ld.c` is free, positive on a
+    /// software target that compares addresses and epochs inline).
+    pub check_cost: u64,
+    /// Integer load latency in cycles.
+    pub int_load: u64,
+    /// Floating-point load latency in cycles.
+    pub fp_load: u64,
+}
+
+impl Default for SpecCosts {
+    /// The paper's EPIC figures: free checks, 2-cycle integer loads,
+    /// 9-cycle FP loads — under which every load type is profitable, so
+    /// the default oracle behaves exactly as the pre-cost-model one did.
+    fn default() -> SpecCosts {
+        SpecCosts {
+            check_cost: 0,
+            int_load: 2,
+            fp_load: 9,
+        }
+    }
+}
+
+impl SpecCosts {
+    /// The load latency the candidate's type pays.
+    pub fn load(&self, ty: Ty) -> u64 {
+        match ty {
+            Ty::F64 => self.fp_load,
+            Ty::I64 | Ty::Ptr => self.int_load,
+        }
+    }
+
+    /// Whether hoisting a load of this type past its check pays: the
+    /// latency saved must strictly exceed the per-check overhead.
+    pub fn profitable(&self, ty: Ty) -> bool {
+        self.load(ty) > self.check_cost
+    }
+}
 
 /// Per-function syntax evidence for the heuristic rules, collected by
 /// [`Likeliness::scan`] in one pass before HSSA statements are built.
@@ -200,6 +246,9 @@ pub struct ChiRefine<'c> {
     pub cand_direct: bool,
     /// The candidate's own load syntax, when an indirect load.
     pub cand_syntax: Option<(VarId, i64)>,
+    /// The candidate's loaded type, when the candidate is a load (feeds
+    /// the [`SpecCosts`] profitability gate); `None` disables the gate.
+    pub cand_ty: Option<Ty>,
     /// Profiled LOC union over the candidate's occurrence sites.
     pub expr_locs: &'c FxHashSet<Loc>,
 }
@@ -210,17 +259,28 @@ pub struct ChiRefine<'c> {
 #[derive(Clone, Copy, Debug)]
 pub struct Likeliness<'a> {
     mode: SpecMode<'a>,
+    costs: SpecCosts,
 }
 
 impl<'a> Likeliness<'a> {
-    /// Oracle over one likeliness source.
+    /// Oracle over one likeliness source, with the default (EPIC) costs.
     pub fn new(mode: SpecMode<'a>) -> Likeliness<'a> {
-        Likeliness { mode }
+        Likeliness::with_costs(mode, SpecCosts::default())
+    }
+
+    /// Oracle over one likeliness source weighing the given target costs.
+    pub fn with_costs(mode: SpecMode<'a>, costs: SpecCosts) -> Likeliness<'a> {
+        Likeliness { mode, costs }
     }
 
     /// The underlying source.
     pub fn mode(&self) -> SpecMode<'a> {
         self.mode
+    }
+
+    /// The target cost view this oracle weighs speculation against.
+    pub fn costs(&self) -> SpecCosts {
+        self.costs
     }
 
     /// The alias profile, when the source is `profile`.
@@ -356,6 +416,17 @@ impl<'a> Likeliness<'a> {
     ///   authoritative; calls keep their rule-3 flag;
     /// * aggressive — χs never kill.
     pub fn chi_kills(&self, cx: &ChiRefine<'_>) -> bool {
+        // the profitability gate runs before any likeliness source: when
+        // the target's per-check overhead eats the candidate's load
+        // latency, speculating cannot pay no matter how unlikely the χ —
+        // honour it (kill) and keep the load where it is
+        if self.mode.speculative() {
+            if let Some(ty) = cx.cand_ty {
+                if !self.costs.profitable(ty) {
+                    return true;
+                }
+            }
+        }
         match self.mode {
             SpecMode::NoSpeculation => true,
             SpecMode::Aggressive => cx.chi_likely,
@@ -514,6 +585,7 @@ entry:
             stmt: store,
             cand_direct: false,
             cand_syntax: Some((specframe_ir::VarId(0), 0)),
+            cand_ty: None,
             expr_locs: &locs,
         }));
         // different syntax does NOT kill even when the build-time flag is
@@ -523,7 +595,40 @@ entry:
             stmt: store,
             cand_direct: false,
             cand_syntax: Some((specframe_ir::VarId(5), 0)),
+            cand_ty: None,
             expr_locs: &locs,
         }));
+    }
+
+    #[test]
+    fn unprofitable_loads_are_killed_regardless_of_source() {
+        // a software target charging 5 cycles per check: int loads (2c)
+        // stop paying, fp loads (9c) still do
+        let swr = SpecCosts {
+            check_cost: 5,
+            ..SpecCosts::default()
+        };
+        assert!(!swr.profitable(Ty::I64));
+        assert!(!swr.profitable(Ty::Ptr));
+        assert!(swr.profitable(Ty::F64));
+        let locs = FxHashSet::default();
+        let cx = |ty| ChiRefine {
+            chi_likely: false,
+            stmt: RefineStmt::Other,
+            cand_direct: false,
+            cand_syntax: None,
+            cand_ty: Some(ty),
+            expr_locs: &locs,
+        };
+        // even the aggressive source (χs never kill) honours the gate
+        for mode in [SpecMode::Aggressive, SpecMode::Heuristic] {
+            let o = Likeliness::with_costs(mode, swr);
+            assert!(o.chi_kills(&cx(Ty::I64)), "{mode:?} must kill int loads");
+            assert!(!o.chi_kills(&cx(Ty::F64)), "{mode:?} must keep fp loads");
+        }
+        // default (EPIC) costs leave every verdict untouched
+        let aggr = Likeliness::new(SpecMode::Aggressive);
+        assert!(!aggr.chi_kills(&cx(Ty::I64)));
+        assert!(!aggr.chi_kills(&cx(Ty::F64)));
     }
 }

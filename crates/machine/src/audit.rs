@@ -203,6 +203,19 @@ fn transfer(
             }
             st[d.0 as usize].clear();
         }
+        MInst::ChkCmp { d, val, .. } => {
+            // software check verdict: validates every advanced load
+            // reaching `val` by register identity. Address agreement is
+            // enforced *dynamically* by the compare the sequence computed
+            // — a stale address simply misses and takes the recovery
+            // reload, so there is no swapped-recovery class to flag here.
+            let pairs: Vec<usize> = st[val.0 as usize].iter().map(|p| p.origin).collect();
+            for o in pairs {
+                checked.insert((o, i));
+            }
+            st[val.0 as usize].clear();
+            st[d.0 as usize].clear();
+        }
         // a fence stalls until in-flight loads resolve but does not
         // validate their values — check pairing is unaffected
         MInst::Call { d: None, .. }
@@ -334,7 +347,7 @@ pub fn audit_func(f: &MFunc) -> Result<AuditStats, AuditError> {
         let Some(state) = state else { continue };
         let mut st = state.clone();
         for i in starts[k]..end_of(k) {
-            if let MInst::Chk { .. } = &f.code[i] {
+            if matches!(&f.code[i], MInst::Chk { .. } | MInst::ChkCmp { .. }) {
                 stats.checks += 1;
             }
             transfer(&mut st, i, &f.code[i], &mut checked, Some(&mut errors));

@@ -47,6 +47,12 @@ pub enum LdKind {
     /// yields NaT instead of trapping, and a successful load allocates an
     /// ALAT entry.
     SpecAdvanced,
+    /// A recovery reload emitted inside a software check sequence
+    /// (no-ALAT targets). Semantically a plain `ld` — it opens no
+    /// speculation window, allocates no ALAT entry and defers no fault —
+    /// but kept distinct so renderings and audits can tell recovery code
+    /// from user loads.
+    Recovery,
 }
 
 /// Check flavour.
@@ -89,6 +95,13 @@ pub enum MInst {
         ty: Ty,
         kind: ChkKind,
     },
+    /// Software check verdict (no-ALAT targets): `d = cond != 0 && val
+    /// is not NaT`, closing the speculation window opened by the
+    /// advanced load whose destination is `val`. `cond` carries the
+    /// address+epoch comparison computed by the lowered check sequence;
+    /// fault policies force a miss by poisoning the verdict. Never
+    /// produced when lowering for a hardware-ALAT target.
+    ChkCmp { d: Reg, val: Reg, cond: MOperand },
     /// Store.
     St {
         base: MOperand,
@@ -160,4 +173,109 @@ impl MProgram {
     pub fn inst_count(&self) -> usize {
         self.funcs.iter().map(|f| f.code.len()).sum()
     }
+}
+
+impl core::fmt::Display for MOperand {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MOperand::R(r) => write!(f, "r{}", r.0),
+            MOperand::I(v) => write!(f, "{v}"),
+            MOperand::F(v) => write!(f, "{v:?}"),
+            MOperand::SlotAddr(s) => write!(f, "slot{s}"),
+        }
+    }
+}
+
+impl LdKind {
+    /// Assembly mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            LdKind::Normal => "ld",
+            LdKind::Advanced => "ld.a",
+            LdKind::SpecAdvanced => "ld.sa",
+            LdKind::Recovery => "ld.r",
+        }
+    }
+}
+
+impl core::fmt::Display for MInst {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MInst::Mov { d, s } => write!(f, "r{} = mov {s}", d.0),
+            MInst::Alu { d, op, a, b } => write!(f, "r{} = {op} {a}, {b}", d.0),
+            MInst::Un { d, op, a } => write!(f, "r{} = {op} {a}", d.0),
+            MInst::Ld {
+                d,
+                base,
+                off,
+                ty,
+                kind,
+            } => write!(f, "r{} = {} [{base}+{off}] {ty}", d.0, kind.mnemonic()),
+            MInst::Chk {
+                d,
+                base,
+                off,
+                ty,
+                kind,
+            } => {
+                let m = match kind {
+                    ChkKind::Alat => "ld.c",
+                    ChkKind::Nat => "chk.nat",
+                };
+                write!(f, "r{} = {m} [{base}+{off}] {ty}", d.0)
+            }
+            MInst::ChkCmp { d, val, cond } => {
+                write!(f, "r{} = chk.cmp r{}, pred={cond}", d.0, val.0)
+            }
+            MInst::St { base, off, val, ty } => write!(f, "st [{base}+{off}] = {val} {ty}"),
+            MInst::Call { d, func, args } => {
+                if let Some(d) = d {
+                    write!(f, "r{} = call f{func}(", d.0)?;
+                } else {
+                    write!(f, "call f{func}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            MInst::Alloc { d, words } => write!(f, "r{} = alloc {words}", d.0),
+            MInst::Fence => write!(f, "fence"),
+            MInst::Jmp(t) => write!(f, "jmp {t}"),
+            MInst::Br { cond, then_, else_ } => write!(f, "br {cond} ? {then_} : {else_}"),
+            MInst::Ret(Some(v)) => write!(f, "ret {v}"),
+            MInst::Ret(None) => write!(f, "ret"),
+        }
+    }
+}
+
+/// Renders one machine function as indexed assembly text (the
+/// `--emit-mach` format goldens pin).
+pub fn render_mfunc(f: &MFunc) -> String {
+    use core::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mfunc {}(params={}, regs={}, slots={:?})",
+        f.name, f.params, f.regs, f.slot_words
+    );
+    for (i, inst) in f.code.iter().enumerate() {
+        let _ = writeln!(out, "  {i:>3}: {inst}");
+    }
+    out
+}
+
+/// Renders a lowered program ([`render_mfunc`] per function, in order).
+pub fn render_mprogram(p: &MProgram) -> String {
+    let mut out = String::new();
+    for (i, f) in p.funcs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render_mfunc(f));
+    }
+    out
 }

@@ -37,7 +37,8 @@
 use crate::audit::block_starts;
 use crate::isa::{LdKind, MFunc, MInst, MOperand, MProgram};
 use crate::policy::{parse_fault_policy, AlatPolicy, Deterministic, EvictAt};
-use crate::sim::{run_machine_taint, SinkClass};
+use crate::sim::{run_machine_taint_on, SinkClass};
+use crate::target::{SpecTarget, TargetId};
 use specframe_ir::Value;
 use std::collections::BTreeSet;
 
@@ -134,6 +135,25 @@ impl LeakWalk<'_> {
                         !closes
                     });
                 }
+                st[d.0 as usize].clear();
+            }
+            MInst::ChkCmp { d, val, .. } => {
+                // a software check verdict closes the windows of every
+                // advanced load targeting the checked register, exactly
+                // like `ld.c` does on an ALAT target; the verdict itself
+                // is not a sink (its branch is audited as a branch sink
+                // only if a windowed value reaches the condition)
+                for regwins in st.iter_mut() {
+                    regwins.retain(|&o| {
+                        let closes =
+                            matches!(&self.f.code[o], MInst::Ld { d: ld, .. } if ld == val);
+                        if closes {
+                            self.pairs.insert((o, i));
+                        }
+                        !closes
+                    });
+                }
+                st[val.0 as usize].clear();
                 st[d.0 as usize].clear();
             }
             MInst::St { base, .. } => {
@@ -320,16 +340,38 @@ pub fn construct_leak_witness(
     fuel: u64,
     site: &LeakSite,
 ) -> LeakWitness {
+    construct_leak_witness_on(prog, TargetId::Epic.spec(), entry, args, fuel, site)
+}
+
+/// Like [`construct_leak_witness`], but for an explicit target. On a
+/// no-ALAT target the same constructed schedules poison software check
+/// verdicts instead of dropping ALAT entries — the forced
+/// recovery-branch miss plays the eviction's role.
+pub fn construct_leak_witness_on(
+    prog: &MProgram,
+    target: &dyn SpecTarget,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+    site: &LeakSite,
+) -> LeakWitness {
     let refuted = |note: String| LeakWitness {
         site: site.clone(),
         policy: None,
         note,
     };
-    let probe =
-        match run_machine_taint(prog, entry, args, fuel, Box::new(Deterministic::new()), &[]) {
-            Ok(p) => p,
-            Err(e) => return refuted(format!("probe run failed: {e}")),
-        };
+    let probe = match run_machine_taint_on(
+        prog,
+        target,
+        entry,
+        args,
+        fuel,
+        Box::new(Deterministic::new()),
+        &[],
+    ) {
+        Ok(p) => p,
+        Err(e) => return refuted(format!("probe run failed: {e}")),
+    };
     let Some(&(_, _, dyn_at)) = probe
         .spec_trace
         .iter()
@@ -343,7 +385,7 @@ pub fn construct_leak_witness(
     ];
     for policy_str in candidates {
         let policy = parse_fault_policy(&policy_str).expect("constructed policy strings parse");
-        let Ok(rep) = run_machine_taint(prog, entry, args, fuel, policy, &[]) else {
+        let Ok(rep) = run_machine_taint_on(prog, target, entry, args, fuel, policy, &[]) else {
             continue;
         };
         let sink_hit = rep
@@ -374,9 +416,21 @@ pub fn witness_leaks(
     fuel: u64,
     sites: &[LeakSite],
 ) -> Vec<LeakWitness> {
+    witness_leaks_on(prog, TargetId::Epic.spec(), entry, args, fuel, sites)
+}
+
+/// Like [`witness_leaks`], but for an explicit target.
+pub fn witness_leaks_on(
+    prog: &MProgram,
+    target: &dyn SpecTarget,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+    sites: &[LeakSite],
+) -> Vec<LeakWitness> {
     sites
         .iter()
-        .map(|s| construct_leak_witness(prog, entry, args, fuel, s))
+        .map(|s| construct_leak_witness_on(prog, target, entry, args, fuel, s))
         .collect()
 }
 
@@ -385,6 +439,7 @@ mod tests {
     use super::*;
     use crate::audit;
     use crate::isa::{ChkKind, Reg};
+    use crate::sim::run_machine_taint;
     use specframe_ir::Ty;
 
     fn mf(regs: u32, code: Vec<MInst>) -> MFunc {

@@ -4,6 +4,7 @@ use crate::alat::Alat;
 use crate::costs::CostModel;
 use crate::isa::{ChkKind, LdKind, MFunc, MInst, MOperand, MProgram};
 use crate::policy::{AlatPolicy, Deterministic, FaultAction};
+use crate::target::{SpecTarget, TargetId};
 use specframe_ir::{BinOp, Ty, UnOp, Value};
 
 /// Words reserved for the stack region (matches the interpreter layout).
@@ -223,6 +224,18 @@ pub struct Simulator<'p> {
     counters: Counters,
     fuel: u64,
     taint: Option<TaintState>,
+    /// Whether the target has a hardware ALAT. Without one, `ld.c` has
+    /// nothing to consult (it always misses) and software check verdicts
+    /// ([`MInst::ChkCmp`]) carry the speculation contract instead.
+    has_alat: bool,
+    /// Policy geometry has zero entries (`always-miss`): every software
+    /// check verdict is forced to miss, mirroring a 0-entry ALAT.
+    zero_geom: bool,
+    /// Pending fault-policy verdict poisonings on a no-ALAT target: each
+    /// [`FaultAction`] charges one forced miss against the next software
+    /// check (forcing extra misses is always architecturally legal — the
+    /// recovery path reloads current memory through the current address).
+    poison: u64,
 }
 
 impl<'p> Simulator<'p> {
@@ -256,10 +269,27 @@ impl<'p> Simulator<'p> {
             counters: Counters::default(),
             fuel,
             taint: None,
+            has_alat: true,
+            zero_geom: g.entries == 0,
+            poison: 0,
         };
         for &(addr, v) in &prog.global_image {
             s.poke(addr, v);
         }
+        s
+    }
+
+    /// Like [`Simulator::with_policy`], but configured for `target`: its
+    /// cost table and ALAT presence govern execution. `with_policy` is
+    /// exactly `for_target` with the EPIC target.
+    pub fn for_target(
+        prog: &'p MProgram,
+        target: &dyn SpecTarget,
+        fuel: u64,
+        policy: Box<dyn AlatPolicy>,
+    ) -> Simulator<'p> {
+        let mut s = Simulator::with_policy(prog, target.costs(), fuel, policy);
+        s.has_alat = target.has_alat();
         s
     }
 
@@ -373,6 +403,18 @@ impl<'p> Simulator<'p> {
         result
     }
 
+    /// Consumes one pending fault-policy poisoning (no-ALAT targets); the
+    /// forced miss is accounted like an ALAT entry lost to the policy.
+    fn take_poison(&mut self) -> bool {
+        if self.poison > 0 {
+            self.poison -= 1;
+            self.alat.fault_kills += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Records one taint-to-sink flow (taint mode only; no-op when the
     /// window set of `cell` is empty).
     fn leak_event(&mut self, f: &MFunc, at: usize, cell: &TaintCell, sink: SinkClass) {
@@ -434,11 +476,26 @@ impl<'p> Simulator<'p> {
             self.fuel -= 1;
             self.counters.insts += 1;
             // the fault policy may drop ALAT entries at any instruction
-            // boundary — the architecture explicitly permits this
+            // boundary — the architecture explicitly permits this; on a
+            // no-ALAT target the same injections poison upcoming software
+            // check verdicts instead (a forced recovery-branch miss)
             match self.policy.on_inst() {
                 FaultAction::None => {}
-                FaultAction::KillOne(lottery) => self.alat.kill_one(lottery),
-                FaultAction::FlashClear => self.alat.flash_clear(),
+                FaultAction::KillOne(lottery) => {
+                    if self.has_alat {
+                        self.alat.kill_one(lottery);
+                    } else {
+                        self.poison += 1;
+                    }
+                }
+                FaultAction::FlashClear => {
+                    if self.has_alat {
+                        self.alat.flash_clear();
+                    } else {
+                        self.poison += 1;
+                        self.alat.flash_clears += 1;
+                    }
+                }
             }
             let at = pc;
             let inst = &f.code[pc];
@@ -484,11 +541,14 @@ impl<'p> Simulator<'p> {
                     }
                     let vb = eval(regs, *base);
                     let speculative = *kind == LdKind::SpecAdvanced;
+                    // a speculative flavour opens a window; plain and
+                    // recovery loads close any window on the destination
+                    let advanced = matches!(kind, LdKind::Advanced | LdKind::SpecAdvanced);
                     // taint: a spec load opens a window keyed by its dest
                     let open_window = |taints: &mut [TaintCell], secret: bool| {
                         let mut c = tcell(taints, *base);
                         c.secret = secret;
-                        if *kind != LdKind::Normal {
+                        if advanced {
                             c.win.insert(d.0);
                         } else {
                             c.win.clear();
@@ -532,7 +592,7 @@ impl<'p> Simulator<'p> {
                             self.counters.taint_loads += 1;
                         }
                         open_window(taints, secret);
-                        if *kind != LdKind::Normal {
+                        if advanced {
                             let dyn_inst = self.counters.insts;
                             let ts = self.taint.as_mut().expect("taint on");
                             if ts.traced.insert((f.name.clone(), at)) {
@@ -549,7 +609,7 @@ impl<'p> Simulator<'p> {
                     } else {
                         self.counters.int_loads += 1;
                     }
-                    if *kind != LdKind::Normal {
+                    if advanced && self.has_alat {
                         self.alat.insert(*d, addr);
                     }
                 }
@@ -575,7 +635,12 @@ impl<'p> Simulator<'p> {
                     self.counters.check_loads += 1;
                     let ok = match kind {
                         ChkKind::Alat => {
-                            !self.policy.force_miss()
+                            // without ALAT hardware an `ld.c` has nothing
+                            // to consult: it conservatively misses (lowering
+                            // for such targets emits ChkCmp sequences, so
+                            // this arm is a defensive fallback there)
+                            self.has_alat
+                                && !self.policy.force_miss()
                                 && self.alat.check(*d, addr)
                                 && !regs[d.0 as usize].is_nat()
                         }
@@ -593,7 +658,7 @@ impl<'p> Simulator<'p> {
                         self.counters.cycles += lat;
                         self.counters.data_access_cycles += lat;
                         self.counters.failed_checks += 1;
-                        if *kind == ChkKind::Alat {
+                        if *kind == ChkKind::Alat && self.has_alat {
                             self.alat.insert(*d, addr);
                         }
                     }
@@ -615,6 +680,35 @@ impl<'p> Simulator<'p> {
                         };
                     }
                 }
+                MInst::ChkCmp { d, val, cond } => {
+                    // software check verdict (no-ALAT targets): the lowered
+                    // sequence computed `cond` = "recorded address and epoch
+                    // still match"; the verdict also fails when the policy
+                    // forces a miss or the checked value is NaT, sending the
+                    // following branch down the recovery reload
+                    let c = eval(regs, *cond);
+                    self.counters.check_loads += 1;
+                    let forced = self.policy.force_miss() || self.zero_geom || self.take_poison();
+                    let ok =
+                        !forced && !c.is_nat() && c.as_i64() != 0 && !regs[val.0 as usize].is_nat();
+                    regs[d.0 as usize] = Value::I(i64::from(ok));
+                    if ok {
+                        self.counters.cycles += self.costs.check_ok;
+                    } else {
+                        self.counters.cycles += self.costs.check_fail_penalty;
+                        self.counters.data_access_cycles += self.costs.check_fail_penalty;
+                        self.counters.failed_checks += 1;
+                    }
+                    if taint_on {
+                        // the verdict resolves the speculation window opened
+                        // by the advanced load whose destination is `val`
+                        for c in taints.iter_mut() {
+                            c.win.remove(&val.0);
+                        }
+                        taints[val.0 as usize].win.clear();
+                        taints[d.0 as usize] = TaintCell::default();
+                    }
+                }
                 MInst::St { base, off, val, ty } => {
                     if taint_on {
                         let bc = tcell(taints, *base);
@@ -633,7 +727,9 @@ impl<'p> Simulator<'p> {
                         return Err(SimError::NatConsumed);
                     }
                     self.poke(addr, coerce(v, *ty));
-                    self.alat.invalidate(addr);
+                    if self.has_alat {
+                        self.alat.invalidate(addr);
+                    }
                     if taint_on {
                         let vsecret = tcell(taints, *val).secret;
                         let ts = self.taint.as_mut().expect("taint on");
@@ -809,6 +905,28 @@ pub fn run_machine(
     run_machine_with_policy(prog, entry, args, fuel, Box::new(Deterministic::new()))
 }
 
+/// Like [`run_machine`], but for an explicit target (cost table and ALAT
+/// presence).
+///
+/// # Errors
+/// See [`SimError`].
+pub fn run_machine_on(
+    prog: &MProgram,
+    target: &dyn SpecTarget,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+) -> Result<(Option<Value>, Counters), SimError> {
+    run_machine_with_policy_on(
+        prog,
+        target,
+        entry,
+        args,
+        fuel,
+        Box::new(Deterministic::new()),
+    )
+}
+
 /// Like [`run_machine`], but under an explicit ALAT fault policy (see
 /// [`crate::policy::parse_fault_policy`] for the string grammar).
 ///
@@ -821,10 +939,25 @@ pub fn run_machine_with_policy(
     fuel: u64,
     policy: Box<dyn AlatPolicy>,
 ) -> Result<(Option<Value>, Counters), SimError> {
+    run_machine_with_policy_on(prog, TargetId::Epic.spec(), entry, args, fuel, policy)
+}
+
+/// Like [`run_machine_with_policy`], but for an explicit target.
+///
+/// # Errors
+/// See [`SimError`].
+pub fn run_machine_with_policy_on(
+    prog: &MProgram,
+    target: &dyn SpecTarget,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+    policy: Box<dyn AlatPolicy>,
+) -> Result<(Option<Value>, Counters), SimError> {
     let idx = prog
         .func_by_name(entry)
         .ok_or_else(|| SimError::NoSuchFunction(entry.to_string()))?;
-    let mut sim = Simulator::with_policy(prog, CostModel::default(), fuel, policy);
+    let mut sim = Simulator::for_target(prog, target, fuel, policy);
     let r = sim.run(idx, args)?;
     Ok((r, sim.counters()))
 }
@@ -843,10 +976,35 @@ pub fn run_machine_taint(
     policy: Box<dyn AlatPolicy>,
     secret: &[i64],
 ) -> Result<TaintReport, SimError> {
+    run_machine_taint_on(
+        prog,
+        TargetId::Epic.spec(),
+        entry,
+        args,
+        fuel,
+        policy,
+        secret,
+    )
+}
+
+/// Like [`run_machine_taint`], but for an explicit target.
+///
+/// # Errors
+/// See [`SimError`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_machine_taint_on(
+    prog: &MProgram,
+    target: &dyn SpecTarget,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+    policy: Box<dyn AlatPolicy>,
+    secret: &[i64],
+) -> Result<TaintReport, SimError> {
     let idx = prog
         .func_by_name(entry)
         .ok_or_else(|| SimError::NoSuchFunction(entry.to_string()))?;
-    let mut sim = Simulator::with_policy(prog, CostModel::default(), fuel, policy);
+    let mut sim = Simulator::for_target(prog, target, fuel, policy);
     sim.enable_taint(secret);
     let result = sim.run(idx, args)?;
     let counters = sim.counters();

@@ -18,6 +18,9 @@
 //!                    fence to a clean re-audit with unchanged results
 //!   --cache-dir DIR  route every RUN through a persistent compile cache
 //!                    (cached-path parity: output must not change)
+//!   --target NAME    force every RUN onto execution target NAME
+//!                    (epic|swr); target-pinned cases opt out with
+//!                    `; UNSUPPORTED: target`
 //!   -q, --quiet      only print failures and the summary
 //! ```
 //!
@@ -57,12 +60,13 @@ fn parse_cli() -> Result<Cli, String> {
                     args.next().ok_or("--cache-dir needs a value")?,
                 ))
             }
+            "--target" => cli.overrides.target = Some(args.next().ok_or("--target needs a value")?),
             "-q" | "--quiet" => cli.quiet = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: spectest [PATHS...] [--filter SUBSTR] [--dump FILE] \
                             [--verify-each] [--audit-spec] [--audit-leaks] \
-                            [--cache-dir DIR] [-q]"
+                            [--cache-dir DIR] [--target NAME] [-q]"
                         .into(),
                 )
             }

@@ -20,6 +20,10 @@ pub struct RunSpec {
     /// Run the post-compile leak-fencing contract check (set by
     /// [`RunOverrides::audit_leaks`], not parseable from a RUN line).
     pub leak_contract: bool,
+    /// Emit the rendered machine lowering of the optimized module
+    /// (`--emit mach`) instead of its IR text, so goldens can pin
+    /// per-target check sequences (`chk.a` vs `chk.cmp` + recovery).
+    pub emit_mach: bool,
 }
 
 /// One parsed golden test.
@@ -42,7 +46,13 @@ pub struct SpecCase {
 }
 
 /// Override names a `; UNSUPPORTED:` line may name.
-const OVERRIDE_NAMES: [&str; 4] = ["verify-each", "audit-spec", "audit-leaks", "cache"];
+const OVERRIDE_NAMES: [&str; 5] = [
+    "verify-each",
+    "audit-spec",
+    "audit-leaks",
+    "cache",
+    "target",
+];
 
 /// Parses the text of a `.spec` file.
 ///
@@ -158,10 +168,10 @@ fn parse_values(s: &str) -> Result<Vec<Value>, String> {
 ///
 /// The vocabulary is the subset of the real `specc` CLI that makes sense
 /// in a hermetic run: `--entry`, `--args`, `--train-args`, `--spec`,
-/// `--control`, `--no-sr`, `--store-sinking`, `--jobs`, `--fuel`,
-/// `--dump-after`, `--stop-after`, `--sim`, `--fault-policy`,
-/// `--verify-each`, `--audit-spec`, `--audit-leaks`, `--fence-leaks`,
-/// `--taint-secret`, `--inject-spec-fail`,
+/// `--control`, `--target`, `--no-sr`, `--store-sinking`, `--jobs`,
+/// `--fuel`, `--dump-after`, `--stop-after`, `--sim`, `--fault-policy`,
+/// `--emit mach`, `--verify-each`, `--audit-spec`, `--audit-leaks`,
+/// `--fence-leaks`, `--taint-secret`, `--inject-spec-fail`,
 /// `--inject-fallback-fail`, `--inject-corrupt`. Anything else (e.g.
 /// `-o`) is rejected so a `.spec` file cannot silently diverge from what
 /// the harness actually executes.
@@ -176,6 +186,7 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
         fault_policies: Vec::new(),
         taint_secret: Vec::new(),
         leak_contract: false,
+        emit_mach: false,
     };
     let req = &mut rs.req;
     let mut taint_secret: Vec<String> = Vec::new();
@@ -193,6 +204,12 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
             "--train-args" => req.train_args = Some(parse_values(&next_val(&mut toks, t)?)?),
             "--spec" => req.spec = next_val(&mut toks, t)?,
             "--control" => req.control = next_val(&mut toks, t)?,
+            "--target" => req.target = next_val(&mut toks, t)?,
+            "--emit" => match next_val(&mut toks, t)?.as_str() {
+                "mach" => rs.emit_mach = true,
+                "ir" => {}
+                other => return Err(format!("unsupported --emit `{other}` in a RUN line")),
+            },
             "--no-sr" => req.strength_reduction = false,
             "--no-lftr" => req.lftr = false,
             "--store-sinking" => req.store_sinking = true,
@@ -225,6 +242,9 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
             "--fence-leaks" => req.hooks.fence_leaks = true,
             "--taint-secret" => {
                 taint_secret.extend(next_val(&mut toks, t)?.split(',').map(str::to_string))
+            }
+            other if other.starts_with("--target=") => {
+                req.target = other["--target=".len()..].to_string()
             }
             other if other.starts_with("--taint-secret=") => taint_secret.extend(
                 other["--taint-secret=".len()..]
@@ -266,9 +286,11 @@ pub fn parse_run_command(cmd: &str) -> Result<RunSpec, String> {
 /// policy when simulating, and the optimized module otherwise.
 pub fn execute_run(input: &str, rs: &RunSpec) -> Result<String, String> {
     let req = &rs.req;
+    let target = specframe::machine::TargetId::parse(&req.target)
+        .ok_or_else(|| format!("unknown --target `{}` (expected epic|swr)", req.target))?;
     let out = compile(input, req).map_err(|e| e.to_string())?;
     if rs.leak_contract {
-        check_leak_contract(&out.module, &req.entry, &req.args, req.fuel)?;
+        check_leak_contract(&out.module, target, &req.entry, &req.args, req.fuel)?;
     }
     let mut text = String::new();
     for w in &out.report.warnings {
@@ -276,10 +298,14 @@ pub fn execute_run(input: &str, rs: &RunSpec) -> Result<String, String> {
     }
     if !req.hooks.dump_after.is_empty() {
         text.push_str(&render_dumps(&out.dumps));
+    } else if rs.emit_mach {
+        let prog = specframe::codegen::lower_module_for(&out.module, target.spec());
+        text.push_str(&specframe::machine::render_mprogram(&prog));
     } else if rs.sim {
         let sim_opts = specframe::pipeline::SimOptions {
             taint_secret: rs.taint_secret.clone(),
             fence_leaks: req.hooks.fence_leaks,
+            target,
         };
         for policy in &rs.fault_policies {
             let (_, sim) = specframe::pipeline::simulate_text_with(
@@ -306,17 +332,18 @@ pub fn execute_run(input: &str, rs: &RunSpec) -> Result<String, String> {
 /// level so pinned golden output is untouched.
 fn check_leak_contract(
     m: &specframe::ir::Module,
+    target: specframe::machine::TargetId,
     entry: &str,
     args: &[Value],
     fuel: u64,
 ) -> Result<(), String> {
-    use specframe::machine::{leak_audit_program, run_machine};
-    let plain = specframe::codegen::lower_module(m);
+    use specframe::machine::{leak_audit_program, run_machine_on};
+    let plain = specframe::codegen::lower_module_for(m, target.spec());
     let sites = specframe::machine::leak_audit_program(&plain);
     if sites.is_empty() {
         return Ok(());
     }
-    let (fenced, fences) = specframe::codegen::lower_module_fenced(m);
+    let (fenced, fences) = specframe::codegen::lower_module_fenced_for(m, target.spec());
     let still = leak_audit_program(&fenced);
     if !still.is_empty() {
         return Err(format!(
@@ -328,10 +355,10 @@ fn check_leak_contract(
         ));
     }
     if m.func_by_name(entry).is_some() {
-        let want = run_machine(&plain, entry, args, fuel)
+        let want = run_machine_on(&plain, target.spec(), entry, args, fuel)
             .map_err(|e| format!("leak contract: unfenced run failed: {e}"))?
             .0;
-        let got = run_machine(&fenced, entry, args, fuel)
+        let got = run_machine_on(&fenced, target.spec(), entry, args, fuel)
             .map_err(|e| format!("leak contract: fenced run failed: {e}"))?
             .0;
         if got != want {
@@ -380,6 +407,12 @@ pub struct RunOverrides {
     /// whole golden suite must produce identical output with caching on,
     /// cold or warm.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Force every RUN onto this execution target (`spectest --target`):
+    /// the whole golden suite is re-lowered and re-simulated for another
+    /// backend. Cases that pin target-specific output (counter blocks,
+    /// machine text, `--explain-spec` verdicts) declare
+    /// `; UNSUPPORTED: target` and are counted as skipped.
+    pub target: Option<String>,
 }
 
 /// Runs one golden test file from disk.
@@ -402,6 +435,7 @@ pub fn run_case_with(path: &Path, ov: RunOverrides) -> CaseOutcome {
         ("audit-spec", ov.audit_spec),
         ("audit-leaks", ov.audit_leaks),
         ("cache", ov.cache_dir.is_some()),
+        ("target", ov.target.is_some()),
     ];
     for (name, on) in active {
         if on && case.unsupported.iter().any(|u| u == name) {
@@ -414,6 +448,9 @@ pub fn run_case_with(path: &Path, ov: RunOverrides) -> CaseOutcome {
         rs.leak_contract |= ov.audit_leaks;
         if rs.req.cache_dir.is_none() {
             rs.req.cache_dir = ov.cache_dir.clone();
+        }
+        if let Some(t) = &ov.target {
+            rs.req.target = t.clone();
         }
     }
     if case.directives.is_empty() {
@@ -534,11 +571,13 @@ merge:
     fn run_line_parses_full_vocabulary() {
         let req = parse_run_command(
             "specc %s --entry f --args 1,2 --train-args 3 --spec profile --control profile \
-             --no-sr --store-sinking --jobs 4 --dump-after=hssa,lower --stop-after ssapre",
+             --target swr --no-sr --store-sinking --jobs 4 --dump-after=hssa,lower \
+             --stop-after ssapre",
         )
         .unwrap()
         .req;
         assert_eq!(req.entry, "f");
+        assert_eq!(req.target, "swr");
         assert_eq!(req.args, vec![Value::I(1), Value::I(2)]);
         assert_eq!(req.train_args, Some(vec![Value::I(3)]));
         assert!(!req.strength_reduction && req.store_sinking);
@@ -546,6 +585,51 @@ merge:
         assert!(req.hooks.dump_after.contains(Pass::Hssa));
         assert!(req.hooks.dump_after.contains(Pass::Lower));
         assert_eq!(req.hooks.stop_after, Some(Pass::Ssapre));
+    }
+
+    #[test]
+    fn run_line_parses_target_and_emit_mach() {
+        let rs = parse_run_command("specc %s --target=swr --emit mach").unwrap();
+        assert_eq!(rs.req.target, "swr");
+        assert!(rs.emit_mach);
+        // `--emit ir` is the default output and parses as a no-op
+        let rs = parse_run_command("specc %s --emit ir").unwrap();
+        assert!(!rs.emit_mach);
+        assert!(parse_run_command("specc %s --emit hssa").is_err());
+        // a bogus target is rejected at execution time, not parse time
+        let rs = parse_run_command("specc %s --target vliw").unwrap();
+        let e = execute_run("func f() -> i64 {\nentry:\n  ret 0\n}\n", &rs).unwrap_err();
+        assert!(e.contains("unknown --target"), "{e}");
+    }
+
+    #[test]
+    fn target_override_forces_every_run_and_honors_unsupported() {
+        let dir = std::env::temp_dir().join(format!("spectest-target-ov-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let case = dir.join("case.spec");
+        std::fs::write(
+            &case,
+            "; RUN: specc %s\n; CHECK: func f\nfunc f() -> i64 {\nentry:\n  ret 0\n}\n",
+        )
+        .unwrap();
+        let ov = RunOverrides {
+            target: Some("swr".into()),
+            ..RunOverrides::default()
+        };
+        assert!(matches!(
+            run_case_with(&case, ov.clone()),
+            CaseOutcome::Pass
+        ));
+        // an epic-pinned case opts out of the override
+        let pinned = dir.join("pinned.spec");
+        std::fs::write(
+            &pinned,
+            "; UNSUPPORTED: target\n; RUN: specc %s\n; CHECK: func f\n\
+             func f() -> i64 {\nentry:\n  ret 0\n}\n",
+        )
+        .unwrap();
+        assert!(matches!(run_case_with(&pinned, ov), CaseOutcome::Skip(s) if s == "target"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn main() {
             strength_reduction: true,
             lftr: true,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     let prog = lower_module(&spec);

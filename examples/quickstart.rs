@@ -74,6 +74,7 @@ fn main() {
             strength_reduction: true,
             lftr: true,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     let (rb, cb) = run_machine(&lower_module(&baseline), "main", &args, 10_000_000).unwrap();
@@ -88,6 +89,7 @@ fn main() {
             strength_reduction: true,
             lftr: true,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     let (rs, cs) = run_machine(&lower_module(&spec), "main", &args, 10_000_000).unwrap();

@@ -25,6 +25,7 @@ fn main() {
             strength_reduction: true,
             lftr: true,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     let (rb, cb) = run_machine(&lower_module(&baseline), w.entry, &w.ref_args, w.fuel).unwrap();
@@ -38,6 +39,7 @@ fn main() {
             strength_reduction: true,
             lftr: true,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     let (rs, cs) = run_machine(&lower_module(&spec), w.entry, &w.ref_args, w.fuel).unwrap();

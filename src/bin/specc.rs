@@ -10,6 +10,12 @@
 //!                         (default: profile)
 //!   --control MODE        control speculation: off|profile|static
 //!                         (default: profile)
+//!   --target NAME         execution target: epic (hardware ALAT, default)
+//!                         | swr (software checks: compare-and-branch
+//!                         recovery, no ALAT). Selects the lowering hooks
+//!                         and the cost model the profitability oracle
+//!                         weighs, so motion decisions may differ per
+//!                         target on the same input
 //!   --no-sr               disable strength reduction (and with it LFTR)
 //!   --no-lftr             disable linear-function test replacement only
 //!   --store-sinking       enable store promotion
@@ -22,6 +28,8 @@
 //!                         serialize the alias profile this compile used
 //!   --emit WHAT           ir (optimized IR, default) | hssa (speculative
 //!                         SSA dump of every function before optimization)
+//!                         | mach (rendered machine code of the optimized
+//!                         module lowered for the active --target)
 //!   -o FILE               write the optimized IR to FILE (default: stdout)
 //!   --run                 interpret the optimized program and print result
 //!   --sim                 run it on the EPIC simulator and print counters
@@ -123,6 +131,7 @@ struct Cli {
     train_args: Vec<Value>,
     spec: String,
     control: String,
+    target: String,
     sr: bool,
     lftr: bool,
     store_sinking: bool,
@@ -198,6 +207,7 @@ fn parse_cli() -> Result<Cli, String> {
         train_args: Vec::new(),
         spec: "profile".into(),
         control: "profile".into(),
+        target: "epic".into(),
         sr: true,
         lftr: true,
         store_sinking: false,
@@ -254,6 +264,10 @@ fn parse_cli() -> Result<Cli, String> {
             }
             "--spec" => cli.spec = args.next().ok_or("--spec needs a value")?,
             "--control" => cli.control = args.next().ok_or("--control needs a value")?,
+            "--target" => cli.target = args.next().ok_or("--target needs a value")?,
+            other if other.starts_with("--target=") => {
+                cli.target = other["--target=".len()..].to_string()
+            }
             "--no-sr" => cli.sr = false,
             "--no-lftr" => cli.lftr = false,
             "--store-sinking" => cli.store_sinking = true,
@@ -339,9 +353,10 @@ fn parse_cli() -> Result<Cli, String> {
             "--help" | "-h" => {
                 return Err("usage: specc INPUT.ir [--entry NAME] [--args N,..] \
                             [--spec none|profile|heuristic|aggressive] \
-                            [--control off|profile|static] [--no-sr] [--no-lftr] \
+                            [--control off|profile|static] [--target epic|swr] \
+                            [--no-sr] [--no-lftr] \
                             [--store-sinking] [--explain-spec] [--alias-profile FILE] \
-                            [--save-alias-profile FILE] [--emit ir|hssa] [-o FILE] \
+                            [--save-alias-profile FILE] [--emit ir|hssa|mach] [-o FILE] \
                             [--run] [--sim] [--fault-policy SPEC].. [--stats] \
                             [--jobs N] [--time-passes]\n\
                             [--dump-after refine|hssa|ssapre|strength|lftr|storeprom|lower[,..]]\n\
@@ -457,10 +472,12 @@ fn real_main() -> Result<(), CompileFailure> {
     if cli.serve || cli.serve_queue.is_some() {
         return run_serve(&cli);
     }
-    // validate policy specs before doing any work
+    // validate policy specs and the target name before doing any work
     for p in &cli.fault_policies {
         specframe::machine::parse_fault_policy(p).map_err(usage)?;
     }
+    let target = specframe::machine::TargetId::parse(&cli.target)
+        .ok_or_else(|| usage(format!("unknown --target `{}` (epic|swr)", cli.target)))?;
     let mut m = match cli.mega {
         Some((seed, funcs)) => specframe::workloads::mega_module(seed, funcs),
         None => {
@@ -544,6 +561,7 @@ fn real_main() -> Result<(), CompileFailure> {
         train_args: Some(cli.train_args.clone()),
         spec: cli.spec.clone(),
         control: cli.control.clone(),
+        target: cli.target.clone(),
         strength_reduction: cli.sr,
         lftr: cli.lftr,
         store_sinking: cli.store_sinking,
@@ -583,7 +601,7 @@ fn real_main() -> Result<(), CompileFailure> {
             if let (CompileFailure::Compile(ce), Some(orig)) = (&e, &input_for_witness) {
                 if ce.pass == "audit-leaks" {
                     let text = specframe::pipeline::witness_leaks_text(
-                        orig, &cli.entry, &cli.args, cli.fuel,
+                        orig, target, &cli.entry, &cli.args, cli.fuel,
                     );
                     for line in text.lines() {
                         eprintln!("specc: {line}");
@@ -605,7 +623,8 @@ fn real_main() -> Result<(), CompileFailure> {
     // of the optimized module (the emitted IR carries no fences — they are
     // re-applied at machine level), proving each repaired leak was real
     if cli.fence_leaks && report.stats.leak_sites_flagged > 0 && cli.mega.is_none() {
-        let text = specframe::pipeline::witness_leaks_text(&m, &cli.entry, &cli.args, cli.fuel);
+        let text =
+            specframe::pipeline::witness_leaks_text(&m, target, &cli.entry, &cli.args, cli.fuel);
         for line in text.lines() {
             eprintln!("specc: {line}");
         }
@@ -642,6 +661,13 @@ fn real_main() -> Result<(), CompileFailure> {
     if !cli.dump_after.is_empty() {
         // dump mode: the per-pass snapshots are the product
         emit(&cli, &specframe::core::render_dumps(&out.dumps)).map_err(usage)?;
+        return Ok(());
+    }
+    if cli.emit == "mach" {
+        // machine-code mode: the rendered lowering for the active target
+        // is the product (the same lowering --sim executes)
+        let prog = specframe::codegen::lower_module_for(&m, target.spec());
+        emit(&cli, &specframe::machine::render_mprogram(&prog)).map_err(usage)?;
         return Ok(());
     }
 
@@ -684,6 +710,7 @@ fn real_main() -> Result<(), CompileFailure> {
         let sim_opts = specframe::pipeline::SimOptions {
             taint_secret: cli.taint_secret.clone(),
             fence_leaks: cli.fence_leaks,
+            target,
         };
         for policy in &cli.fault_policies {
             let (got, text) = specframe::pipeline::simulate_text_with(
@@ -784,6 +811,7 @@ fn run_serve(cli: &Cli) -> Result<(), CompileFailure> {
             train_args: Some(cli.train_args.clone()),
             spec,
             control,
+            target: cli.target.clone(),
             strength_reduction: cli.sr,
             lftr: cli.lftr,
             store_sinking: cli.store_sinking,

@@ -83,6 +83,7 @@
 //!     strength_reduction: true,
 //!     lftr: true,
 //!     store_sinking: true,
+//!     target: TargetId::Epic,
 //! });
 //! assert!(stats.checks > 0);
 //!
@@ -115,7 +116,7 @@ pub mod prelude {
     };
     pub use crate::serve::{serve_queue, serve_stdin, ServeConfig};
     pub use specframe_alias::{AliasAnalysis, Loc};
-    pub use specframe_codegen::lower_module;
+    pub use specframe_codegen::{lower_module, lower_module_for};
     pub use specframe_core::{
         optimize, optimize_with, optimize_with_hooks, prepare_module, reduce_module, render_dumps,
         try_optimize_with_hooks, ControlSpec, OptOptions, OptReport, OptStats, Pass, PassDump,
@@ -125,7 +126,8 @@ pub mod prelude {
     pub use specframe_ir::{parse_module, verify_module, Module, ModuleBuilder, Ty, Value};
     pub use specframe_machine::{audit_func, audit_program, AuditError, AuditStats};
     pub use specframe_machine::{
-        fault_matrix, parse_fault_policy, run_machine, run_machine_with_policy, Counters,
+        fault_matrix, parse_fault_policy, run_machine, run_machine_on, run_machine_with_policy,
+        run_machine_with_policy_on, Counters, SpecTarget, TargetId,
     };
     pub use specframe_profile::{run, run_with, AliasProfiler, EdgeProfiler, ReuseSimulator};
     pub use specframe_workloads::{

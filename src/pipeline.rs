@@ -13,16 +13,16 @@
 //! `specc --sim` and golden tests lives in [`simulate_text`].
 
 use specframe_alias::AliasAnalysis;
-use specframe_codegen::{lower_module, lower_module_fenced};
+use specframe_codegen::{lower_module_fenced_for, lower_module_for};
 use specframe_core::{
-    prepare_module, try_optimize_cached, CompileDiag, CompileError, ControlSpec, FuncCache,
-    OptOptions, OptReport, PassDump, PipelineConfig, PipelineHooks, SpecSource,
+    prepare_module, target_spec_costs, try_optimize_cached, CompileDiag, CompileError, ControlSpec,
+    FuncCache, OptOptions, OptReport, PassDump, PipelineConfig, PipelineHooks, SpecSource,
 };
 use specframe_hssa::{build_hssa, HOperand, HStmtKind, Likeliness, SiteQuery, SpecMode};
-use specframe_ir::{parse_module, verify_module, FuncId, Module, Value};
+use specframe_ir::{parse_module, verify_module, FuncId, Module, Ty, Value};
 use specframe_machine::{
-    leak_audit_program, parse_fault_policy, run_machine_taint, run_machine_with_policy,
-    witness_leaks, Counters, LeakEvent,
+    leak_audit_program, parse_fault_policy, run_machine_taint_on, run_machine_with_policy_on,
+    witness_leaks_on, Counters, LeakEvent, TargetId,
 };
 use specframe_profile::{parse_alias_profile, run_with, AliasProfile, AliasProfiler, EdgeProfiler};
 
@@ -69,6 +69,10 @@ pub struct CompileRequest {
     /// `SPECFRAME_CACHE_DIR`). `None` disables caching. Hits replay stored
     /// lowerings; output stays byte-identical to an uncached compile.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Execution target: `epic|swr` (`--target`). Selects the lowering
+    /// hooks and the cost model the profitability oracle weighs, so the
+    /// same input can motion differently per target.
+    pub target: String,
 }
 
 impl Default for CompileRequest {
@@ -88,6 +92,7 @@ impl Default for CompileRequest {
             alias_profile: None,
             explain_spec: false,
             cache_dir: None,
+            target: "epic".into(),
         }
     }
 }
@@ -187,6 +192,13 @@ pub fn compile_module(
 ) -> Result<CompileOutput, CompileFailure> {
     prepare_module(&mut m);
 
+    let target = TargetId::parse(&req.target).ok_or_else(|| {
+        CompileFailure::Usage(format!(
+            "unknown --target `{}` (expected epic|swr)",
+            req.target
+        ))
+    })?;
+
     // Degradation diagnostics raised before the optimizer runs; prepended
     // to the report's warning list afterwards.
     let mut pre_warnings: Vec<CompileDiag> = Vec::new();
@@ -266,7 +278,7 @@ pub fn compile_module(
             SpecSource::Heuristic => SpecMode::Heuristic,
             SpecSource::Aggressive => SpecMode::Aggressive,
         };
-        Some(render_explain_spec(&m, mode))
+        Some(render_explain_spec(&m, mode, target))
     } else {
         None
     };
@@ -280,6 +292,7 @@ pub fn compile_module(
             strength_reduction: req.strength_reduction,
             lftr: req.strength_reduction && req.lftr,
             store_sinking: req.store_sinking,
+            target,
         },
         &PipelineConfig { jobs: req.jobs },
         &req.hooks,
@@ -302,13 +315,32 @@ pub fn compile_module(
 /// every function, the likeliness oracle's verdict evidence and how many
 /// of the site's χs/μs were flagged likely. Functions in module order,
 /// sites in block/statement order, so the output is deterministic.
-pub fn render_explain_spec(m: &Module, mode: SpecMode<'_>) -> String {
+pub fn render_explain_spec(m: &Module, mode: SpecMode<'_>, target: TargetId) -> String {
     let aa = AliasAnalysis::analyze(m);
-    let oracle = Likeliness::new(mode);
+    let costs = target_spec_costs(target);
+    let oracle = Likeliness::with_costs(mode, costs);
     let mut s = format!(
-        "=== speculation decisions (source: {}) ===\n",
-        oracle.source_name()
+        "=== speculation decisions (source: {}, target: {}) ===\n",
+        oracle.source_name(),
+        target.name()
     );
+    // the per-type profitability verdicts the kernel gates speculation on:
+    // a load only speculates when its latency beats the check overhead
+    let verdict = |ty: Ty| {
+        if costs.profitable(ty) {
+            "speculate"
+        } else {
+            "keep"
+        }
+    };
+    s.push_str(&format!(
+        "profitability (check {}c): i64 load {}c -> {}, f64 load {}c -> {}\n",
+        costs.check_cost,
+        costs.int_load,
+        verdict(Ty::I64),
+        costs.fp_load,
+        verdict(Ty::F64),
+    ));
     for fi in 0..m.funcs.len() {
         let fid = FuncId::from_index(fi);
         let f = m.func(fid);
@@ -426,10 +458,10 @@ pub fn reduce_failure(
     specframe_core::reduce_module(m, &mut pred)
 }
 
-/// Lowers `m`, simulates it under the named ALAT fault policy, and
-/// renders the `specc --sim` counter block. Returns the machine result
-/// and the rendered text; `specc` prints it to stderr and golden tests
-/// CHECK it directly, so the two can never drift apart.
+/// Lowers `m` for the default (epic) target, simulates it under the named
+/// ALAT fault policy, and renders the `specc --sim` counter block. Returns
+/// the machine result and the rendered text; `specc` prints it to stderr
+/// and golden tests CHECK it directly, so the two can never drift apart.
 pub fn simulate_text(
     m: &Module,
     entry: &str,
@@ -437,10 +469,24 @@ pub fn simulate_text(
     fuel: u64,
     fault_policy: &str,
 ) -> Result<(Option<Value>, String), CompileFailure> {
+    simulate_text_on(m, TargetId::Epic, entry, args, fuel, fault_policy)
+}
+
+/// [`simulate_text`] for an explicit execution target: the lowering uses
+/// the target's hooks and the simulator its cost table and check
+/// semantics, so `--target=swr --sim` prices software checks honestly.
+pub fn simulate_text_on(
+    m: &Module,
+    target: TargetId,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+    fault_policy: &str,
+) -> Result<(Option<Value>, String), CompileFailure> {
     let policy = parse_fault_policy(fault_policy).map_err(CompileFailure::Usage)?;
     let name = policy.name();
-    let prog = lower_module(m);
-    let (got, c) = run_machine_with_policy(&prog, entry, args, fuel, policy)
+    let prog = lower_module_for(m, target.spec());
+    let (got, c) = run_machine_with_policy_on(&prog, target.spec(), entry, args, fuel, policy)
         .map_err(|e| CompileFailure::internal("simulate", format!("simulation failed: {e}")))?;
     Ok((got, render_sim_counters(&name, got, &c)))
 }
@@ -458,6 +504,8 @@ pub struct SimOptions {
     /// before simulating (`--fence-leaks` + `--sim`), so the inserted
     /// barriers and their cycle cost are observable in the counters.
     pub fence_leaks: bool,
+    /// Execution target the simulation lowers for (`--target`).
+    pub target: TargetId,
 }
 
 impl SimOptions {
@@ -511,18 +559,26 @@ pub fn simulate_text_with(
     opts: &SimOptions,
 ) -> Result<(Option<Value>, String), CompileFailure> {
     if !opts.is_active() {
-        return simulate_text(m, entry, args, fuel, fault_policy);
+        return simulate_text_on(m, opts.target, entry, args, fuel, fault_policy);
     }
     let policy = parse_fault_policy(fault_policy).map_err(CompileFailure::Usage)?;
     let name = policy.name();
     let secrets = resolve_secret_locs(m, &opts.taint_secret)?;
     let prog = if opts.fence_leaks {
-        lower_module_fenced(m).0
+        lower_module_fenced_for(m, opts.target.spec()).0
     } else {
-        lower_module(m)
+        lower_module_for(m, opts.target.spec())
     };
-    let rep = run_machine_taint(&prog, entry, args, fuel, policy, &secrets)
-        .map_err(|e| CompileFailure::internal("simulate", format!("simulation failed: {e}")))?;
+    let rep = run_machine_taint_on(
+        &prog,
+        opts.target.spec(),
+        entry,
+        args,
+        fuel,
+        policy,
+        &secrets,
+    )
+    .map_err(|e| CompileFailure::internal("simulate", format!("simulation failed: {e}")))?;
     let mut text = render_sim_counters(&name, rep.result, &rep.counters);
     text.push_str(&render_taint_counters(&rep.counters, &rep.events));
     Ok((rep.result, text))
@@ -563,14 +619,20 @@ pub fn render_taint_counters(c: &Counters, events: &[LeakEvent]) -> String {
 /// `evict-at:N` policy string is replayable via `--fault-policy`, so a
 /// leak repro shrinks to a `.spec`-ready case with `specc --reduce` plus
 /// one `--sim` run. Empty string when the lowering audits clean.
-pub fn witness_leaks_text(m: &Module, entry: &str, args: &[Value], fuel: u64) -> String {
-    let prog = lower_module(m);
+pub fn witness_leaks_text(
+    m: &Module,
+    target: TargetId,
+    entry: &str,
+    args: &[Value],
+    fuel: u64,
+) -> String {
+    let prog = lower_module_for(m, target.spec());
     let sites = leak_audit_program(&prog);
     if sites.is_empty() {
         return String::new();
     }
     let mut s = String::new();
-    for w in witness_leaks(&prog, entry, args, fuel, &sites) {
+    for w in witness_leaks_on(&prog, target.spec(), entry, args, fuel, &sites) {
         match &w.policy {
             Some(p) => s.push_str(&format!(
                 "leak witness: {} — CONFIRMED under `--fault-policy {p}` ({})\n",

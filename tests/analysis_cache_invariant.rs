@@ -21,6 +21,7 @@ fn dominators_computed_once_per_function() {
             strength_reduction: true,
             lftr: true,
             store_sinking: true,
+            target: Default::default(),
         };
         let mut m = w.module.clone();
         let report = optimize_with(&mut m, &opts, &PipelineConfig { jobs: 1 });

@@ -51,6 +51,7 @@ const HEURISTIC: OptOptions<'static> = OptOptions {
     strength_reduction: true,
     lftr: true,
     store_sinking: false,
+    target: TargetId::Epic,
 };
 
 /// Builds the module from source and derives every function's key.
@@ -117,6 +118,7 @@ proptest! {
             OptOptions { strength_reduction: false, ..HEURISTIC },
             OptOptions { lftr: false, ..HEURISTIC },
             OptOptions { store_sinking: true, ..HEURISTIC },
+            OptOptions { target: TargetId::Swr, ..HEURISTIC },
         ];
         for v in variants.iter() {
             prop_assert_ne!(&base[0], &keys_of(&src, v, &hooks)[0]);
@@ -187,6 +189,32 @@ go:
         key_with(&via_b),
         "different alias behavior must move the key"
     );
+}
+
+/// The execution target is a key axis: the oracle's profitability
+/// verdicts and the machine lowering of any audited artifact both move
+/// with `--target`, so an `epic` entry must never replay for `swr` —
+/// the target fingerprint is hashed into every function key.
+#[test]
+fn target_changes_key() {
+    let f = [Step { op: 0, operand: 3 }];
+    let hooks = PipelineHooks::default();
+    let src = render_module(&f, &f);
+    let epic = keys_of(&src, &HEURISTIC, &hooks);
+    let swr = keys_of(
+        &src,
+        &OptOptions {
+            target: TargetId::Swr,
+            ..HEURISTIC
+        },
+        &hooks,
+    );
+    assert_eq!(epic.len(), swr.len());
+    for (e, s) in epic.iter().zip(&swr) {
+        assert_ne!(e, s, "--target must move every function key");
+    }
+    // and the axis is stable: the same target reproduces the same keys
+    assert_eq!(epic, keys_of(&src, &HEURISTIC, &hooks));
 }
 
 /// Module context is in the key: adding a global or a function signature

@@ -137,6 +137,7 @@ fn capped_cache_evicts_and_still_produces_identical_output() {
         strength_reduction: true,
         lftr: true,
         store_sinking: false,
+        target: Default::default(),
     };
     let hooks = PipelineHooks::default();
     let cfg = PipelineConfig { jobs: 1 };

@@ -103,6 +103,7 @@ fn build() -> Built {
             strength_reduction: false,
             lftr: false,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     Built { spec }

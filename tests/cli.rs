@@ -217,8 +217,9 @@ fn jobs_and_time_passes() {
     let (ir4, err4) = run_with_jobs("4");
     assert_eq!(ir1, ir4, "--jobs must not change the emitted IR");
     for err in [&err1, &err4] {
-        assert!(err.contains("=== pass timings ==="), "{err}");
+        assert!(err.contains("=== pass timings (target: epic) ==="), "{err}");
         assert!(err.contains("ssapre"), "{err}");
+        assert!(err.contains("lower(epic)"), "{err}");
         assert!(err.contains("dom computes"), "{err}");
     }
 }
@@ -498,4 +499,94 @@ fn write_to_output_file() {
     let _ = std::fs::remove_file(&outpath);
     // keep the borrow checker quiet about the Write import used in the helper
     let _ = std::io::sink().write(b"");
+}
+
+#[test]
+fn target_flips_explain_spec_verdicts_and_lowering() {
+    let input = write_kernel();
+    let explain = |target: &str| {
+        let out = specc()
+            .args([
+                input.as_str(),
+                "--args",
+                "0,10",
+                "--spec",
+                "heuristic",
+                "--target",
+                target,
+                "--explain-spec",
+                "-o",
+                "/dev/null",
+            ])
+            .output()
+            .expect("spawn specc");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let epic = explain("epic");
+    assert!(epic.contains("target: epic"), "{epic}");
+    assert!(epic.contains("i64 load 2c -> speculate"), "{epic}");
+    let swr = explain("swr");
+    assert!(swr.contains("target: swr"), "{swr}");
+    assert!(swr.contains("i64 load 2c -> keep"), "{swr}");
+    assert!(swr.contains("f64 load 9c -> speculate"), "{swr}");
+
+    // and the lowering actually follows the verdict: the swr machine code
+    // of the same kernel carries no ALAT instructions for the i64 load
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,10",
+            "--spec",
+            "heuristic",
+            "--target",
+            "swr",
+            "--emit",
+            "mach",
+        ])
+        .output()
+        .expect("spawn specc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let mach = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(!mach.contains("ld.a"), "{mach}");
+    assert!(!mach.contains("ld.sa"), "{mach}");
+    assert!(!mach.contains("ld.c"), "{mach}");
+    assert!(!mach.contains("chk"), "{mach}");
+
+    let out = specc()
+        .args([
+            input.as_str(),
+            "--args",
+            "0,10",
+            "--spec",
+            "heuristic",
+            "--emit",
+            "mach",
+        ])
+        .output()
+        .expect("spawn specc");
+    let mach = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(mach.contains("ld.sa"), "{mach}");
+    assert!(mach.contains("ld.c"), "{mach}");
+}
+
+#[test]
+fn unknown_target_is_a_usage_error() {
+    let input = write_kernel();
+    let out = specc()
+        .args([input.as_str(), "--target", "vliw"])
+        .output()
+        .expect("spawn specc");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown --target"), "{err}");
 }

@@ -24,6 +24,7 @@ fn opts() -> OptOptions<'static> {
         strength_reduction: true,
         lftr: true,
         store_sinking: true,
+        target: Default::default(),
     }
 }
 

@@ -38,6 +38,7 @@ fn compile_both(src: &str, train: &[Value]) -> (Module, Module) {
             strength_reduction: false,
             lftr: false,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     let mut spec = m.clone();
@@ -49,6 +50,7 @@ fn compile_both(src: &str, train: &[Value]) -> (Module, Module) {
             strength_reduction: false,
             lftr: false,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     (base, spec)
@@ -119,6 +121,7 @@ exit:
             strength_reduction: false,
             lftr: false,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     let mut spec = m.clone();
@@ -130,6 +133,7 @@ exit:
             strength_reduction: false,
             lftr: false,
             store_sinking: false,
+            target: Default::default(),
         },
     );
 

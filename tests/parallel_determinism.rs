@@ -23,6 +23,7 @@ fn configs() -> Vec<(&'static str, OptOptions<'static>)> {
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: true,
+                target: Default::default(),
             },
         ),
         (
@@ -33,6 +34,7 @@ fn configs() -> Vec<(&'static str, OptOptions<'static>)> {
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: true,
+                target: Default::default(),
             },
         ),
     ]

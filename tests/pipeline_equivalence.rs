@@ -199,6 +199,7 @@ fn check_program(steps: &[Step]) {
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: false,
+                target: Default::default(),
             },
         ),
         (
@@ -209,6 +210,7 @@ fn check_program(steps: &[Step]) {
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: false,
+                target: Default::default(),
             },
         ),
         (
@@ -219,6 +221,7 @@ fn check_program(steps: &[Step]) {
                 strength_reduction: true,
                 lftr: true,
                 store_sinking: false,
+                target: Default::default(),
             },
         ),
         (
@@ -229,6 +232,7 @@ fn check_program(steps: &[Step]) {
                 strength_reduction: false,
                 lftr: false,
                 store_sinking: false,
+                target: Default::default(),
             },
         ),
     ];

@@ -59,6 +59,7 @@ fn unreachable_store_does_not_explode_the_kernel() {
             strength_reduction: true,
             lftr: true,
             store_sinking: true,
+            target: Default::default(),
         },
         OptOptions {
             data: SpecSource::Aggressive,
@@ -66,6 +67,7 @@ fn unreachable_store_does_not_explode_the_kernel() {
             strength_reduction: false,
             lftr: false,
             store_sinking: false,
+            target: Default::default(),
         },
         OptOptions::default(),
     ] {

@@ -81,6 +81,7 @@ fn optimized_with_check() -> (Module, (usize, usize, usize)) {
             strength_reduction: true,
             lftr: false,
             store_sinking: false,
+            target: Default::default(),
         },
     );
     assert!(stats.checks > 0, "speculation must fire: {stats:?}");
