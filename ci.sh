@@ -83,6 +83,46 @@ cargo run --release -q -p specframe --bin specc -- cache verify --cache-dir "$se
 rm -rf "$serve_dir"
 echo "compile service smoke: cold/warm byte-identical, warm all-hits, cache verifies clean"
 
+# chaos gate: kill the real specc at every storage/queue crashpoint
+# mid-drain (SPECFRAME_CRASH_AT), restart it, and require convergence —
+# cache verifies clean, re-drain completes, artifacts byte-identical to an
+# uncrashed reference (tests/chaos.rs drives the matrix)
+cargo test -q --release -p specframe --test chaos
+
+# golden parity under injected storage faults: the whole suite through a
+# cache whose storage tears writes and errors reads — retries repair
+# underneath, but FileCheck still passing proves no output byte moved
+fault_cache="$(mktemp -d)"
+cargo run --release -q -p spectest -- -q --cache-dir "$fault_cache" \
+  --cache-fault-policy torn-write:2 tests/golden
+cargo run --release -q -p spectest -- -q --cache-dir "$fault_cache" \
+  --cache-fault-policy eio-read:7:9 tests/golden
+rm -rf "$fault_cache"
+echo "golden suite: green under torn-write:2 (cold) and eio-read:7:9 (warm)"
+
+# storage-fault byte-identity at every job count: the mega workload
+# compiled through a torn-write cache must equal the fault-free compile
+fault_dir="$(mktemp -d)"
+cargo run --release -q -p specframe --bin specc -- --mega 42:200 \
+  -o "$fault_dir/clean.ir"
+for j in 1 2 4; do
+  cargo run --release -q -p specframe --bin specc -- --mega 42:200 --jobs "$j" \
+    --cache-dir "$fault_dir/cache$j" --cache-fault-policy torn-write:2 \
+    -o "$fault_dir/fault$j.ir"
+  cmp -s "$fault_dir/clean.ir" "$fault_dir/fault$j.ir" \
+    || { echo "ci.sh: fault-policy output diverged at --jobs $j"; exit 1; }
+done
+rm -rf "$fault_dir"
+echo "storage-fault smoke: byte-identical at --jobs 1/2/4 under torn-write:2"
+
+# deadline smoke: an already-expired deadline must abort with exit code 5
+cargo run --release -q -p specframe --bin specc -- --mega 42:200 \
+  --deadline-ms 0 -o /dev/null 2>/dev/null \
+  && { echo "ci.sh: --deadline-ms 0 did not fire"; exit 1; } || dl_rc=$?
+[ "${dl_rc:-0}" -eq 5 ] \
+  || { echo "ci.sh: deadline smoke exit $dl_rc, wanted 5"; exit 1; }
+echo "deadline smoke: --deadline-ms 0 exits 5"
+
 # differential misspeculation oracle: every workload and a batch of seeded
 # random programs, every optimizer config, under the adversarial ALAT
 # fault matrix — results must be bit-identical to the unoptimized

@@ -378,6 +378,147 @@ entry:
     rows
 }
 
+/// Fault-tolerance numbers for the CI artifact.
+struct ChaosRow {
+    /// Crashpoints exercised through the real `specc` binary.
+    crashpoints: u64,
+    /// Crash-then-restart drains that converged (must equal crashpoints).
+    recoveries: u64,
+    /// Transient cache-I/O retries the in-process fault drill drove.
+    retries: u64,
+    /// Injected cache I/O errors observed in that drill.
+    io_errors: u64,
+    /// Wall time for `specc --deadline-ms 1` to abort with exit code 5.
+    deadline_abort_ms: f64,
+}
+
+/// The chaos smoke: an in-process storage-fault drill (torn writes under
+/// retry must not move the output), a crash-recovery sweep killing the
+/// real `specc` at every crashpoint mid-queue-drain and asserting the
+/// restart converges, and a deadline-abort latency measurement.
+fn chaos_smoke() -> ChaosRow {
+    use specframe_core::cache::MemStore;
+    use specframe_core::parse_store_fault_policy;
+
+    // in-process drill: torn writes heal under retry, output pinned
+    const SEED: u64 = 5;
+    const FUNCS: usize = 50;
+    let opts = OptOptions {
+        data: SpecSource::Heuristic,
+        control: ControlSpec::Static,
+        strength_reduction: true,
+        lftr: true,
+        store_sinking: true,
+        target: Default::default(),
+    };
+    let cfg = PipelineConfig { jobs: 1 };
+    let hooks = PipelineHooks::default();
+    let mut base = mega_module(SEED, FUNCS);
+    prepare_module(&mut base);
+    let mut m0 = base.clone();
+    optimize_with(&mut m0, &opts, &cfg);
+    let baseline = print_module(&m0);
+    let policy = parse_store_fault_policy("torn-write:2").expect("policy");
+    let cache = FuncCache::with_store(Box::new(MemStore::new())).with_fault_policy(policy);
+    let mut m1 = base.clone();
+    try_optimize_cached(&mut m1, &opts, &cfg, &hooks, Some(&cache))
+        .expect("faulted cached compile");
+    assert_eq!(print_module(&m1), baseline, "torn writes moved the output");
+    let (retries, io_errors, _) = cache.fault_counters();
+    assert!(retries > 0, "torn-write drill drove no retries");
+
+    // crash-recovery sweep and deadline latency need the real binary
+    let specc = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("specc")))
+        .filter(|p| p.exists());
+    let Some(specc) = specc else {
+        println!("chaos smoke: specc binary not found beside ci_smoke; skipping crash sweep");
+        return ChaosRow {
+            crashpoints: 0,
+            recoveries: 0,
+            retries,
+            io_errors,
+            deadline_abort_ms: 0.0,
+        };
+    };
+
+    let points = [
+        "cache-pre-rename",
+        "cache-post-rename",
+        "queue-pre-resp-rename",
+        "queue-pre-remove-req",
+    ];
+    let tmp = std::env::temp_dir().join(format!("specframe-ci-chaos-{}", std::process::id()));
+    let mut recoveries = 0u64;
+    for point in points {
+        let queue = tmp.join(point).join("queue");
+        let cache_dir = tmp.join(point).join("cache");
+        let _ = std::fs::remove_dir_all(tmp.join(point));
+        std::fs::create_dir_all(&queue).expect("queue dir");
+        let out_ir = tmp.join(point).join("out.ir");
+        std::fs::write(
+            queue.join("r.req"),
+            format!("mega 9:6 -o {}\n", out_ir.display()),
+        )
+        .expect("request");
+        let crashed = std::process::Command::new(&specc)
+            .arg("--serve-queue")
+            .arg(&queue)
+            .arg("--cache-dir")
+            .arg(&cache_dir)
+            .env("SPECFRAME_CRASH_AT", format!("{point}:1"))
+            .output()
+            .expect("crash run");
+        assert!(
+            !crashed.status.success(),
+            "crashpoint {point} did not abort"
+        );
+        let redrain = std::process::Command::new(&specc)
+            .arg("--serve-queue")
+            .arg(&queue)
+            .arg("--cache-dir")
+            .arg(&cache_dir)
+            .output()
+            .expect("re-drain");
+        assert!(
+            redrain.status.success() && queue.join("r.resp").exists() && out_ir.exists(),
+            "re-drain after {point} did not converge: {}",
+            String::from_utf8_lossy(&redrain.stderr)
+        );
+        recoveries += 1;
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    // deadline-abort latency: how long until --deadline-ms 1 exits code 5
+    let t0 = Instant::now();
+    let dl = std::process::Command::new(&specc)
+        .args(["--mega", "42:1000", "--deadline-ms", "1", "--jobs", "1"])
+        .output()
+        .expect("deadline run");
+    let deadline_abort_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        dl.status.code(),
+        Some(5),
+        "deadline abort should exit 5: {}",
+        String::from_utf8_lossy(&dl.stderr)
+    );
+
+    let row = ChaosRow {
+        crashpoints: points.len() as u64,
+        recoveries,
+        retries,
+        io_errors,
+        deadline_abort_ms,
+    };
+    println!(
+        "chaos smoke: {}/{} crashpoint recoveries, {} retries / {} injected errors, \
+         deadline abort in {:.1} ms",
+        row.recoveries, row.crashpoints, row.retries, row.io_errors, row.deadline_abort_ms
+    );
+    row
+}
+
 /// A "failing" program for the reducer smoke: one `div` (the simulated
 /// trigger) buried in filler arithmetic, helper calls, and a diamond.
 /// The predicate — program still verifies and still contains a `div` —
@@ -480,6 +621,7 @@ fn main() {
     let cache = cache_smoke();
     let leaks = leaks_smoke();
     let targets = targets_smoke();
+    let chaos = chaos_smoke();
     let rs = reducer_smoke();
 
     let mut json = String::from("{\n  \"config\": \"heuristic+static+sr+sink\",\n  \"iters\": ");
@@ -518,6 +660,16 @@ fn main() {
         );
     }
     json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"chaos\": {{ \"crashpoints\": {}, \"recoveries\": {}, \"retries\": {}, \
+         \"io_errors\": {}, \"deadline_abort_ms\": {:.1} }},",
+        chaos.crashpoints,
+        chaos.recoveries,
+        chaos.retries,
+        chaos.io_errors,
+        chaos.deadline_abort_ms
+    );
     let _ = writeln!(
         json,
         "  \"reduce\": {{ \"probes\": {}, \"initial_insts\": {}, \

@@ -1,0 +1,360 @@
+//! Storage fault injection for the compile cache.
+//!
+//! [`FaultStore`] decorates any [`Storage`] backend with a seeded,
+//! deterministic fault policy — the filesystem analogue of the ALAT
+//! fault policies in `specframe-machine`: the environment misbehaves on a
+//! schedule we control, and the cache layer above must degrade without
+//! ever changing compiled output. The grammar deliberately mirrors
+//! `parse_fault_policy` (`--fault-policy`) so both knobs read alike:
+//!
+//! | spec                  | effect                                          |
+//! |-----------------------|-------------------------------------------------|
+//! | `none`                | pass-through (same as omitting the flag)        |
+//! | `enospc:N`            | every Nth `store` fails with `StorageFull`      |
+//! | `eio-read:SEED[:DENOM]` | each `load` fails with an I/O error with probability 1/DENOM (seeded; DENOM defaults to 4) |
+//! | `torn-write:N`        | every Nth `store` commits truncated bytes, then errors |
+//! | `latency:MS`          | every op sleeps MS milliseconds (no errors)     |
+//!
+//! Faults are classified for the retry/breaker logic in
+//! [`super::FuncCache`]: `enospc` models a permanent condition (retrying
+//! cannot help), `eio-read` and `torn-write` are transient (a retry may
+//! succeed — and for torn writes, *repairs* the truncated entry).
+
+use super::key::CacheKey;
+use super::store::{EntryMeta, Storage};
+use specframe_machine::policy::XorShift64;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// How an I/O error should be handled by the layer above.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoErrorClass {
+    /// Retrying may succeed (flaky read, interrupted write).
+    Transient,
+    /// Retrying cannot help (full disk, permissions); trip the breaker.
+    Permanent,
+}
+
+/// Classifies an I/O error for retry purposes. Resource-exhaustion and
+/// policy errors are permanent; everything else is worth one more try.
+pub fn classify_io_error(e: &io::Error) -> IoErrorClass {
+    match e.kind() {
+        io::ErrorKind::StorageFull
+        | io::ErrorKind::QuotaExceeded
+        | io::ErrorKind::PermissionDenied
+        | io::ErrorKind::ReadOnlyFilesystem
+        | io::ErrorKind::Unsupported => IoErrorClass::Permanent,
+        _ => IoErrorClass::Transient,
+    }
+}
+
+/// One parsed `--cache-fault-policy` spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFaultPolicy {
+    /// Pass-through.
+    None,
+    /// Every `period`-th store fails with [`io::ErrorKind::StorageFull`].
+    Enospc {
+        /// Failure period (1 = every store).
+        period: u64,
+    },
+    /// Each load fails with probability `1/denom`, seeded.
+    EioRead {
+        /// RNG seed (0 is remapped by [`XorShift64`]).
+        seed: u64,
+        /// Failure denominator (1 = every load).
+        denom: u64,
+    },
+    /// Every `period`-th store writes truncated bytes, then errors.
+    TornWrite {
+        /// Failure period (1 = every store).
+        period: u64,
+    },
+    /// Every operation sleeps this many milliseconds; no errors.
+    Latency {
+        /// Added per-op latency in milliseconds.
+        ms: u64,
+    },
+}
+
+impl StoreFaultPolicy {
+    /// Canonical textual form — round-trips through [`parse_store_fault_policy`].
+    pub fn name(&self) -> String {
+        match self {
+            StoreFaultPolicy::None => "none".into(),
+            StoreFaultPolicy::Enospc { period } => format!("enospc:{period}"),
+            StoreFaultPolicy::EioRead { seed, denom } => format!("eio-read:{seed}:{denom}"),
+            StoreFaultPolicy::TornWrite { period } => format!("torn-write:{period}"),
+            StoreFaultPolicy::Latency { ms } => format!("latency:{ms}"),
+        }
+    }
+}
+
+/// Parses a `--cache-fault-policy` spec (see the module table).
+pub fn parse_store_fault_policy(s: &str) -> Result<StoreFaultPolicy, String> {
+    let mut parts = s.split(':');
+    let head = parts.next().unwrap_or("");
+    let rest: Vec<&str> = parts.collect();
+    let arity = |want: std::ops::RangeInclusive<usize>| -> Result<(), String> {
+        if want.contains(&rest.len()) {
+            Ok(())
+        } else {
+            Err(format!("bad cache fault policy `{s}` (try --help)"))
+        }
+    };
+    let num = |t: &str, what: &str| -> Result<u64, String> {
+        t.parse::<u64>()
+            .map_err(|_| format!("bad cache fault policy `{s}`: `{t}` is not a valid {what}"))
+    };
+    let positive = |t: &str, what: &str| -> Result<u64, String> {
+        let n = num(t, what)?;
+        if n == 0 {
+            return Err(format!("bad cache fault policy `{s}`: {what} must be >= 1"));
+        }
+        Ok(n)
+    };
+    match head {
+        "none" => {
+            arity(0..=0)?;
+            Ok(StoreFaultPolicy::None)
+        }
+        "enospc" => {
+            arity(1..=1)?;
+            Ok(StoreFaultPolicy::Enospc {
+                period: positive(rest[0], "period")?,
+            })
+        }
+        "eio-read" => {
+            arity(1..=2)?;
+            Ok(StoreFaultPolicy::EioRead {
+                seed: num(rest[0], "seed")?,
+                denom: rest
+                    .get(1)
+                    .map(|t| positive(t, "denominator"))
+                    .transpose()?
+                    .unwrap_or(4),
+            })
+        }
+        "torn-write" => {
+            arity(1..=1)?;
+            Ok(StoreFaultPolicy::TornWrite {
+                period: positive(rest[0], "period")?,
+            })
+        }
+        "latency" => {
+            arity(1..=1)?;
+            Ok(StoreFaultPolicy::Latency {
+                ms: num(rest[0], "latency")?,
+            })
+        }
+        _ => Err(format!("bad cache fault policy `{s}` (try --help)")),
+    }
+}
+
+/// Mutable injection state, behind one mutex (probes run from worker
+/// threads; contention is irrelevant next to the I/O being decorated).
+#[derive(Debug)]
+struct FaultState {
+    rng: XorShift64,
+    loads: u64,
+    stores: u64,
+}
+
+/// A [`Storage`] decorator that injects faults per [`StoreFaultPolicy`].
+///
+/// Maintenance traffic (`remove`/`list`/tmp sweeps) passes through
+/// unfaulted: the grammar targets the hot load/store path the compile
+/// pipeline depends on.
+pub struct FaultStore {
+    inner: Box<dyn Storage>,
+    policy: StoreFaultPolicy,
+    state: Mutex<FaultState>,
+}
+
+impl FaultStore {
+    /// Decorates `inner` with `policy`.
+    pub fn new(inner: Box<dyn Storage>, policy: StoreFaultPolicy) -> FaultStore {
+        let seed = match policy {
+            StoreFaultPolicy::EioRead { seed, .. } => seed,
+            _ => 1,
+        };
+        FaultStore {
+            inner,
+            policy,
+            state: Mutex::new(FaultState {
+                rng: XorShift64::new(seed),
+                loads: 0,
+                stores: 0,
+            }),
+        }
+    }
+
+    fn sleep_if_latency(&self) {
+        if let StoreFaultPolicy::Latency { ms } = self.policy {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+}
+
+impl Storage for FaultStore {
+    fn load(&self, key: &CacheKey) -> io::Result<Option<Vec<u8>>> {
+        self.sleep_if_latency();
+        if let StoreFaultPolicy::EioRead { denom, .. } = self.policy {
+            let mut st = self.state.lock().unwrap();
+            st.loads += 1;
+            let n = st.loads;
+            if st.rng.next_u64().is_multiple_of(denom) {
+                return Err(io::Error::other(format!("injected EIO (load {n})")));
+            }
+        }
+        self.inner.load(key)
+    }
+
+    fn store(&self, key: &CacheKey, bytes: &[u8]) -> io::Result<()> {
+        self.sleep_if_latency();
+        match self.policy {
+            StoreFaultPolicy::Enospc { period } => {
+                let mut st = self.state.lock().unwrap();
+                st.stores += 1;
+                if st.stores.is_multiple_of(period) {
+                    let n = st.stores;
+                    return Err(io::Error::new(
+                        io::ErrorKind::StorageFull,
+                        format!("injected ENOSPC (store {n})"),
+                    ));
+                }
+            }
+            StoreFaultPolicy::TornWrite { period } => {
+                let torn = {
+                    let mut st = self.state.lock().unwrap();
+                    st.stores += 1;
+                    st.stores.is_multiple_of(period)
+                };
+                if torn {
+                    // commit a truncated entry — a later probe must see it
+                    // as stale (decode failure), never as wrong output —
+                    // then report the write as interrupted (transient, so
+                    // a retry overwrites the damage)
+                    self.inner.store(key, &bytes[..bytes.len() / 2])?;
+                    return Err(io::Error::new(
+                        io::ErrorKind::Interrupted,
+                        "injected torn write",
+                    ));
+                }
+            }
+            _ => {}
+        }
+        self.inner.store(key, bytes)
+    }
+
+    fn remove(&self, key: &CacheKey) -> io::Result<()> {
+        self.inner.remove(key)
+    }
+
+    fn list(&self) -> io::Result<Vec<EntryMeta>> {
+        self.inner.list()
+    }
+
+    fn tmp_debris(&self) -> io::Result<Vec<PathBuf>> {
+        self.inner.tmp_debris()
+    }
+
+    fn sweep_stale_tmps(&self) -> io::Result<usize> {
+        self.inner.sweep_stale_tmps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::key::StableHasher;
+    use super::super::store::MemStore;
+    use super::*;
+
+    fn key(label: &str) -> CacheKey {
+        let mut h = StableHasher::new();
+        h.write_str(label);
+        h.finish()
+    }
+
+    #[test]
+    fn grammar_round_trips() {
+        for spec in [
+            "none",
+            "enospc:3",
+            "eio-read:7:2",
+            "torn-write:2",
+            "latency:5",
+        ] {
+            let p = parse_store_fault_policy(spec).unwrap();
+            assert_eq!(p.name(), spec, "round trip of {spec}");
+        }
+        // the denominator defaults to 4
+        assert_eq!(
+            parse_store_fault_policy("eio-read:9").unwrap(),
+            StoreFaultPolicy::EioRead { seed: 9, denom: 4 }
+        );
+    }
+
+    #[test]
+    fn grammar_rejects_malformed_specs() {
+        for spec in [
+            "",
+            "bogus",
+            "enospc",
+            "enospc:0",
+            "enospc:x",
+            "enospc:1:2",
+            "eio-read",
+            "eio-read:1:0",
+            "torn-write:zero",
+            "latency",
+            "none:1",
+        ] {
+            let err = parse_store_fault_policy(spec).unwrap_err();
+            assert!(err.starts_with("bad cache fault policy"), "{spec}: {err}");
+        }
+    }
+
+    #[test]
+    fn enospc_fails_every_nth_store_permanently() {
+        let s = FaultStore::new(
+            Box::new(MemStore::new()),
+            StoreFaultPolicy::Enospc { period: 2 },
+        );
+        s.store(&key("a"), b"x").unwrap();
+        let e = s.store(&key("b"), b"x").unwrap_err();
+        assert_eq!(e.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(classify_io_error(&e), IoErrorClass::Permanent);
+        s.store(&key("c"), b"x").unwrap();
+    }
+
+    #[test]
+    fn torn_write_commits_truncated_bytes_then_errors() {
+        let s = FaultStore::new(
+            Box::new(MemStore::new()),
+            StoreFaultPolicy::TornWrite { period: 1 },
+        );
+        let e = s.store(&key("a"), b"0123456789").unwrap_err();
+        assert_eq!(classify_io_error(&e), IoErrorClass::Transient);
+        // the torn half IS on disk — exactly the hazard the stale path heals
+        assert_eq!(s.load(&key("a")).unwrap().as_deref(), Some(&b"01234"[..]));
+    }
+
+    #[test]
+    fn eio_read_is_seeded_and_deterministic() {
+        let run = |seed| {
+            let s = FaultStore::new(
+                Box::new(MemStore::new()),
+                StoreFaultPolicy::EioRead { seed, denom: 2 },
+            );
+            s.inner.store(&key("a"), b"x").unwrap();
+            (0..32)
+                .map(|_| u8::from(s.load(&key("a")).is_err()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault schedule");
+        assert!(run(7).contains(&1), "denom 2 must fire within 32 loads");
+        assert!(run(7).contains(&0), "denom 2 must also pass sometimes");
+    }
+}

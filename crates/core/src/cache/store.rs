@@ -8,9 +8,11 @@
 //! any cache logic.
 
 use super::key::CacheKey;
+use crate::crashpoint;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::SystemTime;
 
@@ -36,6 +38,16 @@ pub trait Storage: Send + Sync {
     fn remove(&self, key: &CacheKey) -> io::Result<()>;
     /// Enumerates every entry. Order is unspecified — callers sort.
     fn list(&self) -> io::Result<Vec<EntryMeta>>;
+    /// Leftover in-flight write artifacts (a crashed writer's temp files).
+    /// Backends without such debris report none.
+    fn tmp_debris(&self) -> io::Result<Vec<PathBuf>> {
+        Ok(Vec::new())
+    }
+    /// Removes debris whose writer is provably gone; returns how many were
+    /// swept. Never touches committed entries or a live writer's temp file.
+    fn sweep_stale_tmps(&self) -> io::Result<usize> {
+        Ok(0)
+    }
 }
 
 /// On-disk store: `root/<first 2 hex chars>/<32 hex chars>.spcc`.
@@ -67,7 +79,38 @@ impl FileStore {
         let hex = key.hex();
         self.root.join(&hex[..2]).join(format!("{hex}.{ENTRY_EXT}"))
     }
+
+    /// Whether the writer that owns this temp file is provably gone.
+    /// Temp names are `.tmp-<hex>-<pid>-<seq>`; a file from our own pid is
+    /// live by definition (some thread is mid-store), another pid is stale
+    /// once `/proc/<pid>` no longer exists. Where `/proc` is unavailable
+    /// the age fallback (10 minutes) keeps the sweep conservative.
+    fn tmp_is_stale(path: &Path) -> bool {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        let pid: Option<u32> = name
+            .strip_prefix(".tmp-")
+            .and_then(|rest| rest.split('-').nth(1))
+            .and_then(|p| p.parse().ok());
+        match pid {
+            Some(pid) if pid == std::process::id() => false,
+            Some(pid) if Path::new("/proc").is_dir() => {
+                !Path::new(&format!("/proc/{pid}")).exists()
+            }
+            _ => path
+                .metadata()
+                .and_then(|md| md.modified())
+                .ok()
+                .and_then(|m| m.elapsed().ok())
+                .is_some_and(|age| age.as_secs() > 600),
+        }
+    }
 }
+
+/// Per-process write sequence number: combined with the pid it makes temp
+/// names unique across *threads* of one process, not just across processes
+/// (two worker threads storing the same key simultaneously must not share
+/// a temp file).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl Storage for FileStore {
     fn load(&self, key: &CacheKey) -> io::Result<Option<Vec<u8>>> {
@@ -82,10 +125,19 @@ impl Storage for FileStore {
         let path = self.path(key);
         let dir = path.parent().expect("sharded path has a parent");
         std::fs::create_dir_all(dir)?;
-        let tmp = dir.join(format!(".tmp-{}-{}", key.hex(), std::process::id()));
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}-{}",
+            key.hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         std::fs::write(&tmp, bytes)?;
+        crashpoint::hit("cache-pre-rename");
         match std::fs::rename(&tmp, &path) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                crashpoint::hit("cache-post-rename");
+                Ok(())
+            }
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
                 Err(e)
@@ -135,6 +187,43 @@ impl Storage for FileStore {
             }
         }
         Ok(out)
+    }
+
+    fn tmp_debris(&self) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        let shards = match std::fs::read_dir(&self.root) {
+            Ok(rd) => rd,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(out),
+            Err(e) => return Err(e),
+        };
+        for shard in shards {
+            let shard = shard?;
+            if !shard.file_type()?.is_dir() {
+                continue;
+            }
+            for entry in std::fs::read_dir(shard.path())? {
+                let path = entry?.path();
+                if path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with(".tmp-"))
+                {
+                    out.push(path);
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn sweep_stale_tmps(&self) -> io::Result<usize> {
+        let mut swept = 0;
+        for tmp in self.tmp_debris()? {
+            if FileStore::tmp_is_stale(&tmp) && std::fs::remove_file(&tmp).is_ok() {
+                swept += 1;
+            }
+        }
+        Ok(swept)
     }
 }
 
@@ -225,6 +314,58 @@ mod tests {
     #[test]
     fn mem_store_contract() {
         exercise(&MemStore::new());
+    }
+
+    #[test]
+    fn tmp_names_are_unique_across_threads() {
+        // the pre-fix name `.tmp-<hex>-<pid>` collides when two threads of
+        // one process store the same key; the sequence suffix must not
+        let dir =
+            std::env::temp_dir().join(format!("specframe-tmpseq-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::new(&dir);
+        let k = key("contested");
+        std::thread::scope(|s| {
+            for i in 0..8u8 {
+                let store = &store;
+                let k = &k;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        store.store(k, &[i; 64]).unwrap();
+                    }
+                });
+            }
+        });
+        // the entry is whole (one of the writers' payloads, never a mix)
+        let got = store.load(&k).unwrap().unwrap();
+        assert_eq!(got.len(), 64);
+        assert!(got.iter().all(|b| *b == got[0]), "torn entry: {got:?}");
+        assert!(store.tmp_debris().unwrap().is_empty(), "leftover tmp files");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_sweep_spares_live_writers() {
+        let dir =
+            std::env::temp_dir().join(format!("specframe-tmpsweep-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = FileStore::new(&dir);
+        let k = key("x");
+        store.store(&k, b"payload").unwrap();
+        let shard = store.path(&k).parent().unwrap().to_path_buf();
+        // our own pid: a thread could be mid-store — never swept
+        let live = shard.join(format!(".tmp-{}-{}-0", k.hex(), std::process::id()));
+        // pid 0 never exists in /proc: a crashed writer's debris
+        let stale = shard.join(format!(".tmp-{}-0-1", k.hex()));
+        std::fs::write(&live, b"half").unwrap();
+        std::fs::write(&stale, b"half").unwrap();
+        assert_eq!(store.tmp_debris().unwrap().len(), 2);
+        assert_eq!(store.sweep_stale_tmps().unwrap(), 1);
+        assert!(live.exists(), "live writer's tmp swept");
+        assert!(!stale.exists(), "stale tmp survived the sweep");
+        // committed entries are untouched
+        assert_eq!(store.load(&k).unwrap().as_deref(), Some(&b"payload"[..]));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

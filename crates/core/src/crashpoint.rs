@@ -1,0 +1,82 @@
+//! Named crashpoints for chaos testing.
+//!
+//! `SPECFRAME_CRASH_AT=<point>[:<n>]` makes the process abort the `n`th
+//! time it reaches the named point (default 1). The chaos harness
+//! (`tests/chaos.rs`) uses this to kill the real `specc` binary inside
+//! every crash window of the cache/queue protocols and then prove that a
+//! restart converges. With the variable unset, [`hit`] is a single
+//! relaxed atomic load — cheap enough to leave in release builds, which
+//! is the point: the harness must crash the *production* code paths.
+//!
+//! Registered points, in protocol order:
+//!
+//! | point                  | window it exposes                             |
+//! |------------------------|-----------------------------------------------|
+//! | `cache-pre-rename`     | cache entry temp file written, not yet renamed |
+//! | `cache-post-rename`    | entry committed, caller's bookkeeping not run  |
+//! | `queue-pre-resp-rename`| `.resp.tmp` written, not yet renamed           |
+//! | `queue-pre-remove-req` | `.resp` committed, `.req` not yet removed      |
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Every registered crashpoint name, for harness enumeration and for
+/// validating `SPECFRAME_CRASH_AT` up front.
+pub const POINTS: &[&str] = &[
+    "cache-pre-rename",
+    "cache-post-rename",
+    "queue-pre-resp-rename",
+    "queue-pre-remove-req",
+];
+
+/// The environment variable read by [`hit`].
+pub const ENV_VAR: &str = "SPECFRAME_CRASH_AT";
+
+static CONFIG: OnceLock<Option<(String, u64)>> = OnceLock::new();
+static HITS: AtomicU64 = AtomicU64::new(0);
+
+fn config() -> &'static Option<(String, u64)> {
+    CONFIG.get_or_init(|| {
+        let spec = std::env::var(ENV_VAR).ok()?;
+        let (point, n) = match spec.split_once(':') {
+            Some((p, n)) => (p, n.parse::<u64>().ok().filter(|n| *n >= 1)?),
+            None => (spec.as_str(), 1),
+        };
+        if !POINTS.contains(&point) {
+            eprintln!("specframe: unknown crashpoint `{point}` in {ENV_VAR} (known: {POINTS:?})");
+            return None;
+        }
+        Some((point.to_string(), n))
+    })
+}
+
+/// Marks one arrival at the named crashpoint; aborts the process if this
+/// is the configured hit. Inert (one atomic load after first call) when
+/// `SPECFRAME_CRASH_AT` is unset.
+pub fn hit(point: &str) {
+    let Some((armed, n)) = config() else { return };
+    if armed != point {
+        return;
+    }
+    if HITS.fetch_add(1, Ordering::SeqCst) + 1 == *n {
+        eprintln!("specframe: crashpoint {point}:{n} reached, aborting");
+        std::process::abort();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // config() caches the env var process-wide, so this test only checks
+    // the unarmed fast path; the armed/abort path is exercised for real
+    // by tests/chaos.rs against the specc binary.
+    #[test]
+    fn unarmed_hits_are_inert() {
+        for p in POINTS {
+            hit(p);
+            hit(p);
+        }
+        hit("not-a-point");
+    }
+}

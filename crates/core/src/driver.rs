@@ -506,11 +506,15 @@ pub fn try_optimize_cached(
     for (fi, slot) in results.iter_mut().enumerate() {
         let mut r = slot.take().expect("every function processed")?;
         let write_back = match fcache {
+            // a cancelled request stops writing entries: the join may still
+            // splice results compiled before the deadline, but none of them
+            // reach the store (the deadline error surfaces from `?` above)
             Some(_)
                 if matches!(
                     cache_outcomes.get(fi),
                     Some(CacheOutcome::Miss | CacheOutcome::Stale)
-                ) && r.warnings.is_empty() =>
+                ) && r.warnings.is_empty()
+                    && !hooks.cancel.cancelled() =>
             {
                 // a function that needed the degradation ladder is not
                 // cached: its result encodes a recovery, not the plain
@@ -551,6 +555,24 @@ pub fn try_optimize_cached(
             timings.cache += t0.elapsed();
         }
         m.funcs.push(r.f);
+    }
+
+    // fold the storage-fault counters in and surface the circuit breaker
+    // (once per session: only the cache instance that tripped it reports)
+    if let Some(c) = fcache {
+        let (retries, io_errors, breaker_trips) = c.fault_counters();
+        cache_stats.retries = retries;
+        cache_stats.io_errors = io_errors;
+        cache_stats.breaker_trips = breaker_trips;
+        if let Some(reason) = c.breaker_diag() {
+            warnings.push(CompileDiag {
+                function: String::new(),
+                pass: "cache".into(),
+                message: format!(
+                    "cache circuit breaker tripped ({reason}); compiling without the cache"
+                ),
+            });
+        }
     }
 
     let t0 = Instant::now();
@@ -649,6 +671,12 @@ fn process_function(
 ) -> Result<FuncResult, CompileError> {
     let fid = FuncId::from_index(fi);
     let hooks = sh.hooks;
+    // between-functions deadline gate: a request past its deadline stops
+    // claiming work; functions already in flight stop at their next pass
+    // boundary (see `check_deadline` in `run_spec_stages`)
+    if hooks.cancel.cancelled() {
+        return Err(CompileError::deadline(&f.name));
+    }
     let mut dumps: Vec<PassDump> = Vec::new();
 
     // flow-sensitive refinement (Figure 4's last box): fold pointer bases
@@ -729,6 +757,12 @@ fn process_function(
     };
     let (out, warnings) = match attempt(true, PassSet::EMPTY) {
         Ok(out) => (out, Vec::new()),
+        // a deadline is not a compile failure the ladder can recover from —
+        // retrying without speculation cannot buy time back — so it
+        // bypasses every rung and surfaces as its own error shape
+        Err((pass, _)) if pass == CompileError::DEADLINE_PASS => {
+            return Err(CompileError::deadline(&f.name))
+        }
         Err((pass, message)) => {
             // rung 1: roll back just the offending pass and re-run the
             // remaining pipeline. An attributed failure names its pass; an
@@ -743,19 +777,25 @@ fn process_function(
                 if !pass_enabled(sh, p) {
                     continue;
                 }
-                if let Ok(mut out) = attempt(true, PassSet::from_iter([p])) {
-                    out.stats.pass_rollbacks = 1;
-                    let diag = CompileDiag {
-                        function: f.name.clone(),
-                        pass: pass.clone(),
-                        message: format!(
-                            "speculative compilation failed ({message}); rolled back \
-                             pass `{p}` for this function and re-ran the remaining \
-                             pipeline"
-                        ),
-                    };
-                    rescued = Some((out, vec![diag]));
-                    break;
+                match attempt(true, PassSet::from_iter([p])) {
+                    Ok(mut out) => {
+                        out.stats.pass_rollbacks = 1;
+                        let diag = CompileDiag {
+                            function: f.name.clone(),
+                            pass: pass.clone(),
+                            message: format!(
+                                "speculative compilation failed ({message}); rolled back \
+                                 pass `{p}` for this function and re-ran the remaining \
+                                 pipeline"
+                            ),
+                        };
+                        rescued = Some((out, vec![diag]));
+                        break;
+                    }
+                    Err((p2, _)) if p2 == CompileError::DEADLINE_PASS => {
+                        return Err(CompileError::deadline(&f.name))
+                    }
+                    Err(_) => {}
                 }
             }
             if let Some(r) = rescued {
@@ -775,6 +815,9 @@ fn process_function(
                             ),
                         };
                         (out, vec![diag])
+                    }
+                    Err((fpass, _)) if fpass == CompileError::DEADLINE_PASS => {
+                        return Err(CompileError::deadline(&f.name))
                     }
                     Err((fpass, fmessage)) => {
                         return Err(CompileError {
@@ -962,6 +1005,20 @@ fn run_spec_stages(
     };
     let oracle = Likeliness::with_costs(mode, sh.opts.spec_costs());
 
+    // deadline poll, one per stage gate: cancellation is only observed at
+    // pass boundaries, where no function is half-rewritten, so a cancelled
+    // compile never commits (or caches) a partial transformation
+    let check_deadline = || -> Result<(), (String, String)> {
+        if hooks.cancel.cancelled() {
+            Err((
+                CompileError::DEADLINE_PASS.into(),
+                "deadline exceeded".into(),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+
     // `--inject-corrupt` sabotages the speculative attempt right after the
     // named pass; the fallback attempt stays clean, like the other
     // injection knobs, so the ladder always has a sound rung to land on
@@ -974,6 +1031,7 @@ fn run_spec_stages(
     };
 
     current.set("hssa");
+    check_deadline()?;
     let t0 = Instant::now();
     let mut hf = build_hssa_with(sh.globals, f, fid, sh.aa, &oracle, fa);
     t.hssa_build = t0.elapsed();
@@ -987,6 +1045,7 @@ fn run_spec_stages(
 
     if hooks.runs(Pass::Ssapre) {
         current.set("ssapre");
+        check_deadline()?;
         // injection fires on every attempt that reaches this stage — also
         // the rollback retry — so recovery degrades past rung 1
         if inject.as_deref() == Some(f.name.as_str()) {
@@ -1024,6 +1083,7 @@ fn run_spec_stages(
     let mut sr_temps: Vec<crate::strength::SrTemp> = Vec::new();
     if sh.opts.strength_reduction && hooks.runs(Pass::Strength) && !skip.contains(Pass::Strength) {
         current.set("strength");
+        check_deadline()?;
         let t0 = Instant::now();
         strength_reduce_hssa(&mut hf, &mut stats, fa, &mut sr_temps);
         crate::ssapre::cleanup_hssa(&mut hf);
@@ -1038,6 +1098,7 @@ fn run_spec_stages(
     }
     if sh.opts.lftr && hooks.runs(Pass::Lftr) && !skip.contains(Pass::Lftr) {
         current.set("lftr");
+        check_deadline()?;
         let t0 = Instant::now();
         crate::lftr::lftr_hssa(&mut hf, &sr_temps, &mut stats);
         crate::ssapre::cleanup_hssa(&mut hf);
@@ -1052,6 +1113,7 @@ fn run_spec_stages(
     }
     if sh.opts.store_sinking && hooks.runs(Pass::Storeprom) && !skip.contains(Pass::Storeprom) {
         current.set("storeprom");
+        check_deadline()?;
         let t0 = Instant::now();
         crate::storeprom::sink_stores_hssa(&mut hf, &mut stats, fa);
         crate::ssapre::cleanup_hssa(&mut hf);
@@ -1066,6 +1128,7 @@ fn run_spec_stages(
     }
 
     current.set("verify");
+    check_deadline()?;
     let t0 = Instant::now();
     if let Err(e) = verify_hssa_detailed(&hf) {
         return Err(("verify".into(), e.msg));
@@ -1073,6 +1136,7 @@ fn run_spec_stages(
     t.verify = t0.elapsed();
 
     current.set("lower");
+    check_deadline()?;
     let t0 = Instant::now();
     let (lowered, fresh_sites) = lower_function(f, &hf);
     t.lower = t0.elapsed();

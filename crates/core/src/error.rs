@@ -72,6 +72,29 @@ impl fmt::Display for CompileError {
     }
 }
 
+impl CompileError {
+    /// The pseudo-pass name for deadline cancellations.
+    pub const DEADLINE_PASS: &'static str = "deadline";
+
+    /// A deadline cancellation attributed to `function` (empty for
+    /// module-level points). Deadlines bypass the degradation ladder —
+    /// retrying non-speculatively cannot buy time back — and map to their
+    /// own exit code / service error code (5).
+    pub fn deadline(function: &str) -> CompileError {
+        CompileError {
+            function: function.into(),
+            pass: CompileError::DEADLINE_PASS.into(),
+            message: "deadline exceeded; compilation cancelled".into(),
+            fallback_exhausted: false,
+        }
+    }
+
+    /// Whether this failure is a deadline cancellation.
+    pub fn is_deadline(&self) -> bool {
+        self.pass == CompileError::DEADLINE_PASS
+    }
+}
+
 impl std::error::Error for CompileError {}
 
 thread_local! {

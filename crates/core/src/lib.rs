@@ -27,6 +27,8 @@
 //! [`stats::OptStats`].
 
 pub mod cache;
+pub mod cancel;
+pub mod crashpoint;
 pub mod driver;
 pub mod error;
 pub mod expr;
@@ -39,7 +41,11 @@ pub mod stats;
 pub mod storeprom;
 pub mod strength;
 
-pub use cache::{CacheKey, CacheOutcome, CacheStats, FuncCache, KeyContext, Storage};
+pub use cache::{
+    parse_store_fault_policy, CacheHealth, CacheKey, CacheOutcome, CacheStats, FaultStore,
+    FuncCache, KeyContext, Storage, StoreFaultPolicy,
+};
+pub use cancel::{CancelToken, Watchdog};
 pub use driver::{
     optimize, optimize_with, optimize_with_hooks, prepare_module, target_spec_costs,
     try_optimize_cached, try_optimize_with_hooks, ControlSpec, OptOptions, OptReport,

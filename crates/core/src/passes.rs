@@ -193,6 +193,11 @@ pub struct PipelineHooks {
     /// speculation barrier before each flagged sink so the machine-level
     /// re-audit is clean (`--fence-leaks`). Implies the audit.
     pub fence_leaks: bool,
+    /// Cooperative deadline token (`--deadline-ms`), polled at pass
+    /// boundaries and between functions. Deliberately excluded from the
+    /// cache-key fingerprint: a deadline changes when a compile stops,
+    /// never what it produces.
+    pub cancel: crate::cancel::CancelToken,
 }
 
 impl PipelineHooks {

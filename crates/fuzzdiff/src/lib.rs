@@ -204,6 +204,14 @@ pub struct DiffStats {
     pub leak_sites: u64,
     /// Speculation barriers the leak oracle's fencing pass inserted.
     pub fences_inserted: u64,
+    /// Cached compiles the storage-fault oracle performed.
+    pub cache_runs: u64,
+    /// Transient cache-I/O retries those compiles drove.
+    pub cache_retries: u64,
+    /// Injected cache I/O errors observed across the fault matrix.
+    pub cache_io_errors: u64,
+    /// Cache circuit-breaker trips (at most one per cache session).
+    pub cache_breaker_trips: u64,
 }
 
 /// The outcome of one oracle run over one case, separating *setup*
@@ -493,6 +501,99 @@ pub fn diff_case_outcome(
     }
 }
 
+/// The storage-fault matrix the cache oracle sweeps: no faults, periodic
+/// permanent ENOSPC, seeded transient read errors, and torn writes.
+pub const STORE_FAULT_MATRIX: &[&str] = &["none", "enospc:2", "eio-read:7:2", "torn-write:2"];
+
+/// The storage-fault oracle: compiles `case` through a compile cache whose
+/// storage is wrapped in every [`STORE_FAULT_MATRIX`] fault injector, cold
+/// and warm, and proves the module text never moves a byte from the
+/// uncached baseline — faults may cost retries, trip the circuit breaker,
+/// and turn hits back into misses, but they must never change the output.
+/// Counter sanity rides along: probes account for every function, a retry
+/// implies an observed I/O error, and the breaker trips at most once.
+///
+/// # Errors
+/// A human-readable report of the first divergence or counter violation.
+pub fn storage_fault_case(case: &Case, stats: &mut DiffStats) -> Result<(), String> {
+    use specframe::core::cache::MemStore;
+    use specframe::core::{parse_store_fault_policy, try_optimize_cached, FuncCache};
+    use specframe::ir::display::print_module;
+
+    let target = TargetId::ALL[0];
+    let opts = OptOptions {
+        data: SpecSource::Heuristic,
+        control: ControlSpec::Static,
+        strength_reduction: true,
+        lftr: true,
+        store_sinking: true,
+        target,
+    };
+    let cfg = PipelineConfig { jobs: 1 };
+    let hooks = PipelineHooks::default();
+
+    let mut base = case.module.clone();
+    try_optimize_cached(&mut base, &opts, &cfg, &hooks, None)
+        .map_err(|e| format!("{}: uncached baseline failed: {e}", case.name))?;
+    let want = print_module(&base);
+    let funcs = case.module.funcs.len() as u64;
+
+    for policy in STORE_FAULT_MATRIX {
+        let pol = parse_store_fault_policy(policy)?;
+        let cache = FuncCache::with_store(Box::new(MemStore::new())).with_fault_policy(pol);
+        for phase in ["cold", "warm"] {
+            let label = format!("{}/{policy}/{phase}", case.name);
+            let mut cm = case.module.clone();
+            let (report, _) = try_optimize_cached(&mut cm, &opts, &cfg, &hooks, Some(&cache))
+                .map_err(|e| format!("{label}: cached compile failed: {e}"))?;
+            stats.cache_runs += 1;
+            if print_module(&cm) != want {
+                return Err(format!(
+                    "{label}: cached module text diverged from the uncached baseline"
+                ));
+            }
+            let c = report.cache;
+            if c.hits + c.misses + c.stale != funcs {
+                return Err(format!(
+                    "{label}: probe accounting: {} hits + {} misses + {} stale != {funcs} funcs",
+                    c.hits, c.misses, c.stale
+                ));
+            }
+            if c.retries > c.io_errors {
+                return Err(format!(
+                    "{label}: counter sanity: {} retries > {} io errors",
+                    c.retries, c.io_errors
+                ));
+            }
+            if c.breaker_trips > 1 {
+                return Err(format!(
+                    "{label}: counter sanity: breaker tripped {} times",
+                    c.breaker_trips
+                ));
+            }
+            if *policy == "none" {
+                if c.io_errors != 0 {
+                    return Err(format!(
+                        "{label}: {} io errors under the no-fault policy",
+                        c.io_errors
+                    ));
+                }
+                if phase == "warm" && c.misses != 0 {
+                    return Err(format!(
+                        "{label}: {} misses on a warm fault-free cache",
+                        c.misses
+                    ));
+                }
+            }
+        }
+        let (retries, io_errors, trips) = cache.fault_counters();
+        stats.cache_retries += retries;
+        stats.cache_io_errors += io_errors;
+        stats.cache_breaker_trips += trips;
+    }
+    Ok(())
+}
+
 /// Shrinks a diverging case to a minimal module with the ddmin-style
 /// reducer and renders it as a `.spec`-ready repro. The predicate re-runs
 /// the (optionally sabotaged) oracle on every candidate and accepts only
@@ -571,6 +672,26 @@ fn render_spec_repro(case: &Case, red: &Module, rs: &ReduceStats, break_checks: 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn storage_fault_oracle_accepts_a_workload_and_moves_counters() {
+        let case = workload_cases().into_iter().next().expect("a workload");
+        let mut stats = DiffStats::default();
+        storage_fault_case(&case, &mut stats).expect("fault matrix must not change output");
+        // 4 policies x cold+warm
+        assert_eq!(stats.cache_runs, 8);
+        // the faulty policies must actually inject something
+        assert!(stats.cache_io_errors > 0, "{stats:?}");
+        assert!(stats.cache_retries <= stats.cache_io_errors, "{stats:?}");
+    }
+
+    #[test]
+    fn storage_fault_oracle_handles_seeded_random_cases() {
+        let case = random_case(3);
+        let mut stats = DiffStats::default();
+        storage_fault_case(&case, &mut stats).expect("fault matrix must not change output");
+        assert_eq!(stats.cache_runs, 8);
+    }
 
     #[test]
     fn random_cases_are_deterministic_per_seed() {

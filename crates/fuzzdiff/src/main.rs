@@ -23,8 +23,8 @@
 
 use specframe::prelude::*;
 use specframe_fuzzdiff::{
-    diff_case_outcome, random_case_sized, reduce_failing_case, workload_cases, DiffOutcome,
-    DiffStats,
+    diff_case_outcome, random_case_sized, reduce_failing_case, storage_fault_case, workload_cases,
+    DiffOutcome, DiffStats,
 };
 use std::time::{Duration, Instant};
 
@@ -160,17 +160,32 @@ fn main() -> std::process::ExitCode {
                 }
             }
         }
+        // the storage-fault oracle rides along on every case: the compile
+        // cache must survive the injected-fault matrix without moving the
+        // module text a byte (sabotage mode targets the ALAT oracle only)
+        if !o.break_checks {
+            if let Err(report) = storage_fault_case(&case, &mut stats) {
+                failures += 1;
+                println!("FAIL {name} (storage-fault oracle)");
+                eprintln!("{report}");
+            }
+        }
     }
 
     println!(
         "fuzzdiff: {} cases, {} sim runs, {} failed checks recovered, \
-         {} leak sites fenced ({} fences), {} skipped (budget), \
-         {} failures in {:.1}s",
+         {} leak sites fenced ({} fences), {} cached compiles \
+         ({} retries / {} injected errors, {} breaker trips), \
+         {} skipped (budget), {} failures in {:.1}s",
         stats.cases,
         stats.sim_runs,
         stats.failed_checks,
         stats.leak_sites,
         stats.fences_inserted,
+        stats.cache_runs,
+        stats.cache_retries,
+        stats.cache_io_errors,
+        stats.cache_breaker_trips,
         skipped,
         failures,
         start.elapsed().as_secs_f64()

@@ -60,13 +60,18 @@ fn parse_cli() -> Result<Cli, String> {
                     args.next().ok_or("--cache-dir needs a value")?,
                 ))
             }
+            "--cache-fault-policy" => {
+                cli.overrides.cache_fault_policy =
+                    Some(args.next().ok_or("--cache-fault-policy needs a value")?)
+            }
             "--target" => cli.overrides.target = Some(args.next().ok_or("--target needs a value")?),
             "-q" | "--quiet" => cli.quiet = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: spectest [PATHS...] [--filter SUBSTR] [--dump FILE] \
                             [--verify-each] [--audit-spec] [--audit-leaks] \
-                            [--cache-dir DIR] [--target NAME] [-q]"
+                            [--cache-dir DIR] [--cache-fault-policy SPEC] \
+                            [--target NAME] [-q]"
                         .into(),
                 )
             }

@@ -407,6 +407,11 @@ pub struct RunOverrides {
     /// whole golden suite must produce identical output with caching on,
     /// cold or warm.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Inject storage faults into the compile cache
+    /// (`spectest --cache-fault-policy`, requires `--cache-dir`): the
+    /// fault-tolerance parity harness — retries and breaker trips may
+    /// happen underneath, but the golden output must not move a byte.
+    pub cache_fault_policy: Option<String>,
     /// Force every RUN onto this execution target (`spectest --target`):
     /// the whole golden suite is re-lowered and re-simulated for another
     /// backend. Cases that pin target-specific output (counter blocks,
@@ -448,6 +453,9 @@ pub fn run_case_with(path: &Path, ov: RunOverrides) -> CaseOutcome {
         rs.leak_contract |= ov.audit_leaks;
         if rs.req.cache_dir.is_none() {
             rs.req.cache_dir = ov.cache_dir.clone();
+        }
+        if rs.req.cache_fault_policy.is_none() {
+            rs.req.cache_fault_policy = ov.cache_fault_policy.clone();
         }
         if let Some(t) = &ov.target {
             rs.req.target = t.clone();

@@ -89,12 +89,38 @@
 //!                         stored lowerings byte-identically; stale or
 //!                         corrupt entries degrade to a fresh compile with
 //!                         a warning
+//!   --cache-fault-policy SPEC
+//!                         wrap the cache's storage in a seeded,
+//!                         deterministic fault injector (exercises the
+//!                         retry/circuit-breaker path): enospc:N |
+//!                         eio-read:SEED[:DENOM] | torn-write:N |
+//!                         latency:MS. Module output bytes never change
+//!                         under any policy; only the retry / io-error
+//!                         counters and cache warnings move
+//!   --cache-retries N     transient cache-I/O retry budget per operation
+//!                         (default: 2). Exhaustion — or any permanent
+//!                         error such as ENOSPC — trips a per-session
+//!                         circuit breaker that degrades the rest of the
+//!                         session to cache-off with a warning
+//!   --deadline-ms N       cooperative compile deadline: a watchdog arms a
+//!                         cancellation token checked at pass boundaries
+//!                         and between functions; on expiry the compile
+//!                         aborts with exit code 5 and writes no partial
+//!                         cache entries
 //!   --serve               compile service: read requests from stdin
-//!                         (`compile PATH [-o OUT]`, `mega SEED[:FUNCS]
-//!                         [-o OUT]`, `stats`, `quit`), answer one status
-//!                         line per request on stdout
+//!                         (`compile PATH [-o OUT] [--deadline-ms N]`,
+//!                         `mega SEED[:FUNCS] [-o OUT]`, `stats`, `quit`),
+//!                         answer one status line per request on stdout; a
+//!                         deadline expiry answers `err ... code=5
+//!                         msg=deadline` and the service keeps serving
 //!   --serve-queue DIR     drain every *.req file in DIR (sorted), writing
-//!                         <stem>.resp beside each, then exit
+//!                         <stem>.resp beside each, then exit. The drain is
+//!                         crash-safe and idempotent: requests that already
+//!                         have a .resp are skipped, malformed or
+//!                         unreadable requests are quarantined to
+//!                         <stem>.err (the drain keeps going), and an
+//!                         open-time fsck sweeps orphaned .resp.tmp files
+//!                         and stale cache .tmp-* debris left by a crash
 //!   --verbose             with --serve: per-function `fn NAME outcome`
 //!                         lines before each `ok` response
 //!
@@ -103,12 +129,15 @@
 //!   specc cache stats  --cache-dir DIR   entry count and total bytes
 //!   specc cache clear  --cache-dir DIR   remove every entry
 //!   specc cache verify --cache-dir DIR   decode every entry; exit 2 and
-//!                                        list offenders if any fail
+//!                                        list offenders if any fail; also
+//!                                        reports .tmp-* debris and sweeps
+//!                                        the stale ones
 //! ```
 //!
 //! Exit codes: 0 success, 1 usage/IO error, 2 input parse or verification
 //! error, 3 compile/run failure, 4 speculative-compilation recovery
-//! exhausted (even the non-speculative recompile failed).
+//! exhausted (even the non-speculative recompile failed), 5 deadline
+//! exceeded (--deadline-ms expired before compilation finished).
 //!
 //! Example:
 //!
@@ -159,6 +188,13 @@ struct Cli {
     reduce: bool,
     fuel: u64,
     cache_dir: Option<std::path::PathBuf>,
+    /// `--cache-fault-policy`: storage fault injection spec (validated at
+    /// parse time, applied when the cache opens).
+    cache_fault_policy: Option<String>,
+    /// `--cache-retries`: transient cache-I/O retry budget per operation.
+    cache_retries: u32,
+    /// `--deadline-ms`: cooperative compile deadline in milliseconds.
+    deadline_ms: Option<u64>,
     serve: bool,
     serve_queue: Option<std::path::PathBuf>,
     verbose: bool,
@@ -235,6 +271,9 @@ fn parse_cli() -> Result<Cli, String> {
         reduce: false,
         fuel: 100_000_000,
         cache_dir: None,
+        cache_fault_policy: None,
+        cache_retries: specframe::core::cache::DEFAULT_RETRY_BUDGET,
+        deadline_ms: None,
         serve: false,
         serve_queue: None,
         verbose: false,
@@ -338,6 +377,27 @@ fn parse_cli() -> Result<Cli, String> {
             "--cache-dir" => {
                 cli.cache_dir = Some(args.next().ok_or("--cache-dir needs a value")?.into())
             }
+            "--cache-fault-policy" => {
+                let spec = args.next().ok_or("--cache-fault-policy needs a value")?;
+                // validate eagerly so a typo fails before any work starts
+                specframe::core::parse_store_fault_policy(&spec)?;
+                cli.cache_fault_policy = Some(spec);
+            }
+            "--cache-retries" => {
+                cli.cache_retries = args
+                    .next()
+                    .ok_or("--cache-retries needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-retries: {e}"))?
+            }
+            "--deadline-ms" => {
+                cli.deadline_ms = Some(
+                    args.next()
+                        .ok_or("--deadline-ms needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                )
+            }
             "--serve" => cli.serve = true,
             "--serve-queue" => {
                 cli.serve_queue = Some(args.next().ok_or("--serve-queue needs a value")?.into())
@@ -365,12 +425,16 @@ fn parse_cli() -> Result<Cli, String> {
                             [--taint-secret LOC,..] [--reduce] \
                             [--inject-spec-fail FUNC] [--inject-fallback-fail FUNC] \
                             [--inject-corrupt FUNC:PASS] [--cache-dir DIR] \
+                            [--cache-fault-policy SPEC] [--cache-retries N] \
+                            [--deadline-ms N] \
                             [--serve] [--serve-queue DIR] [--verbose]\n\
                             cache maintenance: specc cache stats|clear|verify \
                             --cache-dir DIR\n\
                             --fault-policy: default | geom:E:W | always-miss | \
                             forced-miss | random:SEED[:DENOM] | flash-clear[:PERIOD] | \
                             evict-at:N[:N...]\n\
+                            --cache-fault-policy: enospc:N | \
+                            eio-read:SEED[:DENOM] | torn-write:N | latency:MS\n\
                             --audit-leaks rejects (and --fence-leaks repairs) \
                             machine code where a speculative load's value \
                             reaches an address or branch before its check; \
@@ -577,10 +641,15 @@ fn real_main() -> Result<(), CompileFailure> {
             inject_corrupt: cli.inject_corrupt.clone(),
             audit_leaks: cli.audit_leaks,
             fence_leaks: cli.fence_leaks,
+            cancel: Default::default(),
         },
         fuel: cli.fuel,
         alias_profile,
         cache_dir: cli.cache_dir.clone(),
+        cache_fault_policy: cli.cache_fault_policy.clone(),
+        cache_retries: cli.cache_retries,
+        cache_health: Default::default(),
+        deadline_ms: cli.deadline_ms,
     };
     // keep the input around so a failure can be shrunk to a minimal repro
     // (and so an --audit-leaks rejection can be adversarially witnessed)
@@ -635,8 +704,8 @@ fn real_main() -> Result<(), CompileFailure> {
     if cli.cache_dir.is_some() && (cli.stats || cli.time_passes) {
         let c = report.cache;
         eprintln!(
-            "cache: {} hits, {} misses, {} stale, {} evicts",
-            c.hits, c.misses, c.stale, c.evicts
+            "cache: {} hits, {} misses, {} stale, {} evicts, {} retries, {} io errors, {} breaker trips",
+            c.hits, c.misses, c.stale, c.evicts, c.retries, c.io_errors, c.breaker_trips
         );
     }
     if cli.time_passes {
@@ -763,6 +832,9 @@ fn run_cache_cmd(cli: &Cli) -> Result<(), CompileFailure> {
             for (key, why) in &report.bad {
                 println!("bad  {} {why}", key.hex());
             }
+            for tmp in &report.tmps {
+                println!("tmp  {}", tmp.display());
+            }
             println!(
                 "cache {}: {} ok, {} bad, {} bytes",
                 dir.display(),
@@ -770,6 +842,14 @@ fn run_cache_cmd(cli: &Cli) -> Result<(), CompileFailure> {
                 report.bad.len(),
                 report.bytes
             );
+            if !report.tmps.is_empty() {
+                let swept = cache.sweep_stale_tmps().map_err(io_err)?;
+                println!(
+                    "cache {}: {} tmp files, {swept} stale swept",
+                    dir.display(),
+                    report.tmps.len()
+                );
+            }
             if !report.bad.is_empty() {
                 return Err(CompileFailure::Parse(format!(
                     "cache verify: {} undecodable entries",
@@ -827,24 +907,37 @@ fn run_serve(cli: &Cli) -> Result<(), CompileFailure> {
                 inject_corrupt: cli.inject_corrupt.clone(),
                 audit_leaks: cli.audit_leaks,
                 fence_leaks: cli.fence_leaks,
+                cancel: Default::default(),
             },
             fuel: cli.fuel,
             alias_profile,
             cache_dir: cli.cache_dir.clone(),
+            cache_fault_policy: cli.cache_fault_policy.clone(),
+            cache_retries: cli.cache_retries,
+            // one health cell for the whole session: every served request
+            // clones the base, sharing the circuit breaker
+            cache_health: Default::default(),
+            deadline_ms: cli.deadline_ms,
         },
         verbose: cli.verbose,
     };
-    let served = match &cli.serve_queue {
-        Some(dir) => serve_queue(&cfg, dir)
-            .map_err(|e| usage(format!("serve queue {}: {e}", dir.display())))?,
+    match &cli.serve_queue {
+        Some(dir) => {
+            let rep = serve_queue(&cfg, dir)
+                .map_err(|e| usage(format!("serve queue {}: {e}", dir.display())))?;
+            eprintln!(
+                "specc: served {} requests ({} skipped, {} quarantined, {} tmp swept)",
+                rep.handled, rep.skipped, rep.quarantined, rep.swept
+            );
+        }
         None => {
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
-            serve_stdin(&cfg, &mut stdin.lock(), &mut stdout.lock())
-                .map_err(|e| usage(format!("serve: {e}")))?
+            let served = serve_stdin(&cfg, &mut stdin.lock(), &mut stdout.lock())
+                .map_err(|e| usage(format!("serve: {e}")))?;
+            eprintln!("specc: served {served} requests");
         }
-    };
-    eprintln!("specc: served {served} requests");
+    }
     Ok(())
 }
 

@@ -9,14 +9,17 @@
 //!
 //! Failures are classified by [`CompileFailure`] so the CLI can exit with
 //! a distinct code per family (usage 1, parse 2, compile 3, exhausted
-//! speculation recovery 4), and the simulator rendering shared by
-//! `specc --sim` and golden tests lives in [`simulate_text`].
+//! speculation recovery 4, deadline exceeded 5), and the simulator
+//! rendering shared by `specc --sim` and golden tests lives in
+//! [`simulate_text`].
 
 use specframe_alias::AliasAnalysis;
 use specframe_codegen::{lower_module_fenced_for, lower_module_for};
 use specframe_core::{
-    prepare_module, target_spec_costs, try_optimize_cached, CompileDiag, CompileError, ControlSpec,
-    FuncCache, OptOptions, OptReport, PassDump, PipelineConfig, PipelineHooks, SpecSource,
+    cache::DEFAULT_RETRY_BUDGET, cancel::Watchdog, parse_store_fault_policy, prepare_module,
+    target_spec_costs, try_optimize_cached, CacheHealth, CancelToken, CompileDiag, CompileError,
+    ControlSpec, FuncCache, OptOptions, OptReport, PassDump, PipelineConfig, PipelineHooks,
+    SpecSource,
 };
 use specframe_hssa::{build_hssa, HOperand, HStmtKind, Likeliness, SiteQuery, SpecMode};
 use specframe_ir::{parse_module, verify_module, FuncId, Module, Ty, Value};
@@ -69,6 +72,24 @@ pub struct CompileRequest {
     /// `SPECFRAME_CACHE_DIR`). `None` disables caching. Hits replay stored
     /// lowerings; output stays byte-identical to an uncached compile.
     pub cache_dir: Option<std::path::PathBuf>,
+    /// Storage fault injection over the cache backend
+    /// (`--cache-fault-policy`, e.g. `enospc:3` / `eio-read:7:2` /
+    /// `torn-write:2` / `latency:5`). Module output stays byte-identical
+    /// under every policy; only the fault counters (and wall time) move.
+    pub cache_fault_policy: Option<String>,
+    /// Transient cache-I/O retry budget per storage operation
+    /// (`--cache-retries`).
+    pub cache_retries: u32,
+    /// Session-wide cache circuit breaker. Cloning a request shares it,
+    /// which is exactly what the serve loop wants: once storage proves
+    /// broken, every later request in the session compiles cache-off
+    /// instead of rediscovering the failure.
+    pub cache_health: std::sync::Arc<CacheHealth>,
+    /// Per-request compile deadline in milliseconds (`--deadline-ms`).
+    /// Enforced cooperatively at pass boundaries and between functions; an
+    /// exceeded deadline fails the compile with exit/service code 5 and
+    /// writes no cache entries.
+    pub deadline_ms: Option<u64>,
     /// Execution target: `epic|swr` (`--target`). Selects the lowering
     /// hooks and the cost model the profitability oracle weighs, so the
     /// same input can motion differently per target.
@@ -92,6 +113,10 @@ impl Default for CompileRequest {
             alias_profile: None,
             explain_spec: false,
             cache_dir: None,
+            cache_fault_policy: None,
+            cache_retries: DEFAULT_RETRY_BUDGET,
+            cache_health: std::sync::Arc::new(CacheHealth::default()),
+            deadline_ms: None,
             target: "epic".into(),
         }
     }
@@ -119,6 +144,7 @@ impl CompileFailure {
             CompileFailure::Usage(_) => 1,
             CompileFailure::Parse(_) => 2,
             CompileFailure::Compile(e) if e.fallback_exhausted => 4,
+            CompileFailure::Compile(e) if e.is_deadline() => 5,
             CompileFailure::Compile(_) => 3,
         }
     }
@@ -283,7 +309,34 @@ pub fn compile_module(
         None
     };
 
-    let fcache = req.cache_dir.as_ref().map(FuncCache::open);
+    // per-request deadline: a cooperative token on the hooks, plus a
+    // watchdog thread that trips it the moment the clock runs out (joined
+    // on drop, so an in-time compile leaves nothing behind). The token is
+    // not part of the cache key — deadlines never change output bytes.
+    let mut hooks = req.hooks.clone();
+    if let Some(ms) = req.deadline_ms {
+        hooks.cancel = CancelToken::deadline_in(std::time::Duration::from_millis(ms));
+    }
+    let _watchdog = Watchdog::arm(&hooks.cancel);
+    // the profiling run above predates the first pass boundary; gate here
+    // so a blown training run still honors the deadline
+    if hooks.cancel.cancelled() {
+        return Err(CompileFailure::Compile(CompileError::deadline("")));
+    }
+
+    let fcache = match &req.cache_dir {
+        None => None,
+        Some(dir) => {
+            let mut c = FuncCache::open(dir)
+                .with_retry_budget(req.cache_retries)
+                .with_health(std::sync::Arc::clone(&req.cache_health));
+            if let Some(spec) = &req.cache_fault_policy {
+                let policy = parse_store_fault_policy(spec).map_err(CompileFailure::Usage)?;
+                c = c.with_fault_policy(policy);
+            }
+            Some(c)
+        }
+    };
     let (mut report, dumps) = try_optimize_cached(
         &mut m,
         &OptOptions {
@@ -295,7 +348,7 @@ pub fn compile_module(
             target,
         },
         &PipelineConfig { jobs: req.jobs },
-        &req.hooks,
+        &hooks,
         fcache.as_ref(),
     )?;
     if !pre_warnings.is_empty() {

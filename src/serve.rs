@@ -13,12 +13,25 @@
 //!   file + rename, and the `.req` is removed. One drain pass, then exit:
 //!   deterministic for scripting; a fleet loops it.
 //!
+//! The queue protocol is crash-safe and idempotent (see DESIGN.md
+//! "Failure domains & crash-recovery contract"):
+//!
+//! * a `.req` whose `.resp` already exists was fully served by a drain
+//!   that crashed inside the write-resp/remove-req window — it is
+//!   *skipped* (the stale `.req` is removed), so re-draining after a
+//!   crash double-serves into a byte-identical no-op;
+//! * an unreadable or malformed `.req` is *quarantined* to `<stem>.err`
+//!   (with the reason inside) and the drain continues — one poisoned
+//!   request can no longer abort the whole queue;
+//! * an open-time fsck removes orphaned `.resp.tmp` files and sweeps
+//!   stale cache `.tmp-*` debris left by a crashed writer.
+//!
 //! Request grammar (tokens are whitespace-separated; blank lines and
 //! `#` comments are skipped):
 //!
 //! ```text
-//! compile PATH [-o OUT]     # compile the module file at PATH
-//! mega SEED[:FUNCS] [-o OUT]# compile the synthetic mega-module
+//! compile PATH [-o OUT] [--deadline-ms N]  # compile the module file at PATH
+//! mega SEED[:FUNCS] [-o OUT] [--deadline-ms N] # compile the synthetic mega-module
 //! stats                     # report cache entry count and bytes
 //! quit                      # stop serving (stdin transport)
 //! ```
@@ -26,17 +39,20 @@
 //! Responses are single-line, machine-parseable:
 //!
 //! ```text
-//! ok in=<request> funcs=N hits=H misses=M stale=S evicts=E fallbacks=F wall_ms=T
+//! ok in=<request> funcs=N hits=H misses=M stale=S evicts=E retries=R ioerr=I fallbacks=F wall_ms=T
 //! err in=<request> code=C msg=<message, newlines folded>
 //! ```
 //!
-//! With `--verbose`, `fn <name> <hit|miss|stale|compiled>` lines precede
-//! the `ok` line (one per function, module order). The optimized module
-//! text is written to OUT when `-o` is given and is never printed to the
-//! response stream — the protocol stays line-oriented.
+//! `code=5 msg=deadline` marks a request that exceeded its deadline: the
+//! compile was cancelled cooperatively at a pass boundary, no cache
+//! entries were written, and the service keeps serving. With `--verbose`,
+//! `fn <name> <hit|miss|stale|compiled>` lines precede the `ok` line (one
+//! per function, module order). The optimized module text is written to
+//! OUT when `-o` is given and is never printed to the response stream —
+//! the protocol stays line-oriented.
 
 use crate::pipeline::{compile_module, CompileFailure, CompileOutput, CompileRequest};
-use specframe_core::FuncCache;
+use specframe_core::{crashpoint, FuncCache};
 use specframe_ir::display::print_module;
 use specframe_ir::parse_module;
 use std::io::{self, BufRead, Write};
@@ -86,33 +102,99 @@ pub fn serve_stdin(
     Ok(handled)
 }
 
+/// What one queue drain did — the convergence numbers the chaos harness
+/// and `specc --serve-queue`'s summary line report.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests served to a fresh `.resp` this pass.
+    pub handled: usize,
+    /// Requests skipped because their `.resp` already existed (a prior
+    /// drain crashed between writing the response and removing the
+    /// request); the stale `.req` is removed, completing the transaction.
+    pub skipped: usize,
+    /// Unreadable requests quarantined to `<stem>.err`.
+    pub quarantined: usize,
+    /// Crash debris removed by the open-time fsck: orphaned `.resp.tmp`
+    /// files in the queue plus stale `.tmp-*` files in the cache.
+    pub swept: usize,
+}
+
 /// Drains every `*.req` file in `dir` (sorted by file name), writing
-/// `<stem>.resp` next to each and removing the request file. Returns how
-/// many requests were drained.
-pub fn serve_queue(cfg: &ServeConfig, dir: &Path) -> io::Result<usize> {
-    let mut reqs: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("req"))
-        .collect();
+/// `<stem>.resp` next to each and removing the request file. Crash-safe
+/// and idempotent per the module contract; one bad request quarantines
+/// instead of aborting the drain.
+pub fn serve_queue(cfg: &ServeConfig, dir: &Path) -> io::Result<DrainReport> {
+    let mut rep = DrainReport::default();
+
+    // open-time fsck: a crash between writing `.resp.tmp` and renaming it
+    // leaves an orphan; its `.req` survived, so the retry below rewrites
+    // the response from scratch — the orphan is pure debris
+    let mut reqs: Vec<std::path::PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let p = entry?.path();
+        let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.ends_with(".resp.tmp") {
+            if std::fs::remove_file(&p).is_ok() {
+                rep.swept += 1;
+            }
+        } else if p.extension().and_then(|e| e.to_str()) == Some("req") {
+            reqs.push(p);
+        }
+    }
+    // cache-side fsck: debris from a writer killed inside its store()
+    if let Some(cache_dir) = &cfg.base.cache_dir {
+        rep.swept += FuncCache::open(cache_dir).sweep_stale_tmps().unwrap_or(0);
+    }
+
     reqs.sort();
-    let mut handled = 0;
     for req_path in reqs {
-        let text = std::fs::read_to_string(&req_path)?;
-        let line = text
-            .lines()
-            .find(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
-            .unwrap_or("");
+        let resp_path = req_path.with_extension("resp");
+        if resp_path.exists() {
+            // already served by a drain that crashed pre-remove: finish
+            // the transaction (remove the `.req`), don't recompute — the
+            // committed `.resp` is the authoritative answer
+            let _ = std::fs::remove_file(&req_path);
+            rep.skipped += 1;
+            continue;
+        }
+        let line = match std::fs::read_to_string(&req_path) {
+            Ok(text) => match text
+                .lines()
+                .find(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            {
+                Some(l) => l.to_string(),
+                None => String::new(),
+            },
+            Err(e) => {
+                quarantine(&req_path, &format!("unreadable request: {e}\n"));
+                rep.quarantined += 1;
+                continue;
+            }
+        };
         let mut response = String::new();
         // `quit` has no meaning for a one-pass drain; treat it as a no-op
-        let _ = handle_request(cfg, line, &mut response);
-        let resp_path = req_path.with_extension("resp");
+        let _ = handle_request(cfg, &line, &mut response);
         let tmp = req_path.with_extension("resp.tmp");
         std::fs::write(&tmp, response)?;
+        crashpoint::hit("queue-pre-resp-rename");
         std::fs::rename(&tmp, &resp_path)?;
+        crashpoint::hit("queue-pre-remove-req");
         std::fs::remove_file(&req_path)?;
-        handled += 1;
+        rep.handled += 1;
     }
-    Ok(handled)
+    Ok(rep)
+}
+
+/// Moves a poisoned request aside as `<stem>.err` (reason inside, written
+/// via temp + rename like every other queue artifact) so the drain can
+/// continue past it. Best-effort: quarantine failing must not take the
+/// drain down with it.
+fn quarantine(req_path: &Path, reason: &str) {
+    let err_path = req_path.with_extension("err");
+    let tmp = req_path.with_extension("err.tmp");
+    if std::fs::write(&tmp, reason).is_ok() && std::fs::rename(&tmp, &err_path).is_ok() {
+        let _ = std::fs::remove_file(req_path);
+    }
 }
 
 /// Handles one request line, appending the response block (possibly
@@ -162,6 +244,7 @@ fn handle_compile(cfg: &ServeConfig, cmd: &str, tokens: &[&str], response: &mut 
     };
     let input_label = format!("{cmd}:{arg}");
     let mut out_path: Option<&str> = None;
+    let mut deadline_ms: Option<u64> = None;
     let mut rest = tokens[2..].iter();
     while let Some(&t) = rest.next() {
         match t {
@@ -169,6 +252,13 @@ fn handle_compile(cfg: &ServeConfig, cmd: &str, tokens: &[&str], response: &mut 
                 Some(&p) => out_path = Some(p),
                 None => {
                     respond_err(response, &input_label, 1, "-o needs a path");
+                    return;
+                }
+            },
+            "--deadline-ms" => match rest.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) => deadline_ms = Some(n),
+                None => {
+                    respond_err(response, &input_label, 1, "--deadline-ms needs a number");
                     return;
                 }
             },
@@ -186,10 +276,13 @@ fn handle_compile(cfg: &ServeConfig, cmd: &str, tokens: &[&str], response: &mut 
 
     let t0 = Instant::now();
     let result = match cmd {
-        "compile" => compile_file(cfg, arg),
-        _ => compile_mega(cfg, arg),
+        "compile" => compile_file(cfg, arg, deadline_ms),
+        _ => compile_mega(cfg, arg, deadline_ms),
     };
     match result {
+        // the deadline response is a fixed shape: the service stays up,
+        // nothing was cached, and clients key off `code=5 msg=deadline`
+        Err(e) if e.exit_code() == 5 => respond_err(response, &input_label, 5, "deadline"),
         Err(e) => respond_err(response, &input_label, e.exit_code(), &e.to_string()),
         Ok(out) => {
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -212,25 +305,44 @@ fn handle_compile(cfg: &ServeConfig, cmd: &str, tokens: &[&str], response: &mut 
             let c = out.report.cache;
             response.push_str(&format!(
                 "ok in={input_label} funcs={} hits={} misses={} stale={} evicts={} \
-                 fallbacks={} wall_ms={wall_ms:.1}\n",
+                 retries={} ioerr={} fallbacks={} wall_ms={wall_ms:.1}\n",
                 out.module.funcs.len(),
                 c.hits,
                 c.misses,
                 c.stale,
                 c.evicts,
+                c.retries,
+                c.io_errors,
                 out.report.stats.spec_fallbacks,
             ));
         }
     }
 }
 
-fn compile_file(cfg: &ServeConfig, path: &str) -> Result<CompileOutput, CompileFailure> {
-    let src = std::fs::read_to_string(path)
-        .map_err(|e| CompileFailure::Usage(format!("reading {path}: {e}")))?;
-    crate::pipeline::compile(&src, &cfg.base)
+/// The base request adapted with one request's `--deadline-ms` token.
+fn with_deadline(cfg: &ServeConfig, deadline_ms: Option<u64>) -> CompileRequest {
+    let mut req = cfg.base.clone();
+    if deadline_ms.is_some() {
+        req.deadline_ms = deadline_ms;
+    }
+    req
 }
 
-fn compile_mega(cfg: &ServeConfig, arg: &str) -> Result<CompileOutput, CompileFailure> {
+fn compile_file(
+    cfg: &ServeConfig,
+    path: &str,
+    deadline_ms: Option<u64>,
+) -> Result<CompileOutput, CompileFailure> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| CompileFailure::Usage(format!("reading {path}: {e}")))?;
+    crate::pipeline::compile(&src, &with_deadline(cfg, deadline_ms))
+}
+
+fn compile_mega(
+    cfg: &ServeConfig,
+    arg: &str,
+    deadline_ms: Option<u64>,
+) -> Result<CompileOutput, CompileFailure> {
     let (seed, funcs) = match arg.split_once(':') {
         Some((s, n)) => (s, Some(n)),
         None => (arg, None),
@@ -245,7 +357,7 @@ fn compile_mega(cfg: &ServeConfig, arg: &str) -> Result<CompileOutput, CompileFa
             .map_err(|_| CompileFailure::Usage(format!("bad mega function count `{n}`")))?,
     };
     let m = specframe_workloads::mega_module(seed, funcs);
-    let mut req = cfg.base.clone();
+    let mut req = with_deadline(cfg, deadline_ms);
     // the synthetic module has no profiling entry point; degrade the
     // profile-guided modes exactly like `specc --mega` does
     if req.spec == "profile" {
@@ -330,6 +442,107 @@ mod tests {
         handle_request(&cfg, "mega 7:20", &mut warm);
         assert!(warm.contains("funcs=20 hits=20 misses=0"), "{warm}");
         assert!(warm.contains("fn f0 hit\n"), "{warm}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deadline_zero_returns_code_5_and_the_service_keeps_serving() {
+        let dir = std::env::temp_dir().join(format!(
+            "specframe-serve-deadline-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = cfg_with_cache(Some(dir.clone()));
+        let mut r = String::new();
+        handle_request(&cfg, "mega 3:6 --deadline-ms 0", &mut r);
+        assert!(r.contains("err in=mega:3:6 code=5 msg=deadline"), "{r}");
+        // no partial (or complete) cache entries from the cancelled request
+        assert_eq!(FuncCache::open(&dir).entry_stats().unwrap().0, 0);
+        // the session is unharmed: the same request without a deadline works
+        let mut ok = String::new();
+        handle_request(&cfg, "mega 3:6", &mut ok);
+        assert!(ok.contains("ok in=mega:3:6 funcs=6"), "{ok}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_fault_policy_moves_counters_but_not_output() {
+        let base = std::env::temp_dir().join(format!(
+            "specframe-serve-faults-test-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let clean = cfg_with_cache(None);
+        let reference = compile_mega(&clean, "5:8", None).unwrap();
+        let want = print_module(&reference.module);
+        for policy in ["enospc:2", "eio-read:7:2", "torn-write:2"] {
+            let mut cfg = cfg_with_cache(Some(base.join(policy.replace(':', "_"))));
+            cfg.base.cache_fault_policy = Some(policy.into());
+            for round in 0..2 {
+                let out = compile_mega(&cfg, "5:8", None)
+                    .unwrap_or_else(|e| panic!("{policy} round {round}: {e}"));
+                assert_eq!(
+                    print_module(&out.module),
+                    want,
+                    "{policy} round {round}: output changed under faults"
+                );
+                let c = out.report.cache;
+                assert_eq!(c.probes(), 8, "{policy} round {round}");
+                assert!(c.retries <= c.io_errors, "{policy}: {c:?}");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn queue_drain_quarantines_skips_and_sweeps() {
+        let dir =
+            std::env::temp_dir().join(format!("specframe-serve-queue-fsck-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // a crash inside the write-resp/remove-req window left both files
+        std::fs::write(dir.join("10-a.req"), "stats\n").unwrap();
+        std::fs::write(dir.join("10-a.resp"), "precommitted\n").unwrap();
+        // an unreadable request (invalid UTF-8)
+        std::fs::write(dir.join("20-b.req"), [0xff, 0xfe, 0x00]).unwrap();
+        // an orphaned response temp from a crash pre-rename
+        std::fs::write(dir.join("30-c.resp.tmp"), "half a response").unwrap();
+        // a healthy request
+        std::fs::write(dir.join("40-d.req"), "stats\n").unwrap();
+
+        let cfg = cfg_with_cache(None);
+        let rep = serve_queue(&cfg, &dir).unwrap();
+        assert_eq!(
+            rep,
+            DrainReport {
+                handled: 1,
+                skipped: 1,
+                quarantined: 1,
+                swept: 1
+            }
+        );
+        // the skipped transaction completed: .req gone, .resp untouched
+        assert!(!dir.join("10-a.req").exists());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("10-a.resp")).unwrap(),
+            "precommitted\n"
+        );
+        // the poisoned request is quarantined with its reason
+        assert!(!dir.join("20-b.req").exists());
+        let err = std::fs::read_to_string(dir.join("20-b.err")).unwrap();
+        assert!(err.contains("unreadable request"), "{err}");
+        // the orphan is swept, the healthy request served
+        assert!(!dir.join("30-c.resp.tmp").exists());
+        assert!(std::fs::read_to_string(dir.join("40-d.resp"))
+            .unwrap()
+            .contains("ok in=stats"));
+        // idempotent: a second drain finds nothing to do and changes nothing
+        assert_eq!(serve_queue(&cfg, &dir).unwrap(), DrainReport::default());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("10-a.resp")).unwrap(),
+            "precommitted\n"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

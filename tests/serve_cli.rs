@@ -271,6 +271,113 @@ fn cache_subcommands_stats_verify_clear() {
     assert_eq!(none.status.code(), Some(1), "{none:?}");
 }
 
+#[test]
+fn two_concurrent_serve_processes_share_one_cache_without_corruption() {
+    let cache = TempDir::new("concurrent");
+    let outdir = TempDir::new("concurrent_out");
+    // both sessions compile the same two workloads: every store races with
+    // the sibling process writing the same keys
+    let spawn = |tag: &str| {
+        let script = format!(
+            "mega 42:30 -o {}\nmega 7:10 -o {}\nquit\n",
+            outdir.join(&format!("{tag}1.ir")).display(),
+            outdir.join(&format!("{tag}2.ir")).display()
+        );
+        let mut child = specc()
+            .args(["--serve", "--cache-dir"])
+            .arg(cache.path())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("spawn specc --serve");
+        child
+            .stdin
+            .as_mut()
+            .unwrap()
+            .write_all(script.as_bytes())
+            .unwrap();
+        child
+    };
+    let a = spawn("a");
+    let b = spawn("b");
+    for (tag, child) in [("a", a), ("b", b)] {
+        let out = child.wait_with_output().expect("serve session");
+        assert!(
+            out.status.success(),
+            "session {tag} exited {:?}: {}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(text.matches("ok in=mega:").count(), 2, "{tag}: {text}");
+    }
+
+    // whoever lost each race, the outputs must agree byte-for-byte
+    for n in ["1", "2"] {
+        assert_eq!(
+            std::fs::read(outdir.join(&format!("a{n}.ir"))).unwrap(),
+            std::fs::read(outdir.join(&format!("b{n}.ir"))).unwrap(),
+            "concurrent sessions diverged on workload {n}"
+        );
+    }
+    // and the shared cache holds no torn or undecodable entries
+    let verify = specc()
+        .args(["cache", "verify", "--cache-dir"])
+        .arg(cache.path())
+        .output()
+        .unwrap();
+    assert!(verify.status.success(), "{verify:?}");
+    assert!(
+        String::from_utf8_lossy(&verify.stdout).contains("40 ok, 0 bad"),
+        "{verify:?}"
+    );
+}
+
+#[test]
+fn cache_fault_policy_output_is_byte_identical_to_the_faultless_run() {
+    let cache_clean = TempDir::new("fault_clean");
+    let cache_faulty = TempDir::new("fault_faulty");
+    let outdir = TempDir::new("fault_out");
+    let compile = |cache: &std::path::Path, policy: Option<&str>, out: &std::path::Path| {
+        let mut cmd = specc();
+        cmd.args(["--mega", "8:5", "--cache-dir"]).arg(cache);
+        if let Some(p) = policy {
+            cmd.args(["--cache-fault-policy", p]);
+        }
+        cmd.arg("-o").arg(out);
+        let r = cmd.output().expect("spawn specc");
+        assert!(
+            r.status.success(),
+            "policy {policy:?} failed: {}",
+            String::from_utf8_lossy(&r.stderr)
+        );
+    };
+    compile(cache_clean.path(), None, &outdir.join("clean.ir"));
+    // cold (stores torn, retried) then warm (loads faulted, retried)
+    compile(
+        cache_faulty.path(),
+        Some("torn-write:2"),
+        &outdir.join("cold.ir"),
+    );
+    compile(
+        cache_faulty.path(),
+        Some("eio-read:3:2"),
+        &outdir.join("warm.ir"),
+    );
+    let clean = std::fs::read(outdir.join("clean.ir")).unwrap();
+    assert!(!clean.is_empty());
+    assert_eq!(clean, std::fs::read(outdir.join("cold.ir")).unwrap());
+    assert_eq!(clean, std::fs::read(outdir.join("warm.ir")).unwrap());
+
+    // a malformed policy is rejected before any work starts
+    let bad = specc()
+        .args(["--mega", "8:5", "--cache-fault-policy", "explode:1"])
+        .output()
+        .unwrap();
+    assert_eq!(bad.status.code(), Some(1), "{bad:?}");
+}
+
 fn walk_entries(dir: &std::path::Path) -> Vec<PathBuf> {
     let mut v = Vec::new();
     for shard in std::fs::read_dir(dir).unwrap() {
